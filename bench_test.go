@@ -1,0 +1,263 @@
+// Benchmarks regenerating the paper's tables and figures via `go test
+// -bench`. Each benchmark corresponds to one artifact of the evaluation
+// (see DESIGN.md §3); the cmd/ binaries run the same drivers at
+// configurable scale with full reporting.
+//
+//	Table 3  -> BenchmarkTable3Latency      (p50/p99/p99.9 reported as metrics)
+//	Figure 1 -> BenchmarkFigure1LatencySweep
+//	Table 4  -> BenchmarkTable4AllocsPerItem
+//	Figure 2 -> BenchmarkFigure2Pairs
+//	Figure 3 -> BenchmarkFigure3Burst
+//	X1       -> BenchmarkAblationHazardR
+//	X2       -> BenchmarkAblationReclaimMode
+//	X3       -> BenchmarkExtensionAllQueuesPairs
+//	X4       -> BenchmarkReclaimStall
+package turnqueue
+
+import (
+	"fmt"
+	"testing"
+
+	"turnqueue/internal/bench"
+	"turnqueue/internal/core"
+	"turnqueue/internal/quantile"
+	"turnqueue/internal/turnalt"
+)
+
+// benchThreads is the worker count used by the fixed-thread benchmarks;
+// small because CI machines are small, and the cmd binaries sweep.
+const benchThreads = 4
+
+func reportQuantiles(b *testing.B, rows [][]int64, prefix string) {
+	med := quantile.MedianOverRuns(rows)
+	for i, q := range quantile.PaperQuantiles {
+		switch q {
+		case 0.50, 0.99, 0.999:
+			b.ReportMetric(float64(med[i]), fmt.Sprintf("%s-p%s-ns", prefix, quantile.Label(q)[:len(quantile.Label(q))-1]))
+		}
+	}
+}
+
+// BenchmarkTable3Latency reproduces Table 3: per-operation latency
+// quantiles under the burst protocol for MS, KP and Turn.
+func BenchmarkTable3Latency(b *testing.B) {
+	for _, f := range bench.PaperFactories() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			cfg := bench.LatencyConfig{Threads: benchThreads, Bursts: 4, Warmup: 1, ItemsPerBurst: 4000, Runs: 1}
+			var res bench.LatencyResult
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				res = bench.MeasureLatency(f, cfg)
+				ops += cfg.Bursts * cfg.ItemsPerBurst * 2
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+			reportQuantiles(b, res.EnqRows, "enq")
+			reportQuantiles(b, res.DeqRows, "deq")
+		})
+	}
+}
+
+// BenchmarkFigure1LatencySweep reproduces Figure 1's thread sweep at a
+// reduced set of points.
+func BenchmarkFigure1LatencySweep(b *testing.B) {
+	for _, f := range bench.PaperFactories() {
+		for _, threads := range []int{1, 2, 4, 8} {
+			f, threads := f, threads
+			b.Run(fmt.Sprintf("%s/threads=%d", f.Name, threads), func(b *testing.B) {
+				cfg := bench.LatencyConfig{Threads: threads, Bursts: 2, Warmup: 1, ItemsPerBurst: 2000, Runs: 1}
+				var res bench.LatencyResult
+				for i := 0; i < b.N; i++ {
+					res = bench.MeasureLatency(f, cfg)
+				}
+				reportQuantiles(b, res.DeqRows, "deq")
+			})
+		}
+	}
+}
+
+// BenchmarkTable4AllocsPerItem reproduces Table 4's allocation column:
+// heap allocations per enqueue+dequeue pair (pooling disabled where the
+// algorithm would hide the churn).
+func BenchmarkTable4AllocsPerItem(b *testing.B) {
+	factories := []bench.Factory{
+		{Name: "Turn", New: func(n int) bench.Queue {
+			return core.New[uint64](core.WithMaxThreads(n), core.WithReclaim(core.ReclaimGC))
+		}},
+	}
+	factories = append(factories, bench.AllFactories()...)
+	for _, f := range factories {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			q := f.New(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(0, uint64(i))
+				if _, ok := q.Dequeue(0); !ok {
+					b.Fatal("dequeue empty")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2Pairs reproduces Figure 2's workload: every worker runs
+// enqueue-then-dequeue pairs concurrently.
+func BenchmarkFigure2Pairs(b *testing.B) {
+	for _, f := range bench.PaperFactories() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			benchPairs(b, f, benchThreads)
+		})
+	}
+}
+
+// BenchmarkExtensionAllQueuesPairs is experiment X3: the same pairs
+// workload over the FK-style, YMC-style and two-lock baselines the paper
+// excluded.
+func BenchmarkExtensionAllQueuesPairs(b *testing.B) {
+	for _, f := range bench.AllFactories()[3:] {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			benchPairs(b, f, benchThreads)
+		})
+	}
+}
+
+func benchPairs(b *testing.B, f bench.Factory, threads int) {
+	res := bench.MeasurePairs(f, bench.PairsConfig{Threads: threads, TotalPairs: maxPairs(b.N), Runs: 1})
+	b.ReportMetric(res.Median(), "ops/s")
+	// One b.N unit == one pair; reflect that in the op count accounting.
+	_ = res
+}
+
+func maxPairs(n int) int {
+	if n < 1000 {
+		return 1000
+	}
+	return n
+}
+
+// BenchmarkFigure3Burst reproduces Figure 3: enqueue-only and
+// dequeue-only burst rates, reported as separate metrics.
+func BenchmarkFigure3Burst(b *testing.B) {
+	for _, f := range bench.PaperFactories() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			var res bench.BurstResult
+			for i := 0; i < b.N; i++ {
+				res = bench.MeasureBurst(f, bench.BurstConfig{
+					Threads: benchThreads, ItemsPerBurst: 8000, Iterations: 3, Warmup: 1,
+				})
+			}
+			enq, deq := res.Medians()
+			b.ReportMetric(enq, "enq-ops/s")
+			b.ReportMetric(deq, "deq-ops/s")
+		})
+	}
+}
+
+// BenchmarkAblationHazardR is experiment X1: the Turn queue's pairs
+// throughput as the hazard-pointer R scan threshold grows (R=0 is the
+// paper's latency-minimizing choice; larger R batches scans).
+func BenchmarkAblationHazardR(b *testing.B) {
+	for _, r := range []int{0, 8, 32, 128} {
+		r := r
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			q := core.New[uint64](core.WithMaxThreads(2), core.WithHazardR(r))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(0, uint64(i))
+				if _, ok := q.Dequeue(0); !ok {
+					b.Fatal("dequeue empty")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReclaimMode is experiment X2: pool recycling vs
+// GC-dropped nodes vs no reclamation at all.
+func BenchmarkAblationReclaimMode(b *testing.B) {
+	modes := map[string]core.ReclaimMode{
+		"pool": core.ReclaimPool,
+		"gc":   core.ReclaimGC,
+		"none": core.ReclaimNone,
+	}
+	for name, mode := range modes {
+		name, mode := name, mode
+		b.Run(name, func(b *testing.B) {
+			q := core.New[uint64](core.WithMaxThreads(2), core.WithReclaim(mode))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(0, uint64(i))
+				if _, ok := q.Dequeue(0); !ok {
+					b.Fatal("dequeue empty")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAltDequeue is experiment X5: the paper's two-array
+// dequeue design versus the §2.3 single-array alternative it rejects
+// (which pays one hazard-pointer publish per consensus-scan entry).
+func BenchmarkAblationAltDequeue(b *testing.B) {
+	variants := []bench.Factory{
+		{Name: "two-array", New: func(n int) bench.Queue { return core.New[uint64](core.WithMaxThreads(n)) }},
+		{Name: "single-array", New: func(n int) bench.Queue { return turnalt.New[uint64](n) }},
+	}
+	for _, f := range variants {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			res := bench.MeasurePairs(f, bench.PairsConfig{Threads: benchThreads, TotalPairs: maxPairs(b.N), Runs: 1})
+			b.ReportMetric(res.Median(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkReclaimStall is experiment X4 as a benchmark: the per-pair cost
+// of churning while one thread is stalled, with the backlog growth
+// reported as a metric.
+func BenchmarkReclaimStall(b *testing.B) {
+	samples := bench.MeasureReclaimStall(1000, 2, 64)
+	last := samples[len(samples)-1]
+	b.ReportMetric(float64(last.HPBacklog), "hp-backlog")
+	b.ReportMetric(float64(last.EpochBacklog), "epoch-backlog-segments")
+}
+
+// BenchmarkUncontended measures the single-threaded per-operation cost of
+// every queue (the paper's 1-thread points).
+func BenchmarkUncontended(b *testing.B) {
+	for _, f := range bench.AllFactories() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			q := f.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(0, uint64(i))
+				if _, ok := q.Dequeue(0); !ok {
+					b.Fatal("dequeue empty")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRandomWork is experiment X6: the pairs workload with
+// the 50-100ns inter-operation "random work" of the MS/YMC methodology,
+// which §4.1 deliberately omits because it artificially reduces
+// contention. Compare against BenchmarkFigure2Pairs.
+func BenchmarkAblationRandomWork(b *testing.B) {
+	for _, f := range bench.PaperFactories() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			res := bench.MeasurePairs(f, bench.PairsConfig{
+				Threads: benchThreads, TotalPairs: maxPairs(b.N), Runs: 1, RandomWork: true,
+			})
+			b.ReportMetric(res.Median(), "ops/s")
+		})
+	}
+}

@@ -1,0 +1,150 @@
+// Command burst regenerates the paper's Figure 3: enqueue-only and
+// dequeue-only burst throughput as a function of thread count, measured
+// separately (all threads enqueue a burst, synchronize, then all dequeue
+// it), plus the ratio panels normalized to KP.
+//
+// Usage:
+//
+//	burst [-maxthreads n] [-items n] [-iters n] [-all] [-full]
+//	      [-format text|md|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"turnqueue/internal/asciiplot"
+	"turnqueue/internal/bench"
+	"turnqueue/internal/report"
+	"turnqueue/internal/stats"
+)
+
+func main() {
+	var (
+		maxThr = flag.Int("maxthreads", defaultThreads(), "largest thread count")
+		items  = flag.Int("items", 50000, "items per burst (paper: 1000000)")
+		iters  = flag.Int("iters", 10, "measured burst iterations (paper: 10)")
+		all    = flag.Bool("all", false, "include FK-style, YMC-style and two-lock baselines")
+		plot   = flag.Bool("plot", false, "render ASCII charts of the burst rates")
+		full   = flag.Bool("full", false, "paper-scale parameters")
+		format = flag.String("format", "text", "output format: text, md, or csv")
+	)
+	flag.Parse()
+	if *full {
+		*items = 1000000
+	}
+
+	factories := bench.PaperFactories()
+	if *all {
+		factories = bench.AllFactories()
+	}
+
+	type point struct{ enq, deq float64 }
+	results := map[string]map[int]point{}
+	var threadPoints []int
+	for n := 1; n <= *maxThr; n = next(n) {
+		threadPoints = append(threadPoints, n)
+	}
+	for _, f := range factories {
+		results[f.Name] = map[int]point{}
+		for _, n := range threadPoints {
+			res := bench.MeasureBurst(f, bench.BurstConfig{
+				Threads: n, ItemsPerBurst: maxInt(*items, n), Iterations: *iters, Warmup: 1,
+			})
+			e, d := res.Medians()
+			results[f.Name][n] = point{e, d}
+		}
+	}
+
+	abs := report.New(fmt.Sprintf("Figure 3 (top) — burst throughput, ops/s (median of %d bursts of %d items)", *iters, *items),
+		"threads", "queue", "enqueue ops/s", "dequeue ops/s")
+	for _, n := range threadPoints {
+		for _, f := range factories {
+			p := results[f.Name][n]
+			abs.AddRow(fmt.Sprintf("%d", n), f.Name, stats.HumanRate(p.enq), stats.HumanRate(p.deq))
+		}
+	}
+
+	ratio := report.New("Figure 3 (bottom) — burst throughput normalized to KP",
+		"threads", "queue", "enqueue ratio", "dequeue ratio")
+	for _, n := range threadPoints {
+		base, ok := results["KP"]
+		if !ok {
+			base = results[factories[0].Name]
+		}
+		for _, f := range factories {
+			p := results[f.Name][n]
+			ratio.AddRow(fmt.Sprintf("%d", n), f.Name,
+				fmt.Sprintf("%.2fx", p.enq/base[n].enq),
+				fmt.Sprintf("%.2fx", p.deq/base[n].deq))
+		}
+	}
+
+	for _, t := range []*report.Table{abs, ratio} {
+		out, err := t.Render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+
+	if *plot {
+		for _, side := range []struct {
+			title string
+			pick  func(point) float64
+		}{
+			{"Figure 3 — enqueue burst throughput", func(p point) float64 { return p.enq }},
+			{"Figure 3 — dequeue burst throughput", func(p point) float64 { return p.deq }},
+		} {
+			var series []asciiplot.Series
+			for _, f := range factories {
+				s := asciiplot.Series{Name: f.Name}
+				for _, n := range threadPoints {
+					s.X = append(s.X, float64(n))
+					s.Y = append(s.Y, side.pick(results[f.Name][n]))
+				}
+				series = append(series, s)
+			}
+			chart, err := asciiplot.Render(asciiplot.Config{
+				Title: side.title, Width: 64, Height: 16,
+				XLabel: "threads", YLabel: "ops/s",
+			}, series...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(chart)
+		}
+	}
+}
+
+func defaultThreads() int {
+	n := runtime.GOMAXPROCS(0) * 2
+	if n < 4 {
+		n = 4
+	}
+	if n > 30 {
+		n = 30
+	}
+	return n
+}
+
+func next(n int) int {
+	if n < 4 {
+		return n + 1
+	}
+	if n < 16 {
+		return n + 2
+	}
+	return n + 4
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

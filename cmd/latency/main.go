@@ -1,0 +1,205 @@
+// Command latency regenerates the paper's latency artifacts:
+//
+//   - Table 3: enqueue()/dequeue() latency quantiles for MS, KP and Turn
+//     at a fixed thread count, presented as min-max over runs.
+//   - Figure 1: the same quantiles as a function of the thread count
+//     (median of runs per point), emitted as one table per operation.
+//
+// Defaults are laptop-scale; -full restores the paper's parameters
+// (30 threads, 200 bursts of 10^6 items, 7 runs) — expect a long run.
+//
+// Usage:
+//
+//	latency [-sweep] [-threads n] [-maxthreads n] [-bursts n] [-items n]
+//	        [-warmup n] [-runs n] [-queues MS,KP,Turn] [-full]
+//	        [-ablation hpR] [-format text|md|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"turnqueue/internal/asciiplot"
+	"turnqueue/internal/bench"
+	"turnqueue/internal/core"
+	"turnqueue/internal/quantile"
+	"turnqueue/internal/report"
+)
+
+func main() {
+	var (
+		sweep    = flag.Bool("sweep", false, "Figure 1 mode: sweep thread counts instead of one Table 3 run")
+		threads  = flag.Int("threads", defaultThreads(), "thread count for Table 3 mode")
+		maxThr   = flag.Int("maxthreads", defaultThreads(), "largest thread count in sweep mode")
+		bursts   = flag.Int("bursts", 40, "measured bursts per run (paper: 200)")
+		items    = flag.Int("items", 20000, "items per burst (paper: 1000000)")
+		warmup   = flag.Int("warmup", 4, "warmup bursts (paper: 10)")
+		runs     = flag.Int("runs", 5, "runs per configuration (paper: 7)")
+		queues   = flag.String("queues", "MS,KP,Turn", "comma-separated queue names (see cmd/throughput -list)")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		ablation = flag.String("ablation", "", "run an ablation instead: hpR (hazard-pointer R sweep)")
+		plot     = flag.Bool("plot", false, "in sweep mode, render an ASCII chart of the p99.9 dequeue tail")
+		format   = flag.String("format", "text", "output format: text, md, or csv")
+	)
+	flag.Parse()
+
+	if *full {
+		*bursts, *items, *warmup, *runs, *threads = 200, 1000000, 10, 7, 30
+	}
+	if *ablation == "hpR" {
+		runAblationHPR(*threads, *bursts, *items, *warmup, *runs, *format)
+		return
+	}
+
+	factories := resolve(*queues)
+	if *sweep {
+		runSweep(factories, *maxThr, *bursts, *items, *warmup, *runs, *format, *plot)
+		return
+	}
+	runTable3(factories, *threads, *bursts, *items, *warmup, *runs, *format)
+}
+
+func defaultThreads() int {
+	n := runtime.GOMAXPROCS(0) * 2
+	if n < 2 {
+		n = 2
+	}
+	if n > 30 {
+		n = 30
+	}
+	return n
+}
+
+func resolve(names string) []bench.Factory {
+	var out []bench.Factory
+	for _, n := range strings.Split(names, ",") {
+		f, ok := bench.FactoryByName(strings.TrimSpace(n))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown queue %q\n", n)
+			os.Exit(2)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func headers() []string {
+	h := []string{"queue"}
+	for _, q := range quantile.PaperQuantiles {
+		h = append(h, quantile.Label(q))
+	}
+	return h
+}
+
+func minMaxCells(mins, maxs []int64) []string {
+	cells := make([]string, len(mins))
+	for i := range mins {
+		cells[i] = fmt.Sprintf("%.1f - %.1f", float64(mins[i])/1000, float64(maxs[i])/1000)
+	}
+	return cells
+}
+
+func runTable3(factories []bench.Factory, threads, bursts, items, warmup, runs int, format string) {
+	cfg := bench.LatencyConfig{Threads: threads, Bursts: bursts, Warmup: warmup, ItemsPerBurst: items, Runs: runs}
+	enq := report.New(fmt.Sprintf("Table 3 — enqueue() latency quantiles, %d threads, µs (min - max over %d runs)", threads, runs), headers()...)
+	deq := report.New(fmt.Sprintf("Table 3 — dequeue() latency quantiles, %d threads, µs (min - max over %d runs)", threads, runs), headers()...)
+	for _, f := range factories {
+		res := bench.MeasureLatency(f, cfg)
+		mins, maxs := res.EnqMinMax()
+		enq.AddRow(append([]string{f.Name}, minMaxCells(mins, maxs)...)...)
+		mins, maxs = res.DeqMinMax()
+		deq.AddRow(append([]string{f.Name}, minMaxCells(mins, maxs)...)...)
+	}
+	emit(format, enq, deq)
+}
+
+func runSweep(factories []bench.Factory, maxThreads, bursts, items, warmup, runs int, format string, plot bool) {
+	var tables []*report.Table
+	for _, op := range []string{"enqueue", "dequeue"} {
+		t := report.New(fmt.Sprintf("Figure 1 — %s() latency by thread count, µs (median of %d runs)", op, runs),
+			append([]string{"queue", "threads"}, headers()[1:]...)...)
+		tables = append(tables, t)
+	}
+	// Index of the p99.9 column, plotted when -plot is set.
+	const p999Col = 3
+	var series []asciiplot.Series
+	for _, f := range factories {
+		s := asciiplot.Series{Name: f.Name}
+		for n := 1; n <= maxThreads; n = nextThreadCount(n) {
+			cfg := bench.LatencyConfig{Threads: n, Bursts: bursts, Warmup: warmup, ItemsPerBurst: max(items, n), Runs: runs}
+			res := bench.MeasureLatency(f, cfg)
+			addSweepRow(tables[0], f.Name, n, res.EnqMedian())
+			addSweepRow(tables[1], f.Name, n, res.DeqMedian())
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, float64(res.DeqMedian()[p999Col])/1000)
+		}
+		series = append(series, s)
+	}
+	emit(format, tables...)
+	if plot {
+		chart, err := asciiplot.Render(asciiplot.Config{
+			Title: "Figure 1 — dequeue() p99.9 tail by thread count", Width: 64, Height: 18,
+			XLabel: "threads", YLabel: "µs", LogY: true,
+		}, series...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(chart)
+	}
+}
+
+func addSweepRow(t *report.Table, name string, threads int, med []int64) {
+	cells := []string{name, fmt.Sprintf("%d", threads)}
+	for _, v := range med {
+		cells = append(cells, fmt.Sprintf("%.1f", float64(v)/1000))
+	}
+	t.AddRow(cells...)
+}
+
+func nextThreadCount(n int) int {
+	switch {
+	case n < 4:
+		return n + 1
+	case n < 16:
+		return n + 2
+	default:
+		return n + 4
+	}
+}
+
+func runAblationHPR(threads, bursts, items, warmup, runs int, format string) {
+	t := report.New(fmt.Sprintf("Ablation X1 — Turn dequeue() latency by hazard-pointer R, %d threads, µs (median of %d runs)", threads, runs),
+		append([]string{"R"}, headers()[1:]...)...)
+	for _, r := range []int{0, 8, 32, 128} {
+		f := bench.Factory{Name: fmt.Sprintf("Turn(R=%d)", r), New: turnWithR(r)}
+		cfg := bench.LatencyConfig{Threads: threads, Bursts: bursts, Warmup: warmup, ItemsPerBurst: items, Runs: runs}
+		res := bench.MeasureLatency(f, cfg)
+		cells := []string{fmt.Sprintf("%d", r)}
+		for _, v := range res.DeqMedian() {
+			cells = append(cells, fmt.Sprintf("%.1f", float64(v)/1000))
+		}
+		t.AddRow(cells...)
+	}
+	emit(format, t)
+}
+
+func turnWithR(r int) func(int) bench.Queue {
+	return func(n int) bench.Queue {
+		return core.New[uint64](core.WithMaxThreads(n), core.WithHazardR(r))
+	}
+}
+
+func emit(format string, tables ...*report.Table) {
+	for _, t := range tables {
+		out, err := t.Render(format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,223 @@
+// Command stress is the long-running correctness harness — the
+// reproduction of the paper's "extensive set of stress tests" that caught
+// the FK and YMC bugs. For each selected queue it runs a mixed
+// producer/consumer workload for a wall-clock duration, validating:
+//
+//   - exactly-once delivery: every enqueued item is dequeued exactly once
+//     (after a final drain), with no phantoms;
+//   - per-producer FIFO order at every consumer;
+//   - real-time FIFO order on a sampled sub-history (lincheck).
+//
+// Any violation prints a diagnosis and exits non-zero.
+//
+// Usage:
+//
+//	stress [-queues MS,KP,Turn,Sim(FK),FAA(YMC)] [-threads n] [-duration d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turnqueue/internal/bench"
+	"turnqueue/internal/histogram"
+	"turnqueue/internal/lincheck"
+	"turnqueue/internal/quantile"
+)
+
+func main() {
+	var (
+		queues   = flag.String("queues", "MS,KP,Turn,Sim(FK),FAA(YMC)", "comma-separated queue names")
+		threads  = flag.Int("threads", 2*runtime.GOMAXPROCS(0), "worker count (half produce, half consume)")
+		duration = flag.Duration("duration", 5*time.Second, "run length per queue")
+	)
+	flag.Parse()
+	if *threads < 2 {
+		*threads = 2
+	}
+
+	failed := false
+	for _, name := range strings.Split(*queues, ",") {
+		name = strings.TrimSpace(name)
+		f, ok := bench.FactoryByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown queue %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("stress %-10s threads=%d duration=%v ... ", f.Name, *threads, *duration)
+		hist, err := stressOne(f, *threads, *duration)
+		if err != nil {
+			fmt.Printf("FAIL\n  %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("ok (%d ops", hist.Count())
+		for _, q := range []float64{0.50, 0.99, 0.999} {
+			fmt.Printf(", %s=%.1fµs", quantile.Label(q), float64(hist.Quantile(q))/1000)
+		}
+		fmt.Println(")")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// stressOne drives producers/consumers for d, then drains and validates.
+// It returns a histogram of enqueue latencies observed during the run.
+func stressOne(f bench.Factory, threads int, d time.Duration) (*histogram.Hist, error) {
+	hist := histogram.New()
+	q := f.New(threads)
+	producers := threads / 2
+	consumers := threads - producers
+
+	// Item encoding: high 16 bits producer id, low 48 bits sequence.
+	encode := func(p, k uint64) uint64 { return p<<48 | k }
+
+	var stopProducing atomic.Bool
+	produced := make([]uint64, producers) // items produced by each producer
+	consumed := make([][]uint64, consumers)
+	rec := lincheck.NewRecorder(threads)
+	var sampling atomic.Bool
+	sampling.Store(true)
+	const sampleLimit = 20000
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			var k uint64
+			for !stopProducing.Load() {
+				v := encode(uint64(p), k)
+				if sampling.Load() {
+					s := rec.Begin()
+					q.Enqueue(p, v)
+					rec.EndEnq(p, int64(v), s)
+				} else {
+					start := time.Now()
+					q.Enqueue(p, v)
+					hist.Record(time.Since(start).Nanoseconds())
+				}
+				k++
+			}
+			produced[p] = k
+		}(p)
+	}
+	var totalConsumed atomic.Int64
+	var stopConsuming atomic.Bool
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			tid := producers + c
+			for {
+				var v uint64
+				var ok bool
+				if sampling.Load() {
+					s := rec.Begin()
+					v, ok = q.Dequeue(tid)
+					if ok {
+						rec.EndDeq(tid, int64(v), true, s)
+					}
+				} else {
+					v, ok = q.Dequeue(tid)
+				}
+				if ok {
+					consumed[c] = append(consumed[c], v)
+					totalConsumed.Add(1)
+				} else {
+					if stopConsuming.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		if totalConsumed.Load() > sampleLimit {
+			sampling.Store(false)
+		}
+	}
+	stopProducing.Store(true)
+	time.Sleep(100 * time.Millisecond)
+	stopConsuming.Store(true)
+	wg.Wait()
+
+	// Validate: exactly-once, per-producer FIFO at each consumer.
+	var totalProduced uint64
+	for _, k := range produced {
+		totalProduced += k
+	}
+	seen := make(map[uint64]int, totalProduced)
+	for c := range consumed {
+		last := make(map[uint64]int64)
+		for _, v := range consumed[c] {
+			seen[v]++
+			p, k := v>>48, int64(v&(1<<48-1))
+			if prev, ok := last[p]; ok && k <= prev {
+				return hist, fmt.Errorf("consumer %d saw producer %d out of order: %d then %d", c, p, prev, k)
+			}
+			last[p] = k
+		}
+	}
+	var dup, phantom int
+	for v, n := range seen {
+		if n > 1 {
+			dup++
+		}
+		p, k := v>>48, v&(1<<48-1)
+		if int(p) >= producers || k >= produced[p] {
+			phantom++
+		}
+	}
+	if dup > 0 || phantom > 0 {
+		return hist, fmt.Errorf("%d duplicated and %d phantom items", dup, phantom)
+	}
+	if lost := int64(totalProduced) - int64(len(seen)); lost != 0 {
+		return hist, fmt.Errorf("%d items lost (produced %d, consumed %d distinct)", lost, totalProduced, len(seen))
+	}
+	// Real-time order on the sampled prefix.
+	if err := lincheck.CheckRealTimeOrder(sampleHistory(rec, 2000)); err != nil {
+		return hist, err
+	}
+	return hist, nil
+}
+
+// sampleHistory trims the recorded history to at most n matched
+// enqueue/dequeue pairs so the O(n^2) real-time check stays fast.
+func sampleHistory(rec *lincheck.Recorder, n int) []lincheck.Op {
+	h := rec.History()
+	if len(h) <= n {
+		return h
+	}
+	kept := make(map[int64]bool, n)
+	var out []lincheck.Op
+	for _, op := range h {
+		if op.Kind == lincheck.Enq {
+			if len(kept) < n/2 {
+				kept[op.Value] = true
+				out = append(out, op)
+			}
+		}
+	}
+	for _, op := range h {
+		if op.Kind == lincheck.Deq && op.Ok && kept[op.Value] {
+			out = append(out, op)
+		}
+	}
+	return out
+}

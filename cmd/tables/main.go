@@ -1,0 +1,43 @@
+// Command tables regenerates the paper's Table 1 (queue characteristics)
+// and Table 2 (progress conditions of memory reclamation schemes) from the
+// implementations' metadata.
+//
+// Usage:
+//
+//	tables [-format text|md|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"turnqueue"
+	"turnqueue/internal/report"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, md, or csv")
+	flag.Parse()
+
+	t1 := report.New("Table 1 — linearizable MPMC queue characteristics",
+		"Queue", "enqueue()", "dequeue()", "Consensus", "Atomics", "Reclamation", "Min memory")
+	for _, m := range turnqueue.Metas() {
+		t1.AddRow(m.Name, string(m.EnqProgress), string(m.DeqProgress), m.Consensus, m.Atomics, m.Reclamation, m.MinMemory)
+	}
+
+	t2 := report.New("Table 2 — progress conditions of memory reclamation techniques",
+		"Technique", "protect", "reclaim", "Notes")
+	for _, m := range turnqueue.ReclaimerMetas() {
+		t2.AddRow(m.Name, m.ProtectProgress, m.ReclaimProgress, m.Notes)
+	}
+
+	for _, t := range []*report.Table{t1, t2} {
+		out, err := t.Render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+}

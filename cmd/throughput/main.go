@@ -1,0 +1,152 @@
+// Command throughput regenerates the paper's Figure 2: operations per
+// second for the enqueue-dequeue-pairs workload as a function of thread
+// count, plus the right-hand panel — each queue's throughput normalized to
+// the KP queue.
+//
+// Usage:
+//
+//	throughput [-maxthreads n] [-pairs n] [-runs n] [-all] [-ablation]
+//	           [-full] [-format text|md|csv] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"turnqueue/internal/asciiplot"
+	"turnqueue/internal/bench"
+	"turnqueue/internal/report"
+	"turnqueue/internal/stats"
+)
+
+func main() {
+	var (
+		maxThr   = flag.Int("maxthreads", defaultThreads(), "largest thread count")
+		pairs    = flag.Int("pairs", 400000, "total enqueue/dequeue pairs per run (paper: 100000000)")
+		runs     = flag.Int("runs", 5, "runs per point; the median is plotted (paper: 5)")
+		all      = flag.Bool("all", false, "include the FK-style, YMC-style and two-lock baselines (experiment X3)")
+		plot     = flag.Bool("plot", false, "render an ASCII chart of the left panel")
+		ablation = flag.Bool("ablation", false, "run the Turn-queue variants instead (experiments X1/X2)")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		format   = flag.String("format", "text", "output format: text, md, or csv")
+		list     = flag.Bool("list", false, "list queue names and exit")
+	)
+	flag.Parse()
+	if *full {
+		*pairs = 100000000
+	}
+	if *list {
+		for _, f := range bench.AllFactories() {
+			fmt.Println(f.Name)
+		}
+		return
+	}
+
+	factories := bench.PaperFactories()
+	if *all {
+		factories = bench.AllFactories()
+	}
+	if *ablation {
+		factories = bench.TurnVariantFactories()
+	}
+
+	abs := report.New(fmt.Sprintf("Figure 2 (left) — pairs throughput, ops/s (median of %d runs of %d pairs)", *runs, *pairs),
+		"threads", "queue", "ops/s")
+	// medians[name][threads] for the ratio panel.
+	medians := map[string]map[int]float64{}
+	var threadPoints []int
+	for n := 1; n <= *maxThr; n = next(n) {
+		threadPoints = append(threadPoints, n)
+	}
+	for _, f := range factories {
+		medians[f.Name] = map[int]float64{}
+		for _, n := range threadPoints {
+			res := bench.MeasurePairs(f, bench.PairsConfig{Threads: n, TotalPairs: maxInt(*pairs, n), Runs: *runs})
+			m := res.Median()
+			medians[f.Name][n] = m
+			abs.AddRow(fmt.Sprintf("%d", n), f.Name, stats.HumanRate(m))
+		}
+	}
+
+	ratio := report.New("Figure 2 (right) — throughput normalized to KP (higher is better)",
+		append([]string{"threads"}, names(factories)...)...)
+	base := medians["KP"]
+	if base == nil {
+		base = medians[factories[0].Name]
+	}
+	for _, n := range threadPoints {
+		cells := []string{fmt.Sprintf("%d", n)}
+		for _, f := range factories {
+			cells = append(cells, fmt.Sprintf("%.2fx", medians[f.Name][n]/base[n]))
+		}
+		ratio.AddRow(cells...)
+	}
+
+	for _, t := range []*report.Table{abs, ratio} {
+		out, err := t.Render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+	}
+
+	if *plot {
+		var series []asciiplot.Series
+		for _, f := range factories {
+			s := asciiplot.Series{Name: f.Name}
+			for _, n := range threadPoints {
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, medians[f.Name][n])
+			}
+			series = append(series, s)
+		}
+		chart, err := asciiplot.Render(asciiplot.Config{
+			Title: "Figure 2 (left) — pairs throughput", Width: 64, Height: 18,
+			XLabel: "threads", YLabel: "ops/s",
+		}, series...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(chart)
+	}
+}
+
+func defaultThreads() int {
+	n := runtime.GOMAXPROCS(0) * 2
+	if n < 4 {
+		n = 4
+	}
+	if n > 30 {
+		n = 30
+	}
+	return n
+}
+
+func next(n int) int {
+	if n < 4 {
+		return n + 1
+	}
+	if n < 16 {
+		return n + 2
+	}
+	return n + 4
+}
+
+func names(fs []bench.Factory) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

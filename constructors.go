@@ -1,0 +1,207 @@
+package turnqueue
+
+import (
+	"turnqueue/internal/core"
+	"turnqueue/internal/faaq"
+	"turnqueue/internal/kpq"
+	"turnqueue/internal/lockq"
+	"turnqueue/internal/msq"
+	"turnqueue/internal/simq"
+	"turnqueue/internal/tid"
+)
+
+// Option configures a queue constructor. Options that do not apply to a
+// given algorithm are ignored by it (e.g. WithHazardR on the two-lock
+// queue).
+type Option func(*options)
+
+type options struct {
+	maxThreads  int
+	reclaim     Reclaim
+	hazardR     int
+	segmentSize int
+	pooling     bool
+}
+
+// Reclaim selects the Turn queue's node-disposal strategy.
+type Reclaim int
+
+// Reclaim modes; see internal/core.ReclaimMode.
+const (
+	// ReclaimPool recycles nodes through per-thread pools (default): the
+	// faithful analogue of C++ delete/new under which hazard pointers
+	// guard real ABA.
+	ReclaimPool Reclaim = iota
+	// ReclaimGC runs the hazard-pointer protocol but leaves freeing to
+	// the garbage collector.
+	ReclaimGC
+	// ReclaimNone skips retire entirely (GC-only), quantifying what the
+	// wait-free reclamation costs.
+	ReclaimNone
+)
+
+func defaults() options {
+	return options{
+		maxThreads:  tid.DefaultMaxThreads,
+		reclaim:     ReclaimPool,
+		hazardR:     0,
+		segmentSize: faaq.DefaultSegmentSize,
+		pooling:     true,
+	}
+}
+
+// WithMaxThreads bounds the number of simultaneously registered handles;
+// it is also the wait-free step bound of the bounded algorithms.
+func WithMaxThreads(n int) Option { return func(o *options) { o.maxThreads = n } }
+
+// WithReclaim selects the Turn queue's reclamation mode.
+func WithReclaim(r Reclaim) Option { return func(o *options) { o.reclaim = r } }
+
+// WithHazardR sets the hazard-pointer scan threshold R (default 0, the
+// paper's latency-minimizing choice).
+func WithHazardR(r int) Option { return func(o *options) { o.hazardR = r } }
+
+// WithSegmentSize sets the FAA queue's cells-per-segment count.
+func WithSegmentSize(n int) Option { return func(o *options) { o.segmentSize = n } }
+
+// WithPooling toggles the KP queue's node/descriptor pools.
+func WithPooling(on bool) Option { return func(o *options) { o.pooling = on } }
+
+func build(opts []Option) options {
+	o := defaults()
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// ---- Turn queue ----
+
+type turnQueue[T any] struct{ q *core.Queue[T] }
+
+// NewTurn creates a Turn queue — the paper's wait-free bounded MPMC queue
+// with integrated wait-free memory reclamation.
+func NewTurn[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	mode := core.ReclaimPool
+	switch o.reclaim {
+	case ReclaimGC:
+		mode = core.ReclaimGC
+	case ReclaimNone:
+		mode = core.ReclaimNone
+	}
+	return &turnQueue[T]{q: core.New[T](
+		core.WithMaxThreads(o.maxThreads),
+		core.WithReclaim(mode),
+		core.WithHazardR(o.hazardR),
+	)}
+}
+
+func (a *turnQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
+func (a *turnQueue[T]) Register() (*Handle, error)  { return register(a) }
+func (a *turnQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
+func (a *turnQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
+func (a *turnQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
+func (a *turnQueue[T]) Meta() Meta                  { return metaByName("Turn") }
+func (a *turnQueue[T]) Unwrap() *core.Queue[T]      { return a.q }
+
+// ---- Michael-Scott ----
+
+type msQueue[T any] struct{ q *msq.Queue[T] }
+
+// NewMichaelScott creates the lock-free Michael-Scott queue with
+// hazard-pointer reclamation (the paper's baseline).
+func NewMichaelScott[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	return &msQueue[T]{q: msq.New[T](o.maxThreads)}
+}
+
+func (a *msQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
+func (a *msQueue[T]) Register() (*Handle, error)  { return register(a) }
+func (a *msQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
+func (a *msQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
+func (a *msQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
+func (a *msQueue[T]) Meta() Meta                  { return metaByName("Michael-Scott (MS)") }
+
+// ---- Kogan-Petrank ----
+
+type kpQueue[T any] struct{ q *kpq.Queue[T] }
+
+// NewKoganPetrank creates the wait-free Kogan-Petrank queue with the
+// paper's HP+CHP reclamation port.
+func NewKoganPetrank[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	return &kpQueue[T]{q: kpq.New[T](kpq.WithMaxThreads(o.maxThreads), kpq.WithPooling(o.pooling))}
+}
+
+func (a *kpQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
+func (a *kpQueue[T]) Register() (*Handle, error)  { return register(a) }
+func (a *kpQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
+func (a *kpQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
+func (a *kpQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
+func (a *kpQueue[T]) Meta() Meta                  { return metaByName("Kogan-Petrank (KP)") }
+
+// ---- FK-style combining (Sim) ----
+
+type simQueue[T any] struct{ q *simq.Queue[T] }
+
+// NewSim creates the FK-style combining queue.
+func NewSim[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	return &simQueue[T]{q: simq.New[T](simq.WithMaxThreads(o.maxThreads))}
+}
+
+func (a *simQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
+func (a *simQueue[T]) Register() (*Handle, error)  { return register(a) }
+func (a *simQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
+func (a *simQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
+func (a *simQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
+func (a *simQueue[T]) Meta() Meta                  { return metaByName("Fatourou-Kallimanis (FK-style)") }
+
+// ---- YMC-style FAA segment queue ----
+
+type faaQueue[T any] struct{ q *faaq.Queue[T] }
+
+// NewFAA creates the YMC-style fetch-and-add segment queue with epoch
+// reclamation.
+func NewFAA[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	return &faaQueue[T]{q: faaq.New[T](faaq.WithMaxThreads(o.maxThreads), faaq.WithSegmentSize(o.segmentSize))}
+}
+
+func (a *faaQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
+func (a *faaQueue[T]) Register() (*Handle, error)  { return register(a) }
+func (a *faaQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
+func (a *faaQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
+func (a *faaQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
+func (a *faaQueue[T]) Meta() Meta                  { return metaByName("Yang-Mellor-Crummey (YMC-style)") }
+
+// ---- Two-lock blocking queue ----
+
+type lockQueue[T any] struct {
+	q *lockq.Queue[T]
+	r *tid.Registry
+}
+
+// NewTwoLock creates the blocking two-lock Michael-Scott queue. It needs
+// no per-thread state; the registry exists only so the interface is
+// uniform (handles are accepted and ignored).
+func NewTwoLock[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	return &lockQueue[T]{q: lockq.New[T](), r: tid.NewRegistry(o.maxThreads)}
+}
+
+func (a *lockQueue[T]) registry() *tid.Registry { return a.r }
+func (a *lockQueue[T]) Register() (*Handle, error) {
+	return register(a)
+}
+func (a *lockQueue[T]) Enqueue(h *Handle, item T) {
+	checkHandle(a, h)
+	a.q.Enqueue(item)
+}
+func (a *lockQueue[T]) Dequeue(h *Handle) (T, bool) {
+	checkHandle(a, h)
+	return a.q.Dequeue()
+}
+func (a *lockQueue[T]) MaxThreads() int { return a.r.Capacity() }
+func (a *lockQueue[T]) Meta() Meta      { return metaByName("Two-lock (MS blocking)") }

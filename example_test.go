@@ -1,0 +1,74 @@
+package turnqueue_test
+
+import (
+	"fmt"
+
+	"turnqueue"
+)
+
+// The basic lifecycle: construct, register a handle, move items.
+func ExampleNewTurn() {
+	q := turnqueue.NewTurn[string](turnqueue.WithMaxThreads(4))
+	h, err := q.Register()
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+
+	q.Enqueue(h, "first")
+	q.Enqueue(h, "second")
+	for {
+		v, ok := q.Dequeue(h)
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// first
+	// second
+}
+
+// With manages the handle lifecycle for short-lived workers.
+func ExampleWith() {
+	q := turnqueue.NewTurn[int](turnqueue.WithMaxThreads(2))
+	err := turnqueue.With(q, func(h *turnqueue.Handle) {
+		q.Enqueue(h, 42)
+		if v, ok := q.Dequeue(h); ok {
+			fmt.Println(v)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// 42
+}
+
+// Every implementation is a drop-in behind the same interface.
+func ExampleQueue() {
+	for _, q := range []turnqueue.Queue[int]{
+		turnqueue.NewTurn[int](turnqueue.WithMaxThreads(2)),
+		turnqueue.NewMichaelScott[int](turnqueue.WithMaxThreads(2)),
+		turnqueue.NewKoganPetrank[int](turnqueue.WithMaxThreads(2)),
+	} {
+		_ = turnqueue.With(q, func(h *turnqueue.Handle) {
+			q.Enqueue(h, 1)
+			v, _ := q.Dequeue(h)
+			fmt.Printf("%s: %d\n", q.Meta().Name, v)
+		})
+	}
+	// Output:
+	// Turn: 1
+	// Michael-Scott (MS): 1
+	// Kogan-Petrank (KP): 1
+}
+
+// Metas drives the Table 1 report.
+func ExampleMetas() {
+	for _, m := range turnqueue.Metas()[:1] {
+		fmt.Printf("%s: enqueue %s, dequeue %s\n", m.Name, m.EnqProgress, m.DeqProgress)
+	}
+	// Output:
+	// Kogan-Petrank (KP): enqueue wf bounded, dequeue wf bounded
+}

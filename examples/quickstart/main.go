@@ -1,0 +1,82 @@
+// Quickstart: create a Turn queue, register handles, and move items
+// between producer and consumer goroutines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+
+	"turnqueue"
+)
+
+func main() {
+	const producers, consumers, perProducer = 3, 2, 1000
+
+	// MaxThreads bounds how many goroutines may hold handles at once; it
+	// is also the wait-free step bound of every operation.
+	q := turnqueue.NewTurn[string](turnqueue.WithMaxThreads(producers + consumers))
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				log.Fatalf("register producer: %v", err)
+			}
+			defer h.Close()
+			for k := 0; k < perProducer; k++ {
+				q.Enqueue(h, fmt.Sprintf("producer-%d item-%d", p, k))
+			}
+		}(p)
+	}
+
+	var received sync.WaitGroup
+	received.Add(producers * perProducer)
+	done := make(chan struct{})
+	go func() { received.Wait(); close(done) }()
+
+	counts := make([]int, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				log.Fatalf("register consumer: %v", err)
+			}
+			defer h.Close()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, ok := q.Dequeue(h); ok {
+					counts[c]++
+					received.Done()
+				} else {
+					// Empty is a normal answer, not an error; yield and
+					// poll again. Latency-critical consumers would park
+					// on their own signal instead.
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := 0
+	for c, n := range counts {
+		fmt.Printf("consumer %d received %d items\n", c, n)
+		total += n
+	}
+	fmt.Printf("total: %d items (expected %d)\n", total, producers*perProducer)
+}

@@ -1,0 +1,101 @@
+// Workpool: single-producer multi-consumer work distribution with graceful
+// shutdown — the paper's §2 observation in practice: the Turn dequeue
+// algorithm alone suffices for an SPMC queue, and the enqueue/dequeue
+// sides are independent, so one coordinator can feed many workers.
+//
+// It also demonstrates the handle lifecycle under worker churn: workers
+// join, process a batch, leave, and their registry slots are reused by
+// later workers.
+//
+// Run with:
+//
+//	go run ./examples/workpool
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+import "turnqueue"
+
+type job struct {
+	id   int
+	size int
+}
+
+func main() {
+	const slots = 8   // max simultaneous workers + 1 coordinator
+	const jobs = 5000 // total jobs
+	const waves = 3   // workers join and leave in waves
+	const perWave = 4 // workers per wave
+
+	q := turnqueue.NewTurn[job](turnqueue.WithMaxThreads(slots))
+
+	// The coordinator enqueues all jobs up front.
+	coord, err := q.Register()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < jobs; i++ {
+		q.Enqueue(coord, job{id: i, size: 100 + i%257})
+	}
+	coord.Close()
+
+	var processed atomic.Int64
+	var checksum atomic.Int64
+
+	for wave := 0; wave < waves; wave++ {
+		var wg sync.WaitGroup
+		quota := jobs / waves
+		var taken atomic.Int64
+		for w := 0; w < perWave; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each wave's workers register fresh handles; slots freed
+				// by the previous wave are recycled.
+				err := turnqueue.With(q, func(h *turnqueue.Handle) {
+					for taken.Add(1) <= int64(quota) {
+						j, ok := q.Dequeue(h)
+						if !ok {
+							runtime.Gosched()
+							taken.Add(-1)
+							continue
+						}
+						checksum.Add(int64(j.id ^ j.size))
+						processed.Add(1)
+					}
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		fmt.Printf("wave %d done: %d jobs processed so far\n", wave+1, processed.Load())
+	}
+
+	// Drain any remainder (integer division leftovers).
+	err = turnqueue.With(q, func(h *turnqueue.Handle) {
+		for {
+			j, ok := q.Dequeue(h)
+			if !ok {
+				return
+			}
+			checksum.Add(int64(j.id ^ j.size))
+			processed.Add(1)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("total processed: %d/%d, checksum %d\n", processed.Load(), jobs, checksum.Load())
+	if processed.Load() != jobs {
+		log.Fatalf("lost %d jobs", jobs-int(processed.Load()))
+	}
+}

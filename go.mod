@@ -1,0 +1,3 @@
+module turnqueue
+
+go 1.22

@@ -1,0 +1,244 @@
+package turnqueue
+
+// Cross-module integration tests: every public queue is checked against
+// the exact linearizability checker on small recorded concurrent
+// histories, under heavy oversubscription, and under handle churn.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"turnqueue/internal/lincheck"
+)
+
+// linearizableQueues lists the queues whose Dequeue-empty answers must be
+// linearizable. (All of them; the Vyukov MPSC — whose empty answer is
+// only "nothing visible" — is not part of the public Queue[T] surface.)
+func linearizableQueues() map[string]func(opts ...Option) Queue[int64] {
+	return map[string]func(opts ...Option) Queue[int64]{
+		"Turn":         NewTurn[int64],
+		"MichaelScott": NewMichaelScott[int64],
+		"KoganPetrank": NewKoganPetrank[int64],
+		"Sim":          NewSim[int64],
+		"FAA":          NewFAA[int64],
+		"TwoLock":      NewTwoLock[int64],
+	}
+}
+
+// TestLinearizabilityExact records small concurrent histories with real
+// interleavings and verifies a valid linearization exists (DFS checker).
+func TestLinearizabilityExact(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 5
+	}
+	for name, mk := range linearizableQueues() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < rounds; round++ {
+				const workers, opsEach = 3, 4
+				q := mk(WithMaxThreads(workers))
+				rec := lincheck.NewRecorder(workers)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						h, err := q.Register()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						defer h.Close()
+						for k := 0; k < opsEach; k++ {
+							v := int64(w*1000 + k)
+							s := rec.Begin()
+							q.Enqueue(h, v)
+							rec.EndEnq(w, v, s)
+							s = rec.Begin()
+							got, ok := q.Dequeue(h)
+							rec.EndDeq(w, got, ok, s)
+						}
+					}(w)
+				}
+				wg.Wait()
+				if err := lincheck.Check(rec.History()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
+// TestOversubscription runs 4x more workers than GOMAXPROCS — the §1.2
+// scenario where wait-free helping matters most because workers are
+// constantly descheduled mid-operation.
+func TestOversubscription(t *testing.T) {
+	per := 500
+	if testing.Short() {
+		per = 100
+	}
+	workers := 4 * runtime.GOMAXPROCS(0) * 2
+	if workers < 8 {
+		workers = 8
+	}
+	for name, mk := range linearizableQueues() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			q := mk(WithMaxThreads(workers))
+			var wg sync.WaitGroup
+			var consumed atomic.Int64
+			total := int64(workers * per)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h, err := q.Register()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer h.Close()
+					for k := 0; k < per; k++ {
+						q.Enqueue(h, int64(w*per+k))
+						if _, ok := q.Dequeue(h); ok {
+							consumed.Add(1)
+						}
+					}
+					// Drain stragglers cooperatively.
+					for consumed.Load() < total {
+						if _, ok := q.Dequeue(h); ok {
+							consumed.Add(1)
+						} else {
+							runtime.Gosched()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if consumed.Load() != total {
+				t.Fatalf("consumed %d, want %d", consumed.Load(), total)
+			}
+		})
+	}
+}
+
+// TestHandleChurnUnderTraffic registers and releases handles continuously
+// while other workers move items: slot recycling must never corrupt
+// per-thread state.
+func TestHandleChurnUnderTraffic(t *testing.T) {
+	q := NewTurn[int64](WithMaxThreads(6))
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Two steady workers.
+	var moved atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := q.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Close()
+			for i := int64(0); !stop.Load(); i++ {
+				q.Enqueue(h, i)
+				if _, ok := q.Dequeue(h); ok {
+					moved.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Four churners: register, do a little work, close, repeat.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				err := With(q, func(h *Handle) {
+					q.Enqueue(h, -1)
+					q.Dequeue(h)
+				})
+				if err != nil && err != ErrNoSlots {
+					t.Error(err)
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	for moved.Load() < 20000 {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestCrossQueuePipeline moves items through a chain of different queue
+// implementations, checking count and per-source order at the end.
+func TestCrossQueuePipeline(t *testing.T) {
+	const items = 5000
+	stage1 := NewTurn[int64](WithMaxThreads(3))
+	stage2 := NewMichaelScott[int64](WithMaxThreads(3))
+	stage3 := NewKoganPetrank[int64](WithMaxThreads(3))
+
+	var out []int64
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // feeder
+		defer wg.Done()
+		h, _ := stage1.Register()
+		defer h.Close()
+		for i := int64(0); i < items; i++ {
+			stage1.Enqueue(h, i)
+		}
+	}()
+	pump := func(from, to Queue[int64], n int) {
+		defer wg.Done()
+		hin, _ := from.Register()
+		defer hin.Close()
+		hout, _ := to.Register()
+		defer hout.Close()
+		for got := 0; got < n; {
+			if v, ok := from.Dequeue(hin); ok {
+				to.Enqueue(hout, v)
+				got++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+	wg.Add(2)
+	go pump(stage1, stage2, items)
+	go pump(stage2, stage3, items)
+
+	wg.Add(1)
+	go func() { // sink
+		defer wg.Done()
+		h, _ := stage3.Register()
+		defer h.Close()
+		for len(out) < items {
+			if v, ok := stage3.Dequeue(h); ok {
+				out = append(out, v)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+
+	if len(out) != items {
+		t.Fatalf("sank %d items, want %d", len(out), items)
+	}
+	// Single feeder + single pump per stage => order fully preserved.
+	for i, v := range out {
+		if v != int64(i) {
+			t.Fatalf("out[%d] = %d: order not preserved across stages", i, v)
+		}
+	}
+}

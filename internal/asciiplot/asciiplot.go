@@ -1,0 +1,179 @@
+// Package asciiplot renders simple multi-series line charts as text, so
+// the cmd/ binaries can draw Figure 1/2/3 shapes directly in a terminal
+// next to the numeric tables. Strictly presentation-layer: axes are
+// linear or log10, series are plotted with distinct glyphs, and ties on a
+// cell are resolved in series order.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on the chart.
+type Series struct {
+	Name string
+	// X and Y must have equal length; points with non-finite values are
+	// skipped.
+	X []float64
+	Y []float64
+}
+
+// Config shapes the chart.
+type Config struct {
+	Title  string
+	Width  int  // plot area columns (default 60)
+	Height int  // plot area rows (default 16)
+	LogY   bool // log10 y-axis (latency tails, throughput ratios)
+	YLabel string
+	XLabel string
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. It returns an error when there is nothing
+// plottable (no series or no finite points).
+func Render(cfg Config, series ...Series) (string, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 16
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("asciiplot: no series")
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("asciiplot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			if cfg.LogY && y <= 0 {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("asciiplot: no finite points")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	yToF := func(y float64) float64 { return y }
+	if cfg.LogY {
+		yToF = math.Log10
+		minY, maxY = yToF(minY), yToF(maxY)
+		if minY == maxY {
+			minY, maxY = minY-1, maxY+1
+		}
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) || (cfg.LogY && y <= 0) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(cfg.Width-1))
+			row := cfg.Height - 1 - int((yToF(y)-minY)/(maxY-minY)*float64(cfg.Height-1))
+			if grid[row][col] == ' ' {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		b.WriteString(cfg.Title + "\n")
+	}
+	yLo, yHi := minY, maxY
+	format := func(v float64) string {
+		if cfg.LogY {
+			v = math.Pow(10, v)
+		}
+		return humanize(v)
+	}
+	for r, row := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = pad10(format(yHi))
+		case cfg.Height - 1:
+			label = pad10(format(yLo))
+		case cfg.Height / 2:
+			label = pad10(format((yHi + yLo) / 2))
+		}
+		b.WriteString(label + " |" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", cfg.Width) + "\n")
+	b.WriteString(fmt.Sprintf("%11s %-*s%s\n", humanize(minX), cfg.Width-len(humanize(maxX)), "", humanize(maxX)))
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		b.WriteString(fmt.Sprintf("%11s x: %s   y: %s%s\n", "", cfg.XLabel, cfg.YLabel, logSuffix(cfg.LogY)))
+	}
+	for si, s := range series {
+		b.WriteString(fmt.Sprintf("%11s %c %s\n", "", glyphs[si%len(glyphs)], s.Name))
+	}
+	return b.String(), nil
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func pad10(s string) string {
+	if len(s) >= 10 {
+		return s[:10]
+	}
+	return strings.Repeat(" ", 10-len(s)) + s
+}
+
+// humanize renders axis values compactly (K/M/G suffixes, trimmed
+// decimals).
+func humanize(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return trim(fmt.Sprintf("%.1fG", v/1e9))
+	case av >= 1e6:
+		return trim(fmt.Sprintf("%.1fM", v/1e6))
+	case av >= 1e3:
+		return trim(fmt.Sprintf("%.1fK", v/1e3))
+	case av >= 10 || av == 0 || av == math.Trunc(av):
+		return trim(fmt.Sprintf("%.0f", v))
+	default:
+		return trim(fmt.Sprintf("%.2f", v))
+	}
+}
+
+func trim(s string) string {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		// strip ".0" before a suffix or end
+		s = strings.Replace(s, ".0", "", 1)
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out, err := Render(Config{Title: "demo", Width: 40, Height: 10, XLabel: "threads", YLabel: "ops/s"},
+		Series{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		Series{Name: "b", X: []float64{1, 2, 3}, Y: []float64{30, 20, 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "* a", "o b", "threads", "ops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Errorf("glyphs not plotted:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	out, err := Render(Config{LogY: true, Width: 30, Height: 8},
+		Series{Name: "tail", X: []float64{1, 2, 3, 4}, Y: []float64{100, 1000, 10000, 100000}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "100K") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+	// On a log axis, equally-spaced decades should land on roughly
+	// equally spaced rows: the plot must use more than 2 distinct rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.ContainsRune(line, '*') {
+			rows++
+		}
+	}
+	if rows < 3 {
+		t.Errorf("log plot collapsed to %d rows:\n%s", rows, out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "x", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "x", X: []float64{math.NaN()}, Y: []float64{1}}); err == nil {
+		t.Error("all-NaN accepted")
+	}
+	if _, err := Render(Config{LogY: true}, Series{Name: "x", X: []float64{1}, Y: []float64{-5}}); err == nil {
+		t.Error("all-nonpositive log-y accepted")
+	}
+}
+
+func TestSinglePointDoesNotPanic(t *testing.T) {
+	out, err := Render(Config{}, Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	if err != nil || !strings.ContainsRune(out, '*') {
+		t.Fatalf("single point: err=%v out=%q", err, out)
+	}
+}
+
+func TestHumanize(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		0.25:    "0.25",
+		1500:    "1.5K",
+		2500000: "2.5M",
+		3e9:     "3G",
+	}
+	for in, want := range cases {
+		if got := humanize(in); got != want {
+			t.Errorf("humanize(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

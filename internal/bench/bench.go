@@ -1,0 +1,94 @@
+// Package bench implements the paper's measurement procedures — the
+// latency protocol of §4.1 (Table 3, Figure 1), the pairs and burst
+// throughput microbenchmarks of §4.4 (Figures 2 and 3), and the memory
+// accounting of §4.2 (Table 4) — against every queue in this repository.
+//
+// The drivers operate on thread-indexed queues directly (internal
+// packages), with each pinned worker using its worker index as its thread
+// slot, exactly like the paper's thread_local indices.
+package bench
+
+import (
+	"turnqueue/internal/core"
+	"turnqueue/internal/faaq"
+	"turnqueue/internal/kpq"
+	"turnqueue/internal/lockq"
+	"turnqueue/internal/msq"
+	"turnqueue/internal/simq"
+	"turnqueue/internal/turnalt"
+)
+
+// Queue is the surface the drivers need: thread-indexed enqueue/dequeue.
+type Queue interface {
+	Enqueue(threadID int, v uint64)
+	Dequeue(threadID int) (uint64, bool)
+}
+
+// Factory names a queue implementation and builds instances sized for a
+// given thread count.
+type Factory struct {
+	Name string
+	New  func(maxThreads int) Queue
+}
+
+// lockAdapter gives the two-lock queue the thread-indexed signature.
+type lockAdapter struct{ q *lockq.Queue[uint64] }
+
+func (a lockAdapter) Enqueue(_ int, v uint64)      { a.q.Enqueue(v) }
+func (a lockAdapter) Dequeue(_ int) (uint64, bool) { return a.q.Dequeue() }
+
+// PaperFactories returns the three queues of the paper's microbenchmarks
+// (MS, KP, Turn) in presentation order.
+func PaperFactories() []Factory {
+	return []Factory{
+		{Name: "MS", New: func(n int) Queue { return msq.New[uint64](n) }},
+		{Name: "KP", New: func(n int) Queue { return kpq.New[uint64](kpq.WithMaxThreads(n)) }},
+		{Name: "Turn", New: func(n int) Queue { return core.New[uint64](core.WithMaxThreads(n)) }},
+	}
+}
+
+// AllFactories returns every MPMC queue, including the FK-style and
+// YMC-style baselines the paper excluded from its plots (experiment X3)
+// and the blocking two-lock queue (§1.2 motivation).
+func AllFactories() []Factory {
+	return append(PaperFactories(),
+		Factory{Name: "Sim(FK)", New: func(n int) Queue { return simq.New[uint64](simq.WithMaxThreads(n)) }},
+		Factory{Name: "FAA(YMC)", New: func(n int) Queue { return faaq.New[uint64](faaq.WithMaxThreads(n)) }},
+		Factory{Name: "TwoLock", New: func(n int) Queue { return lockAdapter{lockq.New[uint64]()} }},
+	)
+}
+
+// FactoryByName resolves a name from AllFactories or the Turn ablation
+// variants; ok is false for unknown names.
+func FactoryByName(name string) (Factory, bool) {
+	for _, f := range append(AllFactories(), TurnVariantFactories()...) {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// TurnVariantFactories are the ablation variants of the Turn queue
+// (experiments X1 and X2).
+func TurnVariantFactories() []Factory {
+	return []Factory{
+		{Name: "Turn(pool,R=0)", New: func(n int) Queue {
+			return core.New[uint64](core.WithMaxThreads(n))
+		}},
+		{Name: "Turn(pool,R=32)", New: func(n int) Queue {
+			return core.New[uint64](core.WithMaxThreads(n), core.WithHazardR(32))
+		}},
+		{Name: "Turn(gc,R=0)", New: func(n int) Queue {
+			return core.New[uint64](core.WithMaxThreads(n), core.WithReclaim(core.ReclaimGC))
+		}},
+		{Name: "Turn(noreclaim)", New: func(n int) Queue {
+			return core.New[uint64](core.WithMaxThreads(n), core.WithReclaim(core.ReclaimNone))
+		}},
+		{Name: "Turn(alt-deq)", New: func(n int) Queue {
+			// §2.3's rejected single-array dequeue design (ablation X5):
+			// one extra hazard-pointer publish per consensus-scan entry.
+			return turnalt.New[uint64](n)
+		}},
+	}
+}

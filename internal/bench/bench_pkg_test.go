@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"testing"
+
+	"turnqueue/internal/quantile"
+)
+
+func tinyLatencyConfig(threads int) LatencyConfig {
+	return LatencyConfig{Threads: threads, Bursts: 3, Warmup: 1, ItemsPerBurst: 300, Runs: 2}
+}
+
+func TestMeasureLatencyAllPaperQueues(t *testing.T) {
+	for _, f := range PaperFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res := MeasureLatency(f, tinyLatencyConfig(3))
+			if len(res.EnqRows) != 2 || len(res.DeqRows) != 2 {
+				t.Fatalf("rows: %d/%d, want 2/2", len(res.EnqRows), len(res.DeqRows))
+			}
+			for _, row := range append(res.EnqRows, res.DeqRows...) {
+				if len(row) != len(quantile.PaperQuantiles) {
+					t.Fatalf("row width %d, want %d", len(row), len(quantile.PaperQuantiles))
+				}
+				for i := 1; i < len(row); i++ {
+					if row[i] < row[i-1] {
+						t.Fatalf("quantiles not monotone: %v", row)
+					}
+				}
+				if row[0] <= 0 {
+					t.Fatalf("non-positive median latency: %v", row)
+				}
+			}
+			mins, maxs := res.EnqMinMax()
+			for i := range mins {
+				if mins[i] > maxs[i] {
+					t.Fatalf("min > max at column %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestMeasurePairs(t *testing.T) {
+	for _, f := range AllFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res := MeasurePairs(f, PairsConfig{Threads: 2, TotalPairs: 2000, Runs: 2})
+			if len(res.OpsPerSec) != 2 {
+				t.Fatalf("runs: %d", len(res.OpsPerSec))
+			}
+			if res.Median() <= 0 {
+				t.Fatalf("non-positive throughput %v", res.Median())
+			}
+		})
+	}
+}
+
+func TestMeasureBurst(t *testing.T) {
+	for _, f := range PaperFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res := MeasureBurst(f, BurstConfig{Threads: 2, ItemsPerBurst: 1000, Iterations: 3, Warmup: 1})
+			if len(res.EnqOpsPerSec) != 3 || len(res.DeqOpsPerSec) != 3 {
+				t.Fatalf("iterations: %d/%d", len(res.EnqOpsPerSec), len(res.DeqOpsPerSec))
+			}
+			enq, deq := res.Medians()
+			if enq <= 0 || deq <= 0 {
+				t.Fatalf("non-positive rates %v/%v", enq, deq)
+			}
+		})
+	}
+}
+
+func TestMeasureMemUsage(t *testing.T) {
+	rows := MeasureMemUsage()
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	byName := map[string]MemRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	turn := byName["Turn"]
+	if turn.NodeBytes != 24 {
+		t.Errorf("Turn node size = %d, want 24 (item+enqTid+deqTid+next)", turn.NodeBytes)
+	}
+	if turn.EnqReqBytes != 0 || turn.DeqReqBytes != 0 {
+		t.Errorf("Turn request sizes = %d/%d, want 0/0", turn.EnqReqBytes, turn.DeqReqBytes)
+	}
+	if turn.FixedPerThread != 24 {
+		t.Errorf("Turn fixed/thread = %d, want 24", turn.FixedPerThread)
+	}
+	kp := byName["KP"]
+	if kp.NodeBytes != 24 {
+		t.Errorf("KP node size = %d, want 24", kp.NodeBytes)
+	}
+	// The allocation-churn ordering of Table 4: KP >> Turn, and Turn
+	// around one allocation per item in GC mode.
+	if kp.AllocsPerItem <= turn.AllocsPerItem {
+		t.Errorf("KP allocs/item (%.2f) should exceed Turn's (%.2f)", kp.AllocsPerItem, turn.AllocsPerItem)
+	}
+	if turn.AllocsPerItem < 0.9 || turn.AllocsPerItem > 2.0 {
+		t.Errorf("Turn allocs/item = %.2f, want ~1", turn.AllocsPerItem)
+	}
+	if kp.AllocsPerItem < 4 {
+		t.Errorf("KP allocs/item = %.2f, want >= 4 (paper says 5+)", kp.AllocsPerItem)
+	}
+	t.Logf("allocs/item: Turn=%.2f KP=%.2f FK=%.2f YMC=%.2f MS=%.2f",
+		turn.AllocsPerItem, kp.AllocsPerItem, byName["FK-style"].AllocsPerItem,
+		byName["YMC-style"].AllocsPerItem, byName["MS"].AllocsPerItem)
+}
+
+func TestMeasureReclaimStall(t *testing.T) {
+	samples := MeasureReclaimStall(500, 4, 16)
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	last := samples[len(samples)-1]
+	first := samples[0]
+	// HP backlog must stay within its bound; epoch backlog must grow.
+	for _, s := range samples {
+		if s.HPBacklog > s.HPBound {
+			t.Fatalf("HP backlog %d exceeds bound %d at ops=%d", s.HPBacklog, s.HPBound, s.Ops)
+		}
+	}
+	if last.EpochBacklog <= first.EpochBacklog {
+		t.Fatalf("epoch backlog did not grow under a stalled reader: first=%d last=%d",
+			first.EpochBacklog, last.EpochBacklog)
+	}
+	t.Logf("after %d ops: HP backlog=%d (bound %d), epoch backlog=%d segments",
+		last.Ops, last.HPBacklog, last.HPBound, last.EpochBacklog)
+}
+
+func TestFactoryByName(t *testing.T) {
+	if _, ok := FactoryByName("Turn"); !ok {
+		t.Fatal("Turn not found")
+	}
+	if _, ok := FactoryByName("bogus"); ok {
+		t.Fatal("bogus found")
+	}
+}
+
+func TestTurnVariantsRun(t *testing.T) {
+	for _, f := range TurnVariantFactories() {
+		res := MeasurePairs(f, PairsConfig{Threads: 2, TotalPairs: 1000, Runs: 1})
+		if res.Median() <= 0 {
+			t.Fatalf("%s: bad throughput", f.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"latency": func() { MeasureLatency(PaperFactories()[0], LatencyConfig{}) },
+		"pairs":   func() { MeasurePairs(PaperFactories()[0], PairsConfig{}) },
+		"burst":   func() { MeasureBurst(PaperFactories()[0], BurstConfig{}) },
+		"reclaim": func() { MeasureReclaimStall(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s zero config did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

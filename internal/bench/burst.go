@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"turnqueue/internal/harness"
+	"turnqueue/internal/stats"
+)
+
+// BurstConfig parameterizes the second §4.4 microbenchmark (Figure 3):
+// alternating all-threads-enqueue and all-threads-dequeue bursts, timing
+// each burst separately so enqueue and dequeue throughput are measured in
+// isolation. The paper uses bursts of 10^6 items, 10 measured iterations,
+// one warmup.
+type BurstConfig struct {
+	Threads       int
+	ItemsPerBurst int
+	Iterations    int
+	Warmup        int
+}
+
+// DefaultBurstConfig returns a laptop-scale configuration.
+func DefaultBurstConfig(threads int) BurstConfig {
+	return BurstConfig{Threads: threads, ItemsPerBurst: 50000, Iterations: 10, Warmup: 1}
+}
+
+// Validate panics on nonsensical parameters.
+func (c BurstConfig) Validate() {
+	if c.Threads <= 0 || c.ItemsPerBurst < c.Threads || c.Iterations <= 0 || c.Warmup < 0 {
+		panic(fmt.Sprintf("bench: invalid burst config %+v", c))
+	}
+}
+
+// BurstResult reports per-iteration enqueue and dequeue throughput in
+// operations per second.
+type BurstResult struct {
+	EnqOpsPerSec []float64
+	DeqOpsPerSec []float64
+}
+
+// Medians returns the median enqueue and dequeue rates.
+func (r BurstResult) Medians() (enq, deq float64) {
+	return stats.Median(r.EnqOpsPerSec), stats.Median(r.DeqOpsPerSec)
+}
+
+// MeasureBurst runs the burst microbenchmark: per iteration, all threads
+// enqueue their share (phase timed between barriers), then all threads
+// dequeue their share (timed likewise).
+func MeasureBurst(f Factory, cfg BurstConfig) BurstResult {
+	cfg.Validate()
+	q := f.New(cfg.Threads)
+	barrier := harness.NewBarrier(cfg.Threads)
+	total := cfg.Warmup + cfg.Iterations
+	// Phase timestamps are taken by worker 0 between barrier crossings;
+	// the barriers guarantee they bracket every thread's work.
+	enqTimes := make([]time.Duration, 0, total)
+	deqTimes := make([]time.Duration, 0, total)
+
+	harness.RunPinned(cfg.Threads, func(w int) {
+		share := harness.Split(cfg.ItemsPerBurst, cfg.Threads, w)
+		var phaseStart time.Time
+		for it := 0; it < total; it++ {
+			barrier.Wait()
+			if w == 0 {
+				phaseStart = time.Now()
+			}
+			barrier.Wait()
+			for i := 0; i < share; i++ {
+				q.Enqueue(w, uint64(i))
+			}
+			barrier.Wait()
+			if w == 0 {
+				enqTimes = append(enqTimes, time.Since(phaseStart))
+				phaseStart = time.Now()
+			}
+			barrier.Wait()
+			for i := 0; i < share; i++ {
+				if _, ok := q.Dequeue(w); !ok {
+					panic(fmt.Sprintf("bench: %s dequeue empty during burst", f.Name))
+				}
+			}
+			barrier.Wait()
+			if w == 0 {
+				deqTimes = append(deqTimes, time.Since(phaseStart))
+			}
+		}
+	})
+
+	var res BurstResult
+	for it := cfg.Warmup; it < total; it++ {
+		res.EnqOpsPerSec = append(res.EnqOpsPerSec, float64(cfg.ItemsPerBurst)/enqTimes[it].Seconds())
+		res.DeqOpsPerSec = append(res.DeqOpsPerSec, float64(cfg.ItemsPerBurst)/deqTimes[it].Seconds())
+	}
+	return res
+}

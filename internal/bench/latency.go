@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"turnqueue/internal/harness"
+	"turnqueue/internal/quantile"
+)
+
+// LatencyConfig parameterizes the §4.1 procedure. The paper's full-scale
+// values are Threads=30, Bursts=200, Warmup=10, ItemsPerBurst=1e6, Runs=7;
+// DefaultLatencyConfig scales them to laptop size.
+type LatencyConfig struct {
+	Threads       int
+	Bursts        int // measured enqueue+dequeue burst cycles
+	Warmup        int // unmeasured leading bursts
+	ItemsPerBurst int // items per burst, split across threads
+	Runs          int
+}
+
+// DefaultLatencyConfig returns a laptop-scale configuration for threads
+// workers.
+func DefaultLatencyConfig(threads int) LatencyConfig {
+	return LatencyConfig{Threads: threads, Bursts: 40, Warmup: 4, ItemsPerBurst: 20000, Runs: 5}
+}
+
+// Validate panics on nonsensical parameters.
+func (c LatencyConfig) Validate() {
+	if c.Threads <= 0 || c.Bursts <= 0 || c.Warmup < 0 || c.ItemsPerBurst < c.Threads || c.Runs <= 0 {
+		panic(fmt.Sprintf("bench: invalid latency config %+v", c))
+	}
+}
+
+// LatencyResult holds, for each run, the quantile row (one value per
+// quantile.PaperQuantiles entry, in nanoseconds) for both operations.
+type LatencyResult struct {
+	EnqRows [][]int64
+	DeqRows [][]int64
+}
+
+// EnqMinMax reduces the runs to Table 3's min-max presentation.
+func (r LatencyResult) EnqMinMax() (mins, maxs []int64) {
+	return quantile.MinMaxOverRuns(r.EnqRows)
+}
+
+// DeqMinMax reduces the runs to Table 3's min-max presentation.
+func (r LatencyResult) DeqMinMax() (mins, maxs []int64) {
+	return quantile.MinMaxOverRuns(r.DeqRows)
+}
+
+// EnqMedian reduces the runs to Figure 1's median-of-runs points.
+func (r LatencyResult) EnqMedian() []int64 { return quantile.MedianOverRuns(r.EnqRows) }
+
+// DeqMedian reduces the runs to Figure 1's median-of-runs points.
+func (r LatencyResult) DeqMedian() []int64 { return quantile.MedianOverRuns(r.DeqRows) }
+
+// MeasureLatency runs the §4.1 procedure: every thread pre-allocates its
+// sample arrays; each burst cycle has all threads enqueue their share of
+// ItemsPerBurst (timing every call), synchronize on a barrier, dequeue
+// their share (timing every call), and synchronize again. Warmup bursts
+// are not recorded. After each run, per-thread samples are aggregated,
+// sorted, and read at the paper's quantiles.
+func MeasureLatency(f Factory, cfg LatencyConfig) LatencyResult {
+	cfg.Validate()
+	var res LatencyResult
+	for run := 0; run < cfg.Runs; run++ {
+		enqRow, deqRow := latencyOneRun(f, cfg)
+		res.EnqRows = append(res.EnqRows, enqRow)
+		res.DeqRows = append(res.DeqRows, deqRow)
+	}
+	return res
+}
+
+func latencyOneRun(f Factory, cfg LatencyConfig) (enqRow, deqRow []int64) {
+	q := f.New(cfg.Threads)
+	barrier := harness.NewBarrier(cfg.Threads)
+	enqSamples := make([][]int64, cfg.Threads)
+	deqSamples := make([][]int64, cfg.Threads)
+
+	harness.RunPinned(cfg.Threads, func(w int) {
+		share := harness.Split(cfg.ItemsPerBurst, cfg.Threads, w)
+		// Pre-allocate the measurement arrays before any timed work, as
+		// the paper prescribes, so recording never allocates.
+		enq := make([]int64, 0, share*cfg.Bursts)
+		deq := make([]int64, 0, share*cfg.Bursts)
+		for b := 0; b < cfg.Warmup+cfg.Bursts; b++ {
+			measured := b >= cfg.Warmup
+			for i := 0; i < share; i++ {
+				start := time.Now()
+				q.Enqueue(w, uint64(i))
+				d := time.Since(start)
+				if measured {
+					enq = append(enq, d.Nanoseconds())
+				}
+			}
+			barrier.Wait()
+			for i := 0; i < share; i++ {
+				start := time.Now()
+				if _, ok := q.Dequeue(w); !ok {
+					panic(fmt.Sprintf("bench: %s dequeue empty during burst (lost item)", f.Name))
+				}
+				d := time.Since(start)
+				if measured {
+					deq = append(deq, d.Nanoseconds())
+				}
+			}
+			barrier.Wait()
+		}
+		enqSamples[w] = enq
+		deqSamples[w] = deq
+	})
+
+	enqDist := quantile.Aggregate(enqSamples...)
+	deqDist := quantile.Aggregate(deqSamples...)
+	return enqDist.Row(quantile.PaperQuantiles), deqDist.Row(quantile.PaperQuantiles)
+}

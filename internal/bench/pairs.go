@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"turnqueue/internal/harness"
+	"turnqueue/internal/stats"
+	"turnqueue/internal/xrand"
+)
+
+// workSink defeats dead-code elimination of the spin loop.
+var workSink atomic.Uint64
+
+// spinWork burns roughly ns nanoseconds of CPU without syscalls or
+// yields, approximating the "random amount of work" of the MS/YMC
+// methodology. Calibration is coarse (a handful of ALU ops per ns-ish
+// unit); precision is irrelevant, decoupling contention is the point.
+func spinWork(ns int) {
+	var acc uint64 = 88172645463325252
+	for i := 0; i < ns; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+	}
+	workSink.Store(acc)
+}
+
+// PairsConfig parameterizes the first §4.4 microbenchmark (Figure 2):
+// every thread performs enqueue-then-dequeue pairs until the per-thread
+// share of TotalPairs is done. The paper runs 10^8 pairs and plots the
+// median of 5 runs.
+type PairsConfig struct {
+	Threads    int
+	TotalPairs int
+	Runs       int
+	// RandomWork inserts 50-100ns of spin work between operations — the
+	// methodology of the MS and YMC papers that §4.1 deliberately omits
+	// ("such a delay would artificially reduce contention"). Experiment
+	// X6 measures both settings to show what the choice changes.
+	RandomWork bool
+}
+
+// DefaultPairsConfig returns a laptop-scale configuration.
+func DefaultPairsConfig(threads int) PairsConfig {
+	return PairsConfig{Threads: threads, TotalPairs: 400000, Runs: 5}
+}
+
+// Validate panics on nonsensical parameters.
+func (c PairsConfig) Validate() {
+	if c.Threads <= 0 || c.TotalPairs < c.Threads || c.Runs <= 0 {
+		panic(fmt.Sprintf("bench: invalid pairs config %+v", c))
+	}
+}
+
+// PairsResult reports operations per second (2 ops per pair) per run.
+type PairsResult struct {
+	OpsPerSec []float64
+}
+
+// Median returns the median ops/sec over runs, Figure 2's plotted value.
+func (r PairsResult) Median() float64 { return stats.Median(r.OpsPerSec) }
+
+// MeasurePairs runs the pairs microbenchmark.
+func MeasurePairs(f Factory, cfg PairsConfig) PairsResult {
+	cfg.Validate()
+	var res PairsResult
+	for run := 0; run < cfg.Runs; run++ {
+		q := f.New(cfg.Threads)
+		// Seed one item per thread so the queue is never empty: the
+		// paper's pair workload keeps about one outstanding item per
+		// thread, and a dequeue on a transiently empty queue would
+		// otherwise skew the measurement with retry logic.
+		for w := 0; w < cfg.Threads; w++ {
+			q.Enqueue(w, uint64(w))
+		}
+		start := time.Now()
+		harness.RunPinned(cfg.Threads, func(w int) {
+			share := harness.Split(cfg.TotalPairs, cfg.Threads, w)
+			rng := xrand.NewXoshiro256(uint64(w) + 1)
+			for i := 0; i < share; i++ {
+				q.Enqueue(w, uint64(i))
+				if cfg.RandomWork {
+					spinWork(50 + rng.Intn(51))
+				}
+				if _, ok := q.Dequeue(w); !ok {
+					panic(fmt.Sprintf("bench: %s dequeue empty in pairs workload", f.Name))
+				}
+				if cfg.RandomWork {
+					spinWork(50 + rng.Intn(51))
+				}
+			}
+		})
+		elapsed := time.Since(start).Seconds()
+		res.OpsPerSec = append(res.OpsPerSec, float64(2*cfg.TotalPairs)/elapsed)
+	}
+	return res
+}

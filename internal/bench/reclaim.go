@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+
+	"turnqueue/internal/core"
+	"turnqueue/internal/faaq"
+)
+
+// ReclaimSample is one point of the §3 stalled-reader experiment (X4):
+// after Ops enqueue+dequeue pairs with one thread stalled mid-operation,
+// how many retired-but-unreclaimed objects each scheme is holding.
+type ReclaimSample struct {
+	Ops           int
+	HPBacklog     int // Turn queue, stalled thread holding a hazard pointer
+	HPBound       int // theoretical HP bound (constant)
+	EpochBacklog  int // FAA queue, stalled thread inside an epoch
+	EpochSegItems int // backlog expressed in items (segments * segment size)
+}
+
+// MeasureReclaimStall reproduces the paper's §3 argument as a measurement:
+// hazard pointers keep the unreclaimed backlog bounded regardless of a
+// stalled thread, while epoch-based reclamation's backlog grows without
+// bound until the stalled reader resumes.
+//
+// Thread 1 of each queue is "stalled": for the Turn queue it has published
+// a hazard pointer on a node and never cleared it; for the FAA queue it
+// has Entered an epoch and never Exited. Thread 0 then churns
+// enqueue+dequeue pairs, sampling both backlogs every opsPerStep pairs.
+func MeasureReclaimStall(opsPerStep, steps, segmentSize int) []ReclaimSample {
+	if opsPerStep <= 0 || steps <= 0 || segmentSize <= 0 {
+		panic(fmt.Sprintf("bench: invalid reclaim config %d/%d/%d", opsPerStep, steps, segmentSize))
+	}
+	turn := core.New[uint64](core.WithMaxThreads(2))
+	faa := faaq.New[uint64](faaq.WithMaxThreads(2), faaq.WithSegmentSize(segmentSize))
+
+	// Stall thread 1 of the Turn queue while it "uses" the current head:
+	// protect it and walk away, as a descheduled or crashed thread would.
+	turn.Enqueue(1, 0)
+	turn.Hazard().ProtectPtr(0, 1, turnHeadNode(turn))
+	// Stall thread 1 of the FAA queue inside its read-side section.
+	faa.Epochs().Enter(1)
+
+	var samples []ReclaimSample
+	ops := 0
+	for s := 0; s < steps; s++ {
+		for i := 0; i < opsPerStep; i++ {
+			turn.Enqueue(0, uint64(i))
+			if _, ok := turn.Dequeue(0); !ok {
+				panic("bench: turn dequeue empty in reclaim experiment")
+			}
+			faa.Enqueue(0, uint64(i))
+			if _, ok := faa.Dequeue(0); !ok {
+				panic("bench: faa dequeue empty in reclaim experiment")
+			}
+		}
+		ops += opsPerStep
+		samples = append(samples, ReclaimSample{
+			Ops:           ops,
+			HPBacklog:     turn.Hazard().Backlog(),
+			HPBound:       turn.Hazard().BacklogBound(),
+			EpochBacklog:  faa.Epochs().Backlog(),
+			EpochSegItems: faa.Epochs().Backlog() * segmentSize,
+		})
+	}
+	return samples
+}
+
+// turnHeadNode fetches the current head node of a Turn queue for the
+// stall simulation. Only used by the experiment above.
+func turnHeadNode(q *core.Queue[uint64]) *core.Node[uint64] {
+	return q.HeadForTest()
+}

@@ -1,0 +1,56 @@
+package core
+
+// Fuzz target: a byte stream drives an operation sequence (including
+// thread-slot choice and reclamation mode) that is checked against the
+// model queue. `go test -fuzz=FuzzSequentialModel ./internal/core` for a
+// real fuzzing session; the seed corpus runs as a normal test.
+
+import (
+	"testing"
+)
+
+func FuzzSequentialModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x82, 0x43, 0x04, 0xc5}, uint8(0))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00}, uint8(1))
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60}, uint8(2))
+	f.Fuzz(func(t *testing.T, script []byte, modeRaw uint8) {
+		const maxThreads = 4
+		q := New[int](WithMaxThreads(maxThreads), WithReclaim(ReclaimMode(modeRaw%3)))
+		var model []int
+		next := 0
+		for _, b := range script {
+			tid := int(b>>1) % maxThreads
+			if b&1 == 0 {
+				q.Enqueue(tid, next)
+				model = append(model, next)
+				next++
+			} else {
+				gv, gok := q.Dequeue(tid)
+				if len(model) == 0 {
+					if gok {
+						t.Fatalf("dequeue on empty returned %d", gv)
+					}
+					continue
+				}
+				if !gok {
+					t.Fatalf("dequeue empty with %d items in model", len(model))
+				}
+				if gv != model[0] {
+					t.Fatalf("dequeue = %d, model head = %d", gv, model[0])
+				}
+				model = model[1:]
+			}
+		}
+		// Drain and compare the residue.
+		for tid := 0; len(model) > 0; tid = (tid + 1) % maxThreads {
+			gv, gok := q.Dequeue(tid)
+			if !gok || gv != model[0] {
+				t.Fatalf("drain: got (%d,%v), want (%d,true)", gv, gok, model[0])
+			}
+			model = model[1:]
+		}
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("residual item %d after drain", v)
+		}
+	})
+}

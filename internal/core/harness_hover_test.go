@@ -1,0 +1,86 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// runMPMCHover is runMPMC with throttled producers (see qtest.HoverEmpty;
+// duplicated here because this package's harness predates qtest).
+func runMPMCHover(t *testing.T, q *Queue[item], producers, consumers, perProducer int) {
+	t.Helper()
+	total := producers * perProducer
+	var wg sync.WaitGroup
+	results := make([][]item, consumers)
+	var consumed sync.WaitGroup
+	consumed.Add(total)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("no slot")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for k := 0; k < perProducer; k++ {
+				q.Enqueue(slot, item{p, k})
+				runtime.Gosched()
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("no slot")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := q.Dequeue(slot); ok {
+					results[c] = append(results[c], v)
+					consumed.Done()
+				} else {
+					// Yield on empty: spinning consumers would otherwise
+					// starve the throttled producers on a single-CPU box
+					// (Go preempts non-yielding goroutines only every
+					// ~10ms), collapsing throughput without exercising
+					// the queue any harder.
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	seen := make(map[item]int, total)
+	for c := range results {
+		last := map[int]int{}
+		for _, v := range results[c] {
+			seen[v]++
+			if prev, ok := last[v.p]; ok && v.k <= prev {
+				t.Fatalf("consumer %d: producer %d out of order (%d then %d)", c, v.p, prev, v.k)
+			}
+			last[v.p] = v.k
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("got %d distinct items, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %+v seen %d times", v, n)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package core implements the Turn queue — the paper's primary
+// contribution (§2): a linearizable, memory-unbounded, multi-producer
+// multi-consumer queue whose enqueue and dequeue are wait-free bounded by
+// the number of threads, with an integrated wait-free memory reclamation
+// based on hazard pointers.
+//
+// The implementation is a line-for-line port of the paper's Algorithms 1-4
+// (C++14) to Go, with two documented substitutions (see DESIGN.md §1):
+// thread_local indices become explicit tid arguments backed by
+// internal/tid, and `delete node` becomes recycling through a per-thread
+// node pool so that hazard pointers continue to protect against real ABA
+// under Go's garbage collector.
+package core
+
+import "sync/atomic"
+
+// IdxNone is the paper's IDX_NONE: the deqTid value of a node not yet
+// assigned to any dequeue request.
+const IdxNone int32 = -1
+
+// Node is the paper's Algorithm 1. It is the only object the queue
+// allocates: one per enqueued item, carrying the item itself, the link to
+// the next node, and the two consensus fields.
+//
+//	enqTid — index of the thread that enqueued the node. Read by every
+//	         thread during the enqueue turn scan but written only before
+//	         the node is published, so it needs no atomicity (the atomic
+//	         publication of the node pointer orders it).
+//	deqTid — index of the thread whose dequeue request this node satisfies;
+//	         claimed by CAS from IdxNone, after which it never changes for
+//	         the node's lifetime (paper Invariant 9).
+type Node[T any] struct {
+	item   T
+	enqTid int32
+	deqTid atomic.Int32
+	next   atomic.Pointer[Node[T]]
+}
+
+// reset prepares a (fresh or recycled) node for publication as a new
+// enqueue request. It runs strictly before the node becomes shared again,
+// so plain stores suffice except deqTid, which keeps its atomic type.
+func (n *Node[T]) reset(item T, tid int32) {
+	n.item = item
+	n.enqTid = tid
+	n.deqTid.Store(IdxNone)
+	n.next.Store(nil)
+}
+
+// clearItem zeroes the item so a recycled or pooled node does not pin the
+// previously enqueued value for the garbage collector.
+func (n *Node[T]) clearItem() {
+	var zero T
+	n.item = zero
+}
+
+// casDeqTid is the paper's node.casDeqTid(IDX_NONE, id): the single-shot
+// consensus that assigns the node to one dequeue request.
+func (n *Node[T]) casDeqTid(old, new int32) bool {
+	return n.deqTid.CompareAndSwap(old, new)
+}
+
+// Item returns the node's item. Exported within the package boundary for
+// tests that validate invariants on captured nodes.
+func (n *Node[T]) Item() T { return n.item }
+
+// EnqTid returns the enqueuing thread index (diagnostics/tests).
+func (n *Node[T]) EnqTid() int32 { return n.enqTid }
+
+// DeqTid returns the current dequeue assignment (diagnostics/tests).
+func (n *Node[T]) DeqTid() int32 { return n.deqTid.Load() }
+
+// Next returns the successor node (diagnostics/tests).
+func (n *Node[T]) Next() *Node[T] { return n.next.Load() }

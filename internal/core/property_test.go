@@ -1,0 +1,201 @@
+package core
+
+// Property-based tests (testing/quick): random operation sequences are
+// checked against a trivially correct model queue, sequentially and under
+// randomized concurrent shapes.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"turnqueue/internal/xrand"
+)
+
+// model is the reference FIFO.
+type model struct{ items []int }
+
+func (m *model) enqueue(v int) { m.items = append(m.items, v) }
+func (m *model) dequeue() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// TestQuickSequentialModel: any single-threaded sequence of operations
+// behaves exactly like the model, for any maxThreads and any slot used.
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(seed uint64, maxThreadsRaw, tidRaw uint8, opsRaw uint16) bool {
+		maxThreads := int(maxThreadsRaw%8) + 1
+		tid := int(tidRaw) % maxThreads
+		nOps := int(opsRaw % 512)
+		q := New[int](WithMaxThreads(maxThreads))
+		m := &model{}
+		rng := xrand.NewXoshiro256(seed)
+		next := 0
+		for i := 0; i < nOps; i++ {
+			if rng.Intn(2) == 0 {
+				q.Enqueue(tid, next)
+				m.enqueue(next)
+				next++
+			} else {
+				gv, gok := q.Dequeue(tid)
+				wv, wok := m.dequeue()
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			}
+		}
+		// Drain both and compare.
+		for {
+			gv, gok := q.Dequeue(tid)
+			wv, wok := m.dequeue()
+			if gok != wok || (gok && gv != wv) {
+				return false
+			}
+			if !gok {
+				return true
+			}
+		}
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSequentialModelAcrossSlots: alternating the slot used between
+// operations (simulating a queue accessed from a rotating worker pool)
+// preserves model equivalence.
+func TestQuickSequentialModelAcrossSlots(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		const maxThreads = 5
+		nOps := int(opsRaw % 512)
+		q := New[int](WithMaxThreads(maxThreads))
+		m := &model{}
+		rng := xrand.NewXoshiro256(seed)
+		next := 0
+		for i := 0; i < nOps; i++ {
+			tid := rng.Intn(maxThreads)
+			if rng.Intn(2) == 0 {
+				q.Enqueue(tid, next)
+				m.enqueue(next)
+				next++
+			} else {
+				gv, gok := q.Dequeue(tid)
+				wv, wok := m.dequeue()
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConcurrentShapes: randomized producer/consumer splits and item
+// counts preserve exactly-once delivery and per-producer order.
+func TestQuickConcurrentShapes(t *testing.T) {
+	f := func(pRaw, cRaw uint8, perRaw uint16) bool {
+		producers := int(pRaw%4) + 1
+		consumers := int(cRaw%4) + 1
+		per := int(perRaw%400) + 50
+		q := New[[2]int](WithMaxThreads(producers + consumers))
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for k := 0; k < per; k++ {
+					q.Enqueue(p, [2]int{p, k})
+				}
+			}(p)
+		}
+		var mu sync.Mutex
+		seen := make(map[[2]int]bool)
+		lastPer := make([]map[int]int, consumers)
+		violated := false
+		var remaining sync.WaitGroup
+		remaining.Add(producers * per)
+		done := make(chan struct{})
+		go func() { remaining.Wait(); close(done) }()
+		for c := 0; c < consumers; c++ {
+			lastPer[c] = map[int]int{}
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				tid := producers + c
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					v, ok := q.Dequeue(tid)
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					mu.Lock()
+					if seen[v] {
+						violated = true
+					}
+					seen[v] = true
+					if last, ok := lastPer[c][v[0]]; ok && v[1] <= last {
+						violated = true
+					}
+					lastPer[c][v[0]] = v[1]
+					mu.Unlock()
+					remaining.Done()
+				}
+			}(c)
+		}
+		wg.Wait()
+		return !violated && len(seen) == producers*per
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReclaimModesEquivalent: all three reclamation modes produce
+// model-identical sequential behaviour.
+func TestQuickReclaimModesEquivalent(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16, modeRaw uint8) bool {
+		mode := ReclaimMode(modeRaw % 3)
+		nOps := int(opsRaw % 300)
+		q := New[int](WithMaxThreads(2), WithReclaim(mode))
+		m := &model{}
+		rng := xrand.NewXoshiro256(seed)
+		next := 0
+		for i := 0; i < nOps; i++ {
+			tid := rng.Intn(2)
+			if rng.Intn(3) < 2 {
+				q.Enqueue(tid, next)
+				m.enqueue(next)
+				next++
+			} else {
+				gv, gok := q.Dequeue(tid)
+				wv, wok := m.dequeue()
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

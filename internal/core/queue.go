@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+// Hazard-pointer slot indices, matching the paper's kHpTail/kHpHead/
+// kHpNext/kHpDeq. A thread runs at most one operation at a time, so the
+// enqueue-side kHpTail shares slot 0 with the dequeue-side kHpHead.
+const (
+	hpTail = 0
+	hpHead = 0
+	hpNext = 1
+	hpDeq  = 2
+	numHPs = 3
+)
+
+// ReclaimMode selects how the queue disposes of reclaimable nodes.
+type ReclaimMode int
+
+const (
+	// ReclaimPool recycles reclaimed nodes through per-thread free lists —
+	// the faithful analogue of the paper's `delete` + `new`, under which a
+	// premature reclamation manifests as real ABA corruption. Default.
+	ReclaimPool ReclaimMode = iota
+	// ReclaimGC runs the full hazard-pointer protocol but drops reclaimed
+	// nodes for the garbage collector to free (ablation X2).
+	ReclaimGC
+	// ReclaimNone skips retire entirely, leaving all reclamation to the
+	// garbage collector. Only safe because of Go's GC; it measures what the
+	// wait-free reclamation costs per operation (ablation X2).
+	ReclaimNone
+)
+
+// Queue is the Turn queue of §2. All operations take the caller's thread
+// slot in [0, MaxThreads()), obtained from the queue's Registry.
+type Queue[T any] struct {
+	maxThreads int
+	mode       ReclaimMode
+
+	head atomic.Pointer[Node[T]]
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Pointer[Node[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	// enqueuers[i] non-nil publishes thread i's intent to enqueue that
+	// node; deqself[i]==deqhelp[i] publishes an open dequeue request.
+	enqueuers []pad.PointerSlot[Node[T]]
+	deqself   []pad.PointerSlot[Node[T]]
+	deqhelp   []pad.PointerSlot[Node[T]]
+
+	hp       *hazard.Domain[Node[T]]
+	pool     *nodePool[T]
+	registry *tid.Registry
+
+	// Overrun counters: how often a helping loop needed more than the
+	// paper's maxThreads iterations (see the Enqueue/Dequeue doc comments).
+	enqOverruns pad.Int64Slot
+	deqOverruns pad.Int64Slot
+}
+
+// OverrunStats reports how many enqueue/dequeue calls exceeded the paper's
+// maxThreads loop bound before completing. The reproduction expects both
+// to stay zero; a non-zero value would be evidence against the poster's
+// wait-free-bounded claim under Go's scheduler.
+func (q *Queue[T]) OverrunStats() (enq, deq int64) {
+	return q.enqOverruns.V.Load(), q.deqOverruns.V.Load()
+}
+
+// Option configures a Queue.
+type Option func(*qconfig)
+
+type qconfig struct {
+	maxThreads int
+	mode       ReclaimMode
+	hpR        int
+}
+
+// WithMaxThreads sets the MAX_THREADS bound: the capacity of every
+// per-thread array and the wait-free step bound of both operations.
+func WithMaxThreads(n int) Option { return func(c *qconfig) { c.maxThreads = n } }
+
+// WithReclaim selects the reclamation mode (default ReclaimPool).
+func WithReclaim(m ReclaimMode) Option { return func(c *qconfig) { c.mode = m } }
+
+// WithHazardR sets the hazard-pointer R scan threshold (default 0, the
+// paper's choice; ablation X1).
+func WithHazardR(r int) Option { return func(c *qconfig) { c.hpR = r } }
+
+// New creates a Turn queue. The queue initially holds a sentinel node with
+// enqTid 0 (any index in range would do, §2), pointed to by both head and
+// tail, and each thread's deqself/deqhelp entries point to two distinct
+// dummy nodes so that every dequeue request starts closed.
+func New[T any](opts ...Option) *Queue[T] {
+	cfg := qconfig{maxThreads: tid.DefaultMaxThreads, mode: ReclaimPool}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxThreads <= 0 {
+		panic(fmt.Sprintf("core: maxThreads must be positive, got %d", cfg.maxThreads))
+	}
+	q := &Queue[T]{
+		maxThreads: cfg.maxThreads,
+		mode:       cfg.mode,
+		enqueuers:  make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
+		deqself:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
+		deqhelp:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
+		registry:   tid.NewRegistry(cfg.maxThreads),
+	}
+	q.pool = newNodePool[T](cfg.maxThreads)
+	deleter := q.deleteNode
+	if cfg.mode == ReclaimGC {
+		deleter = func(int, *Node[T]) {}
+	}
+	q.hp = hazard.New[Node[T]](cfg.maxThreads, numHPs, deleter, hazard.WithR(cfg.hpR))
+
+	sentinel := new(Node[T])
+	sentinel.enqTid = 0
+	sentinel.deqTid.Store(0)
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	for i := 0; i < cfg.maxThreads; i++ {
+		q.deqself[i].P.Store(new(Node[T]))
+		q.deqhelp[i].P.Store(new(Node[T]))
+	}
+	return q
+}
+
+// deleteNode is the hazard-pointer deleter for ReclaimPool mode.
+func (q *Queue[T]) deleteNode(threadID int, nd *Node[T]) {
+	q.pool.put(threadID, nd)
+}
+
+// MaxThreads returns the thread bound.
+func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// Registry returns the queue's thread-slot registry. Workers call
+// Registry().Acquire() once, use the slot for every operation, and
+// Release() it when done.
+func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+
+// Hazard exposes the queue's hazard-pointer domain for the reclamation
+// experiments and tests.
+func (q *Queue[T]) Hazard() *hazard.Domain[Node[T]] { return q.hp }
+
+// PoolStats reports node-pool counters (allocs, reuses, drops).
+func (q *Queue[T]) PoolStats() (allocs, reuses, drops int64) { return q.pool.Stats() }
+
+// HeadForTest returns the current head node. It exists for the reclaim
+// experiment and invariant tests; production callers have no use for it.
+func (q *Queue[T]) HeadForTest() *Node[T] { return q.head.Load() }
+
+// TailForTest returns the current tail node, for tests.
+func (q *Queue[T]) TailForTest() *Node[T] { return q.tail.Load() }
+
+// hardIterCap is a defensive ceiling on the helping loops. The paper's
+// bound is maxThreads iterations; reaching this cap instead means the
+// implementation has corrupted an invariant, so we crash loudly rather
+// than spin forever or return garbage.
+const hardIterCap = 1 << 22
+
+// Enqueue inserts item at the tail of the queue. It is the paper's
+// Algorithm 2, wait-free bounded: after publishing the request, at most
+// maxThreads-1 other nodes can be inserted ahead of it (Invariant 5), so
+// the helping loop completes in O(maxThreads) iterations.
+//
+// Deviation from the paper's listing: Algorithm 2 runs the loop exactly
+// maxThreads times and then nulls its own enqueuers entry, relying on
+// Invariant 5 to conclude the node was inserted. We instead loop until the
+// entry is observed nil — which by (a strengthened) Invariant 6 happens
+// only after the node reached the tail — and count iterations beyond the
+// paper's bound in OverrunStats. On the paper's own argument the extra
+// iterations never execute; if an adversarial schedule ever exceeds the
+// bound, this version keeps helping instead of silently cancelling an
+// uninserted request, and the overrun becomes measurable.
+func (q *Queue[T]) Enqueue(threadID int, item T) {
+	q.checkTid(threadID)
+	myNode := q.allocNode(threadID, item)
+	q.enqueuers[threadID].P.Store(myNode)
+	// Our request is complete when the entry is nulled by a helper (or by
+	// ourselves, via the Invariant 7 clearing below) — which can happen
+	// only once the node has been at the tail, i.e. inserted.
+	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
+		if i == q.maxThreads {
+			q.enqOverruns.V.Add(1)
+		}
+		if i == hardIterCap {
+			panic("core: enqueue helping loop exceeded hard cap; queue invariant violated")
+		}
+		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
+		if ltail != q.tail.Load() {
+			continue // tail advanced: one enqueue completed; take next step
+		}
+		// The node at the tail was the last request satisfied; clear its
+		// entry before helping the next request so it cannot be inserted
+		// twice (Invariant 7).
+		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
+			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
+		}
+		// Turn scan: the first non-null request to the right of the
+		// current turn (the tail node's enqTid) is the one everybody
+		// helps next.
+		for j := 1; j < q.maxThreads+1; j++ {
+			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].P.Load()
+			if nodeToHelp == nil {
+				continue
+			}
+			ltail.next.CompareAndSwap(nil, nodeToHelp) // Invariant 1
+			break
+		}
+		lnext := ltail.next.Load()
+		if lnext != nil {
+			q.tail.CompareAndSwap(ltail, lnext) // Invariant 2
+		}
+	}
+	q.hp.Clear(threadID)
+}
+
+// Dequeue removes and returns the item at the head of the queue, or
+// ok=false if the queue is empty. It is the paper's Algorithm 3,
+// wait-free bounded by maxThreads.
+//
+// Deviation, mirroring Enqueue: the paper's listing runs the loop exactly
+// maxThreads times and then reads deqhelp assuming the request completed.
+// We loop until deqhelp actually changed (the request-completed condition
+// itself), counting iterations beyond the paper's bound in OverrunStats,
+// so a bound violation can never surface as a stale item.
+func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	q.checkTid(threadID)
+	prReq := q.deqself[threadID].P.Load() // previous request, to retire at the end
+	myReq := q.deqhelp[threadID].P.Load()
+	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
+	for i := 0; q.deqhelp[threadID].P.Load() == myReq; i++ {
+		if i == q.maxThreads {
+			q.deqOverruns.V.Add(1)
+		}
+		if i == hardIterCap {
+			panic("core: dequeue helping loop exceeded hard cap; queue invariant violated")
+		}
+		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+		if lhead != q.head.Load() {
+			continue // head advanced: one dequeue completed; take next step
+		}
+		if lhead == q.tail.Load() {
+			// Queue looks empty: roll the request back (§2.3.1).
+			q.deqself[threadID].P.Store(prReq)
+			q.giveUp(myReq, threadID)
+			if q.deqhelp[threadID].P.Load() != myReq {
+				// A helper assigned us a node after all; restore the
+				// normal closed-request state and take the item below.
+				q.deqself[threadID].P.Store(myReq)
+				break
+			}
+			q.hp.Clear(threadID)
+			var zero T
+			return zero, false
+		}
+		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		if q.searchNext(lhead, lnext) != IdxNone {
+			q.casDeqAndHead(lhead, lnext, threadID)
+		}
+	}
+	myNode := q.deqhelp[threadID].P.Load()
+	lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+	if lhead == q.head.Load() && myNode == lhead.next.Load() {
+		// Our node was assigned and published but the head not yet
+		// advanced past it (Invariant 8's other half): finish the job.
+		q.head.CompareAndSwap(lhead, myNode)
+	}
+	q.hp.Clear(threadID)
+	q.retire(threadID, prReq)
+	return myNode.item, true
+}
+
+// searchNext is the paper's Algorithm 4 searchNext(): run the turn
+// consensus for the dequeue side. The turn is the deqTid of the current
+// head; the first open request (deqself[i] == deqhelp[i]) to its right
+// claims the next node by CAS on its deqTid. §2.4 explains why reading
+// deqself/deqhelp without hazard pointers is safe: the comparison can
+// spuriously see a closed request as open (harmless — the deqTid CAS then
+// fails), but never an open request as closed.
+func (q *Queue[T]) searchNext(lhead, lnext *Node[T]) int32 {
+	turn := lhead.deqTid.Load()
+	for idx := turn + 1; idx < turn+int32(q.maxThreads)+1; idx++ {
+		idDeq := idx % int32(q.maxThreads)
+		if q.deqself[idDeq].P.Load() != q.deqhelp[idDeq].P.Load() {
+			continue // closed request
+		}
+		if lnext.deqTid.Load() == IdxNone {
+			lnext.casDeqTid(IdxNone, idDeq)
+		}
+		break
+	}
+	return lnext.deqTid.Load()
+}
+
+// casDeqAndHead is the paper's Algorithm 4 casDeqAndHead(): publish the
+// assigned node in the winner's deqhelp entry, then advance the head. The
+// publish must precede the head advance so that a node that becomes
+// unreachable from head remains accessible to its assigned thread
+// (Invariant 8). The hazard pointer on deqhelp[ldeqTid] exists purely to
+// prevent the retired-deleted-recycled-enqueued-dequeued ABA described in
+// §2.4 — the pointer is never dereferenced here.
+func (q *Queue[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
+	ldeqTid := lnext.deqTid.Load()
+	if ldeqTid == int32(threadID) {
+		q.deqhelp[ldeqTid].P.Store(lnext)
+	} else {
+		ldeqhelp := q.hp.ProtectPtr(hpDeq, threadID, q.deqhelp[ldeqTid].P.Load())
+		if ldeqhelp != lnext && lhead == q.head.Load() {
+			q.deqhelp[ldeqTid].P.CompareAndSwap(ldeqhelp, lnext)
+		}
+	}
+	q.head.CompareAndSwap(lhead, lnext)
+}
+
+// giveUp is the rollback path of §2.3.1, taken when the request was opened
+// but the queue appeared empty. It must guarantee that either the request
+// stays satisfied (a helper raced an enqueue in) or that no thread will
+// ever assign a node to this request once the caller returns nil.
+func (q *Queue[T]) giveUp(myReq *Node[T], threadID int) {
+	lhead := q.head.Load()
+	if q.deqhelp[threadID].P.Load() != myReq {
+		return // already satisfied
+	}
+	if lhead == q.tail.Load() {
+		return // still empty; rollback stands
+	}
+	// An enqueue slipped in between the two emptiness checks: make sure
+	// the first node gets assigned to somebody (ourselves if no other
+	// request is open), so the head can advance and late helpers see the
+	// rollback.
+	q.hp.ProtectPtr(hpHead, threadID, lhead)
+	if lhead != q.head.Load() {
+		return
+	}
+	lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+	if lhead != q.head.Load() {
+		return
+	}
+	if q.searchNext(lhead, lnext) == IdxNone {
+		lnext.casDeqTid(IdxNone, int32(threadID))
+	}
+	q.casDeqAndHead(lhead, lnext, threadID)
+}
+
+// retire hands prReq to the reclamation scheme. A dequeued node stays
+// reachable through deqhelp (and then deqself) for two more successful
+// dequeues by the same thread (§2.4); prReq is the node that has just left
+// both arrays and is therefore safe to retire.
+func (q *Queue[T]) retire(threadID int, prReq *Node[T]) {
+	if q.mode == ReclaimNone {
+		return
+	}
+	q.hp.Retire(threadID, prReq)
+}
+
+func (q *Queue[T]) checkTid(threadID int) {
+	if threadID < 0 || threadID >= q.maxThreads {
+		panic(fmt.Sprintf("core: thread id %d out of range [0,%d)", threadID, q.maxThreads))
+	}
+}
+
+// allocNode draws a node from the pool (or the heap) and initializes it as
+// a fresh enqueue request. In the paper this is `new Node(item, tid)`; the
+// pool keeps the "no allocation besides the node" property while making
+// reuse — and therefore ABA — real under a GC.
+func (q *Queue[T]) allocNode(threadID int, item T) *Node[T] {
+	var nd *Node[T]
+	if q.mode == ReclaimPool {
+		nd = q.pool.get(threadID)
+	} else {
+		nd = new(Node[T])
+	}
+	nd.reset(item, int32(threadID))
+	return nd
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int](WithMaxThreads(4))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue(0)
+		if !ok {
+			t.Fatalf("dequeue %d: unexpectedly empty", i)
+		}
+		if v != i {
+			t.Fatalf("dequeue %d: got %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+	if v, ok := q.Dequeue(0); ok {
+		t.Fatalf("dequeue on empty queue returned %d", v)
+	}
+}
+
+func TestEmptyQueueDequeue(t *testing.T) {
+	q := New[string](WithMaxThreads(2))
+	for i := 0; i < 10; i++ {
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("empty dequeue %d returned %q", i, v)
+		}
+	}
+	q.Enqueue(1, "x")
+	if v, ok := q.Dequeue(0); !ok || v != "x" {
+		t.Fatalf("got (%q,%v), want (x,true)", v, ok)
+	}
+	if _, ok := q.Dequeue(1); ok {
+		t.Fatal("queue should be empty again")
+	}
+}
+
+func TestInterleavedSingleThread(t *testing.T) {
+	q := New[int](WithMaxThreads(1))
+	next := 0
+	expect := 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < round%7; i++ {
+			q.Enqueue(0, next)
+			next++
+		}
+		for i := 0; i < round%5; i++ {
+			v, ok := q.Dequeue(0)
+			if !ok {
+				if expect != next {
+					t.Fatalf("round %d: empty but %d items outstanding", round, next-expect)
+				}
+				continue
+			}
+			if v != expect {
+				t.Fatalf("round %d: got %d, want %d", round, v, expect)
+			}
+			expect++
+		}
+	}
+	for expect < next {
+		v, ok := q.Dequeue(0)
+		if !ok || v != expect {
+			t.Fatalf("drain: got (%d,%v), want (%d,true)", v, ok, expect)
+		}
+		expect++
+	}
+}
+
+// item identifies a value uniquely across producers: producer p's k-th item.
+type item struct{ p, k int }
+
+// runMPMC drives producers and consumers concurrently and validates that
+// every enqueued item is dequeued exactly once and per-producer FIFO order
+// holds. Returns enq/deq overrun counters for the caller to inspect.
+func runMPMC(t *testing.T, q *Queue[item], producers, consumers, perProducer int) {
+	t.Helper()
+	total := producers * perProducer
+	var wg sync.WaitGroup
+	results := make([][]item, consumers)
+	var consumed sync.WaitGroup
+	consumed.Add(total)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("no registry slot for producer")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for k := 0; k < perProducer; k++ {
+				q.Enqueue(slot, item{p, k})
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("no registry slot for consumer")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := q.Dequeue(slot); ok {
+					results[c] = append(results[c], v)
+					consumed.Done()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	seen := make(map[item]int, total)
+	lastPerProducerPerConsumer := make([]map[int]int, consumers)
+	for c := range results {
+		lastPerProducerPerConsumer[c] = make(map[int]int)
+		for _, v := range results[c] {
+			seen[v]++
+			// Per-producer order as observed by a single consumer must be
+			// increasing (a single consumer's dequeues are ordered).
+			if last, ok := lastPerProducerPerConsumer[c][v.p]; ok && v.k <= last {
+				t.Fatalf("consumer %d saw producer %d items out of order: %d then %d", c, v.p, last, v.k)
+			}
+			lastPerProducerPerConsumer[c][v.p] = v.k
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct items, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %+v dequeued %d times", v, n)
+		}
+	}
+}
+
+func TestMPMCStress(t *testing.T) {
+	per := 3000
+	if testing.Short() {
+		per = 500
+	}
+	for _, shape := range []struct{ p, c int }{{1, 1}, {2, 2}, {4, 4}, {7, 3}, {3, 7}} {
+		shape := shape
+		t.Run(formatShape(shape.p, shape.c), func(t *testing.T) {
+			q := New[item](WithMaxThreads(shape.p + shape.c))
+			runMPMC(t, q, shape.p, shape.c, per)
+			if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+				t.Logf("note: loop-bound overruns observed: enq=%d deq=%d", enq, deq)
+			}
+		})
+	}
+}
+
+func TestMPMCStressGCMode(t *testing.T) {
+	q := New[item](WithMaxThreads(8), WithReclaim(ReclaimGC))
+	runMPMC(t, q, 4, 4, 1000)
+}
+
+func TestMPMCStressNoReclaim(t *testing.T) {
+	q := New[item](WithMaxThreads(8), WithReclaim(ReclaimNone))
+	runMPMC(t, q, 4, 4, 1000)
+}
+
+func TestMPMCStressHazardR(t *testing.T) {
+	q := New[item](WithMaxThreads(8), WithHazardR(32))
+	runMPMC(t, q, 4, 4, 1000)
+}
+
+func formatShape(p, c int) string {
+	return "p" + itoa(p) + "c" + itoa(c)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestPoolRecycles(t *testing.T) {
+	q := New[int](WithMaxThreads(1))
+	for i := 0; i < 100; i++ {
+		q.Enqueue(0, i)
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	allocs, reuses, _ := q.PoolStats()
+	if reuses == 0 {
+		t.Errorf("pool never recycled a node (allocs=%d reuses=%d)", allocs, reuses)
+	}
+	if allocs > 20 {
+		t.Errorf("too many heap allocations for a steady-state workload: %d", allocs)
+	}
+}
+
+func TestTidRangeChecked(t *testing.T) {
+	q := New[int](WithMaxThreads(2))
+	for _, tid := range []int{-1, 2, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Enqueue(tid=%d) did not panic", tid)
+				}
+			}()
+			q.Enqueue(tid, 1)
+		}()
+	}
+}
+
+// TestHoverEmptyGiveUpStorm keeps the queue hovering around empty so
+// consumers continuously open requests, observe emptiness, and run the
+// giveUp rollback (§2.3.1) — the paper's "complex code path [that] will
+// be rarely executed" gets executed millions of times here.
+func TestHoverEmptyGiveUpStorm(t *testing.T) {
+	per := 4000
+	if testing.Short() {
+		per = 500
+	}
+	q := New[item](WithMaxThreads(6))
+	runHover(t, q, 2, 4, per)
+}
+
+func runHover(t *testing.T, q *Queue[item], producers, consumers, per int) {
+	t.Helper()
+	runMPMCHover(t, q, producers, consumers, per)
+}

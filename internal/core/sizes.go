@@ -1,0 +1,21 @@
+package core
+
+import (
+	"unsafe"
+
+	"turnqueue/internal/pad"
+)
+
+// SizeInfo reports the Table 4 figures for the Turn queue: the node size,
+// the request-object sizes (zero — a node doubles as its own enqueue
+// request and dequeued nodes double as dequeue requests), and the fixed
+// per-thread footprint of an empty queue (one enqueuers entry plus the
+// deqself and deqhelp entries; the paper counts unpadded pointers, so the
+// logical figure is reported alongside the padded allocation).
+func SizeInfo() (nodeBytes, enqReqBytes, deqReqBytes, fixedPerThreadLogical, fixedPerThreadPadded uintptr) {
+	nodeBytes = unsafe.Sizeof(Node[uintptr]{})
+	// enqueuers + deqself + deqhelp: one pointer each per thread.
+	fixedPerThreadLogical = 3 * unsafe.Sizeof(uintptr(0))
+	fixedPerThreadPadded = 3 * unsafe.Sizeof(pad.PointerSlot[Node[uintptr]]{})
+	return nodeBytes, 0, 0, fixedPerThreadLogical, fixedPerThreadPadded
+}

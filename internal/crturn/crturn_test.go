@@ -1,0 +1,68 @@
+package crturn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	const threads, iters = 8, 2000
+	m := New(threads)
+	var counter int // protected by m; the race detector audits this
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				m.Lock(slot)
+				counter++
+				m.Unlock(slot)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counter != threads*iters {
+		t.Fatalf("counter = %d, want %d (lost updates => mutual exclusion broken)", counter, threads*iters)
+	}
+}
+
+func TestHandoffHappens(t *testing.T) {
+	const threads, iters = 4, 3000
+	m := New(threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				m.Lock(slot)
+				m.Unlock(slot)
+			}
+		}(i)
+	}
+	wg.Wait()
+	handoffs, barges := m.Stats()
+	if handoffs+barges != threads*iters {
+		t.Fatalf("handoffs+barges = %d, want %d", handoffs+barges, threads*iters)
+	}
+	t.Logf("handoffs=%d barges=%d", handoffs, barges)
+}
+
+func TestUnlockWithoutLockPanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock without Lock did not panic")
+		}
+	}()
+	m.Unlock(0)
+}
+
+func TestSequentialReentry(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 100; i++ {
+		m.Lock(0)
+		m.Unlock(0)
+	}
+}

@@ -1,0 +1,150 @@
+// Package epoch implements epoch-based memory reclamation in the style the
+// YMC queue relies on (Harris '01 pragmatic linked lists; Fraser-style
+// quiescence), built here so the repository can (a) give the FAA segment
+// queue a faithful reclamation scheme and (b) demonstrate the paper's §3
+// claim: epoch reclamation's *reclaim* operation is blocking — a single
+// stalled reader pins the epoch and the retired backlog grows without
+// bound, whereas hazard pointers keep it bounded.
+//
+// Protocol. A global epoch counter advances when every registered thread
+// has either announced the current epoch or is quiescent. Readers bracket
+// their critical regions with Enter/Exit; Enter announces the global epoch,
+// Exit announces quiescence. Retire tags a node with the epoch at retire
+// time; a node is freed once the global epoch has advanced two steps past
+// its tag (the classic three-epoch rule), which proves no reader can still
+// hold a reference.
+//
+// Progress. Enter/Exit are wait-free population-oblivious (one load + one
+// store), which is the Table 2 entry for the protect operation. Reclaim is
+// blocking: TryAdvance fails while any thread sits in an old epoch, so a
+// crashed or descheduled reader stops reclamation globally — exactly the
+// behaviour cmd/reclaim measures.
+package epoch
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/pad"
+)
+
+// quiescent marks a thread that is not inside a read-side critical region.
+const quiescent = int64(-1)
+
+// Domain is an epoch-reclamation domain for nodes of type T.
+type Domain[T any] struct {
+	maxThreads int
+	deleter    func(tid int, node *T)
+
+	globalEpoch atomic.Int64
+	// announce[tid] holds the epoch thread tid observed at Enter, or
+	// quiescent. Padded: each thread writes only its own slot.
+	announce []pad.Int64Slot
+
+	// retired[tid] is owned by thread tid exclusively.
+	retired [][]tagged[T]
+
+	retireCalls pad.Int64Slot
+	deleteCalls pad.Int64Slot
+}
+
+type tagged[T any] struct {
+	node  *T
+	epoch int64
+}
+
+// New creates a Domain for maxThreads threads. deleter receives nodes whose
+// reclamation is proven safe.
+func New[T any](maxThreads int, deleter func(tid int, node *T)) *Domain[T] {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("epoch: invalid maxThreads %d", maxThreads))
+	}
+	if deleter == nil {
+		panic("epoch: nil deleter")
+	}
+	d := &Domain[T]{
+		maxThreads: maxThreads,
+		deleter:    deleter,
+		announce:   make([]pad.Int64Slot, maxThreads),
+		retired:    make([][]tagged[T], maxThreads),
+	}
+	for i := range d.announce {
+		d.announce[i].V.Store(quiescent)
+	}
+	return d
+}
+
+// Enter begins a read-side critical region for thread tid: it announces
+// the current global epoch. One load and one store — wait-free population
+// oblivious, Table 2's "wfpo" protect entry.
+func (d *Domain[T]) Enter(tid int) {
+	d.announce[tid].V.Store(d.globalEpoch.Load())
+}
+
+// Exit ends the critical region, announcing quiescence.
+func (d *Domain[T]) Exit(tid int) {
+	d.announce[tid].V.Store(quiescent)
+}
+
+// Retire tags node with the current epoch, appends it to tid's retire
+// list, then attempts an epoch advance and frees whatever has aged out.
+func (d *Domain[T]) Retire(tid int, node *T) {
+	if node == nil {
+		return
+	}
+	d.retireCalls.V.Add(1)
+	d.retired[tid] = append(d.retired[tid], tagged[T]{node: node, epoch: d.globalEpoch.Load()})
+	d.tryAdvance()
+	d.sweep(tid)
+}
+
+// tryAdvance bumps the global epoch iff every thread is quiescent or has
+// observed the current epoch. This is the blocking step: one reader stuck
+// in an older epoch makes the CAS precondition false forever.
+func (d *Domain[T]) tryAdvance() {
+	e := d.globalEpoch.Load()
+	for i := range d.announce {
+		a := d.announce[i].V.Load()
+		if a != quiescent && a < e {
+			return
+		}
+	}
+	d.globalEpoch.CompareAndSwap(e, e+1)
+}
+
+// sweep frees tid's retired nodes whose tag is at least two epochs old.
+func (d *Domain[T]) sweep(tid int) {
+	e := d.globalEpoch.Load()
+	list := d.retired[tid]
+	kept := list[:0]
+	for _, t := range list {
+		if t.epoch <= e-2 {
+			d.deleteCalls.V.Add(1)
+			d.deleter(tid, t.node)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(list); i++ {
+		list[i] = tagged[T]{}
+	}
+	d.retired[tid] = kept
+}
+
+// Backlog returns the total retired-but-unfreed node count. Unbounded
+// while any reader stalls — the measurement behind experiment X4.
+func (d *Domain[T]) Backlog() int {
+	n := 0
+	for tid := range d.retired {
+		n += len(d.retired[tid])
+	}
+	return n
+}
+
+// Epoch returns the current global epoch (diagnostics).
+func (d *Domain[T]) Epoch() int64 { return d.globalEpoch.Load() }
+
+// Stats reports cumulative retire and delete counts.
+func (d *Domain[T]) Stats() (retires, deletes int64) {
+	return d.retireCalls.V.Load(), d.deleteCalls.V.Load()
+}

@@ -1,0 +1,83 @@
+package epoch
+
+import (
+	"testing"
+)
+
+type tnode struct{ v int }
+
+func TestQuiescentReclaim(t *testing.T) {
+	var deleted []*tnode
+	d := New[tnode](2, func(_ int, n *tnode) { deleted = append(deleted, n) })
+	// With all threads quiescent, a few retires advance the epoch and
+	// reclaim everything older than two epochs.
+	for i := 0; i < 10; i++ {
+		d.Retire(0, &tnode{v: i})
+	}
+	if len(deleted) < 7 {
+		t.Fatalf("expected most nodes reclaimed under quiescence, got %d/10", len(deleted))
+	}
+}
+
+func TestStalledReaderBlocksReclaim(t *testing.T) {
+	// The §3/Table 2 property: one reader stuck in an old epoch stops all
+	// reclamation — the retired backlog grows without bound.
+	var deleted []*tnode
+	d := New[tnode](2, func(_ int, n *tnode) { deleted = append(deleted, n) })
+	d.Enter(1) // reader enters and never exits (simulated stall)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Retire(0, &tnode{v: i})
+	}
+	// The epoch can advance at most twice past the stalled announcement,
+	// so nearly everything stays unreclaimed.
+	if len(deleted) > 2 {
+		t.Fatalf("stalled reader should block reclaim; %d nodes deleted", len(deleted))
+	}
+	if got := d.Backlog(); got < n-2 {
+		t.Fatalf("backlog = %d, want ~%d", got, n)
+	}
+	// Reader resumes: reclamation drains.
+	d.Exit(1)
+	for i := 0; i < 5; i++ {
+		d.Retire(0, &tnode{v: -1})
+	}
+	if got := d.Backlog(); got > 5 {
+		t.Fatalf("backlog should drain after reader exits, still %d", got)
+	}
+}
+
+func TestEnterExitCheap(t *testing.T) {
+	d := New[tnode](1, func(int, *tnode) {})
+	for i := 0; i < 1000; i++ {
+		d.Enter(0)
+		d.Exit(0)
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("epoch advanced without retires: %d", d.Epoch())
+	}
+}
+
+func TestRetireNilNoop(t *testing.T) {
+	d := New[tnode](1, func(int, *tnode) {})
+	d.Retire(0, nil)
+	if r, _ := d.Stats(); r != 0 {
+		t.Fatal("nil retire counted")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for i, f := range []func(){
+		func() { New[tnode](0, func(int, *tnode) {}) },
+		func() { New[tnode](1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

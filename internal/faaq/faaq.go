@@ -1,0 +1,202 @@
+// Package faaq implements a fetch-and-add segment queue in the style of
+// the Yang-Mellor-Crummey queue's fast path (PPoPP '16): the queue is a
+// linked list of fixed-size segments; enqueuers and dequeuers take tickets
+// with FAA and meet in the ticketed cell.
+//
+// This is the paper's §1/§4 critique target, built so the critiques are
+// observable rather than taken on faith:
+//
+//   - Progress relies on FAA, not just CAS (Table 1's "Needs Atomic
+//     Instruction" column) and the retry loop around segment transitions
+//     makes it lock-free, not wait-free — YMC's wait-free slow path is a
+//     further mechanism on top of this fast path, and its unbounded
+//     node-walk is what the paper's §1 dissects.
+//   - A dequeue ticket taken on an empty cell is wasted: the cell is
+//     poisoned and can never carry an item (the paper: "the ticket taken
+//     by a dequeue can not be reused"). WastedTickets counts them.
+//   - Advancing to a fresh segment allocates SegmentSize cells at once,
+//     the latency spike the paper attributes to YMC's 10M-entry arrays
+//     (size configurable here; the spike recurs proportionally more often
+//     with smaller segments).
+//   - Memory reclamation is epoch-based (internal/epoch), faithful to
+//     YMC's published scheme — and therefore *blocking* on the reclaim
+//     side, the §3/Table 2 claim that cmd/reclaim demonstrates.
+package faaq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/epoch"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+// DefaultSegmentSize is the cells-per-segment default. YMC uses ~10^7;
+// that would hide the allocation spike on laptop-scale runs, so the
+// default is small enough for the spike to recur within a benchmark.
+const DefaultSegmentSize = 1024
+
+type segment[T any] struct {
+	deqIdx atomic.Int64
+	_      [2*pad.CacheLine - 8]byte
+	enqIdx atomic.Int64
+	_      [2*pad.CacheLine - 8]byte
+	next   atomic.Pointer[segment[T]]
+	cells  []atomic.Pointer[T]
+}
+
+func newSegment[T any](size int) *segment[T] {
+	return &segment[T]{cells: make([]atomic.Pointer[T], size)}
+}
+
+// Queue is an MPMC FAA segment queue for up to MaxThreads registered
+// threads (the bound exists only for the epoch-reclamation domain).
+type Queue[T any] struct {
+	maxThreads int
+	segSize    int
+
+	head atomic.Pointer[segment[T]]
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Pointer[segment[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	// taken poisons a cell whose dequeue ticket arrived before any item.
+	taken *T
+
+	epochs   *epoch.Domain[segment[T]]
+	registry *tid.Registry
+
+	wasted    pad.Int64Slot // dequeue tickets burnt on empty cells
+	segAllocs pad.Int64Slot // segments allocated (each is a latency spike)
+}
+
+// Option configures a Queue.
+type Option func(*config)
+
+type config struct {
+	maxThreads int
+	segSize    int
+}
+
+// WithMaxThreads sets the registered-thread bound.
+func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } }
+
+// WithSegmentSize sets the cells-per-segment count.
+func WithSegmentSize(n int) Option { return func(c *config) { c.segSize = n } }
+
+// New creates an empty queue.
+func New[T any](opts ...Option) *Queue[T] {
+	cfg := config{maxThreads: tid.DefaultMaxThreads, segSize: DefaultSegmentSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxThreads <= 0 || cfg.segSize <= 0 {
+		panic(fmt.Sprintf("faaq: invalid config maxThreads=%d segSize=%d", cfg.maxThreads, cfg.segSize))
+	}
+	q := &Queue[T]{
+		maxThreads: cfg.maxThreads,
+		segSize:    cfg.segSize,
+		taken:      new(T),
+		registry:   tid.NewRegistry(cfg.maxThreads),
+	}
+	q.epochs = epoch.New[segment[T]](cfg.maxThreads, func(int, *segment[T]) {
+		// Drop for the GC; segments are not recycled, as in YMC.
+	})
+	first := newSegment[T](cfg.segSize)
+	q.head.Store(first)
+	q.tail.Store(first)
+	return q
+}
+
+// MaxThreads returns the registered-thread bound.
+func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// Registry returns the queue's thread-slot registry.
+func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+
+// Epochs exposes the reclamation domain for the §3 blocking experiment.
+func (q *Queue[T]) Epochs() *epoch.Domain[segment[T]] { return q.epochs }
+
+// Stats reports wasted dequeue tickets and segment allocations.
+func (q *Queue[T]) Stats() (wastedTickets, segmentAllocs int64) {
+	return q.wasted.V.Load(), q.segAllocs.V.Load()
+}
+
+// Enqueue appends item. Lock-free: a full segment forces a retry through
+// the segment-advance path.
+func (q *Queue[T]) Enqueue(threadID int, item T) {
+	boxed := new(T)
+	*boxed = item
+	q.epochs.Enter(threadID)
+	for {
+		ltail := q.tail.Load()
+		idx := ltail.enqIdx.Add(1) - 1
+		if idx >= int64(q.segSize) {
+			// Segment full: advance (or help advance) to the next one.
+			if ltail != q.tail.Load() {
+				continue
+			}
+			lnext := ltail.next.Load()
+			if lnext == nil {
+				seg := newSegment[T](q.segSize)
+				q.segAllocs.V.Add(1)
+				seg.enqIdx.Store(1)
+				seg.cells[0].Store(boxed)
+				if ltail.next.CompareAndSwap(nil, seg) {
+					q.tail.CompareAndSwap(ltail, seg)
+					q.epochs.Exit(threadID)
+					return
+				}
+				// Lost the race; our pre-filled segment is garbage.
+			} else {
+				q.tail.CompareAndSwap(ltail, lnext)
+			}
+			continue
+		}
+		if ltail.cells[idx].CompareAndSwap(nil, boxed) {
+			q.epochs.Exit(threadID)
+			return
+		}
+		// A dequeuer poisoned our cell first; burn the ticket and retry.
+	}
+}
+
+// Dequeue removes the item at the head, or reports ok=false when empty.
+func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	q.epochs.Enter(threadID)
+	defer q.epochs.Exit(threadID)
+	for {
+		lhead := q.head.Load()
+		if lhead.deqIdx.Load() >= lhead.enqIdx.Load() && lhead.next.Load() == nil {
+			var zero T
+			return zero, false
+		}
+		idx := lhead.deqIdx.Add(1) - 1
+		if idx >= int64(q.segSize) {
+			// Segment drained: move to the next one and retire this one.
+			lnext := lhead.next.Load()
+			if lnext == nil {
+				var zero T
+				return zero, false
+			}
+			if q.head.CompareAndSwap(lhead, lnext) {
+				q.epochs.Retire(threadID, lhead)
+			}
+			continue
+		}
+		cell := lhead.cells[idx].Swap(q.taken)
+		if cell != nil && cell != q.taken {
+			return *cell, true
+		}
+		// The ticket met an empty cell: it is wasted forever (the paper's
+		// critique); the enqueuer that later draws this ticket retries.
+		q.wasted.V.Add(1)
+		// If the queue still looks empty, report it rather than burning
+		// tickets in a loop.
+		if lhead.deqIdx.Load() >= lhead.enqIdx.Load() && lhead.next.Load() == nil {
+			var zero T
+			return zero, false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package faaq
+
+import "unsafe"
+
+// SizeInfo reports the Table 4 figures for the FAA segment queue: the
+// fixed per-segment overhead, the per-cell cost (the paper normalizes YMC
+// to one cell per node, 40 bytes; here a cell is one pointer and the
+// segment header is amortized across SegmentSize cells), and the fixed
+// per-thread footprint (one epoch announcement slot).
+func SizeInfo() (segmentHeaderBytes, perCellBytes, fixedPerThread uintptr) {
+	return unsafe.Sizeof(segment[uintptr]{}), unsafe.Sizeof(uintptr(0)), 8
+}

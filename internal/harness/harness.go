@@ -1,0 +1,89 @@
+// Package harness provides the run-orchestration substrate behind the
+// paper's measurement procedures: a reusable sense-reversing barrier for
+// the burst protocols ("each thread enqueues, then waits for all other
+// threads to complete, then dequeues", §4.1/§4.4) and a worker pool that
+// pins goroutines to OS threads so a registry slot approximates a
+// hardware thread the way the paper's thread_local index does.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier is a reusable sense-reversing spin barrier for a fixed party
+// count. Spinning yields to the scheduler so oversubscribed runs (more
+// workers than GOMAXPROCS — the paper's §1.2 oversubscription scenario)
+// make progress.
+type Barrier struct {
+	parties int
+	arrived atomic.Int32
+	sense   atomic.Bool
+}
+
+// NewBarrier creates a barrier for parties participants.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("harness: barrier parties must be positive, got %d", parties))
+	}
+	return &Barrier{parties: int32Guard(parties)}
+}
+
+func int32Guard(n int) int {
+	if n > 1<<30 {
+		panic("harness: absurd party count")
+	}
+	return n
+}
+
+// Wait blocks until all parties have called Wait, then releases them and
+// resets for the next phase.
+func (b *Barrier) Wait() {
+	sense := b.sense.Load()
+	if int(b.arrived.Add(1)) == b.parties {
+		b.arrived.Store(0)
+		b.sense.Store(!sense) // release everyone spinning on this phase
+		return
+	}
+	for spins := 0; b.sense.Load() == sense; spins++ {
+		if spins%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Parties returns the participant count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// RunPinned starts n workers, each pinned to an OS thread, and waits for
+// all of them. body receives the worker index in [0, n).
+func RunPinned(n int, body func(worker int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Split divides total work items across parties as evenly as possible,
+// mirroring the paper's "10^6/N_threads items per thread" convention.
+// Party p performs Split(total, parties, p) items; the sum over all
+// parties is exactly total.
+func Split(total, parties, p int) int {
+	if parties <= 0 || p < 0 || p >= parties {
+		panic(fmt.Sprintf("harness: bad Split(%d, %d, %d)", total, parties, p))
+	}
+	base := total / parties
+	if p < total%parties {
+		return base + 1
+	}
+	return base
+}

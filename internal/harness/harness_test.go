@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierPhases(t *testing.T) {
+	const parties, phases = 4, 10
+	b := NewBarrier(parties)
+	var counter atomic.Int64
+	RunPinned(parties, func(w int) {
+		for p := 0; p < phases; p++ {
+			counter.Add(1)
+			b.Wait()
+			// After the barrier, all parties of this phase have counted.
+			if got := counter.Load(); got < int64((p+1)*parties) {
+				t.Errorf("phase %d: counter %d < %d after barrier", p, got, (p+1)*parties)
+			}
+			b.Wait() // separate the check from the next phase's increments
+		}
+	})
+	if got := counter.Load(); got != parties*phases {
+		t.Fatalf("counter = %d, want %d", got, parties*phases)
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 100; i++ {
+		b.Wait()
+	}
+}
+
+func TestSplit(t *testing.T) {
+	for _, tc := range []struct{ total, parties int }{{10, 3}, {7, 7}, {5, 8}, {1000000, 30}} {
+		sum := 0
+		for p := 0; p < tc.parties; p++ {
+			n := Split(tc.total, tc.parties, p)
+			if n < 0 {
+				t.Fatalf("Split(%d,%d,%d) negative", tc.total, tc.parties, p)
+			}
+			sum += n
+		}
+		if sum != tc.total {
+			t.Fatalf("Split(%d,%d) sums to %d", tc.total, tc.parties, sum)
+		}
+	}
+}
+
+func TestSplitEvenWithinOne(t *testing.T) {
+	for p := 0; p < 30; p++ {
+		n := Split(1000000, 30, p)
+		if n < 1000000/30 || n > 1000000/30+1 {
+			t.Fatalf("Split uneven: party %d got %d", p, n)
+		}
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero parties":   func() { NewBarrier(0) },
+		"neg parties":    func() { NewBarrier(-1) },
+		"bad split":      func() { Split(10, 0, 0) },
+		"split oob":      func() { Split(10, 2, 2) },
+		"split negative": func() { Split(10, 2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,142 @@
+package hazard
+
+// Concurrency-focused tests beyond the protocol unit tests: multiple
+// domains, concurrent conditional retires, and the per-thread retire-list
+// ownership discipline under a producer/consumer split.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTwoDomainsIndependent(t *testing.T) {
+	// A node protected in one domain must not be protected in another:
+	// domains are per-structure, like the paper's per-queue hp member.
+	type nodeA struct{ v int }
+	dA := New[nodeA](2, 2, func(_ int, n *nodeA) { n.v = -1 })
+	dB := New[nodeA](2, 2, func(_ int, n *nodeA) { n.v = -2 })
+	n := &nodeA{v: 1}
+	dA.ProtectPtr(0, 0, n)
+	dB.Retire(0, n) // B does not see A's protection
+	if n.v != -2 {
+		t.Fatalf("cross-domain protection leaked: v=%d", n.v)
+	}
+}
+
+func TestConcurrentConditionalFlip(t *testing.T) {
+	// Conditions flip concurrently with scans; every retired node must be
+	// reclaimed exactly once, and only after its condition held.
+	type cnode struct {
+		released atomic.Bool
+		freed    atomic.Int32
+	}
+	const threads, perThread = 4, 500
+	var freedTotal atomic.Int32
+	d := New[cnode](threads, 1, func(_ int, n *cnode) {
+		if !n.released.Load() {
+			t.Error("node freed before its condition held")
+		}
+		if n.freed.Add(1) != 1 {
+			t.Error("node freed twice")
+		}
+		freedTotal.Add(1)
+	})
+	var wg sync.WaitGroup
+	var pending []*cnode
+	var mu sync.Mutex
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				n := &cnode{}
+				mu.Lock()
+				pending = append(pending, n)
+				mu.Unlock()
+				d.RetireCond(w, n, n.released.Load)
+				if i%3 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	// Releaser: flips conditions while retirers scan.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		released := 0
+		for released < threads*perThread {
+			mu.Lock()
+			for _, n := range pending {
+				n.released.Store(true)
+				released++
+			}
+			pending = pending[:0]
+			mu.Unlock()
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	// Final drain from each owner thread.
+	for w := 0; w < threads; w++ {
+		d.DrainThread(w)
+	}
+	if got := freedTotal.Load(); got != threads*perThread {
+		t.Fatalf("freed %d nodes, want %d", got, threads*perThread)
+	}
+}
+
+func TestProtectOverwriteReleasesOld(t *testing.T) {
+	// Re-publishing a slot releases the previously protected node.
+	type n2 struct{ v int }
+	var freed []*n2
+	d := New[n2](1, 1, func(_ int, n *n2) { freed = append(freed, n) })
+	a, b := &n2{v: 1}, &n2{v: 2}
+	d.ProtectPtr(0, 0, a)
+	d.ProtectPtr(0, 0, b) // overwrites: a is no longer protected
+	d.Retire(0, a)
+	if len(freed) != 1 || freed[0] != a {
+		t.Fatalf("a not freed after overwrite: %v", freed)
+	}
+	d.Retire(0, b)
+	if len(freed) != 1 {
+		t.Fatal("b freed while protected")
+	}
+}
+
+func TestHeavyChurnBacklogBounded(t *testing.T) {
+	// Many threads retiring under live protection churn: total backlog
+	// must respect the bound at every sample.
+	type n3 struct{ _ int }
+	const threads, rounds = 4, 2000
+	d := New[n3](threads, 2, func(int, *n3) {})
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n := &n3{}
+				d.ProtectPtr(i%2, w, n)
+				d.Retire(w, n) // protected by ourselves: must be kept
+				d.ClearOne(i%2, w)
+				d.Retire(w, &n3{}) // unprotected: freed on this scan
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Backlog reads other threads' retire lists, so it is only valid at
+	// quiescence; the bound must hold here and the per-scan maximum
+	// recorded during the run must as well.
+	if got, bound := d.Backlog(), d.BacklogBound(); got > bound {
+		t.Fatalf("backlog %d exceeds bound %d at quiescence", got, bound)
+	}
+	if _, _, maxB := d.Stats(); int(maxB) > d.BacklogBound() {
+		t.Fatalf("max per-scan backlog %d exceeds bound %d", maxB, d.BacklogBound())
+	}
+}

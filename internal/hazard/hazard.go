@@ -1,0 +1,255 @@
+// Package hazard implements the paper's wait-free bounded Hazard Pointers
+// (§3.1) and the Conditional Hazard Pointers variant (§3.2).
+//
+// A Domain owns a matrix of hazard-pointer slots, maxThreads rows by
+// numHPs columns, plus one retire list per thread. The three operations
+// mirror the paper's API exactly:
+//
+//	ProtectPtr(index, tid, node) — publish node in the thread's slot index
+//	Clear(tid)                   — null all of the thread's slots
+//	Retire(tid, node)            — add node to the thread's retire list and
+//	                               scan: delete every retired node that no
+//	                               slot protects
+//
+// Wait-freedom: ProtectPtr is a single store. The paper's Algorithm 5
+// observes that the usual load-store-load *loop* makes protection only
+// lock-free; the wait-free discipline is a single load-store-load sequence
+// whose failed validation advances the enclosing algorithm's bounded loop
+// instead of retrying in place. That discipline belongs to the caller —
+// this package supplies the store, the caller revalidates and `continue`s.
+// Retire is wait-free bounded: one pass over the retire list, each entry
+// checked against the O(maxThreads·numHPs) slot matrix, no retries.
+//
+// The R parameter (Michael '04, figure 2) sets how large the retire list
+// may grow before a scan. The paper chooses R=0 — scan on every retire —
+// to minimize dequeue latency; that is the default here, and the ablation
+// benchmark X1 sweeps it.
+//
+// Reclamation under a GC: Go's collector would free retired nodes on its
+// own, which hides exactly the bugs hazard pointers exist to prevent. The
+// Domain therefore hands each reclaimable node to a caller-supplied deleter
+// which typically recycles it through a node pool, making premature
+// reclamation observable as real ABA corruption (see internal/core).
+package hazard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/pad"
+)
+
+// Domain is a hazard-pointer domain for nodes of type T. A Domain is
+// typically embedded one-per-queue-instance, exactly like the `hp` member
+// of the paper's queue classes.
+type Domain[T any] struct {
+	maxThreads int
+	numHPs     int
+	rParam     int
+	deleter    func(tid int, node *T)
+
+	// hp is the slot matrix, row-major: slot (tid, i) lives at
+	// hp[tid*numHPs+i]. Each slot is padded to its own cache-line pair, so
+	// one thread's publishes never invalidate another thread's slots.
+	hp []pad.PointerSlot[T]
+
+	// retired[tid] is owned exclusively by thread tid; no synchronization
+	// is needed to mutate it. Stats counters are atomic only so tests and
+	// the reclaim experiment can read them from other goroutines.
+	retired [][]conditional[T]
+
+	retireCalls  pad.Int64Slot
+	deleteCalls  pad.Int64Slot
+	maxBacklogSz pad.Int64Slot
+}
+
+// conditional pairs a retired node with its deletion condition; nil cond
+// means unconditional (plain HP retire).
+type conditional[T any] struct {
+	node *T
+	cond func() bool
+}
+
+// Option configures a Domain.
+type Option func(*config)
+
+type config struct {
+	rParam int
+}
+
+// WithR sets the R scan threshold: a scan runs only when the retire list
+// holds more than r entries. The paper uses R=0 (scan every retire) to keep
+// dequeue latency minimal; larger values batch scans at the cost of a
+// larger unreclaimed backlog (still bounded by r + maxThreads·numHPs).
+func WithR(r int) Option {
+	return func(c *config) {
+		if r < 0 {
+			panic(fmt.Sprintf("hazard: negative R parameter %d", r))
+		}
+		c.rParam = r
+	}
+}
+
+// New creates a Domain for maxThreads threads with numHPs hazard-pointer
+// slots per thread. deleter receives every node whose reclamation the scan
+// proves safe; it must not be nil (use a no-op to lean on the GC).
+func New[T any](maxThreads, numHPs int, deleter func(tid int, node *T), opts ...Option) *Domain[T] {
+	if maxThreads <= 0 || numHPs <= 0 {
+		panic(fmt.Sprintf("hazard: invalid dimensions %d x %d", maxThreads, numHPs))
+	}
+	if deleter == nil {
+		panic("hazard: nil deleter")
+	}
+	cfg := config{rParam: 0}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Domain[T]{
+		maxThreads: maxThreads,
+		numHPs:     numHPs,
+		rParam:     cfg.rParam,
+		deleter:    deleter,
+		hp:         make([]pad.PointerSlot[T], maxThreads*numHPs),
+		retired:    make([][]conditional[T], maxThreads),
+	}
+}
+
+// MaxThreads returns the thread bound of the domain.
+func (d *Domain[T]) MaxThreads() int { return d.maxThreads }
+
+// NumHPs returns the number of slots per thread.
+func (d *Domain[T]) NumHPs() int { return d.numHPs }
+
+func (d *Domain[T]) slot(tid, index int) *atomic.Pointer[T] {
+	return &d.hp[tid*d.numHPs+index].P
+}
+
+// ProtectPtr publishes node in slot index of thread tid and returns node,
+// matching the paper's hp.protectPtr(kHp..., ptr) signature so call sites
+// read the same as Algorithm 2/3. The caller must re-validate the source
+// shared variable after the call; on mismatch it advances its own loop.
+func (d *Domain[T]) ProtectPtr(index, tid int, node *T) *T {
+	d.slot(tid, index).Store(node)
+	return node
+}
+
+// Clear nulls every slot of thread tid, the paper's hp.clear(). Called on
+// every return path of enqueue() and dequeue().
+func (d *Domain[T]) Clear(tid int) {
+	for i := 0; i < d.numHPs; i++ {
+		d.slot(tid, i).Store(nil)
+	}
+}
+
+// ClearOne nulls a single slot of thread tid.
+func (d *Domain[T]) ClearOne(index, tid int) {
+	d.slot(tid, index).Store(nil)
+}
+
+// Retire adds node to thread tid's retire list and, when the list exceeds
+// the R threshold, scans the slot matrix and deletes every retired node no
+// slot protects. Passing nil is a no-op so call sites need not special-case
+// "nothing to retire yet" (the Turn queue's first dequeue retires the
+// initial deqself dummy only once a real node takes its place).
+func (d *Domain[T]) Retire(tid int, node *T) {
+	if node == nil {
+		return
+	}
+	d.retireOne(tid, conditional[T]{node: node})
+}
+
+// RetireCond is the Conditional Hazard Pointers retire (§3.2): node is
+// deleted only once (a) no hazard-pointer slot protects it AND (b) cond()
+// reports true. The KP queue uses this for nodes that remain reachable
+// through the state array after the head has advanced — cond there is
+// "the node's item slot has been nulled by the dequeuer that consumed it".
+func (d *Domain[T]) RetireCond(tid int, node *T, cond func() bool) {
+	if node == nil {
+		return
+	}
+	if cond == nil {
+		panic("hazard: RetireCond with nil condition; use Retire")
+	}
+	d.retireOne(tid, conditional[T]{node: node, cond: cond})
+}
+
+func (d *Domain[T]) retireOne(tid int, c conditional[T]) {
+	d.retireCalls.V.Add(1)
+	d.retired[tid] = append(d.retired[tid], c)
+	if len(d.retired[tid]) > d.rParam {
+		d.scan(tid)
+	}
+}
+
+// scan is the reclamation pass: one bounded sweep of thread tid's retire
+// list against the full slot matrix. O(len(list) · maxThreads · numHPs)
+// steps, no loops that depend on other threads' actions — wait-free
+// bounded, which is the property Table 2's first column claims.
+func (d *Domain[T]) scan(tid int) {
+	list := d.retired[tid]
+	kept := list[:0]
+	for _, c := range list {
+		if (c.cond == nil || c.cond()) && !d.protected(c.node) {
+			d.deleteCalls.V.Add(1)
+			d.deleter(tid, c.node)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	// Null the tail so dropped entries do not pin nodes in the backing
+	// array (the deleter may have recycled them into a pool).
+	for i := len(kept); i < len(list); i++ {
+		list[i] = conditional[T]{}
+	}
+	d.retired[tid] = kept
+	if n := int64(len(kept)); n > d.maxBacklogSz.V.Load() {
+		d.maxBacklogSz.V.Store(n)
+	}
+}
+
+// protected reports whether any slot in the matrix currently holds node.
+func (d *Domain[T]) protected(node *T) bool {
+	for i := range d.hp {
+		if d.hp[i].P.Load() == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Protected reports whether node is currently published in any slot.
+// Exposed for tests and assertions only; the answer may be stale.
+func (d *Domain[T]) Protected(node *T) bool { return d.protected(node) }
+
+// Backlog returns the current total number of retired-but-not-deleted
+// nodes across all threads. Used by the reclaim experiment to show the HP
+// backlog stays bounded while a thread is stalled.
+func (d *Domain[T]) Backlog() int {
+	n := 0
+	for tid := range d.retired {
+		n += len(d.retired[tid])
+	}
+	return n
+}
+
+// Stats reports cumulative retire and delete counts and the largest
+// per-thread backlog observed at scan time.
+func (d *Domain[T]) Stats() (retires, deletes, maxBacklog int64) {
+	return d.retireCalls.V.Load(), d.deleteCalls.V.Load(), d.maxBacklogSz.V.Load()
+}
+
+// DrainThread force-scans thread tid's retire list. Callers use it when a
+// thread unregisters, so its backlog does not linger until the next retire.
+// Entries that are still protected or whose condition is unmet remain.
+func (d *Domain[T]) DrainThread(tid int) {
+	d.scan(tid)
+}
+
+// BacklogBound returns the theoretical maximum number of unreclaimed nodes:
+// every slot may protect one distinct node and each thread may hold R
+// pending entries plus conditional holdouts. For plain HP with R=0 this is
+// maxThreads·numHPs + maxThreads, the bound the paper's §3 argues makes HP
+// (unlike epochs) fault-resilient.
+func (d *Domain[T]) BacklogBound() int {
+	return d.maxThreads*d.numHPs + d.maxThreads*(d.rParam+1)
+}

@@ -1,0 +1,239 @@
+package hazard
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type tnode struct{ v int }
+
+func collectDomain(deleted *[]*tnode) (*Domain[tnode], func()) {
+	var mu sync.Mutex
+	d := New[tnode](4, 3, func(_ int, n *tnode) {
+		mu.Lock()
+		*deleted = append(*deleted, n)
+		mu.Unlock()
+	})
+	return d, func() {}
+}
+
+func TestProtectBlocksReclaim(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	n := &tnode{v: 1}
+	d.ProtectPtr(0, 1, n) // thread 1 protects n
+	d.Retire(0, n)        // thread 0 retires it
+	if len(deleted) != 0 {
+		t.Fatal("protected node was deleted")
+	}
+	d.Clear(1)
+	d.Retire(0, &tnode{v: 2}) // triggers another scan (R=0)
+	found := false
+	for _, x := range deleted {
+		if x == n {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("node not deleted after protection cleared")
+	}
+}
+
+func TestRetireNilIsNoop(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	d.Retire(0, nil)
+	if r, _, _ := d.Stats(); r != 0 {
+		t.Fatal("nil retire was counted")
+	}
+}
+
+func TestUnprotectedReclaimImmediate(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	n := &tnode{v: 1}
+	d.Retire(0, n)
+	if len(deleted) != 1 || deleted[0] != n {
+		t.Fatalf("R=0 retire of unprotected node should delete immediately, got %v", deleted)
+	}
+}
+
+func TestRParameterBatches(t *testing.T) {
+	var deleted []*tnode
+	var mu sync.Mutex
+	d := New[tnode](2, 1, func(_ int, n *tnode) {
+		mu.Lock()
+		deleted = append(deleted, n)
+		mu.Unlock()
+	}, WithR(5))
+	for i := 0; i < 5; i++ {
+		d.Retire(0, &tnode{v: i})
+		if len(deleted) != 0 {
+			t.Fatalf("scan ran before R threshold (retire %d)", i)
+		}
+	}
+	d.Retire(0, &tnode{v: 5})
+	if len(deleted) != 6 {
+		t.Fatalf("scan after exceeding R should delete all 6, got %d", len(deleted))
+	}
+}
+
+func TestConditionalHoldsUntilCondition(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	n := &tnode{v: 1}
+	released := false
+	d.RetireCond(0, n, func() bool { return released })
+	if len(deleted) != 0 {
+		t.Fatal("conditional node deleted before condition")
+	}
+	d.Retire(0, &tnode{v: 2}) // rescan: condition still false
+	if len(deleted) != 1 {
+		t.Fatalf("expected only the unconditional node deleted, got %d", len(deleted))
+	}
+	released = true
+	d.Retire(0, &tnode{v: 3}) // rescan: condition now true
+	if len(deleted) != 3 {
+		t.Fatalf("expected all 3 deleted after condition, got %d", len(deleted))
+	}
+}
+
+func TestConditionalAlsoRespectsProtection(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	n := &tnode{v: 1}
+	d.ProtectPtr(1, 2, n)
+	d.RetireCond(0, n, func() bool { return true })
+	if len(deleted) != 0 {
+		t.Fatal("protected conditional node deleted")
+	}
+	d.ClearOne(1, 2)
+	d.DrainThread(0)
+	if len(deleted) != 1 {
+		t.Fatal("conditional node not deleted after clear")
+	}
+}
+
+func TestBacklogBound(t *testing.T) {
+	// Even with every slot protecting a distinct node, the backlog stays
+	// within BacklogBound — the paper's fault-resilience claim for HP.
+	const threads, hps = 4, 3
+	var deleted []*tnode
+	var mu sync.Mutex
+	d := New[tnode](threads, hps, func(_ int, n *tnode) {
+		mu.Lock()
+		deleted = append(deleted, n)
+		mu.Unlock()
+	})
+	var protected []*tnode
+	for tid := 0; tid < threads; tid++ {
+		for i := 0; i < hps; i++ {
+			n := &tnode{}
+			protected = append(protected, n)
+			d.ProtectPtr(i, tid, n)
+			d.Retire(0, n)
+		}
+	}
+	// Plenty of unprotected retires: they must all be reclaimed.
+	for i := 0; i < 100; i++ {
+		d.Retire(1, &tnode{})
+	}
+	if got, bound := d.Backlog(), d.BacklogBound(); got > bound {
+		t.Fatalf("backlog %d exceeds bound %d", got, bound)
+	}
+	if len(deleted) < 100 {
+		t.Fatalf("unprotected nodes not reclaimed: %d deleted", len(deleted))
+	}
+}
+
+func TestConcurrentProtectRetire(t *testing.T) {
+	// Readers protect and validate; a reclaimer retires. The deleter
+	// asserts no node is deleted while any slot holds it.
+	const threads = 4
+	d := New[tnode](threads, 1, func(_ int, n *tnode) {
+		n.v = -1 // poison: readers must never observe this through a validated protect
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var slot [threads]*tnode
+	var mu sync.Mutex
+	published := &tnode{v: 42}
+	mu.Lock()
+	slot[0] = published
+	mu.Unlock()
+
+	// Writer: replaces the published node, retiring the old one.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			mu.Lock()
+			old := slot[0]
+			slot[0] = &tnode{v: 42}
+			mu.Unlock()
+			d.Retire(0, old)
+		}
+		close(stop)
+	}()
+	for r := 1; r < threads; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				n := slot[0]
+				mu.Unlock()
+				d.ProtectPtr(0, r, n)
+				mu.Lock()
+				still := slot[0] == n
+				mu.Unlock()
+				if still {
+					if n.v != 42 {
+						t.Errorf("validated node observed poisoned (v=%d): reclaimed while protected", n.v)
+						return
+					}
+				}
+				d.Clear(r)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestQuickProtectedNeverDeleted(t *testing.T) {
+	f := func(idx uint8, tid uint8) bool {
+		d := New[tnode](8, 4, func(_ int, n *tnode) { n.v = -1 })
+		n := &tnode{v: 7}
+		d.ProtectPtr(int(idx%4), int(tid%8), n)
+		d.Retire(int((tid+1)%8), n)
+		return n.v == 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	cases := []func(){
+		func() { New[tnode](0, 1, func(int, *tnode) {}) },
+		func() { New[tnode](1, 0, func(int, *tnode) {}) },
+		func() { New[tnode](1, 1, nil) },
+		func() { New[tnode](1, 1, func(int, *tnode) {}, WithR(-1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,163 @@
+// Package histogram implements a log-linear (HDR-style) latency histogram
+// for long-running measurement. The paper's §4.1 procedure pre-allocates
+// one array cell per measurement, which is exact but needs O(samples)
+// memory; that is the right tool for bounded benchmark runs, and
+// internal/quantile implements it. For open-ended runs (cmd/stress, the
+// telemetry example) this histogram records any number of samples in a
+// few kilobytes, with bounded relative error on every reported quantile.
+//
+// Layout: values are bucketed by (exponent, mantissa-slice). Each power
+// of two between 1ns and ~1.2s is divided into 2^subBits linear
+// sub-buckets, giving a worst-case relative error of 2^-subBits (default
+// 1/32 ≈ 3%).
+package histogram
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	subBits    = 5 // sub-buckets per power of two: 32 -> ~3% error
+	subCount   = 1 << subBits
+	expCount   = 31 // covers 1ns .. ~2.1s
+	numBuckets = expCount * subCount
+)
+
+// Hist is a fixed-size latency histogram. The Record method is safe for
+// concurrent use (buckets are atomic counters); Snapshot/Quantile readers
+// see a consistent-enough view for reporting.
+type Hist struct {
+	buckets   [numBuckets]atomic.Uint64
+	count     atomic.Uint64
+	sum       atomic.Uint64
+	overflows atomic.Uint64
+	maxSeen   atomic.Uint64
+}
+
+// New returns an empty histogram.
+func New() *Hist { return &Hist{} }
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // floor(log2(ns))
+	if exp < subBits {
+		// Small values land in the linear region: one bucket per ns.
+		return int(ns)
+	}
+	if exp >= expCount+subBits {
+		return numBuckets // overflow sentinel
+	}
+	sub := (uint64(ns) >> (uint(exp) - subBits)) & (subCount - 1)
+	return (exp-subBits+1)*subCount + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i (its reported
+// representative).
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	exp := i/subCount + subBits - 1
+	sub := i % subCount
+	return (1 << uint(exp)) + int64(sub)<<(uint(exp)-subBits)
+}
+
+// Record adds one sample in nanoseconds.
+func (h *Hist) Record(ns int64) {
+	idx := bucketIndex(ns)
+	if idx >= numBuckets {
+		h.overflows.Add(1)
+		return
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	if ns > 0 {
+		h.sum.Add(uint64(ns))
+	}
+	for {
+		m := h.maxSeen.Load()
+		if uint64(ns) <= m || h.maxSeen.CompareAndSwap(m, uint64(ns)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded (non-overflow) samples.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Overflows returns the number of samples beyond the histogram range.
+func (h *Hist) Overflows() uint64 { return h.overflows.Load() }
+
+// Mean returns the mean sample in nanoseconds (0 when empty).
+func (h *Hist) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Max returns the largest recorded sample.
+func (h *Hist) Max() int64 { return int64(h.maxSeen.Load()) }
+
+// Quantile returns the approximate latency at quantile q in [0,1]. The
+// answer is the lower bound of the bucket containing the q-th sample, so
+// the relative error is at most one sub-bucket width (~3%). Returns 0 on
+// an empty histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("histogram: quantile %v out of [0,1]", q))
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total-1))
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum > target {
+			return bucketLow(i)
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds other's counts into h. Intended for combining per-thread
+// histograms after a run; not linearizable against concurrent Records.
+func (h *Hist) Merge(other *Hist) {
+	for i := 0; i < numBuckets; i++ {
+		if c := other.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	h.overflows.Add(other.overflows.Load())
+	for {
+		m, o := h.maxSeen.Load(), other.maxSeen.Load()
+		if o <= m || h.maxSeen.CompareAndSwap(m, o) {
+			break
+		}
+	}
+}
+
+// Reset zeroes the histogram. Not safe against concurrent Records.
+func (h *Hist) Reset() {
+	for i := 0; i < numBuckets; i++ {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.overflows.Store(0)
+	h.maxSeen.Store(0)
+}

@@ -1,0 +1,180 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"turnqueue/internal/xrand"
+)
+
+func TestExactSmallValues(t *testing.T) {
+	h := New()
+	for i := int64(1); i < 32; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 31 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Values below 2^subBits are exact.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("q1 = %d, want 31", got)
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw%1_000_000_000) + 1
+		h := New()
+		h.Record(v)
+		got := h.Quantile(0.5)
+		err := math.Abs(float64(got-v)) / float64(v)
+		return err <= 1.0/subCount+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantilesAgainstExact(t *testing.T) {
+	rng := xrand.NewXoshiro256(7)
+	h := New()
+	var exact []int64
+	for i := 0; i < 100000; i++ {
+		// Log-uniform-ish latencies from 100ns to 10ms.
+		v := int64(100 + rng.Intn(10_000_000))
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sortInt64(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := h.Quantile(q)
+		relErr := math.Abs(float64(got-want)) / float64(want)
+		if relErr > 0.05 {
+			t.Errorf("q%.3f: got %d, exact %d (err %.1f%%)", q, got, want, relErr*100)
+		}
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	h := New()
+	for _, v := range []int64{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Mean() != 20 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Max() != 30 {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	h := New()
+	h.Record(1 << 62)
+	if h.Overflows() != 1 || h.Count() != 0 {
+		t.Fatalf("overflows=%d count=%d", h.Overflows(), h.Count())
+	}
+}
+
+func TestNonPositiveClamped(t *testing.T) {
+	h := New()
+	h.Record(0)
+	h.Record(-5)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(1); got > 1 {
+		t.Fatalf("clamped values should report <=1ns, got %d", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Record(100)
+		b.Record(10000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if q := a.Quantile(0.25); q < 90 || q > 110 {
+		t.Errorf("q25 = %d, want ~100", q)
+	}
+	if q := a.Quantile(0.75); q < 9000 || q > 11000 {
+		t.Errorf("q75 = %d, want ~10000", q)
+	}
+	if a.Max() != 10000 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewXoshiro256(uint64(w))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1000000) + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw) + 1
+		idx := bucketIndex(v)
+		if idx >= numBuckets {
+			return true
+		}
+		low := bucketLow(idx)
+		// The representative never exceeds the value and is within one
+		// sub-bucket width below it.
+		if low > v {
+			return false
+		}
+		width := float64(v) / subCount
+		return float64(v-low) <= width+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad quantile did not panic")
+		}
+	}()
+	New().Quantile(1.5)
+}
+
+func sortInt64(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,93 @@
+package kpq
+
+import (
+	"testing"
+
+	"turnqueue/internal/qtest"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	qtest.RunSequentialFIFO(t, New[qtest.Item](WithMaxThreads(4)), 1000)
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int](WithMaxThreads(2))
+	for i := 0; i < 10; i++ {
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("empty dequeue returned %d", v)
+		}
+	}
+	q.Enqueue(1, 42)
+	if v, ok := q.Dequeue(0); !ok || v != 42 {
+		t.Fatalf("got (%d,%v), want (42,true)", v, ok)
+	}
+	if _, ok := q.Dequeue(1); ok {
+		t.Fatal("queue should be empty again")
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	q := New[int](WithMaxThreads(1))
+	next, expect := 0, 0
+	for round := 0; round < 300; round++ {
+		for i := 0; i < round%6; i++ {
+			q.Enqueue(0, next)
+			next++
+		}
+		for i := 0; i < round%4; i++ {
+			if v, ok := q.Dequeue(0); ok {
+				if v != expect {
+					t.Fatalf("round %d: got %d, want %d", round, v, expect)
+				}
+				expect++
+			}
+		}
+	}
+	for expect < next {
+		v, ok := q.Dequeue(0)
+		if !ok || v != expect {
+			t.Fatalf("drain: got (%d,%v), want (%d,true)", v, ok, expect)
+		}
+		expect++
+	}
+}
+
+func TestMPMCStress(t *testing.T) {
+	per := 2000
+	if testing.Short() {
+		per = 300
+	}
+	for _, shape := range []struct{ p, c int }{{1, 1}, {2, 2}, {4, 4}, {6, 2}} {
+		q := New[qtest.Item](WithMaxThreads(shape.p + shape.c))
+		qtest.RunMPMC(t, q, qtest.Config{Producers: shape.p, Consumers: shape.c, PerProducer: per})
+	}
+}
+
+func TestMPMCPairs(t *testing.T) {
+	q := New[qtest.Item](WithMaxThreads(8))
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 8, PerProducer: 1000, Mixed: true})
+}
+
+func TestMPMCNoPooling(t *testing.T) {
+	q := New[qtest.Item](WithMaxThreads(8), WithPooling(false))
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 4, Consumers: 4, PerProducer: 1000})
+}
+
+func TestAllocChurn(t *testing.T) {
+	// Without pooling, KP must allocate several descriptors per operation
+	// — the churn Table 4 charges it for.
+	q := New[int](WithMaxThreads(2), WithPooling(false))
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, i)
+		q.Dequeue(1)
+	}
+	descs, nodes := q.AllocStats()
+	if nodes < n {
+		t.Errorf("expected >= %d node allocations, got %d", n, nodes)
+	}
+	if descs < 2*n {
+		t.Errorf("expected >= %d descriptor allocations (2 per op pair minimum), got %d", 2*n, descs)
+	}
+	t.Logf("alloc churn for %d enq+deq pairs: %d descs (%.1f/pair), %d nodes", n, descs, float64(descs)/n, nodes)
+}

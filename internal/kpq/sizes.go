@@ -1,0 +1,11 @@
+package kpq
+
+import "unsafe"
+
+// SizeInfo reports the Table 4 figures for the KP queue: node size,
+// descriptor size (the OpDesc stand-in — the paper charges Java's OpDesc
+// at >= 80 bytes with object headers; Go's is leaner but allocated just
+// as often), and the fixed per-thread footprint (one state-array entry).
+func SizeInfo() (nodeBytes, descBytes, fixedPerThreadLogical uintptr) {
+	return unsafe.Sizeof(node[uintptr]{}), unsafe.Sizeof(opDesc[uintptr]{}), unsafe.Sizeof(uintptr(0))
+}

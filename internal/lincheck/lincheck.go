@@ -1,0 +1,238 @@
+// Package lincheck validates queue histories against linearizability —
+// the paper's §2.3.2 consistency model ("each operation must appear to
+// occur instantaneously at a point within its execution interval").
+//
+// Two layers, matched to two scales of testing:
+//
+//  1. An exact checker (Check) in the Wing-Gong style: depth-first search
+//     over all linearization orders consistent with the recorded real-time
+//     intervals, with memoization. Exponential in the worst case, so it is
+//     applied to small recorded histories (<= 64 operations).
+//  2. Cheap whole-run necessary conditions (CheckRealTimeOrder) that scale
+//     to millions of operations: if enq(a) returned before enq(b) started,
+//     then no valid linearization dequeues b strictly before a — so
+//     observing deq(b) complete before deq(a) begins is a violation.
+//
+// Histories are recorded with Recorder, which timestamps operation starts
+// and ends with a shared atomic counter: cheaper and totally ordered,
+// unlike wall-clock reads.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind distinguishes operation types.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Enq Kind = iota
+	Deq
+)
+
+// Op is one completed queue operation.
+type Op struct {
+	Kind  Kind
+	Value int64 // enqueued or dequeued value; unused when Ok is false
+	Ok    bool  // for Deq: false means "returned empty"
+	Start int64 // logical timestamp before the call
+	End   int64 // logical timestamp after the call returned
+}
+
+func (o Op) String() string {
+	switch {
+	case o.Kind == Enq:
+		return fmt.Sprintf("enq(%d)@[%d,%d]", o.Value, o.Start, o.End)
+	case o.Ok:
+		return fmt.Sprintf("deq->%d@[%d,%d]", o.Value, o.Start, o.End)
+	default:
+		return fmt.Sprintf("deq->empty@[%d,%d]", o.Start, o.End)
+	}
+}
+
+// Recorder collects per-thread operation logs with a shared logical clock.
+type Recorder struct {
+	clock atomic.Int64
+	logs  [][]Op
+}
+
+// NewRecorder creates a recorder for threads logs.
+func NewRecorder(threads int) *Recorder {
+	if threads <= 0 {
+		panic(fmt.Sprintf("lincheck: threads must be positive, got %d", threads))
+	}
+	return &Recorder{logs: make([][]Op, threads)}
+}
+
+// Begin returns the start timestamp for an operation.
+func (r *Recorder) Begin() int64 { return r.clock.Add(1) }
+
+// EndEnq records a completed enqueue for thread tid.
+func (r *Recorder) EndEnq(tid int, value, start int64) {
+	r.logs[tid] = append(r.logs[tid], Op{Kind: Enq, Value: value, Start: start, End: r.clock.Add(1)})
+}
+
+// EndDeq records a completed dequeue for thread tid.
+func (r *Recorder) EndDeq(tid int, value int64, ok bool, start int64) {
+	r.logs[tid] = append(r.logs[tid], Op{Kind: Deq, Value: value, Ok: ok, Start: start, End: r.clock.Add(1)})
+}
+
+// History returns all recorded operations.
+func (r *Recorder) History() []Op {
+	var all []Op
+	for _, l := range r.logs {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// Check reports whether history is linearizable with respect to a FIFO
+// queue with distinct enqueued values. It returns an explanatory error on
+// violation. Histories larger than 64 operations are rejected (use the
+// whole-run checks instead).
+func Check(history []Op) error {
+	n := len(history)
+	if n == 0 {
+		return nil
+	}
+	if n > 64 {
+		return fmt.Errorf("lincheck: history of %d ops exceeds the exact checker's 64-op limit", n)
+	}
+	seen := map[int64]int{}
+	for _, op := range history {
+		if op.Kind == Enq {
+			seen[op.Value]++
+			if seen[op.Value] > 1 {
+				return fmt.Errorf("lincheck: value %d enqueued twice; the exact checker requires distinct values", op.Value)
+			}
+		}
+	}
+	ops := append([]Op(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	memo := map[string]bool{} // states proven to dead-end
+	if dfs(ops, 0, nil, memo) {
+		return nil
+	}
+	return fmt.Errorf("lincheck: no valid linearization exists for history %v", ops)
+}
+
+// dfs tries to linearize the remaining ops (those with bit unset in
+// applied) given the current queue contents.
+func dfs(ops []Op, applied uint64, queue []int64, memo map[string]bool) bool {
+	if applied == (uint64(1)<<len(ops))-1 {
+		return true
+	}
+	key := stateKey(applied, queue)
+	if memo[key] {
+		return false
+	}
+	// An op is a candidate next linearization only if no *unapplied* op
+	// strictly precedes it in real time (its End before this op's Start).
+	for i, op := range ops {
+		if applied&(1<<uint(i)) != 0 {
+			continue
+		}
+		blocked := false
+		for j, other := range ops {
+			if i != j && applied&(1<<uint(j)) == 0 && other.End < op.Start {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		switch {
+		case op.Kind == Enq:
+			if dfs(ops, applied|1<<uint(i), append(queue[:len(queue):len(queue)], op.Value), memo) {
+				return true
+			}
+		case op.Ok:
+			if len(queue) > 0 && queue[0] == op.Value {
+				if dfs(ops, applied|1<<uint(i), queue[1:], memo) {
+					return true
+				}
+			}
+		default: // deq -> empty
+			if len(queue) == 0 {
+				if dfs(ops, applied|1<<uint(i), queue, memo) {
+					return true
+				}
+			}
+		}
+	}
+	memo[key] = true
+	return false
+}
+
+func stateKey(applied uint64, queue []int64) string {
+	b := make([]byte, 0, 8+len(queue)*8)
+	for s := 0; s < 64; s += 8 {
+		b = append(b, byte(applied>>uint(s)))
+	}
+	for _, v := range queue {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(uint64(v)>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// CheckRealTimeOrder verifies the scalable necessary conditions on a large
+// history with distinct values:
+//
+//   - every dequeued value was enqueued, at most once each;
+//   - if enq(a) completed before enq(b) started and both values were
+//     dequeued, then deq(b) must not have completed before deq(a) started
+//     (FIFO + real-time order);
+//   - no dequeue returns a value whose enqueue started after the dequeue
+//     ended.
+func CheckRealTimeOrder(history []Op) error {
+	enqs := map[int64]Op{}
+	deqs := map[int64]Op{}
+	for _, op := range history {
+		switch {
+		case op.Kind == Enq:
+			if _, dup := enqs[op.Value]; dup {
+				return fmt.Errorf("lincheck: value %d enqueued twice", op.Value)
+			}
+			enqs[op.Value] = op
+		case op.Ok:
+			if _, dup := deqs[op.Value]; dup {
+				return fmt.Errorf("lincheck: value %d dequeued twice", op.Value)
+			}
+			deqs[op.Value] = op
+		}
+	}
+	for v, d := range deqs {
+		e, ok := enqs[v]
+		if !ok {
+			return fmt.Errorf("lincheck: value %d dequeued but never enqueued", v)
+		}
+		if e.Start > d.End {
+			return fmt.Errorf("lincheck: value %d dequeued (%v) before its enqueue began (%v)", v, d, e)
+		}
+	}
+	// Real-time FIFO pairs. O(n^2) in dequeued values; callers subsample
+	// for very large histories.
+	vals := make([]int64, 0, len(deqs))
+	for v := range deqs {
+		vals = append(vals, v)
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a == b {
+				continue
+			}
+			if enqs[a].End < enqs[b].Start && deqs[b].End < deqs[a].Start {
+				return fmt.Errorf("lincheck: FIFO violation: enq(%d) precedes enq(%d) in real time, but deq(%d)=%v completed before deq(%d)=%v started",
+					a, b, b, deqs[b], a, deqs[a])
+			}
+		}
+	}
+	return nil
+}

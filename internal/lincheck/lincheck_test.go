@@ -1,0 +1,179 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+
+	"turnqueue/internal/core"
+)
+
+// seq builds a strictly sequential history from a compact description.
+type step struct {
+	kind  Kind
+	value int64
+	ok    bool
+}
+
+func sequential(steps ...step) []Op {
+	var ops []Op
+	t := int64(0)
+	for _, s := range steps {
+		ops = append(ops, Op{Kind: s.kind, Value: s.value, Ok: s.ok, Start: t + 1, End: t + 2})
+		t += 2
+	}
+	return ops
+}
+
+func TestSequentialValid(t *testing.T) {
+	h := sequential(
+		step{Enq, 1, true}, step{Enq, 2, true},
+		step{Deq, 1, true}, step{Deq, 2, true},
+		step{Deq, 0, false},
+	)
+	if err := Check(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialFIFOViolation(t *testing.T) {
+	h := sequential(
+		step{Enq, 1, true}, step{Enq, 2, true},
+		step{Deq, 2, true}, step{Deq, 1, true},
+	)
+	if err := Check(h); err == nil {
+		t.Fatal("out-of-order dequeues accepted")
+	}
+}
+
+func TestEmptyDequeueOnNonEmpty(t *testing.T) {
+	h := sequential(
+		step{Enq, 1, true},
+		step{Deq, 0, false}, // queue has 1; empty return is invalid
+	)
+	if err := Check(h); err == nil {
+		t.Fatal("false-empty accepted")
+	}
+}
+
+func TestConcurrentEmptyDequeueOK(t *testing.T) {
+	// deq->empty overlapping an enqueue may linearize before it.
+	h := []Op{
+		{Kind: Enq, Value: 1, Start: 1, End: 10},
+		{Kind: Deq, Ok: false, Start: 2, End: 3},
+		{Kind: Deq, Value: 1, Ok: true, Start: 11, End: 12},
+	}
+	if err := Check(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentEnqueuesEitherOrder(t *testing.T) {
+	// Two overlapping enqueues: a dequeuer may see either order.
+	for _, first := range []int64{1, 2} {
+		second := int64(3 - first)
+		h := []Op{
+			{Kind: Enq, Value: 1, Start: 1, End: 5},
+			{Kind: Enq, Value: 2, Start: 2, End: 6},
+			{Kind: Deq, Value: first, Ok: true, Start: 7, End: 8},
+			{Kind: Deq, Value: second, Ok: true, Start: 9, End: 10},
+		}
+		if err := Check(h); err != nil {
+			t.Fatalf("order (%d,%d): %v", first, second, err)
+		}
+	}
+}
+
+func TestDequeueNeverEnqueued(t *testing.T) {
+	h := sequential(step{Deq, 42, true})
+	if err := Check(h); err == nil {
+		t.Fatal("phantom dequeue accepted")
+	}
+	if err := CheckRealTimeOrder(h); err == nil {
+		t.Fatal("phantom dequeue accepted by whole-run check")
+	}
+}
+
+func TestDuplicateDequeue(t *testing.T) {
+	h := sequential(
+		step{Enq, 1, true},
+		step{Deq, 1, true},
+		step{Deq, 1, true},
+	)
+	if err := Check(h); err == nil {
+		t.Fatal("duplicate dequeue accepted")
+	}
+	if err := CheckRealTimeOrder(h); err == nil {
+		t.Fatal("duplicate dequeue accepted by whole-run check")
+	}
+}
+
+func TestRealTimeOrderViolation(t *testing.T) {
+	h := []Op{
+		{Kind: Enq, Value: 1, Start: 1, End: 2},
+		{Kind: Enq, Value: 2, Start: 3, End: 4},
+		{Kind: Deq, Value: 2, Ok: true, Start: 5, End: 6},
+		{Kind: Deq, Value: 1, Ok: true, Start: 7, End: 8},
+	}
+	if err := CheckRealTimeOrder(h); err == nil {
+		t.Fatal("real-time FIFO violation accepted")
+	}
+}
+
+func TestRealTimeOrderConcurrentOK(t *testing.T) {
+	// Concurrent dequeues may complete in either order.
+	h := []Op{
+		{Kind: Enq, Value: 1, Start: 1, End: 2},
+		{Kind: Enq, Value: 2, Start: 3, End: 4},
+		{Kind: Deq, Value: 2, Ok: true, Start: 5, End: 9},
+		{Kind: Deq, Value: 1, Ok: true, Start: 6, End: 8},
+	}
+	if err := CheckRealTimeOrder(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizeHistoryRejected(t *testing.T) {
+	var steps []step
+	for i := 0; i < 65; i++ {
+		steps = append(steps, step{Enq, int64(i), true})
+	}
+	if err := Check(sequential(steps...)); err == nil {
+		t.Fatal("oversize history accepted by exact checker")
+	}
+}
+
+// TestTurnQueueHistories records small real concurrent histories from the
+// Turn queue and runs them through the exact checker.
+func TestTurnQueueHistories(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		const workers = 3
+		q := core.New[int64](core.WithMaxThreads(workers))
+		rec := NewRecorder(workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				slot, ok := q.Registry().Acquire()
+				if !ok {
+					t.Error("no slot")
+					return
+				}
+				defer q.Registry().Release(slot)
+				for k := 0; k < 3; k++ {
+					v := int64(w*100 + k)
+					s := rec.Begin()
+					q.Enqueue(slot, v)
+					rec.EndEnq(w, v, s)
+					s = rec.Begin()
+					got, ok := q.Dequeue(slot)
+					rec.EndDeq(w, got, ok, s)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := Check(rec.History()); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

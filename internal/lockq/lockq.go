@@ -1,0 +1,66 @@
+// Package lockq implements the Michael-Scott two-lock blocking queue
+// (PODC '96), the lock-based baseline of the paper's §1.2 motivation:
+// blocking queues have high tail latency because a descheduled lock holder
+// stalls every other thread.
+//
+// One mutex guards the head, another the tail, with a permanent sentinel
+// between them so producers and consumers never contend on the same lock.
+package lockq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type node[T any] struct {
+	item T
+	// next is atomic because the two locks do not exclude each other:
+	// when the queue is empty, head == tail, so an enqueue's link store
+	// (under tailMu) races a dequeue's link read (under headMu) on the
+	// same sentinel node. The original PODC '96 pseudo-code has the same
+	// unsynchronized pair; Go's memory model requires making it atomic.
+	next atomic.Pointer[node[T]]
+}
+
+// Queue is an MPMC blocking queue. The zero value is not ready; use New.
+type Queue[T any] struct {
+	headMu sync.Mutex
+	head   *node[T] // sentinel; head.next is the first item
+	tailMu sync.Mutex
+	tail   *node[T]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	sentinel := new(node[T])
+	return &Queue[T]{head: sentinel, tail: sentinel}
+}
+
+// Enqueue appends item under the tail lock.
+func (q *Queue[T]) Enqueue(item T) {
+	nd := &node[T]{item: item}
+	q.tailMu.Lock()
+	q.tail.next.Store(nd)
+	q.tail = nd
+	q.tailMu.Unlock()
+}
+
+// Dequeue removes the item at the head under the head lock, or reports
+// ok=false when the queue is empty.
+func (q *Queue[T]) Dequeue() (item T, ok bool) {
+	q.headMu.Lock()
+	first := q.head.next.Load()
+	if first == nil {
+		q.headMu.Unlock()
+		var zero T
+		return zero, false
+	}
+	// The old sentinel is discarded; first becomes the new sentinel. Its
+	// item is cleared so the queue does not pin consumed values.
+	item = first.item
+	var zero T
+	first.item = zero
+	q.head = first
+	q.headMu.Unlock()
+	return item, true
+}

@@ -1,0 +1,72 @@
+package lockq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	q := New[int]()
+	const producers, per = 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				q.Enqueue(p*per + k)
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*per)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	var remaining sync.WaitGroup
+	remaining.Add(producers * per)
+	done := make(chan struct{})
+	go func() { remaining.Wait(); close(done) }()
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := q.Dequeue(); ok {
+					mu.Lock()
+					if seen[v] {
+						t.Errorf("item %d dequeued twice", v)
+					}
+					seen[v] = true
+					mu.Unlock()
+					remaining.Done()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+}

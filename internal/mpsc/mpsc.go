@@ -1,0 +1,76 @@
+// Package mpsc implements Dmitry Vyukov's non-intrusive MPSC node-based
+// queue, the §1 honorable mention: enqueue is wait-free population
+// oblivious (one atomic exchange), but dequeue is blocking — a producer
+// descheduled between its exchange and its link store makes the queue
+// appear empty to the consumer even though later items are already linked,
+// so "a lagging enqueuer can block all dequeuers indefinitely".
+//
+// Dequeue here is non-blocking in the Go-API sense (it returns ok=false
+// rather than spinning), but the *progress* classification stands: an
+// empty report does not mean the queue is empty, only that the next item
+// is not yet visible. TryDequeue exposes the distinction: it reports
+// whether the emptiness is definite or caused by a lagging producer.
+package mpsc
+
+import "sync/atomic"
+
+type node[T any] struct {
+	item T
+	next atomic.Pointer[node[T]]
+}
+
+// Queue is a multi-producer single-consumer queue. Any number of
+// goroutines may call Enqueue; exactly one may call Dequeue.
+type Queue[T any] struct {
+	// producerEnd is Vyukov's head: the most recently enqueued node,
+	// swapped in by producers.
+	producerEnd atomic.Pointer[node[T]]
+	// consumerEnd is Vyukov's tail: the sentinel whose next is the first
+	// unconsumed item. Owned by the single consumer.
+	consumerEnd *node[T]
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	sentinel := new(node[T])
+	q := new(Queue[T])
+	q.producerEnd.Store(sentinel)
+	q.consumerEnd = sentinel
+	return q
+}
+
+// Enqueue appends item: one atomic exchange publishes the node, one store
+// links it. Two steps, no loops — wait-free population oblivious.
+func (q *Queue[T]) Enqueue(item T) {
+	nd := &node[T]{item: item}
+	prev := q.producerEnd.Swap(nd)
+	// A crash or long stall right here is the blocking window: nd and
+	// everything enqueued after it stay invisible until this store runs.
+	prev.next.Store(nd)
+}
+
+// Dequeue removes the first visible item. ok=false means no item is
+// visible — the queue may still be non-empty if a producer is lagging.
+func (q *Queue[T]) Dequeue() (item T, ok bool) {
+	first := q.consumerEnd.next.Load()
+	if first == nil {
+		var zero T
+		return zero, false
+	}
+	item = first.item
+	var zero T
+	first.item = zero // new sentinel must not pin the consumed value
+	q.consumerEnd = first
+	return item, true
+}
+
+// TryDequeue is Dequeue plus a definite-emptiness report: lagging=true
+// means a producer has swapped in a node that is not yet linked, i.e. the
+// queue is non-empty but blocked (the paper's critique of this design).
+func (q *Queue[T]) TryDequeue() (item T, ok, lagging bool) {
+	item, ok = q.Dequeue()
+	if ok {
+		return item, true, false
+	}
+	return item, false, q.producerEnd.Load() != q.consumerEnd
+}

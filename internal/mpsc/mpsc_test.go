@@ -1,0 +1,68 @@
+package mpsc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestEmptyNotLagging(t *testing.T) {
+	q := New[int]()
+	if _, _, lagging := q.TryDequeue(); lagging {
+		t.Fatal("fresh queue reported lagging")
+	}
+}
+
+func TestMultiProducer(t *testing.T) {
+	q := New[[2]int]()
+	const producers, per = 4, 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				q.Enqueue([2]int{p, k})
+			}
+		}(p)
+	}
+	seen := make(map[[2]int]bool, producers*per)
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	got := 0
+	for got < producers*per {
+		v, ok := q.Dequeue()
+		if !ok {
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("item %v dequeued twice", v)
+		}
+		seen[v] = true
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+		got++
+	}
+	wg.Wait()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue should be drained")
+	}
+}

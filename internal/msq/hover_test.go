@@ -1,0 +1,19 @@
+package msq
+
+import (
+	"testing"
+
+	"turnqueue/internal/qtest"
+)
+
+// TestHoverEmpty drives the empty-path machinery hard: producers are
+// throttled so consumers race enqueues around an empty queue (see
+// qtest.Config.HoverEmpty).
+func TestHoverEmpty(t *testing.T) {
+	per := 3000
+	if testing.Short() {
+		per = 300
+	}
+	q := New[qtest.Item](6)
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 2, Consumers: 4, PerProducer: per, HoverEmpty: true})
+}

@@ -1,0 +1,151 @@
+// Package msq implements the Michael-Scott lock-free queue (PODC '96) with
+// hazard-pointer memory reclamation — the baseline of the paper's Table 3
+// and Figures 1-3 ("probably the simplest of the lock-free queues").
+//
+// Progress: lock-free, not wait-free. Both operations retry an unbounded
+// CAS loop; under contention a thread can starve, which is precisely the
+// fat tail the paper's latency experiments exhibit for MS. Consequently
+// this package uses the lock-free hazard-pointer discipline of the paper's
+// Algorithm 5 lockFreeMethod(): re-read-and-retry rather than bounded
+// stepping.
+//
+// As in internal/core, reclaimed nodes are recycled through a per-thread
+// pool so that hazard pointers guard against real ABA under Go's GC.
+package msq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+const (
+	hpHead = 0 // dequeue: current head (also enqueue's tail slot)
+	hpNext = 1 // dequeue: head's successor (the node whose item we return)
+	numHPs = 2
+)
+
+type node[T any] struct {
+	item T
+	next atomic.Pointer[node[T]]
+}
+
+// Queue is an MPMC Michael-Scott queue for up to MaxThreads registered
+// threads (the bound exists only for the hazard-pointer matrix and pool).
+type Queue[T any] struct {
+	maxThreads int
+
+	head atomic.Pointer[node[T]]
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Pointer[node[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	hp       *hazard.Domain[node[T]]
+	free     [][]*node[T] // per-thread pools; each owned by its thread
+	registry *tid.Registry
+}
+
+// New creates a queue sized for maxThreads registered threads.
+func New[T any](maxThreads int) *Queue[T] {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("msq: maxThreads must be positive, got %d", maxThreads))
+	}
+	q := &Queue[T]{
+		maxThreads: maxThreads,
+		free:       make([][]*node[T], maxThreads),
+		registry:   tid.NewRegistry(maxThreads),
+	}
+	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle)
+	sentinel := new(node[T])
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+const poolCap = 256
+
+func (q *Queue[T]) recycle(threadID int, nd *node[T]) {
+	var zero T
+	nd.item = zero
+	if len(q.free[threadID]) >= poolCap {
+		return
+	}
+	q.free[threadID] = append(q.free[threadID], nd)
+}
+
+func (q *Queue[T]) alloc(threadID int, item T) *node[T] {
+	list := q.free[threadID]
+	if n := len(list); n > 0 {
+		nd := list[n-1]
+		list[n-1] = nil
+		q.free[threadID] = list[:n-1]
+		nd.item = item
+		nd.next.Store(nil)
+		return nd
+	}
+	return &node[T]{item: item}
+}
+
+// MaxThreads returns the registered-thread bound.
+func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// Registry returns the queue's thread-slot registry.
+func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+
+// Enqueue appends item. Lock-free: the loop retries until the two-step
+// link-then-swing-tail succeeds or is helped along by another thread.
+func (q *Queue[T]) Enqueue(threadID int, item T) {
+	nd := q.alloc(threadID, item)
+	for {
+		ltail := q.hp.ProtectPtr(hpHead, threadID, q.tail.Load())
+		if ltail != q.tail.Load() {
+			continue
+		}
+		lnext := ltail.next.Load()
+		if lnext != nil {
+			// Tail is lagging; help swing it and retry.
+			q.tail.CompareAndSwap(ltail, lnext)
+			continue
+		}
+		if ltail.next.CompareAndSwap(nil, nd) {
+			q.tail.CompareAndSwap(ltail, nd)
+			q.hp.Clear(threadID)
+			return
+		}
+	}
+}
+
+// Dequeue removes the item at the head, or reports ok=false when empty.
+func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	for {
+		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		if lnext == nil {
+			q.hp.Clear(threadID)
+			var zero T
+			return zero, false
+		}
+		if ltail := q.tail.Load(); ltail == lhead {
+			// Help a lagging tail before detaching its successor.
+			q.tail.CompareAndSwap(ltail, lnext)
+		}
+		if q.head.CompareAndSwap(lhead, lnext) {
+			// lnext is protected by hpNext, so reading the item after the
+			// CAS cannot race with its reclamation; lhead has left the
+			// shared structure and is ours to retire.
+			item = lnext.item
+			q.hp.Clear(threadID)
+			q.hp.Retire(threadID, lhead)
+			return item, true
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package msq
+
+import (
+	"testing"
+
+	"turnqueue/internal/qtest"
+)
+
+// wrap adapts Queue[qtest.Item] to the harness interface (method set
+// already matches; this alias makes the intent explicit).
+func newQ(maxThreads int) *Queue[qtest.Item] { return New[qtest.Item](maxThreads) }
+
+func TestSequentialFIFO(t *testing.T) {
+	qtest.RunSequentialFIFO(t, newQ(4), 2000)
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int](2)
+	for i := 0; i < 5; i++ {
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("empty dequeue returned %d", v)
+		}
+	}
+	q.Enqueue(0, 7)
+	if v, ok := q.Dequeue(1); !ok || v != 7 {
+		t.Fatalf("got (%d,%v), want (7,true)", v, ok)
+	}
+}
+
+func TestMPMCStress(t *testing.T) {
+	per := 3000
+	if testing.Short() {
+		per = 500
+	}
+	for _, shape := range []struct{ p, c int }{{1, 1}, {2, 2}, {4, 4}, {6, 2}, {2, 6}} {
+		q := newQ(shape.p + shape.c)
+		qtest.RunMPMC(t, q, qtest.Config{Producers: shape.p, Consumers: shape.c, PerProducer: per})
+	}
+}
+
+func TestMPMCPairs(t *testing.T) {
+	q := newQ(8)
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 8, PerProducer: 2000, Mixed: true})
+}
+
+func TestNodeRecycling(t *testing.T) {
+	q := New[int](1)
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(0, i)
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if got := len(q.free[0]); got == 0 {
+		t.Error("free list empty after steady-state churn; recycling not working")
+	}
+}

@@ -1,0 +1,9 @@
+package msq
+
+import "unsafe"
+
+// SizeInfo reports the node size and fixed per-thread footprint (none
+// beyond hazard pointers) for the MS queue.
+func SizeInfo() (nodeBytes, fixedPerThread uintptr) {
+	return unsafe.Sizeof(node[uintptr]{}), 0
+}

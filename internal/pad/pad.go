@@ -1,0 +1,50 @@
+// Package pad provides cache-line padding primitives used by all shared
+// per-thread arrays in this repository.
+//
+// The paper's C++ artifact aligns the enqueuers/deqself/deqhelp arrays and
+// the hazard-pointer matrix to cache lines so that each thread's slot lives
+// on its own line. Go offers no alignment directive, but embedding a
+// line-sized pad after the hot word achieves the same: adjacent slots can
+// no longer share a line, eliminating false sharing between threads.
+package pad
+
+import "sync/atomic"
+
+// CacheLine is the assumed cache-line size in bytes. 64 is correct for all
+// mainstream x86-64 and most arm64 parts. We pad to two lines (128 B) for
+// the hottest arrays because adjacent-line prefetchers on Intel parts pull
+// pairs of lines, which reintroduces false sharing at 64 B granularity.
+const CacheLine = 64
+
+// Line is a single cache line worth of padding.
+type Line [CacheLine]byte
+
+// PointerSlot is a cache-line-padded atomic pointer. A []PointerSlot[T] is
+// the Go equivalent of the paper's
+//
+//	alignas(128) std::atomic<Node*> enqueuers[MAX_THREADS];
+//
+// one slot per registered thread, no two slots on the same line pair.
+type PointerSlot[T any] struct {
+	P atomic.Pointer[T]
+	_ [2*CacheLine - 8]byte
+}
+
+// Int64Slot is a cache-line-padded atomic int64, used for per-thread
+// counters (operation counts, epoch announcements).
+type Int64Slot struct {
+	V atomic.Int64
+	_ [2*CacheLine - 8]byte
+}
+
+// Int32Slot is a cache-line-padded atomic int32, used for per-thread flags.
+type Int32Slot struct {
+	V atomic.Int32
+	_ [2*CacheLine - 4]byte
+}
+
+// BoolSlot is a cache-line-padded atomic bool (stored as uint32).
+type BoolSlot struct {
+	V atomic.Bool
+	_ [2*CacheLine - 4]byte
+}

@@ -1,0 +1,56 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The whole point of this package is layout; assert it.
+
+func TestSlotSizes(t *testing.T) {
+	if s := unsafe.Sizeof(PointerSlot[int]{}); s != 2*CacheLine {
+		t.Errorf("PointerSlot size = %d, want %d", s, 2*CacheLine)
+	}
+	if s := unsafe.Sizeof(Int64Slot{}); s != 2*CacheLine {
+		t.Errorf("Int64Slot size = %d, want %d", s, 2*CacheLine)
+	}
+	if s := unsafe.Sizeof(Int32Slot{}); s != 2*CacheLine {
+		t.Errorf("Int32Slot size = %d, want %d", s, 2*CacheLine)
+	}
+	if s := unsafe.Sizeof(BoolSlot{}); s != 2*CacheLine {
+		t.Errorf("BoolSlot size = %d, want %d", s, 2*CacheLine)
+	}
+	if s := unsafe.Sizeof(Line{}); s != CacheLine {
+		t.Errorf("Line size = %d, want %d", s, CacheLine)
+	}
+}
+
+func TestAdjacentSlotsOnDistinctLinePairs(t *testing.T) {
+	slots := make([]PointerSlot[int], 4)
+	for i := 1; i < len(slots); i++ {
+		a := uintptr(unsafe.Pointer(&slots[i-1].P))
+		b := uintptr(unsafe.Pointer(&slots[i].P))
+		if b-a < 2*CacheLine {
+			t.Fatalf("slots %d and %d are %d bytes apart, want >= %d", i-1, i, b-a, 2*CacheLine)
+		}
+	}
+}
+
+func TestSlotsUsable(t *testing.T) {
+	var p PointerSlot[int]
+	v := 7
+	p.P.Store(&v)
+	if *p.P.Load() != 7 {
+		t.Fatal("pointer slot round-trip failed")
+	}
+	var i Int64Slot
+	i.V.Add(41)
+	i.V.Add(1)
+	if i.V.Load() != 42 {
+		t.Fatal("int64 slot round-trip failed")
+	}
+	var b BoolSlot
+	if !b.V.CompareAndSwap(false, true) || !b.V.Load() {
+		t.Fatal("bool slot round-trip failed")
+	}
+}

@@ -1,0 +1,201 @@
+// Package qtest provides the shared concurrent-correctness harness used by
+// every queue implementation's tests: it drives configurable
+// producer/consumer mixes and validates the whole-run invariants that any
+// linearizable FIFO queue must satisfy — no lost items, no duplicated
+// items, and per-producer FIFO order as observed by each single consumer.
+package qtest
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"turnqueue/internal/tid"
+)
+
+// Item identifies a value uniquely across a run: producer P's K-th item.
+type Item struct {
+	P int32
+	K int32
+}
+
+// Queue is the minimal MPMC surface the harness drives. All tid-based
+// queues in this repository satisfy it when instantiated as Queue-of-Item.
+type Queue interface {
+	Enqueue(threadID int, v Item)
+	Dequeue(threadID int) (Item, bool)
+	Registry() *tid.Registry
+}
+
+// Config shapes an MPMC run.
+type Config struct {
+	Producers   int
+	Consumers   int
+	PerProducer int
+	// Mixed makes every worker both produce and consume (pairs workload)
+	// instead of splitting roles.
+	Mixed bool
+	// HoverEmpty throttles producers so the queue hovers around empty:
+	// consumers constantly observe emptiness and race enqueues, driving
+	// the empty-path machinery (the Turn queue's giveUp rollback, KP's
+	// empty completion, FAA's wasted tickets) far harder than a saturated
+	// run does.
+	HoverEmpty bool
+}
+
+// RunMPMC drives the queue with cfg and fails t on any invariant
+// violation. It returns the per-consumer dequeue logs for callers that
+// want to run additional checks.
+func RunMPMC(t *testing.T, q Queue, cfg Config) [][]Item {
+	t.Helper()
+	if cfg.Mixed {
+		return runPairs(t, q, cfg)
+	}
+	return runSplit(t, q, cfg)
+}
+
+func runSplit(t *testing.T, q Queue, cfg Config) [][]Item {
+	t.Helper()
+	total := cfg.Producers * cfg.PerProducer
+	var wg sync.WaitGroup
+	results := make([][]Item, cfg.Consumers)
+	var consumed sync.WaitGroup
+	consumed.Add(total)
+
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("qtest: no registry slot for producer")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for k := 0; k < cfg.PerProducer; k++ {
+				q.Enqueue(slot, Item{P: int32(p), K: int32(k)})
+				if cfg.HoverEmpty {
+					// Let consumers drain and hit the empty path before
+					// the next item appears. (Consumers yield on empty,
+					// so this throttling cannot starve anyone.)
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	for c := 0; c < cfg.Consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("qtest: no registry slot for consumer")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := q.Dequeue(slot); ok {
+					results[c] = append(results[c], v)
+					consumed.Done()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	Validate(t, results, cfg.Producers, cfg.PerProducer)
+	return results
+}
+
+func runPairs(t *testing.T, q Queue, cfg Config) [][]Item {
+	t.Helper()
+	workers := cfg.Producers
+	results := make([][]Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot, ok := q.Registry().Acquire()
+			if !ok {
+				t.Error("qtest: no registry slot for worker")
+				return
+			}
+			defer q.Registry().Release(slot)
+			for k := 0; k < cfg.PerProducer; k++ {
+				q.Enqueue(slot, Item{P: int32(w), K: int32(k)})
+				if v, ok := q.Dequeue(slot); ok {
+					results[w] = append(results[w], v)
+				} else {
+					t.Error("qtest: dequeue returned empty in a pairs workload with an item outstanding")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// In a pairs workload every enqueue is matched by a dequeue, so the
+	// full count must come back out; drain leftovers (none expected).
+	Validate(t, results, workers, cfg.PerProducer)
+	return results
+}
+
+// Validate checks the whole-run invariants over the dequeue logs:
+// exactly-once delivery of every produced item, and strictly increasing
+// per-producer sequence numbers within each consumer's log.
+func Validate(t *testing.T, results [][]Item, producers, perProducer int) {
+	t.Helper()
+	total := producers * perProducer
+	seen := make(map[Item]int, total)
+	for c := range results {
+		last := make(map[int32]int32, producers)
+		for _, v := range results[c] {
+			seen[v]++
+			if prev, ok := last[v.P]; ok && v.K <= prev {
+				t.Fatalf("qtest: consumer %d saw producer %d out of order: k=%d then k=%d", c, v.P, prev, v.K)
+			}
+			last[v.P] = v.K
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("qtest: dequeued %d distinct items, want %d (lost %d)", len(seen), total, total-len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("qtest: item %+v dequeued %d times", v, n)
+		}
+	}
+}
+
+// RunSequentialFIFO drives a single-threaded FIFO check through the queue.
+func RunSequentialFIFO(t *testing.T, q Queue, n int) {
+	t.Helper()
+	slot, ok := q.Registry().Acquire()
+	if !ok {
+		t.Fatal("qtest: no registry slot")
+	}
+	defer q.Registry().Release(slot)
+	for i := 0; i < n; i++ {
+		q.Enqueue(slot, Item{P: 0, K: int32(i)})
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue(slot)
+		if !ok {
+			t.Fatalf("qtest: dequeue %d: unexpectedly empty", i)
+		}
+		if v.K != int32(i) {
+			t.Fatalf("qtest: dequeue %d: got k=%d, want %d (FIFO violated)", i, v.K, i)
+		}
+	}
+	if v, ok := q.Dequeue(slot); ok {
+		t.Fatalf("qtest: dequeue on empty queue returned %+v", v)
+	}
+}

@@ -1,0 +1,54 @@
+package qtest
+
+// Self-tests for the harness: the validator must reject the violations it
+// exists to catch, otherwise every queue test that uses it is vacuous.
+
+import "testing"
+
+func TestValidateAcceptsCleanRun(t *testing.T) {
+	results := [][]Item{
+		{{P: 0, K: 0}, {P: 0, K: 1}, {P: 1, K: 0}},
+		{{P: 1, K: 1}},
+	}
+	mock := &testing.T{}
+	Validate(mock, results, 2, 2)
+	if mock.Failed() {
+		t.Fatal("clean run rejected")
+	}
+}
+
+func TestValidateCatchesLoss(t *testing.T) {
+	results := [][]Item{{{P: 0, K: 0}}} // producer 0 item 1 missing
+	assertFails(t, func(mock *testing.T) { Validate(mock, results, 1, 2) })
+}
+
+func TestValidateCatchesDuplicate(t *testing.T) {
+	results := [][]Item{
+		{{P: 0, K: 0}, {P: 0, K: 1}},
+		{{P: 0, K: 1}},
+	}
+	assertFails(t, func(mock *testing.T) { Validate(mock, results, 1, 2) })
+}
+
+func TestValidateCatchesReorder(t *testing.T) {
+	results := [][]Item{
+		{{P: 0, K: 1}, {P: 0, K: 0}},
+	}
+	assertFails(t, func(mock *testing.T) { Validate(mock, results, 1, 2) })
+}
+
+// assertFails runs f against a throwaway testing.T inside a goroutine
+// (Fatalf calls runtime.Goexit, which must not kill the real test).
+func assertFails(t *testing.T, f func(mock *testing.T)) {
+	t.Helper()
+	mock := &testing.T{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f(mock)
+	}()
+	<-done
+	if !mock.Failed() {
+		t.Fatal("validator accepted an invalid run")
+	}
+}

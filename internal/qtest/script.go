@@ -1,0 +1,58 @@
+package qtest
+
+import "testing"
+
+// RunModelScript drives q with a byte-encoded operation script and checks
+// every outcome against a reference FIFO. Each byte encodes one
+// operation: the low bit selects enqueue/dequeue, the remaining bits the
+// thread slot (mod maxThreads). Shared by the per-queue fuzz targets.
+func RunModelScript(t *testing.T, q Queue, maxThreads int, script []byte) {
+	t.Helper()
+	var model []Item
+	var next int32
+	for pc, b := range script {
+		tid := int(b>>1) % maxThreads
+		if b&1 == 0 {
+			it := Item{P: 0, K: next}
+			q.Enqueue(tid, it)
+			model = append(model, it)
+			next++
+			continue
+		}
+		gv, gok := q.Dequeue(tid)
+		if len(model) == 0 {
+			if gok {
+				t.Fatalf("op %d: dequeue on empty returned %+v", pc, gv)
+			}
+			continue
+		}
+		if !gok {
+			t.Fatalf("op %d: dequeue empty with %d items outstanding", pc, len(model))
+		}
+		if gv != model[0] {
+			t.Fatalf("op %d: dequeue = %+v, model head = %+v", pc, gv, model[0])
+		}
+		model = model[1:]
+	}
+	for tid := 0; len(model) > 0; tid = (tid + 1) % maxThreads {
+		gv, gok := q.Dequeue(tid)
+		if !gok || gv != model[0] {
+			t.Fatalf("drain: got (%+v,%v), want (%+v,true)", gv, gok, model[0])
+		}
+		model = model[1:]
+	}
+	if gv, ok := q.Dequeue(0); ok {
+		t.Fatalf("residual item %+v after drain", gv)
+	}
+}
+
+// ScriptSeeds returns a standard seed corpus for the fuzz targets.
+func ScriptSeeds() [][]byte {
+	return [][]byte{
+		{0x00, 0x01},
+		{0x00, 0x02, 0x04, 0x01, 0x03, 0x05},
+		{0x01, 0x01, 0x00, 0x01, 0x01},
+		{0xfe, 0xff, 0xfc, 0xfd, 0x00, 0x01},
+		{0x00, 0x00, 0x00, 0x01, 0x01, 0x01, 0x01},
+	}
+}

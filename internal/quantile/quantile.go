@@ -1,0 +1,133 @@
+// Package quantile computes latency-distribution quantiles the way the
+// paper's §4.1 procedure does: every individual call latency is recorded
+// in a pre-allocated per-thread array, the arrays are aggregated into one,
+// sorted, and the value at each quantile index is read off. No histogram
+// binning — the paper reports exact order statistics, so we do too.
+package quantile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PaperQuantiles are the six columns of Table 3 and the six panels of
+// Figure 1, as fractions.
+var PaperQuantiles = []float64{0.50, 0.90, 0.99, 0.999, 0.9999, 0.99999}
+
+// Label renders a quantile fraction the way the paper's tables head their
+// columns (50%, 99.9%, ...).
+func Label(q float64) string {
+	s := fmt.Sprintf("%.5f", q*100)
+	// Trim trailing zeros and a trailing dot.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + "%"
+}
+
+// Dist is an aggregated, sorted latency distribution in nanoseconds.
+type Dist struct {
+	sorted []int64
+}
+
+// Aggregate merges per-thread sample arrays into one sorted distribution.
+// It panics if no samples are supplied — an empty distribution has no
+// quantiles and indicates a harness bug.
+func Aggregate(perThread ...[]int64) *Dist {
+	total := 0
+	for _, s := range perThread {
+		total += len(s)
+	}
+	if total == 0 {
+		panic("quantile: Aggregate with no samples")
+	}
+	all := make([]int64, 0, total)
+	for _, s := range perThread {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return &Dist{sorted: all}
+}
+
+// Count returns the number of samples.
+func (d *Dist) Count() int { return len(d.sorted) }
+
+// At returns the latency at quantile q in [0,1]: the order statistic at
+// index ceil(q*(n-1)), matching "sort, then read the value at the
+// quantile" from §4.1.
+func (d *Dist) At(q float64) int64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("quantile: q=%v out of [0,1]", q))
+	}
+	idx := int(q * float64(len(d.sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(d.sorted) {
+		idx = len(d.sorted) - 1
+	}
+	return d.sorted[idx]
+}
+
+// Row evaluates the distribution at each of qs, in nanoseconds.
+func (d *Dist) Row(qs []float64) []int64 {
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = d.At(q)
+	}
+	return out
+}
+
+// Max returns the largest recorded sample.
+func (d *Dist) Max() int64 { return d.sorted[len(d.sorted)-1] }
+
+// Min returns the smallest recorded sample.
+func (d *Dist) Min() int64 { return d.sorted[0] }
+
+// MinMaxOverRuns reduces one row per run into the paper's "min - max"
+// presentation for each quantile column (Table 3 shows, per quantile, the
+// minimum and maximum over 7 runs).
+func MinMaxOverRuns(rows [][]int64) (mins, maxs []int64) {
+	if len(rows) == 0 {
+		panic("quantile: MinMaxOverRuns with no runs")
+	}
+	cols := len(rows[0])
+	mins = append([]int64(nil), rows[0]...)
+	maxs = append([]int64(nil), rows[0]...)
+	for _, row := range rows[1:] {
+		if len(row) != cols {
+			panic("quantile: ragged rows in MinMaxOverRuns")
+		}
+		for c, v := range row {
+			if v < mins[c] {
+				mins[c] = v
+			}
+			if v > maxs[c] {
+				maxs[c] = v
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// MedianOverRuns reduces one row per run to the per-column median, used
+// for Figure 1's data points ("each data point is the median of 7 runs").
+func MedianOverRuns(rows [][]int64) []int64 {
+	if len(rows) == 0 {
+		panic("quantile: MedianOverRuns with no runs")
+	}
+	cols := len(rows[0])
+	out := make([]int64, cols)
+	tmp := make([]int64, len(rows))
+	for c := 0; c < cols; c++ {
+		for r, row := range rows {
+			tmp[r] = row[c]
+		}
+		sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+		out[c] = tmp[len(tmp)/2]
+	}
+	return out
+}

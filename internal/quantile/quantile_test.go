@@ -1,0 +1,123 @@
+package quantile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLabel(t *testing.T) {
+	cases := map[float64]string{
+		0.50:    "50%",
+		0.90:    "90%",
+		0.99:    "99%",
+		0.999:   "99.9%",
+		0.9999:  "99.99%",
+		0.99999: "99.999%",
+	}
+	for q, want := range cases {
+		if got := Label(q); got != want {
+			t.Errorf("Label(%v) = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestAtKnownDistribution(t *testing.T) {
+	samples := make([]int64, 100)
+	for i := range samples {
+		samples[i] = int64(i + 1) // 1..100
+	}
+	d := Aggregate(samples)
+	if got := d.At(0); got != 1 {
+		t.Errorf("q0 = %d, want 1", got)
+	}
+	if got := d.At(1); got != 100 {
+		t.Errorf("q1 = %d, want 100", got)
+	}
+	if got := d.At(0.5); got < 50 || got > 51 {
+		t.Errorf("median = %d, want ~50", got)
+	}
+	if got := d.At(0.99); got < 98 || got > 100 {
+		t.Errorf("p99 = %d, want ~99", got)
+	}
+}
+
+func TestAggregateMergesThreads(t *testing.T) {
+	d := Aggregate([]int64{3, 1}, []int64{2}, []int64{5, 4})
+	if d.Count() != 5 {
+		t.Fatalf("count = %d, want 5", d.Count())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("min/max = %d/%d, want 1/5", d.Min(), d.Max())
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int64, len(raw))
+		for i, v := range raw {
+			samples[i] = int64(v)
+		}
+		d := Aggregate(samples)
+		prev := d.At(0)
+		for _, q := range PaperQuantiles {
+			v := d.At(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return d.At(1) >= prev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxOverRuns(t *testing.T) {
+	rows := [][]int64{
+		{10, 20, 30},
+		{5, 25, 28},
+		{8, 22, 35},
+	}
+	mins, maxs := MinMaxOverRuns(rows)
+	wantMin := []int64{5, 20, 28}
+	wantMax := []int64{10, 25, 35}
+	for i := range wantMin {
+		if mins[i] != wantMin[i] || maxs[i] != wantMax[i] {
+			t.Fatalf("col %d: got (%d,%d), want (%d,%d)", i, mins[i], maxs[i], wantMin[i], wantMax[i])
+		}
+	}
+}
+
+func TestMedianOverRuns(t *testing.T) {
+	rows := [][]int64{
+		{10, 200},
+		{30, 100},
+		{20, 300},
+	}
+	med := MedianOverRuns(rows)
+	if med[0] != 20 || med[1] != 200 {
+		t.Fatalf("got %v, want [20 200]", med)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty aggregate": func() { Aggregate() },
+		"bad q":           func() { Aggregate([]int64{1}).At(1.5) },
+		"no runs":         func() { MinMaxOverRuns(nil) },
+		"ragged":          func() { MinMaxOverRuns([][]int64{{1}, {1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

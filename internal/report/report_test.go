@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Demo", "name", "value")
+	t.AddRow("alpha", "1")
+	t.AddRowf("beta", 2.5)
+	return t
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("text output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "| name | value |") {
+		t.Fatalf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| beta | 2.50 |") {
+		t.Fatalf("formatted float missing:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x,y", `with "quote"`)
+	out := tb.CSV()
+	want := "a,b\n\"x,y\",\"with \"\"quote\"\"\"\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tb := sample()
+	for _, f := range []string{"text", "", "md", "markdown", "csv"} {
+		if _, err := tb.Render(f); err != nil {
+			t.Errorf("Render(%q): %v", f, err)
+		}
+	}
+	if _, err := tb.Render("xml"); err == nil {
+		t.Error("Render(xml) did not error")
+	}
+}
+
+func TestRowWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short row did not panic")
+		}
+	}()
+	New("", "a", "b").AddRow("only-one")
+}

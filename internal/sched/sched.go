@@ -1,0 +1,210 @@
+// Package sched is a cooperative scheduler for systematic concurrency
+// testing: virtual threads run one at a time and hand control back before
+// every shared-memory access, so the interleaving of an execution is
+// fully determined by the controller's sequence of thread choices. With a
+// seeded random chooser this explores radically more interleavings than
+// the OS scheduler does (on a single-CPU host, Go preempts roughly every
+// 10ms — billions of instructions — while this harness interleaves at
+// individual shared accesses), and any failing schedule replays exactly
+// from its seed.
+//
+// internal/schedsim uses it to drive a step-instrumented model of the
+// Turn queue's consensus against the exact linearizability checker.
+package sched
+
+import "fmt"
+
+// VThread is a virtual thread handle. The thread's body must call Step
+// before every access to memory shared with other virtual threads.
+type VThread struct {
+	id    int
+	grant chan struct{}
+	yield chan struct{}
+	done  bool
+}
+
+// ID returns the thread's index.
+func (t *VThread) ID() int { return t.id }
+
+// Step yields control to the scheduler; it returns when the scheduler
+// grants this thread its next step.
+func (t *VThread) Step() {
+	t.yield <- struct{}{}
+	<-t.grant
+}
+
+// Chooser picks the next thread to run from the runnable set (non-empty,
+// sorted ascending). Implementations must be deterministic functions of
+// their own state for replayability.
+type Chooser interface {
+	Choose(runnable []int) int
+}
+
+// ChooserFunc adapts a function to the Chooser interface.
+type ChooserFunc func(runnable []int) int
+
+// Choose implements Chooser.
+func (f ChooserFunc) Choose(runnable []int) int { return f(runnable) }
+
+// Run executes the bodies under the chooser's schedule and returns the
+// schedule trace (the chosen thread id per step). Bodies run strictly one
+// at a time; between two Step calls a body may do anything (all of it is
+// a single atomic block from the other threads' point of view).
+func Run(chooser Chooser, bodies ...func(*VThread)) []int {
+	if len(bodies) == 0 {
+		return nil
+	}
+	threads := make([]*VThread, len(bodies))
+	for i := range bodies {
+		threads[i] = &VThread{
+			id:    i,
+			grant: make(chan struct{}),
+			yield: make(chan struct{}),
+		}
+	}
+	for i, body := range bodies {
+		go func(t *VThread, body func(*VThread)) {
+			<-t.grant // wait for the first grant
+			body(t)
+			t.done = true
+			t.yield <- struct{}{} // final yield: report completion
+		}(threads[i], body)
+	}
+
+	var trace []int
+	for {
+		var runnable []int
+		for _, t := range threads {
+			if !t.done {
+				runnable = append(runnable, t.id)
+			}
+		}
+		if len(runnable) == 0 {
+			return trace
+		}
+		pick := chooser.Choose(runnable)
+		if !contains(runnable, pick) {
+			panic(fmt.Sprintf("sched: chooser picked %d, not in runnable set %v", pick, runnable))
+		}
+		trace = append(trace, pick)
+		t := threads[pick]
+		t.grant <- struct{}{}
+		<-t.yield // the thread ran one step (or finished)
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomChooser picks uniformly with a splitmix64 stream; the same seed
+// always produces the same schedule for the same program.
+type RandomChooser struct {
+	state uint64
+}
+
+// NewRandomChooser returns a chooser seeded with seed.
+func NewRandomChooser(seed uint64) *RandomChooser { return &RandomChooser{state: seed} }
+
+// Choose implements Chooser.
+func (r *RandomChooser) Choose(runnable []int) int {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return runnable[int(z%uint64(len(runnable)))]
+}
+
+// ReplayChooser replays a recorded trace, then falls back to
+// round-robin (for traces truncated by a fix that shortened execution).
+type ReplayChooser struct {
+	trace []int
+	pos   int
+}
+
+// NewReplayChooser returns a chooser that replays trace.
+func NewReplayChooser(trace []int) *ReplayChooser { return &ReplayChooser{trace: trace} }
+
+// Choose implements Chooser.
+func (r *ReplayChooser) Choose(runnable []int) int {
+	for r.pos < len(r.trace) {
+		pick := r.trace[r.pos]
+		r.pos++
+		if contains(runnable, pick) {
+			return pick
+		}
+	}
+	return runnable[0]
+}
+
+// BurstChooser runs one randomly chosen thread for a random burst of
+// steps before switching — schedules with long per-thread stretches and
+// abrupt context switches, which trigger stall-window bugs (a helper
+// parked halfway through a two-step protocol) far more often than
+// uniform per-step randomness does (the insight behind PCT-style
+// probabilistic concurrency testing).
+type BurstChooser struct {
+	state    uint64
+	current  int
+	left     int
+	maxBurst int
+}
+
+// NewBurstChooser returns a burst chooser with bursts of 1..maxBurst
+// steps.
+func NewBurstChooser(seed uint64, maxBurst int) *BurstChooser {
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	return &BurstChooser{state: seed, current: -1, maxBurst: maxBurst}
+}
+
+func (b *BurstChooser) next() uint64 {
+	b.state += 0x9e3779b97f4a7c15
+	z := b.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Choose implements Chooser.
+func (b *BurstChooser) Choose(runnable []int) int {
+	if b.left > 0 && contains(runnable, b.current) {
+		b.left--
+		return b.current
+	}
+	b.current = runnable[int(b.next()%uint64(len(runnable)))]
+	b.left = int(b.next() % uint64(b.maxBurst)) // burst length 1..maxBurst
+	return b.current
+}
+
+// StepFirstChooser drives one designated thread as far as possible before
+// any other runs — a targeted adversarial schedule (e.g. "one thread does
+// its whole operation while everyone else is parked", or with Invert, a
+// thread that is starved until the end).
+type StepFirstChooser struct {
+	Preferred int
+	Invert    bool
+}
+
+// Choose implements Chooser.
+func (s StepFirstChooser) Choose(runnable []int) int {
+	if s.Invert {
+		for _, id := range runnable {
+			if id != s.Preferred {
+				return id
+			}
+		}
+		return s.Preferred
+	}
+	if contains(runnable, s.Preferred) {
+		return s.Preferred
+	}
+	return runnable[0]
+}

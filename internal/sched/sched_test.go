@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestSerializesBodies(t *testing.T) {
+	// Two bodies increment a plain shared counter between steps; under
+	// the scheduler this must never race (the race detector audits).
+	counter := 0
+	body := func(y *VThread) {
+		for i := 0; i < 100; i++ {
+			y.Step()
+			counter++
+		}
+	}
+	Run(NewRandomChooser(1), body, body)
+	if counter != 200 {
+		t.Fatalf("counter = %d, want 200", counter)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	mk := func() []int {
+		return Run(NewRandomChooser(7),
+			func(y *VThread) { y.Step(); y.Step() },
+			func(y *VThread) { y.Step(); y.Step(); y.Step() },
+		)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReplayFollowsTrace(t *testing.T) {
+	orig := Run(NewRandomChooser(99),
+		func(y *VThread) { y.Step(); y.Step() },
+		func(y *VThread) { y.Step() },
+	)
+	replayed := Run(NewReplayChooser(orig),
+		func(y *VThread) { y.Step(); y.Step() },
+		func(y *VThread) { y.Step() },
+	)
+	if len(orig) != len(replayed) {
+		t.Fatalf("lengths differ: %d vs %d", len(orig), len(replayed))
+	}
+	for i := range orig {
+		if orig[i] != replayed[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestStepFirstChooser(t *testing.T) {
+	var order []int
+	record := func(id int) func(*VThread) {
+		return func(y *VThread) {
+			y.Step()
+			order = append(order, id)
+		}
+	}
+	Run(StepFirstChooser{Preferred: 1}, record(0), record(1))
+	if order[0] != 1 {
+		t.Fatalf("preferred thread did not run first: %v", order)
+	}
+	order = nil
+	Run(StepFirstChooser{Preferred: 1, Invert: true}, record(0), record(1))
+	if order[len(order)-1] != 1 {
+		t.Fatalf("starved thread did not run last: %v", order)
+	}
+}
+
+func TestNoBodies(t *testing.T) {
+	if trace := Run(NewRandomChooser(1)); trace != nil {
+		t.Fatalf("empty run produced trace %v", trace)
+	}
+}
+
+func TestTraceCountsMatchSteps(t *testing.T) {
+	// Each body: N Step calls plus the final completion yield => each
+	// body accounts for N+1 scheduler grants.
+	trace := Run(NewRandomChooser(3),
+		func(y *VThread) { y.Step(); y.Step(); y.Step() }, // 3 + 1
+		func(y *VThread) {}, // 0 + 1
+	)
+	if len(trace) != 5 {
+		t.Fatalf("trace length = %d, want 5 (%v)", len(trace), trace)
+	}
+}
+
+func TestBadChooserPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-set choice did not panic")
+		}
+	}()
+	Run(ChooserFunc(func([]int) int { return 99 }), func(y *VThread) { y.Step() })
+}

@@ -1,0 +1,221 @@
+package schedsim
+
+// Step-instrumented model of the §2.3 single-array dequeue alternative
+// (mirroring internal/turnalt), so the rejected design's trickier
+// rollback protocol gets the same schedule-exploration scrutiny as the
+// published one. The enqueue side is shared with the main model.
+
+// altNode extends Node with the alternative's isRequest flag.
+type altNode struct {
+	item      int64
+	enqTid    int
+	deqTid    int
+	isRequest bool
+	next      *altNode
+}
+
+// AltQueue is the single-array model.
+type AltQueue struct {
+	maxThreads int
+	head, tail *altNode
+	enqueuers  []*altNode
+	dequeuers  []*altNode
+}
+
+// NewAlt creates the model for maxThreads virtual threads.
+func NewAlt(maxThreads int) *AltQueue {
+	sentinel := &altNode{enqTid: 0, deqTid: 0}
+	q := &AltQueue{
+		maxThreads: maxThreads,
+		head:       sentinel,
+		tail:       sentinel,
+		enqueuers:  make([]*altNode, maxThreads),
+		dequeuers:  make([]*altNode, maxThreads),
+	}
+	for i := 0; i < maxThreads; i++ {
+		q.dequeuers[i] = &altNode{deqTid: IdxNone}
+	}
+	return q
+}
+
+// Enqueue is Algorithm 2 over altNode.
+func (q *AltQueue) Enqueue(y Stepper, tid int, item int64) {
+	myNode := &altNode{item: item, enqTid: tid, deqTid: IdxNone}
+	y.Step()
+	q.enqueuers[tid] = myNode
+	for {
+		y.Step()
+		if q.enqueuers[tid] == nil {
+			return
+		}
+		y.Step()
+		ltail := q.tail
+		y.Step()
+		if ltail != q.tail {
+			continue
+		}
+		y.Step()
+		if q.enqueuers[ltail.enqTid] == ltail {
+			y.Step()
+			if q.enqueuers[ltail.enqTid] == ltail {
+				q.enqueuers[ltail.enqTid] = nil
+			}
+		}
+		for j := 1; j < q.maxThreads+1; j++ {
+			y.Step()
+			nodeToHelp := q.enqueuers[(j+ltail.enqTid)%q.maxThreads]
+			if nodeToHelp == nil {
+				continue
+			}
+			y.Step()
+			if ltail.next == nil {
+				ltail.next = nodeToHelp
+			}
+			break
+		}
+		y.Step()
+		lnext := ltail.next
+		if lnext != nil {
+			y.Step()
+			if q.tail == ltail {
+				q.tail = lnext
+			}
+		}
+	}
+}
+
+// Dequeue is internal/turnalt's single-array dequeue.
+func (q *AltQueue) Dequeue(y Stepper, tid int) (int64, bool) {
+	y.Step()
+	myReq := q.dequeuers[tid]
+	y.Step()
+	myReq.isRequest = true
+	for {
+		y.Step()
+		if q.dequeuers[tid] != myReq {
+			break
+		}
+		y.Step()
+		lhead := q.head
+		y.Step()
+		if lhead != q.head {
+			continue
+		}
+		y.Step()
+		if lhead == q.tail {
+			y.Step()
+			myReq.isRequest = false // rollback
+			q.giveUp(y, myReq, tid)
+			y.Step()
+			if q.dequeuers[tid] != myReq {
+				break
+			}
+			return 0, false
+		}
+		y.Step()
+		lnext := lhead.next
+		y.Step()
+		if lhead != q.head {
+			continue
+		}
+		if q.searchNext(y, lhead, lnext) != IdxNone {
+			q.casDeqAndHead(y, lhead, lnext, tid)
+		}
+	}
+	y.Step()
+	myNode := q.dequeuers[tid]
+	y.Step()
+	lhead := q.head
+	y.Step()
+	if lhead == q.head {
+		y.Step()
+		if myNode == lhead.next {
+			y.Step()
+			if q.head == lhead {
+				q.head = myNode
+			}
+		}
+	}
+	return myNode.item, true
+}
+
+func (q *AltQueue) searchNext(y Stepper, lhead, lnext *altNode) int {
+	y.Step()
+	turn := lhead.deqTid
+	for idx := turn + 1; idx < turn+q.maxThreads+1; idx++ {
+		idDeq := idx % q.maxThreads
+		y.Step()
+		nd := q.dequeuers[idDeq] // would need an HP publish in the real code
+		y.Step()
+		if q.dequeuers[idDeq] != nd {
+			continue
+		}
+		y.Step()
+		if nd == nil || !nd.isRequest {
+			continue
+		}
+		y.Step()
+		if lnext.deqTid == IdxNone {
+			y.Step()
+			if lnext.deqTid == IdxNone {
+				lnext.deqTid = idDeq
+			}
+		}
+		break
+	}
+	y.Step()
+	return lnext.deqTid
+}
+
+func (q *AltQueue) casDeqAndHead(y Stepper, lhead, lnext *altNode, tid int) {
+	y.Step()
+	ldeqTid := lnext.deqTid
+	if ldeqTid == tid {
+		y.Step()
+		q.dequeuers[ldeqTid] = lnext
+	} else {
+		y.Step()
+		ldequeuer := q.dequeuers[ldeqTid]
+		y.Step()
+		if ldequeuer != lnext && lhead == q.head {
+			y.Step()
+			if q.dequeuers[ldeqTid] == ldequeuer {
+				q.dequeuers[ldeqTid] = lnext
+			}
+		}
+	}
+	y.Step()
+	if q.head == lhead {
+		q.head = lnext
+	}
+}
+
+func (q *AltQueue) giveUp(y Stepper, myReq *altNode, tid int) {
+	y.Step()
+	lhead := q.head
+	y.Step()
+	if q.dequeuers[tid] != myReq {
+		return
+	}
+	y.Step()
+	if lhead == q.tail {
+		return
+	}
+	y.Step()
+	if lhead != q.head {
+		return
+	}
+	y.Step()
+	lnext := lhead.next
+	y.Step()
+	if lhead != q.head {
+		return
+	}
+	if q.searchNext(y, lhead, lnext) == IdxNone {
+		y.Step()
+		if lnext.deqTid == IdxNone {
+			lnext.deqTid = tid
+		}
+	}
+	q.casDeqAndHead(y, lhead, lnext, tid)
+}

@@ -1,0 +1,55 @@
+package schedsim
+
+import (
+	"testing"
+
+	"turnqueue/internal/lincheck"
+	"turnqueue/internal/sched"
+)
+
+// TestAltRandomSchedules model-checks the §2.3 single-array alternative:
+// the paper rejects it for hazard-pointer cost, not correctness, and the
+// explorer should confirm the rollback protocol is sound.
+func TestAltRandomSchedules(t *testing.T) {
+	seeds := 3000
+	if testing.Short() {
+		seeds = 300
+	}
+	for si, sc := range scenarios() {
+		for seed := 0; seed < seeds; seed++ {
+			for ci, ch := range []sched.Chooser{
+				sched.NewRandomChooser(uint64(seed)),
+				sched.NewBurstChooser(uint64(seed), 40),
+			} {
+				q := NewAlt(len(sc))
+				h := runScenarioOn(altAdapter{q}, sc, ch)
+				if err := lincheck.Check(h); err != nil {
+					t.Fatalf("scenario %d seed %d chooser %d: %v", si, seed, ci, err)
+				}
+			}
+		}
+	}
+}
+
+// TestAltAdversarialSchedules runs the hog/starve schedules.
+func TestAltAdversarialSchedules(t *testing.T) {
+	for si, sc := range scenarios() {
+		for pref := 0; pref < len(sc); pref++ {
+			for _, invert := range []bool{false, true} {
+				q := NewAlt(len(sc))
+				h := runScenarioOn(altAdapter{q}, sc, sched.StepFirstChooser{Preferred: pref, Invert: invert})
+				if err := lincheck.Check(h); err != nil {
+					t.Fatalf("scenario %d preferred=%d invert=%v: %v", si, pref, invert, err)
+				}
+			}
+		}
+	}
+}
+
+// altAdapter bridges AltQueue to the modelQueue interface.
+type altAdapter struct{ q *AltQueue }
+
+func (a altAdapter) Enqueue(y Stepper, tid int, item int64) { a.q.Enqueue(y, tid, item) }
+func (a altAdapter) Dequeue(y Stepper, tid int) (int64, bool) {
+	return a.q.Dequeue(y, tid)
+}

@@ -1,0 +1,271 @@
+package schedsim
+
+// Step-instrumented model of the Kogan-Petrank queue (mirroring
+// internal/kpq's control flow, minus reclamation), so the schedule
+// explorer covers the paper's main wait-free comparator too. The model
+// includes the port-specific detail that internal/kpq documents: the
+// helper's final head swing must be attempted even when the descriptor
+// completion check fails, or an owner can return while the head still
+// sits on its bound node and double-consume it. KPMutGuardedHeadSwing
+// reintroduces the guarded version so the explorer can demonstrate the
+// failure.
+
+// kpNode is the KP queue node.
+type kpNode struct {
+	value  int64
+	enqTid int
+	deqTid int
+	next   *kpNode
+}
+
+// kpDesc is the operation descriptor (immutable once stored).
+type kpDesc struct {
+	phase   int64
+	pending bool
+	enqueue bool
+	node    *kpNode
+}
+
+// KPMutation selects a seeded bug in the KP model.
+type KPMutation int
+
+// KP model mutations.
+const (
+	// KPMutNone is the faithful model.
+	KPMutNone KPMutation = iota
+	// KPMutGuardedHeadSwing guards helpFinishDeq's head swing behind the
+	// descriptor validation, as a naive reading of the original listing
+	// suggests — the bug internal/kpq's helpFinishDeq comment explains.
+	KPMutGuardedHeadSwing
+)
+
+// KPQueue is the model queue.
+type KPQueue struct {
+	maxThreads int
+	head, tail *kpNode
+	state      []*kpDesc
+	m          KPMutation
+}
+
+// NewKP creates a model KP queue.
+func NewKP(maxThreads int, m KPMutation) *KPQueue {
+	sentinel := &kpNode{enqTid: -1, deqTid: IdxNone}
+	q := &KPQueue{
+		maxThreads: maxThreads,
+		head:       sentinel,
+		tail:       sentinel,
+		state:      make([]*kpDesc, maxThreads),
+		m:          m,
+	}
+	for i := range q.state {
+		q.state[i] = &kpDesc{phase: -1}
+	}
+	return q
+}
+
+func (q *KPQueue) maxPhase(y Stepper) int64 {
+	maxp := int64(-1)
+	for i := range q.state {
+		y.Step()
+		if p := q.state[i].phase; p > maxp {
+			maxp = p
+		}
+	}
+	return maxp
+}
+
+func (q *KPQueue) isStillPending(y Stepper, tid int, phase int64) bool {
+	y.Step()
+	d := q.state[tid]
+	return d.pending && d.phase <= phase
+}
+
+// Enqueue is KP enq().
+func (q *KPQueue) Enqueue(y Stepper, tid int, v int64) {
+	phase := q.maxPhase(y) + 1
+	nd := &kpNode{value: v, enqTid: tid, deqTid: IdxNone}
+	y.Step()
+	q.state[tid] = &kpDesc{phase: phase, pending: true, enqueue: true, node: nd}
+	q.help(y, phase)
+	q.helpFinishEnq(y)
+}
+
+// Dequeue is KP deq(), with the §3.2 restructuring: the completed
+// descriptor carries the value node.
+func (q *KPQueue) Dequeue(y Stepper, tid int) (int64, bool) {
+	phase := q.maxPhase(y) + 1
+	y.Step()
+	q.state[tid] = &kpDesc{phase: phase, pending: true, enqueue: false}
+	q.help(y, phase)
+	q.helpFinishDeq(y)
+	y.Step()
+	nd := q.state[tid].node
+	if nd == nil {
+		return 0, false
+	}
+	return nd.value, true
+}
+
+func (q *KPQueue) help(y Stepper, phase int64) {
+	for i := 0; i < q.maxThreads; i++ {
+		y.Step()
+		d := q.state[i]
+		if !d.pending || d.phase > phase {
+			continue
+		}
+		if d.enqueue {
+			q.helpEnq(y, i, phase)
+		} else {
+			q.helpDeq(y, i, phase)
+		}
+	}
+}
+
+func (q *KPQueue) helpEnq(y Stepper, i int, phase int64) {
+	for q.isStillPending(y, i, phase) {
+		y.Step()
+		last := q.tail
+		y.Step()
+		next := last.next
+		y.Step()
+		if last != q.tail {
+			continue
+		}
+		if next != nil {
+			q.helpFinishEnq(y)
+			continue
+		}
+		if !q.isStillPending(y, i, phase) {
+			return
+		}
+		y.Step()
+		d := q.state[i]
+		if !d.pending || !d.enqueue || d.node == nil {
+			continue
+		}
+		y.Step()
+		if last.next == nil { // CAS(nil -> d.node)
+			last.next = d.node
+			q.helpFinishEnq(y)
+			return
+		}
+	}
+}
+
+func (q *KPQueue) helpFinishEnq(y Stepper) {
+	y.Step()
+	last := q.tail
+	y.Step()
+	next := last.next
+	y.Step()
+	if last != q.tail || next == nil {
+		return
+	}
+	i := next.enqTid
+	if i >= 0 {
+		y.Step()
+		cur := q.state[i]
+		y.Step()
+		if q.state[i] == cur && last == q.tail && cur.node == next && cur.pending {
+			y.Step()
+			if q.state[i] == cur { // CAS(cur -> completed)
+				q.state[i] = &kpDesc{phase: cur.phase, pending: false, enqueue: true, node: next}
+			}
+		}
+	}
+	y.Step()
+	if q.tail == last { // CAS(last -> next)
+		q.tail = next
+	}
+}
+
+func (q *KPQueue) helpDeq(y Stepper, i int, phase int64) {
+	for q.isStillPending(y, i, phase) {
+		y.Step()
+		first := q.head
+		y.Step()
+		last := q.tail
+		y.Step()
+		next := first.next
+		y.Step()
+		if first != q.head {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				y.Step()
+				cur := q.state[i]
+				y.Step()
+				if q.state[i] != cur {
+					continue
+				}
+				if last == q.tail && q.isStillPending(y, i, phase) {
+					y.Step()
+					if q.state[i] == cur { // CAS(cur -> empty completion)
+						q.state[i] = &kpDesc{phase: cur.phase, pending: false, enqueue: false}
+					}
+				}
+				continue
+			}
+			q.helpFinishEnq(y)
+			continue
+		}
+		y.Step()
+		cur := q.state[i]
+		if !q.isStillPending(y, i, phase) {
+			return
+		}
+		if cur.node != first {
+			y.Step()
+			if q.state[i] != cur { // CAS(cur -> bound)
+				continue
+			}
+			q.state[i] = &kpDesc{phase: cur.phase, pending: true, enqueue: false, node: first}
+		}
+		y.Step()
+		if first.deqTid == IdxNone { // CAS(IdxNone -> i)
+			first.deqTid = i
+		}
+		q.helpFinishDeq(y)
+	}
+}
+
+func (q *KPQueue) helpFinishDeq(y Stepper) {
+	y.Step()
+	first := q.head
+	y.Step()
+	if first != q.head {
+		return
+	}
+	y.Step()
+	next := first.next
+	y.Step()
+	if first != q.head {
+		return
+	}
+	i := first.deqTid
+	if i == IdxNone || next == nil {
+		return
+	}
+	y.Step()
+	cur := q.state[i]
+	descOK := false
+	y.Step()
+	if q.state[i] == cur && first == q.head && cur.pending && !cur.enqueue {
+		y.Step()
+		if q.state[i] == cur { // CAS(cur -> completed with the value node)
+			q.state[i] = &kpDesc{phase: cur.phase, pending: false, enqueue: false, node: next}
+			descOK = true
+		}
+	}
+	if q.m == KPMutGuardedHeadSwing && !descOK {
+		// Mutation: skip the head swing when the descriptor check failed
+		// — the owner's completion guarantee breaks and a follow-up
+		// dequeue by the same thread can re-bind the same head.
+		return
+	}
+	y.Step()
+	if q.head == first { // CAS(first -> next)
+		q.head = next
+	}
+}

@@ -1,0 +1,85 @@
+package schedsim
+
+import (
+	"testing"
+
+	"turnqueue/internal/lincheck"
+	"turnqueue/internal/sched"
+)
+
+func kpFirstFailingSeed(m KPMutation, maxSeeds int) int {
+	for seed := 0; seed < maxSeeds; seed++ {
+		for _, sc := range scenarios() {
+			// Burst schedules (long per-thread stretches with abrupt
+			// switches) trigger stall-window bugs far more often than
+			// uniform randomness; probe both.
+			for _, ch := range []sched.Chooser{
+				sched.NewRandomChooser(uint64(seed)),
+				sched.NewBurstChooser(uint64(seed), 40),
+			} {
+				q := NewKP(len(sc), m)
+				h := runScenarioOn(q, sc, ch)
+				if lincheck.Check(h) != nil {
+					return seed
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// TestKPRandomSchedules model-checks the KP queue under the same seeded
+// random schedules as the Turn queue.
+func TestKPRandomSchedules(t *testing.T) {
+	seeds := 3000
+	if testing.Short() {
+		seeds = 300
+	}
+	for si, sc := range scenarios() {
+		for seed := 0; seed < seeds; seed++ {
+			for ci, ch := range []sched.Chooser{
+				sched.NewRandomChooser(uint64(seed)),
+				sched.NewBurstChooser(uint64(seed), 40),
+			} {
+				q := NewKP(len(sc), KPMutNone)
+				h := runScenarioOn(q, sc, ch)
+				if err := lincheck.Check(h); err != nil {
+					t.Fatalf("scenario %d seed %d chooser %d: %v", si, seed, ci, err)
+				}
+			}
+		}
+	}
+}
+
+// TestKPAdversarialSchedules drives hog/starve schedules through the KP
+// model.
+func TestKPAdversarialSchedules(t *testing.T) {
+	for si, sc := range scenarios() {
+		for pref := 0; pref < len(sc); pref++ {
+			for _, invert := range []bool{false, true} {
+				q := NewKP(len(sc), KPMutNone)
+				h := runScenarioOn(q, sc, sched.StepFirstChooser{Preferred: pref, Invert: invert})
+				if err := lincheck.Check(h); err != nil {
+					t.Fatalf("scenario %d preferred=%d invert=%v: %v", si, pref, invert, err)
+				}
+			}
+		}
+	}
+}
+
+// TestKPGuardedHeadSwingIsABug validates internal/kpq's helpFinishDeq
+// reasoning empirically: guarding the final head swing behind the
+// descriptor check (the naive port) must produce a non-linearizable
+// history on some schedule, while the unconditional swing passes all of
+// them (TestKPRandomSchedules above).
+func TestKPGuardedHeadSwingIsABug(t *testing.T) {
+	budget := 3000
+	if testing.Short() {
+		budget = 600
+	}
+	seed := kpFirstFailingSeed(KPMutGuardedHeadSwing, budget)
+	if seed < 0 {
+		t.Fatalf("guarded-head-swing mutant not caught within %d seeds: harness too weak", budget)
+	}
+	t.Logf("guarded head swing produced a non-linearizable history at seed %d", seed)
+}

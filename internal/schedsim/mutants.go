@@ -1,0 +1,196 @@
+package schedsim
+
+// Mutation testing support: deliberately broken variants of the model.
+// If the schedule explorer plus the exact linearizability checker cannot
+// distinguish these mutants from the real algorithm, the harness is too
+// weak to trust — TestMutantsAreCaught asserts each mutant fails on some
+// schedule.
+
+// Mutation selects a seeded bug.
+type Mutation int
+
+// The mutations, each deleting one safeguard the paper's invariants call
+// out as load-bearing.
+const (
+	// MutNone is the unmutated algorithm (must pass, used as control).
+	MutNone Mutation = iota
+	// MutSkipEntryClear removes the Invariant 7 safeguard: the node at
+	// the tail is not cleared from the enqueuers array before helping, so
+	// a request can be inserted twice.
+	MutSkipEntryClear
+	// MutHeadBeforePublish advances the head before publishing the
+	// assigned node to its requester, violating Invariant 8: the node can
+	// become unreachable before its owner learns about it.
+	MutHeadBeforePublish
+	// MutNoGiveUpRecheck returns empty without re-checking deqhelp after
+	// the rollback, violating Invariant 11: a request satisfied during
+	// giveUp is dropped and its item lost.
+	MutNoGiveUpRecheck
+)
+
+// mutant wraps Queue with a mutation flag consulted at the three
+// safeguard sites.
+type mutant struct {
+	*Queue
+	m Mutation
+}
+
+// NewMutant creates a model queue with the given mutation.
+func NewMutant(maxThreads int, m Mutation) *mutant {
+	return &mutant{Queue: New(maxThreads), m: m}
+}
+
+// The mutated methods shadow the originals where the mutation applies;
+// unmutated paths delegate.
+
+// Enqueue applies MutSkipEntryClear.
+func (q *mutant) Enqueue(y Stepper, tid int, item int64) {
+	if q.m != MutSkipEntryClear {
+		q.Queue.Enqueue(y, tid, item)
+		return
+	}
+	myNode := &Node{item: item, enqTid: tid, deqTid: IdxNone}
+	y.Step()
+	q.enqueuers[tid] = myNode
+	for iter := 0; ; iter++ {
+		y.Step()
+		if q.enqueuers[tid] == nil {
+			return
+		}
+		// Mutation: without the Invariant 7 clearing, a node at the tail
+		// stays visible as a request and can be linked a second time. To
+		// keep the mutant terminating, the owner clears its own entry
+		// after the paper's iteration bound (the original Algorithm 2
+		// line 26), which is exactly the combination the strengthened
+		// loop exists to avoid.
+		if iter >= q.maxThreads {
+			y.Step()
+			q.enqueuers[tid] = nil
+			return
+		}
+		y.Step()
+		ltail := q.tail
+		y.Step()
+		if ltail != q.tail {
+			continue
+		}
+		for j := 1; j < q.maxThreads+1; j++ {
+			y.Step()
+			nodeToHelp := q.enqueuers[(j+ltail.enqTid)%q.maxThreads]
+			if nodeToHelp == nil {
+				continue
+			}
+			y.Step()
+			if ltail.next == nil {
+				ltail.next = nodeToHelp
+			}
+			break
+		}
+		y.Step()
+		lnext := ltail.next
+		if lnext != nil {
+			y.Step()
+			if q.tail == ltail {
+				q.tail = lnext
+			}
+		}
+	}
+}
+
+// Dequeue applies MutHeadBeforePublish and MutNoGiveUpRecheck.
+func (q *mutant) Dequeue(y Stepper, tid int) (int64, bool) {
+	if q.m != MutHeadBeforePublish && q.m != MutNoGiveUpRecheck {
+		return q.Queue.Dequeue(y, tid)
+	}
+	y.Step()
+	prReq := q.deqself[tid]
+	y.Step()
+	myReq := q.deqhelp[tid]
+	y.Step()
+	q.deqself[tid] = myReq
+	for {
+		y.Step()
+		if q.deqhelp[tid] != myReq {
+			break
+		}
+		y.Step()
+		lhead := q.head
+		y.Step()
+		if lhead != q.head {
+			continue
+		}
+		y.Step()
+		if lhead == q.tail {
+			y.Step()
+			q.deqself[tid] = prReq
+			q.giveUp(y, myReq, tid)
+			if q.m == MutNoGiveUpRecheck {
+				// Mutation: Invariant 11's post-rollback re-check is
+				// gone; an assignment that raced the rollback is lost.
+				return 0, false
+			}
+			y.Step()
+			if q.deqhelp[tid] != myReq {
+				y.Step()
+				q.deqself[tid] = myReq
+				break
+			}
+			return 0, false
+		}
+		y.Step()
+		lnext := lhead.next
+		y.Step()
+		if lhead != q.head {
+			continue
+		}
+		if q.searchNext(y, lhead, lnext) != IdxNone {
+			q.mutantCasDeqAndHead(y, lhead, lnext, tid)
+		}
+	}
+	y.Step()
+	myNode := q.deqhelp[tid]
+	y.Step()
+	lhead := q.head
+	y.Step()
+	if lhead == q.head {
+		y.Step()
+		if myNode == lhead.next {
+			y.Step()
+			if q.head == lhead {
+				q.head = myNode
+			}
+		}
+	}
+	return myNode.item, true
+}
+
+// mutantCasDeqAndHead applies MutHeadBeforePublish: the head swings
+// before the assignment is published.
+func (q *mutant) mutantCasDeqAndHead(y Stepper, lhead, lnext *Node, tid int) {
+	if q.m != MutHeadBeforePublish {
+		q.casDeqAndHead(y, lhead, lnext, tid)
+		return
+	}
+	// Mutation: Invariant 8 requires publish-then-advance; do the
+	// opposite.
+	y.Step()
+	if q.head == lhead {
+		q.head = lnext
+	}
+	y.Step()
+	ldeqTid := lnext.deqTid
+	if ldeqTid == tid {
+		y.Step()
+		q.deqhelp[ldeqTid] = lnext
+	} else {
+		y.Step()
+		ldeqhelp := q.deqhelp[ldeqTid]
+		y.Step()
+		if ldeqhelp != lnext && lhead == q.head {
+			y.Step()
+			if q.deqhelp[ldeqTid] == ldeqhelp {
+				q.deqhelp[ldeqTid] = lnext
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package schedsim
+
+import (
+	"testing"
+
+	"turnqueue/internal/lincheck"
+	"turnqueue/internal/sched"
+)
+
+// modelQueue is satisfied by *Queue and the mutants.
+type modelQueue interface {
+	Enqueue(y Stepper, tid int, item int64)
+	Dequeue(y Stepper, tid int) (int64, bool)
+}
+
+// runScenarioOn mirrors runScenario for any model implementation.
+func runScenarioOn(q modelQueue, sc scenario, chooser sched.Chooser) []lincheck.Op {
+	var clock int64
+	tick := func() int64 { clock++; return clock }
+	histories := make([][]lincheck.Op, len(sc))
+	bodies := make([]func(*sched.VThread), len(sc))
+	for i, script := range sc {
+		i, script := i, script
+		bodies[i] = func(y *sched.VThread) {
+			for _, v := range script {
+				if v > 0 {
+					start := tick()
+					q.Enqueue(y, i, v)
+					histories[i] = append(histories[i], lincheck.Op{
+						Kind: lincheck.Enq, Value: v, Start: start, End: tick(),
+					})
+				} else {
+					start := tick()
+					got, ok := q.Dequeue(y, i)
+					histories[i] = append(histories[i], lincheck.Op{
+						Kind: lincheck.Deq, Value: got, Ok: ok, Start: start, End: tick(),
+					})
+				}
+			}
+		}
+	}
+	sched.Run(chooser, bodies...)
+	var all []lincheck.Op
+	for _, h := range histories {
+		all = append(all, h...)
+	}
+	return all
+}
+
+// firstFailingSeed scans seeds for a schedule on which the mutation
+// produces a non-linearizable history; -1 if none found.
+func firstFailingSeed(m Mutation, maxSeeds int) int {
+	for seed := 0; seed < maxSeeds; seed++ {
+		for _, sc := range scenarios() {
+			for _, ch := range []sched.Chooser{
+				sched.NewRandomChooser(uint64(seed)),
+				sched.NewBurstChooser(uint64(seed), 40),
+			} {
+				q := NewMutant(len(sc), m)
+				h := runScenarioOn(q, sc, ch)
+				if lincheck.Check(h) != nil {
+					return seed
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// TestMutantsAreCaught: every seeded bug must be detected within the seed
+// budget — this is the sensitivity proof for the whole schedule-explorer
+// + checker pipeline. The unmutated control must sail through the same
+// budget.
+func TestMutantsAreCaught(t *testing.T) {
+	budget := 2000
+	if testing.Short() {
+		budget = 400
+	}
+	for _, tc := range []struct {
+		name string
+		m    Mutation
+	}{
+		{"SkipEntryClear", MutSkipEntryClear},
+		{"HeadBeforePublish", MutHeadBeforePublish},
+		{"NoGiveUpRecheck", MutNoGiveUpRecheck},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seed := firstFailingSeed(tc.m, budget)
+			if seed < 0 {
+				t.Fatalf("mutation %s not caught within %d seeds: harness too weak", tc.name, budget)
+			}
+			t.Logf("caught at seed %d", seed)
+		})
+	}
+	t.Run("ControlPasses", func(t *testing.T) {
+		if seed := firstFailingSeed(MutNone, 300); seed >= 0 {
+			t.Fatalf("unmutated control flagged at seed %d", seed)
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package schedsim is a step-instrumented model of the Turn queue's
+// consensus algorithm (Algorithms 1-4 minus memory reclamation), written
+// against internal/sched's cooperative scheduler: every shared-memory
+// access is one scheduler step, so seeded random schedules explore the
+// algorithm's interleavings at single-access granularity and every
+// resulting history can be fed to the exact linearizability checker.
+//
+// Because virtual threads run one at a time, shared state needs no
+// atomics here — a CAS is modeled as one compare-and-write step. The
+// model must mirror internal/core's control flow (sans hazard pointers
+// and pooling, which are orthogonal to linearizability); when one
+// changes, change the other.
+package schedsim
+
+// Stepper is the scheduling hook: *sched.VThread implements it, and the
+// mutants in mutants.go share it.
+type Stepper interface{ Step() }
+
+// IdxNone marks an unassigned node.
+const IdxNone = -1
+
+// Node mirrors the paper's Algorithm 1.
+type Node struct {
+	item   int64
+	enqTid int
+	deqTid int
+	next   *Node
+}
+
+// Queue is the model. All fields are plain: the scheduler serializes
+// access.
+type Queue struct {
+	maxThreads int
+	head, tail *Node
+	enqueuers  []*Node
+	deqself    []*Node
+	deqhelp    []*Node
+}
+
+// New creates a model queue for maxThreads virtual threads.
+func New(maxThreads int) *Queue {
+	sentinel := &Node{enqTid: 0, deqTid: 0}
+	q := &Queue{
+		maxThreads: maxThreads,
+		head:       sentinel,
+		tail:       sentinel,
+		enqueuers:  make([]*Node, maxThreads),
+		deqself:    make([]*Node, maxThreads),
+		deqhelp:    make([]*Node, maxThreads),
+	}
+	for i := 0; i < maxThreads; i++ {
+		q.deqself[i] = &Node{deqTid: IdxNone}
+		q.deqhelp[i] = &Node{deqTid: IdxNone}
+	}
+	return q
+}
+
+// Enqueue is Algorithm 2 with one scheduler step per shared access.
+func (q *Queue) Enqueue(y Stepper, tid int, item int64) {
+	myNode := &Node{item: item, enqTid: tid, deqTid: IdxNone}
+	y.Step()
+	q.enqueuers[tid] = myNode
+	for {
+		y.Step()
+		if q.enqueuers[tid] == nil {
+			return
+		}
+		y.Step()
+		ltail := q.tail
+		y.Step()
+		if ltail != q.tail {
+			continue
+		}
+		y.Step()
+		if q.enqueuers[ltail.enqTid] == ltail {
+			y.Step()
+			if q.enqueuers[ltail.enqTid] == ltail { // CAS(ltail -> nil)
+				q.enqueuers[ltail.enqTid] = nil
+			}
+		}
+		for j := 1; j < q.maxThreads+1; j++ {
+			y.Step()
+			nodeToHelp := q.enqueuers[(j+ltail.enqTid)%q.maxThreads]
+			if nodeToHelp == nil {
+				continue
+			}
+			y.Step()
+			if ltail.next == nil { // CAS(nil -> nodeToHelp)
+				ltail.next = nodeToHelp
+			}
+			break
+		}
+		y.Step()
+		lnext := ltail.next
+		if lnext != nil {
+			y.Step()
+			if q.tail == ltail { // CAS(ltail -> lnext)
+				q.tail = lnext
+			}
+		}
+	}
+}
+
+// Dequeue is Algorithm 3/4 with one scheduler step per shared access.
+func (q *Queue) Dequeue(y Stepper, tid int) (int64, bool) {
+	y.Step()
+	prReq := q.deqself[tid]
+	y.Step()
+	myReq := q.deqhelp[tid]
+	y.Step()
+	q.deqself[tid] = myReq
+	for {
+		y.Step()
+		if q.deqhelp[tid] != myReq {
+			break
+		}
+		y.Step()
+		lhead := q.head
+		y.Step()
+		if lhead != q.head {
+			continue
+		}
+		y.Step()
+		if lhead == q.tail {
+			y.Step()
+			q.deqself[tid] = prReq // rollback
+			q.giveUp(y, myReq, tid)
+			y.Step()
+			if q.deqhelp[tid] != myReq {
+				y.Step()
+				q.deqself[tid] = myReq
+				break
+			}
+			return 0, false
+		}
+		y.Step()
+		lnext := lhead.next
+		y.Step()
+		if lhead != q.head {
+			continue
+		}
+		if q.searchNext(y, lhead, lnext) != IdxNone {
+			q.casDeqAndHead(y, lhead, lnext, tid)
+		}
+	}
+	y.Step()
+	myNode := q.deqhelp[tid]
+	y.Step()
+	lhead := q.head
+	y.Step()
+	if lhead == q.head {
+		y.Step()
+		if myNode == lhead.next {
+			y.Step()
+			if q.head == lhead { // CAS(lhead -> myNode)
+				q.head = myNode
+			}
+		}
+	}
+	_ = prReq // reclamation is out of model scope
+	return myNode.item, true
+}
+
+func (q *Queue) searchNext(y Stepper, lhead, lnext *Node) int {
+	y.Step()
+	turn := lhead.deqTid
+	for idx := turn + 1; idx < turn+q.maxThreads+1; idx++ {
+		idDeq := idx % q.maxThreads
+		y.Step()
+		self := q.deqself[idDeq]
+		y.Step()
+		help := q.deqhelp[idDeq]
+		if self != help {
+			continue
+		}
+		y.Step()
+		if lnext.deqTid == IdxNone {
+			y.Step()
+			if lnext.deqTid == IdxNone { // CAS(IdxNone -> idDeq)
+				lnext.deqTid = idDeq
+			}
+		}
+		break
+	}
+	y.Step()
+	return lnext.deqTid
+}
+
+func (q *Queue) casDeqAndHead(y Stepper, lhead, lnext *Node, tid int) {
+	y.Step()
+	ldeqTid := lnext.deqTid
+	if ldeqTid == tid {
+		y.Step()
+		q.deqhelp[ldeqTid] = lnext
+	} else {
+		y.Step()
+		ldeqhelp := q.deqhelp[ldeqTid]
+		y.Step()
+		if ldeqhelp != lnext && lhead == q.head {
+			y.Step()
+			if q.deqhelp[ldeqTid] == ldeqhelp { // CAS(ldeqhelp -> lnext)
+				q.deqhelp[ldeqTid] = lnext
+			}
+		}
+	}
+	y.Step()
+	if q.head == lhead { // CAS(lhead -> lnext)
+		q.head = lnext
+	}
+}
+
+func (q *Queue) giveUp(y Stepper, myReq *Node, tid int) {
+	y.Step()
+	lhead := q.head
+	y.Step()
+	if q.deqhelp[tid] != myReq {
+		return
+	}
+	y.Step()
+	if lhead == q.tail {
+		return
+	}
+	y.Step()
+	if lhead != q.head {
+		return
+	}
+	y.Step()
+	lnext := lhead.next
+	y.Step()
+	if lhead != q.head {
+		return
+	}
+	if q.searchNext(y, lhead, lnext) == IdxNone {
+		y.Step()
+		if lnext.deqTid == IdxNone { // CAS(IdxNone -> tid)
+			lnext.deqTid = tid
+		}
+	}
+	q.casDeqAndHead(y, lhead, lnext, tid)
+}

@@ -1,0 +1,21 @@
+package simq
+
+// Fuzz target: byte-encoded operation scripts checked against a reference
+// FIFO (see internal/qtest.RunModelScript). Run with
+// `go test -fuzz=FuzzModelScript ./internal/simq`; the seed corpus runs
+// as a normal test.
+
+import (
+	"testing"
+
+	"turnqueue/internal/qtest"
+)
+
+func FuzzModelScript(f *testing.F) {
+	for _, s := range qtest.ScriptSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script []byte) {
+		qtest.RunModelScript(t, New[qtest.Item](WithMaxThreads(4)), 4, script)
+	})
+}

@@ -1,0 +1,81 @@
+package simq
+
+import (
+	"testing"
+
+	"turnqueue/internal/qtest"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	qtest.RunSequentialFIFO(t, New[qtest.Item](WithMaxThreads(4)), 2000)
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int](WithMaxThreads(2))
+	for i := 0; i < 5; i++ {
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("empty dequeue returned %d", v)
+		}
+	}
+	q.Enqueue(0, 7)
+	if v, ok := q.Dequeue(1); !ok || v != 7 {
+		t.Fatalf("got (%d,%v), want (7,true)", v, ok)
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue should be empty again")
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	q := New[int](WithMaxThreads(1))
+	next, expect := 0, 0
+	for round := 0; round < 300; round++ {
+		for i := 0; i < round%6; i++ {
+			q.Enqueue(0, next)
+			next++
+		}
+		for i := 0; i < round%4; i++ {
+			if v, ok := q.Dequeue(0); ok {
+				if v != expect {
+					t.Fatalf("round %d: got %d, want %d", round, v, expect)
+				}
+				expect++
+			}
+		}
+	}
+	for expect < next {
+		v, ok := q.Dequeue(0)
+		if !ok || v != expect {
+			t.Fatalf("drain: got (%d,%v), want (%d,true)", v, ok, expect)
+		}
+		expect++
+	}
+}
+
+func TestMPMCStress(t *testing.T) {
+	per := 2000
+	if testing.Short() {
+		per = 300
+	}
+	for _, shape := range []struct{ p, c int }{{1, 1}, {2, 2}, {4, 4}} {
+		q := New[qtest.Item](WithMaxThreads(shape.p + shape.c))
+		qtest.RunMPMC(t, q, qtest.Config{Producers: shape.p, Consumers: shape.c, PerProducer: per})
+	}
+}
+
+func TestMPMCPairs(t *testing.T) {
+	q := New[qtest.Item](WithMaxThreads(8))
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 8, PerProducer: 1000, Mixed: true})
+	_, combines, piggybacks := q.Stats()
+	t.Logf("combines=%d piggybacks=%d", combines, piggybacks)
+}
+
+func TestCombiningHappens(t *testing.T) {
+	q := New[qtest.Item](WithMaxThreads(8))
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 4, Consumers: 4, PerProducer: 2000})
+	_, combines, piggybacks := q.Stats()
+	if combines == 0 {
+		t.Error("no combining installs recorded")
+	}
+	t.Logf("combines=%d piggybacks=%d", combines, piggybacks)
+}

@@ -1,0 +1,17 @@
+package simq
+
+import "unsafe"
+
+// SizeInfo reports the Table 4 figures for the FK-style queue: node size,
+// the per-thread cost of one dequeue-state copy (the applied counter plus
+// the result slot — this is what makes the minimum footprint quadratic:
+// every state copy carries maxThreads of them), and the fixed per-thread
+// footprint of an empty queue (announce slot + two sequence counters +
+// the live enq/deq state's per-thread shares).
+func SizeInfo() (nodeBytes, perThreadPerStateCopy, fixedPerThread uintptr) {
+	nodeBytes = unsafe.Sizeof(node[uintptr]{})
+	perThreadPerStateCopy = unsafe.Sizeof(uint64(0)) + unsafe.Sizeof(deqResult[uintptr]{})
+	fixedPerThread = 8 /* announce ptr */ + 16 /* two seq counters */ +
+		2*unsafe.Sizeof(uint64(0)) + unsafe.Sizeof(deqResult[uintptr]{})
+	return nodeBytes, perThreadPerStateCopy, fixedPerThread
+}

@@ -1,0 +1,86 @@
+// Package spsc implements a memory-bounded single-producer single-consumer
+// wait-free ring queue, the §1 honorable mention (Herlihy & Wing's simple
+// SPSC queue is memory bounded; this is the classic Lamport ring with the
+// index-caching refinement).
+//
+// Both operations are wait-free population oblivious: a constant number of
+// steps, independent even of the thread count — the strongest progress
+// class in §1.1 — which is achievable here only because the queue is
+// bounded and single-producer/single-consumer.
+package spsc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/pad"
+)
+
+// Queue is a bounded SPSC ring. Exactly one goroutine may call Enqueue and
+// exactly one may call Dequeue.
+type Queue[T any] struct {
+	capacity uint64
+	mask     uint64
+	buf      []T
+
+	// head is the next slot to dequeue, written only by the consumer;
+	// tail is the next slot to fill, written only by the producer.
+	head atomic.Uint64
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Uint64
+	_    [2*pad.CacheLine - 8]byte
+
+	// cachedHead/cachedTail let each side avoid re-reading the other
+	// side's index (a cache-line transfer) until its local bound is hit.
+	cachedHead uint64 // producer-owned copy of head
+	_          [2*pad.CacheLine - 8]byte
+	cachedTail uint64 // consumer-owned copy of tail
+	_          [2*pad.CacheLine - 8]byte
+}
+
+// New returns an empty ring holding up to capacity items. capacity is
+// rounded up to a power of two; it must be positive.
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spsc: capacity must be positive, got %d", capacity))
+	}
+	c := uint64(1)
+	for c < uint64(capacity) {
+		c <<= 1
+	}
+	return &Queue[T]{capacity: c, mask: c - 1, buf: make([]T, c)}
+}
+
+// Capacity returns the ring size.
+func (q *Queue[T]) Capacity() int { return int(q.capacity) }
+
+// Enqueue appends item, reporting ok=false when the ring is full.
+func (q *Queue[T]) Enqueue(item T) (ok bool) {
+	t := q.tail.Load()
+	if t-q.cachedHead == q.capacity {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead == q.capacity {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = item
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Dequeue removes the oldest item, reporting ok=false when empty.
+func (q *Queue[T]) Dequeue() (item T, ok bool) {
+	h := q.head.Load()
+	if h == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h == q.cachedTail {
+			var zero T
+			return zero, false
+		}
+	}
+	item = q.buf[h&q.mask]
+	var zero T
+	q.buf[h&q.mask] = zero
+	q.head.Store(h + 1)
+	return item, true
+}

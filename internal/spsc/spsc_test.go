@@ -1,0 +1,81 @@
+package spsc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {1000, 1024}} {
+		if got := New[int](tc.in).Capacity(); got != tc.want {
+			t.Errorf("New(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFullAndEmpty(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed on non-full ring", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue succeeded on full ring")
+	}
+	for i := 0; i < 4; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue succeeded on empty ring")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 1000; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentSPSC(t *testing.T) {
+	q := New[int](64)
+	n := 200000
+	if runtime.GOMAXPROCS(0) == 1 || testing.Short() {
+		n = 20000
+	}
+	done := make(chan error, 1)
+	go func() {
+		expect := 0
+		for expect < n {
+			if v, ok := q.Dequeue(); ok {
+				if v != expect {
+					done <- fmt.Errorf("got %d, want %d", v, expect)
+					return
+				}
+				expect++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; {
+		if q.Enqueue(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package stats provides the small statistics kit the benchmark harness
+// uses to aggregate runs: median-of-runs for throughput plots (Figures 2
+// and 3), min/max-of-runs for latency tables (Table 3), and the usual
+// summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (mean of the two middle elements for
+// even lengths). It panics on an empty slice: aggregating zero runs is a
+// harness bug, not a value.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	// Halve before adding: (a+b)/2 overflows to +Inf for values near
+	// MaxFloat64, which would put the "median" outside [min, max].
+	return s[n/2-1]/2 + s[n/2]/2
+}
+
+// Min returns the smallest element of xs. Panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. Panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of xs. Panics on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for length 1).
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Stddev of empty slice")
+	}
+	if len(xs) == 1 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// HumanRate formats an operations-per-second figure the way the paper's
+// plots label axes (K/M suffixes).
+func HumanRate(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e9:
+		return fmt.Sprintf("%.2fG", opsPerSec/1e9)
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.1fK", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f", opsPerSec)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	if m := Median([]float64{7}); m != 7 {
+		t.Errorf("singleton median = %v, want 7", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{4, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Mean(xs) != 3 {
+		t.Fatalf("min/max/mean = %v/%v/%v", Min(xs), Max(xs), Mean(xs))
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if s := Stddev([]float64{5}); s != 0 {
+		t.Errorf("singleton stddev = %v", s)
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %v, want ~2.138", got)
+	}
+}
+
+func TestMedianBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		m := Median(raw)
+		return m >= Min(raw) && m <= Max(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHumanRate(t *testing.T) {
+	cases := map[float64]string{
+		500:    "500",
+		1500:   "1.5K",
+		2.5e6:  "2.50M",
+		3.25e9: "3.25G",
+		1e6:    "1.00M",
+		999e3:  "999.0K",
+	}
+	for in, want := range cases {
+		if got := HumanRate(in); got != want {
+			t.Errorf("HumanRate(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"median": func() { Median(nil) },
+		"min":    func() { Min(nil) },
+		"max":    func() { Max(nil) },
+		"mean":   func() { Mean(nil) },
+		"stddev": func() { Stddev(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

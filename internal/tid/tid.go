@@ -1,0 +1,79 @@
+// Package tid implements the thread-slot registry that stands in for the
+// paper's thread_local getIndex().
+//
+// Every wait-free algorithm in this repository is bounded by MAX_THREADS:
+// its shared state is a set of fixed arrays with one entry per thread
+// (enqueuers, deqself, deqhelp, the hazard-pointer matrix). The C++
+// artifact assigns each OS thread a unique index in [0, MAX_THREADS) the
+// first time it touches a queue. Go has no thread or goroutine identity, so
+// the registry makes the assignment explicit: a worker calls Acquire once,
+// passes the returned slot to every operation, and Releases it when done.
+//
+// Acquire and Release are themselves wait-free bounded (a single scan of
+// the slot array with one CAS per entry), so using the registry never
+// weakens the progress guarantee of the algorithms built on top of it.
+package tid
+
+import (
+	"fmt"
+
+	"turnqueue/internal/pad"
+)
+
+// DefaultMaxThreads is the registry capacity used when a queue is built
+// without an explicit size, mirroring the paper's MAX_THREADS constant.
+const DefaultMaxThreads = 128
+
+// Registry hands out unique slot indices in [0, Capacity()).
+//
+// The zero value is not usable; create registries with NewRegistry.
+type Registry struct {
+	slots []pad.BoolSlot
+}
+
+// NewRegistry returns a registry with capacity maxThreads. It panics if
+// maxThreads is not positive, because every per-thread array in the
+// algorithms would be empty and unusable.
+func NewRegistry(maxThreads int) *Registry {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("tid: maxThreads must be positive, got %d", maxThreads))
+	}
+	return &Registry{slots: make([]pad.BoolSlot, maxThreads)}
+}
+
+// Capacity returns the number of slots, i.e. the MAX_THREADS bound.
+func (r *Registry) Capacity() int { return len(r.slots) }
+
+// Acquire claims a free slot and returns its index. The scan is a single
+// pass over the slot array with at most one CAS per entry, so it completes
+// in O(maxThreads) steps regardless of what other threads do (wait-free
+// bounded). It returns ok=false when all slots are taken.
+func (r *Registry) Acquire() (slot int, ok bool) {
+	for i := range r.slots {
+		if r.slots[i].V.Load() {
+			continue
+		}
+		if r.slots[i].V.CompareAndSwap(false, true) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Release returns slot to the free pool. Releasing a slot that is not
+// currently acquired is a caller bug and panics, because a double release
+// would let two threads share per-thread state and corrupt the algorithms.
+func (r *Registry) Release(slot int) {
+	if slot < 0 || slot >= len(r.slots) {
+		panic(fmt.Sprintf("tid: Release of out-of-range slot %d (capacity %d)", slot, len(r.slots)))
+	}
+	if !r.slots[slot].V.CompareAndSwap(true, false) {
+		panic(fmt.Sprintf("tid: Release of slot %d that is not acquired", slot))
+	}
+}
+
+// InUse reports whether slot is currently acquired. Intended for tests and
+// diagnostics; the value may be stale by the time the caller sees it.
+func (r *Registry) InUse(slot int) bool {
+	return slot >= 0 && slot < len(r.slots) && r.slots[slot].V.Load()
+}

@@ -1,0 +1,115 @@
+package tid
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireReleaseCycle(t *testing.T) {
+	r := NewRegistry(4)
+	var slots []int
+	for i := 0; i < 4; i++ {
+		s, ok := r.Acquire()
+		if !ok {
+			t.Fatalf("acquire %d failed with capacity 4", i)
+		}
+		slots = append(slots, s)
+	}
+	if _, ok := r.Acquire(); ok {
+		t.Fatal("acquire succeeded beyond capacity")
+	}
+	for _, s := range slots {
+		r.Release(s)
+	}
+	if s, ok := r.Acquire(); !ok || s < 0 || s >= 4 {
+		t.Fatalf("re-acquire after release: got (%d,%v)", s, ok)
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	r := NewRegistry(16)
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, ok := r.Acquire()
+			if !ok {
+				t.Error("acquire failed")
+				return
+			}
+			mu.Lock()
+			if seen[s] {
+				t.Errorf("slot %d handed out twice", s)
+			}
+			seen[s] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReleasePanics(t *testing.T) {
+	r := NewRegistry(2)
+	for _, bad := range []int{-1, 2, 0 /* not acquired */} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Release(%d) did not panic", bad)
+				}
+			}()
+			r.Release(bad)
+		}()
+	}
+}
+
+func TestChurnProperty(t *testing.T) {
+	// Property: any sequence of acquire/release pairs across goroutines
+	// never hands out a slot twice concurrently.
+	f := func(seed uint8) bool {
+		n := int(seed%7) + 1
+		r := NewRegistry(n)
+		var wg sync.WaitGroup
+		inUse := make([]atomic.Int32, n)
+		var violations atomic.Int32
+		for g := 0; g < 2*n; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					s, ok := r.Acquire()
+					if !ok {
+						continue
+					}
+					if inUse[s].Add(1) != 1 {
+						violations.Add(1)
+					}
+					inUse[s].Add(-1)
+					r.Release(s)
+				}
+			}()
+		}
+		wg.Wait()
+		return violations.Load() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRegistryPanicsOnBadCapacity(t *testing.T) {
+	for _, bad := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRegistry(%d) did not panic", bad)
+				}
+			}()
+			NewRegistry(bad)
+		}()
+	}
+}

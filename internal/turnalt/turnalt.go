@@ -1,0 +1,279 @@
+// Package turnalt implements the alternative Turn-queue dequeue design
+// that §2.3 of the paper describes and rejects: instead of the deqself/
+// deqhelp pair, a single `dequeuers` array of node pointers plus an
+// atomic isRequest flag in every node. A request is open while the node
+// currently parked in the thread's dequeuers entry has isRequest set;
+// closing the request CASes the entry to the assigned node (whose
+// isRequest is false by construction).
+//
+// The paper's objection, reproduced here so it can be measured (ablation
+// X5): the consensus scan must dereference each scanned entry to read its
+// isRequest flag, so searchNext needs a hazard-pointer publish+validate
+// per entry — maxThreads extra seq-cst stores on the dequeue hot path —
+// where the two-array design compares two pointers without dereferencing
+// anything. BenchmarkAblationAltDequeue quantifies the difference.
+//
+// The enqueue side is identical to internal/core (the paper notes the two
+// sides are independent); it is duplicated here so the package stands
+// alone as a faithful rendition of the variant.
+package turnalt
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+// IdxNone marks an unassigned node, as in internal/core.
+const IdxNone int32 = -1
+
+const (
+	hpTail = 0
+	hpHead = 0
+	hpNext = 1
+	hpDeq  = 2
+	hpScan = 3 // the extra slot this design pays for (§2.3)
+	numHPs = 4
+)
+
+const hardIterCap = 1 << 22
+
+// Node is the variant's queue node: Algorithm 1 plus the isRequest flag.
+type Node[T any] struct {
+	item      T
+	enqTid    int32
+	deqTid    atomic.Int32
+	isRequest atomic.Bool
+	next      atomic.Pointer[Node[T]]
+}
+
+func (n *Node[T]) reset(item T, tidx int32) {
+	n.item = item
+	n.enqTid = tidx
+	n.deqTid.Store(IdxNone)
+	n.isRequest.Store(false)
+	n.next.Store(nil)
+}
+
+// Queue is the single-array Turn queue variant.
+type Queue[T any] struct {
+	maxThreads int
+
+	head atomic.Pointer[Node[T]]
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Pointer[Node[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	enqueuers []pad.PointerSlot[Node[T]]
+	dequeuers []pad.PointerSlot[Node[T]]
+
+	hp       *hazard.Domain[Node[T]]
+	free     [][]*Node[T]
+	registry *tid.Registry
+}
+
+// New creates the variant queue for up to maxThreads registered threads.
+func New[T any](maxThreads int) *Queue[T] {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("turnalt: maxThreads must be positive, got %d", maxThreads))
+	}
+	q := &Queue[T]{
+		maxThreads: maxThreads,
+		enqueuers:  make([]pad.PointerSlot[Node[T]], maxThreads),
+		dequeuers:  make([]pad.PointerSlot[Node[T]], maxThreads),
+		free:       make([][]*Node[T], maxThreads),
+		registry:   tid.NewRegistry(maxThreads),
+	}
+	q.hp = hazard.New[Node[T]](maxThreads, numHPs, q.recycle)
+	sentinel := new(Node[T])
+	sentinel.deqTid.Store(0)
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	for i := 0; i < maxThreads; i++ {
+		// Each thread parks on a distinct dummy whose isRequest is false:
+		// all requests start closed.
+		q.dequeuers[i].P.Store(new(Node[T]))
+	}
+	return q
+}
+
+// MaxThreads returns the registered-thread bound.
+func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// Registry returns the queue's thread-slot registry.
+func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+
+const poolCap = 256
+
+func (q *Queue[T]) recycle(threadID int, nd *Node[T]) {
+	var zero T
+	nd.item = zero
+	if len(q.free[threadID]) >= poolCap {
+		return
+	}
+	q.free[threadID] = append(q.free[threadID], nd)
+}
+
+func (q *Queue[T]) alloc(threadID int, item T) *Node[T] {
+	var nd *Node[T]
+	if list := q.free[threadID]; len(list) > 0 {
+		nd = list[len(list)-1]
+		list[len(list)-1] = nil
+		q.free[threadID] = list[:len(list)-1]
+	} else {
+		nd = new(Node[T])
+	}
+	nd.reset(item, int32(threadID))
+	return nd
+}
+
+// Enqueue is Algorithm 2, identical to internal/core's version.
+func (q *Queue[T]) Enqueue(threadID int, item T) {
+	q.checkTid(threadID)
+	myNode := q.alloc(threadID, item)
+	q.enqueuers[threadID].P.Store(myNode)
+	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
+		if i == hardIterCap {
+			panic("turnalt: enqueue helping loop exceeded hard cap")
+		}
+		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
+		if ltail != q.tail.Load() {
+			continue
+		}
+		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
+			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
+		}
+		for j := 1; j < q.maxThreads+1; j++ {
+			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].P.Load()
+			if nodeToHelp == nil {
+				continue
+			}
+			ltail.next.CompareAndSwap(nil, nodeToHelp)
+			break
+		}
+		lnext := ltail.next.Load()
+		if lnext != nil {
+			q.tail.CompareAndSwap(ltail, lnext)
+		}
+	}
+	q.hp.Clear(threadID)
+}
+
+// Dequeue is the single-array variant of Algorithm 3: open by raising
+// isRequest on the parked node, close by replacing the parked node with
+// the assigned one.
+func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	q.checkTid(threadID)
+	myReq := q.dequeuers[threadID].P.Load()
+	myReq.isRequest.Store(true) // open our request
+	for i := 0; q.dequeuers[threadID].P.Load() == myReq; i++ {
+		if i == hardIterCap {
+			panic("turnalt: dequeue helping loop exceeded hard cap")
+		}
+		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		if lhead == q.tail.Load() {
+			myReq.isRequest.Store(false) // roll the request back
+			q.giveUp(myReq, threadID)
+			if q.dequeuers[threadID].P.Load() != myReq {
+				break // assigned despite the rollback: take the item
+			}
+			q.hp.Clear(threadID)
+			var zero T
+			return zero, false
+		}
+		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		if q.searchNext(threadID, lhead, lnext) != IdxNone {
+			q.casDeqAndHead(lhead, lnext, threadID)
+		}
+	}
+	myNode := q.dequeuers[threadID].P.Load()
+	lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+	if lhead == q.head.Load() && myNode == lhead.next.Load() {
+		q.head.CompareAndSwap(lhead, myNode)
+	}
+	q.hp.Clear(threadID)
+	q.hp.Retire(threadID, myReq)
+	return myNode.item, true
+}
+
+// searchNext runs the dequeue-side turn consensus. Unlike internal/core's
+// two-array comparison, deciding whether entry idDeq holds an open
+// request requires dereferencing the parked node to read isRequest — so
+// each scanned entry costs a hazard-pointer publish and validation, the
+// §2.3 overhead this package exists to exhibit.
+func (q *Queue[T]) searchNext(threadID int, lhead, lnext *Node[T]) int32 {
+	turn := lhead.deqTid.Load()
+	for idx := turn + 1; idx < turn+int32(q.maxThreads)+1; idx++ {
+		idDeq := idx % int32(q.maxThreads)
+		nd := q.hp.ProtectPtr(hpScan, threadID, q.dequeuers[idDeq].P.Load())
+		if q.dequeuers[idDeq].P.Load() != nd {
+			continue // entry churned: that request was just served
+		}
+		if nd == nil || !nd.isRequest.Load() {
+			continue // closed request
+		}
+		if lnext.deqTid.Load() == IdxNone {
+			lnext.deqTid.CompareAndSwap(IdxNone, idDeq)
+		}
+		break
+	}
+	q.hp.ClearOne(hpScan, threadID)
+	return lnext.deqTid.Load()
+}
+
+// casDeqAndHead publishes lnext to its assigned thread's dequeuers entry
+// and then advances the head. Publication is unconditional on the
+// isRequest flag: a rolled-back-but-claimed request must still receive
+// its node (the owner's post-giveUp check picks it up), otherwise the
+// claimed node's item would be unreachable — see the two-array version's
+// Invariant 8/11 discussion.
+func (q *Queue[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
+	ldeqTid := lnext.deqTid.Load()
+	if ldeqTid == int32(threadID) {
+		q.dequeuers[ldeqTid].P.Store(lnext)
+	} else {
+		ldequeuer := q.hp.ProtectPtr(hpDeq, threadID, q.dequeuers[ldeqTid].P.Load())
+		if ldequeuer != lnext && lhead == q.head.Load() {
+			q.dequeuers[ldeqTid].P.CompareAndSwap(ldequeuer, lnext)
+		}
+	}
+	q.head.CompareAndSwap(lhead, lnext)
+}
+
+// giveUp mirrors §2.3.1 for the single-array layout.
+func (q *Queue[T]) giveUp(myReq *Node[T], threadID int) {
+	lhead := q.head.Load()
+	if q.dequeuers[threadID].P.Load() != myReq {
+		return
+	}
+	if lhead == q.tail.Load() {
+		return
+	}
+	q.hp.ProtectPtr(hpHead, threadID, lhead)
+	if lhead != q.head.Load() {
+		return
+	}
+	lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+	if lhead != q.head.Load() {
+		return
+	}
+	if q.searchNext(threadID, lhead, lnext) == IdxNone {
+		lnext.deqTid.CompareAndSwap(IdxNone, int32(threadID))
+	}
+	q.casDeqAndHead(lhead, lnext, threadID)
+}
+
+func (q *Queue[T]) checkTid(threadID int) {
+	if threadID < 0 || threadID >= q.maxThreads {
+		panic(fmt.Sprintf("turnalt: thread id %d out of range [0,%d)", threadID, q.maxThreads))
+	}
+}

@@ -1,0 +1,90 @@
+package turnalt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"turnqueue/internal/qtest"
+	"turnqueue/internal/xrand"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	qtest.RunSequentialFIFO(t, New[qtest.Item](4), 2000)
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int](2)
+	for i := 0; i < 10; i++ {
+		if v, ok := q.Dequeue(0); ok {
+			t.Fatalf("empty dequeue returned %d", v)
+		}
+	}
+	q.Enqueue(1, 9)
+	if v, ok := q.Dequeue(0); !ok || v != 9 {
+		t.Fatalf("got (%d,%v), want (9,true)", v, ok)
+	}
+	if _, ok := q.Dequeue(1); ok {
+		t.Fatal("queue should be empty again")
+	}
+}
+
+func TestMPMCStress(t *testing.T) {
+	per := 3000
+	if testing.Short() {
+		per = 500
+	}
+	for _, shape := range []struct{ p, c int }{{1, 1}, {2, 2}, {4, 4}, {6, 2}, {2, 6}} {
+		q := New[qtest.Item](shape.p + shape.c)
+		qtest.RunMPMC(t, q, qtest.Config{Producers: shape.p, Consumers: shape.c, PerProducer: per})
+	}
+}
+
+func TestMPMCPairs(t *testing.T) {
+	q := New[qtest.Item](8)
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 8, PerProducer: 2000, Mixed: true})
+}
+
+// TestQuickModel compares random single-threaded interleavings against a
+// reference FIFO across rotating slots.
+func TestQuickModel(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		const maxThreads = 4
+		nOps := int(opsRaw % 400)
+		q := New[int](maxThreads)
+		var m []int
+		rng := xrand.NewXoshiro256(seed)
+		next := 0
+		for i := 0; i < nOps; i++ {
+			tid := rng.Intn(maxThreads)
+			if rng.Intn(2) == 0 {
+				q.Enqueue(tid, next)
+				m = append(m, next)
+				next++
+			} else {
+				gv, gok := q.Dequeue(tid)
+				if len(m) == 0 {
+					if gok {
+						return false
+					}
+					continue
+				}
+				if !gok || gv != m[0] {
+					return false
+				}
+				m = m[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRollbackRace hammers the giveUp path: the queue hovers around
+// empty, so dequeues constantly open, roll back, and occasionally get
+// assigned mid-rollback. Exactly-once delivery must survive.
+func TestRollbackRace(t *testing.T) {
+	q := New[qtest.Item](4)
+	qtest.RunMPMC(t, q, qtest.Config{Producers: 2, Consumers: 2, PerProducer: 5000})
+}

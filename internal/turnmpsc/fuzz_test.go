@@ -1,0 +1,50 @@
+package turnmpsc
+
+// Fuzz target: byte-scripted operations against a reference FIFO, with
+// the MPSC constraint that all dequeues happen from the fixed consumer
+// slot while the producer slot varies per byte.
+
+import "testing"
+
+func FuzzModelScript(f *testing.F) {
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{0x02, 0x04, 0x06, 0x01, 0x01, 0x01})
+	f.Add([]byte{0x01, 0x00, 0x01, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const producers = 3
+		const consumerSlot = producers
+		q := New[int](producers + 1)
+		var model []int
+		next := 0
+		for pc, b := range script {
+			if b&1 == 0 {
+				p := int(b>>1) % producers
+				q.Enqueue(p, next)
+				model = append(model, next)
+				next++
+				continue
+			}
+			gv, gok := q.Dequeue(consumerSlot)
+			if len(model) == 0 {
+				if gok {
+					t.Fatalf("op %d: dequeue on empty returned %d", pc, gv)
+				}
+				continue
+			}
+			if !gok || gv != model[0] {
+				t.Fatalf("op %d: got (%d,%v), want (%d,true)", pc, gv, gok, model[0])
+			}
+			model = model[1:]
+		}
+		for len(model) > 0 {
+			gv, gok := q.Dequeue(consumerSlot)
+			if !gok || gv != model[0] {
+				t.Fatalf("drain: got (%d,%v), want (%d,true)", gv, gok, model[0])
+			}
+			model = model[1:]
+		}
+		if gv, ok := q.Dequeue(consumerSlot); ok {
+			t.Fatalf("residual item %d", gv)
+		}
+	})
+}

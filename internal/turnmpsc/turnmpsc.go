@@ -1,0 +1,164 @@
+// Package turnmpsc is the wait-free MPSC queue that §2.2 says the Turn
+// enqueue algorithm yields by itself: the full Algorithm 2 enqueue (turn
+// consensus, helping, hazard pointer on the tail) paired with a trivial
+// single-consumer dequeue (read head.next, advance, retire). It exists to
+// validate the paper's composability claim — "the algorithm for
+// enqueueing is independent from the algorithm for dequeuing" — with the
+// same test harness as the full queue.
+//
+// Progress: enqueue is wait-free bounded exactly as in internal/core;
+// dequeue is wait-free population oblivious (single consumer, constant
+// steps). Reclamation: the consumer retires each node through the shared
+// hazard-pointer domain, because enqueuers publish tail pointers that may
+// still reference it.
+package turnmpsc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+const (
+	hpTail = 0
+	numHPs = 1
+)
+
+const hardIterCap = 1 << 22
+
+type node[T any] struct {
+	item   T
+	enqTid int32
+	next   atomic.Pointer[node[T]]
+}
+
+// Queue is a wait-free MPSC queue: any registered slot may enqueue;
+// exactly one goroutine may call Dequeue.
+type Queue[T any] struct {
+	maxThreads int
+
+	head atomic.Pointer[node[T]] // consumer-owned except for HP validation
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Pointer[node[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	enqueuers []pad.PointerSlot[node[T]]
+
+	hp       *hazard.Domain[node[T]]
+	free     [][]*node[T]
+	registry *tid.Registry
+}
+
+// New creates the queue for up to maxThreads producer slots. The consumer
+// uses slot 0's retire list; it may also be a producer.
+func New[T any](maxThreads int) *Queue[T] {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("turnmpsc: maxThreads must be positive, got %d", maxThreads))
+	}
+	q := &Queue[T]{
+		maxThreads: maxThreads,
+		enqueuers:  make([]pad.PointerSlot[node[T]], maxThreads),
+		free:       make([][]*node[T], maxThreads),
+		registry:   tid.NewRegistry(maxThreads),
+	}
+	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle)
+	sentinel := new(node[T])
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// MaxThreads returns the producer-slot bound.
+func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// Registry returns the queue's thread-slot registry.
+func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+
+const poolCap = 256
+
+func (q *Queue[T]) recycle(threadID int, nd *node[T]) {
+	var zero T
+	nd.item = zero
+	if len(q.free[threadID]) >= poolCap {
+		return
+	}
+	q.free[threadID] = append(q.free[threadID], nd)
+}
+
+func (q *Queue[T]) alloc(threadID int, item T) *node[T] {
+	var nd *node[T]
+	if list := q.free[threadID]; len(list) > 0 {
+		nd = list[len(list)-1]
+		list[len(list)-1] = nil
+		q.free[threadID] = list[:len(list)-1]
+	} else {
+		nd = new(node[T])
+	}
+	nd.item = item
+	nd.enqTid = int32(threadID)
+	nd.next.Store(nil)
+	return nd
+}
+
+// Enqueue is Algorithm 2 verbatim (see internal/core for the annotated
+// version): wait-free bounded by maxThreads.
+func (q *Queue[T]) Enqueue(threadID int, item T) {
+	if threadID < 0 || threadID >= q.maxThreads {
+		panic(fmt.Sprintf("turnmpsc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
+	}
+	myNode := q.alloc(threadID, item)
+	q.enqueuers[threadID].P.Store(myNode)
+	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
+		if i == hardIterCap {
+			panic("turnmpsc: enqueue helping loop exceeded hard cap")
+		}
+		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
+		if ltail != q.tail.Load() {
+			continue
+		}
+		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
+			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
+		}
+		for j := 1; j < q.maxThreads+1; j++ {
+			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].P.Load()
+			if nodeToHelp == nil {
+				continue
+			}
+			ltail.next.CompareAndSwap(nil, nodeToHelp)
+			break
+		}
+		lnext := ltail.next.Load()
+		if lnext != nil {
+			q.tail.CompareAndSwap(ltail, lnext)
+		}
+	}
+	q.hp.Clear(threadID)
+}
+
+// Dequeue removes the item at the head. Single consumer: no consensus is
+// needed — the consumer owns the head. consumerID names the slot whose
+// retire list receives the detached node (usually the consumer's own).
+func (q *Queue[T]) Dequeue(consumerID int) (item T, ok bool) {
+	lhead := q.head.Load()
+	lnext := lhead.next.Load()
+	if lnext == nil {
+		var zero T
+		return zero, false
+	}
+	// The head must never pass the tail: if the tail is lagging on lhead
+	// (a linked node whose enqueuer has not swung the tail yet), help it
+	// forward first — otherwise we would retire a node that producers can
+	// still reach through the tail pointer.
+	if q.tail.Load() == lhead {
+		q.tail.CompareAndSwap(lhead, lnext)
+	}
+	item = lnext.item
+	q.head.Store(lnext)
+	// The detached node may still sit in some enqueuer's protected tail
+	// snapshot; route it through the HP domain rather than freeing.
+	q.hp.Retire(consumerID, lhead)
+	return item, true
+}

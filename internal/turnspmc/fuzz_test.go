@@ -1,0 +1,49 @@
+package turnspmc
+
+// Fuzz target: byte-scripted operations against a reference FIFO, with
+// the SPMC constraint that all enqueues come from the single producer
+// while the dequeue slot varies per byte.
+
+import "testing"
+
+func FuzzModelScript(f *testing.F) {
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x03, 0x05})
+	f.Add([]byte{0x01, 0x00, 0x01, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const consumers = 3
+		q := New[int](consumers)
+		var model []int
+		next := 0
+		for pc, b := range script {
+			if b&1 == 0 {
+				q.Enqueue(next)
+				model = append(model, next)
+				next++
+				continue
+			}
+			c := int(b>>1) % consumers
+			gv, gok := q.Dequeue(c)
+			if len(model) == 0 {
+				if gok {
+					t.Fatalf("op %d: dequeue on empty returned %d", pc, gv)
+				}
+				continue
+			}
+			if !gok || gv != model[0] {
+				t.Fatalf("op %d: got (%d,%v), want (%d,true)", pc, gv, gok, model[0])
+			}
+			model = model[1:]
+		}
+		for c := 0; len(model) > 0; c = (c + 1) % consumers {
+			gv, gok := q.Dequeue(c)
+			if !gok || gv != model[0] {
+				t.Fatalf("drain: got (%d,%v), want (%d,true)", gv, gok, model[0])
+			}
+			model = model[1:]
+		}
+		if gv, ok := q.Dequeue(0); ok {
+			t.Fatalf("residual item %d", gv)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Package turnspmc is the wait-free SPMC queue that §2.3 says the Turn
+// dequeue algorithm yields by itself: a trivial single-producer enqueue
+// (link, publish tail — wait-free population oblivious, no helping
+// needed) plugged with the full Algorithm 3/4 dequeue (turn consensus,
+// helping, giveUp, hazard pointers). Together with internal/turnmpsc it
+// validates the paper's claim that the two sides compose independently
+// ("it can be used to make a SPMC or MPSC queue, or plugged in with
+// other enqueuing/dequeueing algorithms").
+package turnspmc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+// IdxNone marks an unassigned node.
+const IdxNone int32 = -1
+
+const (
+	hpHead = 0
+	hpNext = 1
+	hpDeq  = 2
+	numHPs = 3
+)
+
+const hardIterCap = 1 << 22
+
+type node[T any] struct {
+	item   T
+	deqTid atomic.Int32
+	next   atomic.Pointer[node[T]]
+}
+
+// Queue is a wait-free SPMC queue: exactly one goroutine may Enqueue; any
+// registered slot may Dequeue.
+type Queue[T any] struct {
+	maxThreads int
+
+	head atomic.Pointer[node[T]]
+	_    [2*pad.CacheLine - 8]byte
+	tail atomic.Pointer[node[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	// ptail is the producer's private tail cache: with a single producer
+	// nobody else ever writes the tail, so no CAS is needed anywhere on
+	// the enqueue side.
+	ptail *node[T]
+	_     [2*pad.CacheLine - 8]byte
+
+	deqself []pad.PointerSlot[node[T]]
+	deqhelp []pad.PointerSlot[node[T]]
+
+	hp       *hazard.Domain[node[T]]
+	registry *tid.Registry
+}
+
+// New creates the queue for up to maxThreads consumer slots.
+func New[T any](maxThreads int) *Queue[T] {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("turnspmc: maxThreads must be positive, got %d", maxThreads))
+	}
+	q := &Queue[T]{
+		maxThreads: maxThreads,
+		deqself:    make([]pad.PointerSlot[node[T]], maxThreads),
+		deqhelp:    make([]pad.PointerSlot[node[T]], maxThreads),
+		registry:   tid.NewRegistry(maxThreads),
+	}
+	// Reclaimed nodes are dropped for the GC: only the single producer
+	// allocates, and it cannot safely drain the consumers' per-thread
+	// lists without synchronization that would defeat its two-store fast
+	// path.
+	q.hp = hazard.New[node[T]](maxThreads, numHPs, func(_ int, nd *node[T]) {
+		var zero T
+		nd.item = zero
+	})
+	sentinel := new(node[T])
+	sentinel.deqTid.Store(0)
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	q.ptail = sentinel
+	for i := 0; i < maxThreads; i++ {
+		q.deqself[i].P.Store(new(node[T]))
+		q.deqhelp[i].P.Store(new(node[T]))
+	}
+	return q
+}
+
+// MaxThreads returns the consumer-slot bound.
+func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// Registry returns the queue's thread-slot registry.
+func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+
+// Enqueue appends item. Single producer: link to the private tail, then
+// publish the new tail — two stores, wait-free population oblivious.
+func (q *Queue[T]) Enqueue(item T) {
+	nd := &node[T]{item: item}
+	nd.deqTid.Store(IdxNone)
+	q.ptail.next.Store(nd)
+	q.tail.Store(nd)
+	q.ptail = nd
+}
+
+// Dequeue is Algorithm 3/4, identical to internal/core's annotated
+// version (see there for the invariant discussion).
+func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	if threadID < 0 || threadID >= q.maxThreads {
+		panic(fmt.Sprintf("turnspmc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
+	}
+	prReq := q.deqself[threadID].P.Load()
+	myReq := q.deqhelp[threadID].P.Load()
+	q.deqself[threadID].P.Store(myReq)
+	for i := 0; q.deqhelp[threadID].P.Load() == myReq; i++ {
+		if i == hardIterCap {
+			panic("turnspmc: dequeue helping loop exceeded hard cap")
+		}
+		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		if lhead == q.tail.Load() {
+			q.deqself[threadID].P.Store(prReq)
+			q.giveUp(myReq, threadID)
+			if q.deqhelp[threadID].P.Load() != myReq {
+				q.deqself[threadID].P.Store(myReq)
+				break
+			}
+			q.hp.Clear(threadID)
+			var zero T
+			return zero, false
+		}
+		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+		if lhead != q.head.Load() {
+			continue
+		}
+		if q.searchNext(lhead, lnext) != IdxNone {
+			q.casDeqAndHead(lhead, lnext, threadID)
+		}
+	}
+	myNode := q.deqhelp[threadID].P.Load()
+	lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
+	if lhead == q.head.Load() && myNode == lhead.next.Load() {
+		q.head.CompareAndSwap(lhead, myNode)
+	}
+	q.hp.Clear(threadID)
+	q.hp.Retire(threadID, prReq)
+	return myNode.item, true
+}
+
+func (q *Queue[T]) searchNext(lhead, lnext *node[T]) int32 {
+	turn := lhead.deqTid.Load()
+	for idx := turn + 1; idx < turn+int32(q.maxThreads)+1; idx++ {
+		idDeq := idx % int32(q.maxThreads)
+		if q.deqself[idDeq].P.Load() != q.deqhelp[idDeq].P.Load() {
+			continue
+		}
+		if lnext.deqTid.Load() == IdxNone {
+			lnext.deqTid.CompareAndSwap(IdxNone, idDeq)
+		}
+		break
+	}
+	return lnext.deqTid.Load()
+}
+
+func (q *Queue[T]) casDeqAndHead(lhead, lnext *node[T], threadID int) {
+	ldeqTid := lnext.deqTid.Load()
+	if ldeqTid == int32(threadID) {
+		q.deqhelp[ldeqTid].P.Store(lnext)
+	} else {
+		ldeqhelp := q.hp.ProtectPtr(hpDeq, threadID, q.deqhelp[ldeqTid].P.Load())
+		if ldeqhelp != lnext && lhead == q.head.Load() {
+			q.deqhelp[ldeqTid].P.CompareAndSwap(ldeqhelp, lnext)
+		}
+	}
+	q.head.CompareAndSwap(lhead, lnext)
+}
+
+func (q *Queue[T]) giveUp(myReq *node[T], threadID int) {
+	lhead := q.head.Load()
+	if q.deqhelp[threadID].P.Load() != myReq {
+		return
+	}
+	if lhead == q.tail.Load() {
+		return
+	}
+	q.hp.ProtectPtr(hpHead, threadID, lhead)
+	if lhead != q.head.Load() {
+		return
+	}
+	lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
+	if lhead != q.head.Load() {
+		return
+	}
+	if q.searchNext(lhead, lnext) == IdxNone {
+		lnext.deqTid.CompareAndSwap(IdxNone, int32(threadID))
+	}
+	q.casDeqAndHead(lhead, lnext, threadID)
+}

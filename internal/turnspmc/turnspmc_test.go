@@ -1,0 +1,101 @@
+package turnspmc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int](2)
+	for i := 0; i < 1000; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestSingleProducerMultiConsumer(t *testing.T) {
+	const consumers, items = 6, 20000
+	q := New[int](consumers)
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	var dup atomic.Int64
+	seen := make([]atomic.Bool, items)
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for consumed.Load() < items {
+				v, ok := q.Dequeue(c)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if seen[v].Swap(true) {
+					dup.Add(1)
+				}
+				consumed.Add(1)
+			}
+		}(c)
+	}
+	for i := 0; i < items; i++ {
+		q.Enqueue(i)
+	}
+	wg.Wait()
+	if dup.Load() != 0 {
+		t.Fatalf("%d duplicated items", dup.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+}
+
+func TestGlobalOrderObservedByOneConsumer(t *testing.T) {
+	// With a single consumer active, the full producer order must come
+	// out intact even though the dequeue side runs the full consensus.
+	q := New[int](3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	expect := 0
+	for expect < 5000 {
+		if v, ok := q.Dequeue(1); ok {
+			if v != expect {
+				t.Errorf("got %d, want %d", v, expect)
+				return
+			}
+			expect++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}
+
+func TestEmptyAfterDrain(t *testing.T) {
+	q := New[int](2)
+	q.Enqueue(1)
+	if _, ok := q.Dequeue(0); !ok {
+		t.Fatal("dequeue failed")
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := q.Dequeue(i % 2); ok {
+			t.Fatalf("empty dequeue returned %v", v)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// counter object: Do(delta) returns the post-increment value.
+func newCounter(maxThreads int) *Universal[int64, int64, int64] {
+	return New(maxThreads, 0,
+		func(s int64) int64 { return s },
+		func(s, delta int64) (int64, int64) { return s + delta, s + delta },
+	)
+}
+
+func TestSequentialCounter(t *testing.T) {
+	u := newCounter(2)
+	for i := int64(1); i <= 100; i++ {
+		if got := u.Do(0, 1); got != i {
+			t.Fatalf("increment %d returned %d", i, got)
+		}
+	}
+	if u.Read() != 100 {
+		t.Fatalf("Read = %d", u.Read())
+	}
+}
+
+func TestConcurrentCounterExactlyOnce(t *testing.T) {
+	const workers, per = 8, 2000
+	u := newCounter(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prev := int64(0)
+			for k := 0; k < per; k++ {
+				got := u.Do(w, 1)
+				// Results must be strictly increasing per thread: each of
+				// our increments is applied exactly once, in order.
+				if got <= prev {
+					t.Errorf("worker %d: non-increasing results %d then %d", w, prev, got)
+					return
+				}
+				prev = got
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := u.Read(); got != workers*per {
+		t.Fatalf("final counter = %d, want %d (lost or duplicated increments)", got, workers*per)
+	}
+	combines, piggybacks := u.Stats()
+	t.Logf("combines=%d piggybacks=%d", combines, piggybacks)
+}
+
+func TestUniqueResults(t *testing.T) {
+	// Post-increment results across all threads must be a permutation of
+	// 1..N: any duplicate means two increments observed the same state.
+	const workers, per = 4, 1000
+	u := newCounter(workers)
+	results := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				results[w] = append(results[w], u.Do(w, 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*per)
+	for _, rs := range results {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("result %d returned twice", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("%d distinct results, want %d", len(seen), workers*per)
+	}
+}
+
+func TestQuickRegisterSemantics(t *testing.T) {
+	// A read-write register built on the construct behaves like one.
+	type wr struct {
+		write bool
+		v     int
+	}
+	f := func(ops []int16) bool {
+		u := New(2, 0,
+			func(s int) int { return s },
+			func(s int, a wr) (int, int) {
+				if a.write {
+					return a.v, s
+				}
+				return s, s
+			},
+		)
+		model := 0
+		for _, o := range ops {
+			if o%2 == 0 {
+				// write
+				u.Do(0, wr{write: true, v: int(o)})
+				model = int(o)
+			} else {
+				if got := u.Do(1, wr{}); got != model {
+					return false
+				}
+			}
+		}
+		return u.Read() == model
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadIsSnapshot(t *testing.T) {
+	u := New(2, []int{1, 2},
+		func(s []int) []int { return append([]int(nil), s...) },
+		func(s []int, v int) ([]int, int) { return append(s, v), len(s) + 1 },
+	)
+	snap := u.Read()
+	u.Do(0, 3)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot mutated: %v", snap)
+	}
+	if got := u.Read(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("post-op Read = %v", got)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for i, f := range []func(){
+		func() { New(0, 0, func(s int) int { return s }, func(s, a int) (int, int) { return s, 0 }) },
+		func() { New[int, int, int](1, 0, nil, nil) },
+		func() { newCounter(1).Do(5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,100 @@
+// Package wfset implements a wait-free ordered set on the copy-on-write
+// universal construction — the repository's counterpart to the paper's
+// §5 note that the queue's building blocks extend to a wait-free list.
+//
+// The state is a sorted slice of keys, cloned per combine, so this is for
+// small sets (routing tables, subscription lists): exactly the regime the
+// paper's networking motivation describes, where the structure is read
+// and updated on latency-critical paths but stays small.
+package wfset
+
+import (
+	"sort"
+
+	"turnqueue/internal/tid"
+	"turnqueue/internal/universal"
+)
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opRemove
+	opContains
+)
+
+type op struct {
+	kind opKind
+	key  int64
+}
+
+// Set is a wait-free MPMC ordered set of int64 keys for up to MaxThreads
+// registered threads.
+type Set struct {
+	u *universal.Universal[[]int64, op, bool]
+}
+
+// New creates an empty set for maxThreads thread slots.
+func New(maxThreads int) *Set {
+	clone := func(s []int64) []int64 { return append([]int64(nil), s...) }
+	apply := func(s []int64, o op) ([]int64, bool) {
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= o.key })
+		present := i < len(s) && s[i] == o.key
+		switch o.kind {
+		case opInsert:
+			if present {
+				return s, false
+			}
+			s = append(s, 0)
+			copy(s[i+1:], s[i:])
+			s[i] = o.key
+			return s, true
+		case opRemove:
+			if !present {
+				return s, false
+			}
+			s = append(s[:i], s[i+1:]...)
+			return s, true
+		default: // opContains — linearizable membership via the log
+			return s, present
+		}
+	}
+	return &Set{u: universal.New(maxThreads, nil, clone, apply)}
+}
+
+// MaxThreads returns the thread bound.
+func (s *Set) MaxThreads() int { return s.u.MaxThreads() }
+
+// Registry returns the set's thread-slot registry.
+func (s *Set) Registry() *tid.Registry { return s.u.Registry() }
+
+// Insert adds key, reporting whether it was absent.
+func (s *Set) Insert(threadID int, key int64) bool {
+	return s.u.Do(threadID, op{kind: opInsert, key: key})
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *Set) Remove(threadID int, key int64) bool {
+	return s.u.Do(threadID, op{kind: opRemove, key: key})
+}
+
+// Contains reports linearizable membership (routed through the operation
+// log, so it orders against concurrent inserts/removes).
+func (s *Set) Contains(threadID int, key int64) bool {
+	return s.u.Do(threadID, op{kind: opContains, key: key})
+}
+
+// ContainsFast reports membership against the latest installed snapshot
+// without announcing an operation: wait-free population oblivious, still
+// linearizable (the snapshot is an instant of the object's history).
+func (s *Set) ContainsFast(key int64) bool {
+	snap := s.u.Read()
+	i := sort.Search(len(snap), func(i int) bool { return snap[i] >= key })
+	return i < len(snap) && snap[i] == key
+}
+
+// Len returns the size of a linearizable snapshot.
+func (s *Set) Len() int { return len(s.u.Read()) }
+
+// Snapshot returns a sorted copy-safe view (callers must not mutate it).
+func (s *Set) Snapshot() []int64 { return s.u.Read() }

@@ -1,0 +1,145 @@
+package wfset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"turnqueue/internal/xrand"
+)
+
+func TestSequentialSemantics(t *testing.T) {
+	s := New(2)
+	if !s.Insert(0, 5) || s.Insert(0, 5) {
+		t.Fatal("insert semantics broken")
+	}
+	if !s.Contains(0, 5) || s.Contains(0, 6) {
+		t.Fatal("contains semantics broken")
+	}
+	if !s.ContainsFast(5) || s.ContainsFast(6) {
+		t.Fatal("fast contains semantics broken")
+	}
+	if !s.Remove(0, 5) || s.Remove(0, 5) {
+		t.Fatal("remove semantics broken")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	s := New(1)
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		s.Insert(0, k)
+	}
+	snap := s.Snapshot()
+	want := []int64{1, 3, 5, 7, 9}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v", snap, want)
+		}
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		s := New(2)
+		model := map[int64]bool{}
+		rng := xrand.NewXoshiro256(seed)
+		for i := 0; i < int(opsRaw%300); i++ {
+			k := int64(rng.Intn(20))
+			tid := rng.Intn(2)
+			switch rng.Intn(3) {
+			case 0:
+				if s.Insert(tid, k) != !model[k] {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if s.Remove(tid, k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				if s.Contains(tid, k) != model[k] {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	// Each worker owns a key range: all of its inserts must report
+	// "absent" and all removes "present" regardless of interleaving.
+	const workers, per = 6, 500
+	s := New(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * 10000)
+			for k := int64(0); k < per; k++ {
+				if !s.Insert(w, base+k) {
+					t.Errorf("worker %d: insert %d reported present", w, base+k)
+					return
+				}
+			}
+			for k := int64(0); k < per; k++ {
+				if !s.Remove(w, base+k) {
+					t.Errorf("worker %d: remove %d reported absent", w, base+k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("set not empty: %d", s.Len())
+	}
+}
+
+func TestConcurrentContestedKey(t *testing.T) {
+	// All workers fight over one key: successful inserts and removes must
+	// strictly alternate globally, so their totals differ by at most the
+	// final membership.
+	const workers, per = 4, 1000
+	s := New(workers)
+	var inserts, removes int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if s.Insert(w, 42) {
+					mu.Lock()
+					inserts++
+					mu.Unlock()
+				}
+				if s.Remove(w, 42) {
+					mu.Lock()
+					removes++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	final := int64(0)
+	if s.ContainsFast(42) {
+		final = 1
+	}
+	if inserts-removes != final {
+		t.Fatalf("inserts=%d removes=%d final=%d: lost or duplicated transition", inserts, removes, final)
+	}
+}

@@ -1,0 +1,80 @@
+// Package wfstack implements a wait-free MPMC stack on top of the
+// copy-on-write universal construction — the repository's rendition of
+// the paper's §5 remark that the queue's machinery serves as a building
+// block for other wait-free structures (citing a wait-free stack built
+// on the KP queue's algorithms).
+//
+// The stack state is an immutable linked list of cells, so Clone is O(1):
+// a snapshot just captures the current top pointer, and push/pop build or
+// drop one cell — copy-on-write at its cheapest.
+package wfstack
+
+import (
+	"turnqueue/internal/tid"
+	"turnqueue/internal/universal"
+)
+
+// cell is one immutable stack cell.
+type cell[T any] struct {
+	value T
+	below *cell[T]
+}
+
+// top is the stack's whole state.
+type top[T any] struct {
+	head *cell[T]
+	size int
+}
+
+// op is a push (hasValue) or a pop.
+type op[T any] struct {
+	value    T
+	hasValue bool
+}
+
+// result carries a pop's outcome; pushes ignore it.
+type result[T any] struct {
+	value T
+	ok    bool
+}
+
+// Stack is a wait-free MPMC LIFO stack for up to MaxThreads registered
+// threads.
+type Stack[T any] struct {
+	u *universal.Universal[top[T], op[T], result[T]]
+}
+
+// New creates an empty stack for maxThreads thread slots.
+func New[T any](maxThreads int) *Stack[T] {
+	clone := func(t top[T]) top[T] { return t } // immutable cells: O(1)
+	apply := func(t top[T], o op[T]) (top[T], result[T]) {
+		if o.hasValue {
+			return top[T]{head: &cell[T]{value: o.value, below: t.head}, size: t.size + 1}, result[T]{}
+		}
+		if t.head == nil {
+			return t, result[T]{ok: false}
+		}
+		return top[T]{head: t.head.below, size: t.size - 1}, result[T]{value: t.head.value, ok: true}
+	}
+	return &Stack[T]{u: universal.New(maxThreads, top[T]{}, clone, apply)}
+}
+
+// MaxThreads returns the thread bound.
+func (s *Stack[T]) MaxThreads() int { return s.u.MaxThreads() }
+
+// Registry returns the stack's thread-slot registry.
+func (s *Stack[T]) Registry() *tid.Registry { return s.u.Registry() }
+
+// Push places item on top of the stack.
+func (s *Stack[T]) Push(threadID int, item T) {
+	s.u.Do(threadID, op[T]{value: item, hasValue: true})
+}
+
+// Pop removes the top item; ok is false when the stack is empty.
+func (s *Stack[T]) Pop(threadID int) (item T, ok bool) {
+	r := s.u.Do(threadID, op[T]{})
+	return r.value, r.ok
+}
+
+// Len returns the size of a linearizable snapshot.
+func (s *Stack[T]) Len() int { return s.u.Read().size }

@@ -1,0 +1,111 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitMixKnownValues(t *testing.T) {
+	// Reference values for splitmix64 with seed 0 (from the public domain
+	// reference implementation).
+	s := NewSplitMix64(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("value %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDistinctStreams(t *testing.T) {
+	a, b := NewXoshiro256(1), NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		x := NewXoshiro256(seed)
+		for i := 0; i < 50; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		v := x.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := NewXoshiro256(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	x := NewXoshiro256(123)
+	const buckets, draws = 10, 100000
+	var hist [buckets]int
+	for i := 0; i < draws; i++ {
+		hist[x.Intn(buckets)]++
+	}
+	for b, c := range hist {
+		if c < draws/buckets*8/10 || c > draws/buckets*12/10 {
+			t.Fatalf("bucket %d count %d outside 20%% of expected %d", b, c, draws/buckets)
+		}
+	}
+}

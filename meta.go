@@ -1,0 +1,139 @@
+package turnqueue
+
+// Progress classifies a method per the paper's §1.1 hierarchy.
+type Progress string
+
+// Progress classes, weakest to strongest.
+const (
+	Blocking          Progress = "blocking"
+	ObstructionFree   Progress = "obstruction-free"
+	LockFree          Progress = "lock-free"
+	WaitFreeUnbounded Progress = "wf unbounded"
+	WaitFreeBounded   Progress = "wf bounded"
+	WaitFreePopOblv   Progress = "wf pop. oblivious"
+)
+
+// Meta describes a queue implementation along the axes of the paper's
+// Table 1. Printed by cmd/tables.
+type Meta struct {
+	Name        string
+	Paper       string // original publication
+	EnqProgress Progress
+	DeqProgress Progress
+	Consensus   string // consensus protocol driving operation ordering
+	Atomics     string // atomic instructions required for the progress claim
+	Reclamation string // memory reclamation scheme used by this implementation
+	MinMemory   string // minimum memory usage class (Table 1 last column)
+	Notes       string
+}
+
+// Metas returns the Table 1 rows for every MPMC queue in this package, in
+// the paper's order, with the extra baselines appended.
+func Metas() []Meta {
+	return []Meta{
+		{
+			Name:        "Kogan-Petrank (KP)",
+			Paper:       "PPoPP '11",
+			EnqProgress: WaitFreeBounded,
+			DeqProgress: WaitFreeBounded,
+			Consensus:   "Lamport's bakery (phases)",
+			Atomics:     "CAS",
+			Reclamation: "HP + CHP (paper's §3.2 port; GC in the original)",
+			MinMemory:   "O(threads)",
+			Notes:       ">=5 heap allocations per item without pooling",
+		},
+		{
+			Name:        "Fatourou-Kallimanis (FK-style)",
+			Paper:       "SPAA '11",
+			EnqProgress: LockFree, // see simq package comment: combining loop, not verbatim P-Sim
+			DeqProgress: LockFree,
+			Consensus:   "combining (P-Sim style)",
+			Atomics:     "CAS (original also FAA)",
+			Reclamation: "none in the original (leaks); GC here",
+			MinMemory:   "O(threads^2)",
+			Notes:       "results vector per state copy is quadratic",
+		},
+		{
+			Name:        "Yang-Mellor-Crummey (YMC-style)",
+			Paper:       "PPoPP '16",
+			EnqProgress: LockFree, // fast path only; YMC's slow path is wf unbounded
+			DeqProgress: LockFree,
+			Consensus:   "FAA tickets",
+			Atomics:     "FAA + CAS",
+			Reclamation: "epoch (blocking reclaim)",
+			MinMemory:   "O(threads + segment)",
+			Notes:       "dequeue tickets on empty cells are wasted; segment allocation spikes",
+		},
+		{
+			Name:        "Turn",
+			Paper:       "PPoPP '17 (this paper)",
+			EnqProgress: WaitFreeBounded,
+			DeqProgress: WaitFreeBounded,
+			Consensus:   "Turn (CRTurn-style)",
+			Atomics:     "CAS",
+			Reclamation: "wait-free bounded HP",
+			MinMemory:   "O(threads)",
+			Notes:       "one allocation per item; enqueuers help only enqueuers",
+		},
+		{
+			Name:        "Michael-Scott (MS)",
+			Paper:       "PODC '96",
+			EnqProgress: LockFree,
+			DeqProgress: LockFree,
+			Consensus:   "CAS retry on head/tail",
+			Atomics:     "CAS",
+			Reclamation: "HP",
+			MinMemory:   "O(1)",
+			Notes:       "baseline; fat latency tail under contention",
+		},
+		{
+			Name:        "Two-lock (MS blocking)",
+			Paper:       "PODC '96",
+			EnqProgress: Blocking,
+			DeqProgress: Blocking,
+			Consensus:   "mutexes",
+			Atomics:     "n/a",
+			Reclamation: "GC",
+			MinMemory:   "O(1)",
+			Notes:       "motivation baseline: descheduled holder stalls everyone",
+		},
+	}
+}
+
+// metaByName looks a row up by its Name; constructors use it so the Meta
+// methods cannot silently drift if Metas reorders.
+func metaByName(name string) Meta {
+	for _, m := range Metas() {
+		if m.Name == name {
+			return m
+		}
+	}
+	panic("turnqueue: unknown meta " + name)
+}
+
+// ReclaimerMeta is one row of the paper's Table 2: progress conditions of
+// memory-reclamation schemes.
+type ReclaimerMeta struct {
+	Name            string
+	ProtectProgress string
+	ReclaimProgress string
+	Notes           string
+}
+
+// ReclaimerMetas returns Table 2, restricted to the schemes this
+// repository implements plus the rows the paper lists for context.
+func ReclaimerMetas() []ReclaimerMeta {
+	return []ReclaimerMeta{
+		{"Hazard Pointers", "lock-free / wf bounded", "wf bounded",
+			"wait-free when used single-shot per algorithm step (Alg. 5); implemented in internal/hazard"},
+		{"Conditional Hazard Pointers", "lock-free / wf bounded", "wf bounded",
+			"HP variant: delete after condition holds; implemented in internal/hazard (RetireCond)"},
+		{"RCU-Epoch", "wf pop. oblivious", "blocking",
+			"not implemented; equivalent blocking behaviour shown by internal/epoch"},
+		{"Epoch-based", "wf pop. oblivious", "blocking",
+			"implemented in internal/epoch; 'wait-free unbounded' in some literature, properly blocking (§3)"},
+		{"StackTrack", "lock-free", "lock-free", "not implemented (requires HTM or instrumentation)"},
+		{"Drop the anchor", "lock-free", "lock-free", "not implemented"},
+		{"Pass the buck", "lock-free", "lock-free", "not implemented"},
+	}
+}

@@ -1,0 +1,121 @@
+// Package turnqueue provides wait-free and lock-free multi-producer
+// multi-consumer queues, reproducing "A Wait-Free Queue with Wait-Free
+// Memory Reclamation" (Ramalhete & Correia, PPoPP 2017).
+//
+// The headline implementation is the Turn queue (NewTurn): a linearizable,
+// memory-unbounded MPMC queue whose enqueue and dequeue complete in a
+// number of steps bounded by the number of threads, using only
+// compare-and-swap, with integrated wait-free hazard-pointer memory
+// reclamation. The package also ships every queue the paper compares
+// against — Michael-Scott (lock-free), Kogan-Petrank (wait-free),
+// FK-style combining, YMC-style FAA segment queue, and a two-lock
+// blocking queue — behind one generic interface, so applications and the
+// benchmark harness can swap algorithms freely.
+//
+// # Thread handles
+//
+// Wait-free bounded algorithms dedicate one slot of their per-thread
+// arrays to each participating thread; the slot count fixes the step
+// bound. Callers obtain a slot by registering with the queue:
+//
+//	q := turnqueue.NewTurn[int](turnqueue.WithMaxThreads(8))
+//	h, err := q.Register()
+//	if err != nil { ... }
+//	defer h.Close()
+//	q.Enqueue(h, 42)
+//	v, ok := q.Dequeue(h)
+//
+// A Handle must not be used concurrently from two goroutines, and pinning
+// the goroutine with runtime.LockOSThread for latency-critical work makes
+// a handle approximate the paper's per-OS-thread index.
+package turnqueue
+
+import (
+	"errors"
+	"fmt"
+
+	"turnqueue/internal/tid"
+)
+
+// ErrNoSlots is returned by Register when MaxThreads handles are already
+// live for the queue.
+var ErrNoSlots = errors.New("turnqueue: all thread slots in use; raise WithMaxThreads or Close an unused handle")
+
+// Handle is a registered thread slot of one specific queue. It is not
+// safe for concurrent use by multiple goroutines.
+type Handle struct {
+	slot  int
+	owner registered
+}
+
+// Slot returns the handle's slot index in [0, MaxThreads()).
+func (h *Handle) Slot() int { return h.slot }
+
+// Close releases the slot back to the queue. The handle must not be used
+// afterwards.
+func (h *Handle) Close() {
+	if h.owner == nil {
+		panic("turnqueue: Close of closed handle")
+	}
+	h.owner.registry().Release(h.slot)
+	h.owner = nil
+}
+
+// registered is the internal surface adapters expose to Handle.
+type registered interface {
+	registry() *tid.Registry
+}
+
+// Queue is the generic MPMC queue interface every implementation in this
+// package satisfies.
+type Queue[T any] interface {
+	// Register claims a thread slot. Callers must Close the handle when
+	// the goroutine stops using the queue.
+	Register() (*Handle, error)
+	// Enqueue inserts item at the tail.
+	Enqueue(h *Handle, item T)
+	// Dequeue removes the item at the head; ok is false when the queue is
+	// observed empty.
+	Dequeue(h *Handle) (item T, ok bool)
+	// MaxThreads returns the registered-thread bound.
+	MaxThreads() int
+	// Meta describes the algorithm (Table 1's columns).
+	Meta() Meta
+}
+
+// register implements Register for the adapters.
+func register(q registered) (*Handle, error) {
+	slot, ok := q.registry().Acquire()
+	if !ok {
+		return nil, ErrNoSlots
+	}
+	return &Handle{slot: slot, owner: q}, nil
+}
+
+// checkHandle validates that h belongs to q; using a handle on the wrong
+// queue would corrupt per-thread state, so it panics loudly instead.
+func checkHandle(q registered, h *Handle) int {
+	if h == nil || h.owner == nil {
+		panic("turnqueue: operation with nil or closed handle")
+	}
+	if h.owner != q {
+		panic(fmt.Sprintf("turnqueue: handle belongs to a different queue (%T)", h.owner))
+	}
+	return h.slot
+}
+
+// With runs body with a temporary handle, handling registration and
+// release. Convenient for short-lived workers:
+//
+//	err := turnqueue.With(q, func(h *turnqueue.Handle) {
+//	    q.Enqueue(h, job)
+//	})
+func With[T any](q Queue[T], body func(h *Handle)) error {
+	h, err := q.Register()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	body(h)
+	return nil
+}

@@ -1,0 +1,222 @@
+package turnqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// constructors lists every public constructor under test.
+func constructors() map[string]func(opts ...Option) Queue[int] {
+	return map[string]func(opts ...Option) Queue[int]{
+		"Turn":         NewTurn[int],
+		"MichaelScott": NewMichaelScott[int],
+		"KoganPetrank": NewKoganPetrank[int],
+		"Sim":          NewSim[int],
+		"FAA":          NewFAA[int],
+		"TwoLock":      NewTwoLock[int],
+	}
+}
+
+func TestAllQueuesFIFO(t *testing.T) {
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			q := mk(WithMaxThreads(4))
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				q.Enqueue(h, i)
+			}
+			for i := 0; i < n; i++ {
+				v, ok := q.Dequeue(h)
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+				}
+			}
+			if _, ok := q.Dequeue(h); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestAllQueuesConcurrent(t *testing.T) {
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			q := mk(WithMaxThreads(8))
+			const workers, per = 4, 1000
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			seen := make(map[int]bool, workers*per)
+			var consumed sync.WaitGroup
+			consumed.Add(workers * per)
+			done := make(chan struct{})
+			go func() { consumed.Wait(); close(done) }()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					err := With(q, func(h *Handle) {
+						for k := 0; k < per; k++ {
+							q.Enqueue(h, w*per+k)
+						}
+					})
+					if err != nil {
+						t.Error(err)
+					}
+				}(w)
+			}
+			for c := 0; c < 2; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					err := With(q, func(h *Handle) {
+						for {
+							select {
+							case <-done:
+								return
+							default:
+							}
+							if v, ok := q.Dequeue(h); ok {
+								mu.Lock()
+								if seen[v] {
+									t.Errorf("%s: duplicate item %d", name, v)
+								}
+								seen[v] = true
+								mu.Unlock()
+								consumed.Done()
+							} else {
+								runtime.Gosched()
+							}
+						}
+					})
+					if err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+			if len(seen) != workers*per {
+				t.Fatalf("%s: consumed %d items, want %d", name, len(seen), workers*per)
+			}
+		})
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(2))
+	h1, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err != ErrNoSlots {
+		t.Fatalf("third Register: err = %v, want ErrNoSlots", err)
+	}
+	h1.Close()
+	h3, err := q.Register()
+	if err != nil {
+		t.Fatalf("register after close: %v", err)
+	}
+	h3.Close()
+	h2.Close()
+}
+
+func TestHandleMisusePanics(t *testing.T) {
+	q1 := NewTurn[int](WithMaxThreads(2))
+	q2 := NewTurn[int](WithMaxThreads(2))
+	h, err := q1.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-queue handle use did not panic")
+			}
+		}()
+		q2.Enqueue(h, 1)
+	}()
+	h.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("closed-handle use did not panic")
+			}
+		}()
+		q1.Enqueue(h, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Close did not panic")
+			}
+		}()
+		h.Close()
+	}()
+}
+
+func TestMetasComplete(t *testing.T) {
+	if len(Metas()) != 6 {
+		t.Fatalf("Metas() has %d rows, want 6", len(Metas()))
+	}
+	for name, mk := range constructors() {
+		m := mk().Meta()
+		if m.Name == "" || m.EnqProgress == "" || m.Consensus == "" {
+			t.Errorf("%s: incomplete meta %+v", name, m)
+		}
+	}
+	turn := NewTurn[int]().Meta()
+	if turn.EnqProgress != WaitFreeBounded || turn.DeqProgress != WaitFreeBounded {
+		t.Errorf("Turn progress wrong: %+v", turn)
+	}
+	if turn.Atomics != "CAS" {
+		t.Errorf("Turn should need only CAS, got %q", turn.Atomics)
+	}
+}
+
+func TestReclaimerMetasMatchPaperTable2(t *testing.T) {
+	rows := ReclaimerMetas()
+	if len(rows) != 7 {
+		t.Fatalf("Table 2 has %d rows, want 7", len(rows))
+	}
+	if rows[0].Name != "Hazard Pointers" || rows[0].ReclaimProgress != "wf bounded" {
+		t.Errorf("HP row wrong: %+v", rows[0])
+	}
+	if rows[3].Name != "Epoch-based" || rows[3].ReclaimProgress != "blocking" {
+		t.Errorf("epoch row wrong: %+v", rows[3])
+	}
+}
+
+func TestWithPropagatesRegistrationError(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(1))
+	h, _ := q.Register()
+	defer h.Close()
+	if err := With(q, func(*Handle) {}); err != ErrNoSlots {
+		t.Fatalf("err = %v, want ErrNoSlots", err)
+	}
+}
+
+func TestTurnOptions(t *testing.T) {
+	for _, r := range []Reclaim{ReclaimPool, ReclaimGC, ReclaimNone} {
+		q := NewTurn[int](WithMaxThreads(2), WithReclaim(r), WithHazardR(4))
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			q.Enqueue(h, i)
+			if v, ok := q.Dequeue(h); !ok || v != i {
+				t.Fatalf("reclaim %d round %d: got (%d,%v)", r, i, v, ok)
+			}
+		}
+		h.Close()
+	}
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Regenerates every table and figure into results/ (markdown), at
+# laptop scale. Pass FULL=1 for the paper-scale parameters (slow).
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+full=""
+latency_args="-threads 8 -bursts 20 -items 20000 -warmup 2 -runs 3"
+sweep_args="-maxthreads 8 -bursts 8 -items 8000 -warmup 1 -runs 3"
+pairs_args="-maxthreads 8 -pairs 200000 -runs 3"
+burst_args="-maxthreads 8 -items 40000 -iters 5"
+if [ "${FULL:-0}" = "1" ]; then
+    full="-full"
+    latency_args=""
+    sweep_args=""
+    pairs_args=""
+    burst_args=""
+fi
+
+echo "Table 1 + Table 2 (characteristics)"
+go run ./cmd/tables -format md > results/tables.md
+
+echo "Table 3 (latency quantiles)"
+# shellcheck disable=SC2086
+go run ./cmd/latency $latency_args $full -format md > results/latency_table3.md
+
+echo "Figure 1 (latency sweep)"
+# shellcheck disable=SC2086
+go run ./cmd/latency -sweep $sweep_args $full -format md > results/latency_fig1.md
+
+echo "Table 4 (memory usage)"
+go run ./cmd/memusage -format md > results/memusage.md
+
+echo "Figure 2 (pairs throughput)"
+# shellcheck disable=SC2086
+go run ./cmd/throughput $pairs_args $full -all -format md > results/throughput_fig2.md
+
+echo "Figure 3 (burst throughput)"
+# shellcheck disable=SC2086
+go run ./cmd/burst $burst_args $full -all -format md > results/burst_fig3.md
+
+echo "X1 (hazard-pointer R ablation)"
+go run ./cmd/latency -ablation hpR -threads 4 -bursts 10 -items 10000 -warmup 1 -runs 3 -format md > results/ablation_hpr.md
+
+echo "X4 (stalled-reader reclamation)"
+go run ./cmd/reclaim -ops 5000 -steps 8 -format md > results/reclaim.md
+
+echo "V1 (schedule-exploration model check)"
+go run ./cmd/modelcheck -seeds 1000 | tee results/modelcheck.txt
+
+echo "stress (invariant checking)"
+go run ./cmd/stress -duration 5s | tee results/stress.txt
+
+echo "done; see results/"

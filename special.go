@@ -1,0 +1,57 @@
+package turnqueue
+
+import (
+	"turnqueue/internal/mpsc"
+	"turnqueue/internal/spsc"
+)
+
+// MPSC is Vyukov's multi-producer single-consumer queue (§1's honorable
+// mention): Enqueue is wait-free population oblivious (one atomic
+// exchange), Dequeue is single-consumer and may report a false empty
+// while a producer is mid-publish — the "lagging enqueuer can block all
+// dequeuers" behaviour the paper contrasts against. It does not implement
+// Queue[T]: it has no thread slots (producers need none, and only one
+// consumer is allowed), and its empty answer is weaker than linearizable
+// emptiness.
+type MPSC[T any] struct {
+	q *mpsc.Queue[T]
+}
+
+// NewMPSC returns an empty MPSC queue.
+func NewMPSC[T any]() *MPSC[T] {
+	return &MPSC[T]{q: mpsc.New[T]()}
+}
+
+// Enqueue appends item; safe from any number of goroutines.
+func (m *MPSC[T]) Enqueue(item T) { m.q.Enqueue(item) }
+
+// Dequeue removes the first visible item; only one goroutine may call it.
+// ok=false means nothing is visible — the queue may still be non-empty if
+// a producer is lagging (see TryDequeue).
+func (m *MPSC[T]) Dequeue() (item T, ok bool) { return m.q.Dequeue() }
+
+// TryDequeue additionally reports whether an empty answer was caused by a
+// lagging producer rather than true emptiness.
+func (m *MPSC[T]) TryDequeue() (item T, ok, lagging bool) { return m.q.TryDequeue() }
+
+// SPSC is a bounded single-producer single-consumer ring (§1's other
+// honorable mention; memory bounded, wait-free population oblivious on
+// both sides). Exactly one goroutine may enqueue and one may dequeue.
+type SPSC[T any] struct {
+	q *spsc.Queue[T]
+}
+
+// NewSPSC returns an empty ring holding up to capacity items (rounded up
+// to a power of two).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	return &SPSC[T]{q: spsc.New[T](capacity)}
+}
+
+// Capacity returns the ring size.
+func (s *SPSC[T]) Capacity() int { return s.q.Capacity() }
+
+// Enqueue appends item, reporting ok=false when the ring is full.
+func (s *SPSC[T]) Enqueue(item T) (ok bool) { return s.q.Enqueue(item) }
+
+// Dequeue removes the oldest item, reporting ok=false when empty.
+func (s *SPSC[T]) Dequeue() (item T, ok bool) { return s.q.Dequeue() }

@@ -1,0 +1,92 @@
+package turnqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMPSCWrapper(t *testing.T) {
+	q := NewMPSC[int]()
+	const producers, per = 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				q.Enqueue(p*per + k)
+			}
+		}(p)
+	}
+	seen := make([]bool, producers*per)
+	got := 0
+	for got < producers*per {
+		v, ok := q.Dequeue()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("item %d dequeued twice", v)
+		}
+		seen[v] = true
+		got++
+	}
+	wg.Wait()
+	if _, ok, lagging := q.TryDequeue(); ok || lagging {
+		t.Fatal("queue should be definitively empty")
+	}
+}
+
+func TestSPSCWrapper(t *testing.T) {
+	q := NewSPSC[int](8)
+	if q.Capacity() != 8 {
+		t.Fatalf("capacity = %d", q.Capacity())
+	}
+	for i := 0; i < 8; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue on full ring succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty ring succeeded")
+	}
+}
+
+func TestMPSCLaggingReport(t *testing.T) {
+	// Whitebox-ish: after heavy concurrent enqueues the consumer may
+	// transiently see lagging=true; after everything settles it must see
+	// a definitive empty. This drives the TryDequeue tri-state.
+	q := NewMPSC[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				q.Enqueue(k)
+			}
+		}()
+	}
+	drained := 0
+	for drained < 4000 {
+		if _, ok, _ := q.TryDequeue(); ok {
+			drained++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if _, ok, lagging := q.TryDequeue(); ok || lagging {
+		t.Fatal("expected definitive empty after drain and producer exit")
+	}
+}
