@@ -1,0 +1,59 @@
+// Benchmarks isolating the public adapter layer's overhead: the cost of
+// handle validation plus interface dispatch on top of the raw
+// thread-indexed Turn queue. Single-threaded uncontended enqueue/dequeue
+// pairs, so the delta between the direct and adapter rows is pure
+// adapter cost. Results are recorded in EXPERIMENTS.md (X7).
+package turnqueue
+
+import (
+	"testing"
+
+	"turnqueue/internal/core"
+)
+
+// BenchmarkAdapterOverheadDirect is the floor: the internal core queue
+// driven with a raw thread index, no adapter, no handle.
+func BenchmarkAdapterOverheadDirect(b *testing.B) {
+	q := core.New[int](core.WithMaxThreads(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(0, i)
+		if _, ok := q.Dequeue(0); !ok {
+			b.Fatal("unexpected empty")
+		}
+	}
+}
+
+// BenchmarkAdapterOverheadHandle is the public API with an explicit
+// handle: interface dispatch + handle validation on every operation.
+func BenchmarkAdapterOverheadHandle(b *testing.B) {
+	q := NewTurn[int](WithMaxThreads(2))
+	h, err := q.Register()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, i)
+		if _, ok := q.Dequeue(h); !ok {
+			b.Fatal("unexpected empty")
+		}
+	}
+}
+
+// BenchmarkAdapterOverheadAuto is the implicit-handle layer: a handle
+// cache claim/release pair (two atomic bools + a hint load) on top of
+// every adapter-level operation. This is the price of not managing
+// handles at all.
+func BenchmarkAdapterOverheadAuto(b *testing.B) {
+	a := NewAuto(NewTurn[int](WithMaxThreads(2)))
+	defer a.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Enqueue(i)
+		if _, ok := a.Dequeue(); !ok {
+			b.Fatal("unexpected empty")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package turnqueue
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"turnqueue/internal/pad"
+)
+
+// AutoQueue wraps any Queue[T] with implicit handle management, so
+// ordinary goroutines can call Enqueue(v) / Dequeue() without touching
+// Register/Close. It is the on-ramp for callers that cannot pin work to
+// long-lived workers — request handlers, short-lived goroutines,
+// untrusted caller counts.
+//
+// Internally it keeps a cache of up to MaxThreads() handles, one per
+// padded cache slot. An operation claims a free slot (a wait-free
+// bounded scan, like slot registration itself), registers a real handle
+// the first time that slot is used, runs the operation, and releases the
+// slot with a single store. While the number of concurrent callers stays
+// within MaxThreads(), every operation therefore completes in a bounded
+// number of steps and handles are registered exactly once, not per
+// operation.
+//
+// When more goroutines than MaxThreads() call concurrently, the surplus
+// callers yield and rescan until a slot frees up — the queue keeps its
+// exactly-once guarantees, but the wait-free bound no longer applies to
+// the waiters (no bounded algorithm can serve unbounded concurrent
+// callers from a fixed slot array). Latency-pinned workers should keep
+// using explicit handles on the underlying queue; both styles can share
+// one queue, because the cache draws its handles from the same
+// registration runtime.
+type AutoQueue[T any] struct {
+	q      Queue[T]
+	slots  []autoSlot
+	hint   atomic.Uint32 // last slot acquired; scan origin for the next op
+	closed atomic.Bool
+}
+
+// autoSlot is one padded cache entry: a claim flag plus the lazily
+// registered handle. The handle pointer is written once, under the
+// claim, and only read by claim holders, so it needs no atomics.
+type autoSlot struct {
+	busy atomic.Bool
+	h    *Handle // 1 byte of flag + 7 of alignment + 8 of pointer = 16
+	_    [2*pad.CacheLine - 16]byte
+}
+
+// NewAuto wraps q with implicit handle management. The cache is sized to
+// q.MaxThreads(); handles are registered lazily as concurrency grows, so
+// wrapping costs nothing for slots that are never reached. Explicit
+// Register calls on q reduce the slots available to the wrapper.
+func NewAuto[T any](q Queue[T]) *AutoQueue[T] {
+	return &AutoQueue[T]{q: q, slots: make([]autoSlot, q.MaxThreads())}
+}
+
+// acquire claims a cache slot with a registered handle. One scan pass is
+// wait-free bounded; when every slot is busy or unregistrable the caller
+// yields and rescans.
+func (a *AutoQueue[T]) acquire() *autoSlot {
+	if a.closed.Load() {
+		panic("turnqueue: operation on closed AutoQueue")
+	}
+	n := uint32(len(a.slots))
+	start := a.hint.Load()
+	for {
+		for i := uint32(0); i < n; i++ {
+			idx := (start + i) % n
+			s := &a.slots[idx]
+			if s.busy.Load() {
+				continue
+			}
+			if !s.busy.CompareAndSwap(false, true) {
+				continue
+			}
+			if s.h == nil {
+				// First use of this cache slot: register for real. This
+				// can lose to explicit Register calls on the underlying
+				// queue taking the remaining capacity; back out and let
+				// the scan try other (already registered) slots.
+				h, err := a.q.Register()
+				if err != nil {
+					s.busy.Store(false)
+					continue
+				}
+				s.h = h
+			}
+			if idx != start {
+				a.hint.Store(idx)
+			}
+			return s
+		}
+		// All slots busy (more concurrent callers than MaxThreads) or
+		// taken by explicit handles: yield and rescan.
+		if a.closed.Load() {
+			panic("turnqueue: operation on closed AutoQueue")
+		}
+		runtime.Gosched()
+		start = a.hint.Load()
+	}
+}
+
+// Enqueue inserts item at the tail, registering this call's thread slot
+// on first use.
+func (a *AutoQueue[T]) Enqueue(item T) {
+	s := a.acquire()
+	a.q.Enqueue(s.h, item)
+	s.busy.Store(false)
+}
+
+// Dequeue removes the item at the head; ok is false when the queue is
+// observed empty.
+func (a *AutoQueue[T]) Dequeue() (item T, ok bool) {
+	s := a.acquire()
+	item, ok = a.q.Dequeue(s.h)
+	s.busy.Store(false)
+	return item, ok
+}
+
+// MaxThreads returns the underlying queue's registered-thread bound,
+// which is also this wrapper's maximum concurrency before callers start
+// waiting on each other.
+func (a *AutoQueue[T]) MaxThreads() int { return a.q.MaxThreads() }
+
+// Meta describes the underlying algorithm.
+func (a *AutoQueue[T]) Meta() Meta { return a.q.Meta() }
+
+// Unwrap returns the underlying queue, e.g. to register explicit handles
+// for latency-pinned workers alongside the implicit ones.
+func (a *AutoQueue[T]) Unwrap() Queue[T] { return a.q }
+
+// Close releases every cached handle back to the queue. It must only be
+// called after all operations through the wrapper have returned; a slot
+// still claimed by an in-flight operation panics.
+func (a *AutoQueue[T]) Close() {
+	if a.closed.Swap(true) {
+		panic("turnqueue: Close of closed AutoQueue")
+	}
+	for i := range a.slots {
+		s := &a.slots[i]
+		if !s.busy.CompareAndSwap(false, true) {
+			panic(fmt.Sprintf("turnqueue: AutoQueue.Close with operation in flight on slot %d", i))
+		}
+		if s.h != nil {
+			s.h.Close()
+			s.h = nil
+		}
+		// The slot stays claimed so a racing late operation can never
+		// reach the closed handle; it fails the closed check instead.
+	}
+}

@@ -1,0 +1,187 @@
+package turnqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAutoQueueSequential(t *testing.T) {
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			a := NewAuto(mk(WithMaxThreads(4)))
+			defer a.Close()
+			const n = 200
+			for i := 0; i < n; i++ {
+				a.Enqueue(i)
+			}
+			for i := 0; i < n; i++ {
+				v, ok := a.Dequeue()
+				if !ok || v != i {
+					t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+				}
+			}
+			if _, ok := a.Dequeue(); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+// TestAutoQueueOversubscribed drives far more goroutines than MaxThreads
+// through the implicit layer: first-use registration races on every
+// cache slot, and surplus callers must wait for a slot rather than fail.
+func TestAutoQueueOversubscribed(t *testing.T) {
+	const maxThreads, workers, per = 4, 32, 200
+	a := NewAuto(NewTurn[int](WithMaxThreads(maxThreads)))
+	defer a.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				a.Enqueue(w*per + k)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[int]bool, workers*per)
+	for i := 0; i < workers*per; i++ {
+		v, ok := a.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: queue empty with %d items missing", i, workers*per-i)
+		}
+		if seen[v] {
+			t.Fatalf("item %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := a.Dequeue(); ok {
+		t.Fatal("extra item after full drain")
+	}
+}
+
+// TestAutoQueueHandleCacheStress is the -race workout for the handle
+// cache: concurrent mixed enqueues/dequeues from more goroutines than
+// slots, so claims, first-use registrations, and releases continuously
+// overlap. Run under `go test -race` (scripts/ci.sh does).
+func TestAutoQueueHandleCacheStress(t *testing.T) {
+	const maxThreads, workers = 3, 12
+	per := 300
+	if testing.Short() {
+		per = 50
+	}
+	a := NewAuto(NewTurn[int](WithMaxThreads(maxThreads)))
+	defer a.Close()
+
+	var produced, consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				a.Enqueue(w*per + k)
+				produced.Add(1)
+				if _, ok := a.Dequeue(); ok {
+					consumed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for {
+		if _, ok := a.Dequeue(); !ok {
+			break
+		}
+		consumed.Add(1)
+	}
+	if produced.Load() != consumed.Load() {
+		t.Fatalf("produced %d, consumed %d", produced.Load(), consumed.Load())
+	}
+}
+
+// TestAutoQueueRegistersLazily checks registration-on-first-use: a
+// wrapper that never runs more than one operation at a time holds at
+// most one registered slot, leaving the rest for explicit handles.
+func TestAutoQueueRegistersLazily(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(4))
+	a := NewAuto(q)
+	defer a.Close()
+	for i := 0; i < 100; i++ {
+		a.Enqueue(i)
+		a.Dequeue()
+	}
+	// Three of the four slots must still be free for explicit use.
+	var hs []*Handle
+	for i := 0; i < 3; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatalf("explicit Register %d after implicit use: %v", i, err)
+		}
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		h.Close()
+	}
+}
+
+// TestAutoQueueSharesWithExplicitHandles mixes both styles on one queue:
+// explicit handles take slots away from the cache, and the wrapper must
+// keep working with whatever remains.
+func TestAutoQueueSharesWithExplicitHandles(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(2))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuto(q)
+	defer a.Close()
+	a.Enqueue(1)
+	q.Enqueue(h, 2)
+	if v, ok := a.Dequeue(); !ok || v != 1 {
+		t.Fatalf("implicit dequeue: got (%d,%v), want (1,true)", v, ok)
+	}
+	if v, ok := q.Dequeue(h); !ok || v != 2 {
+		t.Fatalf("explicit dequeue: got (%d,%v), want (2,true)", v, ok)
+	}
+	h.Close()
+}
+
+func TestAutoQueueCloseReleasesSlots(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(2))
+	a := NewAuto(q)
+	a.Enqueue(1)
+	a.Close()
+	// Every cached handle must be back: the full capacity is registrable.
+	h1, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Close()
+	h2.Close()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("operation on closed AutoQueue did not panic")
+			}
+		}()
+		a.Enqueue(2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Close of AutoQueue did not panic")
+			}
+		}()
+		a.Close()
+	}()
+}

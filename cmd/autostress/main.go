@@ -1,0 +1,157 @@
+// Command autostress is the correctness harness for the implicit-handle
+// layer (turnqueue.AutoQueue): it oversubscribes every public queue with
+// far more goroutines than registered thread slots, so operations
+// continuously race on the handle cache — claims, first-use
+// registrations, and releases — and then validates exactly-once
+// delivery and per-producer FIFO order at every consumer.
+//
+// This is the scenario the explicit-Handle stress (cmd/stress) cannot
+// exercise: there, every worker owns a slot for the whole run; here,
+// slots are borrowed per operation by an unbounded caller population,
+// which is how ordinary request-handler goroutines use the queue.
+//
+// Usage:
+//
+//	autostress [-queues Turn,MS,KP,Sim,FAA,TwoLock] [-threads n] [-goroutines n] [-duration d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turnqueue"
+)
+
+func constructors() map[string]func(opts ...turnqueue.Option) turnqueue.Queue[uint64] {
+	return map[string]func(opts ...turnqueue.Option) turnqueue.Queue[uint64]{
+		"Turn":    turnqueue.NewTurn[uint64],
+		"MS":      turnqueue.NewMichaelScott[uint64],
+		"KP":      turnqueue.NewKoganPetrank[uint64],
+		"Sim":     turnqueue.NewSim[uint64],
+		"FAA":     turnqueue.NewFAA[uint64],
+		"TwoLock": turnqueue.NewTwoLock[uint64],
+	}
+}
+
+func main() {
+	var (
+		queues     = flag.String("queues", "Turn,MS,KP,Sim,FAA,TwoLock", "comma-separated queue names")
+		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "MaxThreads bound (handle-cache size)")
+		goroutines = flag.Int("goroutines", 0, "caller goroutines (default 4x threads; must exceed threads to stress the cache)")
+		duration   = flag.Duration("duration", 2*time.Second, "run length per queue")
+	)
+	flag.Parse()
+	if *threads < 2 {
+		*threads = 2
+	}
+	if *goroutines <= 0 {
+		*goroutines = 4 * *threads
+	}
+
+	failed := false
+	for _, name := range strings.Split(*queues, ",") {
+		name = strings.TrimSpace(name)
+		mk, ok := constructors()[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown queue %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("autostress %-8s threads=%d goroutines=%d duration=%v ... ",
+			name, *threads, *goroutines, *duration)
+		ops, err := stressOne(mk, *threads, *goroutines, *duration)
+		if err != nil {
+			fmt.Printf("FAIL\n  %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("ok (%d ops)\n", ops)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// stressOne runs producers/consumers through one AutoQueue and validates
+// the run. Half the goroutines produce, half consume; none ever touches
+// a Handle.
+func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], threads, goroutines int, d time.Duration) (int64, error) {
+	a := turnqueue.NewAuto(mk(turnqueue.WithMaxThreads(threads)))
+	defer a.Close()
+
+	producers := goroutines / 2
+	consumers := goroutines - producers
+	encode := func(p, k uint64) uint64 { return p<<48 | k }
+
+	var stopProducing, stopConsuming atomic.Bool
+	produced := make([]uint64, producers)
+	consumed := make([][]uint64, consumers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var k uint64
+			for !stopProducing.Load() {
+				a.Enqueue(encode(uint64(p), k))
+				k++
+			}
+			produced[p] = k
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				if v, ok := a.Dequeue(); ok {
+					consumed[c] = append(consumed[c], v)
+				} else if stopConsuming.Load() {
+					return
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(d)
+	stopProducing.Store(true)
+	time.Sleep(100 * time.Millisecond)
+	stopConsuming.Store(true)
+	wg.Wait()
+
+	// Validate exactly-once delivery and per-producer FIFO order.
+	var totalProduced uint64
+	for _, k := range produced {
+		totalProduced += k
+	}
+	seen := make(map[uint64]int, totalProduced)
+	for c := range consumed {
+		last := make(map[uint64]int64, producers)
+		for _, v := range consumed[c] {
+			seen[v]++
+			p, k := v>>48, int64(v&(1<<48-1))
+			if prev, ok := last[p]; ok && k <= prev {
+				return 0, fmt.Errorf("consumer %d saw producer %d out of order: k=%d then k=%d", c, p, prev, k)
+			}
+			last[p] = k
+		}
+	}
+	if uint64(len(seen)) != totalProduced {
+		return 0, fmt.Errorf("dequeued %d distinct items, want %d (lost %d)",
+			len(seen), totalProduced, totalProduced-uint64(len(seen)))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			return 0, fmt.Errorf("item %x dequeued %d times", v, n)
+		}
+	}
+	return int64(2 * totalProduced), nil
+}

@@ -6,8 +6,8 @@ import (
 	"turnqueue/internal/kpq"
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
+	"turnqueue/internal/qrt"
 	"turnqueue/internal/simq"
-	"turnqueue/internal/tid"
 )
 
 // Option configures a queue constructor. Options that do not apply to a
@@ -42,7 +42,7 @@ const (
 
 func defaults() options {
 	return options{
-		maxThreads:  tid.DefaultMaxThreads,
+		maxThreads:  qrt.DefaultMaxThreads,
 		reclaim:     ReclaimPool,
 		hazardR:     0,
 		segmentSize: faaq.DefaultSegmentSize,
@@ -75,9 +75,51 @@ func build(opts []Option) options {
 	return o
 }
 
-// ---- Turn queue ----
+// impl is the thread-indexed surface every internal queue implementation
+// exposes: raw slot-indexed operations plus the shared per-thread
+// runtime (internal/qrt) that owns slot registration and validation.
+type impl[T any] interface {
+	Enqueue(threadID int, item T)
+	Dequeue(threadID int) (item T, ok bool)
+	MaxThreads() int
+	Runtime() *qrt.Runtime
+}
 
-type turnQueue[T any] struct{ q *core.Queue[T] }
+// adapter is the one generic bridge from the public Handle API to a
+// thread-indexed implementation. All six constructors return it; it
+// replaces the six near-identical per-queue adapter structs that existed
+// before internal/qrt. In release builds checkHandle is a bare field
+// load, so the adapter adds no validation branch to the hot path.
+type adapter[T any, Q impl[T]] struct {
+	q    Q
+	name string // Meta row, resolved lazily so adapters stay one word + a string
+}
+
+func newAdapter[T any, Q impl[T]](q Q, name string) *adapter[T, Q] {
+	return &adapter[T, Q]{q: q, name: name}
+}
+
+func (a *adapter[T, Q]) runtime() *qrt.Runtime { return a.q.Runtime() }
+
+// Register claims a thread slot from the shared runtime.
+func (a *adapter[T, Q]) Register() (*Handle, error) { return register(a) }
+
+// Enqueue inserts item at the tail using h's slot.
+func (a *adapter[T, Q]) Enqueue(h *Handle, item T) { a.q.Enqueue(checkHandle(a, h), item) }
+
+// Dequeue removes the item at the head using h's slot.
+func (a *adapter[T, Q]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
+
+// MaxThreads returns the registered-thread bound.
+func (a *adapter[T, Q]) MaxThreads() int { return a.q.MaxThreads() }
+
+// Meta describes the algorithm (Table 1's columns).
+func (a *adapter[T, Q]) Meta() Meta { return metaByName(a.name) }
+
+// Unwrap exposes the underlying thread-indexed implementation for tests
+// and experiments that need internal state (e.g. the Turn queue's
+// hazard-pointer domain).
+func (a *adapter[T, Q]) Unwrap() Q { return a.q }
 
 // NewTurn creates a Turn queue — the paper's wait-free bounded MPMC queue
 // with integrated wait-free memory reclamation.
@@ -90,118 +132,72 @@ func NewTurn[T any](opts ...Option) Queue[T] {
 	case ReclaimNone:
 		mode = core.ReclaimNone
 	}
-	return &turnQueue[T]{q: core.New[T](
+	q := core.New[T](
 		core.WithMaxThreads(o.maxThreads),
 		core.WithReclaim(mode),
 		core.WithHazardR(o.hazardR),
-	)}
+	)
+	return newAdapter[T, *core.Queue[T]](q, "Turn")
 }
-
-func (a *turnQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
-func (a *turnQueue[T]) Register() (*Handle, error)  { return register(a) }
-func (a *turnQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
-func (a *turnQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
-func (a *turnQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
-func (a *turnQueue[T]) Meta() Meta                  { return metaByName("Turn") }
-func (a *turnQueue[T]) Unwrap() *core.Queue[T]      { return a.q }
-
-// ---- Michael-Scott ----
-
-type msQueue[T any] struct{ q *msq.Queue[T] }
 
 // NewMichaelScott creates the lock-free Michael-Scott queue with
 // hazard-pointer reclamation (the paper's baseline).
 func NewMichaelScott[T any](opts ...Option) Queue[T] {
 	o := build(opts)
-	return &msQueue[T]{q: msq.New[T](o.maxThreads)}
+	return newAdapter[T, *msq.Queue[T]](msq.New[T](o.maxThreads), "Michael-Scott (MS)")
 }
-
-func (a *msQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
-func (a *msQueue[T]) Register() (*Handle, error)  { return register(a) }
-func (a *msQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
-func (a *msQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
-func (a *msQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
-func (a *msQueue[T]) Meta() Meta                  { return metaByName("Michael-Scott (MS)") }
-
-// ---- Kogan-Petrank ----
-
-type kpQueue[T any] struct{ q *kpq.Queue[T] }
 
 // NewKoganPetrank creates the wait-free Kogan-Petrank queue with the
 // paper's HP+CHP reclamation port.
 func NewKoganPetrank[T any](opts ...Option) Queue[T] {
 	o := build(opts)
-	return &kpQueue[T]{q: kpq.New[T](kpq.WithMaxThreads(o.maxThreads), kpq.WithPooling(o.pooling))}
+	q := kpq.New[T](kpq.WithMaxThreads(o.maxThreads), kpq.WithPooling(o.pooling))
+	return newAdapter[T, *kpq.Queue[T]](q, "Kogan-Petrank (KP)")
 }
-
-func (a *kpQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
-func (a *kpQueue[T]) Register() (*Handle, error)  { return register(a) }
-func (a *kpQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
-func (a *kpQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
-func (a *kpQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
-func (a *kpQueue[T]) Meta() Meta                  { return metaByName("Kogan-Petrank (KP)") }
-
-// ---- FK-style combining (Sim) ----
-
-type simQueue[T any] struct{ q *simq.Queue[T] }
 
 // NewSim creates the FK-style combining queue.
 func NewSim[T any](opts ...Option) Queue[T] {
 	o := build(opts)
-	return &simQueue[T]{q: simq.New[T](simq.WithMaxThreads(o.maxThreads))}
+	q := simq.New[T](simq.WithMaxThreads(o.maxThreads))
+	return newAdapter[T, *simq.Queue[T]](q, "Fatourou-Kallimanis (FK-style)")
 }
-
-func (a *simQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
-func (a *simQueue[T]) Register() (*Handle, error)  { return register(a) }
-func (a *simQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
-func (a *simQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
-func (a *simQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
-func (a *simQueue[T]) Meta() Meta                  { return metaByName("Fatourou-Kallimanis (FK-style)") }
-
-// ---- YMC-style FAA segment queue ----
-
-type faaQueue[T any] struct{ q *faaq.Queue[T] }
 
 // NewFAA creates the YMC-style fetch-and-add segment queue with epoch
 // reclamation.
 func NewFAA[T any](opts ...Option) Queue[T] {
 	o := build(opts)
-	return &faaQueue[T]{q: faaq.New[T](faaq.WithMaxThreads(o.maxThreads), faaq.WithSegmentSize(o.segmentSize))}
+	q := faaq.New[T](faaq.WithMaxThreads(o.maxThreads), faaq.WithSegmentSize(o.segmentSize))
+	return newAdapter[T, *faaq.Queue[T]](q, "Yang-Mellor-Crummey (YMC-style)")
 }
 
-func (a *faaQueue[T]) registry() *tid.Registry     { return a.q.Registry() }
-func (a *faaQueue[T]) Register() (*Handle, error)  { return register(a) }
-func (a *faaQueue[T]) Enqueue(h *Handle, item T)   { a.q.Enqueue(checkHandle(a, h), item) }
-func (a *faaQueue[T]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
-func (a *faaQueue[T]) MaxThreads() int             { return a.q.MaxThreads() }
-func (a *faaQueue[T]) Meta() Meta                  { return metaByName("Yang-Mellor-Crummey (YMC-style)") }
-
-// ---- Two-lock blocking queue ----
-
-type lockQueue[T any] struct {
-	q *lockq.Queue[T]
-	r *tid.Registry
+// lockImpl gives the two-lock queue the thread-indexed impl surface. The
+// algorithm needs no per-thread state; the runtime exists so handles,
+// slot bookkeeping, and (under debughandles) misuse panics behave
+// identically to every other queue instead of being silently ignored.
+type lockImpl[T any] struct {
+	q  *lockq.Queue[T]
+	rt *qrt.Runtime
 }
+
+func (l *lockImpl[T]) Enqueue(slot int, item T) {
+	qrt.CheckSlot(slot, l.rt.Capacity())
+	l.q.Enqueue(item)
+}
+
+func (l *lockImpl[T]) Dequeue(slot int) (T, bool) {
+	qrt.CheckSlot(slot, l.rt.Capacity())
+	return l.q.Dequeue()
+}
+
+func (l *lockImpl[T]) MaxThreads() int       { return l.rt.Capacity() }
+func (l *lockImpl[T]) Runtime() *qrt.Runtime { return l.rt }
 
 // NewTwoLock creates the blocking two-lock Michael-Scott queue. It needs
-// no per-thread state; the registry exists only so the interface is
-// uniform (handles are accepted and ignored).
+// no per-thread state; the runtime exists only so the interface is
+// uniform (handles are validated exactly like every other queue's, then
+// ignored).
 func NewTwoLock[T any](opts ...Option) Queue[T] {
 	o := build(opts)
-	return &lockQueue[T]{q: lockq.New[T](), r: tid.NewRegistry(o.maxThreads)}
+	l := &lockImpl[T]{q: lockq.New[T](), rt: qrt.New(o.maxThreads)}
+	return newAdapter[T, *lockImpl[T]](l, "Two-lock (MS blocking)")
 }
-
-func (a *lockQueue[T]) registry() *tid.Registry { return a.r }
-func (a *lockQueue[T]) Register() (*Handle, error) {
-	return register(a)
-}
-func (a *lockQueue[T]) Enqueue(h *Handle, item T) {
-	checkHandle(a, h)
-	a.q.Enqueue(item)
-}
-func (a *lockQueue[T]) Dequeue(h *Handle) (T, bool) {
-	checkHandle(a, h)
-	return a.q.Dequeue()
-}
-func (a *lockQueue[T]) MaxThreads() int { return a.r.Capacity() }
-func (a *lockQueue[T]) Meta() Meta      { return metaByName("Two-lock (MS blocking)") }

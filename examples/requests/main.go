@@ -1,0 +1,110 @@
+// Requests: the implicit-handle API for goroutine-per-request servers.
+//
+// The explicit Handle API assumes long-lived workers that register once
+// and keep their thread slot for the whole run — the paper's model of a
+// fixed thread pool. A typical Go server is the opposite: it spawns a
+// short-lived goroutine per request, and registering/closing a handle
+// around every single enqueue would dominate the operation itself.
+//
+// AutoQueue bridges the two. It wraps any turnqueue.Queue and borrows a
+// cached handle per operation: the first operation through a cache slot
+// registers it, and every later operation reuses it with a couple of
+// atomics. Here 64 request goroutines funnel work through a Turn queue
+// bounded to 8 thread slots, and 2 long-lived consumers drain it —
+// consumers keep explicit handles, because they live long enough for
+// registration to be free and they want the slot pinned.
+//
+// Run with:
+//
+//	go run ./examples/requests
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"turnqueue"
+)
+
+const (
+	requests = 64
+	perReq   = 500
+	drainers = 2
+)
+
+func main() {
+	q := turnqueue.NewTurn[int](turnqueue.WithMaxThreads(8))
+	a := turnqueue.NewAuto(q)
+
+	var wg sync.WaitGroup
+
+	// Short-lived "request handlers": no Register, no Close, just
+	// Enqueue. Far more goroutines than the queue has thread slots; the
+	// handle cache multiplexes them onto the 8 registered slots.
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perReq; i++ {
+				a.Enqueue(r*perReq + i)
+			}
+		}(r)
+	}
+
+	// Long-lived consumers: explicit handles, registered against the
+	// same underlying queue the AutoQueue multiplexes. The two APIs
+	// compose because AutoQueue holds real slots from the same runtime.
+	var sum, count int64
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < drainers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			log.Fatalf("register consumer %d: %v", c, err)
+		}
+		cwg.Add(1)
+		go func(h *turnqueue.Handle) {
+			defer cwg.Done()
+			defer h.Close()
+			var s, n int64
+			for {
+				if v, ok := q.Dequeue(h); ok {
+					s += int64(v)
+					n++
+					continue
+				}
+				select {
+				case <-done:
+					// Producers finished; drain what's left.
+					for {
+						v, ok := q.Dequeue(h)
+						if !ok {
+							mu.Lock()
+							sum += s
+							count += n
+							mu.Unlock()
+							return
+						}
+						s += int64(v)
+						n++
+					}
+				default:
+				}
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	a.Close()
+
+	total := int64(requests * perReq)
+	wantSum := total * (total - 1) / 2
+	fmt.Printf("drained %d items (want %d), sum %d (want %d)\n", count, total, sum, wantSum)
+	if count != total || sum != wantSum {
+		log.Fatal("lost or duplicated items")
+	}
+}

@@ -1,0 +1,30 @@
+//go:build debughandles
+
+package turnqueue
+
+import (
+	"fmt"
+
+	"turnqueue/internal/qrt"
+)
+
+// DebugHandles reports whether handle validation is compiled into the
+// operation hot path. This file is selected by the `debughandles` build
+// tag: every operation validates its handle and panics on misuse, and
+// per-slot operation counters are maintained (qrt.Runtime.OpCount).
+// scripts/ci.sh runs the test suite in both modes.
+const DebugHandles = true
+
+// checkHandle validates that h is live and belongs to q; using a handle
+// on the wrong queue would corrupt per-thread state, so it panics loudly
+// instead.
+func checkHandle(q registered, h *Handle) int {
+	if h == nil || h.owner == nil {
+		panic("turnqueue: operation with nil or closed handle")
+	}
+	if h.owner != q {
+		panic(fmt.Sprintf("turnqueue: handle belongs to a different queue (%T)", h.owner))
+	}
+	qrt.CountOp(h.owner.runtime(), h.slot)
+	return h.slot
+}

@@ -1,0 +1,20 @@
+//go:build !debughandles
+
+package turnqueue
+
+// DebugHandles reports whether handle validation is compiled into the
+// operation hot path. In release builds (this file) it is off:
+// checkHandle is a plain field load with no branch, so the public
+// adapter adds only interface dispatch over the raw thread-indexed
+// queues. Build with `-tags debughandles` for full validation.
+const DebugHandles = false
+
+// checkHandle resolves h to its slot with zero validation. Misuse still
+// fails loudly rather than corrupting state in the common cases: a nil
+// handle faults immediately, and a closed handle carries the poisoned
+// slot -1 (see Handle.Close), which trips the queue's slot-array bounds
+// check. Only cross-queue misuse needs the debughandles build to be
+// caught.
+func checkHandle(q registered, h *Handle) int {
+	return h.slot
+}

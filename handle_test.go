@@ -1,0 +1,25 @@
+package turnqueue
+
+import (
+	"testing"
+
+	"turnqueue/internal/qtest"
+)
+
+// TestHandleLifecycle runs the shared lifecycle edge-case driver against
+// all six public constructors: double Close, ErrNoSlots then
+// Close-then-re-Register slot reuse, and — under the debughandles build
+// — closed-handle and cross-queue misuse panics. The cross-queue case is
+// the historical lockQueue bug: its old hand-written adapter called
+// checkHandle but discarded the result, so foreign handles were accepted
+// silently; the generic adapter validates uniformly.
+func TestHandleLifecycle(t *testing.T) {
+	cfg := qtest.LifecycleConfig{DebugChecks: DebugHandles, ErrNoSlots: ErrNoSlots}
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			qtest.RunHandleLifecycle[*Handle](t, func(maxThreads int) Queue[int] {
+				return mk(WithMaxThreads(maxThreads))
+			}, cfg)
+		})
+	}
+}

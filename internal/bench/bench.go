@@ -14,14 +14,18 @@ import (
 	"turnqueue/internal/kpq"
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
+	"turnqueue/internal/qrt"
 	"turnqueue/internal/simq"
 	"turnqueue/internal/turnalt"
 )
 
-// Queue is the surface the drivers need: thread-indexed enqueue/dequeue.
+// Queue is the surface the drivers need: thread-indexed enqueue/dequeue
+// plus the shared per-thread runtime, so workers claim real slots
+// (harness.RunRegistered) instead of trusting their worker index.
 type Queue interface {
 	Enqueue(threadID int, v uint64)
 	Dequeue(threadID int) (uint64, bool)
+	Runtime() *qrt.Runtime
 }
 
 // Factory names a queue implementation and builds instances sized for a
@@ -32,10 +36,14 @@ type Factory struct {
 }
 
 // lockAdapter gives the two-lock queue the thread-indexed signature.
-type lockAdapter struct{ q *lockq.Queue[uint64] }
+type lockAdapter struct {
+	q  *lockq.Queue[uint64]
+	rt *qrt.Runtime
+}
 
 func (a lockAdapter) Enqueue(_ int, v uint64)      { a.q.Enqueue(v) }
 func (a lockAdapter) Dequeue(_ int) (uint64, bool) { return a.q.Dequeue() }
+func (a lockAdapter) Runtime() *qrt.Runtime        { return a.rt }
 
 // PaperFactories returns the three queues of the paper's microbenchmarks
 // (MS, KP, Turn) in presentation order.
@@ -54,7 +62,7 @@ func AllFactories() []Factory {
 	return append(PaperFactories(),
 		Factory{Name: "Sim(FK)", New: func(n int) Queue { return simq.New[uint64](simq.WithMaxThreads(n)) }},
 		Factory{Name: "FAA(YMC)", New: func(n int) Queue { return faaq.New[uint64](faaq.WithMaxThreads(n)) }},
-		Factory{Name: "TwoLock", New: func(n int) Queue { return lockAdapter{lockq.New[uint64]()} }},
+		Factory{Name: "TwoLock", New: func(n int) Queue { return lockAdapter{lockq.New[uint64](), qrt.New(n)} }},
 	)
 }
 

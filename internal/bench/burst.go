@@ -57,7 +57,7 @@ func MeasureBurst(f Factory, cfg BurstConfig) BurstResult {
 	enqTimes := make([]time.Duration, 0, total)
 	deqTimes := make([]time.Duration, 0, total)
 
-	harness.RunPinned(cfg.Threads, func(w int) {
+	harness.RunRegistered(q.Runtime(), cfg.Threads, func(w, slot int) {
 		share := harness.Split(cfg.ItemsPerBurst, cfg.Threads, w)
 		var phaseStart time.Time
 		for it := 0; it < total; it++ {
@@ -67,7 +67,7 @@ func MeasureBurst(f Factory, cfg BurstConfig) BurstResult {
 			}
 			barrier.Wait()
 			for i := 0; i < share; i++ {
-				q.Enqueue(w, uint64(i))
+				q.Enqueue(slot, uint64(i))
 			}
 			barrier.Wait()
 			if w == 0 {
@@ -76,7 +76,7 @@ func MeasureBurst(f Factory, cfg BurstConfig) BurstResult {
 			}
 			barrier.Wait()
 			for i := 0; i < share; i++ {
-				if _, ok := q.Dequeue(w); !ok {
+				if _, ok := q.Dequeue(slot); !ok {
 					panic(fmt.Sprintf("bench: %s dequeue empty during burst", f.Name))
 				}
 			}

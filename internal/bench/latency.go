@@ -78,7 +78,7 @@ func latencyOneRun(f Factory, cfg LatencyConfig) (enqRow, deqRow []int64) {
 	enqSamples := make([][]int64, cfg.Threads)
 	deqSamples := make([][]int64, cfg.Threads)
 
-	harness.RunPinned(cfg.Threads, func(w int) {
+	harness.RunRegistered(q.Runtime(), cfg.Threads, func(w, slot int) {
 		share := harness.Split(cfg.ItemsPerBurst, cfg.Threads, w)
 		// Pre-allocate the measurement arrays before any timed work, as
 		// the paper prescribes, so recording never allocates.
@@ -88,7 +88,7 @@ func latencyOneRun(f Factory, cfg LatencyConfig) (enqRow, deqRow []int64) {
 			measured := b >= cfg.Warmup
 			for i := 0; i < share; i++ {
 				start := time.Now()
-				q.Enqueue(w, uint64(i))
+				q.Enqueue(slot, uint64(i))
 				d := time.Since(start)
 				if measured {
 					enq = append(enq, d.Nanoseconds())
@@ -97,7 +97,7 @@ func latencyOneRun(f Factory, cfg LatencyConfig) (enqRow, deqRow []int64) {
 			barrier.Wait()
 			for i := 0; i < share; i++ {
 				start := time.Now()
-				if _, ok := q.Dequeue(w); !ok {
+				if _, ok := q.Dequeue(slot); !ok {
 					panic(fmt.Sprintf("bench: %s dequeue empty during burst (lost item)", f.Name))
 				}
 				d := time.Since(start)

@@ -76,15 +76,15 @@ func MeasurePairs(f Factory, cfg PairsConfig) PairsResult {
 			q.Enqueue(w, uint64(w))
 		}
 		start := time.Now()
-		harness.RunPinned(cfg.Threads, func(w int) {
+		harness.RunRegistered(q.Runtime(), cfg.Threads, func(w, slot int) {
 			share := harness.Split(cfg.TotalPairs, cfg.Threads, w)
 			rng := xrand.NewXoshiro256(uint64(w) + 1)
 			for i := 0; i < share; i++ {
-				q.Enqueue(w, uint64(i))
+				q.Enqueue(slot, uint64(i))
 				if cfg.RandomWork {
 					spinWork(50 + rng.Intn(51))
 				}
-				if _, ok := q.Dequeue(w); !ok {
+				if _, ok := q.Dequeue(slot); !ok {
 					panic(fmt.Sprintf("bench: %s dequeue empty in pairs workload", f.Name))
 				}
 				if cfg.RandomWork {

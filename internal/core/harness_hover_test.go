@@ -19,12 +19,12 @@ func runMPMCHover(t *testing.T, q *Queue[item], producers, consumers, perProduce
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("no slot")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for k := 0; k < perProducer; k++ {
 				q.Enqueue(slot, item{p, k})
 				runtime.Gosched()
@@ -37,12 +37,12 @@ func runMPMCHover(t *testing.T, q *Queue[item], producers, consumers, perProduce
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("no slot")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for {
 				select {
 				case <-done:

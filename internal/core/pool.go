@@ -1,55 +1,9 @@
 package core
 
-import "turnqueue/internal/pad"
-
-// poolCap bounds each thread's free list. A dequeue-heavy thread retires
-// nodes faster than it allocates; beyond the cap the surplus is dropped to
-// the garbage collector instead of growing without bound.
+// poolCap bounds each thread's free list in the shared qrt.Pool. A
+// dequeue-heavy thread retires nodes faster than it allocates; beyond
+// the cap the surplus is dropped to the garbage collector instead of
+// growing without bound. The pool itself — per-slot padded free lists
+// with alloc/reuse/drop accounting — lives in internal/qrt, shared with
+// the MS and KP queues.
 const poolCap = 256
-
-// nodePool recycles retired nodes. Each thread pushes to and pops from its
-// own free list only — retire() and the subsequent scan always run on the
-// retiring thread — so the lists need no synchronization at all. This is
-// the Go stand-in for C++ `delete`/`new`: a node that re-enters
-// circulation too early (a reclamation bug) immediately produces the ABA
-// corruption the paper's §2.4 describes, which the stress tests detect.
-type nodePool[T any] struct {
-	free [][]*Node[T]
-
-	allocs pad.Int64Slot // nodes taken from the heap
-	reuses pad.Int64Slot // nodes taken from a free list
-	drops  pad.Int64Slot // nodes dropped because the free list was full
-}
-
-func newNodePool[T any](maxThreads int) *nodePool[T] {
-	return &nodePool[T]{free: make([][]*Node[T], maxThreads)}
-}
-
-// get returns a node ready for reset+publication, recycling if possible.
-func (p *nodePool[T]) get(tid int) *Node[T] {
-	list := p.free[tid]
-	if n := len(list); n > 0 {
-		nd := list[n-1]
-		list[n-1] = nil
-		p.free[tid] = list[:n-1]
-		p.reuses.V.Add(1)
-		return nd
-	}
-	p.allocs.V.Add(1)
-	return new(Node[T])
-}
-
-// put recycles nd into tid's free list, dropping it when the list is full.
-func (p *nodePool[T]) put(tid int, nd *Node[T]) {
-	nd.clearItem()
-	if len(p.free[tid]) >= poolCap {
-		p.drops.V.Add(1)
-		return
-	}
-	p.free[tid] = append(p.free[tid], nd)
-}
-
-// Stats reports cumulative heap allocations, reuses and drops.
-func (p *nodePool[T]) Stats() (allocs, reuses, drops int64) {
-	return p.allocs.V.Load(), p.reuses.V.Load(), p.drops.V.Load()
-}

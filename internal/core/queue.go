@@ -6,7 +6,7 @@ import (
 
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 // Hazard-pointer slot indices, matching the paper's kHpTail/kHpHead/
@@ -54,9 +54,9 @@ type Queue[T any] struct {
 	deqself   []pad.PointerSlot[Node[T]]
 	deqhelp   []pad.PointerSlot[Node[T]]
 
-	hp       *hazard.Domain[Node[T]]
-	pool     *nodePool[T]
-	registry *tid.Registry
+	hp   *hazard.Domain[Node[T]]
+	pool *qrt.Pool[Node[T]]
+	rt   *qrt.Runtime
 
 	// Overrun counters: how often a helping loop needed more than the
 	// paper's maxThreads iterations (see the Enqueue/Dequeue doc comments).
@@ -97,7 +97,7 @@ func WithHazardR(r int) Option { return func(c *qconfig) { c.hpR = r } }
 // tail, and each thread's deqself/deqhelp entries point to two distinct
 // dummy nodes so that every dequeue request starts closed.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := qconfig{maxThreads: tid.DefaultMaxThreads, mode: ReclaimPool}
+	cfg := qconfig{maxThreads: qrt.DefaultMaxThreads, mode: ReclaimPool}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -110,9 +110,9 @@ func New[T any](opts ...Option) *Queue[T] {
 		enqueuers:  make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
 		deqself:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
 		deqhelp:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
-		registry:   tid.NewRegistry(cfg.maxThreads),
+		rt:         qrt.New(cfg.maxThreads),
 	}
-	q.pool = newNodePool[T](cfg.maxThreads)
+	q.pool = qrt.NewPool[Node[T]](cfg.maxThreads, poolCap)
 	deleter := q.deleteNode
 	if cfg.mode == ReclaimGC {
 		deleter = func(int, *Node[T]) {}
@@ -133,16 +133,17 @@ func New[T any](opts ...Option) *Queue[T] {
 
 // deleteNode is the hazard-pointer deleter for ReclaimPool mode.
 func (q *Queue[T]) deleteNode(threadID int, nd *Node[T]) {
-	q.pool.put(threadID, nd)
+	nd.clearItem()
+	q.pool.Put(threadID, nd)
 }
 
 // MaxThreads returns the thread bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry. Workers call
-// Registry().Acquire() once, use the slot for every operation, and
+// Runtime returns the queue's per-thread runtime. Workers call
+// Runtime().Acquire() once, use the slot for every operation, and
 // Release() it when done.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Hazard exposes the queue's hazard-pointer domain for the reclamation
 // experiments and tests.
@@ -179,7 +180,7 @@ const hardIterCap = 1 << 22
 // bound, this version keeps helping instead of silently cancelling an
 // uninserted request, and the overrun becomes measurable.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
-	q.checkTid(threadID)
+	qrt.CheckSlot(threadID, q.maxThreads)
 	myNode := q.allocNode(threadID, item)
 	q.enqueuers[threadID].P.Store(myNode)
 	// Our request is complete when the entry is nulled by a helper (or by
@@ -231,7 +232,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // itself), counting iterations beyond the paper's bound in OverrunStats,
 // so a bound violation can never surface as a stale item.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
-	q.checkTid(threadID)
+	qrt.CheckSlot(threadID, q.maxThreads)
 	prReq := q.deqself[threadID].P.Load() // previous request, to retire at the end
 	myReq := q.deqhelp[threadID].P.Load()
 	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
@@ -363,12 +364,6 @@ func (q *Queue[T]) retire(threadID int, prReq *Node[T]) {
 	q.hp.Retire(threadID, prReq)
 }
 
-func (q *Queue[T]) checkTid(threadID int) {
-	if threadID < 0 || threadID >= q.maxThreads {
-		panic(fmt.Sprintf("core: thread id %d out of range [0,%d)", threadID, q.maxThreads))
-	}
-}
-
 // allocNode draws a node from the pool (or the heap) and initializes it as
 // a fresh enqueue request. In the paper this is `new Node(item, tid)`; the
 // pool keeps the "no allocation besides the node" property while making
@@ -376,7 +371,10 @@ func (q *Queue[T]) checkTid(threadID int) {
 func (q *Queue[T]) allocNode(threadID int, item T) *Node[T] {
 	var nd *Node[T]
 	if q.mode == ReclaimPool {
-		nd = q.pool.get(threadID)
+		if nd = q.pool.Get(threadID); nd == nil {
+			nd = new(Node[T])
+			q.pool.NoteAlloc()
+		}
 	} else {
 		nd = new(Node[T])
 	}

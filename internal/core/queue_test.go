@@ -92,12 +92,12 @@ func runMPMC(t *testing.T, q *Queue[item], producers, consumers, perProducer int
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("no registry slot for producer")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for k := 0; k < perProducer; k++ {
 				q.Enqueue(slot, item{p, k})
 			}
@@ -109,12 +109,12 @@ func runMPMC(t *testing.T, q *Queue[item], producers, consumers, perProducer int
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("no registry slot for consumer")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for {
 				select {
 				case <-done:

@@ -29,7 +29,7 @@ import (
 
 	"turnqueue/internal/epoch"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 // DefaultSegmentSize is the cells-per-segment default. YMC uses ~10^7;
@@ -64,8 +64,8 @@ type Queue[T any] struct {
 	// taken poisons a cell whose dequeue ticket arrived before any item.
 	taken *T
 
-	epochs   *epoch.Domain[segment[T]]
-	registry *tid.Registry
+	epochs *epoch.Domain[segment[T]]
+	rt     *qrt.Runtime
 
 	wasted    pad.Int64Slot // dequeue tickets burnt on empty cells
 	segAllocs pad.Int64Slot // segments allocated (each is a latency spike)
@@ -87,7 +87,7 @@ func WithSegmentSize(n int) Option { return func(c *config) { c.segSize = n } }
 
 // New creates an empty queue.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := config{maxThreads: tid.DefaultMaxThreads, segSize: DefaultSegmentSize}
+	cfg := config{maxThreads: qrt.DefaultMaxThreads, segSize: DefaultSegmentSize}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -98,7 +98,7 @@ func New[T any](opts ...Option) *Queue[T] {
 		maxThreads: cfg.maxThreads,
 		segSize:    cfg.segSize,
 		taken:      new(T),
-		registry:   tid.NewRegistry(cfg.maxThreads),
+		rt:         qrt.New(cfg.maxThreads),
 	}
 	q.epochs = epoch.New[segment[T]](cfg.maxThreads, func(int, *segment[T]) {
 		// Drop for the GC; segments are not recycled, as in YMC.
@@ -112,8 +112,8 @@ func New[T any](opts ...Option) *Queue[T] {
 // MaxThreads returns the registered-thread bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Epochs exposes the reclamation domain for the §3 blocking experiment.
 func (q *Queue[T]) Epochs() *epoch.Domain[segment[T]] { return q.epochs }
@@ -126,6 +126,7 @@ func (q *Queue[T]) Stats() (wastedTickets, segmentAllocs int64) {
 // Enqueue appends item. Lock-free: a full segment forces a retry through
 // the segment-advance path.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
+	qrt.CheckSlot(threadID, q.maxThreads)
 	boxed := new(T)
 	*boxed = item
 	q.epochs.Enter(threadID)
@@ -164,6 +165,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 
 // Dequeue removes the item at the head, or reports ok=false when empty.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	qrt.CheckSlot(threadID, q.maxThreads)
 	q.epochs.Enter(threadID)
 	defer q.epochs.Exit(threadID)
 	for {

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"turnqueue/internal/qrt"
 )
 
 // Barrier is a reusable sense-reversing spin barrier for a fixed party
@@ -71,6 +73,27 @@ func RunPinned(n int, body func(worker int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// RunRegistered starts n pinned workers like RunPinned, but each worker
+// additionally claims a real thread slot from rt for the duration of its
+// body instead of trusting its worker index — the same discipline
+// production callers follow through the public Handle API. It panics if
+// rt cannot seat all n workers; measurement drivers size the runtime to
+// the worker count, so exhaustion is a harness bug, not a benchmark
+// result.
+func RunRegistered(rt *qrt.Runtime, n int, body func(worker, slot int)) {
+	if rt.Capacity() < n {
+		panic(fmt.Sprintf("harness: runtime capacity %d cannot seat %d workers", rt.Capacity(), n))
+	}
+	RunPinned(n, func(w int) {
+		slot, ok := rt.Acquire()
+		if !ok {
+			panic("harness: slot acquisition failed with capacity >= workers")
+		}
+		defer rt.Release(slot)
+		body(w, slot)
+	})
 }
 
 // Split divides total work items across parties as evenly as possible,

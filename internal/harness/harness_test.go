@@ -3,6 +3,8 @@ package harness
 import (
 	"sync/atomic"
 	"testing"
+
+	"turnqueue/internal/qrt"
 )
 
 func TestBarrierPhases(t *testing.T) {
@@ -55,6 +57,40 @@ func TestSplitEvenWithinOne(t *testing.T) {
 			t.Fatalf("Split uneven: party %d got %d", p, n)
 		}
 	}
+}
+
+func TestRunRegistered(t *testing.T) {
+	const workers = 6
+	rt := qrt.New(workers)
+	var seen [workers]atomic.Int32
+	b := NewBarrier(workers)
+	RunRegistered(rt, workers, func(w, slot int) {
+		if slot < 0 || slot >= workers {
+			t.Errorf("worker %d got out-of-range slot %d", w, slot)
+			return
+		}
+		// Hold the slot until every worker has one: concurrent holders
+		// must occupy distinct slots.
+		seen[slot].Add(1)
+		b.Wait()
+	})
+	for s := range seen {
+		if got := seen[s].Load(); got != 1 {
+			t.Errorf("slot %d used by %d workers, want exactly 1", s, got)
+		}
+		if rt.InUse(s) {
+			t.Errorf("slot %d still acquired after RunRegistered returned", s)
+		}
+	}
+}
+
+func TestRunRegisteredUndersizedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunRegistered with capacity < workers did not panic")
+		}
+	}()
+	RunRegistered(qrt.New(1), 2, func(w, slot int) {})
 }
 
 func TestBadArgsPanic(t *testing.T) {

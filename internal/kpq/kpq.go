@@ -38,7 +38,7 @@ import (
 
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 const idxNone int32 = -1
@@ -85,7 +85,6 @@ type opDesc[T any] struct {
 // threads.
 type Queue[T any] struct {
 	maxThreads int
-	pooling    bool
 
 	head atomic.Pointer[node[T]]
 	_    [2*pad.CacheLine - 8]byte
@@ -97,13 +96,10 @@ type Queue[T any] struct {
 	hpNode *hazard.Domain[node[T]]
 	hpDesc *hazard.Domain[opDesc[T]]
 
-	freeNodes [][]*node[T]
-	freeDescs [][]*opDesc[T]
+	nodePool *qrt.Pool[node[T]]
+	descPool *qrt.Pool[opDesc[T]]
 
-	registry *tid.Registry
-
-	descAllocs pad.Int64Slot
-	nodeAllocs pad.Int64Slot
+	rt *qrt.Runtime
 }
 
 // Option configures a Queue.
@@ -124,20 +120,25 @@ func WithPooling(on bool) Option { return func(c *config) { c.pooling = on } }
 
 // New creates a KP queue.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := config{maxThreads: tid.DefaultMaxThreads, pooling: true}
+	cfg := config{maxThreads: qrt.DefaultMaxThreads, pooling: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.maxThreads <= 0 {
 		panic(fmt.Sprintf("kpq: maxThreads must be positive, got %d", cfg.maxThreads))
 	}
+	// A zero-capacity pool never retains anything, reproducing the
+	// original allocate-always behaviour when pooling is disabled.
+	cap := poolCap
+	if !cfg.pooling {
+		cap = 0
+	}
 	q := &Queue[T]{
 		maxThreads: cfg.maxThreads,
-		pooling:    cfg.pooling,
 		state:      make([]pad.PointerSlot[opDesc[T]], cfg.maxThreads),
-		freeNodes:  make([][]*node[T], cfg.maxThreads),
-		freeDescs:  make([][]*opDesc[T], cfg.maxThreads),
-		registry:   tid.NewRegistry(cfg.maxThreads),
+		nodePool:   qrt.NewPool[node[T]](cfg.maxThreads, cap),
+		descPool:   qrt.NewPool[opDesc[T]](cfg.maxThreads, cap),
+		rt:         qrt.New(cfg.maxThreads),
 	}
 	q.hpNode = hazard.New[node[T]](cfg.maxThreads, numNodeH, q.recycleNode)
 	q.hpDesc = hazard.New[opDesc[T]](cfg.maxThreads, numDescH, q.recycleDesc)
@@ -158,39 +159,31 @@ func New[T any](opts ...Option) *Queue[T] {
 // MaxThreads returns the registered-thread bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // AllocStats reports cumulative descriptor and node heap allocations.
 func (q *Queue[T]) AllocStats() (descs, nodes int64) {
-	return q.descAllocs.V.Load(), q.nodeAllocs.V.Load()
+	descs, _, _ = q.descPool.Stats()
+	nodes, _, _ = q.nodePool.Stats()
+	return descs, nodes
 }
 
 const poolCap = 512
 
 func (q *Queue[T]) recycleNode(threadID int, nd *node[T]) {
-	if !q.pooling || len(q.freeNodes[threadID]) >= poolCap {
-		return
-	}
-	q.freeNodes[threadID] = append(q.freeNodes[threadID], nd)
+	q.nodePool.Put(threadID, nd)
 }
 
 func (q *Queue[T]) recycleDesc(threadID int, d *opDesc[T]) {
-	if !q.pooling || len(q.freeDescs[threadID]) >= poolCap {
-		return
-	}
-	q.freeDescs[threadID] = append(q.freeDescs[threadID], d)
+	q.descPool.Put(threadID, d)
 }
 
 func (q *Queue[T]) allocNode(threadID int, item *T) *node[T] {
-	var nd *node[T]
-	if list := q.freeNodes[threadID]; len(list) > 0 {
-		nd = list[len(list)-1]
-		list[len(list)-1] = nil
-		q.freeNodes[threadID] = list[:len(list)-1]
-	} else {
+	nd := q.nodePool.Get(threadID)
+	if nd == nil {
 		nd = new(node[T])
-		q.nodeAllocs.V.Add(1)
+		q.nodePool.NoteAlloc()
 	}
 	nd.item.Store(item)
 	nd.enqTid = int32(threadID)
@@ -200,14 +193,10 @@ func (q *Queue[T]) allocNode(threadID int, item *T) *node[T] {
 }
 
 func (q *Queue[T]) allocDesc(threadID int, phase int64, pending, enqueue bool, nd *node[T]) *opDesc[T] {
-	var d *opDesc[T]
-	if list := q.freeDescs[threadID]; len(list) > 0 {
-		d = list[len(list)-1]
-		list[len(list)-1] = nil
-		q.freeDescs[threadID] = list[:len(list)-1]
-	} else {
+	d := q.descPool.Get(threadID)
+	if d == nil {
 		d = new(opDesc[T])
-		q.descAllocs.V.Add(1)
+		q.descPool.NoteAlloc()
 	}
 	d.phase.Store(phase)
 	d.pending.Store(pending)
@@ -266,7 +255,7 @@ func (q *Queue[T]) casState(helper int, i int32, cur, next *opDesc[T]) bool {
 // Enqueue appends item. Wait-free: announce with a phase above every
 // observed phase, then help until no longer pending.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
-	q.checkTid(threadID)
+	qrt.CheckSlot(threadID, q.maxThreads)
 	boxed := new(T)
 	*boxed = item
 	phase := q.maxPhase() + 1
@@ -280,7 +269,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 
 // Dequeue removes the item at the head, or reports ok=false when empty.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
-	q.checkTid(threadID)
+	qrt.CheckSlot(threadID, q.maxThreads)
 	phase := q.maxPhase() + 1
 	q.installDesc(threadID, q.allocDesc(threadID, phase, true, false, nil))
 	q.help(threadID, phase)

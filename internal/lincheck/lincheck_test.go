@@ -154,12 +154,12 @@ func TestTurnQueueHistories(t *testing.T) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				slot, ok := q.Registry().Acquire()
+				slot, ok := q.Runtime().Acquire()
 				if !ok {
 					t.Error("no slot")
 					return
 				}
-				defer q.Registry().Release(slot)
+				defer q.Runtime().Release(slot)
 				for k := 0; k < 3; k++ {
 					v := int64(w*100 + k)
 					s := rec.Begin()

@@ -19,7 +19,7 @@ import (
 
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 const (
@@ -43,9 +43,9 @@ type Queue[T any] struct {
 	tail atomic.Pointer[node[T]]
 	_    [2*pad.CacheLine - 8]byte
 
-	hp       *hazard.Domain[node[T]]
-	free     [][]*node[T] // per-thread pools; each owned by its thread
-	registry *tid.Registry
+	hp   *hazard.Domain[node[T]]
+	pool *qrt.Pool[node[T]] // per-thread free lists; each owned by its thread
+	rt   *qrt.Runtime
 }
 
 // New creates a queue sized for maxThreads registered threads.
@@ -55,8 +55,8 @@ func New[T any](maxThreads int) *Queue[T] {
 	}
 	q := &Queue[T]{
 		maxThreads: maxThreads,
-		free:       make([][]*node[T], maxThreads),
-		registry:   tid.NewRegistry(maxThreads),
+		pool:       qrt.NewPool[node[T]](maxThreads, poolCap),
+		rt:         qrt.New(maxThreads),
 	}
 	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle)
 	sentinel := new(node[T])
@@ -70,34 +70,29 @@ const poolCap = 256
 func (q *Queue[T]) recycle(threadID int, nd *node[T]) {
 	var zero T
 	nd.item = zero
-	if len(q.free[threadID]) >= poolCap {
-		return
-	}
-	q.free[threadID] = append(q.free[threadID], nd)
+	q.pool.Put(threadID, nd)
 }
 
 func (q *Queue[T]) alloc(threadID int, item T) *node[T] {
-	list := q.free[threadID]
-	if n := len(list); n > 0 {
-		nd := list[n-1]
-		list[n-1] = nil
-		q.free[threadID] = list[:n-1]
+	if nd := q.pool.Get(threadID); nd != nil {
 		nd.item = item
 		nd.next.Store(nil)
 		return nd
 	}
+	q.pool.NoteAlloc()
 	return &node[T]{item: item}
 }
 
 // MaxThreads returns the registered-thread bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Enqueue appends item. Lock-free: the loop retries until the two-step
 // link-then-swing-tail succeeds or is helped along by another thread.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
+	qrt.CheckSlot(threadID, q.maxThreads)
 	nd := q.alloc(threadID, item)
 	for {
 		ltail := q.hp.ProtectPtr(hpHead, threadID, q.tail.Load())
@@ -120,6 +115,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 
 // Dequeue removes the item at the head, or reports ok=false when empty.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
+	qrt.CheckSlot(threadID, q.maxThreads)
 	for {
 		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
 		if lhead != q.head.Load() {

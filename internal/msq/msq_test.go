@@ -51,7 +51,7 @@ func TestNodeRecycling(t *testing.T) {
 			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
 		}
 	}
-	if got := len(q.free[0]); got == 0 {
-		t.Error("free list empty after steady-state churn; recycling not working")
+	if _, reuses, _ := q.pool.Stats(); reuses == 0 {
+		t.Error("pool never reused a node after steady-state churn; recycling not working")
 	}
 }

@@ -1,0 +1,25 @@
+//go:build debughandles
+
+package qrt
+
+import "fmt"
+
+// Debug reports whether slot/handle validation is compiled in. This file
+// is selected by the `debughandles` build tag; scripts/ci.sh runs the
+// test suite once per mode.
+const Debug = true
+
+// CheckSlot panics unless slot is a valid index in [0, capacity). Under
+// debughandles every queue operation validates its thread slot through
+// this one function; in release builds it compiles to nothing.
+func CheckSlot(slot, capacity int) {
+	if slot < 0 || slot >= capacity {
+		panic(fmt.Sprintf("qrt: thread slot %d out of range [0,%d)", slot, capacity))
+	}
+}
+
+// CountOp bumps slot's per-slot operation counter (debug accounting for
+// leak hunts and fairness checks; see Runtime.OpCount).
+func CountOp(rt *Runtime, slot int) {
+	rt.slots[slot].Ops.V.Add(1)
+}

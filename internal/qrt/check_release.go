@@ -1,0 +1,15 @@
+//go:build !debughandles
+
+package qrt
+
+// Debug reports whether slot/handle validation is compiled in. Build
+// with `-tags debughandles` to turn CheckSlot and the public package's
+// handle checks into real validation; release builds keep the hot path
+// free of validation branches.
+const Debug = false
+
+// CheckSlot is a no-op in release builds; see check_debug.go.
+func CheckSlot(slot, capacity int) {}
+
+// CountOp is a no-op in release builds; see check_debug.go.
+func CountOp(rt *Runtime, slot int) {}

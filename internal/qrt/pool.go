@@ -1,0 +1,79 @@
+package qrt
+
+import "turnqueue/internal/pad"
+
+// freeList is one slot's free list, padded so two slots' list headers
+// never share a cache line (a slice header is 24 bytes; without padding
+// five headers fit one line pair and every pool operation would
+// false-share).
+type freeList[N any] struct {
+	list []*N
+	_    [2*pad.CacheLine - 24]byte
+}
+
+// Pool recycles retired objects through per-slot free lists. Each slot
+// pushes to and pops from its own list only — in every queue here the
+// retire scan runs on the retiring thread — so the lists need no
+// synchronization at all. This is the shared Go stand-in for the C++
+// artifact's delete/new: an object that re-enters circulation too early
+// (a reclamation bug) immediately produces the ABA corruption the
+// paper's §2.4 describes, which the stress tests detect.
+//
+// A Pool with capPerSlot 0 never retains anything: Get always misses and
+// Put always drops, reproducing allocate-always behaviour (the KP
+// queue's WithPooling(false) ablation).
+type Pool[N any] struct {
+	capPerSlot int
+	free       []freeList[N]
+
+	allocs pad.Int64Slot // objects the caller took from the heap (via NoteAlloc)
+	reuses pad.Int64Slot // objects served from a free list
+	drops  pad.Int64Slot // objects dropped because the free list was full
+}
+
+// NewPool creates a pool with maxThreads slots, each retaining at most
+// capPerSlot objects. capPerSlot 0 disables retention.
+func NewPool[N any](maxThreads, capPerSlot int) *Pool[N] {
+	if maxThreads <= 0 {
+		panic("qrt: pool maxThreads must be positive")
+	}
+	if capPerSlot < 0 {
+		panic("qrt: pool capPerSlot must be non-negative")
+	}
+	return &Pool[N]{capPerSlot: capPerSlot, free: make([]freeList[N], maxThreads)}
+}
+
+// Get pops a recycled object from slot's free list, or returns nil when
+// the list is empty (the caller then allocates and reports it with
+// NoteAlloc).
+func (p *Pool[N]) Get(slot int) *N {
+	list := p.free[slot].list
+	n := len(list)
+	if n == 0 {
+		return nil
+	}
+	nd := list[n-1]
+	list[n-1] = nil
+	p.free[slot].list = list[:n-1]
+	p.reuses.V.Add(1)
+	return nd
+}
+
+// NoteAlloc records a heap allocation taken because Get missed.
+func (p *Pool[N]) NoteAlloc() { p.allocs.V.Add(1) }
+
+// Put recycles nd into slot's free list, dropping it to the garbage
+// collector when the list is at capacity. The caller must already have
+// cleared any fields that would pin other objects.
+func (p *Pool[N]) Put(slot int, nd *N) {
+	if len(p.free[slot].list) >= p.capPerSlot {
+		p.drops.V.Add(1)
+		return
+	}
+	p.free[slot].list = append(p.free[slot].list, nd)
+}
+
+// Stats reports cumulative heap allocations, reuses and drops.
+func (p *Pool[N]) Stats() (allocs, reuses, drops int64) {
+	return p.allocs.V.Load(), p.reuses.V.Load(), p.drops.V.Load()
+}

@@ -1,0 +1,120 @@
+// Package qrt is the shared per-thread runtime substrate under every
+// queue in this repository.
+//
+// The paper's wait-free bounds all hinge on the same shape of state:
+// fixed arrays with one padded entry per registered thread (hazard
+// records, free-node pools, request slots), indexed by a thread id in
+// [0, MAX_THREADS). Before this package existed, each queue
+// implementation rebuilt that plumbing independently — its own
+// tid.Registry, its own free lists, its own slot-range checks. qrt owns
+// it once:
+//
+//   - Runtime: slot registration (wrapping the wait-free tid.Registry)
+//     plus a padded per-slot state block with registration-churn and
+//     debug-mode operation counters.
+//   - Pool[N]: per-slot padded free lists — the Go stand-in for the C++
+//     artifact's delete/new under which hazard pointers guard real ABA.
+//   - CheckSlot / CheckOwnedSlot: slot validation that compiles to
+//     nothing unless the `debughandles` build tag is set, so the release
+//     hot path carries zero validation branches.
+//
+// Sibling substrates internal/hazard and internal/epoch stay separate
+// packages because they are generic over the node type, but they are
+// always sized from the same Runtime capacity.
+package qrt
+
+import (
+	"fmt"
+
+	"turnqueue/internal/pad"
+	"turnqueue/internal/tid"
+)
+
+// DefaultMaxThreads mirrors the paper's MAX_THREADS constant; queues
+// built without an explicit bound use it.
+const DefaultMaxThreads = tid.DefaultMaxThreads
+
+// SlotState is the per-slot padded state block. Each registered thread
+// owns exactly one; the fields on it are written by the owning thread
+// (or by the registration path) so the padding keeps them off every
+// other thread's cache lines.
+type SlotState struct {
+	// Acquires counts how many times this slot has been handed out —
+	// registration churn, cheap to maintain because Acquire is off the
+	// hot path.
+	Acquires pad.Int64Slot
+	// Ops counts operations performed through this slot. It is bumped
+	// only under the debughandles build tag (see CountOp), so release
+	// builds pay nothing for it.
+	Ops pad.Int64Slot
+}
+
+// Runtime owns slot registration and per-slot state for one queue (or
+// one shard). All per-thread arrays of the queue built on top must be
+// sized to Capacity().
+type Runtime struct {
+	reg   *tid.Registry
+	slots []SlotState
+}
+
+// New creates a runtime with maxThreads slots. It panics if maxThreads
+// is not positive, because every per-thread array sized from it would be
+// empty and unusable.
+func New(maxThreads int) *Runtime {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("qrt: maxThreads must be positive, got %d", maxThreads))
+	}
+	return &Runtime{
+		reg:   tid.NewRegistry(maxThreads),
+		slots: make([]SlotState, maxThreads),
+	}
+}
+
+// Capacity returns the slot count, i.e. the MAX_THREADS bound.
+func (rt *Runtime) Capacity() int { return rt.reg.Capacity() }
+
+// Acquire claims a free slot, wait-free bounded (one scan with at most
+// one CAS per entry, inherited from tid.Registry). ok=false means every
+// slot is taken.
+func (rt *Runtime) Acquire() (slot int, ok bool) {
+	slot, ok = rt.reg.Acquire()
+	if ok {
+		rt.slots[slot].Acquires.V.Add(1)
+	}
+	return slot, ok
+}
+
+// Release returns slot to the free pool. Releasing a slot that is not
+// acquired panics (a double release would let two threads share
+// per-thread state).
+func (rt *Runtime) Release(slot int) { rt.reg.Release(slot) }
+
+// InUse reports whether slot is currently acquired; for tests and
+// diagnostics only (the answer may be stale immediately).
+func (rt *Runtime) InUse(slot int) bool { return rt.reg.InUse(slot) }
+
+// Slot returns the padded state block of slot i.
+func (rt *Runtime) Slot(i int) *SlotState { return &rt.slots[i] }
+
+// Registry exposes the underlying wait-free slot registry, for tests
+// that probe it directly.
+func (rt *Runtime) Registry() *tid.Registry { return rt.reg }
+
+// AcquireCount sums registration churn over all slots.
+func (rt *Runtime) AcquireCount() int64 {
+	var n int64
+	for i := range rt.slots {
+		n += rt.slots[i].Acquires.V.Load()
+	}
+	return n
+}
+
+// OpCount sums the debug-mode per-slot operation counters. Always zero
+// in release builds (see SlotState.Ops).
+func (rt *Runtime) OpCount() int64 {
+	var n int64
+	for i := range rt.slots {
+		n += rt.slots[i].Ops.V.Load()
+	}
+	return n
+}

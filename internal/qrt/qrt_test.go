@@ -1,0 +1,142 @@
+package qrt
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRuntimeAcquireRelease(t *testing.T) {
+	rt := New(4)
+	if rt.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", rt.Capacity())
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		slot, ok := rt.Acquire()
+		if !ok {
+			t.Fatalf("Acquire %d failed with free slots", i)
+		}
+		if seen[slot] {
+			t.Fatalf("slot %d handed out twice", slot)
+		}
+		seen[slot] = true
+	}
+	if _, ok := rt.Acquire(); ok {
+		t.Fatal("Acquire succeeded with all slots taken")
+	}
+	rt.Release(2)
+	slot, ok := rt.Acquire()
+	if !ok || slot != 2 {
+		t.Fatalf("re-Acquire after Release = (%d,%v), want (2,true)", slot, ok)
+	}
+	if got := rt.AcquireCount(); got != 5 {
+		t.Fatalf("AcquireCount = %d, want 5", got)
+	}
+}
+
+func TestRuntimeConcurrentChurn(t *testing.T) {
+	rt := New(8)
+	var wg sync.WaitGroup
+	const workers, iters = 16, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				slot, ok := rt.Acquire()
+				if !ok {
+					continue // oversubscribed; try again next iteration
+				}
+				if !rt.InUse(slot) {
+					t.Error("acquired slot not InUse")
+				}
+				rt.Release(slot)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < rt.Capacity(); i++ {
+		if rt.InUse(i) {
+			t.Fatalf("slot %d still in use after all workers released", i)
+		}
+	}
+}
+
+func TestRuntimeDoubleReleasePanics(t *testing.T) {
+	rt := New(2)
+	slot, _ := rt.Acquire()
+	rt.Release(slot)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	rt.Release(slot)
+}
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool[int](2, 2)
+	if nd := p.Get(0); nd != nil {
+		t.Fatal("Get on empty pool returned an object")
+	}
+	p.NoteAlloc()
+	a, b, c := new(int), new(int), new(int)
+	p.Put(0, a)
+	p.Put(0, b)
+	p.Put(0, c) // over capacity: dropped
+	if got := p.Get(0); got != b {
+		t.Fatal("Get did not return most recently retained object")
+	}
+	if got := p.Get(0); got != a {
+		t.Fatal("Get did not return remaining object")
+	}
+	if got := p.Get(0); got != nil {
+		t.Fatal("Get on drained pool returned an object")
+	}
+	allocs, reuses, drops := p.Stats()
+	if allocs != 1 || reuses != 2 || drops != 1 {
+		t.Fatalf("Stats = (%d,%d,%d), want (1,2,1)", allocs, reuses, drops)
+	}
+}
+
+func TestPoolZeroCapDropsEverything(t *testing.T) {
+	p := NewPool[int](1, 0)
+	p.Put(0, new(int))
+	if nd := p.Get(0); nd != nil {
+		t.Fatal("zero-cap pool retained an object")
+	}
+	if _, _, drops := p.Stats(); drops != 1 {
+		t.Fatalf("drops = %d, want 1", drops)
+	}
+}
+
+func TestPoolSlotIsolation(t *testing.T) {
+	p := NewPool[int](2, 4)
+	p.Put(0, new(int))
+	if nd := p.Get(1); nd != nil {
+		t.Fatal("slot 1 saw slot 0's object")
+	}
+}
+
+// TestCheckSlotMode pins the build-tag contract: out-of-range slots
+// panic exactly when Debug is set, and ops are counted exactly when
+// Debug is set.
+func TestCheckSlotMode(t *testing.T) {
+	rt := New(2)
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		CheckSlot(5, rt.Capacity())
+		return false
+	}()
+	if panicked != Debug {
+		t.Fatalf("CheckSlot out-of-range panicked=%v, want %v (Debug)", panicked, Debug)
+	}
+	CountOp(rt, 0)
+	want := int64(0)
+	if Debug {
+		want = 1
+	}
+	if got := rt.OpCount(); got != want {
+		t.Fatalf("OpCount = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,133 @@
+package qtest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// HandleRef is the surface a registered-thread handle exposes to the
+// lifecycle driver; *turnqueue.Handle satisfies it.
+type HandleRef interface {
+	comparable
+	Slot() int
+	Close()
+}
+
+// HandleQueue is the handle-based queue surface the lifecycle driver
+// exercises; the public turnqueue.Queue[int] interface satisfies it with
+// H = *turnqueue.Handle.
+type HandleQueue[T any, H HandleRef] interface {
+	Register() (H, error)
+	Enqueue(h H, item T)
+	Dequeue(h H) (item T, ok bool)
+	MaxThreads() int
+}
+
+// LifecycleConfig parameterizes RunHandleLifecycle for the build mode
+// and error surface of the package under test.
+type LifecycleConfig struct {
+	// DebugChecks: whether handle misuse (closed handle, cross-queue
+	// handle) is validated and panics. Pass the package's debug-build
+	// constant (turnqueue.DebugHandles).
+	DebugChecks bool
+	// ErrNoSlots is the sentinel Register returns when every slot is
+	// live.
+	ErrNoSlots error
+}
+
+func expectPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic; want panic containing %q", wantSubstr)
+			return
+		}
+		if wantSubstr == "" {
+			return
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, wantSubstr) {
+			t.Errorf("panic %q does not contain %q", msg, wantSubstr)
+		}
+	}()
+	f()
+}
+
+// RunHandleLifecycle drives the handle lifecycle edge cases against one
+// queue constructor: double Close, registration exhaustion and slot
+// reuse, and — when cfg.DebugChecks — closed-handle and cross-queue
+// misuse panics. mk must return a fresh queue bounded to maxThreads.
+func RunHandleLifecycle[H HandleRef, Q HandleQueue[int, H]](t *testing.T, mk func(maxThreads int) Q, cfg LifecycleConfig) {
+	t.Helper()
+
+	t.Run("DoubleClose", func(t *testing.T) {
+		q := mk(2)
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+		expectPanic(t, "Close of closed handle", func() { h.Close() })
+	})
+
+	t.Run("ExhaustionAndReuse", func(t *testing.T) {
+		q := mk(2)
+		h1, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Register(); !errors.Is(err, cfg.ErrNoSlots) {
+			t.Fatalf("Register beyond capacity: err = %v, want %v", err, cfg.ErrNoSlots)
+		}
+		// Close-then-re-Register must reuse the freed slot index.
+		freed := h1.Slot()
+		h1.Close()
+		h3, err := q.Register()
+		if err != nil {
+			t.Fatalf("Register after Close: %v", err)
+		}
+		if h3.Slot() != freed {
+			t.Errorf("re-Register got slot %d, want freed slot %d", h3.Slot(), freed)
+		}
+		// The recycled slot must be fully usable.
+		q.Enqueue(h3, 42)
+		if v, ok := q.Dequeue(h3); !ok || v != 42 {
+			t.Fatalf("operation on recycled slot: got (%d,%v), want (42,true)", v, ok)
+		}
+		h3.Close()
+		h2.Close()
+	})
+
+	if !cfg.DebugChecks {
+		return
+	}
+
+	t.Run("ClosedHandleUse", func(t *testing.T) {
+		q := mk(2)
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+		expectPanic(t, "closed handle", func() { q.Enqueue(h, 1) })
+		expectPanic(t, "closed handle", func() { q.Dequeue(h) })
+	})
+
+	t.Run("CrossQueueHandle", func(t *testing.T) {
+		qa, qb := mk(2), mk(2)
+		h, err := qa.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		expectPanic(t, "different queue", func() { qb.Enqueue(h, 1) })
+		expectPanic(t, "different queue", func() { qb.Dequeue(h) })
+	})
+}

@@ -10,7 +10,7 @@ import (
 	"sync"
 	"testing"
 
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 // Item identifies a value uniquely across a run: producer P's K-th item.
@@ -19,12 +19,12 @@ type Item struct {
 	K int32
 }
 
-// Queue is the minimal MPMC surface the harness drives. All tid-based
+// Queue is the minimal MPMC surface the harness drives. All slot-based
 // queues in this repository satisfy it when instantiated as Queue-of-Item.
 type Queue interface {
 	Enqueue(threadID int, v Item)
 	Dequeue(threadID int) (Item, bool)
-	Registry() *tid.Registry
+	Runtime() *qrt.Runtime
 }
 
 // Config shapes an MPMC run.
@@ -66,12 +66,12 @@ func runSplit(t *testing.T, q Queue, cfg Config) [][]Item {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("qtest: no registry slot for producer")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for k := 0; k < cfg.PerProducer; k++ {
 				q.Enqueue(slot, Item{P: int32(p), K: int32(k)})
 				if cfg.HoverEmpty {
@@ -89,12 +89,12 @@ func runSplit(t *testing.T, q Queue, cfg Config) [][]Item {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("qtest: no registry slot for consumer")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for {
 				select {
 				case <-done:
@@ -124,12 +124,12 @@ func runPairs(t *testing.T, q Queue, cfg Config) [][]Item {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			slot, ok := q.Registry().Acquire()
+			slot, ok := q.Runtime().Acquire()
 			if !ok {
 				t.Error("qtest: no registry slot for worker")
 				return
 			}
-			defer q.Registry().Release(slot)
+			defer q.Runtime().Release(slot)
 			for k := 0; k < cfg.PerProducer; k++ {
 				q.Enqueue(slot, Item{P: int32(w), K: int32(k)})
 				if v, ok := q.Dequeue(slot); ok {
@@ -178,11 +178,11 @@ func Validate(t *testing.T, results [][]Item, producers, perProducer int) {
 // RunSequentialFIFO drives a single-threaded FIFO check through the queue.
 func RunSequentialFIFO(t *testing.T, q Queue, n int) {
 	t.Helper()
-	slot, ok := q.Registry().Acquire()
+	slot, ok := q.Runtime().Acquire()
 	if !ok {
 		t.Fatal("qtest: no registry slot")
 	}
-	defer q.Registry().Release(slot)
+	defer q.Runtime().Release(slot)
 	for i := 0; i < n; i++ {
 		q.Enqueue(slot, Item{P: 0, K: int32(i)})
 	}

@@ -33,7 +33,7 @@ import (
 	"sync/atomic"
 
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 const hardIterCap = 1 << 22
@@ -88,7 +88,7 @@ type Queue[T any] struct {
 
 	announce []pad.PointerSlot[request[T]]
 
-	registry *tid.Registry
+	rt *qrt.Runtime
 
 	nodeAllocs pad.Int64Slot
 	combines   pad.Int64Slot // winning combiner installs
@@ -110,7 +110,7 @@ func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } 
 
 // New creates an empty queue.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := config{maxThreads: tid.DefaultMaxThreads}
+	cfg := config{maxThreads: qrt.DefaultMaxThreads}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -120,7 +120,7 @@ func New[T any](opts ...Option) *Queue[T] {
 	q := &Queue[T]{
 		maxThreads: cfg.maxThreads,
 		announce:   make([]pad.PointerSlot[request[T]], cfg.maxThreads),
-		registry:   tid.NewRegistry(cfg.maxThreads),
+		rt:         qrt.New(cfg.maxThreads),
 		enqSeqs:    make([]pad.Int64Slot, cfg.maxThreads),
 		deqSeqs:    make([]pad.Int64Slot, cfg.maxThreads),
 	}
@@ -140,8 +140,8 @@ func New[T any](opts ...Option) *Queue[T] {
 // MaxThreads returns the registered-thread bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Stats reports node allocations, winning combines, and operations that
 // were piggybacked onto another thread's combine.
@@ -168,7 +168,7 @@ func (s *enqState[T]) listTail() *node[T] {
 // Enqueue appends item, possibly batched with other threads' announced
 // enqueues by a single combiner.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
-	q.checkTid(threadID)
+	qrt.CheckSlot(threadID, q.maxThreads)
 	seq := uint64(q.enqSeqs[threadID].V.Add(1))
 	q.announce[threadID].P.Store(&request[T]{seq: seq, isEnq: true, item: item})
 	for iter := 0; ; iter++ {
@@ -221,7 +221,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // Dequeue removes the item at the head, or reports ok=false when empty;
 // a single combiner may serve many announced dequeues in one list walk.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
-	q.checkTid(threadID)
+	qrt.CheckSlot(threadID, q.maxThreads)
 	seq := uint64(q.deqSeqs[threadID].V.Add(1))
 	q.announce[threadID].P.Store(&request[T]{seq: seq, isEnq: false})
 	for iter := 0; ; iter++ {

@@ -24,7 +24,7 @@ import (
 
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 // IdxNone marks an unassigned node, as in internal/core.
@@ -72,7 +72,7 @@ type Queue[T any] struct {
 
 	hp       *hazard.Domain[Node[T]]
 	free     [][]*Node[T]
-	registry *tid.Registry
+	rt *qrt.Runtime
 }
 
 // New creates the variant queue for up to maxThreads registered threads.
@@ -85,7 +85,7 @@ func New[T any](maxThreads int) *Queue[T] {
 		enqueuers:  make([]pad.PointerSlot[Node[T]], maxThreads),
 		dequeuers:  make([]pad.PointerSlot[Node[T]], maxThreads),
 		free:       make([][]*Node[T], maxThreads),
-		registry:   tid.NewRegistry(maxThreads),
+		rt:         qrt.New(maxThreads),
 	}
 	q.hp = hazard.New[Node[T]](maxThreads, numHPs, q.recycle)
 	sentinel := new(Node[T])
@@ -103,8 +103,8 @@ func New[T any](maxThreads int) *Queue[T] {
 // MaxThreads returns the registered-thread bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 const poolCap = 256
 

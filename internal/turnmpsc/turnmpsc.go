@@ -19,7 +19,7 @@ import (
 
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 const (
@@ -49,7 +49,7 @@ type Queue[T any] struct {
 
 	hp       *hazard.Domain[node[T]]
 	free     [][]*node[T]
-	registry *tid.Registry
+	rt *qrt.Runtime
 }
 
 // New creates the queue for up to maxThreads producer slots. The consumer
@@ -62,7 +62,7 @@ func New[T any](maxThreads int) *Queue[T] {
 		maxThreads: maxThreads,
 		enqueuers:  make([]pad.PointerSlot[node[T]], maxThreads),
 		free:       make([][]*node[T], maxThreads),
-		registry:   tid.NewRegistry(maxThreads),
+		rt:         qrt.New(maxThreads),
 	}
 	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle)
 	sentinel := new(node[T])
@@ -74,8 +74,8 @@ func New[T any](maxThreads int) *Queue[T] {
 // MaxThreads returns the producer-slot bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 const poolCap = 256
 

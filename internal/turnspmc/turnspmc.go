@@ -14,7 +14,7 @@ import (
 
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 // IdxNone marks an unassigned node.
@@ -55,7 +55,7 @@ type Queue[T any] struct {
 	deqhelp []pad.PointerSlot[node[T]]
 
 	hp       *hazard.Domain[node[T]]
-	registry *tid.Registry
+	rt *qrt.Runtime
 }
 
 // New creates the queue for up to maxThreads consumer slots.
@@ -67,7 +67,7 @@ func New[T any](maxThreads int) *Queue[T] {
 		maxThreads: maxThreads,
 		deqself:    make([]pad.PointerSlot[node[T]], maxThreads),
 		deqhelp:    make([]pad.PointerSlot[node[T]], maxThreads),
-		registry:   tid.NewRegistry(maxThreads),
+		rt:         qrt.New(maxThreads),
 	}
 	// Reclaimed nodes are dropped for the GC: only the single producer
 	// allocates, and it cannot safely drain the consumers' per-thread
@@ -92,8 +92,8 @@ func New[T any](maxThreads int) *Queue[T] {
 // MaxThreads returns the consumer-slot bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
-// Registry returns the queue's thread-slot registry.
-func (q *Queue[T]) Registry() *tid.Registry { return q.registry }
+// Runtime returns the queue's per-thread runtime.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Enqueue appends item. Single producer: link to the private tail, then
 // publish the new tail — two stores, wait-free population oblivious.

@@ -33,7 +33,7 @@ import (
 	"sync/atomic"
 
 	"turnqueue/internal/pad"
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 const hardIterCap = 1 << 22
@@ -63,7 +63,7 @@ type Universal[S, A, R any] struct {
 
 	announce []pad.PointerSlot[request[A]]
 	seqs     []pad.Int64Slot
-	registry *tid.Registry
+	rt *qrt.Runtime
 
 	combines   pad.Int64Slot
 	piggybacks pad.Int64Slot
@@ -87,7 +87,7 @@ func New[S, A, R any](maxThreads int, initial S, clone func(S) S, apply func(S, 
 		apply:      apply,
 		announce:   make([]pad.PointerSlot[request[A]], maxThreads),
 		seqs:       make([]pad.Int64Slot, maxThreads),
-		registry:   tid.NewRegistry(maxThreads),
+		rt:         qrt.New(maxThreads),
 	}
 	u.cur.Store(&state[S, R]{
 		applied: make([]uint64, maxThreads),
@@ -100,8 +100,8 @@ func New[S, A, R any](maxThreads int, initial S, clone func(S) S, apply func(S, 
 // MaxThreads returns the thread bound.
 func (u *Universal[S, A, R]) MaxThreads() int { return u.maxThreads }
 
-// Registry returns the slot registry.
-func (u *Universal[S, A, R]) Registry() *tid.Registry { return u.registry }
+// Runtime returns the per-thread runtime.
+func (u *Universal[S, A, R]) Runtime() *qrt.Runtime { return u.rt }
 
 // Stats reports winning combines and piggybacked operations.
 func (u *Universal[S, A, R]) Stats() (combines, piggybacks int64) {

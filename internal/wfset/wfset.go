@@ -11,7 +11,7 @@ package wfset
 import (
 	"sort"
 
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 	"turnqueue/internal/universal"
 )
 
@@ -65,8 +65,8 @@ func New(maxThreads int) *Set {
 // MaxThreads returns the thread bound.
 func (s *Set) MaxThreads() int { return s.u.MaxThreads() }
 
-// Registry returns the set's thread-slot registry.
-func (s *Set) Registry() *tid.Registry { return s.u.Registry() }
+// Runtime returns the set's per-thread runtime.
+func (s *Set) Runtime() *qrt.Runtime { return s.u.Runtime() }
 
 // Insert adds key, reporting whether it was absent.
 func (s *Set) Insert(threadID int, key int64) bool {

@@ -10,7 +10,7 @@
 package wfstack
 
 import (
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 	"turnqueue/internal/universal"
 )
 
@@ -62,8 +62,8 @@ func New[T any](maxThreads int) *Stack[T] {
 // MaxThreads returns the thread bound.
 func (s *Stack[T]) MaxThreads() int { return s.u.MaxThreads() }
 
-// Registry returns the stack's thread-slot registry.
-func (s *Stack[T]) Registry() *tid.Registry { return s.u.Registry() }
+// Runtime returns the stack's per-thread runtime.
+func (s *Stack[T]) Runtime() *qrt.Runtime { return s.u.Runtime() }
 
 // Push places item on top of the stack.
 func (s *Stack[T]) Push(threadID int, item T) {

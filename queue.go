@@ -32,9 +32,8 @@ package turnqueue
 
 import (
 	"errors"
-	"fmt"
 
-	"turnqueue/internal/tid"
+	"turnqueue/internal/qrt"
 )
 
 // ErrNoSlots is returned by Register when MaxThreads handles are already
@@ -43,6 +42,13 @@ var ErrNoSlots = errors.New("turnqueue: all thread slots in use; raise WithMaxTh
 
 // Handle is a registered thread slot of one specific queue. It is not
 // safe for concurrent use by multiple goroutines.
+//
+// Handle misuse — operating through a closed handle, or passing a
+// handle to a queue it was not registered with — corrupts the per-slot
+// state the wait-free bounds depend on. Release builds keep the
+// operation hot path free of validation branches; build with
+// `-tags debughandles` (scripts/ci.sh does) to make every operation
+// validate its handle and panic loudly on misuse.
 type Handle struct {
 	slot  int
 	owner registered
@@ -52,18 +58,21 @@ type Handle struct {
 func (h *Handle) Slot() int { return h.slot }
 
 // Close releases the slot back to the queue. The handle must not be used
-// afterwards.
+// afterwards; the slot index is poisoned so that release-build misuse of
+// a closed handle fails on the queue's slot-array bounds instead of
+// silently sharing a re-issued slot.
 func (h *Handle) Close() {
 	if h.owner == nil {
 		panic("turnqueue: Close of closed handle")
 	}
-	h.owner.registry().Release(h.slot)
+	h.owner.runtime().Release(h.slot)
 	h.owner = nil
+	h.slot = -1
 }
 
 // registered is the internal surface adapters expose to Handle.
 type registered interface {
-	registry() *tid.Registry
+	runtime() *qrt.Runtime
 }
 
 // Queue is the generic MPMC queue interface every implementation in this
@@ -85,23 +94,11 @@ type Queue[T any] interface {
 
 // register implements Register for the adapters.
 func register(q registered) (*Handle, error) {
-	slot, ok := q.registry().Acquire()
+	slot, ok := q.runtime().Acquire()
 	if !ok {
 		return nil, ErrNoSlots
 	}
 	return &Handle{slot: slot, owner: q}, nil
-}
-
-// checkHandle validates that h belongs to q; using a handle on the wrong
-// queue would corrupt per-thread state, so it panics loudly instead.
-func checkHandle(q registered, h *Handle) int {
-	if h == nil || h.owner == nil {
-		panic("turnqueue: operation with nil or closed handle")
-	}
-	if h.owner != q {
-		panic(fmt.Sprintf("turnqueue: handle belongs to a different queue (%T)", h.owner))
-	}
-	return h.slot
 }
 
 // With runs body with a temporary handle, handling registration and

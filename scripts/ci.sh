@@ -1,0 +1,35 @@
+#!/bin/sh
+# The full correctness gate, exactly as CI runs it. Four passes:
+#
+#   1. build + vet of every package,
+#   2. the full test suite in the release build (no handle validation
+#      on the hot path),
+#   3. the same suite under -tags debughandles, which compiles the
+#      checkHandle/qrt.CheckSlot validation back in — the misuse-panic
+#      tests (closed handle, cross-queue handle) only run here,
+#   4. the race detector over the short suite in both build modes,
+#      which is what actually exercises the AutoQueue handle cache and
+#      qrt slot registry under contention.
+#
+# A change is green only if all four pass.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> build + vet"
+go build ./...
+go vet ./...
+
+echo "==> test (release: no handle validation)"
+go test ./...
+
+echo "==> test (-tags debughandles: full handle validation)"
+go vet -tags debughandles ./...
+go test -tags debughandles ./...
+
+echo "==> race (release)"
+go test -race -short ./...
+
+echo "==> race (-tags debughandles)"
+go test -race -short -tags debughandles ./...
+
+echo "==> ci green"
