@@ -6,9 +6,11 @@
 package turnqueue
 
 import (
+	"fmt"
 	"testing"
 
 	"turnqueue/internal/core"
+	"turnqueue/internal/harness"
 )
 
 // BenchmarkAdapterOverheadDirect is the floor: the internal core queue
@@ -40,6 +42,53 @@ func BenchmarkAdapterOverheadHandle(b *testing.B) {
 			b.Fatal("unexpected empty")
 		}
 	}
+}
+
+// BenchmarkSparseRegistration measures the pairs workload on a Turn
+// queue whose MaxThreads bound far exceeds the live worker count — the
+// goroutine-per-request regime where a production configuration sizes
+// the bound for peak concurrency but the steady state registers only a
+// few slots. Before the active-slot set, every operation walked all
+// MaxThreads enqueuers/deqself/deqhelp entries and every retire scanned
+// the full hazard matrix, so ns/op grew linearly with the configured
+// bound; with it, cost tracks the live count. The dense rows
+// (live == maxthreads) guard against regressing the fully-loaded case.
+// Results are recorded in EXPERIMENTS.md (X8) and results/sparse_x8.md.
+func BenchmarkSparseRegistration(b *testing.B) {
+	for _, mt := range []int{32, 128, 512} {
+		for _, live := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("maxthreads=%d/live=%d", mt, live), func(b *testing.B) {
+				benchSparsePairs(b, mt, live)
+			})
+		}
+	}
+	// Dense reference points: every configured slot is live.
+	for _, mt := range []int{8, 32} {
+		b.Run(fmt.Sprintf("maxthreads=%d/live=%d", mt, mt), func(b *testing.B) {
+			benchSparsePairs(b, mt, mt)
+		})
+	}
+}
+
+// benchSparsePairs drives b.N enqueue/dequeue pairs split across live
+// registered workers on a queue sized for mt slots, the same workload
+// shape as internal/bench.MeasureSparsePairs.
+func benchSparsePairs(b *testing.B, mt, live int) {
+	q := core.New[uint64](core.WithMaxThreads(mt))
+	for w := 0; w < live; w++ {
+		q.Enqueue(w, uint64(w)) // seed: dequeues never observe empty
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	harness.RunRegistered(q.Runtime(), live, func(w, slot int) {
+		share := harness.Split(b.N, live, w)
+		for i := 0; i < share; i++ {
+			q.Enqueue(slot, uint64(i))
+			if _, ok := q.Dequeue(slot); !ok {
+				panic("sparse bench: dequeue empty in pairs workload")
+			}
+		}
+	})
 }
 
 // BenchmarkAdapterOverheadAuto is the implicit-handle layer: a handle

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"turnqueue/internal/asciiplot"
@@ -43,8 +45,25 @@ func main() {
 		ablation = flag.String("ablation", "", "run an ablation instead: hpR (hazard-pointer R sweep)")
 		plot     = flag.Bool("plot", false, "in sweep mode, render an ASCII chart of the p99.9 dequeue tail")
 		format   = flag.String("format", "text", "output format: text, md, or csv")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (samples labeled queue=<name>, threads=<n>)")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer writeMemProfile(*memprof)
+	}
 
 	if *full {
 		*bursts, *items, *warmup, *runs, *threads = 200, 1000000, 10, 7, 30
@@ -71,6 +90,31 @@ func defaultThreads() int {
 		n = 30
 	}
 	return n
+}
+
+// measureLabeled runs one latency measurement under pprof labels naming
+// the queue and thread count, so CPU profile samples can be sliced per
+// configuration (worker goroutines inherit the labels).
+func measureLabeled(f bench.Factory, cfg bench.LatencyConfig) (res bench.LatencyResult) {
+	pprof.Do(context.Background(),
+		pprof.Labels("queue", f.Name, "threads", fmt.Sprintf("%d", cfg.Threads)),
+		func(context.Context) {
+			res = bench.MeasureLatency(f, cfg)
+		})
+	return res
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows retained memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }
 
 func resolve(names string) []bench.Factory {
@@ -107,7 +151,7 @@ func runTable3(factories []bench.Factory, threads, bursts, items, warmup, runs i
 	enq := report.New(fmt.Sprintf("Table 3 — enqueue() latency quantiles, %d threads, µs (min - max over %d runs)", threads, runs), headers()...)
 	deq := report.New(fmt.Sprintf("Table 3 — dequeue() latency quantiles, %d threads, µs (min - max over %d runs)", threads, runs), headers()...)
 	for _, f := range factories {
-		res := bench.MeasureLatency(f, cfg)
+		res := measureLabeled(f, cfg)
 		mins, maxs := res.EnqMinMax()
 		enq.AddRow(append([]string{f.Name}, minMaxCells(mins, maxs)...)...)
 		mins, maxs = res.DeqMinMax()
@@ -130,7 +174,7 @@ func runSweep(factories []bench.Factory, maxThreads, bursts, items, warmup, runs
 		s := asciiplot.Series{Name: f.Name}
 		for n := 1; n <= maxThreads; n = nextThreadCount(n) {
 			cfg := bench.LatencyConfig{Threads: n, Bursts: bursts, Warmup: warmup, ItemsPerBurst: max(items, n), Runs: runs}
-			res := bench.MeasureLatency(f, cfg)
+			res := measureLabeled(f, cfg)
 			addSweepRow(tables[0], f.Name, n, res.EnqMedian())
 			addSweepRow(tables[1], f.Name, n, res.DeqMedian())
 			s.X = append(s.X, float64(n))
@@ -177,7 +221,7 @@ func runAblationHPR(threads, bursts, items, warmup, runs int, format string) {
 	for _, r := range []int{0, 8, 32, 128} {
 		f := bench.Factory{Name: fmt.Sprintf("Turn(R=%d)", r), New: turnWithR(r)}
 		cfg := bench.LatencyConfig{Threads: threads, Bursts: bursts, Warmup: warmup, ItemsPerBurst: items, Runs: runs}
-		res := bench.MeasureLatency(f, cfg)
+		res := measureLabeled(f, cfg)
 		cells := []string{fmt.Sprintf("%d", r)}
 		for _, v := range res.DeqMedian() {
 			cells = append(cells, fmt.Sprintf("%.1f", float64(v)/1000))

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"turnqueue/internal/asciiplot"
 	"turnqueue/internal/bench"
@@ -32,8 +34,25 @@ func main() {
 		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
 		format   = flag.String("format", "text", "output format: text, md, or csv")
 		list     = flag.Bool("list", false, "list queue names and exit")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (samples labeled queue=<name>, threads=<n>)")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer writeMemProfile(*memprof)
+	}
 	if *full {
 		*pairs = 100000000
 	}
@@ -63,7 +82,14 @@ func main() {
 	for _, f := range factories {
 		medians[f.Name] = map[int]float64{}
 		for _, n := range threadPoints {
-			res := bench.MeasurePairs(f, bench.PairsConfig{Threads: n, TotalPairs: maxInt(*pairs, n), Runs: *runs})
+			// Label the measurement goroutines (workers inherit labels) so
+			// profile samples can be sliced by queue and thread count.
+			var res bench.PairsResult
+			pprof.Do(context.Background(),
+				pprof.Labels("queue", f.Name, "threads", fmt.Sprintf("%d", n)),
+				func(context.Context) {
+					res = bench.MeasurePairs(f, bench.PairsConfig{Threads: n, TotalPairs: maxInt(*pairs, n), Runs: *runs})
+				})
 			m := res.Median()
 			medians[f.Name][n] = m
 			abs.AddRow(fmt.Sprintf("%d", n), f.Name, stats.HumanRate(m))
@@ -112,6 +138,19 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(chart)
+	}
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows retained memory
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 

@@ -21,6 +21,7 @@ type options struct {
 	hazardR     int
 	segmentSize int
 	pooling     bool
+	poolCap     int
 }
 
 // Reclaim selects the Turn queue's node-disposal strategy.
@@ -47,6 +48,7 @@ func defaults() options {
 		hazardR:     0,
 		segmentSize: faaq.DefaultSegmentSize,
 		pooling:     true,
+		poolCap:     core.DefaultPoolCap,
 	}
 }
 
@@ -66,6 +68,12 @@ func WithSegmentSize(n int) Option { return func(o *options) { o.segmentSize = n
 
 // WithPooling toggles the KP queue's node/descriptor pools.
 func WithPooling(on bool) Option { return func(o *options) { o.pooling = on } }
+
+// WithPoolCap bounds the Turn queue's per-thread reclaimed-node free
+// lists (default core.DefaultPoolCap, 256). Overflow falls back to the
+// garbage collector — the pool never blocks — so the cap trades node
+// reuse against steady-state memory. Zero disables retention.
+func WithPoolCap(n int) Option { return func(o *options) { o.poolCap = n } }
 
 func build(opts []Option) options {
 	o := defaults()
@@ -136,6 +144,7 @@ func NewTurn[T any](opts ...Option) Queue[T] {
 		core.WithMaxThreads(o.maxThreads),
 		core.WithReclaim(mode),
 		core.WithHazardR(o.hazardR),
+		core.WithPoolCap(o.poolCap),
 	)
 	return newAdapter[T, *core.Queue[T]](q, "Turn")
 }

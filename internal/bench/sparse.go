@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"turnqueue/internal/harness"
+)
+
+// SparseConfig parameterizes the sparse-registration microbenchmark
+// (experiment X8): a queue built with a large MaxThreads bound driven by
+// only Live registered workers. This is the goroutine-per-request regime
+// the production configuration targets — the bound is sized for peak
+// concurrency, the steady state registers a handful of slots — and it
+// isolates exactly the cost the active-slot set removes: helping loops
+// and hazard scans that walk every configured slot instead of every live
+// one.
+type SparseConfig struct {
+	MaxThreads int
+	Live       int
+	TotalPairs int
+	Runs       int
+}
+
+// DefaultSparseConfig returns a laptop-scale configuration.
+func DefaultSparseConfig(maxThreads, live int) SparseConfig {
+	return SparseConfig{MaxThreads: maxThreads, Live: live, TotalPairs: 200000, Runs: 5}
+}
+
+// Validate panics on nonsensical parameters.
+func (c SparseConfig) Validate() {
+	if c.MaxThreads <= 0 || c.Live <= 0 || c.Live > c.MaxThreads ||
+		c.TotalPairs < c.Live || c.Runs <= 0 {
+		panic(fmt.Sprintf("bench: invalid sparse config %+v", c))
+	}
+}
+
+// MeasureSparsePairs runs the pairs workload of MeasurePairs, but sizes
+// the queue to cfg.MaxThreads while seating only cfg.Live workers.
+// MeasurePairs always builds the queue exactly as large as the worker
+// count, so it never observes the sparse regime; this driver sweeps the
+// gap between configured and live parallelism.
+func MeasureSparsePairs(f Factory, cfg SparseConfig) PairsResult {
+	cfg.Validate()
+	var res PairsResult
+	for run := 0; run < cfg.Runs; run++ {
+		q := f.New(cfg.MaxThreads)
+		// Seed one item per live worker so dequeues never observe an
+		// empty queue (same convention as MeasurePairs).
+		for w := 0; w < cfg.Live; w++ {
+			q.Enqueue(w, uint64(w))
+		}
+		start := time.Now()
+		harness.RunRegistered(q.Runtime(), cfg.Live, func(w, slot int) {
+			share := harness.Split(cfg.TotalPairs, cfg.Live, w)
+			for i := 0; i < share; i++ {
+				q.Enqueue(slot, uint64(i))
+				if _, ok := q.Dequeue(slot); !ok {
+					panic(fmt.Sprintf("bench: %s dequeue empty in sparse pairs workload", f.Name))
+				}
+			}
+		})
+		elapsed := time.Since(start).Seconds()
+		res.OpsPerSec = append(res.OpsPerSec, float64(2*cfg.TotalPairs)/elapsed)
+	}
+	return res
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestSlotChurnStress drives the queue with two populations at once:
+// steady producers/consumers that hold their slots for the whole run,
+// and churners that repeatedly Acquire a slot, perform a few operations,
+// and Release it — the registration pattern the active-slot set exists
+// for. The test asserts the FIFO multiset property (nothing lost,
+// nothing duplicated) and that no helping loop ever overran the paper's
+// maxThreads bound, in release, -race, and -tags debughandles modes.
+func TestSlotChurnStress(t *testing.T) {
+	const (
+		maxThreads  = 16
+		steadyPairs = 2
+		churners    = 4
+	)
+	perProducer := 3000
+	churnRounds := 400
+	if testing.Short() {
+		perProducer = 500
+		churnRounds = 80
+	}
+
+	q := New[uint64](WithMaxThreads(maxThreads))
+	rt := q.Runtime()
+
+	// Value encoding: high 16 bits producer id, low 48 bits sequence.
+	// Every enqueued value is unique, so duplicates and losses are both
+	// detectable from the dequeued multiset.
+	mk := func(id, seq int) uint64 { return uint64(id)<<48 | uint64(seq) }
+
+	var mu sync.Mutex
+	got := make(map[uint64]int)
+	record := func(local []uint64) {
+		mu.Lock()
+		for _, v := range local {
+			got[v]++
+		}
+		mu.Unlock()
+	}
+
+	var wgEnq, wgCon sync.WaitGroup
+	enqTotal := int64(steadyPairs*perProducer + churners*churnRounds)
+
+	// Steady producers: registered once, run to completion.
+	for p := 0; p < steadyPairs; p++ {
+		slot, ok := rt.Acquire()
+		if !ok {
+			t.Fatalf("steady producer %d: no free slot", p)
+		}
+		wgEnq.Add(1)
+		go func(id, slot int) {
+			defer wgEnq.Done()
+			defer rt.Release(slot)
+			for seq := 0; seq < perProducer; seq++ {
+				q.Enqueue(slot, mk(id, seq))
+			}
+		}(p, slot)
+	}
+
+	// Steady consumers: drain while the enqueuers run; exit once told to
+	// stop and the queue reads empty.
+	stop := make(chan struct{})
+	for c := 0; c < steadyPairs; c++ {
+		slot, ok := rt.Acquire()
+		if !ok {
+			t.Fatalf("steady consumer %d: no free slot", c)
+		}
+		wgCon.Add(1)
+		go func(slot int) {
+			defer wgCon.Done()
+			defer rt.Release(slot)
+			var local []uint64
+			for {
+				if v, ok := q.Dequeue(slot); ok {
+					local = append(local, v)
+					continue
+				}
+				select {
+				case <-stop:
+					record(local)
+					return
+				default:
+					runtime.Gosched() // empty but not done: yield to the enqueuers
+				}
+			}
+		}(slot)
+	}
+
+	// Churners: acquire, operate, release — over and over. Each round
+	// enqueues one unique value and opportunistically dequeues one.
+	for ch := 0; ch < churners; ch++ {
+		wgEnq.Add(1)
+		go func(id int) {
+			defer wgEnq.Done()
+			var local []uint64
+			for seq := 0; seq < churnRounds; seq++ {
+				slot, ok := rt.Acquire()
+				if !ok {
+					seq-- // oversubscribed this instant; retry the round
+					continue
+				}
+				q.Enqueue(slot, mk(100+id, seq))
+				if v, ok := q.Dequeue(slot); ok {
+					local = append(local, v)
+				}
+				rt.Release(slot)
+			}
+			record(local)
+		}(ch)
+	}
+
+	wgEnq.Wait() // all values are in (or already consumed)
+	close(stop)  // consumers drain the residue, then exit on empty
+	wgCon.Wait()
+
+	// Final sweep on a fresh slot for anything left between a consumer's
+	// last empty read and its exit.
+	slot, ok := rt.Acquire()
+	if !ok {
+		t.Fatal("no free slot for final drain")
+	}
+	var tail []uint64
+	for {
+		v, ok := q.Dequeue(slot)
+		if !ok {
+			break
+		}
+		tail = append(tail, v)
+	}
+	rt.Release(slot)
+	record(tail)
+
+	var total int64
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %#x dequeued %d times", v, n)
+		}
+		total += int64(n)
+	}
+	if total != enqTotal {
+		t.Fatalf("dequeued %d items, enqueued %d (lost %d)", total, enqTotal, enqTotal-total)
+	}
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Fatalf("OverrunStats = (%d,%d), want (0,0)", enq, deq)
+	}
+}

@@ -1,9 +1,9 @@
 package core
 
-// poolCap bounds each thread's free list in the shared qrt.Pool. A
-// dequeue-heavy thread retires nodes faster than it allocates; beyond
-// the cap the surplus is dropped to the garbage collector instead of
-// growing without bound. The pool itself — per-slot padded free lists
-// with alloc/reuse/drop accounting — lives in internal/qrt, shared with
-// the MS and KP queues.
-const poolCap = 256
+// DefaultPoolCap bounds each thread's free list in the shared qrt.Pool
+// unless overridden with WithPoolCap. A dequeue-heavy thread retires
+// nodes faster than it allocates; beyond the cap the surplus is dropped
+// to the garbage collector instead of growing without bound. The pool
+// itself — per-slot padded free lists with alloc/reuse/drop accounting —
+// lives in internal/qrt, shared with the MS and KP queues.
+const DefaultPoolCap = 256

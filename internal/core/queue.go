@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"turnqueue/internal/hazard"
@@ -79,6 +80,7 @@ type qconfig struct {
 	maxThreads int
 	mode       ReclaimMode
 	hpR        int
+	poolCap    int
 }
 
 // WithMaxThreads sets the MAX_THREADS bound: the capacity of every
@@ -92,17 +94,27 @@ func WithReclaim(m ReclaimMode) Option { return func(c *qconfig) { c.mode = m } 
 // paper's choice; ablation X1).
 func WithHazardR(r int) Option { return func(c *qconfig) { c.hpR = r } }
 
+// WithPoolCap bounds each thread's reclaimed-node free list (default
+// DefaultPoolCap). Overflow is dropped to the garbage collector — the
+// pool never blocks — so smaller caps only trade reuse for GC churn.
+// Zero disables retention entirely (every reclaimed node goes to the
+// GC); negative caps panic in New.
+func WithPoolCap(n int) Option { return func(c *qconfig) { c.poolCap = n } }
+
 // New creates a Turn queue. The queue initially holds a sentinel node with
 // enqTid 0 (any index in range would do, §2), pointed to by both head and
 // tail, and each thread's deqself/deqhelp entries point to two distinct
 // dummy nodes so that every dequeue request starts closed.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := qconfig{maxThreads: qrt.DefaultMaxThreads, mode: ReclaimPool}
+	cfg := qconfig{maxThreads: qrt.DefaultMaxThreads, mode: ReclaimPool, poolCap: DefaultPoolCap}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.maxThreads <= 0 {
 		panic(fmt.Sprintf("core: maxThreads must be positive, got %d", cfg.maxThreads))
+	}
+	if cfg.poolCap < 0 {
+		panic(fmt.Sprintf("core: pool cap must be non-negative, got %d", cfg.poolCap))
 	}
 	q := &Queue[T]{
 		maxThreads: cfg.maxThreads,
@@ -112,12 +124,13 @@ func New[T any](opts ...Option) *Queue[T] {
 		deqhelp:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
 		rt:         qrt.New(cfg.maxThreads),
 	}
-	q.pool = qrt.NewPool[Node[T]](cfg.maxThreads, poolCap)
+	q.pool = qrt.NewPool[Node[T]](cfg.maxThreads, cfg.poolCap)
 	deleter := q.deleteNode
 	if cfg.mode == ReclaimGC {
 		deleter = func(int, *Node[T]) {}
 	}
-	q.hp = hazard.New[Node[T]](cfg.maxThreads, numHPs, deleter, hazard.WithR(cfg.hpR))
+	q.hp = hazard.New[Node[T]](cfg.maxThreads, numHPs, deleter,
+		hazard.WithR(cfg.hpR), hazard.WithActiveSet(q.rt))
 
 	sentinel := new(Node[T])
 	sentinel.enqTid = 0
@@ -181,6 +194,7 @@ const hardIterCap = 1 << 22
 // uninserted request, and the overrun becomes measurable.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	myNode := q.allocNode(threadID, item)
 	q.enqueuers[threadID].P.Store(myNode)
 	// Our request is complete when the entry is nulled by a helper (or by
@@ -205,14 +219,12 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		}
 		// Turn scan: the first non-null request to the right of the
 		// current turn (the tail node's enqTid) is the one everybody
-		// helps next.
-		for j := 1; j < q.maxThreads+1; j++ {
-			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].P.Load()
-			if nodeToHelp == nil {
-				continue
-			}
+		// helps next. Only active slots are visited: a cleared occupancy
+		// bit proves the entry was nil when the bit was read, so the
+		// filtered scan is indistinguishable from the paper's full scan
+		// (DESIGN.md §"Active-slot tracking").
+		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
 			ltail.next.CompareAndSwap(nil, nodeToHelp) // Invariant 1
-			break
 		}
 		lnext := ltail.next.Load()
 		if lnext != nil {
@@ -220,6 +232,52 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		}
 	}
 	q.hp.Clear(threadID)
+}
+
+// nextEnqRequest finds the first published enqueue request in turn order
+// after slot turn: slots (turn, limit) ascending, then [0, turn] — the
+// same circular order as the paper's `(j + enqTid) % maxThreads` scan,
+// restricted to the active range. The requesting thread's own bit is set
+// before it publishes (qrt.Runtime.Acquire/EnsureActive), so every scan
+// that starts after a publication sees the request; the wait-free bound
+// is unchanged.
+func (q *Queue[T]) nextEnqRequest(turn int) *Node[T] {
+	limit := q.rt.ActiveLimit()
+	if nd := q.scanEnqRange(turn+1, limit); nd != nil {
+		return nd
+	}
+	return q.scanEnqRange(0, turn+1)
+}
+
+// scanEnqRange probes the published enqueue requests of the active slots
+// in [from, limit), ascending. The iteration walks the occupancy bitmap
+// a word at a time (rt.ActiveWord inlines to a single load), so a dense
+// sweep costs one extra load per 64 slots over the paper's plain loop
+// while a sparse one skips empty words entirely.
+func (q *Queue[T]) scanEnqRange(from, limit int) *Node[T] {
+	if from < 0 {
+		from = 0
+	}
+	if n := len(q.enqueuers); limit > n {
+		limit = n
+	}
+	for w := from >> 6; w<<6 < limit; w++ {
+		word := q.rt.ActiveWord(w)
+		if w == from>>6 {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		for word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			if idx >= limit {
+				return nil // set bits only ascend from here
+			}
+			word &= word - 1
+			if nd := q.enqueuers[idx].P.Load(); nd != nil {
+				return nd
+			}
+		}
+	}
+	return nil
 }
 
 // Dequeue removes and returns the item at the head of the queue, or
@@ -233,6 +291,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // so a bound violation can never surface as a stale item.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	prReq := q.deqself[threadID].P.Load() // previous request, to retire at the end
 	myReq := q.deqhelp[threadID].P.Load()
 	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
@@ -288,19 +347,58 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 // deqself/deqhelp without hazard pointers is safe: the comparison can
 // spuriously see a closed request as open (harmless — the deqTid CAS then
 // fails), but never an open request as closed.
+//
+// The scan is restricted to the active range: a slot whose occupancy bit
+// is clear held a closed request when the bit was read (requests open
+// only between Acquire and Release, and the bit brackets both), so
+// skipping it matches the paper's scan reading the slot at that instant.
 func (q *Queue[T]) searchNext(lhead, lnext *Node[T]) int32 {
-	turn := lhead.deqTid.Load()
-	for idx := turn + 1; idx < turn+int32(q.maxThreads)+1; idx++ {
-		idDeq := idx % int32(q.maxThreads)
-		if q.deqself[idDeq].P.Load() != q.deqhelp[idDeq].P.Load() {
-			continue // closed request
-		}
+	turn := int(lhead.deqTid.Load())
+	if idDeq := q.nextOpenDeq(turn); idDeq >= 0 {
 		if lnext.deqTid.Load() == IdxNone {
-			lnext.casDeqTid(IdxNone, idDeq)
+			lnext.casDeqTid(IdxNone, int32(idDeq))
 		}
-		break
 	}
 	return lnext.deqTid.Load()
+}
+
+// nextOpenDeq finds the first open dequeue request in turn order after
+// slot turn — the dequeue-side twin of nextEnqRequest — or -1 when every
+// active request is closed.
+func (q *Queue[T]) nextOpenDeq(turn int) int {
+	limit := q.rt.ActiveLimit()
+	if idx := q.scanOpenDeqRange(turn+1, limit); idx >= 0 {
+		return idx
+	}
+	return q.scanOpenDeqRange(0, turn+1)
+}
+
+// scanOpenDeqRange finds the first active slot in [from, limit) holding
+// an open request, word-at-a-time like scanEnqRange, or -1.
+func (q *Queue[T]) scanOpenDeqRange(from, limit int) int {
+	if from < 0 {
+		from = 0
+	}
+	if n := len(q.deqself); limit > n {
+		limit = n
+	}
+	for w := from >> 6; w<<6 < limit; w++ {
+		word := q.rt.ActiveWord(w)
+		if w == from>>6 {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		for word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			if idx >= limit {
+				return -1
+			}
+			word &= word - 1
+			if q.deqself[idx].P.Load() == q.deqhelp[idx].P.Load() {
+				return idx
+			}
+		}
+	}
+	return -1
 }
 
 // casDeqAndHead is the paper's Algorithm 4 casDeqAndHead(): publish the

@@ -254,3 +254,57 @@ func runHover(t *testing.T, q *Queue[item], producers, consumers, per int) {
 	t.Helper()
 	runMPMCHover(t, q, producers, consumers, per)
 }
+
+func TestWithPoolCapOverflowFallsBackToGC(t *testing.T) {
+	const cap = 4
+	q := New[int](WithMaxThreads(2), WithPoolCap(cap))
+	// Fill the queue, then drain it: draining retires ~n nodes through
+	// the hazard domain onto thread 0's free list, far past the cap.
+	const n = 200
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("drain %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	_, _, drops := q.PoolStats()
+	if drops == 0 {
+		t.Fatal("pool over capacity never dropped to the GC")
+	}
+	// The queue must keep operating normally after overflow: fresh
+	// enqueues allocate instead of blocking on a full free list.
+	for i := 0; i < 50; i++ {
+		q.Enqueue(1, i)
+		if v, ok := q.Dequeue(1); !ok || v != i {
+			t.Fatalf("post-overflow round %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestWithPoolCapZeroDisablesRetention(t *testing.T) {
+	q := New[int](WithMaxThreads(1), WithPoolCap(0))
+	for i := 0; i < 50; i++ {
+		q.Enqueue(0, i)
+		if v, ok := q.Dequeue(0); !ok || v != i {
+			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	allocs, reuses, _ := q.PoolStats()
+	if reuses != 0 {
+		t.Fatalf("zero-cap pool reused %d nodes", reuses)
+	}
+	if allocs == 0 {
+		t.Fatal("zero-cap pool recorded no allocations")
+	}
+}
+
+func TestWithPoolCapNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative pool cap did not panic")
+		}
+	}()
+	New[int](WithMaxThreads(1), WithPoolCap(-1))
+}

@@ -25,6 +25,20 @@
 // to minimize dequeue latency; that is the default here, and the ablation
 // benchmark X1 sweeps it.
 //
+// Scan cost and the active-slot set: a Domain built with WithActiveSet
+// restricts both scan flavours to rows whose slots are currently
+// registered (qrt.Runtime's occupancy bitmap). With R=0 the per-retire
+// scan checks only active rows instead of the full maxThreads×numHPs
+// matrix; with R>0 the batched scan snapshots the non-nil pointers of
+// active rows once, sorts them, and resolves the whole retire list by
+// binary search (Michael '04's amortized discipline). Skipping an
+// inactive row is safe for the same reason skipping a nil slot is: a
+// protection can only be published through an acquired slot, the
+// occupancy bit is set before Acquire returns, and a late protection of
+// a retired node never validates (the node left the shared structure
+// before retire). Without WithActiveSet both paths degrade to the full
+// matrix.
+//
 // Reclamation under a GC: Go's collector would free retired nodes on its
 // own, which hides exactly the bugs hazard pointers exist to prevent. The
 // Domain therefore hands each reclaimable node to a caller-supplied deleter
@@ -34,10 +48,25 @@ package hazard
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"turnqueue/internal/pad"
 )
+
+// ActiveSet is the slot-occupancy view a Domain scans with; implemented
+// by qrt.Runtime. ActiveLimit bounds the populated row range (monotone
+// high-water mark); ActiveWord(w) returns the occupancy bits of slots
+// [w*64, w*64+64), so a full sweep costs one interface call per 64 rows.
+// The contract the scans rely on: a slot is in the set before its thread
+// can publish a protection, and leaves it only after the thread's last
+// operation.
+type ActiveSet interface {
+	ActiveLimit() int
+	ActiveWord(w int) uint64
+}
 
 // Domain is a hazard-pointer domain for nodes of type T. A Domain is
 // typically embedded one-per-queue-instance, exactly like the `hp` member
@@ -47,6 +76,7 @@ type Domain[T any] struct {
 	numHPs     int
 	rParam     int
 	deleter    func(tid int, node *T)
+	active     ActiveSet // nil: scan the full matrix (paper-faithful)
 
 	// hp is the slot matrix, row-major: slot (tid, i) lives at
 	// hp[tid*numHPs+i]. Each slot is padded to its own cache-line pair, so
@@ -57,6 +87,10 @@ type Domain[T any] struct {
 	// is needed to mutate it. Stats counters are atomic only so tests and
 	// the reclaim experiment can read them from other goroutines.
 	retired [][]conditional[T]
+
+	// snap[tid] is thread tid's reusable buffer for the R>0 batched
+	// scan's sorted hazard-pointer snapshot; owned like retired[tid].
+	snap [][]uintptr
 
 	retireCalls  pad.Int64Slot
 	deleteCalls  pad.Int64Slot
@@ -75,6 +109,7 @@ type Option func(*config)
 
 type config struct {
 	rParam int
+	active ActiveSet
 }
 
 // WithR sets the R scan threshold: a scan runs only when the retire list
@@ -88,6 +123,15 @@ func WithR(r int) Option {
 		}
 		c.rParam = r
 	}
+}
+
+// WithActiveSet restricts scans to rows whose slots the set reports
+// active. Queues pass their qrt.Runtime so retire cost tracks live
+// registration instead of the configured bound; the scan cadence (the R
+// parameter) is unaffected, so the paper's R=0 scan-per-retire default
+// keeps its behavior.
+func WithActiveSet(s ActiveSet) Option {
+	return func(c *config) { c.active = s }
 }
 
 // New creates a Domain for maxThreads threads with numHPs hazard-pointer
@@ -109,8 +153,10 @@ func New[T any](maxThreads, numHPs int, deleter func(tid int, node *T), opts ...
 		numHPs:     numHPs,
 		rParam:     cfg.rParam,
 		deleter:    deleter,
+		active:     cfg.active,
 		hp:         make([]pad.PointerSlot[T], maxThreads*numHPs),
 		retired:    make([][]conditional[T], maxThreads),
+		snap:       make([][]uintptr, maxThreads),
 	}
 }
 
@@ -182,14 +228,29 @@ func (d *Domain[T]) retireOne(tid int, c conditional[T]) {
 }
 
 // scan is the reclamation pass: one bounded sweep of thread tid's retire
-// list against the full slot matrix. O(len(list) · maxThreads · numHPs)
-// steps, no loops that depend on other threads' actions — wait-free
-// bounded, which is the property Table 2's first column claims.
+// list against the slot matrix — active rows only when an ActiveSet is
+// configured, the full matrix otherwise. With R=0 each entry runs its
+// own row sweep (O(len(list) · rows · numHPs) steps); with R>0 the
+// whole list is resolved against one sorted snapshot of the live
+// pointers (O(rows · numHPs + len(list) · log) steps, Michael '04's
+// amortized scheme). Either way there are no loops that depend on other
+// threads' actions — wait-free bounded, which is the property Table 2's
+// first column claims.
 func (d *Domain[T]) scan(tid int) {
 	list := d.retired[tid]
+	var snap []uintptr
+	if d.rParam > 0 {
+		snap = d.snapshot(tid)
+	}
 	kept := list[:0]
 	for _, c := range list {
-		if (c.cond == nil || c.cond()) && !d.protected(c.node) {
+		live := false
+		if d.rParam > 0 {
+			live = snapContains(snap, c.node)
+		} else {
+			live = d.protected(c.node)
+		}
+		if (c.cond == nil || c.cond()) && !live {
 			d.deleteCalls.V.Add(1)
 			d.deleter(tid, c.node)
 			continue
@@ -207,8 +268,80 @@ func (d *Domain[T]) scan(tid int) {
 	}
 }
 
-// protected reports whether any slot in the matrix currently holds node.
+// snapshot collects every non-nil pointer currently published in the
+// scanned rows into tid's reusable buffer, sorted for binary search.
+// Reading a slot once here is equivalent to the per-node linear probe
+// reading it once per node: any protection published after its read
+// belongs to a thread that can no longer validate the retired node.
+// Pointers are compared as integers only (Go's GC does not move heap
+// objects, and the retire list keeps every candidate node reachable).
+func (d *Domain[T]) snapshot(tid int) []uintptr {
+	snap := d.snap[tid][:0]
+	if d.active != nil {
+		limit := d.active.ActiveLimit()
+		if limit > d.maxThreads {
+			limit = d.maxThreads
+		}
+		for w := 0; w<<6 < limit; w++ {
+			word := d.active.ActiveWord(w)
+			for word != 0 {
+				row := w<<6 + bits.TrailingZeros64(word)
+				if row >= limit {
+					break
+				}
+				word &= word - 1
+				for i := 0; i < d.numHPs; i++ {
+					if p := d.hp[row*d.numHPs+i].P.Load(); p != nil {
+						snap = append(snap, uintptr(unsafe.Pointer(p)))
+					}
+				}
+			}
+		}
+	} else {
+		for i := range d.hp {
+			if p := d.hp[i].P.Load(); p != nil {
+				snap = append(snap, uintptr(unsafe.Pointer(p)))
+			}
+		}
+	}
+	sort.Slice(snap, func(a, b int) bool { return snap[a] < snap[b] })
+	d.snap[tid] = snap
+	return snap
+}
+
+// snapContains reports whether node is in the sorted snapshot.
+func snapContains[T any](snap []uintptr, node *T) bool {
+	p := uintptr(unsafe.Pointer(node))
+	i := sort.Search(len(snap), func(i int) bool { return snap[i] >= p })
+	return i < len(snap) && snap[i] == p
+}
+
+// protected reports whether any slot in the matrix currently holds node,
+// sweeping only active rows when an ActiveSet is configured.
 func (d *Domain[T]) protected(node *T) bool {
+	if d.active != nil {
+		limit := d.active.ActiveLimit()
+		if limit > d.maxThreads {
+			limit = d.maxThreads
+		}
+		for w := 0; w<<6 < limit; w++ {
+			word := d.active.ActiveWord(w)
+			for word != 0 {
+				row := w<<6 + bits.TrailingZeros64(word)
+				if row >= limit {
+					break
+				}
+				word &= word - 1
+				base := row * d.numHPs
+				for i := 0; i < d.numHPs; i++ {
+					if d.hp[base+i].P.Load() == node {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
 	for i := range d.hp {
 		if d.hp[i].P.Load() == node {
 			return true

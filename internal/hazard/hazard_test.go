@@ -237,3 +237,156 @@ func TestPanicsOnBadConfig(t *testing.T) {
 		}()
 	}
 }
+
+// fakeActive is a test ActiveSet: a plain bool mask with the linear-scan
+// reference semantics of qrt.Runtime's bitmap.
+type fakeActive struct{ bits []bool }
+
+func (f *fakeActive) ActiveLimit() int {
+	limit := 0
+	for i, b := range f.bits {
+		if b {
+			limit = i + 1
+		}
+	}
+	return limit
+}
+
+func (f *fakeActive) ActiveWord(w int) uint64 {
+	var word uint64
+	for b := 0; b < 64; b++ {
+		if s := w<<6 + b; s < len(f.bits) && f.bits[s] {
+			word |= uint64(1) << uint(b)
+		}
+	}
+	return word
+}
+
+// TestBatchedScanReclaimsUnprotectedSuffix pins the R>0 sorted-snapshot
+// path: after the threshold crossing, exactly the unprotected retirees
+// are reclaimed and every protected one survives.
+func TestBatchedScanReclaimsUnprotectedSuffix(t *testing.T) {
+	const r = 7
+	deleted := map[*tnode]bool{}
+	d := New[tnode](4, 2, func(_ int, n *tnode) { deleted[n] = true }, WithR(r))
+	var nodes []*tnode
+	for i := 0; i <= r; i++ {
+		nodes = append(nodes, &tnode{v: i})
+	}
+	// Protect the first three across different threads/slots; the rest
+	// form the unprotected suffix.
+	d.ProtectPtr(0, 1, nodes[0])
+	d.ProtectPtr(1, 1, nodes[1])
+	d.ProtectPtr(0, 3, nodes[2])
+	for i, n := range nodes {
+		d.Retire(0, n)
+		if i < r && len(deleted) != 0 {
+			t.Fatalf("batched scan ran before threshold (retire %d)", i)
+		}
+	}
+	for i, n := range nodes {
+		want := i >= 3
+		if deleted[n] != want {
+			t.Fatalf("node %d: deleted=%v, want %v", i, deleted[n], want)
+		}
+	}
+	// Releasing the protections and retiring once more reclaims the rest.
+	d.Clear(1)
+	d.Clear(3)
+	for i := 0; i <= r; i++ {
+		d.Retire(0, &tnode{v: 100 + i})
+	}
+	for i, n := range nodes {
+		if !deleted[n] {
+			t.Fatalf("node %d not reclaimed after protections cleared", i)
+		}
+	}
+}
+
+// TestSnapshotAgreesWithLinearScan cross-checks the R>0 sorted-snapshot
+// membership test against the R=0 linear probe on randomized
+// protect/clear interleavings: for a quiescent matrix the two must
+// classify every candidate identically.
+func TestSnapshotAgreesWithLinearScan(t *testing.T) {
+	const threads, hps = 8, 3
+	for _, act := range []*fakeActive{nil, {bits: make([]bool, threads)}} {
+		opts := []Option{WithR(4)}
+		if act != nil {
+			for i := range act.bits {
+				act.bits[i] = true
+			}
+			opts = append(opts, WithActiveSet(act))
+		}
+		d := New[tnode](threads, hps, func(int, *tnode) {}, opts...)
+		pool := make([]*tnode, 40)
+		for i := range pool {
+			pool[i] = &tnode{v: i}
+		}
+		lcg := uint64(1)
+		rnd := func(n int) int {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			return int(lcg>>33) % n
+		}
+		for round := 0; round < 200; round++ {
+			tid, idx := rnd(threads), rnd(hps)
+			switch rnd(3) {
+			case 0:
+				d.ProtectPtr(idx, tid, pool[rnd(len(pool))])
+			case 1:
+				d.ClearOne(idx, tid)
+			case 2:
+				d.Clear(tid)
+			}
+			snap := d.snapshot(0)
+			for _, n := range pool {
+				if got, want := snapContains(snap, n), d.protected(n); got != want {
+					t.Fatalf("round %d: snapshot says %v, linear scan says %v", round, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestActiveSetFiltersScans pins the WithActiveSet contract from the
+// scanner's side: protections in active rows block reclamation in both
+// scan flavours, and rows outside the set are not consulted.
+func TestActiveSetFiltersScans(t *testing.T) {
+	for _, r := range []int{0, 2} {
+		act := &fakeActive{bits: make([]bool, 8)}
+		deleted := map[*tnode]bool{}
+		d := New[tnode](8, 1, func(_ int, n *tnode) { deleted[n] = true }, WithR(r), WithActiveSet(act))
+
+		act.bits[2] = true
+		held := &tnode{v: 1}
+		d.ProtectPtr(0, 2, held) // active row: must block reclamation
+		stale := &tnode{v: 2}
+		d.ProtectPtr(0, 5, stale) // row 5 inactive: invisible to scans
+
+		retire := func(nodes ...*tnode) {
+			for _, n := range nodes {
+				d.Retire(0, n)
+			}
+			for d.Backlog() > 0 && len(deleted) == 0 {
+				d.Retire(0, &tnode{v: -1}) // push past the R threshold
+			}
+		}
+		retire(held, stale)
+		if deleted[held] {
+			t.Fatalf("R=%d: protection in active row ignored", r)
+		}
+		if !deleted[stale] {
+			t.Fatalf("R=%d: protection in inactive row blocked reclamation", r)
+		}
+
+		// Activating a row makes its protections visible to later scans.
+		act.bits[5] = true
+		n := &tnode{v: 3}
+		d.ProtectPtr(0, 5, n)
+		d.Retire(0, n)
+		d.Retire(0, &tnode{v: -2})
+		d.Retire(0, &tnode{v: -3})
+		if deleted[n] {
+			t.Fatalf("R=%d: protection in newly active row ignored", r)
+		}
+	}
+}

@@ -140,8 +140,8 @@ func New[T any](opts ...Option) *Queue[T] {
 		descPool:   qrt.NewPool[opDesc[T]](cfg.maxThreads, cap),
 		rt:         qrt.New(cfg.maxThreads),
 	}
-	q.hpNode = hazard.New[node[T]](cfg.maxThreads, numNodeH, q.recycleNode)
-	q.hpDesc = hazard.New[opDesc[T]](cfg.maxThreads, numDescH, q.recycleDesc)
+	q.hpNode = hazard.New[node[T]](cfg.maxThreads, numNodeH, q.recycleNode, hazard.WithActiveSet(q.rt))
+	q.hpDesc = hazard.New[opDesc[T]](cfg.maxThreads, numDescH, q.recycleDesc, hazard.WithActiveSet(q.rt))
 
 	sentinel := new(node[T]) // item nil: already "taken", deletable once retired
 	sentinel.enqTid = -1
@@ -205,13 +205,17 @@ func (q *Queue[T]) allocDesc(threadID int, phase int64, pending, enqueue bool, n
 	return d
 }
 
-// maxPhase scans every state slot for the largest announced phase. Reads
-// are validated against the slot (one retry) so a pooled-descriptor reuse
-// cannot leak a phase from a different role; a stale-but-validated phase
-// only affects helping priority, never safety.
+// maxPhase scans the active state slots for the largest announced phase.
+// Reads are validated against the slot (one retry) so a pooled-descriptor
+// reuse cannot leak a phase from a different role; a stale-but-validated
+// phase only affects helping priority, never safety. Restricting the scan
+// to active slots is safe for the same reason: a slot that has never been
+// active still holds its initial phase -1 descriptor, and a released
+// slot's stale phase could at worst have raised our announcement — which
+// only affects helping priority.
 func (q *Queue[T]) maxPhase() int64 {
 	maxp := int64(-1)
-	for i := range q.state {
+	q.rt.ForActive(0, q.rt.ActiveLimit(), func(i int) bool {
 		d := q.state[i].P.Load()
 		ph := d.phase.Load()
 		if q.state[i].P.Load() != d {
@@ -221,7 +225,8 @@ func (q *Queue[T]) maxPhase() int64 {
 		if ph > maxp {
 			maxp = ph
 		}
-	}
+		return true
+	})
 	return maxp
 }
 
@@ -256,6 +261,7 @@ func (q *Queue[T]) casState(helper int, i int32, cur, next *opDesc[T]) bool {
 // observed phase, then help until no longer pending.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	boxed := new(T)
 	*boxed = item
 	phase := q.maxPhase() + 1
@@ -270,6 +276,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // Dequeue removes the item at the head, or reports ok=false when empty.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	phase := q.maxPhase() + 1
 	q.installDesc(threadID, q.allocDesc(threadID, phase, true, false, nil))
 	q.help(threadID, phase)
@@ -296,24 +303,29 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 
 // help makes every pending operation with phase <= phase complete before
 // the caller's own operation can be considered stuck (KP's core fairness
-// mechanism: the oldest announced phase is always being helped).
+// mechanism: the oldest announced phase is always being helped). Only
+// active slots are visited: a descriptor becomes pending only after its
+// owner entered the active set (Enqueue/Dequeue run EnsureActive before
+// installDesc), and the caller's own slot is active, so every request
+// that must be helped — including the caller's — is inside the scan.
 func (q *Queue[T]) help(threadID int, phase int64) {
-	for i := 0; i < q.maxThreads; i++ {
+	q.rt.ForActive(0, q.rt.ActiveLimit(), func(i int) bool {
 		d := q.hpDesc.ProtectPtr(hpDesc, threadID, q.state[i].P.Load())
 		if q.state[i].P.Load() != d {
 			// Slot changed mid-read: its operation is being driven by its
 			// owner right now; helping it is not needed for our progress.
-			continue
+			return true
 		}
 		if !d.pending.Load() || d.phase.Load() > phase {
-			continue
+			return true
 		}
 		if d.enqueue.Load() {
 			q.helpEnq(threadID, int32(i), phase)
 		} else {
 			q.helpDeq(threadID, int32(i), phase)
 		}
-	}
+		return true
+	})
 }
 
 // helpEnq drives thread i's pending enqueue until it is linked into the

@@ -58,7 +58,7 @@ func New[T any](maxThreads int) *Queue[T] {
 		pool:       qrt.NewPool[node[T]](maxThreads, poolCap),
 		rt:         qrt.New(maxThreads),
 	}
-	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle)
+	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle, hazard.WithActiveSet(q.rt))
 	sentinel := new(node[T])
 	q.head.Store(sentinel)
 	q.tail.Store(sentinel)
@@ -93,6 +93,7 @@ func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 // link-then-swing-tail succeeds or is helped along by another thread.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	nd := q.alloc(threadID, item)
 	for {
 		ltail := q.hp.ProtectPtr(hpHead, threadID, q.tail.Load())
@@ -116,6 +117,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // Dequeue removes the item at the head, or reports ok=false when empty.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	for {
 		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
 		if lhead != q.head.Load() {

@@ -37,6 +37,15 @@ type Int64Slot struct {
 	_ [2*CacheLine - 8]byte
 }
 
+// Uint64Slot is a cache-line-padded atomic uint64, used for bitmap words
+// shared between threads (the qrt active-slot occupancy bitmap): each
+// word packs 64 slots' bits, and the padding keeps neighbouring words —
+// written on registration churn — off each other's cache lines.
+type Uint64Slot struct {
+	V atomic.Uint64
+	_ [2*CacheLine - 8]byte
+}
+
 // Int32Slot is a cache-line-padded atomic int32, used for per-thread flags.
 type Int32Slot struct {
 	V atomic.Int32

@@ -25,6 +25,8 @@ package qrt
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"turnqueue/internal/pad"
 	"turnqueue/internal/tid"
@@ -52,9 +54,31 @@ type SlotState struct {
 // Runtime owns slot registration and per-slot state for one queue (or
 // one shard). All per-thread arrays of the queue built on top must be
 // sized to Capacity().
+//
+// Beyond registration, the Runtime maintains the active-slot set: a
+// monotone high-water mark plus a per-word occupancy bitmap, updated by
+// Acquire/Release with single atomic Or/And stores. Helping loops and
+// hazard scans iterate only [0, ActiveLimit()) and skip cleared bits,
+// so their cost tracks the number of live threads instead of the
+// configured MaxThreads bound (DESIGN.md §"Active-slot tracking" holds
+// the visibility argument that makes the filtered scans safe).
 type Runtime struct {
 	reg   *tid.Registry
 	slots []SlotState
+
+	// hwm is 1 + the highest slot index ever activated. Monotone: it
+	// never shrinks, so a node published by a since-released slot s
+	// always satisfies s < hwm and turn arithmetic modulo the active
+	// range stays in bounds. Because tid.Registry hands out the lowest
+	// free index, hwm tracks the peak *concurrent* registration count,
+	// not the cumulative churn.
+	hwm atomic.Int64
+	_   [2*pad.CacheLine - 8]byte
+	// occ is the occupancy bitmap: bit (s & 63) of occ[s >> 6] is set
+	// while slot s is active. A scan of maxThreads slots touches
+	// maxThreads/64 words — one word per 64 slots — instead of
+	// maxThreads padded array entries.
+	occ []pad.Uint64Slot
 }
 
 // New creates a runtime with maxThreads slots. It panics if maxThreads
@@ -67,6 +91,7 @@ func New(maxThreads int) *Runtime {
 	return &Runtime{
 		reg:   tid.NewRegistry(maxThreads),
 		slots: make([]SlotState, maxThreads),
+		occ:   make([]pad.Uint64Slot, (maxThreads+63)/64),
 	}
 }
 
@@ -76,9 +101,14 @@ func (rt *Runtime) Capacity() int { return rt.reg.Capacity() }
 // Acquire claims a free slot, wait-free bounded (one scan with at most
 // one CAS per entry, inherited from tid.Registry). ok=false means every
 // slot is taken.
+//
+// The slot is in the active set before Acquire returns, i.e. before the
+// caller can publish anything through it — the visibility invariant the
+// active-range helping loops rely on.
 func (rt *Runtime) Acquire() (slot int, ok bool) {
 	slot, ok = rt.reg.Acquire()
 	if ok {
+		rt.markActive(slot)
 		rt.slots[slot].Acquires.V.Add(1)
 	}
 	return slot, ok
@@ -86,8 +116,119 @@ func (rt *Runtime) Acquire() (slot int, ok bool) {
 
 // Release returns slot to the free pool. Releasing a slot that is not
 // acquired panics (a double release would let two threads share
-// per-thread state).
-func (rt *Runtime) Release(slot int) { rt.reg.Release(slot) }
+// per-thread state). The occupancy bit clears first, so by the time the
+// registry can reissue the slot it is out of the active set; the next
+// owner's Acquire sets it again before publishing.
+func (rt *Runtime) Release(slot int) {
+	rt.occ[slot>>6].V.And(^(uint64(1) << (uint(slot) & 63)))
+	rt.reg.Release(slot)
+}
+
+// markActive inserts slot into the active set: one atomic Or for the
+// occupancy bit, then a bounded CAS loop raising the high-water mark.
+// The loop is wait-free bounded: hwm only grows, each failed CAS means
+// another thread raised it, and it can take at most Capacity() distinct
+// values.
+func (rt *Runtime) markActive(slot int) {
+	rt.occ[slot>>6].V.Or(uint64(1) << (uint(slot) & 63))
+	want := int64(slot) + 1
+	for {
+		cur := rt.hwm.Load()
+		if cur >= want || rt.hwm.CompareAndSwap(cur, want) {
+			return
+		}
+	}
+}
+
+// EnsureActive inserts slot into the active set if it is not already
+// there. Acquire does this for registered callers; EnsureActive exists
+// for code that drives a queue with raw slot indices and no registration
+// (tests, model checkers, the bench seeding convention), so that those
+// slots are visible to active-range scans too. On the hot path it is one
+// atomic load and a predictable branch. The bit stays set until the slot
+// is Released, which raw-index callers never do — for them the active
+// set simply degrades to [0, highest slot used), the pre-active-set
+// behavior.
+func (rt *Runtime) EnsureActive(slot int) {
+	if rt.occ[slot>>6].V.Load()&(uint64(1)<<(uint(slot)&63)) == 0 {
+		rt.markActive(slot)
+	}
+}
+
+// ActiveLimit returns the current high-water mark: every slot that is —
+// or ever was — active is below it. Scans iterate [0, ActiveLimit())
+// instead of [0, Capacity()).
+func (rt *Runtime) ActiveLimit() int { return int(rt.hwm.Load()) }
+
+// IsActive reports whether slot is currently in the active set.
+func (rt *Runtime) IsActive(slot int) bool {
+	return rt.occ[slot>>6].V.Load()&(uint64(1)<<(uint(slot)&63)) != 0
+}
+
+// ActiveWord returns occupancy word w — the bits of slots [w*64,
+// w*64+64). Single load, inlinable: full-sweep scans iterate words with
+// it (one read per 64 slots) instead of calling NextActive per slot.
+func (rt *Runtime) ActiveWord(w int) uint64 { return rt.occ[w].V.Load() }
+
+// NextActive returns the smallest active slot s with from <= s < limit,
+// or -1 if there is none. Wait-free bounded: at most (limit-from)/64+1
+// word loads plus constant bit arithmetic — this is the primitive the
+// active-range helping loops and hazard scans iterate with, visiting
+// live slots at a cost of one bitmap word per 64 configured slots.
+func (rt *Runtime) NextActive(from, limit int) int {
+	if from < 0 {
+		from = 0
+	}
+	if max := rt.Capacity(); limit > max {
+		limit = max
+	}
+	for w := from >> 6; w<<6 < limit; w++ {
+		word := rt.occ[w].V.Load()
+		if w == from>>6 {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		if word == 0 {
+			continue
+		}
+		s := w<<6 + bits.TrailingZeros64(word)
+		if s < limit {
+			return s
+		}
+		return -1 // smallest set bit is past limit; later words are too
+	}
+	return -1
+}
+
+// ForActive calls f on every active slot in [from, limit) in ascending
+// order, stopping early if f returns false. It reads each occupancy word
+// once (NextActive re-reads the word on every call), so a dense sweep
+// costs one load per 64 slots plus the per-slot call. The hottest scans
+// (internal/core) open-code the same loop to also avoid the call; every
+// other queue's helping/combining sweep goes through here.
+func (rt *Runtime) ForActive(from, limit int, f func(slot int) bool) {
+	if from < 0 {
+		from = 0
+	}
+	if max := rt.Capacity(); limit > max {
+		limit = max
+	}
+	for w := from >> 6; w<<6 < limit; w++ {
+		word := rt.occ[w].V.Load()
+		if w == from>>6 {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		for word != 0 {
+			s := w<<6 + bits.TrailingZeros64(word)
+			if s >= limit {
+				return // set bits only ascend from here
+			}
+			word &= word - 1
+			if !f(s) {
+				return
+			}
+		}
+	}
+}
 
 // InUse reports whether slot is currently acquired; for tests and
 // diagnostics only (the answer may be stale immediately).

@@ -140,3 +140,197 @@ func TestCheckSlotMode(t *testing.T) {
 		t.Fatalf("OpCount = %d, want %d", got, want)
 	}
 }
+
+func TestActiveSetTracksAcquireRelease(t *testing.T) {
+	rt := New(130) // spans three bitmap words
+	if rt.ActiveLimit() != 0 {
+		t.Fatalf("fresh runtime ActiveLimit = %d, want 0", rt.ActiveLimit())
+	}
+	if rt.NextActive(0, rt.Capacity()) != -1 {
+		t.Fatal("fresh runtime has an active slot")
+	}
+	a, _ := rt.Acquire() // slot 0
+	b, _ := rt.Acquire() // slot 1
+	if a != 0 || b != 1 {
+		t.Fatalf("Acquire order = %d,%d, want 0,1", a, b)
+	}
+	if !rt.IsActive(a) || !rt.IsActive(b) {
+		t.Fatal("acquired slots not active")
+	}
+	if got := rt.ActiveLimit(); got != 2 {
+		t.Fatalf("ActiveLimit = %d, want 2", got)
+	}
+	rt.Release(a)
+	if rt.IsActive(a) {
+		t.Fatal("released slot still active")
+	}
+	if got := rt.ActiveLimit(); got != 2 {
+		t.Fatalf("ActiveLimit shrank to %d after Release; must be monotone", got)
+	}
+	if got := rt.NextActive(0, rt.ActiveLimit()); got != b {
+		t.Fatalf("NextActive(0) = %d, want %d", got, b)
+	}
+}
+
+func TestEnsureActiveRawSlots(t *testing.T) {
+	rt := New(512)
+	rt.EnsureActive(129) // raw-index convention: never Acquired
+	if !rt.IsActive(129) {
+		t.Fatal("EnsureActive did not set the bit")
+	}
+	if got := rt.ActiveLimit(); got != 130 {
+		t.Fatalf("ActiveLimit = %d, want 130", got)
+	}
+	rt.EnsureActive(129) // idempotent
+	if got := rt.ActiveLimit(); got != 130 {
+		t.Fatalf("ActiveLimit after repeat = %d, want 130", got)
+	}
+	rt.EnsureActive(3) // lower slot must not lower the mark
+	if got := rt.ActiveLimit(); got != 130 {
+		t.Fatalf("ActiveLimit after lower slot = %d, want 130", got)
+	}
+}
+
+func TestNextActiveIteration(t *testing.T) {
+	rt := New(256)
+	for _, s := range []int{3, 64, 65, 200} {
+		rt.EnsureActive(s)
+	}
+	limit := rt.ActiveLimit()
+	var got []int
+	for s := rt.NextActive(0, limit); s >= 0; s = rt.NextActive(s+1, limit) {
+		got = append(got, s)
+	}
+	want := []int{3, 64, 65, 200}
+	if len(got) != len(want) {
+		t.Fatalf("active iteration = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("active iteration = %v, want %v", got, want)
+		}
+	}
+	// Sub-range queries: limit excludes slots at or past it.
+	if s := rt.NextActive(4, 64); s != -1 {
+		t.Fatalf("NextActive(4, 64) = %d, want -1", s)
+	}
+	if s := rt.NextActive(66, 200); s != -1 {
+		t.Fatalf("NextActive(66, 200) = %d, want -1", s)
+	}
+	if s := rt.NextActive(66, 201); s != 200 {
+		t.Fatalf("NextActive(66, 201) = %d, want 200", s)
+	}
+	// Out-of-range requests clamp rather than panic.
+	if s := rt.NextActive(-5, 10); s != 3 {
+		t.Fatalf("NextActive(-5, 10) = %d, want 3", s)
+	}
+	if s := rt.NextActive(0, 1<<20); s != 3 {
+		t.Fatalf("NextActive with huge limit = %d, want 3", s)
+	}
+}
+
+func TestNextActiveAgainstReference(t *testing.T) {
+	// Randomized cross-check: NextActive must agree with a naive
+	// IsActive linear scan for every (from, limit) pair.
+	rt := New(192)
+	lcg := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int(lcg>>33) % n
+	}
+	for i := 0; i < 40; i++ {
+		rt.EnsureActive(next(192))
+	}
+	for from := -1; from <= 192; from++ {
+		for _, limit := range []int{0, 1, 63, 64, 65, 128, 192, 500} {
+			want := -1
+			for s := from; s < limit && s < 192; s++ {
+				if s >= 0 && rt.IsActive(s) {
+					want = s
+					break
+				}
+			}
+			if got := rt.NextActive(from, limit); got != want {
+				t.Fatalf("NextActive(%d, %d) = %d, want %d", from, limit, got, want)
+			}
+		}
+	}
+}
+
+func TestForActiveAgainstReference(t *testing.T) {
+	// ForActive must visit exactly the slots NextActive iteration yields,
+	// in the same ascending order, and honor the early-stop return.
+	rt := New(192)
+	lcg := uint64(0xDEADBEEFCAFEF00D)
+	next := func(n int) int {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int(lcg>>33) % n
+	}
+	for i := 0; i < 40; i++ {
+		rt.EnsureActive(next(192))
+	}
+	for _, from := range []int{-1, 0, 1, 5, 63, 64, 65, 100, 191, 192} {
+		for _, limit := range []int{0, 1, 64, 65, 128, 192, 500} {
+			var want []int
+			for s := rt.NextActive(from, limit); s >= 0; s = rt.NextActive(s+1, limit) {
+				want = append(want, s)
+			}
+			var got []int
+			rt.ForActive(from, limit, func(s int) bool {
+				got = append(got, s)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("ForActive(%d, %d) visited %v, want %v", from, limit, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("ForActive(%d, %d) visited %v, want %v", from, limit, got, want)
+				}
+			}
+		}
+	}
+	// Early stop: returning false ends the sweep after one slot.
+	calls := 0
+	rt.ForActive(0, rt.Capacity(), func(int) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("ForActive kept going after false: %d calls", calls)
+	}
+	// ActiveWord agrees with IsActive bit by bit.
+	for s := 0; s < rt.Capacity(); s++ {
+		bit := rt.ActiveWord(s>>6)&(1<<(uint(s)&63)) != 0
+		if bit != rt.IsActive(s) {
+			t.Fatalf("ActiveWord disagrees with IsActive at slot %d", s)
+		}
+	}
+}
+
+func TestActiveSetConcurrentChurn(t *testing.T) {
+	rt := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				slot, ok := rt.Acquire()
+				if !ok {
+					continue
+				}
+				if !rt.IsActive(slot) {
+					t.Error("acquired slot not in active set")
+				}
+				rt.Release(slot)
+			}
+		}()
+	}
+	wg.Wait()
+	// All released: no active bits remain, but the high-water mark keeps
+	// the peak.
+	if s := rt.NextActive(0, rt.Capacity()); s != -1 {
+		t.Fatalf("slot %d still active after all releases", s)
+	}
+	if rt.ActiveLimit() < 1 {
+		t.Fatal("ActiveLimit lost the churn peak")
+	}
+}

@@ -169,6 +169,7 @@ func (s *enqState[T]) listTail() *node[T] {
 // enqueues by a single combiner.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	seq := uint64(q.enqSeqs[threadID].V.Add(1))
 	q.announce[threadID].P.Store(&request[T]{seq: seq, isEnq: true, item: item})
 	for iter := 0; ; iter++ {
@@ -190,10 +191,12 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		}
 		copy(ns.applied, s.applied)
 		// Collect every announced-but-unapplied enqueue into one chain.
-		for i := 0; i < q.maxThreads; i++ {
+		// Only active slots can hold an announcement (EnsureActive runs
+		// before the announce store), so the combiner scans only those.
+		q.rt.ForActive(0, q.rt.ActiveLimit(), func(i int) bool {
 			r := q.announce[i].P.Load()
 			if r == nil || !r.isEnq || r.seq != ns.applied[i]+1 {
-				continue
+				return true
 			}
 			nd := &node[T]{item: r.item}
 			q.nodeAllocs.V.Add(1)
@@ -204,7 +207,8 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 			}
 			ns.batchTail = nd
 			ns.applied[i] = r.seq
-		}
+			return true
+		})
 		if ns.batchHead == nil {
 			continue // nothing visible to apply yet (our announce races)
 		}
@@ -222,6 +226,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // a single combiner may serve many announced dequeues in one list walk.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
 	seq := uint64(q.deqSeqs[threadID].V.Add(1))
 	q.announce[threadID].P.Store(&request[T]{seq: seq, isEnq: false})
 	for iter := 0; ; iter++ {
@@ -242,10 +247,10 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 		copy(ns.applied, s.applied)
 		copy(ns.results, s.results)
 		appliedAny := false
-		for i := 0; i < q.maxThreads; i++ {
+		q.rt.ForActive(0, q.rt.ActiveLimit(), func(i int) bool {
 			r := q.announce[i].P.Load()
 			if r == nil || r.isEnq || r.seq != ns.applied[i]+1 {
-				continue
+				return true
 			}
 			next := ns.head.next.Load()
 			if next == nil {
@@ -256,7 +261,8 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 			}
 			ns.applied[i] = r.seq
 			appliedAny = true
-		}
+			return true
+		})
 		if !appliedAny {
 			continue
 		}

@@ -87,7 +87,7 @@ func New[T any](maxThreads int) *Queue[T] {
 		free:       make([][]*Node[T], maxThreads),
 		rt:         qrt.New(maxThreads),
 	}
-	q.hp = hazard.New[Node[T]](maxThreads, numHPs, q.recycle)
+	q.hp = hazard.New[Node[T]](maxThreads, numHPs, q.recycle, hazard.WithActiveSet(q.rt))
 	sentinel := new(Node[T])
 	sentinel.deqTid.Store(0)
 	q.head.Store(sentinel)
@@ -133,6 +133,7 @@ func (q *Queue[T]) alloc(threadID int, item T) *Node[T] {
 // Enqueue is Algorithm 2, identical to internal/core's version.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	q.checkTid(threadID)
+	q.rt.EnsureActive(threadID)
 	myNode := q.alloc(threadID, item)
 	q.enqueuers[threadID].P.Store(myNode)
 	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
@@ -146,13 +147,8 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
 			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
 		}
-		for j := 1; j < q.maxThreads+1; j++ {
-			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].P.Load()
-			if nodeToHelp == nil {
-				continue
-			}
+		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
 			ltail.next.CompareAndSwap(nil, nodeToHelp)
-			break
 		}
 		lnext := ltail.next.Load()
 		if lnext != nil {
@@ -165,8 +161,28 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 // Dequeue is the single-array variant of Algorithm 3: open by raising
 // isRequest on the parked node, close by replacing the parked node with
 // the assigned one.
+// nextEnqRequest returns the first pending enqueue request after turn in
+// turn order, visiting only active slots (every requester ran
+// EnsureActive before publishing). Same iteration as internal/core.
+func (q *Queue[T]) nextEnqRequest(turn int) *Node[T] {
+	var found *Node[T]
+	probe := func(idx int) bool {
+		if nd := q.enqueuers[idx].P.Load(); nd != nil {
+			found = nd
+			return false
+		}
+		return true
+	}
+	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
+	if found == nil {
+		q.rt.ForActive(0, turn+1, probe)
+	}
+	return found
+}
+
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	q.checkTid(threadID)
+	q.rt.EnsureActive(threadID)
 	myReq := q.dequeuers[threadID].P.Load()
 	myReq.isRequest.Store(true) // open our request
 	for i := 0; q.dequeuers[threadID].P.Load() == myReq; i++ {
@@ -211,20 +227,36 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 // each scanned entry costs a hazard-pointer publish and validation, the
 // §2.3 overhead this package exists to exhibit.
 func (q *Queue[T]) searchNext(threadID int, lhead, lnext *Node[T]) int32 {
-	turn := lhead.deqTid.Load()
-	for idx := turn + 1; idx < turn+int32(q.maxThreads)+1; idx++ {
-		idDeq := idx % int32(q.maxThreads)
+	turn := int(lhead.deqTid.Load())
+	// tryClaim inspects entry idDeq; true means an open request was found
+	// (and the assignment CAS attempted), ending the scan. Only active
+	// slots are visited — a dequeuer enters the active set before raising
+	// isRequest — so the per-entry HP publish is paid O(live) times, not
+	// O(maxThreads) times, though it remains the variant's defining cost.
+	tryClaim := func(idDeq int) bool {
 		nd := q.hp.ProtectPtr(hpScan, threadID, q.dequeuers[idDeq].P.Load())
 		if q.dequeuers[idDeq].P.Load() != nd {
-			continue // entry churned: that request was just served
+			return false // entry churned: that request was just served
 		}
 		if nd == nil || !nd.isRequest.Load() {
-			continue // closed request
+			return false // closed request
 		}
 		if lnext.deqTid.Load() == IdxNone {
-			lnext.deqTid.CompareAndSwap(IdxNone, idDeq)
+			lnext.deqTid.CompareAndSwap(IdxNone, int32(idDeq))
 		}
-		break
+		return true
+	}
+	claimed := false
+	probe := func(idx int) bool {
+		if tryClaim(idx) {
+			claimed = true
+			return false
+		}
+		return true
+	}
+	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
+	if !claimed {
+		q.rt.ForActive(0, turn+1, probe)
 	}
 	q.hp.ClearOne(hpScan, threadID)
 	return lnext.deqTid.Load()

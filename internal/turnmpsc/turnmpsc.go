@@ -64,7 +64,7 @@ func New[T any](maxThreads int) *Queue[T] {
 		free:       make([][]*node[T], maxThreads),
 		rt:         qrt.New(maxThreads),
 	}
-	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle)
+	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle, hazard.WithActiveSet(q.rt))
 	sentinel := new(node[T])
 	q.head.Store(sentinel)
 	q.tail.Store(sentinel)
@@ -109,6 +109,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	if threadID < 0 || threadID >= q.maxThreads {
 		panic(fmt.Sprintf("turnmpsc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
 	}
+	q.rt.EnsureActive(threadID)
 	myNode := q.alloc(threadID, item)
 	q.enqueuers[threadID].P.Store(myNode)
 	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
@@ -122,13 +123,8 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
 			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
 		}
-		for j := 1; j < q.maxThreads+1; j++ {
-			nodeToHelp := q.enqueuers[(j+int(ltail.enqTid))%q.maxThreads].P.Load()
-			if nodeToHelp == nil {
-				continue
-			}
+		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
 			ltail.next.CompareAndSwap(nil, nodeToHelp)
-			break
 		}
 		lnext := ltail.next.Load()
 		if lnext != nil {
@@ -136,6 +132,26 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		}
 	}
 	q.hp.Clear(threadID)
+}
+
+// nextEnqRequest returns the first pending enqueue request after turn in
+// turn order, visiting only active slots (every requester ran
+// EnsureActive before publishing, so no request can hide outside the
+// active set). Same two-segment iteration as internal/core.
+func (q *Queue[T]) nextEnqRequest(turn int) *node[T] {
+	var found *node[T]
+	probe := func(idx int) bool {
+		if nd := q.enqueuers[idx].P.Load(); nd != nil {
+			found = nd
+			return false
+		}
+		return true
+	}
+	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
+	if found == nil {
+		q.rt.ForActive(0, turn+1, probe)
+	}
+	return found
 }
 
 // Dequeue removes the item at the head. Single consumer: no consensus is

@@ -76,7 +76,7 @@ func New[T any](maxThreads int) *Queue[T] {
 	q.hp = hazard.New[node[T]](maxThreads, numHPs, func(_ int, nd *node[T]) {
 		var zero T
 		nd.item = zero
-	})
+	}, hazard.WithActiveSet(q.rt))
 	sentinel := new(node[T])
 	sentinel.deqTid.Store(0)
 	q.head.Store(sentinel)
@@ -111,6 +111,7 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	if threadID < 0 || threadID >= q.maxThreads {
 		panic(fmt.Sprintf("turnspmc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
 	}
+	q.rt.EnsureActive(threadID)
 	prReq := q.deqself[threadID].P.Load()
 	myReq := q.deqhelp[threadID].P.Load()
 	q.deqself[threadID].P.Store(myReq)
@@ -153,17 +154,32 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 
 func (q *Queue[T]) searchNext(lhead, lnext *node[T]) int32 {
 	turn := lhead.deqTid.Load()
-	for idx := turn + 1; idx < turn+int32(q.maxThreads)+1; idx++ {
-		idDeq := idx % int32(q.maxThreads)
-		if q.deqself[idDeq].P.Load() != q.deqhelp[idDeq].P.Load() {
-			continue
-		}
+	if idDeq := q.nextOpenDeq(int(turn)); idDeq >= 0 {
 		if lnext.deqTid.Load() == IdxNone {
-			lnext.deqTid.CompareAndSwap(IdxNone, idDeq)
+			lnext.deqTid.CompareAndSwap(IdxNone, int32(idDeq))
 		}
-		break
 	}
 	return lnext.deqTid.Load()
+}
+
+// nextOpenDeq returns the first open dequeue request after turn in turn
+// order, or -1 if none. Only active slots are visited: a dequeuer enters
+// the active set (EnsureActive) before storing into deqself, so every
+// open request — including the searcher's own — is inside the scan.
+func (q *Queue[T]) nextOpenDeq(turn int) int {
+	found := -1
+	probe := func(idx int) bool {
+		if q.deqself[idx].P.Load() == q.deqhelp[idx].P.Load() {
+			found = idx
+			return false
+		}
+		return true
+	}
+	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
+	if found < 0 {
+		q.rt.ForActive(0, turn+1, probe)
+	}
+	return found
 }
 
 func (q *Queue[T]) casDeqAndHead(lhead, lnext *node[T], threadID int) {

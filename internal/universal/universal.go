@@ -116,6 +116,7 @@ func (u *Universal[S, A, R]) Do(threadID int, arg A) R {
 	if threadID < 0 || threadID >= u.maxThreads {
 		panic(fmt.Sprintf("universal: thread id %d out of range [0,%d)", threadID, u.maxThreads))
 	}
+	u.rt.EnsureActive(threadID)
 	seq := uint64(u.seqs[threadID].V.Add(1))
 	u.announce[threadID].P.Store(&request[A]{seq: seq, arg: arg})
 	for iter := 0; ; iter++ {
@@ -134,14 +135,18 @@ func (u *Universal[S, A, R]) Do(threadID int, arg A) R {
 		}
 		copy(ns.applied, s.applied)
 		copy(ns.results, s.results)
-		for i := 0; i < u.maxThreads; i++ {
+		// An announcement is only visible from a slot that entered the
+		// active set first (Do runs EnsureActive before the store), so
+		// the combine pass visits only active slots.
+		u.rt.ForActive(0, u.rt.ActiveLimit(), func(i int) bool {
 			r := u.announce[i].P.Load()
 			if r == nil || r.seq != ns.applied[i]+1 {
-				continue
+				return true
 			}
 			ns.obj, ns.results[i] = u.apply(ns.obj, r.arg)
 			ns.applied[i] = r.seq
-		}
+			return true
+		})
 		if u.cur.CompareAndSwap(s, ns) {
 			u.combines.V.Add(1)
 			if ns.applied[threadID] >= seq {

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Core benchmark runner.
+#
+#   scripts/bench.sh [full|smoke] [outdir]
+#
+# full (default): the core benchmark set with -count=5 at a fixed
+# iteration count, so two runs are directly comparable and the raw
+# output feeds straight into benchstat:
+#
+#   scripts/bench.sh full before/ && ... && scripts/bench.sh full after/
+#   benchstat before/BENCH_core.txt after/BENCH_core.txt
+#
+# smoke: one tiny iteration of the same set — wired into scripts/ci.sh
+# so the benchmarks themselves cannot silently rot.
+#
+# Both modes write outdir/BENCH_core.txt (verbatim `go test -bench`
+# output) and outdir/BENCH_core.json (benchmark name -> mean ns/op and
+# allocs/op across the -count repetitions).
+set -eu
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${2:-.}"
+
+# The core set: adapter overhead (hot-path cost of the public API),
+# uncontended single-thread round trips, and the sparse-registration
+# family (active-slot scan cost, experiment X8).
+PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkSparseRegistration'
+
+case "$MODE" in
+smoke)
+	COUNT=1
+	BENCHTIME=50x
+	;;
+full)
+	COUNT=5
+	BENCHTIME=20000x
+	;;
+*)
+	echo "usage: $0 [full|smoke] [outdir]" >&2
+	exit 2
+	;;
+esac
+
+mkdir -p "$OUT"
+TXT="$OUT/BENCH_core.txt"
+JSON="$OUT/BENCH_core.json"
+
+go test -run '^$' -bench "$PATTERN" -benchmem \
+	-count="$COUNT" -benchtime="$BENCHTIME" -timeout 1800s . | tee "$TXT"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	ns = $3
+	allocs = ""
+	for (i = 4; i <= NF; i++) {
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (!(name in cnt)) order[++n] = name
+	cnt[name]++
+	sumns[name] += ns
+	if (allocs != "") suma[name] += allocs
+}
+END {
+	printf "{\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "  \"%s\": {\"ns_per_op\": %.2f, \"allocs_per_op\": %.2f}%s\n", \
+			name, sumns[name] / cnt[name], suma[name] / cnt[name], (i < n ? "," : "")
+	}
+	printf "}\n"
+}
+' "$TXT" >"$JSON"
+
+echo "wrote $TXT and $JSON"

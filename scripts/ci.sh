@@ -9,9 +9,11 @@
 #      tests (closed handle, cross-queue handle) only run here,
 #   4. the race detector over the short suite in both build modes,
 #      which is what actually exercises the AutoQueue handle cache and
-#      qrt slot registry under contention.
+#      qrt slot registry under contention,
+#   5. a smoke run of the core benchmark set (scripts/bench.sh smoke),
+#      so the benchmarks cannot silently rot.
 #
-# A change is green only if all four pass.
+# A change is green only if all five pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,5 +33,10 @@ go test -race -short ./...
 
 echo "==> race (-tags debughandles)"
 go test -race -short -tags debughandles ./...
+
+echo "==> bench smoke"
+BENCH_OUT="$(mktemp -d)"
+sh scripts/bench.sh smoke "$BENCH_OUT" >/dev/null
+rm -rf "$BENCH_OUT"
 
 echo "==> ci green"
