@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/core"
 	"turnqueue/internal/harness"
 )
@@ -34,13 +35,25 @@ func BenchmarkAdapterOverheadHandle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer h.Close()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q.Enqueue(h, i)
 		if _, ok := q.Dequeue(h); !ok {
 			b.Fatal("unexpected empty")
 		}
+	}
+	b.StopTimer()
+	h.Close()
+	verifyQuiescentBench(b, q.Snapshot())
+}
+
+// verifyQuiescentBench fails the benchmark if its queue leaked resources:
+// a benchmark that strands retire backlog or registration slots is
+// measuring an unsustainable steady state.
+func verifyQuiescentBench(b *testing.B, s Snapshot) {
+	b.Helper()
+	if err := s.VerifyQuiescent(); err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -89,6 +102,8 @@ func benchSparsePairs(b *testing.B, mt, live int) {
 			}
 		}
 	})
+	b.StopTimer()
+	verifyQuiescentBench(b, account.Capture("Turn", q.Runtime(), q))
 }
 
 // BenchmarkAdapterOverheadAuto is the implicit-handle layer: a handle
@@ -97,7 +112,6 @@ func benchSparsePairs(b *testing.B, mt, live int) {
 // handles at all.
 func BenchmarkAdapterOverheadAuto(b *testing.B) {
 	a := NewAuto(NewTurn[int](WithMaxThreads(2)))
-	defer a.Close()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a.Enqueue(i)
@@ -105,4 +119,7 @@ func BenchmarkAdapterOverheadAuto(b *testing.B) {
 			b.Fatal("unexpected empty")
 		}
 	}
+	b.StopTimer()
+	a.Close()
+	verifyQuiescentBench(b, a.Snapshot())
 }

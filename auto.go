@@ -1,7 +1,6 @@
 package turnqueue
 
 import (
-	"fmt"
 	"runtime"
 	"sync/atomic"
 
@@ -36,6 +35,9 @@ type AutoQueue[T any] struct {
 	slots  []autoSlot
 	hint   atomic.Uint32 // last slot acquired; scan origin for the next op
 	closed atomic.Bool
+
+	registers atomic.Int64 // handles registered through the cache
+	waits     atomic.Int64 // full-scan rounds that found no free slot
 }
 
 // autoSlot is one padded cache entry: a claim flag plus the lazily
@@ -74,6 +76,14 @@ func (a *AutoQueue[T]) acquire() *autoSlot {
 			if !s.busy.CompareAndSwap(false, true) {
 				continue
 			}
+			if a.closed.Load() {
+				// Close ran between the entry check and the claim. Back
+				// the claim out — otherwise Close's sweep would either
+				// leak this slot forever or wait on a caller that is
+				// about to panic — then fail like any post-close call.
+				s.busy.Store(false)
+				panic("turnqueue: operation on closed AutoQueue")
+			}
 			if s.h == nil {
 				// First use of this cache slot: register for real. This
 				// can lose to explicit Register calls on the underlying
@@ -85,6 +95,7 @@ func (a *AutoQueue[T]) acquire() *autoSlot {
 					continue
 				}
 				s.h = h
+				a.registers.Add(1)
 			}
 			if idx != start {
 				a.hint.Store(idx)
@@ -96,26 +107,28 @@ func (a *AutoQueue[T]) acquire() *autoSlot {
 		if a.closed.Load() {
 			panic("turnqueue: operation on closed AutoQueue")
 		}
+		a.waits.Add(1)
 		runtime.Gosched()
 		start = a.hint.Load()
 	}
 }
 
 // Enqueue inserts item at the tail, registering this call's thread slot
-// on first use.
+// on first use. The slot release is deferred so a panicking underlying
+// operation (slot misuse under debughandles, a corrupted-invariant crash)
+// cannot strand the cache slot in the busy state forever.
 func (a *AutoQueue[T]) Enqueue(item T) {
 	s := a.acquire()
+	defer s.busy.Store(false)
 	a.q.Enqueue(s.h, item)
-	s.busy.Store(false)
 }
 
 // Dequeue removes the item at the head; ok is false when the queue is
-// observed empty.
+// observed empty. Slot release is deferred; see Enqueue.
 func (a *AutoQueue[T]) Dequeue() (item T, ok bool) {
 	s := a.acquire()
-	item, ok = a.q.Dequeue(s.h)
-	s.busy.Store(false)
-	return item, ok
+	defer s.busy.Store(false)
+	return a.q.Dequeue(s.h)
 }
 
 // MaxThreads returns the underlying queue's registered-thread bound,
@@ -130,17 +143,47 @@ func (a *AutoQueue[T]) Meta() Meta { return a.q.Meta() }
 // for latency-pinned workers alongside the implicit ones.
 func (a *AutoQueue[T]) Unwrap() Queue[T] { return a.q }
 
-// Close releases every cached handle back to the queue. It must only be
-// called after all operations through the wrapper have returned; a slot
-// still claimed by an in-flight operation panics.
+// Snapshot captures the underlying queue's resource-accounting view plus
+// the wrapper's own cache counters: auto_registered (handles lazily
+// registered through the cache), auto_waits (full-scan rounds where every
+// slot was busy), and — while the wrapper is open — auto_busy (slots
+// currently claimed by in-flight operations).
+func (a *AutoQueue[T]) Snapshot() Snapshot {
+	s := a.q.Snapshot()
+	s.Counter("auto_registered", a.registers.Load())
+	s.Counter("auto_waits", a.waits.Load())
+	if !a.closed.Load() {
+		var busy int64
+		for i := range a.slots {
+			if a.slots[i].busy.Load() {
+				busy++
+			}
+		}
+		s.Counter("auto_busy", busy)
+	}
+	return s
+}
+
+// Close releases every cached handle back to the queue. Operations in
+// flight when Close begins are waited out — each finishes normally and
+// its handle is closed afterwards — while operations that start after
+// Close panic. Closing twice panics.
+//
+// The wait matters for correctness, not just politeness: an operation
+// can claim a cache slot in the window between Close setting the closed
+// flag and Close's sweep reaching that slot. The sweep waits for the
+// claim to clear (the claimer either completes or observes closed and
+// backs out, both in bounded time), so every cached handle is reliably
+// closed. A sweep that skipped busy slots instead would strand the
+// slot's handle — a registration slot leaked for the queue's lifetime.
 func (a *AutoQueue[T]) Close() {
 	if a.closed.Swap(true) {
 		panic("turnqueue: Close of closed AutoQueue")
 	}
 	for i := range a.slots {
 		s := &a.slots[i]
-		if !s.busy.CompareAndSwap(false, true) {
-			panic(fmt.Sprintf("turnqueue: AutoQueue.Close with operation in flight on slot %d", i))
+		for !s.busy.CompareAndSwap(false, true) {
+			runtime.Gosched()
 		}
 		if s.h != nil {
 			s.h.Close()

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"testing"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/bench"
 	"turnqueue/internal/core"
 	"turnqueue/internal/quantile"
@@ -242,6 +243,10 @@ func BenchmarkUncontended(b *testing.B) {
 					b.Fatal("dequeue empty")
 				}
 			}
+			b.StopTimer()
+			// The raw slot is never released (no drain), but the backlog
+			// must still respect the paper's bound and pools must balance.
+			verifyQuiescentBench(b, account.Capture(f.Name, q.Runtime(), q))
 		})
 	}
 }

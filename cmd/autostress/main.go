@@ -12,7 +12,15 @@
 //
 // Usage:
 //
+// After the run the wrapper is closed and the queue's accounting snapshot
+// must pass VerifyQuiescent: Close waits out in-flight operations and
+// releases every cached handle, each release draining its slot's retire
+// backlog, so a leak here means the implicit-handle lifecycle is broken.
+//
+// Usage:
+//
 //	autostress [-queues Turn,MS,KP,Sim,FAA,TwoLock] [-threads n] [-goroutines n] [-duration d]
+//	           [-snapshots interval]
 package main
 
 import (
@@ -45,6 +53,7 @@ func main() {
 		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "MaxThreads bound (handle-cache size)")
 		goroutines = flag.Int("goroutines", 0, "caller goroutines (default 4x threads; must exceed threads to stress the cache)")
 		duration   = flag.Duration("duration", 2*time.Second, "run length per queue")
+		snapEvery  = flag.Duration("snapshots", 0, "dump a resource snapshot at this interval (0 disables)")
 	)
 	flag.Parse()
 	if *threads < 2 {
@@ -64,7 +73,7 @@ func main() {
 		}
 		fmt.Printf("autostress %-8s threads=%d goroutines=%d duration=%v ... ",
 			name, *threads, *goroutines, *duration)
-		ops, err := stressOne(mk, *threads, *goroutines, *duration)
+		ops, err := stressOne(mk, *threads, *goroutines, *duration, *snapEvery)
 		if err != nil {
 			fmt.Printf("FAIL\n  %v\n", err)
 			failed = true
@@ -80,9 +89,8 @@ func main() {
 // stressOne runs producers/consumers through one AutoQueue and validates
 // the run. Half the goroutines produce, half consume; none ever touches
 // a Handle.
-func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], threads, goroutines int, d time.Duration) (int64, error) {
+func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], threads, goroutines int, d, snapEvery time.Duration) (int64, error) {
 	a := turnqueue.NewAuto(mk(turnqueue.WithMaxThreads(threads)))
-	defer a.Close()
 
 	producers := goroutines / 2
 	consumers := goroutines - producers
@@ -121,11 +129,27 @@ func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], thread
 		}(c)
 	}
 
-	time.Sleep(d)
+	deadline := time.Now().Add(d)
+	nextSnap := time.Now().Add(snapEvery)
+	for time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		if snapEvery > 0 && !time.Now().Before(nextSnap) {
+			fmt.Printf("\n  snapshot %s", a.Snapshot())
+			nextSnap = time.Now().Add(snapEvery)
+		}
+	}
 	stopProducing.Store(true)
 	time.Sleep(100 * time.Millisecond)
 	stopConsuming.Store(true)
 	wg.Wait()
+
+	// Close releases every cached handle (draining each slot's retire
+	// backlog); the snapshot after it must be quiescent-clean.
+	a.Close()
+	final := a.Snapshot()
+	if err := final.VerifyQuiescent(); err != nil {
+		return 0, err
+	}
 
 	// Validate exactly-once delivery and per-producer FIFO order.
 	var totalProduced uint64

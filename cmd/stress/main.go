@@ -6,18 +6,28 @@
 //   - exactly-once delivery: every enqueued item is dequeued exactly once
 //     (after a final drain), with no phantoms;
 //   - per-producer FIFO order at every consumer;
-//   - real-time FIFO order on a sampled sub-history (lincheck).
+//   - real-time FIFO order on a sampled sub-history (lincheck);
+//   - quiescent resource accounting: after every worker has released its
+//     slot, the queue's Snapshot must pass VerifyQuiescent (no live
+//     slots, hazard backlog within the paper's bound, pools balanced).
 //
 // Any violation prints a diagnosis and exits non-zero.
+//
+// Workers register real runtime slots (Acquire/Release) rather than
+// assuming their worker index, so each departure exercises the
+// drain-on-release path the accounting verifies.
 //
 // Usage:
 //
 //	stress [-queues MS,KP,Turn,Sim(FK),FAA(YMC)] [-threads n] [-duration d]
+//	       [-snapshots interval] [-debugaddr :8123]
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -25,19 +35,59 @@ import (
 	"sync/atomic"
 	"time"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/bench"
 	"turnqueue/internal/histogram"
 	"turnqueue/internal/lincheck"
 	"turnqueue/internal/quantile"
 )
 
+// snapSource is the snapshot provider of the queue currently under
+// stress, swapped per run and read by the expvar export.
+var snapSource struct {
+	mu sync.Mutex
+	fn func() account.Snapshot
+}
+
+func setSnapSource(fn func() account.Snapshot) {
+	snapSource.mu.Lock()
+	snapSource.fn = fn
+	snapSource.mu.Unlock()
+}
+
+func currentSnapshot() (account.Snapshot, bool) {
+	snapSource.mu.Lock()
+	fn := snapSource.fn
+	snapSource.mu.Unlock()
+	if fn == nil {
+		return account.Snapshot{}, false
+	}
+	return fn(), true
+}
+
 func main() {
 	var (
-		queues   = flag.String("queues", "MS,KP,Turn,Sim(FK),FAA(YMC)", "comma-separated queue names")
-		threads  = flag.Int("threads", 2*runtime.GOMAXPROCS(0), "worker count (half produce, half consume)")
-		duration = flag.Duration("duration", 5*time.Second, "run length per queue")
+		queues    = flag.String("queues", "MS,KP,Turn,Sim(FK),FAA(YMC)", "comma-separated queue names")
+		threads   = flag.Int("threads", 2*runtime.GOMAXPROCS(0), "worker count (half produce, half consume)")
+		duration  = flag.Duration("duration", 5*time.Second, "run length per queue")
+		snapEvery = flag.Duration("snapshots", 0, "dump a resource snapshot at this interval (0 disables)")
+		debugaddr = flag.String("debugaddr", "", "serve /debug/vars (expvar, incl. queue_snapshot) on this address")
 	)
 	flag.Parse()
+	if *debugaddr != "" {
+		expvar.Publish("queue_snapshot", expvar.Func(func() any {
+			s, ok := currentSnapshot()
+			if !ok {
+				return nil
+			}
+			return s
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "debugaddr: %v\n", err)
+			}
+		}()
+	}
 	if *threads < 2 {
 		*threads = 2
 	}
@@ -51,7 +101,7 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("stress %-10s threads=%d duration=%v ... ", f.Name, *threads, *duration)
-		hist, err := stressOne(f, *threads, *duration)
+		hist, err := stressOne(f, *threads, *duration, *snapEvery)
 		if err != nil {
 			fmt.Printf("FAIL\n  %v\n", err)
 			failed = true
@@ -68,11 +118,15 @@ func main() {
 	}
 }
 
-// stressOne drives producers/consumers for d, then drains and validates.
-// It returns a histogram of enqueue latencies observed during the run.
-func stressOne(f bench.Factory, threads int, d time.Duration) (*histogram.Hist, error) {
+// stressOne drives producers/consumers for d, then drains, validates,
+// and checks the quiescent accounting snapshot. It returns a histogram
+// of enqueue latencies observed during the run.
+func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histogram.Hist, error) {
 	hist := histogram.New()
 	q := f.New(threads)
+	snap := func() account.Snapshot { return account.Capture(f.Name, q.Runtime(), q) }
+	setSnapSource(snap)
+	defer setSnapSource(nil)
 	producers := threads / 2
 	consumers := threads - producers
 
@@ -94,16 +148,21 @@ func stressOne(f bench.Factory, threads int, d time.Duration) (*histogram.Hist, 
 			defer wg.Done()
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
+			slot, ok := q.Runtime().Acquire()
+			if !ok {
+				panic("stress: no free slot for producer")
+			}
+			defer q.Runtime().Release(slot)
 			var k uint64
 			for !stopProducing.Load() {
 				v := encode(uint64(p), k)
 				if sampling.Load() {
 					s := rec.Begin()
-					q.Enqueue(p, v)
-					rec.EndEnq(p, int64(v), s)
+					q.Enqueue(slot, v)
+					rec.EndEnq(slot, int64(v), s)
 				} else {
 					start := time.Now()
-					q.Enqueue(p, v)
+					q.Enqueue(slot, v)
 					hist.Record(time.Since(start).Nanoseconds())
 				}
 				k++
@@ -119,7 +178,11 @@ func stressOne(f bench.Factory, threads int, d time.Duration) (*histogram.Hist, 
 			defer wg.Done()
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
-			tid := producers + c
+			tid, okSlot := q.Runtime().Acquire()
+			if !okSlot {
+				panic("stress: no free slot for consumer")
+			}
+			defer q.Runtime().Release(tid)
 			for {
 				var v uint64
 				var ok bool
@@ -146,10 +209,15 @@ func stressOne(f bench.Factory, threads int, d time.Duration) (*histogram.Hist, 
 	}
 
 	deadline := time.Now().Add(d)
+	nextSnap := time.Now().Add(snapEvery)
 	for time.Now().Before(deadline) {
 		time.Sleep(50 * time.Millisecond)
 		if totalConsumed.Load() > sampleLimit {
 			sampling.Store(false)
+		}
+		if snapEvery > 0 && !time.Now().Before(nextSnap) {
+			fmt.Printf("\n  snapshot %s", snap())
+			nextSnap = time.Now().Add(snapEvery)
 		}
 	}
 	stopProducing.Store(true)
@@ -192,6 +260,12 @@ func stressOne(f bench.Factory, threads int, d time.Duration) (*histogram.Hist, 
 	}
 	// Real-time order on the sampled prefix.
 	if err := lincheck.CheckRealTimeOrder(sampleHistory(rec, 2000)); err != nil {
+		return hist, err
+	}
+	// Quiescent accounting: every worker released its slot (draining its
+	// retire backlog on the way out), so the paper's bounds must hold.
+	final := snap()
+	if err := final.VerifyQuiescent(); err != nil {
 		return hist, err
 	}
 	return hist, nil

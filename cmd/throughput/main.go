@@ -3,25 +3,47 @@
 // count, plus the right-hand panel — each queue's throughput normalized to
 // the KP queue.
 //
+// After each measurement point the queue's quiescent accounting snapshot
+// is checked (VerifyQuiescent), so a reclamation leak fails the benchmark
+// instead of silently skewing its memory profile; -debugaddr exports the
+// latest snapshot through expvar for live inspection.
+//
 // Usage:
 //
 //	throughput [-maxthreads n] [-pairs n] [-runs n] [-all] [-ablation]
-//	           [-full] [-format text|md|csv] [-list]
+//	           [-full] [-format text|md|csv] [-list] [-debugaddr :8123]
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/asciiplot"
 	"turnqueue/internal/bench"
 	"turnqueue/internal/report"
 	"turnqueue/internal/stats"
 )
+
+// lastSnap holds the most recent measurement point's quiescent snapshot
+// for the expvar export.
+var lastSnap struct {
+	mu sync.Mutex
+	s  *account.Snapshot
+}
+
+func setLastSnap(s account.Snapshot) {
+	lastSnap.mu.Lock()
+	lastSnap.s = &s
+	lastSnap.mu.Unlock()
+}
 
 func main() {
 	var (
@@ -36,8 +58,25 @@ func main() {
 		list     = flag.Bool("list", false, "list queue names and exit")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (samples labeled queue=<name>, threads=<n>)")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		verify   = flag.Bool("verify", true, "check each point's quiescent accounting snapshot (VerifyQuiescent)")
+		debugaddr = flag.String("debugaddr", "", "serve /debug/vars (expvar, incl. queue_snapshot) on this address")
 	)
 	flag.Parse()
+	if *debugaddr != "" {
+		expvar.Publish("queue_snapshot", expvar.Func(func() any {
+			lastSnap.mu.Lock()
+			defer lastSnap.mu.Unlock()
+			if lastSnap.s == nil {
+				return nil
+			}
+			return *lastSnap.s
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "debugaddr:", err)
+			}
+		}()
+	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -79,6 +118,7 @@ func main() {
 	for n := 1; n <= *maxThr; n = next(n) {
 		threadPoints = append(threadPoints, n)
 	}
+	leaky := false
 	for _, f := range factories {
 		medians[f.Name] = map[int]float64{}
 		for _, n := range threadPoints {
@@ -90,10 +130,20 @@ func main() {
 				func(context.Context) {
 					res = bench.MeasurePairs(f, bench.PairsConfig{Threads: n, TotalPairs: maxInt(*pairs, n), Runs: *runs})
 				})
+			setLastSnap(res.Final)
+			if *verify {
+				if err := res.Final.VerifyQuiescent(); err != nil {
+					fmt.Fprintf(os.Stderr, "leak gate (threads=%d): %v\n", n, err)
+					leaky = true
+				}
+			}
 			m := res.Median()
 			medians[f.Name][n] = m
 			abs.AddRow(fmt.Sprintf("%d", n), f.Name, stats.HumanRate(m))
 		}
+	}
+	if leaky {
+		os.Exit(1)
 	}
 
 	ratio := report.New("Figure 2 (right) — throughput normalized to KP (higher is better)",

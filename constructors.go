@@ -1,6 +1,7 @@
 package turnqueue
 
 import (
+	"turnqueue/internal/account"
 	"turnqueue/internal/core"
 	"turnqueue/internal/faaq"
 	"turnqueue/internal/kpq"
@@ -91,6 +92,10 @@ type impl[T any] interface {
 	Dequeue(threadID int) (item T, ok bool)
 	MaxThreads() int
 	Runtime() *qrt.Runtime
+	// AccountInto reports the implementation's reclamation domains, pools,
+	// and extra counters into a Snapshot (internal/account). Being part of
+	// this interface means no queue can ship without accounting.
+	AccountInto(*account.Snapshot)
 }
 
 // adapter is the one generic bridge from the public Handle API to a
@@ -123,6 +128,12 @@ func (a *adapter[T, Q]) MaxThreads() int { return a.q.MaxThreads() }
 
 // Meta describes the algorithm (Table 1's columns).
 func (a *adapter[T, Q]) Meta() Meta { return metaByName(a.name) }
+
+// Snapshot captures the queue's resource-accounting view. Safe to call at
+// any time; see Snapshot.VerifyQuiescent for the post-shutdown checks.
+func (a *adapter[T, Q]) Snapshot() Snapshot {
+	return account.Capture(a.name, a.q.Runtime(), a.q)
+}
 
 // Unwrap exposes the underlying thread-indexed implementation for tests
 // and experiments that need internal state (e.g. the Turn queue's
@@ -200,6 +211,10 @@ func (l *lockImpl[T]) Dequeue(slot int) (T, bool) {
 
 func (l *lockImpl[T]) MaxThreads() int       { return l.rt.Capacity() }
 func (l *lockImpl[T]) Runtime() *qrt.Runtime { return l.rt }
+
+// AccountInto is a no-op: the two-lock queue has no reclamation domains
+// or pools; its registration view is already captured from the Runtime.
+func (l *lockImpl[T]) AccountInto(*account.Snapshot) {}
 
 // NewTwoLock creates the blocking two-lock Michael-Scott queue. It needs
 // no per-thread state; the runtime exists only so the interface is

@@ -1,0 +1,302 @@
+// Package account is the unified resource-accounting and quiescent-state
+// verification layer spanning every queue in this repository.
+//
+// The paper's §3 case for hazard pointers over epochs is *fault
+// resilience*: a thread that stops participating leaves at most
+// numHPs·maxThreads + R·maxThreads nodes unreclaimed, where an epoch
+// scheme's backlog is unbounded. That claim is only worth reproducing if
+// the reproduction can *check* it, continuously, at the lifecycle seams
+// where it historically broke (a departing handle stranding its retire
+// backlog, a close race leaking a slot). This package turns each queue's
+// scattered counters — registration churn from qrt.Runtime, retire and
+// delete totals plus per-slot backlog from hazard.Domain, pool
+// alloc/reuse/drop balances, helping-loop overruns — into one Snapshot
+// value, and VerifyQuiescent asserts the paper's bounds against a
+// snapshot taken after every handle is closed.
+//
+// Reading discipline: every field a Snapshot collects is backed by an
+// atomic counter maintained by the owning substrate, so Capture is safe
+// to call at any time, including concurrently with operations (the
+// long-running cmd tools export snapshots through expvar). A mid-run
+// snapshot is a consistent-enough diagnostic view, not a linearizable
+// one; only a quiescent snapshot (all handles closed, no operation in
+// flight) supports VerifyQuiescent's exact balance checks.
+package account
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"turnqueue/internal/qrt"
+)
+
+// Snapshot is a point-in-time resource-accounting view of one queue.
+type Snapshot struct {
+	// Queue is the algorithm name (Meta row).
+	Queue string `json:"queue"`
+	// MaxThreads is the configured slot bound.
+	MaxThreads int `json:"max_threads"`
+	// LiveSlots counts currently acquired registration slots (live
+	// handles plus registered raw-slot workers).
+	LiveSlots int `json:"live_slots"`
+	// ActiveLimit is the registration high-water mark (monotone).
+	ActiveLimit int `json:"active_limit"`
+	// Acquires is the cumulative registration churn.
+	Acquires int64 `json:"acquires"`
+	// Ops is the per-slot operation total; zero unless the debughandles
+	// build tag is set.
+	Ops int64 `json:"ops,omitempty"`
+
+	// Hazard holds one entry per hazard-pointer domain ("nodes", and for
+	// the KP queue also "descs").
+	Hazard []DomainSnapshot `json:"hazard,omitempty"`
+	// Epoch is the epoch-reclamation view (FAA queue only).
+	Epoch *EpochSnapshot `json:"epoch,omitempty"`
+	// Pools holds one entry per node/descriptor pool.
+	Pools []PoolSnapshot `json:"pools,omitempty"`
+
+	// EnqOverruns/DeqOverruns count helping loops that exceeded the
+	// paper's maxThreads bound (Turn queue; zero is the claim).
+	EnqOverruns int64 `json:"enq_overruns"`
+	DeqOverruns int64 `json:"deq_overruns"`
+
+	// Counters carries queue-specific extras (wasted FAA tickets,
+	// combining stats, AutoQueue cache occupancy, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// DomainSnapshot is the accounting view of one hazard-pointer domain.
+type DomainSnapshot struct {
+	Name       string `json:"name"`
+	NumHPs     int    `json:"num_hps"`
+	R          int    `json:"r"`
+	Retires    int64  `json:"retires"`
+	Deletes    int64  `json:"deletes"`
+	MaxBacklog int64  `json:"max_backlog"`
+	// Backlog is the current retired-but-unreclaimed total; Bound is
+	// BacklogBound(), the paper's fault-resilience ceiling.
+	Backlog int `json:"backlog"`
+	Bound   int `json:"bound"`
+	// PerSlot is the retire-list length of each slot, index = slot. A
+	// non-zero entry on a released slot is exactly the leak the
+	// drain-on-release hook exists to prevent.
+	PerSlot []int `json:"per_slot,omitempty"`
+}
+
+// PoolSnapshot is the accounting view of one per-slot free-list pool.
+type PoolSnapshot struct {
+	Name string `json:"name"`
+	// Allocs counts heap allocations taken on Get misses, Reuses counts
+	// Get hits, Puts counts all Put calls, Drops the Puts rejected by a
+	// full list. Retained is the number of objects currently held; at
+	// quiescence Retained == Puts - Drops - Reuses.
+	Allocs   int64 `json:"allocs"`
+	Reuses   int64 `json:"reuses"`
+	Puts     int64 `json:"puts"`
+	Drops    int64 `json:"drops"`
+	Retained int64 `json:"retained"`
+}
+
+// EpochSnapshot is the accounting view of an epoch-reclamation domain.
+// Deliberately bound-free: the paper's §3 point is that epochs give no
+// fault-resilient backlog bound, so VerifyQuiescent reports but does not
+// assert on it.
+type EpochSnapshot struct {
+	Epoch   int64 `json:"epoch"`
+	Retires int64 `json:"retires"`
+	Deletes int64 `json:"deletes"`
+	Backlog int   `json:"backlog"`
+}
+
+// Source is implemented by every queue implementation: it appends its
+// reclamation domains, pools, and extra counters to a Snapshot whose
+// registration fields Capture has already filled.
+type Source interface {
+	AccountInto(*Snapshot)
+}
+
+// HazardDomain is the accessor surface CaptureHazard reads;
+// hazard.Domain[T] satisfies it for every T.
+type HazardDomain interface {
+	MaxThreads() int
+	NumHPs() int
+	R() int
+	Stats() (retires, deletes, maxBacklog int64)
+	SlotBacklog(tid int) int
+	BacklogBound() int
+}
+
+// EpochDomain is the accessor surface CaptureEpoch reads; epoch.Domain[T]
+// satisfies it for every T.
+type EpochDomain interface {
+	Epoch() int64
+	Stats() (retires, deletes int64)
+	Backlog() int
+}
+
+// NodePool is the accessor surface CapturePool reads; qrt.Pool[N]
+// satisfies it for every N.
+type NodePool interface {
+	Stats() (allocs, reuses, drops int64)
+	Puts() int64
+	Retained() int64
+}
+
+// Capture builds a Snapshot for one queue: the registration view from rt,
+// plus whatever src reports. src may be nil (or not a Source) for queues
+// with no reclamation state, e.g. the two-lock baseline.
+func Capture(name string, rt *qrt.Runtime, src any) Snapshot {
+	s := Snapshot{
+		Queue:       name,
+		MaxThreads:  rt.Capacity(),
+		LiveSlots:   rt.LiveCount(),
+		ActiveLimit: rt.ActiveLimit(),
+		Acquires:    rt.AcquireCount(),
+		Ops:         rt.OpCount(),
+	}
+	if src, ok := src.(Source); ok {
+		src.AccountInto(&s)
+	}
+	return s
+}
+
+// CaptureHazard snapshots one hazard domain under the given label.
+func CaptureHazard(name string, d HazardDomain) DomainSnapshot {
+	ds := DomainSnapshot{
+		Name:   name,
+		NumHPs: d.NumHPs(),
+		R:      d.R(),
+		Bound:  d.BacklogBound(),
+	}
+	ds.Retires, ds.Deletes, ds.MaxBacklog = d.Stats()
+	ds.PerSlot = make([]int, d.MaxThreads())
+	for i := range ds.PerSlot {
+		n := d.SlotBacklog(i)
+		ds.PerSlot[i] = n
+		ds.Backlog += n
+	}
+	return ds
+}
+
+// CapturePool snapshots one pool under the given label.
+func CapturePool(name string, p NodePool) PoolSnapshot {
+	ps := PoolSnapshot{Name: name, Puts: p.Puts(), Retained: p.Retained()}
+	ps.Allocs, ps.Reuses, ps.Drops = p.Stats()
+	return ps
+}
+
+// CaptureEpoch snapshots an epoch domain.
+func CaptureEpoch(d EpochDomain) EpochSnapshot {
+	es := EpochSnapshot{Epoch: d.Epoch(), Backlog: d.Backlog()}
+	es.Retires, es.Deletes = d.Stats()
+	return es
+}
+
+// Counter records a queue-specific extra counter.
+func (s *Snapshot) Counter(name string, v int64) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	s.Counters[name] = v
+}
+
+// VerifyQuiescent asserts the paper's resource bounds against a snapshot
+// taken at quiescence — after every handle is closed and every operation
+// has returned. It checks:
+//
+//   - zero live registration slots (no leaked handles);
+//   - each hazard domain's backlog within BacklogBound(), the §3
+//     fault-resilience ceiling (and, implied, that departed slots were
+//     drained: an undrained slot's stranded entries count against it);
+//   - each pool's retained count balancing its put/drop/reuse counters,
+//     so no reclamation path bypasses the accounting;
+//   - zero helping-loop overruns (the wait-free-bound claim).
+//
+// Epoch backlogs are reported in the Snapshot but deliberately not
+// bounded here: epoch reclamation has no fault-resilient bound — that
+// contrast is the paper's point.
+//
+// A nil error means all bounds hold; otherwise the error lists every
+// violated bound.
+func (s *Snapshot) VerifyQuiescent() error {
+	var violations []string
+	if s.LiveSlots != 0 {
+		violations = append(violations,
+			fmt.Sprintf("%d registration slot(s) still live (leaked handle or missing Release)", s.LiveSlots))
+	}
+	for _, h := range s.Hazard {
+		if h.Backlog > h.Bound {
+			violations = append(violations,
+				fmt.Sprintf("hazard[%s] backlog %d exceeds bound %d", h.Name, h.Backlog, h.Bound))
+		}
+		if h.Deletes > h.Retires {
+			violations = append(violations,
+				fmt.Sprintf("hazard[%s] deletes %d exceed retires %d", h.Name, h.Deletes, h.Retires))
+		}
+	}
+	for _, p := range s.Pools {
+		if want := p.Puts - p.Drops - p.Reuses; p.Retained != want {
+			violations = append(violations,
+				fmt.Sprintf("pool[%s] retained %d inconsistent with puts-drops-reuses %d",
+					p.Name, p.Retained, want))
+		}
+	}
+	if s.EnqOverruns != 0 || s.DeqOverruns != 0 {
+		violations = append(violations,
+			fmt.Sprintf("helping-loop overruns enq=%d deq=%d (wait-free bound exceeded)",
+				s.EnqOverruns, s.DeqOverruns))
+	}
+	if len(violations) == 0 {
+		return nil
+	}
+	return errors.New("account: queue " + s.Queue + " not quiescent-clean: " + strings.Join(violations, "; "))
+}
+
+// String renders the snapshot as a compact single-line text dump, the
+// format the cmd tools print periodically.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queue=%s live=%d/%d hwm=%d acquires=%d", s.Queue, s.LiveSlots, s.MaxThreads, s.ActiveLimit, s.Acquires)
+	if s.Ops != 0 {
+		fmt.Fprintf(&b, " ops=%d", s.Ops)
+	}
+	for _, h := range s.Hazard {
+		nonzero := 0
+		for _, n := range h.PerSlot {
+			if n != 0 {
+				nonzero++
+			}
+		}
+		fmt.Fprintf(&b, " hp[%s]=%d/%d(slots=%d,ret=%d,del=%d,max=%d)",
+			h.Name, h.Backlog, h.Bound, nonzero, h.Retires, h.Deletes, h.MaxBacklog)
+	}
+	if s.Epoch != nil {
+		fmt.Fprintf(&b, " epoch=%d(backlog=%d,ret=%d,del=%d)",
+			s.Epoch.Epoch, s.Epoch.Backlog, s.Epoch.Retires, s.Epoch.Deletes)
+	}
+	for _, p := range s.Pools {
+		fmt.Fprintf(&b, " pool[%s]=%d(alloc=%d,reuse=%d,drop=%d)",
+			p.Name, p.Retained, p.Allocs, p.Reuses, p.Drops)
+	}
+	if s.EnqOverruns != 0 || s.DeqOverruns != 0 {
+		fmt.Fprintf(&b, " OVERRUNS=%d/%d", s.EnqOverruns, s.DeqOverruns)
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, " %s=%d", k, s.Counters[k])
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; the maps are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

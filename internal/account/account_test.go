@@ -1,0 +1,98 @@
+package account_test
+
+import (
+	"strings"
+	"testing"
+
+	"turnqueue/internal/account"
+	"turnqueue/internal/qrt"
+)
+
+func TestCaptureRegistrationView(t *testing.T) {
+	rt := qrt.New(4)
+	slot, ok := rt.Acquire()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	s := account.Capture("q", rt, nil)
+	if s.Queue != "q" || s.MaxThreads != 4 || s.LiveSlots != 1 || s.Acquires != 1 {
+		t.Fatalf("capture mismatch: %+v", s)
+	}
+	if err := s.VerifyQuiescent(); err == nil {
+		t.Fatal("VerifyQuiescent passed with a live slot")
+	} else if !strings.Contains(err.Error(), "slot(s) still live") {
+		t.Fatalf("unexpected violation text: %v", err)
+	}
+	rt.Release(slot)
+	s = account.Capture("q", rt, nil)
+	if err := s.VerifyQuiescent(); err != nil {
+		t.Fatalf("quiescent runtime failed verification: %v", err)
+	}
+}
+
+// source exercises the AccountInto extension point without a real queue.
+type source struct{ counters map[string]int64 }
+
+func (s source) AccountInto(snap *account.Snapshot) {
+	for k, v := range s.counters {
+		snap.Counter(k, v)
+	}
+}
+
+func TestCaptureSource(t *testing.T) {
+	rt := qrt.New(1)
+	s := account.Capture("q", rt, source{counters: map[string]int64{"x": 7}})
+	if s.Counters["x"] != 7 {
+		t.Fatalf("source counters not captured: %+v", s.Counters)
+	}
+	// Non-Source values (the two-lock queue path) are silently ignored.
+	s = account.Capture("q", rt, 42)
+	if len(s.Counters) != 0 {
+		t.Fatalf("non-Source src filled counters: %+v", s.Counters)
+	}
+}
+
+func TestVerifyQuiescentViolations(t *testing.T) {
+	s := account.Snapshot{
+		Queue:  "x",
+		Hazard: []account.DomainSnapshot{{Name: "nodes", Backlog: 10, Bound: 5, Retires: 3, Deletes: 9}},
+		Pools:  []account.PoolSnapshot{{Name: "nodes", Puts: 10, Drops: 2, Reuses: 3, Retained: 99}},
+		EnqOverruns: 1,
+	}
+	err := s.VerifyQuiescent()
+	if err == nil {
+		t.Fatal("expected violations")
+	}
+	for _, want := range []string{
+		"backlog 10 exceeds bound 5",
+		"deletes 9 exceed retires 3",
+		"retained 99 inconsistent",
+		"overruns enq=1",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestVerifyQuiescentIgnoresEpochBacklog(t *testing.T) {
+	// Epoch reclamation has no fault-resilient bound (the paper's §3
+	// contrast), so a leftover epoch backlog is reported but not failed.
+	s := account.Snapshot{Queue: "faa", Epoch: &account.EpochSnapshot{Backlog: 1 << 20}}
+	if err := s.VerifyQuiescent(); err != nil {
+		t.Fatalf("epoch backlog must not fail verification: %v", err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := account.Snapshot{Queue: "q", MaxThreads: 4}
+	s.Counter("beta", 2)
+	s.Counter("alpha", 1)
+	out := s.String()
+	if !strings.Contains(out, "queue=q") {
+		t.Fatalf("String() = %q missing queue name", out)
+	}
+	if strings.Index(out, "alpha=1") > strings.Index(out, "beta=2") {
+		t.Fatalf("String() = %q: counters not sorted", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/harness"
 	"turnqueue/internal/stats"
 	"turnqueue/internal/xrand"
@@ -57,6 +58,11 @@ func (c PairsConfig) Validate() {
 // PairsResult reports operations per second (2 ops per pair) per run.
 type PairsResult struct {
 	OpsPerSec []float64
+	// Final is the accounting snapshot of the last run's queue, captured
+	// after every worker released its slot — quiescent by construction,
+	// so Final.VerifyQuiescent() doubles as a reclamation leak gate on
+	// every benchmark run (scripts/bench.sh asserts it in smoke mode).
+	Final account.Snapshot
 }
 
 // Median returns the median ops/sec over runs, Figure 2's plotted value.
@@ -94,6 +100,7 @@ func MeasurePairs(f Factory, cfg PairsConfig) PairsResult {
 		})
 		elapsed := time.Since(start).Seconds()
 		res.OpsPerSec = append(res.OpsPerSec, float64(2*cfg.TotalPairs)/elapsed)
+		res.Final = account.Capture(f.Name, q.Runtime(), q)
 	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
@@ -59,16 +60,18 @@ type Queue[T any] struct {
 	pool *qrt.Pool[Node[T]]
 	rt   *qrt.Runtime
 
-	// Overrun counters: how often a helping loop needed more than the
-	// paper's maxThreads iterations (see the Enqueue/Dequeue doc comments).
+	// Overrun counters: how often a helping loop needed more than
+	// maxThreads+1 iterations — the paper's maxThreads bound plus the one
+	// observation iteration this implementation's loop-until-done exit
+	// adds (see the Enqueue/Dequeue doc comments).
 	enqOverruns pad.Int64Slot
 	deqOverruns pad.Int64Slot
 }
 
-// OverrunStats reports how many enqueue/dequeue calls exceeded the paper's
-// maxThreads loop bound before completing. The reproduction expects both
-// to stay zero; a non-zero value would be evidence against the poster's
-// wait-free-bounded claim under Go's scheduler.
+// OverrunStats reports how many enqueue/dequeue calls exceeded the
+// structural maxThreads+1 loop bound before completing. The reproduction
+// expects both to stay zero; a non-zero value would be evidence against
+// the poster's wait-free-bounded claim under Go's scheduler.
 func (q *Queue[T]) OverrunStats() (enq, deq int64) {
 	return q.enqOverruns.V.Load(), q.deqOverruns.V.Load()
 }
@@ -131,6 +134,11 @@ func New[T any](opts ...Option) *Queue[T] {
 	}
 	q.hp = hazard.New[Node[T]](cfg.maxThreads, numHPs, deleter,
 		hazard.WithR(cfg.hpR), hazard.WithActiveSet(q.rt))
+	// Drain-on-release: a departing slot flushes its retire backlog (and
+	// recycles into its own free list) before the registry can reissue the
+	// slot. Registered on the Runtime so every release path — Handle.Close,
+	// harness workers, AutoQueue — inherits it.
+	q.rt.OnRelease(func(slot int) { q.hp.DrainThread(slot) })
 
 	sentinel := new(Node[T])
 	sentinel.enqTid = 0
@@ -165,6 +173,14 @@ func (q *Queue[T]) Hazard() *hazard.Domain[Node[T]] { return q.hp }
 // PoolStats reports node-pool counters (allocs, reuses, drops).
 func (q *Queue[T]) PoolStats() (allocs, reuses, drops int64) { return q.pool.Stats() }
 
+// AccountInto appends the queue's reclamation domains, node pool, and
+// helping-loop overrun counters to s (the account.Source contract).
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+	s.Pools = append(s.Pools, account.CapturePool("nodes", q.pool))
+	s.EnqOverruns, s.DeqOverruns = q.OverrunStats()
+}
+
 // HeadForTest returns the current head node. It exists for the reclaim
 // experiment and invariant tests; production callers have no use for it.
 func (q *Queue[T]) HeadForTest() *Node[T] { return q.head.Load() }
@@ -188,8 +204,12 @@ const hardIterCap = 1 << 22
 // Invariant 5 to conclude the node was inserted. We instead loop until the
 // entry is observed nil — which by (a strengthened) Invariant 6 happens
 // only after the node reached the tail — and count iterations beyond the
-// paper's bound in OverrunStats. On the paper's own argument the extra
-// iterations never execute; if an adversarial schedule ever exceeds the
+// structural bound in OverrunStats. That bound is maxThreads+1, not
+// maxThreads: the paper nulls its own entry after the loop, while here the
+// clear is one more loop iteration (insert on iteration ≤ maxThreads-1,
+// observe-and-clear on the next), so one extra observation iteration is
+// normal operation, not an overrun. On the paper's own argument iterations
+// past that never execute; if an adversarial schedule ever exceeds the
 // bound, this version keeps helping instead of silently cancelling an
 // uninserted request, and the overrun becomes measurable.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
@@ -201,7 +221,7 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	// ourselves, via the Invariant 7 clearing below) — which can happen
 	// only once the node has been at the tail, i.e. inserted.
 	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
-		if i == q.maxThreads {
+		if i == q.maxThreads+1 {
 			q.enqOverruns.V.Add(1)
 		}
 		if i == hardIterCap {
@@ -287,8 +307,10 @@ func (q *Queue[T]) scanEnqRange(from, limit int) *Node[T] {
 // Deviation, mirroring Enqueue: the paper's listing runs the loop exactly
 // maxThreads times and then reads deqhelp assuming the request completed.
 // We loop until deqhelp actually changed (the request-completed condition
-// itself), counting iterations beyond the paper's bound in OverrunStats,
-// so a bound violation can never surface as a stale item.
+// itself), counting iterations beyond the structural bound maxThreads+1 in
+// OverrunStats — the +1 because a helper satisfies the request inside some
+// iteration and this loop observes the change only at the top of the next
+// one — so a bound violation can never surface as a stale item.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
@@ -296,7 +318,7 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	myReq := q.deqhelp[threadID].P.Load()
 	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
 	for i := 0; q.deqhelp[threadID].P.Load() == myReq; i++ {
-		if i == q.maxThreads {
+		if i == q.maxThreads+1 {
 			q.deqOverruns.V.Add(1)
 		}
 		if i == hardIterCap {

@@ -46,6 +46,10 @@ type Domain[T any] struct {
 
 	retireCalls pad.Int64Slot
 	deleteCalls pad.Int64Slot
+	// backlogSz mirrors the total retired-but-unfreed count atomically so
+	// diagnostics (Backlog, internal/account snapshots) never race the
+	// owners' slice mutations.
+	backlogSz pad.Int64Slot
 }
 
 type tagged[T any] struct {
@@ -94,6 +98,7 @@ func (d *Domain[T]) Retire(tid int, node *T) {
 	}
 	d.retireCalls.V.Add(1)
 	d.retired[tid] = append(d.retired[tid], tagged[T]{node: node, epoch: d.globalEpoch.Load()})
+	d.backlogSz.V.Add(1)
 	d.tryAdvance()
 	d.sweep(tid)
 }
@@ -128,17 +133,32 @@ func (d *Domain[T]) sweep(tid int) {
 	for i := len(kept); i < len(list); i++ {
 		list[i] = tagged[T]{}
 	}
+	if freed := len(list) - len(kept); freed > 0 {
+		d.backlogSz.V.Add(-int64(freed))
+	}
 	d.retired[tid] = kept
 }
 
-// Backlog returns the total retired-but-unfreed node count. Unbounded
-// while any reader stalls — the measurement behind experiment X4.
-func (d *Domain[T]) Backlog() int {
-	n := 0
-	for tid := range d.retired {
-		n += len(d.retired[tid])
+// DrainThread makes a bounded effort to flush tid's retire list before the
+// slot is handed back: each round announces quiescence for tid, tries an
+// epoch advance, and sweeps. Three rounds age any retired node past the
+// three-epoch rule when every *other* thread is quiescent or current; if a
+// reader is stalled in an old epoch the backlog stays — which is precisely
+// the blocking-reclamation behaviour the paper's §3 contrasts against
+// hazard pointers, so the residue is reported (Backlog), not forced.
+func (d *Domain[T]) DrainThread(tid int) {
+	d.announce[tid].V.Store(quiescent)
+	for round := 0; round < 3 && len(d.retired[tid]) > 0; round++ {
+		d.tryAdvance()
+		d.sweep(tid)
 	}
-	return n
+}
+
+// Backlog returns the total retired-but-unfreed node count, read from an
+// atomic mirror so mid-run snapshots never race the owners' retire lists.
+// Unbounded while any reader stalls — the measurement behind experiment X4.
+func (d *Domain[T]) Backlog() int {
+	return int(d.backlogSz.V.Load())
 }
 
 // Epoch returns the current global epoch (diagnostics).

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/epoch"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
@@ -103,6 +104,10 @@ func New[T any](opts ...Option) *Queue[T] {
 	q.epochs = epoch.New[segment[T]](cfg.maxThreads, func(int, *segment[T]) {
 		// Drop for the GC; segments are not recycled, as in YMC.
 	})
+	// Drain-on-release: a bounded attempt to age out the departing slot's
+	// retired segments. Best-effort only — epoch reclamation stays blocking
+	// (the §3 contrast), so residue is reported, not forced.
+	q.rt.OnRelease(func(slot int) { q.epochs.DrainThread(slot) })
 	first := newSegment[T](cfg.segSize)
 	q.head.Store(first)
 	q.tail.Store(first)
@@ -117,6 +122,15 @@ func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Epochs exposes the reclamation domain for the §3 blocking experiment.
 func (q *Queue[T]) Epochs() *epoch.Domain[segment[T]] { return q.epochs }
+
+// AccountInto appends the epoch domain and the queue's own counters to s
+// (the account.Source contract).
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	es := account.CaptureEpoch(q.epochs)
+	s.Epoch = &es
+	s.Counter("wasted_tickets", q.wasted.V.Load())
+	s.Counter("segment_allocs", q.segAllocs.V.Load())
+}
 
 // Stats reports wasted dequeue tickets and segment allocations.
 func (q *Queue[T]) Stats() (wastedTickets, segmentAllocs int64) {

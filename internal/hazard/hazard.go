@@ -92,6 +92,12 @@ type Domain[T any] struct {
 	// scan's sorted hazard-pointer snapshot; owned like retired[tid].
 	snap [][]uintptr
 
+	// blen[tid] mirrors len(retired[tid]) atomically: written only by
+	// the list's owner, readable from any goroutine, so the accounting
+	// layer (internal/account) can snapshot per-slot backlogs mid-run
+	// without racing the owner's slice mutations.
+	blen []pad.Int64Slot
+
 	retireCalls  pad.Int64Slot
 	deleteCalls  pad.Int64Slot
 	maxBacklogSz pad.Int64Slot
@@ -157,6 +163,7 @@ func New[T any](maxThreads, numHPs int, deleter func(tid int, node *T), opts ...
 		hp:         make([]pad.PointerSlot[T], maxThreads*numHPs),
 		retired:    make([][]conditional[T], maxThreads),
 		snap:       make([][]uintptr, maxThreads),
+		blen:       make([]pad.Int64Slot, maxThreads),
 	}
 }
 
@@ -165,6 +172,9 @@ func (d *Domain[T]) MaxThreads() int { return d.maxThreads }
 
 // NumHPs returns the number of slots per thread.
 func (d *Domain[T]) NumHPs() int { return d.numHPs }
+
+// R returns the configured scan threshold (Michael '04's R parameter).
+func (d *Domain[T]) R() int { return d.rParam }
 
 func (d *Domain[T]) slot(tid, index int) *atomic.Pointer[T] {
 	return &d.hp[tid*d.numHPs+index].P
@@ -222,6 +232,7 @@ func (d *Domain[T]) RetireCond(tid int, node *T, cond func() bool) {
 func (d *Domain[T]) retireOne(tid int, c conditional[T]) {
 	d.retireCalls.V.Add(1)
 	d.retired[tid] = append(d.retired[tid], c)
+	d.blen[tid].V.Store(int64(len(d.retired[tid])))
 	if len(d.retired[tid]) > d.rParam {
 		d.scan(tid)
 	}
@@ -263,8 +274,16 @@ func (d *Domain[T]) scan(tid int) {
 		list[i] = conditional[T]{}
 	}
 	d.retired[tid] = kept
-	if n := int64(len(kept)); n > d.maxBacklogSz.V.Load() {
-		d.maxBacklogSz.V.Store(n)
+	d.blen[tid].V.Store(int64(len(kept)))
+	// CAS-max: scans on different threads race here, and a plain
+	// load/store pair would let a smaller concurrent maximum overwrite a
+	// larger one. Bounded: each failed CAS means another thread raised
+	// the value, and it only ever grows.
+	for n := int64(len(kept)); ; {
+		cur := d.maxBacklogSz.V.Load()
+		if cur >= n || d.maxBacklogSz.V.CompareAndSwap(cur, n) {
+			break
+		}
 	}
 }
 
@@ -356,14 +375,21 @@ func (d *Domain[T]) Protected(node *T) bool { return d.protected(node) }
 
 // Backlog returns the current total number of retired-but-not-deleted
 // nodes across all threads. Used by the reclaim experiment to show the HP
-// backlog stays bounded while a thread is stalled.
+// backlog stays bounded while a thread is stalled. Reads the atomic
+// per-slot mirrors, so it is safe to call concurrently with retires.
 func (d *Domain[T]) Backlog() int {
-	n := 0
-	for tid := range d.retired {
-		n += len(d.retired[tid])
+	n := int64(0)
+	for tid := range d.blen {
+		n += d.blen[tid].V.Load()
 	}
-	return n
+	return int(n)
 }
+
+// SlotBacklog returns thread tid's current retired-but-not-deleted count.
+// Atomic mirror of len(retired[tid]); safe to read from any goroutine. A
+// non-zero value on a released slot is a stranded backlog — the leak the
+// drain-on-release hook prevents.
+func (d *Domain[T]) SlotBacklog(tid int) int { return int(d.blen[tid].V.Load()) }
 
 // Stats reports cumulative retire and delete counts and the largest
 // per-thread backlog observed at scan time.

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
@@ -142,6 +143,12 @@ func New[T any](opts ...Option) *Queue[T] {
 	}
 	q.hpNode = hazard.New[node[T]](cfg.maxThreads, numNodeH, q.recycleNode, hazard.WithActiveSet(q.rt))
 	q.hpDesc = hazard.New[opDesc[T]](cfg.maxThreads, numDescH, q.recycleDesc, hazard.WithActiveSet(q.rt))
+	// Drain-on-release for both domains. Safe off the owning goroutine:
+	// the node domain's CHP condition reads only atomics (item pointer).
+	q.rt.OnRelease(func(slot int) {
+		q.hpNode.DrainThread(slot)
+		q.hpDesc.DrainThread(slot)
+	})
 
 	sentinel := new(node[T]) // item nil: already "taken", deletable once retired
 	sentinel.enqTid = -1
@@ -167,6 +174,17 @@ func (q *Queue[T]) AllocStats() (descs, nodes int64) {
 	descs, _, _ = q.descPool.Stats()
 	nodes, _, _ = q.nodePool.Stats()
 	return descs, nodes
+}
+
+// AccountInto appends both hazard domains and both pools to s (the
+// account.Source contract).
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Hazard = append(s.Hazard,
+		account.CaptureHazard("nodes", q.hpNode),
+		account.CaptureHazard("descs", q.hpDesc))
+	s.Pools = append(s.Pools,
+		account.CapturePool("nodes", q.nodePool),
+		account.CapturePool("descs", q.descPool))
 }
 
 const poolCap = 512

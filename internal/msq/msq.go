@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
@@ -59,6 +60,9 @@ func New[T any](maxThreads int) *Queue[T] {
 		rt:         qrt.New(maxThreads),
 	}
 	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle, hazard.WithActiveSet(q.rt))
+	// Drain-on-release: flush a departing slot's retire backlog while it
+	// still owns its free list (see qrt.Runtime.OnRelease).
+	q.rt.OnRelease(func(slot int) { q.hp.DrainThread(slot) })
 	sentinel := new(node[T])
 	q.head.Store(sentinel)
 	q.tail.Store(sentinel)
@@ -88,6 +92,13 @@ func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
 // Runtime returns the queue's per-thread runtime.
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
+
+// AccountInto appends the hazard domain and node pool to s (the
+// account.Source contract).
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+	s.Pools = append(s.Pools, account.CapturePool("nodes", q.pool))
+}
 
 // Enqueue appends item. Lock-free: the loop retries until the two-step
 // link-then-swing-tail succeeds or is helped along by another thread.

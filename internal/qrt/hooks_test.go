@@ -1,0 +1,76 @@
+package qrt
+
+import "testing"
+
+// Release hooks must run while the departing caller still owns the slot:
+// a drain that recycles nodes into the slot's free list has to finish
+// before the registry can reissue the slot to a thread that would pop
+// from that same (unsynchronized) list.
+func TestReleaseHooksRunBeforeSlotFree(t *testing.T) {
+	rt := New(2)
+	var order []string
+	var sawInUse bool
+	rt.OnRelease(func(slot int) {
+		order = append(order, "first")
+		sawInUse = rt.InUse(slot)
+	})
+	rt.OnRelease(func(slot int) { order = append(order, "second") })
+	slot, ok := rt.Acquire()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	rt.Release(slot)
+	if !sawInUse {
+		t.Fatal("release hook ran after the slot was returned to the registry")
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("hooks ran %v, want [first second] (registration order)", order)
+	}
+}
+
+func TestOnReleaseNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnRelease(nil) did not panic")
+		}
+	}()
+	New(1).OnRelease(nil)
+}
+
+func TestLiveCount(t *testing.T) {
+	rt := New(4)
+	if got := rt.LiveCount(); got != 0 {
+		t.Fatalf("fresh runtime LiveCount = %d, want 0", got)
+	}
+	a, _ := rt.Acquire()
+	b, _ := rt.Acquire()
+	if got := rt.LiveCount(); got != 2 {
+		t.Fatalf("LiveCount = %d, want 2", got)
+	}
+	rt.Release(a)
+	rt.Release(b)
+	if got := rt.LiveCount(); got != 0 {
+		t.Fatalf("LiveCount after releases = %d, want 0", got)
+	}
+}
+
+func TestPoolPutsRetainedBalance(t *testing.T) {
+	p := NewPool[int](1, 2)
+	n1, n2, n3 := new(int), new(int), new(int)
+	p.Put(0, n1)
+	p.Put(0, n2)
+	p.Put(0, n3) // over capacity: dropped
+	if got := p.Puts(); got != 3 {
+		t.Fatalf("Puts = %d, want 3", got)
+	}
+	if got := p.Retained(); got != 2 {
+		t.Fatalf("Retained = %d, want 2", got)
+	}
+	if p.Get(0) == nil {
+		t.Fatal("Get missed with a retained object")
+	}
+	_, reuses, drops := p.Stats()
+	if want := p.Puts() - drops - reuses; p.Retained() != want {
+		t.Fatalf("Retained = %d, want puts-drops-reuses = %d", p.Retained(), want)
+	}
+}

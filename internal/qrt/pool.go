@@ -26,9 +26,11 @@ type Pool[N any] struct {
 	capPerSlot int
 	free       []freeList[N]
 
-	allocs pad.Int64Slot // objects the caller took from the heap (via NoteAlloc)
-	reuses pad.Int64Slot // objects served from a free list
-	drops  pad.Int64Slot // objects dropped because the free list was full
+	allocs   pad.Int64Slot // objects the caller took from the heap (via NoteAlloc)
+	reuses   pad.Int64Slot // objects served from a free list
+	drops    pad.Int64Slot // objects dropped because the free list was full
+	puts     pad.Int64Slot // all Put calls, kept or dropped
+	retained pad.Int64Slot // objects currently held across all free lists
 }
 
 // NewPool creates a pool with maxThreads slots, each retaining at most
@@ -56,6 +58,7 @@ func (p *Pool[N]) Get(slot int) *N {
 	list[n-1] = nil
 	p.free[slot].list = list[:n-1]
 	p.reuses.V.Add(1)
+	p.retained.V.Add(-1)
 	return nd
 }
 
@@ -66,14 +69,25 @@ func (p *Pool[N]) NoteAlloc() { p.allocs.V.Add(1) }
 // collector when the list is at capacity. The caller must already have
 // cleared any fields that would pin other objects.
 func (p *Pool[N]) Put(slot int, nd *N) {
+	p.puts.V.Add(1)
 	if len(p.free[slot].list) >= p.capPerSlot {
 		p.drops.V.Add(1)
 		return
 	}
 	p.free[slot].list = append(p.free[slot].list, nd)
+	p.retained.V.Add(1)
 }
 
 // Stats reports cumulative heap allocations, reuses and drops.
 func (p *Pool[N]) Stats() (allocs, reuses, drops int64) {
 	return p.allocs.V.Load(), p.reuses.V.Load(), p.drops.V.Load()
 }
+
+// Puts reports the cumulative Put call count, kept or dropped.
+func (p *Pool[N]) Puts() int64 { return p.puts.V.Load() }
+
+// Retained reports how many objects the free lists currently hold. The
+// counter is maintained atomically, so reading it mid-run is safe; at
+// quiescence it must balance Puts - drops - reuses, the invariant
+// internal/account's VerifyQuiescent enforces.
+func (p *Pool[N]) Retained() int64 { return p.retained.V.Load() }

@@ -79,6 +79,14 @@ type Runtime struct {
 	// maxThreads/64 words — one word per 64 slots — instead of
 	// maxThreads padded array entries.
 	occ []pad.Uint64Slot
+
+	// releaseHooks run at the start of Release, while the departing
+	// caller still owns the slot. Queues register their reclamation
+	// drains here (hazard.Domain.DrainThread and friends) so that no
+	// release path — Handle.Close, harness workers, AutoQueue — can
+	// forget to flush a departing slot's retire backlog. Registered at
+	// construction time only (OnRelease).
+	releaseHooks []func(slot int)
 }
 
 // New creates a runtime with maxThreads slots. It panics if maxThreads
@@ -116,12 +124,31 @@ func (rt *Runtime) Acquire() (slot int, ok bool) {
 
 // Release returns slot to the free pool. Releasing a slot that is not
 // acquired panics (a double release would let two threads share
-// per-thread state). The occupancy bit clears first, so by the time the
-// registry can reissue the slot it is out of the active set; the next
-// owner's Acquire sets it again before publishing.
+// per-thread state). Release hooks run first, while the caller still
+// owns the slot — a drain that recycles nodes into the slot's free list
+// must finish before the registry can reissue the slot to a thread that
+// would pop from that same list. The occupancy bit clears next, so by
+// the time the registry can reissue the slot it is out of the active
+// set; the next owner's Acquire sets it again before publishing.
 func (rt *Runtime) Release(slot int) {
+	for _, hook := range rt.releaseHooks {
+		hook(slot)
+	}
 	rt.occ[slot>>6].V.And(^(uint64(1) << (uint(slot) & 63)))
 	rt.reg.Release(slot)
+}
+
+// OnRelease registers fn to run at the start of every Release, with the
+// departing slot still owned by the caller. Queues wire their
+// reclamation drains through this hook so the drain-on-release invariant
+// holds on every release path uniformly instead of relying on each
+// adapter to remember it. Must be called during queue construction,
+// before any slot is acquired; it is not synchronized against Release.
+func (rt *Runtime) OnRelease(fn func(slot int)) {
+	if fn == nil {
+		panic("qrt: nil release hook")
+	}
+	rt.releaseHooks = append(rt.releaseHooks, fn)
 }
 
 // markActive inserts slot into the active set: one atomic Or for the
@@ -233,6 +260,19 @@ func (rt *Runtime) ForActive(from, limit int, f func(slot int) bool) {
 // InUse reports whether slot is currently acquired; for tests and
 // diagnostics only (the answer may be stale immediately).
 func (rt *Runtime) InUse(slot int) bool { return rt.reg.InUse(slot) }
+
+// LiveCount returns the number of currently acquired slots. Diagnostics
+// only (the answer may be stale immediately); at quiescence it is exact,
+// and zero is the "no leaked handles" check of internal/account.
+func (rt *Runtime) LiveCount() int {
+	n := 0
+	for i := 0; i < rt.Capacity(); i++ {
+		if rt.reg.InUse(i) {
+			n++
+		}
+	}
+	return n
+}
 
 // Slot returns the padded state block of slot i.
 func (rt *Runtime) Slot(i int) *SlotState { return &rt.slots[i] }

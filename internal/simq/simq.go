@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
@@ -147,6 +148,15 @@ func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 // were piggybacked onto another thread's combine.
 func (q *Queue[T]) Stats() (nodeAllocs, combines, piggybacks int64) {
 	return q.nodeAllocs.V.Load(), q.combines.V.Load(), q.piggybacks.V.Load()
+}
+
+// AccountInto appends the combining counters to s (the account.Source
+// contract). SimQueue has no reclamation domain: batches are unlinked
+// wholesale and left to the garbage collector.
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Counter("node_allocs", q.nodeAllocs.V.Load())
+	s.Counter("combines", q.combines.V.Load())
+	s.Counter("piggybacks", q.piggybacks.V.Load())
 }
 
 // connect links s's batch into the physical list. Idempotent: every

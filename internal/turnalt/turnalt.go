@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
@@ -88,6 +89,9 @@ func New[T any](maxThreads int) *Queue[T] {
 		rt:         qrt.New(maxThreads),
 	}
 	q.hp = hazard.New[Node[T]](maxThreads, numHPs, q.recycle, hazard.WithActiveSet(q.rt))
+	// Drain-on-release, as in internal/core: flush a departing slot's
+	// retire backlog while it still owns its free list.
+	q.rt.OnRelease(func(slot int) { q.hp.DrainThread(slot) })
 	sentinel := new(Node[T])
 	sentinel.deqTid.Store(0)
 	q.head.Store(sentinel)
@@ -105,6 +109,13 @@ func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 
 // Runtime returns the queue's per-thread runtime.
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
+
+// AccountInto appends the hazard domain to s (the account.Source
+// contract). The variant's free lists are plain slices, not a qrt.Pool,
+// so only the hazard side is reported.
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+}
 
 const poolCap = 256
 

@@ -1,0 +1,190 @@
+package turnqueue
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"turnqueue/internal/bench"
+)
+
+// TestHandleChurnQuiescent registers, operates, and closes handles over
+// and over on every public queue, and asserts the lifecycle leaves no
+// residue: a departed slot's hazard retire backlog is drained on release
+// (Handle.Close → qrt.Runtime release hooks → DrainThread), and the
+// final snapshot passes the full quiescence verification.
+func TestHandleChurnQuiescent(t *testing.T) {
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			q := mk(WithMaxThreads(8))
+
+			// Sequential churn: with no other thread holding hazard
+			// pointers, a drained slot's backlog must be exactly zero.
+			for round := 0; round < 6; round++ {
+				h, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 100; i++ {
+					q.Enqueue(h, i)
+				}
+				for i := 0; i < 100; i++ {
+					q.Dequeue(h)
+				}
+				slot := h.Slot()
+				h.Close()
+				s := q.Snapshot()
+				for _, d := range s.Hazard {
+					if got := d.PerSlot[slot]; got > d.NumHPs {
+						t.Fatalf("round %d: hazard[%s] slot %d backlog %d after Close, want <= numHPs=%d",
+							round, d.Name, slot, got, d.NumHPs)
+					}
+				}
+			}
+
+			// Concurrent churn: 8 workers racing register/operate/close
+			// against each other, then one quiescent verification.
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for round := 0; round < 20; round++ {
+						h, err := q.Register()
+						if err != nil {
+							runtime.Gosched()
+							continue
+						}
+						for i := 0; i < 50; i++ {
+							q.Enqueue(h, i)
+							q.Dequeue(h)
+						}
+						h.Close()
+					}
+				}(w)
+			}
+			wg.Wait()
+			s := q.Snapshot()
+			if err := s.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if s.LiveSlots != 0 {
+				t.Fatalf("%d slots still live after every handle closed", s.LiveSlots)
+			}
+		})
+	}
+}
+
+// TestTurnCloseDrainsRetireBacklog is the direct regression test for the
+// stranded-backlog bug: with the R scan threshold raised above the
+// operation count, no scan runs during the operations, so the retire
+// list still holds every retired node when the handle closes. Only the
+// drain-on-release hook empties it; remove the DrainThread call from the
+// release path and this test fails.
+func TestTurnCloseDrainsRetireBacklog(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(4), WithHazardR(32))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q.Enqueue(h, i)
+		q.Dequeue(h)
+	}
+	pre := q.Snapshot()
+	if len(pre.Hazard) == 0 || pre.Hazard[0].Backlog == 0 {
+		t.Fatalf("operations produced no retire backlog (snapshot %s); the R threshold no longer defers scans and this test is vacuous", pre)
+	}
+	slot := h.Slot()
+	h.Close()
+	post := q.Snapshot()
+	if got := post.Hazard[0].PerSlot[slot]; got != 0 {
+		t.Fatalf("slot %d retire backlog is %d after Close; DrainThread was not invoked on the release path", slot, got)
+	}
+	if post.Hazard[0].Backlog != 0 {
+		t.Fatalf("domain backlog %d after the only handle closed, want 0", post.Hazard[0].Backlog)
+	}
+	if err := post.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoQueueCloseRace loops Close against concurrent implicit-handle
+// operations. Regression: acquire() used to check the closed flag only
+// before claiming a cache slot, so an operation could claim a slot — and
+// lazily register a fresh handle through it — concurrently with Close's
+// sweep, leaving a handle (and its registration slot) leaked forever;
+// Close would alternatively panic "operation in flight" on a claim it
+// caught mid-operation. Close now waits claims out and acquire re-checks
+// the flag after claiming, so post-Close the slot count must be exactly
+// zero on every interleaving.
+func TestAutoQueueCloseRace(t *testing.T) {
+	rounds := 50
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		q := NewTurn[int](WithMaxThreads(4))
+		a := NewAuto(q)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					// Operations that lose the race to Close must fail
+					// with the closed panic — anything else is a bug.
+					if r := recover(); r != nil {
+						s, ok := r.(string)
+						if !ok || !strings.Contains(s, "closed AutoQueue") {
+							panic(r)
+						}
+					}
+				}()
+				<-start
+				for i := 0; ; i++ {
+					a.Enqueue(i)
+					a.Dequeue()
+				}
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			<-start
+			runtime.Gosched()
+			a.Close()
+		}()
+		close(start)
+		wg.Wait()
+		<-closed
+
+		s := q.Snapshot()
+		if s.LiveSlots != 0 {
+			t.Fatalf("round %d: %d registration slots leaked across Close", round, s.LiveSlots)
+		}
+		if err := s.VerifyQuiescent(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestBenchQuiescentSmoke runs a miniature pairs benchmark against every
+// factory and asserts the post-run snapshot is quiescent-clean — the
+// check scripts/bench.sh runs as its smoke gate.
+func TestBenchQuiescentSmoke(t *testing.T) {
+	for _, f := range append(bench.AllFactories(), bench.TurnVariantFactories()...) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res := bench.MeasurePairs(f, bench.PairsConfig{Threads: 4, TotalPairs: 4000, Runs: 1})
+			if res.Final.LiveSlots != 0 {
+				t.Fatalf("%d slots live after the benchmark released every worker", res.Final.LiveSlots)
+			}
+			if err := res.Final.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -90,6 +90,12 @@ type Queue[T any] interface {
 	MaxThreads() int
 	// Meta describes the algorithm (Table 1's columns).
 	Meta() Meta
+	// Snapshot captures the queue's resource-accounting view: live
+	// handles, hazard/epoch reclamation backlogs, pool balances, and
+	// helping-loop overruns. Safe to call concurrently with operations;
+	// call Snapshot().VerifyQuiescent() after every handle is closed to
+	// assert the paper's reclamation bounds.
+	Snapshot() Snapshot
 }
 
 // register implements Register for the adapters.

@@ -11,7 +11,10 @@
 #   benchstat before/BENCH_core.txt after/BENCH_core.txt
 #
 # smoke: one tiny iteration of the same set — wired into scripts/ci.sh
-# so the benchmarks themselves cannot silently rot.
+# so the benchmarks themselves cannot silently rot. Smoke mode also runs
+# TestBenchQuiescentSmoke first, which drives a miniature pairs run per
+# factory and asserts the post-run accounting snapshot passes
+# VerifyQuiescent — a reclamation leak fails the benchmark gate.
 #
 # Both modes write outdir/BENCH_core.txt (verbatim `go test -bench`
 # output) and outdir/BENCH_core.json (benchmark name -> mean ns/op and
@@ -45,6 +48,11 @@ esac
 mkdir -p "$OUT"
 TXT="$OUT/BENCH_core.txt"
 JSON="$OUT/BENCH_core.json"
+
+if [ "$MODE" = smoke ]; then
+	echo "==> quiescent snapshot smoke"
+	go test -run 'TestBenchQuiescentSmoke' .
+fi
 
 go test -run '^$' -bench "$PATTERN" -benchmem \
 	-count="$COUNT" -benchtime="$BENCHTIME" -timeout 1800s . | tee "$TXT"

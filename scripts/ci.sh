@@ -1,5 +1,5 @@
 #!/bin/sh
-# The full correctness gate, exactly as CI runs it. Four passes:
+# The full correctness gate, exactly as CI runs it. Six passes:
 #
 #   1. build + vet of every package,
 #   2. the full test suite in the release build (no handle validation
@@ -10,10 +10,14 @@
 #   4. the race detector over the short suite in both build modes,
 #      which is what actually exercises the AutoQueue handle cache and
 #      qrt slot registry under contention,
-#   5. a smoke run of the core benchmark set (scripts/bench.sh smoke),
+#   5. the leak gate: the handle-lifecycle and close-race tests under
+#      the race detector with handle validation on, asserting every
+#      queue's quiescent snapshot (drain-on-release, no leaked slots,
+#      hazard backlog within the paper's bound),
+#   6. a smoke run of the core benchmark set (scripts/bench.sh smoke),
 #      so the benchmarks cannot silently rot.
 #
-# A change is green only if all five pass.
+# A change is green only if all six pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -33,6 +37,10 @@ go test -race -short ./...
 
 echo "==> race (-tags debughandles)"
 go test -race -short -tags debughandles ./...
+
+echo "==> leak gate (quiescent accounting under -race)"
+go test -race -tags debughandles \
+	-run 'TestHandleChurnQuiescent|TestTurnCloseDrainsRetireBacklog|TestAutoQueueCloseRace|TestBenchQuiescentSmoke' .
 
 echo "==> bench smoke"
 BENCH_OUT="$(mktemp -d)"

@@ -1,0 +1,38 @@
+package turnqueue
+
+import "turnqueue/internal/account"
+
+// Snapshot is a point-in-time resource-accounting view of one queue:
+// registration state from the shared runtime, hazard-pointer and epoch
+// reclamation backlogs, node/descriptor pool balances, helping-loop
+// overrun counters, and queue-specific extras. Every Queue (and
+// AutoQueue) produces one via its Snapshot method.
+//
+// Two uses:
+//
+//   - Live diagnostics: Snapshot is safe to call concurrently with
+//     operations (every field is backed by an atomic counter), so
+//     long-running processes can dump or export it periodically — the
+//     cmd tools publish it through expvar.
+//   - Leak gating: after every handle is closed, VerifyQuiescent asserts
+//     the paper's bounds — zero live slots, hazard backlog within
+//     BacklogBound, pool counters balanced, zero overruns. The stress
+//     tests and scripts/ci.sh run it as a leak gate.
+//
+// The concrete type lives in internal/account so internal packages can
+// fill it without import cycles; the alias re-exports it unchanged.
+type Snapshot = account.Snapshot
+
+// DomainSnapshot is the per-hazard-domain view inside a Snapshot,
+// including the per-slot retire backlog (a non-zero entry on a released
+// slot is exactly the leak drain-on-release prevents).
+type DomainSnapshot = account.DomainSnapshot
+
+// PoolSnapshot is the per-pool view inside a Snapshot. At quiescence
+// Retained == Puts - Drops - Reuses; VerifyQuiescent enforces it.
+type PoolSnapshot = account.PoolSnapshot
+
+// EpochSnapshot is the epoch-reclamation view inside a Snapshot (FAA
+// queue only). Deliberately bound-free: epoch reclamation has no
+// fault-resilient backlog bound — the paper's §3 contrast.
+type EpochSnapshot = account.EpochSnapshot
