@@ -14,6 +14,31 @@ import (
 	"turnqueue/internal/harness"
 )
 
+// calibrationSink defeats dead-code elimination of the calibration loop.
+var calibrationSink uint64
+
+// BenchmarkCalibration is a machine-speed anchor: a fixed pure-ALU mixing
+// loop that touches no queue code, so no change to this repository can
+// alter its cost — only the host (CPU frequency, neighbor load) can. The
+// bench gate in scripts/bench.sh uses its current/baseline ratio
+// (clamped at 1, i.e. only ever loosening) to widen the queue-benchmark
+// limits when the host itself is running slower than when the baseline
+// was recorded.
+func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 128; r++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			x ^= z ^ (z >> 31)
+		}
+	}
+	calibrationSink = x
+}
+
 // BenchmarkAdapterOverheadDirect is the floor: the internal core queue
 // driven with a raw thread index, no adapter, no handle.
 func BenchmarkAdapterOverheadDirect(b *testing.B) {

@@ -100,11 +100,11 @@ func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], thread
 	produced := make([]uint64, producers)
 	consumed := make([][]uint64, consumers)
 
-	var wg sync.WaitGroup
+	var producerWG, consumerWG sync.WaitGroup
 	for p := 0; p < producers; p++ {
-		wg.Add(1)
+		producerWG.Add(1)
 		go func(p int) {
-			defer wg.Done()
+			defer producerWG.Done()
 			var k uint64
 			for !stopProducing.Load() {
 				a.Enqueue(encode(uint64(p), k))
@@ -114,9 +114,9 @@ func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], thread
 		}(p)
 	}
 	for c := 0; c < consumers; c++ {
-		wg.Add(1)
+		consumerWG.Add(1)
 		go func(c int) {
-			defer wg.Done()
+			defer consumerWG.Done()
 			for {
 				if v, ok := a.Dequeue(); ok {
 					consumed[c] = append(consumed[c], v)
@@ -138,10 +138,15 @@ func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], thread
 			nextSnap = time.Now().Add(snapEvery)
 		}
 	}
+	// Join the producers before telling consumers an empty queue means
+	// done: a producer descheduled inside Enqueue outlives any fixed
+	// grace period on an oversubscribed box, and its item would publish
+	// after every consumer had already observed empty and exited —
+	// counted as produced, never consumed.
 	stopProducing.Store(true)
-	time.Sleep(100 * time.Millisecond)
+	producerWG.Wait()
 	stopConsuming.Store(true)
-	wg.Wait()
+	consumerWG.Wait()
 
 	// Close releases every cached handle (draining each slot's retire
 	// backlog); the snapshot after it must be quiescent-clean.

@@ -1,0 +1,345 @@
+// Command chaos drives the internal/inject fault-point layer against the
+// real queue implementations from the command line — the interactive
+// counterpart of the chaos test-suite (chaos_test.go). It only works in
+// a build that compiles the fault points in:
+//
+//	go run -tags faultpoints ./cmd/chaos -scenario stall -queue turn
+//
+// Scenarios:
+//
+//	stall     park one victim thread forever mid-operation, then run
+//	          healthy workers and report whether (and how fast) they
+//	          complete, plus the progress/reclamation observables:
+//	          helping-loop overruns (turn), max CAS retries (msq),
+//	          hazard backlog vs bound. Queues: turn, kp, msq, lockq.
+//	reader    park one reader inside its reclamation critical section
+//	          and sample the retired backlog while a worker churns:
+//	          epoch (faa) grows without bound, hazard (turn) stays
+//	          within R + maxThreads*numHPs. Queues: turn, faa.
+//	crash     crash a thread mid-enqueue without Close and print the
+//	          accounting layer's stranded-slot report. Queue: turn.
+//	adversary run the deterministic yield adversary against msq and
+//	          turn together and report max retries vs overruns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"turnqueue/internal/account"
+	"turnqueue/internal/core"
+	"turnqueue/internal/faaq"
+	"turnqueue/internal/inject"
+	"turnqueue/internal/kpq"
+	"turnqueue/internal/lockq"
+	"turnqueue/internal/msq"
+	"turnqueue/internal/qrt"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "stall", "stall, reader, crash, or adversary")
+		queue    = flag.String("queue", "turn", "turn, kp, msq, lockq, or faa (per scenario)")
+		workers  = flag.Int("workers", 4, "healthy worker goroutines")
+		ops      = flag.Int("ops", 2000, "enqueue+dequeue pairs per worker")
+		segsize  = flag.Int("segsize", 64, "FAA queue segment size (reader scenario)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "completion deadline for healthy workers")
+	)
+	flag.Parse()
+
+	if !inject.Enabled {
+		fmt.Fprintln(os.Stderr, "chaos: fault points are compiled out of this binary;")
+		fmt.Fprintln(os.Stderr, "rebuild with: go run -tags faultpoints ./cmd/chaos")
+		os.Exit(2)
+	}
+
+	var err error
+	switch *scenario {
+	case "stall":
+		err = runStall(*queue, *workers, *ops, *timeout)
+	case "reader":
+		err = runReader(*queue, *ops, *segsize)
+	case "crash":
+		err = runCrash(*queue)
+	case "adversary":
+		err = runAdversary(*workers, *ops)
+	default:
+		err = fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+// queueOps is the minimal per-queue driver surface the scenarios need.
+type queueOps struct {
+	rt         *qrt.Runtime
+	enq        func(slot, v int)
+	deq        func(slot int)
+	stallPoint inject.Point
+	report     func() // scenario epilogue: queue-specific observables
+}
+
+func makeQueue(name string, maxThreads int) (*queueOps, error) {
+	switch name {
+	case "turn":
+		q := core.New[int](core.WithMaxThreads(maxThreads))
+		return &queueOps{
+			rt:         q.Runtime(),
+			enq:        func(s, v int) { q.Enqueue(s, v) },
+			deq:        func(s int) { q.Dequeue(s) },
+			stallPoint: inject.CoreEnqPublish,
+			report: func() {
+				enq, deq := q.OverrunStats()
+				hz := q.Hazard()
+				fmt.Printf("  turn: helping-loop overruns %d/%d (bound maxThreads+1 held: %v); hazard backlog %d <= bound %d: %v\n",
+					enq, deq, enq == 0 && deq == 0, hz.Backlog(), hz.BacklogBound(), hz.Backlog() <= hz.BacklogBound())
+			},
+		}, nil
+	case "kp":
+		q := kpq.New[int](kpq.WithMaxThreads(maxThreads))
+		return &queueOps{
+			rt:         q.Runtime(),
+			enq:        func(s, v int) { q.Enqueue(s, v) },
+			deq:        func(s int) { q.Dequeue(s) },
+			stallPoint: inject.KPQInstall,
+			report: func() {
+				s := account.Capture("kp", q.Runtime(), q)
+				for _, h := range s.Hazard {
+					fmt.Printf("  kp: hazard[%s] backlog %d <= bound %d: %v\n", h.Name, h.Backlog, h.Bound, h.Backlog <= h.Bound)
+				}
+			},
+		}, nil
+	case "msq":
+		q := msq.New[int](maxThreads)
+		return &queueOps{
+			rt:         q.Runtime(),
+			enq:        func(s, v int) { q.Enqueue(s, v) },
+			deq:        func(s int) { q.Dequeue(s) },
+			stallPoint: inject.MSQEnqLoop,
+			report: func() {
+				fmt.Printf("  msq: max CAS retries per op %d (lock-free: no bound)\n", q.MaxTries())
+			},
+		}, nil
+	case "lockq":
+		q := lockq.New[int]()
+		rt := qrt.New(maxThreads) // slots only for driver symmetry
+		return &queueOps{
+			rt:         rt,
+			enq:        func(_, v int) { q.Enqueue(v) },
+			deq:        func(_ int) { q.Dequeue() },
+			stallPoint: inject.LockQEnqLocked,
+			report: func() {
+				fmt.Println("  lockq: blocking baseline — a completed run means the victim was released")
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown queue %q (want turn, kp, msq, or lockq)", name)
+}
+
+// runStall parks one victim at the queue's publish/install window, then
+// measures whether healthy workers complete within the deadline.
+func runStall(queue string, workers, ops int, timeout time.Duration) error {
+	defer inject.Reset()
+	q, err := makeQueue(queue, workers+2)
+	if err != nil {
+		return err
+	}
+	victim, _ := q.rt.Acquire()
+	inject.Arm(q.stallPoint, inject.Stall(1))
+	victimDone := make(chan struct{})
+	go func() { defer close(victimDone); q.enq(victim, -1) }()
+	if got := inject.WaitStalled(1, 10*time.Second); got < 1 {
+		return fmt.Errorf("victim never parked at %v", q.stallPoint)
+	}
+	inject.Disarm(q.stallPoint)
+	fmt.Printf("victim parked forever at %v; starting %d healthy workers x %d pairs\n", q.stallPoint, workers, ops)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot, ok := q.rt.Acquire()
+		if !ok {
+			return fmt.Errorf("no slot for worker %d", w)
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			defer q.rt.Release(slot)
+			for i := 0; i < ops; i++ {
+				q.enq(slot, i)
+				q.deq(slot)
+			}
+		}(slot)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		fmt.Printf("healthy workers completed in %v with the victim still parked\n", time.Since(start))
+		q.report()
+	case <-time.After(timeout):
+		fmt.Printf("healthy workers DID NOT complete within %v — the stalled thread blocks them\n", timeout)
+		fmt.Println("(expected for -queue lockq: that is the paper's blocking critique)")
+	}
+	inject.ReleaseStalled()
+	<-victimDone
+	q.rt.Release(victim)
+	return nil
+}
+
+// runReader parks one reader inside the reclamation critical section and
+// samples the retired backlog as a worker churns.
+func runReader(queue string, ops, segsize int) error {
+	defer inject.Reset()
+	const checkpoints = 5
+	switch queue {
+	case "faa":
+		q := faaq.New[int](faaq.WithMaxThreads(4), faaq.WithSegmentSize(segsize))
+		rt := q.Runtime()
+		victim, _ := rt.Acquire()
+		inject.Arm(inject.FAAQRead, inject.Stall(1))
+		victimDone := make(chan struct{})
+		go func() { defer close(victimDone); q.Enqueue(victim, -1) }()
+		if inject.WaitStalled(1, 10*time.Second) < 1 {
+			return fmt.Errorf("reader never parked")
+		}
+		inject.Disarm(inject.FAAQRead)
+		worker, _ := rt.Acquire()
+		fmt.Printf("reader parked inside the epoch critical section; churning %d pairs x %d checkpoints\n", ops, checkpoints)
+		for c := 0; c < checkpoints; c++ {
+			for i := 0; i < ops; i++ {
+				q.Enqueue(worker, i)
+				q.Dequeue(worker)
+			}
+			fmt.Printf("  checkpoint %d: epoch backlog %d retired segments (no bound exists)\n", c, q.Epochs().Backlog())
+		}
+		inject.ReleaseStalled()
+		<-victimDone
+		rt.Release(worker)
+		rt.Release(victim)
+		return nil
+	case "turn":
+		q := core.New[int](core.WithMaxThreads(4))
+		rt := q.Runtime()
+		worker, _ := rt.Acquire()
+		for i := 0; i < 8; i++ { // pre-fill: the victim must pin a reclaimable node
+			q.Enqueue(worker, i)
+		}
+		victim, _ := rt.Acquire()
+		inject.Arm(inject.HazardProtect, inject.Stall(1))
+		victimDone := make(chan struct{})
+		go func() { defer close(victimDone); q.Enqueue(victim, -1) }()
+		if inject.WaitStalled(1, 10*time.Second) < 1 {
+			return fmt.Errorf("reader never parked")
+		}
+		inject.Disarm(inject.HazardProtect)
+		hz := q.Hazard()
+		fmt.Printf("reader parked holding a hazard protection; churning %d pairs x %d checkpoints\n", ops, checkpoints)
+		for c := 0; c < checkpoints; c++ {
+			for i := 0; i < ops; i++ {
+				q.Enqueue(worker, i)
+				q.Dequeue(worker)
+			}
+			fmt.Printf("  checkpoint %d: hazard backlog %d <= bound %d: %v\n", c, hz.Backlog(), hz.BacklogBound(), hz.Backlog() <= hz.BacklogBound())
+		}
+		inject.ReleaseStalled()
+		<-victimDone
+		rt.Release(worker)
+		rt.Release(victim)
+		return nil
+	}
+	return fmt.Errorf("reader scenario wants -queue faa or turn, got %q", queue)
+}
+
+// runCrash kills one thread mid-enqueue (no Close) and prints the
+// accounting layer's stranded-slot diagnosis.
+func runCrash(queue string) error {
+	defer inject.Reset()
+	if queue != "turn" {
+		return fmt.Errorf("crash scenario supports -queue turn, got %q", queue)
+	}
+	q := core.New[int](core.WithMaxThreads(4), core.WithHazardR(64))
+	rt := q.Runtime()
+	victim, _ := rt.Acquire()
+	for i := 0; i < 20; i++ {
+		q.Enqueue(victim, i)
+		q.Dequeue(victim)
+	}
+	inject.Arm(inject.CoreEnqPublish, inject.Crash(1))
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Printf("thread on slot %d crashed: %v\n", victim, r)
+			}
+		}()
+		q.Enqueue(victim, 99)
+	}()
+	inject.Disarm(inject.CoreEnqPublish)
+
+	s := account.Capture("turn", rt, q)
+	fmt.Println("post-crash snapshot:", s.String())
+	for _, ss := range s.Stranded() {
+		fmt.Printf("stranded: slot %d, pinned retire backlog %v\n", ss.Slot, ss.Backlog)
+	}
+	if err := s.VerifyQuiescent(); err != nil {
+		fmt.Println("VerifyQuiescent:", err)
+	}
+	fmt.Println("recovering: releasing the dead thread's slot (drain-on-release runs)")
+	rt.Release(victim)
+	s = account.Capture("turn", rt, q)
+	if err := s.VerifyQuiescent(); err != nil {
+		return fmt.Errorf("still not quiescent after recovery: %w", err)
+	}
+	fmt.Println("recovered: VerifyQuiescent passes")
+	return nil
+}
+
+// runAdversary runs the deterministic yield adversary against msq and
+// turn and reports the Table 1 contrast.
+func runAdversary(workers, ops int) error {
+	defer inject.Reset()
+	inject.Arm(inject.MSQEnqLoop, inject.Yield(1))
+	inject.Arm(inject.MSQDeqLoop, inject.Yield(1))
+	inject.Arm(inject.CoreEnqHelp, inject.Yield(1))
+	inject.Arm(inject.CoreDeqHelp, inject.Yield(1))
+	inject.Arm(inject.HazardProtect, inject.Yield(1))
+
+	run := func(enq func(slot, v int), deq func(slot int), rt *qrt.Runtime) error {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			slot, ok := rt.Acquire()
+			if !ok {
+				return fmt.Errorf("no slot for worker %d", w)
+			}
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				defer rt.Release(slot)
+				for i := 0; i < ops; i++ {
+					enq(slot, i)
+					deq(slot)
+				}
+			}(slot)
+		}
+		wg.Wait()
+		return nil
+	}
+	mq := msq.New[int](workers)
+	if err := run(func(s, v int) { mq.Enqueue(s, v) }, func(s int) { mq.Dequeue(s) }, mq.Runtime()); err != nil {
+		return err
+	}
+	tq := core.New[int](core.WithMaxThreads(workers))
+	if err := run(func(s, v int) { tq.Enqueue(s, v) }, func(s int) { tq.Dequeue(s) }, tq.Runtime()); err != nil {
+		return err
+	}
+	enq, deq := tq.OverrunStats()
+	fmt.Printf("yield adversary, %d workers x %d pairs:\n", workers, ops)
+	fmt.Printf("  msq  max CAS retries per op: %d (lock-free: unbounded)\n", mq.MaxTries())
+	fmt.Printf("  turn helping-loop overruns:  %d/%d (wait-free: bound maxThreads+1 held: %v)\n", enq, deq, enq == 0 && deq == 0)
+	return nil
+}

@@ -141,11 +141,11 @@ func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histo
 	sampling.Store(true)
 	const sampleLimit = 20000
 
-	var wg sync.WaitGroup
+	var producerWG, consumerWG sync.WaitGroup
 	for p := 0; p < producers; p++ {
-		wg.Add(1)
+		producerWG.Add(1)
 		go func(p int) {
-			defer wg.Done()
+			defer producerWG.Done()
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 			slot, ok := q.Runtime().Acquire()
@@ -173,9 +173,9 @@ func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histo
 	var totalConsumed atomic.Int64
 	var stopConsuming atomic.Bool
 	for c := 0; c < consumers; c++ {
-		wg.Add(1)
+		consumerWG.Add(1)
 		go func(c int) {
-			defer wg.Done()
+			defer consumerWG.Done()
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 			tid, okSlot := q.Runtime().Acquire()
@@ -220,10 +220,15 @@ func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histo
 			nextSnap = time.Now().Add(snapEvery)
 		}
 	}
+	// Join the producers before telling consumers an empty queue means
+	// done: a producer descheduled inside Enqueue outlives any fixed
+	// grace period, and its item would publish after every consumer had
+	// already observed empty and exited — counted as produced, never
+	// consumed.
 	stopProducing.Store(true)
-	time.Sleep(100 * time.Millisecond)
+	producerWG.Wait()
 	stopConsuming.Store(true)
-	wg.Wait()
+	consumerWG.Wait()
 
 	// Validate: exactly-once, per-producer FIFO at each consumer.
 	var totalProduced uint64

@@ -40,6 +40,11 @@ type Snapshot struct {
 	// LiveSlots counts currently acquired registration slots (live
 	// handles plus registered raw-slot workers).
 	LiveSlots int `json:"live_slots"`
+	// Live lists the indices of those slots. At quiescence it should be
+	// empty; a surviving entry identifies *which* registration was
+	// stranded (a crashed thread, a handle never closed), which Stranded
+	// cross-references against the per-slot retire backlogs.
+	Live []int `json:"live,omitempty"`
 	// ActiveLimit is the registration high-water mark (monotone).
 	ActiveLimit int `json:"active_limit"`
 	// Acquires is the cumulative registration churn.
@@ -155,6 +160,13 @@ func Capture(name string, rt *qrt.Runtime, src any) Snapshot {
 		Acquires:    rt.AcquireCount(),
 		Ops:         rt.OpCount(),
 	}
+	if s.LiveSlots > 0 {
+		for i := 0; i < rt.Capacity(); i++ {
+			if rt.InUse(i) {
+				s.Live = append(s.Live, i)
+			}
+		}
+	}
 	if src, ok := src.(Source); ok {
 		src.AccountInto(&s)
 	}
@@ -193,6 +205,37 @@ func CaptureEpoch(d EpochDomain) EpochSnapshot {
 	return es
 }
 
+// StrandedSlot describes one registration slot still live at snapshot
+// time: its index and the retire backlog (per hazard domain) that the
+// stranded registration is pinning. A crash-without-Close leaves exactly
+// this signature: the slot never ran its drain-on-release hook, so its
+// backlog survives alongside the live registration.
+type StrandedSlot struct {
+	Slot int `json:"slot"`
+	// Backlog maps hazard-domain name to the stranded slot's retire-list
+	// length in that domain.
+	Backlog map[string]int `json:"backlog,omitempty"`
+}
+
+// Stranded cross-references the snapshot's live slots against every
+// hazard domain's per-slot retire backlogs. Empty at clean quiescence.
+func (s *Snapshot) Stranded() []StrandedSlot {
+	out := make([]StrandedSlot, 0, len(s.Live))
+	for _, slot := range s.Live {
+		ss := StrandedSlot{Slot: slot}
+		for _, h := range s.Hazard {
+			if slot < len(h.PerSlot) && h.PerSlot[slot] > 0 {
+				if ss.Backlog == nil {
+					ss.Backlog = make(map[string]int)
+				}
+				ss.Backlog[h.Name] = h.PerSlot[slot]
+			}
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
 // Counter records a queue-specific extra counter.
 func (s *Snapshot) Counter(name string, v int64) {
 	if s.Counters == nil {
@@ -222,8 +265,15 @@ func (s *Snapshot) Counter(name string, v int64) {
 func (s *Snapshot) VerifyQuiescent() error {
 	var violations []string
 	if s.LiveSlots != 0 {
-		violations = append(violations,
-			fmt.Sprintf("%d registration slot(s) still live (leaked handle or missing Release)", s.LiveSlots))
+		msg := fmt.Sprintf("%d registration slot(s) still live (leaked handle or missing Release)", s.LiveSlots)
+		for _, ss := range s.Stranded() {
+			detail := fmt.Sprintf("slot %d stranded", ss.Slot)
+			for _, name := range sortedKeys(ss.Backlog) {
+				detail += fmt.Sprintf(", pinning %d retired node(s) in hazard[%s]", ss.Backlog[name], name)
+			}
+			msg += "; " + detail
+		}
+		violations = append(violations, msg)
 	}
 	for _, h := range s.Hazard {
 		if h.Backlog > h.Bound {
@@ -288,7 +338,7 @@ func (s Snapshot) String() string {
 	return b.String()
 }
 
-func sortedKeys(m map[string]int64) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

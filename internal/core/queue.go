@@ -7,6 +7,7 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
+	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
@@ -217,10 +218,12 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	q.rt.EnsureActive(threadID)
 	myNode := q.allocNode(threadID, item)
 	q.enqueuers[threadID].P.Store(myNode)
+	inject.Fire(inject.CoreEnqPublish)
 	// Our request is complete when the entry is nulled by a helper (or by
 	// ourselves, via the Invariant 7 clearing below) — which can happen
 	// only once the node has been at the tail, i.e. inserted.
 	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
+		inject.Fire(inject.CoreEnqHelp)
 		if i == q.maxThreads+1 {
 			q.enqOverruns.V.Add(1)
 		}
@@ -317,7 +320,9 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	prReq := q.deqself[threadID].P.Load() // previous request, to retire at the end
 	myReq := q.deqhelp[threadID].P.Load()
 	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
+	inject.Fire(inject.CoreDeqOpen)
 	for i := 0; q.deqhelp[threadID].P.Load() == myReq; i++ {
+		inject.Fire(inject.CoreDeqHelp)
 		if i == q.maxThreads+1 {
 			q.deqOverruns.V.Add(1)
 		}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 )
 
@@ -83,6 +84,9 @@ func New[T any](maxThreads int, deleter func(tid int, node *T)) *Domain[T] {
 // oblivious, Table 2's "wfpo" protect entry.
 func (d *Domain[T]) Enter(tid int) {
 	d.announce[tid].V.Store(d.globalEpoch.Load())
+	// Fault point: the epoch is announced and the critical section open —
+	// a thread parked here blocks every future epoch advance.
+	inject.Fire(inject.EpochEnter)
 }
 
 // Exit ends the critical region, announcing quiescence.

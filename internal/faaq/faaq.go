@@ -29,6 +29,7 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/epoch"
+	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
@@ -144,6 +145,10 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	boxed := new(T)
 	*boxed = item
 	q.epochs.Enter(threadID)
+	// Fault point: inside the read-side critical section — a thread
+	// parked here pins the global epoch, and the retired-segment backlog
+	// grows without bound (the §3 blocking-reclamation scenario).
+	inject.Fire(inject.FAAQRead)
 	for {
 		ltail := q.tail.Load()
 		idx := ltail.enqIdx.Add(1) - 1
@@ -182,6 +187,7 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.epochs.Enter(threadID)
 	defer q.epochs.Exit(threadID)
+	inject.Fire(inject.FAAQRead)
 	for {
 		lhead := q.head.Load()
 		if lhead.deqIdx.Load() >= lhead.enqIdx.Load() && lhead.next.Load() == nil {

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 )
 
@@ -186,6 +187,10 @@ func (d *Domain[T]) slot(tid, index int) *atomic.Pointer[T] {
 // shared variable after the call; on mismatch it advances its own loop.
 func (d *Domain[T]) ProtectPtr(index, tid int, node *T) *T {
 	d.slot(tid, index).Store(node)
+	// Fault point: the window between protect-publish and the caller's
+	// revalidation — a thread parked here holds a published protection
+	// forever, pinning at most numHPs nodes (the §3 bound under test).
+	inject.Fire(inject.HazardProtect)
 	return node
 }
 
@@ -233,6 +238,9 @@ func (d *Domain[T]) retireOne(tid int, c conditional[T]) {
 	d.retireCalls.V.Add(1)
 	d.retired[tid] = append(d.retired[tid], c)
 	d.blen[tid].V.Store(int64(len(d.retired[tid])))
+	// Fault point: the node is on the retire list but the scan has not
+	// run — a thread parked here strands at most its own R+1 entries.
+	inject.Fire(inject.HazardRetire)
 	if len(d.retired[tid]) > d.rParam {
 		d.scan(tid)
 	}

@@ -1,0 +1,36 @@
+//go:build !faultpoints
+
+package inject
+
+import "time"
+
+// Enabled reports whether fault points are compiled in. In release
+// builds (this file) they are not: Fire is an empty function with a
+// constant argument, which the compiler inlines to nothing, so the
+// instrumented hot paths carry zero overhead — the parity that
+// scripts/bench.sh smoke gates against the recorded baseline.
+const Enabled = false
+
+// Fire is a no-op; the call compiles away entirely.
+func Fire(Point) {}
+
+// Arm is a no-op without the faultpoints build tag.
+func Arm(Point, Policy) {}
+
+// Disarm is a no-op without the faultpoints build tag.
+func Disarm(Point) {}
+
+// Reset is a no-op without the faultpoints build tag.
+func Reset() {}
+
+// Hits always reports zero without the faultpoints build tag.
+func Hits(Point) int64 { return 0 }
+
+// Stalled always reports zero without the faultpoints build tag.
+func Stalled() int { return 0 }
+
+// ReleaseStalled is a no-op without the faultpoints build tag.
+func ReleaseStalled() {}
+
+// WaitStalled returns immediately without the faultpoints build tag.
+func WaitStalled(int, time.Duration) int { return 0 }

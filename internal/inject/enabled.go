@@ -1,0 +1,172 @@
+//go:build faultpoints
+
+package inject
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether fault points are compiled in. This build (the
+// `faultpoints` tag) carries the live policy registry; release builds
+// compile every Fire call to nothing.
+const Enabled = true
+
+// pointState is the per-point registry entry. Points are a small fixed
+// catalog and chaos runs arm a handful at a time, so a flat array with
+// atomic fields is simpler and cheaper than any map.
+type pointState struct {
+	policy atomic.Pointer[Policy]
+	hits   atomic.Int64
+	claims atomic.Int64 // stall/crash arrivals claimed against Limit
+}
+
+var (
+	// armedCount gates the Fire fast path: zero means no point anywhere
+	// is armed, and Fire returns after a single atomic load.
+	armedCount atomic.Int64
+	points     [NumPoints]pointState
+
+	stalledCount atomic.Int64
+	// releaseGate is the channel stalled goroutines park on; closing it
+	// (ReleaseStalled) unparks every current and future staller until a
+	// fresh gate is installed. Held by pointer so swap is atomic.
+	releaseGate atomic.Pointer[chan struct{}]
+)
+
+func init() {
+	ch := make(chan struct{})
+	releaseGate.Store(&ch)
+}
+
+// Fire runs point p's armed policy, if any, against the calling
+// goroutine. With nothing armed anywhere it is one atomic load.
+func Fire(p Point) {
+	if armedCount.Load() == 0 {
+		return
+	}
+	st := &points[p]
+	pol := st.policy.Load()
+	if pol == nil {
+		return
+	}
+	apply(p, st, pol)
+}
+
+func apply(p Point, st *pointState, pol *Policy) {
+	n := st.hits.Add(1)
+	if pol.Every > 1 && n%pol.Every != 0 {
+		return
+	}
+	switch pol.Kind {
+	case KindStall:
+		if pol.Limit > 0 && st.claims.Add(1) > pol.Limit {
+			return
+		}
+		gate := *releaseGate.Load()
+		stalledCount.Add(1)
+		<-gate
+		stalledCount.Add(-1)
+	case KindCrash:
+		if pol.Limit > 0 && st.claims.Add(1) > pol.Limit {
+			return
+		}
+		panic(CrashError{Point: p})
+	case KindYield:
+		runtime.Gosched()
+	case KindDelay:
+		d := pol.Min
+		if span := pol.Max - pol.Min; span > 0 {
+			d += time.Duration(mix(pol.Seed, uint64(p), uint64(n)) % uint64(span+1))
+		}
+		if d <= 0 {
+			runtime.Gosched()
+			return
+		}
+		sleep(d)
+	}
+}
+
+// sleep delays the caller for about d. Short delays spin-yield instead
+// of sleeping: the point of a short delay is to widen a race window, and
+// a timer park would quantize every delay up to scheduler granularity.
+func sleep(d time.Duration) {
+	if d >= 100*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// mix derives one deterministic 64-bit value from (seed, point, hit
+// index) with splitmix64 steps, so a delay schedule replays exactly from
+// its seed for the same per-point hit sequence.
+func mix(seed, point, hit uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(point+1) + 0x9e3779b97f4a7c15*hit
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Arm attaches pol to point p, replacing any previous policy. The
+// policy takes effect for every subsequent Fire(p).
+func Arm(p Point, pol Policy) {
+	if prev := points[p].policy.Swap(&pol); prev == nil {
+		armedCount.Add(1)
+	}
+}
+
+// Disarm removes point p's policy; subsequent Fire(p) calls pass
+// through. Goroutines already parked by a stall policy stay parked
+// until ReleaseStalled.
+func Disarm(p Point) {
+	if prev := points[p].policy.Swap(nil); prev != nil {
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every point, zeroes hit and claim counters, and unparks
+// every stalled goroutine. Chaos tests run it in t.Cleanup so no
+// scenario leaks state (or parked goroutines) into the next.
+func Reset() {
+	for p := Point(0); p < NumPoints; p++ {
+		Disarm(p)
+		points[p].hits.Store(0)
+		points[p].claims.Store(0)
+	}
+	ReleaseStalled()
+}
+
+// Hits returns how many times point p has fired (policy applications
+// are counted; pass-throughs with nothing armed are not).
+func Hits(p Point) int64 { return points[p].hits.Load() }
+
+// Stalled returns how many goroutines are currently parked by stall
+// policies.
+func Stalled() int { return int(stalledCount.Load()) }
+
+// ReleaseStalled unparks every goroutine currently parked by a stall
+// policy and installs a fresh gate, so stall policies armed afterwards
+// park against the new gate.
+func ReleaseStalled() {
+	ch := make(chan struct{})
+	old := releaseGate.Swap(&ch)
+	close(*old)
+}
+
+// WaitStalled blocks until at least n goroutines are parked or timeout
+// elapses, and returns the current count. Harnesses use it to sequence
+// "park the victim, then start healthy workers".
+func WaitStalled(n int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		if got := Stalled(); got >= n || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,134 @@
+//go:build faultpoints
+
+package inject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStallParksAndReleases(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm(CoreEnqHelp, Stall(2))
+
+	done := make(chan int, 3)
+	for g := 0; g < 3; g++ {
+		g := g
+		go func() {
+			Fire(CoreEnqHelp)
+			done <- g
+		}()
+	}
+	if got := WaitStalled(2, 2*time.Second); got != 2 {
+		t.Fatalf("WaitStalled = %d, want 2 parked", got)
+	}
+	// The third arrival exceeded the limit and must have passed through.
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("third goroutine did not pass a limit-2 stall")
+	}
+	ReleaseStalled()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("stalled goroutine not released")
+		}
+	}
+	if got := Stalled(); got != 0 {
+		t.Fatalf("Stalled = %d after release, want 0", got)
+	}
+}
+
+func TestCrashPanicsWithCrashError(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm(KPQInstall, Crash(1))
+	crashed := false
+	func() {
+		defer func() {
+			r := recover()
+			ce, ok := r.(CrashError)
+			if !ok {
+				t.Fatalf("recover() = %v (%T), want CrashError", r, r)
+			}
+			if ce.Point != KPQInstall {
+				t.Fatalf("CrashError.Point = %v, want %v", ce.Point, KPQInstall)
+			}
+			crashed = true
+		}()
+		Fire(KPQInstall)
+	}()
+	if !crashed {
+		t.Fatal("limit-1 crash policy did not fire on first arrival")
+	}
+	// Second arrival exceeds the limit: must pass through.
+	Fire(KPQInstall)
+	if got := Hits(KPQInstall); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestDelayIsDeterministicPerSeed(t *testing.T) {
+	// The delay schedule is a pure function of (seed, point, hit index).
+	a1 := mix(7, uint64(HazardProtect), 1)
+	a2 := mix(7, uint64(HazardProtect), 1)
+	b := mix(8, uint64(HazardProtect), 1)
+	if a1 != a2 {
+		t.Fatalf("mix not deterministic: %d != %d", a1, a2)
+	}
+	if a1 == b {
+		t.Fatalf("different seeds collide: %d", a1)
+	}
+}
+
+func TestYieldEveryNth(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm(MSQEnqLoop, Yield(3))
+	for i := 0; i < 9; i++ {
+		Fire(MSQEnqLoop)
+	}
+	if got := Hits(MSQEnqLoop); got != 9 {
+		t.Fatalf("Hits = %d, want 9", got)
+	}
+}
+
+func TestUnarmedFireIsConcurrencySafe(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				Fire(HazardProtect)
+				Fire(CoreDeqHelp)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits(HazardProtect); got != 0 {
+		t.Fatalf("unarmed point counted %d hits, want 0", got)
+	}
+}
+
+func TestPointNamesRoundTrip(t *testing.T) {
+	for p := Point(0); p < NumPoints; p++ {
+		name := p.String()
+		if name == "" {
+			t.Fatalf("point %d has no name", p)
+		}
+		got, ok := PointByName(name)
+		if !ok || got != p {
+			t.Fatalf("PointByName(%q) = %v,%v, want %v,true", name, got, ok, p)
+		}
+	}
+	if _, ok := PointByName("no.such.point"); ok {
+		t.Fatal("PointByName accepted an unknown name")
+	}
+}

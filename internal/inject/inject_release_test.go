@@ -1,0 +1,27 @@
+//go:build !faultpoints
+
+package inject
+
+import "testing"
+
+// TestReleaseBuildIsInert pins the release-mode contract: arming has no
+// effect, Fire does nothing, and every observer reports zero — the
+// no-op shape the zero-overhead benchmark gate relies on.
+func TestReleaseBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the faultpoints build tag")
+	}
+	Arm(CoreEnqHelp, Stall(1))
+	Fire(CoreEnqHelp) // must not park
+	if got := Hits(CoreEnqHelp); got != 0 {
+		t.Fatalf("Hits = %d in release build, want 0", got)
+	}
+	if got := Stalled(); got != 0 {
+		t.Fatalf("Stalled = %d in release build, want 0", got)
+	}
+	Reset()
+	ReleaseStalled()
+	if got := WaitStalled(1, 0); got != 0 {
+		t.Fatalf("WaitStalled = %d in release build, want 0", got)
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
+	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
@@ -285,6 +286,10 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	phase := q.maxPhase() + 1
 	nd := q.allocNode(threadID, boxed)
 	q.installDesc(threadID, q.allocDesc(threadID, phase, true, true, nd))
+	// Fault point: the pending descriptor is installed but help() has
+	// not run — a thread parked here relies on every other thread's
+	// helping pass to complete its operation (KP's fairness mechanism).
+	inject.Fire(inject.KPQInstall)
 	q.help(threadID, phase)
 	q.helpFinishEnq(threadID)
 	q.hpNode.Clear(threadID)
@@ -297,6 +302,7 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	q.rt.EnsureActive(threadID)
 	phase := q.maxPhase() + 1
 	q.installDesc(threadID, q.allocDesc(threadID, phase, true, false, nil))
+	inject.Fire(inject.KPQInstall)
 	q.help(threadID, phase)
 	q.helpFinishDeq(threadID)
 

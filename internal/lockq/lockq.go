@@ -10,6 +10,8 @@ package lockq
 import (
 	"sync"
 	"sync/atomic"
+
+	"turnqueue/internal/inject"
 )
 
 type node[T any] struct {
@@ -40,6 +42,10 @@ func New[T any]() *Queue[T] {
 func (q *Queue[T]) Enqueue(item T) {
 	nd := &node[T]{item: item}
 	q.tailMu.Lock()
+	// Fault point: lock held, link unpublished — a thread parked here
+	// stalls every other enqueuer (the §1.2 blocking critique, and the
+	// chaos tests' negative control against the wait-free queues).
+	inject.Fire(inject.LockQEnqLocked)
 	q.tail.next.Store(nd)
 	q.tail = nd
 	q.tailMu.Unlock()
@@ -49,6 +55,7 @@ func (q *Queue[T]) Enqueue(item T) {
 // ok=false when the queue is empty.
 func (q *Queue[T]) Dequeue() (item T, ok bool) {
 	q.headMu.Lock()
+	inject.Fire(inject.LockQDeqLocked)
 	first := q.head.next.Load()
 	if first == nil {
 		q.headMu.Unlock()

@@ -1,0 +1,66 @@
+//go:build faultpoints
+
+package mpsc
+
+// Regression test for the documented blocking window: a producer parked
+// between its producerEnd exchange and its link store makes every item
+// behind it invisible. The fault point makes the window drivable
+// deterministically instead of relying on scheduler luck.
+
+import (
+	"testing"
+	"time"
+
+	"turnqueue/internal/inject"
+)
+
+func TestLaggingProducerBlocksConsumer(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	q := New[int]()
+
+	// Park producer 1 inside the window: node 1 swapped in as the new
+	// producerEnd but never linked from the sentinel.
+	inject.Arm(inject.MPSCPublish, inject.Stall(1))
+	p1done := make(chan struct{})
+	go func() {
+		defer close(p1done)
+		q.Enqueue(1)
+	}()
+	if got := inject.WaitStalled(1, 10*time.Second); got < 1 {
+		t.Fatalf("producer never parked in the publish window (stalled=%d)", got)
+	}
+	inject.Disarm(inject.MPSCPublish)
+
+	// Producer 2 completes fully — its node is linked behind node 1, so
+	// it is enqueued yet unreachable from the consumer end.
+	q.Enqueue(2)
+
+	// The consumer must see the documented contract: not deadlock, not a
+	// wrong item — a definite "nothing visible, but a producer is
+	// lagging" report.
+	item, ok, lagging := q.TryDequeue()
+	if ok {
+		t.Fatalf("TryDequeue returned item %d while the first link is unpublished", item)
+	}
+	if !lagging {
+		t.Fatal("TryDequeue reported definite emptiness; want lagging=true (producer parked mid-publish)")
+	}
+
+	// Releasing the lagging producer publishes the link; both items must
+	// drain, in enqueue order.
+	inject.ReleaseStalled()
+	select {
+	case <-p1done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("released producer did not finish")
+	}
+	for want := 1; want <= 2; want++ {
+		got, ok := q.Dequeue()
+		if !ok || got != want {
+			t.Fatalf("Dequeue = (%d, %v), want (%d, true)", got, ok, want)
+		}
+	}
+	if _, ok, lagging := q.TryDequeue(); ok || lagging {
+		t.Fatalf("queue not definitively empty after drain (ok=%v lagging=%v)", ok, lagging)
+	}
+}

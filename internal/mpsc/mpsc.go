@@ -12,7 +12,11 @@
 // whether the emptiness is definite or caused by a lagging producer.
 package mpsc
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"turnqueue/internal/inject"
+)
 
 type node[T any] struct {
 	item T
@@ -46,6 +50,10 @@ func (q *Queue[T]) Enqueue(item T) {
 	prev := q.producerEnd.Swap(nd)
 	// A crash or long stall right here is the blocking window: nd and
 	// everything enqueued after it stay invisible until this store runs.
+	// The fault point makes the window drivable: the chaos regression
+	// test parks a producer here and asserts the consumer sees the
+	// documented lagging (not-wait-free) contract instead of deadlock.
+	inject.Fire(inject.MPSCPublish)
 	prev.next.Store(nd)
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/hazard"
+	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
@@ -47,6 +48,13 @@ type Queue[T any] struct {
 	hp   *hazard.Domain[node[T]]
 	pool *qrt.Pool[node[T]] // per-thread free lists; each owned by its thread
 	rt   *qrt.Runtime
+
+	// maxTries records the largest CAS-retry count any single operation
+	// needed — the observable the chaos tests contrast against the Turn
+	// queue's bounded helping loops (MS has no bound; this grows under an
+	// adversarial scheduler). Maintained only under -tags faultpoints so
+	// the release hot path keeps zero extra branches.
+	maxTries pad.Int64Slot
 }
 
 // New creates a queue sized for maxThreads registered threads.
@@ -98,7 +106,26 @@ func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 func (q *Queue[T]) AccountInto(s *account.Snapshot) {
 	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
 	s.Pools = append(s.Pools, account.CapturePool("nodes", q.pool))
+	if inject.Enabled {
+		s.Counter("max_tries", q.MaxTries())
+	}
 }
+
+// noteTries folds one operation's retry count into the maxTries
+// watermark (CAS-max; racers only ever raise it). Callers gate the call
+// on inject.Enabled, so release builds compile it and its branch away.
+func (q *Queue[T]) noteTries(tries int64) {
+	for {
+		cur := q.maxTries.V.Load()
+		if cur >= tries || q.maxTries.V.CompareAndSwap(cur, tries) {
+			return
+		}
+	}
+}
+
+// MaxTries reports the largest per-operation CAS-retry count observed.
+// Always zero in release builds (see the field comment).
+func (q *Queue[T]) MaxTries() int64 { return q.maxTries.V.Load() }
 
 // Enqueue appends item. Lock-free: the loop retries until the two-step
 // link-then-swing-tail succeeds or is helped along by another thread.
@@ -106,7 +133,13 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
 	nd := q.alloc(threadID, item)
-	for {
+	for tries := int64(1); ; tries++ {
+		// Fault point: top of one unbounded CAS retry — the window that
+		// makes MS lock-free rather than wait-free.
+		inject.Fire(inject.MSQEnqLoop)
+		if inject.Enabled {
+			q.noteTries(tries)
+		}
 		ltail := q.hp.ProtectPtr(hpHead, threadID, q.tail.Load())
 		if ltail != q.tail.Load() {
 			continue
@@ -129,7 +162,11 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
-	for {
+	for tries := int64(1); ; tries++ {
+		inject.Fire(inject.MSQDeqLoop)
+		if inject.Enabled {
+			q.noteTries(tries)
+		}
 		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
 		if lhead != q.head.Load() {
 			continue

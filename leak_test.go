@@ -1,6 +1,7 @@
 package turnqueue
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -105,6 +106,63 @@ func TestTurnCloseDrainsRetireBacklog(t *testing.T) {
 	if post.Hazard[0].Backlog != 0 {
 		t.Fatalf("domain backlog %d after the only handle closed, want 0", post.Hazard[0].Backlog)
 	}
+	if err := post.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyQuiescentReportsStrandedSlots simulates a crash-without-Close
+// (a handle abandoned mid-lifecycle, the chaos harness's scenario (c)) and
+// asserts the accounting names the stranded slot: Snapshot.Live lists its
+// index, Stranded() reports the retire backlog it pins, and the
+// VerifyQuiescent error says which slot and how many nodes — not just a
+// bare live-slot count.
+func TestVerifyQuiescentReportsStrandedSlots(t *testing.T) {
+	// R above the op count defers every scan, so the abandoned slot's
+	// retire list still holds its nodes — the signature of a thread that
+	// died before its drain-on-release hook could run.
+	q := NewTurn[int](WithMaxThreads(4), WithHazardR(64))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		q.Enqueue(h, i)
+		q.Dequeue(h)
+	}
+	slot := h.Slot()
+	// Abandon h without Close: the slot stays live, the backlog stranded.
+
+	s := q.Snapshot()
+	if s.LiveSlots != 1 {
+		t.Fatalf("LiveSlots = %d, want 1 (abandoned handle)", s.LiveSlots)
+	}
+	if len(s.Live) != 1 || s.Live[0] != slot {
+		t.Fatalf("Live = %v, want [%d]", s.Live, slot)
+	}
+	stranded := s.Stranded()
+	if len(stranded) != 1 || stranded[0].Slot != slot {
+		t.Fatalf("Stranded() = %+v, want one entry for slot %d", stranded, slot)
+	}
+	if got := stranded[0].Backlog["nodes"]; got == 0 {
+		t.Fatalf("stranded slot %d reports no pinned backlog; the R threshold no longer defers scans and this test is vacuous", slot)
+	}
+	err = s.VerifyQuiescent()
+	if err == nil {
+		t.Fatal("VerifyQuiescent passed with a live slot")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, fmt.Sprintf("slot %d stranded", slot)) {
+		t.Fatalf("error %q does not name the stranded slot %d", msg, slot)
+	}
+	if !strings.Contains(msg, "pinning") || !strings.Contains(msg, "hazard[nodes]") {
+		t.Fatalf("error %q does not report the pinned retire backlog", msg)
+	}
+
+	// Recovery: closing the abandoned handle drains the slot, and the
+	// queue verifies clean again.
+	h.Close()
+	post := q.Snapshot()
 	if err := post.VerifyQuiescent(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,5 +1,5 @@
 #!/bin/sh
-# The full correctness gate, exactly as CI runs it. Six passes:
+# The full correctness gate, exactly as CI runs it. Seven passes:
 #
 #   1. build + vet of every package,
 #   2. the full test suite in the release build (no handle validation
@@ -15,9 +15,17 @@
 #      queue's quiescent snapshot (drain-on-release, no leaked slots,
 #      hazard backlog within the paper's bound),
 #   6. a smoke run of the core benchmark set (scripts/bench.sh smoke),
-#      so the benchmarks cannot silently rot.
+#      so the benchmarks cannot silently rot — including the fault-point
+#      zero-cost gate: the release build must stay within 2% of the
+#      recorded baseline (results/BENCH_gate.json) or the smoke fails,
+#   7. the chaos gate: the fault-point injection suite (chaos_test.go,
+#      internal/inject, the mpsc blocking-window regression) under
+#      -race with both the faultpoints and debughandles tags, at a
+#      bounded wall-clock. This is where wait-freedom and bounded
+#      reclamation are tested against parked, crashed, and delayed
+#      threads on the real queues.
 #
-# A change is green only if all six pass.
+# A change is green only if all seven pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,5 +54,12 @@ echo "==> bench smoke"
 BENCH_OUT="$(mktemp -d)"
 sh scripts/bench.sh smoke "$BENCH_OUT" >/dev/null
 rm -rf "$BENCH_OUT"
+
+echo "==> chaos gate (fault points under -race)"
+go vet -tags "faultpoints debughandles" ./...
+go test -race -tags faultpoints -timeout 120s ./internal/inject
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestChaos|TestLaggingProducerBlocksConsumer|TestVerifyQuiescentReportsStrandedSlots' \
+	. ./internal/mpsc
 
 echo "==> ci green"
