@@ -131,6 +131,23 @@ func (a *AutoQueue[T]) Dequeue() (item T, ok bool) {
 	return a.q.Dequeue(s.h)
 }
 
+// EnqueueBatch inserts items in slice order, claiming one cache slot for
+// the whole batch — the slot-scan cost is paid once per batch, not per
+// item. See Queue.EnqueueBatch for the contiguity guarantees.
+func (a *AutoQueue[T]) EnqueueBatch(items []T) {
+	s := a.acquire()
+	defer s.busy.Store(false)
+	a.q.EnqueueBatch(s.h, items)
+}
+
+// DequeueBatch removes up to len(buf) items into buf under one cache
+// slot claim and returns the count taken; zero means observed empty.
+func (a *AutoQueue[T]) DequeueBatch(buf []T) int {
+	s := a.acquire()
+	defer s.busy.Store(false)
+	return a.q.DequeueBatch(s.h, buf)
+}
+
 // MaxThreads returns the underlying queue's registered-thread bound,
 // which is also this wrapper's maximum concurrency before callers start
 // waiting on each other.

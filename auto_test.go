@@ -28,6 +28,41 @@ func TestAutoQueueSequential(t *testing.T) {
 	}
 }
 
+// TestAutoQueueBatch checks the batch methods through the implicit-handle
+// layer: one cache-slot claim covers a whole batch, and FIFO order holds
+// across mixed batch/single traffic.
+func TestAutoQueueBatch(t *testing.T) {
+	a := NewAuto(NewTurn[int](WithMaxThreads(4)))
+	defer a.Close()
+	next := 0
+	for b := 0; b < 30; b++ {
+		items := make([]int, 1+b%5)
+		for i := range items {
+			items[i] = next
+			next++
+		}
+		a.EnqueueBatch(items)
+		a.Enqueue(next)
+		next++
+	}
+	buf := make([]int, 7)
+	for expect := 0; expect < next; {
+		n := a.DequeueBatch(buf)
+		if n == 0 {
+			t.Fatalf("observed empty with %d outstanding", next-expect)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != expect {
+				t.Fatalf("got %d, want %d", buf[i], expect)
+			}
+			expect++
+		}
+	}
+	if n := a.DequeueBatch(buf); n != 0 {
+		t.Fatalf("DequeueBatch on empty queue returned %d", n)
+	}
+}
+
 // TestAutoQueueOversubscribed drives far more goroutines than MaxThreads
 // through the implicit layer: first-use registration races on every
 // cache slot, and surplus callers must wait for a slot rather than fail.

@@ -251,6 +251,102 @@ func BenchmarkUncontended(b *testing.B) {
 	}
 }
 
+// BenchmarkEnqueueBatch measures the per-item cost of chain-batched
+// enqueues on the Turn queue (experiment X10's enqueue side): one
+// consensus round publishes the whole chain, so ns/op should fall well
+// below BenchmarkUncontended's Turn line as k grows. The drain between
+// chunks is untimed.
+func BenchmarkEnqueueBatch(b *testing.B) {
+	for _, k := range []int{8, 32} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			q := core.New[uint64](core.WithMaxThreads(1))
+			items := make([]uint64, k)
+			buf := make([]uint64, 256)
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				chunk := 4096
+				if b.N-done < chunk {
+					chunk = b.N - done
+				}
+				n := 0
+				for ; n+k <= chunk; n += k {
+					q.EnqueueBatch(0, items)
+				}
+				for ; n < chunk; n++ {
+					q.Enqueue(0, uint64(n))
+				}
+				b.StopTimer()
+				for got := 0; got < chunk; {
+					m := q.DequeueBatch(0, buf)
+					if m == 0 {
+						b.Fatal("dequeue empty mid-drain")
+					}
+					got += m
+				}
+				b.StartTimer()
+				done += chunk
+			}
+		})
+	}
+}
+
+// BenchmarkDequeueBatch measures the per-item cost of batched dequeues on
+// the Turn queue (experiment X10's dequeue side): the consensus still runs
+// per node, but slot checks and the hazard retire scan are amortized over
+// the batch. The refill between chunks is untimed.
+func BenchmarkDequeueBatch(b *testing.B) {
+	for _, k := range []int{8, 32} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			q := core.New[uint64](core.WithMaxThreads(1))
+			items := make([]uint64, 256)
+			buf := make([]uint64, k)
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				chunk := 4096
+				if b.N-done < chunk {
+					chunk = b.N - done
+				}
+				b.StopTimer()
+				for n := 0; n < chunk; n += len(items) {
+					fill := len(items)
+					if chunk-n < fill {
+						fill = chunk - n
+					}
+					q.EnqueueBatch(0, items[:fill])
+				}
+				b.StartTimer()
+				for got := 0; got < chunk; {
+					m := q.DequeueBatch(0, buf)
+					if m == 0 {
+						b.Fatal("dequeue empty mid-drain")
+					}
+					got += m
+				}
+				done += chunk
+			}
+		})
+	}
+}
+
+// BenchmarkBatchPairs is experiment X10's headline comparison: the
+// 4-thread pairs workload at batch sizes 1 (the single-op baseline), 8,
+// and 32, all on the Turn queue's native chain batching. Ops/sec is
+// per-item in every configuration.
+func BenchmarkBatchPairs(b *testing.B) {
+	turn := bench.PaperFactories()[2]
+	for _, k := range []int{1, 8, 32} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			res := bench.MeasurePairs(turn, bench.PairsConfig{
+				Threads: benchThreads, TotalPairs: maxPairs(b.N), Runs: 1, Batch: k,
+			})
+			b.ReportMetric(res.Median(), "ops/s")
+		})
+	}
+}
+
 // BenchmarkAblationRandomWork is experiment X6: the pairs workload with
 // the 50-100ns inter-operation "random work" of the MS/YMC methodology,
 // which §4.1 deliberately omits because it artificially reduces

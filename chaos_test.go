@@ -154,6 +154,124 @@ func TestChaosStalledThreadTurnWaitFree(t *testing.T) {
 	}
 }
 
+// TestChaosStalledThreadMidBatch parks one thread forever right after it
+// publishes a pre-linked chain of k nodes (the EnqueueBatch consensus
+// round) and asserts the batch-specific claims: healthy threads — mixing
+// batch and single operations — all complete within the structural bound
+// (zero overruns) while the victim stays parked, and the victim's chain
+// is all-or-nothing. The park point sits after the publish, so helpers
+// must install the entire chain: every one of the k items drains exactly
+// once, in chain order at each consumer, even though the enqueuer never
+// ran its own helping loop.
+func TestChaosStalledThreadMidBatch(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	q := core.New[int](core.WithMaxThreads(8))
+	rt := q.Runtime()
+	victim := acquireSlot(t, rt)
+
+	// Chain items are distinct negative sentinels; healthy traffic is
+	// non-negative, so consumers can attribute every dequeue.
+	const chainLen = 16
+	chain := make([]int, chainLen)
+	for i := range chain {
+		chain[i] = -1 - i
+	}
+	victimDone := parkVictim(t, inject.CoreEnqBatchPublish, func() { q.EnqueueBatch(victim, chain) })
+
+	const workers, rounds, k = 6, 50, 4
+	seen := make([]atomic.Int32, chainLen) // seen[i]: dequeues of chain item i
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot := acquireSlot(t, rt)
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			items := make([]int, k)
+			buf := make([]int, k)
+			lastChainIdx := -1 // per-consumer FIFO within the victim's chain
+			note := func(v int) {
+				if v >= 0 {
+					return
+				}
+				idx := -v - 1
+				seen[idx].Add(1)
+				if idx <= lastChainIdx {
+					t.Errorf("worker %d saw chain item %d after %d; chain order broken", w, idx, lastChainIdx)
+				}
+				lastChainIdx = idx
+			}
+			for r := 0; r < rounds; r++ {
+				for i := range items {
+					items[i] = w*10000 + r*k + i
+				}
+				q.EnqueueBatch(slot, items)
+				n := q.DequeueBatch(slot, buf)
+				for i := 0; i < n; i++ {
+					note(buf[i])
+				}
+				q.Enqueue(slot, w*10000+9000+r)
+				if v, ok := q.Dequeue(slot); ok {
+					note(v)
+				}
+			}
+		}(w, slot)
+	}
+	healthy := make(chan struct{})
+	go func() { wg.Wait(); close(healthy) }()
+	awaitOrFatal(t, healthy, 60*time.Second, "healthy workers (victim stalled mid-batch)")
+
+	// With the victim still parked: wait-free bound, reclamation bound.
+	if got := inject.Stalled(); got != 1 {
+		t.Fatalf("expected the victim still parked, Stalled() = %d", got)
+	}
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Fatalf("helping-loop overruns enq=%d deq=%d with one thread stalled mid-batch; wait-free bound violated", enq, deq)
+	}
+	hz := q.Hazard()
+	if b, bound := hz.Backlog(), hz.BacklogBound(); b > bound {
+		t.Fatalf("hazard backlog %d exceeds bound %d while one thread is stalled mid-batch", b, bound)
+	}
+
+	// Drain the leftovers (the victim's chain has no matching dequeues)
+	// and close the books: every chain item exactly once, none lost to
+	// the parked publisher — the chain is fully visible, not partially.
+	drainer := acquireSlot(t, rt)
+	buf := make([]int, chainLen)
+	lastChainIdx := -1
+	for {
+		n := q.DequeueBatch(drainer, buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if v := buf[i]; v < 0 {
+				idx := -v - 1
+				seen[idx].Add(1)
+				if idx <= lastChainIdx {
+					t.Errorf("drain saw chain item %d after %d; chain order broken", idx, lastChainIdx)
+				}
+				lastChainIdx = idx
+			}
+		}
+	}
+	rt.Release(drainer)
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Errorf("chain item %d dequeued %d times, want exactly 1 (all-or-nothing violated)", i, got)
+		}
+	}
+
+	inject.ReleaseStalled()
+	awaitOrFatal(t, victimDone, 10*time.Second, "released victim")
+	rt.Release(victim)
+
+	s := account.Capture("turn", rt, q)
+	if err := s.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestChaosStalledThreadKPWaitFree is the same scenario against the
 // Kogan-Petrank queue, parked in its own worst window: descriptor
 // installed and pending, help() never entered. The paper's helping
@@ -465,7 +583,8 @@ func TestChaosLincheckUnderDelayInjection(t *testing.T) {
 		rounds = 2
 	}
 	delayed := []inject.Point{
-		inject.CoreEnqPublish, inject.CoreEnqHelp, inject.CoreDeqOpen, inject.CoreDeqHelp,
+		inject.CoreEnqPublish, inject.CoreEnqBatchPublish, inject.CoreEnqHelp,
+		inject.CoreDeqOpen, inject.CoreDeqHelp,
 		inject.HazardProtect, inject.HazardRetire, inject.KPQInstall, inject.EpochEnter,
 		inject.FAAQRead, inject.MSQEnqLoop, inject.MSQDeqLoop,
 		inject.LockQEnqLocked, inject.LockQDeqLocked,
@@ -492,8 +611,30 @@ func TestChaosLincheckUnderDelayInjection(t *testing.T) {
 							return
 						}
 						defer h.Close()
+						buf := make([]int64, 2)
 						for k := 0; k < opsEach; k++ {
-							v := int64(w*1000 + k)
+							v := int64(w*1000 + k*10)
+							if k%2 == 1 {
+								// Odd iterations go through the batch API: a
+								// batch records its item count of operations
+								// sharing one interval — the chain install
+								// must linearize them inside it, in order.
+								batch := []int64{v, v + 1}
+								s := rec.Begin()
+								q.EnqueueBatch(h, batch)
+								for _, b := range batch {
+									rec.EndEnq(w, b, s)
+								}
+								s = rec.Begin()
+								n := q.DequeueBatch(h, buf)
+								for i := 0; i < n; i++ {
+									rec.EndDeq(w, buf[i], true, s)
+								}
+								if n == 0 {
+									rec.EndDeq(w, 0, false, s)
+								}
+								continue
+							}
 							s := rec.Begin()
 							q.Enqueue(h, v)
 							rec.EndEnq(w, v, s)

@@ -12,6 +12,11 @@
 //	          complete, plus the progress/reclamation observables:
 //	          helping-loop overruns (turn), max CAS retries (msq),
 //	          hazard backlog vs bound. Queues: turn, kp, msq, lockq.
+//	batch     park one victim right after it publishes an EnqueueBatch
+//	          chain, run healthy workers mixing batch and single ops,
+//	          then drain and report overruns, hazard backlog, and
+//	          whether the parked chain drained whole (all-or-nothing)
+//	          and in order. Queue: turn.
 //	reader    park one reader inside its reclamation critical section
 //	          and sample the retired backlog while a worker churns:
 //	          epoch (faa) grows without bound, hazard (turn) stays
@@ -27,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"turnqueue/internal/account"
@@ -41,10 +47,11 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "stall", "stall, reader, crash, or adversary")
+		scenario = flag.String("scenario", "stall", "stall, batch, reader, crash, or adversary")
 		queue    = flag.String("queue", "turn", "turn, kp, msq, lockq, or faa (per scenario)")
 		workers  = flag.Int("workers", 4, "healthy worker goroutines")
 		ops      = flag.Int("ops", 2000, "enqueue+dequeue pairs per worker")
+		batch    = flag.Int("batch", 16, "chain length for the batch scenario")
 		segsize  = flag.Int("segsize", 64, "FAA queue segment size (reader scenario)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "completion deadline for healthy workers")
 	)
@@ -60,6 +67,8 @@ func main() {
 	switch *scenario {
 	case "stall":
 		err = runStall(*queue, *workers, *ops, *timeout)
+	case "batch":
+		err = runBatchStall(*queue, *workers, *ops, *batch, *timeout)
 	case "reader":
 		err = runReader(*queue, *ops, *segsize)
 	case "crash":
@@ -189,6 +198,145 @@ func runStall(queue string, workers, ops int, timeout time.Duration) error {
 	inject.ReleaseStalled()
 	<-victimDone
 	q.rt.Release(victim)
+	return nil
+}
+
+// runBatchStall parks one victim right after it publishes an
+// EnqueueBatch chain (the CoreEnqBatchPublish window — the chain is
+// handed to the helpers, the publisher never runs its own helping loop),
+// drives healthy workers through mixed batch/single traffic, then drains
+// and reports whether the parked chain came out whole and in order.
+func runBatchStall(queue string, workers, ops, batch int, timeout time.Duration) error {
+	defer inject.Reset()
+	if queue != "turn" {
+		return fmt.Errorf("batch scenario supports -queue turn, got %q", queue)
+	}
+	if batch < 2 {
+		return fmt.Errorf("batch scenario wants -batch >= 2, got %d", batch)
+	}
+	q := core.New[int](core.WithMaxThreads(workers + 3))
+	rt := q.Runtime()
+	victim, _ := rt.Acquire()
+
+	// Chain items are distinct negative sentinels; healthy traffic is
+	// non-negative, so the drain can attribute every item.
+	chain := make([]int, batch)
+	for i := range chain {
+		chain[i] = -1 - i
+	}
+	inject.Arm(inject.CoreEnqBatchPublish, inject.Stall(1))
+	victimDone := make(chan struct{})
+	go func() { defer close(victimDone); q.EnqueueBatch(victim, chain) }()
+	if got := inject.WaitStalled(1, 10*time.Second); got < 1 {
+		return fmt.Errorf("victim never parked at %v", inject.CoreEnqBatchPublish)
+	}
+	inject.Disarm(inject.CoreEnqBatchPublish)
+	fmt.Printf("victim parked forever at %v with a %d-item chain published; starting %d workers x %d mixed rounds\n",
+		inject.CoreEnqBatchPublish, batch, workers, ops)
+
+	// The chain sits at the front of the queue (it was published first),
+	// so the workers consume it during the run: every consumer counts the
+	// sentinels it sees and checks they arrive in chain order.
+	const k = 4
+	seen := make([]atomic.Int32, batch)
+	var outOfOrder atomic.Bool
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot, ok := rt.Acquire()
+		if !ok {
+			return fmt.Errorf("no slot for worker %d", w)
+		}
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			items := make([]int, k)
+			buf := make([]int, k)
+			lastIdx := -1
+			note := func(v int) {
+				if v >= 0 {
+					return
+				}
+				idx := -v - 1
+				seen[idx].Add(1)
+				if idx <= lastIdx {
+					outOfOrder.Store(true)
+				}
+				lastIdx = idx
+			}
+			for r := 0; r < ops; r++ {
+				for i := range items {
+					items[i] = w*1000000 + r*k + i
+				}
+				q.EnqueueBatch(slot, items)
+				n := q.DequeueBatch(slot, buf)
+				for i := 0; i < n; i++ {
+					note(buf[i])
+				}
+				q.Enqueue(slot, w*1000000+900000+r)
+				if v, ok := q.Dequeue(slot); ok {
+					note(v)
+				}
+			}
+		}(w, slot)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		fmt.Printf("healthy workers completed in %v with the victim still parked\n", time.Since(start))
+	case <-time.After(timeout):
+		inject.ReleaseStalled()
+		return fmt.Errorf("healthy workers did not complete within %v", timeout)
+	}
+
+	enq, deq := q.OverrunStats()
+	hz := q.Hazard()
+	fmt.Printf("  turn: helping-loop overruns %d/%d (bound maxThreads+1 held: %v); hazard backlog %d <= bound %d: %v\n",
+		enq, deq, enq == 0 && deq == 0, hz.Backlog(), hz.BacklogBound(), hz.Backlog() <= hz.BacklogBound())
+
+	// Drain what the workers left behind (their surplus plus any chain
+	// tail nobody claimed yet), then close the books: every sentinel
+	// exactly once — helpers installed the parked chain whole.
+	drainer, _ := rt.Acquire()
+	buf := make([]int, batch)
+	lastIdx := -1
+	for {
+		n := q.DequeueBatch(drainer, buf)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if v := buf[i]; v < 0 {
+				idx := -v - 1
+				seen[idx].Add(1)
+				if idx <= lastIdx {
+					outOfOrder.Store(true)
+				}
+				lastIdx = idx
+			}
+		}
+	}
+	rt.Release(drainer)
+	total, exactlyOnce := 0, true
+	for i := range seen {
+		n := int(seen[i].Load())
+		total += n
+		if n != 1 {
+			exactlyOnce = false
+		}
+	}
+	inOrder := !outOfOrder.Load()
+	fmt.Printf("  chain: %d/%d items dequeued, each exactly once: %v, in chain order at every consumer: %v\n",
+		total, batch, exactlyOnce, inOrder)
+
+	inject.ReleaseStalled()
+	<-victimDone
+	rt.Release(victim)
+	if !exactlyOnce || !inOrder {
+		return fmt.Errorf("parked chain came out %d/%d items (exactly once: %v, in order: %v)", total, batch, exactlyOnce, inOrder)
+	}
 	return nil
 }
 

@@ -69,6 +69,7 @@ func main() {
 	var (
 		queues    = flag.String("queues", "MS,KP,Turn,Sim(FK),FAA(YMC)", "comma-separated queue names")
 		threads   = flag.Int("threads", 2*runtime.GOMAXPROCS(0), "worker count (half produce, half consume)")
+		batch     = flag.Int("batch", 1, "producers/consumers operate in batches of this size (1 = single ops)")
 		duration  = flag.Duration("duration", 5*time.Second, "run length per queue")
 		snapEvery = flag.Duration("snapshots", 0, "dump a resource snapshot at this interval (0 disables)")
 		debugaddr = flag.String("debugaddr", "", "serve /debug/vars (expvar, incl. queue_snapshot) on this address")
@@ -91,6 +92,9 @@ func main() {
 	if *threads < 2 {
 		*threads = 2
 	}
+	if *batch < 1 {
+		*batch = 1
+	}
 
 	failed := false
 	for _, name := range strings.Split(*queues, ",") {
@@ -100,8 +104,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown queue %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Printf("stress %-10s threads=%d duration=%v ... ", f.Name, *threads, *duration)
-		hist, err := stressOne(f, *threads, *duration, *snapEvery)
+		fmt.Printf("stress %-10s threads=%d batch=%d duration=%v ... ", f.Name, *threads, *batch, *duration)
+		hist, err := stressOne(f, *threads, *batch, *duration, *snapEvery)
 		if err != nil {
 			fmt.Printf("FAIL\n  %v\n", err)
 			failed = true
@@ -120,15 +124,49 @@ func main() {
 
 // stressOne drives producers/consumers for d, then drains, validates,
 // and checks the quiescent accounting snapshot. It returns a histogram
-// of enqueue latencies observed during the run.
-func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histogram.Hist, error) {
+// of per-item enqueue latencies observed during the run. With batch > 1
+// workers use the batch operations (native chain batching where the
+// queue provides it, a single-op loop elsewhere); each batch is recorded
+// in the lincheck history as its item count of operations sharing one
+// interval, which is exactly the batch linearization claim under test.
+func stressOne(f bench.Factory, threads, batch int, d, snapEvery time.Duration) (*histogram.Hist, error) {
 	hist := histogram.New()
 	q := f.New(threads)
-	snap := func() account.Snapshot { return account.Capture(f.Name, q.Runtime(), q) }
+	snap := func() account.Snapshot {
+		s := account.Capture(f.Name, q.Runtime(), q)
+		s.Counter("batch_size", int64(batch))
+		return s
+	}
 	setSnapSource(snap)
 	defer setSnapSource(nil)
 	producers := threads / 2
 	consumers := threads - producers
+
+	bq, native := q.(bench.BatchQueue)
+	enqBatch := func(slot int, items []uint64) {
+		if native {
+			bq.EnqueueBatch(slot, items)
+			return
+		}
+		for _, v := range items {
+			q.Enqueue(slot, v)
+		}
+	}
+	deqBatch := func(slot int, buf []uint64) int {
+		if native {
+			return bq.DequeueBatch(slot, buf)
+		}
+		n := 0
+		for n < len(buf) {
+			v, ok := q.Dequeue(slot)
+			if !ok {
+				break
+			}
+			buf[n] = v
+			n++
+		}
+		return n
+	}
 
 	// Item encoding: high 16 bits producer id, low 48 bits sequence.
 	encode := func(p, k uint64) uint64 { return p<<48 | k }
@@ -154,6 +192,28 @@ func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histo
 			}
 			defer q.Runtime().Release(slot)
 			var k uint64
+			if batch > 1 {
+				items := make([]uint64, batch)
+				for !stopProducing.Load() {
+					for i := range items {
+						items[i] = encode(uint64(p), k+uint64(i))
+					}
+					if sampling.Load() {
+						s := rec.Begin()
+						enqBatch(slot, items)
+						for _, v := range items {
+							rec.EndEnq(slot, int64(v), s)
+						}
+					} else {
+						start := time.Now()
+						enqBatch(slot, items)
+						hist.Record(time.Since(start).Nanoseconds() / int64(batch))
+					}
+					k += uint64(batch)
+				}
+				produced[p] = k
+				return
+			}
 			for !stopProducing.Load() {
 				v := encode(uint64(p), k)
 				if sampling.Load() {
@@ -183,6 +243,30 @@ func stressOne(f bench.Factory, threads int, d, snapEvery time.Duration) (*histo
 				panic("stress: no free slot for consumer")
 			}
 			defer q.Runtime().Release(tid)
+			if batch > 1 {
+				buf := make([]uint64, batch)
+				for {
+					var n int
+					if sampling.Load() {
+						s := rec.Begin()
+						n = deqBatch(tid, buf)
+						for i := 0; i < n; i++ {
+							rec.EndDeq(tid, int64(buf[i]), true, s)
+						}
+					} else {
+						n = deqBatch(tid, buf)
+					}
+					if n > 0 {
+						consumed[c] = append(consumed[c], buf[:n]...)
+						totalConsumed.Add(int64(n))
+						continue
+					}
+					if stopConsuming.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+			}
 			for {
 				var v uint64
 				var ok bool

@@ -51,6 +51,7 @@ func main() {
 		pairs    = flag.Int("pairs", 400000, "total enqueue/dequeue pairs per run (paper: 100000000)")
 		runs     = flag.Int("runs", 5, "runs per point; the median is plotted (paper: 5)")
 		all      = flag.Bool("all", false, "include the FK-style, YMC-style and two-lock baselines (experiment X3)")
+		batch    = flag.Int("batch", 1, "enqueue/dequeue in batches of this size (experiment X10; 1 = single ops)")
 		plot     = flag.Bool("plot", false, "render an ASCII chart of the left panel")
 		ablation = flag.Bool("ablation", false, "run the Turn-queue variants instead (experiments X1/X2)")
 		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
@@ -110,8 +111,11 @@ func main() {
 		factories = bench.TurnVariantFactories()
 	}
 
-	abs := report.New(fmt.Sprintf("Figure 2 (left) — pairs throughput, ops/s (median of %d runs of %d pairs)", *runs, *pairs),
-		"threads", "queue", "ops/s")
+	title := fmt.Sprintf("Figure 2 (left) — pairs throughput, ops/s (median of %d runs of %d pairs)", *runs, *pairs)
+	if *batch > 1 {
+		title = fmt.Sprintf("Experiment X10 — batched pairs throughput, ops/s (batch=%d, median of %d runs of %d pairs)", *batch, *runs, *pairs)
+	}
+	abs := report.New(title, "threads", "queue", "ops/s")
 	// medians[name][threads] for the ratio panel.
 	medians := map[string]map[int]float64{}
 	var threadPoints []int
@@ -128,8 +132,11 @@ func main() {
 			pprof.Do(context.Background(),
 				pprof.Labels("queue", f.Name, "threads", fmt.Sprintf("%d", n)),
 				func(context.Context) {
-					res = bench.MeasurePairs(f, bench.PairsConfig{Threads: n, TotalPairs: maxInt(*pairs, n), Runs: *runs})
+					res = bench.MeasurePairs(f, bench.PairsConfig{Threads: n, TotalPairs: maxInt(*pairs, n), Runs: *runs, Batch: *batch})
 				})
+			// Record the batch size in the exported snapshot so a live
+			// expvar reader can tell which workload shape produced it.
+			res.Final.Counter("batch_size", int64(*batch))
 			setLastSnap(res.Final)
 			if *verify {
 				if err := res.Final.VerifyQuiescent(); err != nil {

@@ -123,6 +123,53 @@ func (a *adapter[T, Q]) Enqueue(h *Handle, item T) { a.q.Enqueue(checkHandle(a, 
 // Dequeue removes the item at the head using h's slot.
 func (a *adapter[T, Q]) Dequeue(h *Handle) (T, bool) { return a.q.Dequeue(checkHandle(a, h)) }
 
+// batchEnqueuer and batchDequeuer are the optional thread-indexed batch
+// surfaces. Implementations that provide them (the Turn queue and its
+// variants) get native chain-batched operations through the adapter;
+// everything else falls back to a loop of single operations, so the whole
+// public API is uniform across algorithms.
+type batchEnqueuer[T any] interface {
+	EnqueueBatch(threadID int, items []T)
+}
+
+type batchDequeuer[T any] interface {
+	DequeueBatch(threadID int, buf []T) int
+}
+
+// EnqueueBatch inserts items in slice order using h's slot, natively
+// batched when the implementation supports it. The type assertion is per
+// call but amortized over the batch; the single-op paths above stay
+// untouched.
+func (a *adapter[T, Q]) EnqueueBatch(h *Handle, items []T) {
+	slot := checkHandle(a, h)
+	if be, ok := any(a.q).(batchEnqueuer[T]); ok {
+		be.EnqueueBatch(slot, items)
+		return
+	}
+	for _, v := range items {
+		a.q.Enqueue(slot, v)
+	}
+}
+
+// DequeueBatch removes up to len(buf) items into buf using h's slot and
+// returns the count taken.
+func (a *adapter[T, Q]) DequeueBatch(h *Handle, buf []T) int {
+	slot := checkHandle(a, h)
+	if bd, ok := any(a.q).(batchDequeuer[T]); ok {
+		return bd.DequeueBatch(slot, buf)
+	}
+	n := 0
+	for n < len(buf) {
+		v, ok := a.q.Dequeue(slot)
+		if !ok {
+			break
+		}
+		buf[n] = v
+		n++
+	}
+	return n
+}
+
 // MaxThreads returns the registered-thread bound.
 func (a *adapter[T, Q]) MaxThreads() int { return a.q.MaxThreads() }
 

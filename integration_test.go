@@ -72,6 +72,72 @@ func TestLinearizabilityExact(t *testing.T) {
 	}
 }
 
+// TestLinearizabilityBatchExact records histories mixing the batch and
+// single operations on every public queue and verifies a valid
+// linearization exists. A batch is recorded as its item count of
+// operations sharing one Begin interval: the chain install (or, on the
+// fallback constructors, the loop of singles) must linearize all of them
+// inside that interval in slice order, which is exactly the batch
+// linearization claim — FIFO within the batch included, since the
+// checker only admits orders consistent with queue semantics.
+func TestLinearizabilityBatchExact(t *testing.T) {
+	rounds := 15
+	if testing.Short() {
+		rounds = 3
+	}
+	for name, mk := range linearizableQueues() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < rounds; round++ {
+				const workers, iters = 3, 2
+				q := mk(WithMaxThreads(workers))
+				rec := lincheck.NewRecorder(workers)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						h, err := q.Register()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						defer h.Close()
+						buf := make([]int64, 2)
+						for k := 0; k < iters; k++ {
+							v := int64(w*1000 + k*10)
+							batch := []int64{v, v + 1}
+							s := rec.Begin()
+							q.EnqueueBatch(h, batch)
+							for _, b := range batch {
+								rec.EndEnq(w, b, s)
+							}
+							s = rec.Begin()
+							q.Enqueue(h, v+5)
+							rec.EndEnq(w, v+5, s)
+							s = rec.Begin()
+							n := q.DequeueBatch(h, buf)
+							for i := 0; i < n; i++ {
+								rec.EndDeq(w, buf[i], true, s)
+							}
+							if n == 0 {
+								rec.EndDeq(w, 0, false, s)
+							}
+							s = rec.Begin()
+							got, ok := q.Dequeue(h)
+							rec.EndDeq(w, got, ok, s)
+						}
+					}(w)
+				}
+				wg.Wait()
+				if err := lincheck.Check(rec.History()); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+		})
+	}
+}
+
 // TestOversubscription runs 4x more workers than GOMAXPROCS — the §1.2
 // scenario where wait-free helping matters most because workers are
 // constantly descheduled mid-operation.

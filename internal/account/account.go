@@ -94,12 +94,22 @@ type PoolSnapshot struct {
 	Name string `json:"name"`
 	// Allocs counts heap allocations taken on Get misses, Reuses counts
 	// Get hits, Puts counts all Put calls, Drops the Puts rejected by a
-	// full list. Retained is the number of objects currently held; at
-	// quiescence Retained == Puts - Drops - Reuses.
+	// full list. Slabs counts slab refills, each of which injected
+	// qrt.SlabSize objects into circulation without a Put. Retained is
+	// the number of objects currently held; at quiescence the slab
+	// conservation identity holds:
+	//
+	//	Retained == Slabs*qrt.SlabSize + Puts - Drops - Reuses
+	//
+	// equivalently, with outstanding = Reuses - Puts (objects in callers'
+	// hands): Slabs*SlabSize = outstanding + Retained + Drops - the
+	// non-slab Puts, which reduces to "every slab-born object is either
+	// outstanding, retained, or dropped" once allocation stops.
 	Allocs   int64 `json:"allocs"`
 	Reuses   int64 `json:"reuses"`
 	Puts     int64 `json:"puts"`
 	Drops    int64 `json:"drops"`
+	Slabs    int64 `json:"slabs"`
 	Retained int64 `json:"retained"`
 }
 
@@ -146,6 +156,7 @@ type NodePool interface {
 	Stats() (allocs, reuses, drops int64)
 	Puts() int64
 	Retained() int64
+	Slabs() int64
 }
 
 // Capture builds a Snapshot for one queue: the registration view from rt,
@@ -193,7 +204,7 @@ func CaptureHazard(name string, d HazardDomain) DomainSnapshot {
 
 // CapturePool snapshots one pool under the given label.
 func CapturePool(name string, p NodePool) PoolSnapshot {
-	ps := PoolSnapshot{Name: name, Puts: p.Puts(), Retained: p.Retained()}
+	ps := PoolSnapshot{Name: name, Puts: p.Puts(), Retained: p.Retained(), Slabs: p.Slabs()}
 	ps.Allocs, ps.Reuses, ps.Drops = p.Stats()
 	return ps
 }
@@ -286,10 +297,10 @@ func (s *Snapshot) VerifyQuiescent() error {
 		}
 	}
 	for _, p := range s.Pools {
-		if want := p.Puts - p.Drops - p.Reuses; p.Retained != want {
+		if want := p.Slabs*qrt.SlabSize + p.Puts - p.Drops - p.Reuses; p.Retained != want {
 			violations = append(violations,
-				fmt.Sprintf("pool[%s] retained %d inconsistent with puts-drops-reuses %d",
-					p.Name, p.Retained, want))
+				fmt.Sprintf("pool[%s] retained %d inconsistent with slabs*%d+puts-drops-reuses %d",
+					p.Name, p.Retained, qrt.SlabSize, want))
 		}
 	}
 	if s.EnqOverruns != 0 || s.DeqOverruns != 0 {
@@ -326,8 +337,8 @@ func (s Snapshot) String() string {
 			s.Epoch.Epoch, s.Epoch.Backlog, s.Epoch.Retires, s.Epoch.Deletes)
 	}
 	for _, p := range s.Pools {
-		fmt.Fprintf(&b, " pool[%s]=%d(alloc=%d,reuse=%d,drop=%d)",
-			p.Name, p.Retained, p.Allocs, p.Reuses, p.Drops)
+		fmt.Fprintf(&b, " pool[%s]=%d(alloc=%d,slab=%d,reuse=%d,drop=%d)",
+			p.Name, p.Retained, p.Allocs, p.Slabs, p.Reuses, p.Drops)
 	}
 	if s.EnqOverruns != 0 || s.DeqOverruns != 0 {
 		fmt.Fprintf(&b, " OVERRUNS=%d/%d", s.EnqOverruns, s.DeqOverruns)

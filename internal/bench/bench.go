@@ -28,6 +28,16 @@ type Queue interface {
 	Runtime() *qrt.Runtime
 }
 
+// BatchQueue is the optional batch surface of a benchmarked queue. The
+// pairs driver uses it when PairsConfig.Batch > 1 and the implementation
+// provides it (the Turn queue's chain batching); other queues fall back
+// to a loop of single operations, so batch configurations remain
+// comparable across every factory.
+type BatchQueue interface {
+	EnqueueBatch(threadID int, items []uint64)
+	DequeueBatch(threadID int, buf []uint64) int
+}
+
 // Factory names a queue implementation and builds instances sized for a
 // given thread count.
 type Factory struct {

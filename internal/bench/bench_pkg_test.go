@@ -56,6 +56,27 @@ func TestMeasurePairs(t *testing.T) {
 	}
 }
 
+// TestMeasurePairsBatched covers the Batch > 1 workload on every factory:
+// the Turn queue takes the native BatchQueue path, everything else the
+// single-op fallback, and both must verify quiescent afterwards.
+func TestMeasurePairsBatched(t *testing.T) {
+	for _, f := range AllFactories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res := MeasurePairs(f, PairsConfig{Threads: 2, TotalPairs: 2000, Runs: 1, Batch: 16})
+			if res.Median() <= 0 {
+				t.Fatalf("non-positive throughput %v", res.Median())
+			}
+			if err := res.Final.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, ok := any(PaperFactories()[2].New(2)).(BatchQueue); !ok {
+		t.Fatal("Turn factory does not implement BatchQueue; batch pairs silently ran the fallback")
+	}
+}
+
 func TestMeasureBurst(t *testing.T) {
 	for _, f := range PaperFactories() {
 		f := f
@@ -82,8 +103,8 @@ func TestMeasureMemUsage(t *testing.T) {
 		byName[r.Name] = r
 	}
 	turn := byName["Turn"]
-	if turn.NodeBytes != 24 {
-		t.Errorf("Turn node size = %d, want 24 (item+enqTid+deqTid+next)", turn.NodeBytes)
+	if turn.NodeBytes != 32 {
+		t.Errorf("Turn node size = %d, want 32 (item+enqTid+deqTid+next+blink)", turn.NodeBytes)
 	}
 	if turn.EnqReqBytes != 0 || turn.DeqReqBytes != 0 {
 		t.Errorf("Turn request sizes = %d/%d, want 0/0", turn.EnqReqBytes, turn.DeqReqBytes)

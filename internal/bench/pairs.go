@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,13 @@ type PairsConfig struct {
 	// ("such a delay would artificially reduce contention"). Experiment
 	// X6 measures both settings to show what the choice changes.
 	RandomWork bool
+	// Batch > 1 runs the workload in enqueue-k/dequeue-k rounds instead
+	// of single pairs (experiment X10): natively chained on queues
+	// implementing BatchQueue, a plain loop elsewhere. Ops/sec stays
+	// per-item, so results are directly comparable with Batch <= 1.
+	// RandomWork is ignored in batch mode — the point of batching is the
+	// back-to-back consensus, which inserted delays would dissolve.
+	Batch int
 }
 
 // DefaultPairsConfig returns a laptop-scale configuration.
@@ -50,7 +58,7 @@ func DefaultPairsConfig(threads int) PairsConfig {
 
 // Validate panics on nonsensical parameters.
 func (c PairsConfig) Validate() {
-	if c.Threads <= 0 || c.TotalPairs < c.Threads || c.Runs <= 0 {
+	if c.Threads <= 0 || c.TotalPairs < c.Threads || c.Runs <= 0 || c.Batch < 0 {
 		panic(fmt.Sprintf("bench: invalid pairs config %+v", c))
 	}
 }
@@ -82,25 +90,72 @@ func MeasurePairs(f Factory, cfg PairsConfig) PairsResult {
 			q.Enqueue(w, uint64(w))
 		}
 		start := time.Now()
-		harness.RunRegistered(q.Runtime(), cfg.Threads, func(w, slot int) {
-			share := harness.Split(cfg.TotalPairs, cfg.Threads, w)
-			rng := xrand.NewXoshiro256(uint64(w) + 1)
-			for i := 0; i < share; i++ {
-				q.Enqueue(slot, uint64(i))
-				if cfg.RandomWork {
-					spinWork(50 + rng.Intn(51))
+		if cfg.Batch > 1 {
+			runPairsBatched(q, cfg)
+		} else {
+			harness.RunRegistered(q.Runtime(), cfg.Threads, func(w, slot int) {
+				share := harness.Split(cfg.TotalPairs, cfg.Threads, w)
+				rng := xrand.NewXoshiro256(uint64(w) + 1)
+				for i := 0; i < share; i++ {
+					q.Enqueue(slot, uint64(i))
+					if cfg.RandomWork {
+						spinWork(50 + rng.Intn(51))
+					}
+					if _, ok := q.Dequeue(slot); !ok {
+						panic(fmt.Sprintf("bench: %s dequeue empty in pairs workload", f.Name))
+					}
+					if cfg.RandomWork {
+						spinWork(50 + rng.Intn(51))
+					}
 				}
-				if _, ok := q.Dequeue(slot); !ok {
-					panic(fmt.Sprintf("bench: %s dequeue empty in pairs workload", f.Name))
-				}
-				if cfg.RandomWork {
-					spinWork(50 + rng.Intn(51))
-				}
-			}
-		})
+			})
+		}
 		elapsed := time.Since(start).Seconds()
 		res.OpsPerSec = append(res.OpsPerSec, float64(2*cfg.TotalPairs)/elapsed)
 		res.Final = account.Capture(f.Name, q.Runtime(), q)
 	}
 	return res
+}
+
+// runPairsBatched is the Batch > 1 worker loop: each round enqueues up to
+// Batch items and then dequeues the same count. The seed items keep the
+// queue globally non-empty and every worker enqueues before it dequeues,
+// so a short or empty dequeue only means another worker claimed the items
+// first — retry until the round's count is recovered.
+func runPairsBatched(q Queue, cfg PairsConfig) {
+	bq, native := q.(BatchQueue)
+	harness.RunRegistered(q.Runtime(), cfg.Threads, func(w, slot int) {
+		share := harness.Split(cfg.TotalPairs, cfg.Threads, w)
+		items := make([]uint64, cfg.Batch)
+		buf := make([]uint64, cfg.Batch)
+		for done := 0; done < share; {
+			k := cfg.Batch
+			if share-done < k {
+				k = share - done
+			}
+			if native {
+				bq.EnqueueBatch(slot, items[:k])
+				for got := 0; got < k; {
+					n := bq.DequeueBatch(slot, buf[got:k])
+					if n == 0 {
+						runtime.Gosched()
+						continue
+					}
+					got += n
+				}
+			} else {
+				for i := 0; i < k; i++ {
+					q.Enqueue(slot, items[i])
+				}
+				for got := 0; got < k; {
+					if _, ok := q.Dequeue(slot); ok {
+						got++
+					} else {
+						runtime.Gosched()
+					}
+				}
+			}
+			done += k
+		}
+	})
 }

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestBatchSequentialFIFO(t *testing.T) {
+	q := New[int](WithMaxThreads(4))
+	const batches, k = 50, 32
+	next := 0
+	for b := 0; b < batches; b++ {
+		items := make([]int, k)
+		for i := range items {
+			items[i] = next
+			next++
+		}
+		q.EnqueueBatch(0, items)
+	}
+	buf := make([]int, k)
+	for expect := 0; expect < next; {
+		n := q.DequeueBatch(0, buf)
+		if n == 0 {
+			t.Fatalf("DequeueBatch empty with %d items outstanding", next-expect)
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != expect {
+				t.Fatalf("got %d, want %d (FIFO violated)", buf[i], expect)
+			}
+			expect++
+		}
+	}
+	if n := q.DequeueBatch(0, buf); n != 0 {
+		t.Fatalf("DequeueBatch on empty queue returned %d items", n)
+	}
+}
+
+// TestBatchEdgeSizes pins the degenerate batch shapes: empty slices are
+// no-ops, size-1 batches behave exactly like single operations, and a
+// dequeue buffer larger than the queue drains it and reports the short
+// count.
+func TestBatchEdgeSizes(t *testing.T) {
+	q := New[int](WithMaxThreads(2))
+	q.EnqueueBatch(0, nil)
+	q.EnqueueBatch(0, []int{})
+	if n := q.DequeueBatch(0, nil); n != 0 {
+		t.Fatalf("DequeueBatch(nil) = %d, want 0", n)
+	}
+	q.EnqueueBatch(0, []int{7})
+	q.EnqueueBatch(1, []int{8, 9})
+	buf := make([]int, 10)
+	if n := q.DequeueBatch(1, buf); n != 3 {
+		t.Fatalf("DequeueBatch drained %d, want 3", n)
+	}
+	for i, want := range []int{7, 8, 9} {
+		if buf[i] != want {
+			t.Fatalf("buf[%d] = %d, want %d", i, buf[i], want)
+		}
+	}
+}
+
+// TestBatchMixedWithSingles interleaves batch and single operations on
+// one thread and checks the merged FIFO order.
+func TestBatchMixedWithSingles(t *testing.T) {
+	q := New[int](WithMaxThreads(2))
+	rng := rand.New(rand.NewSource(42))
+	next, expect := 0, 0
+	buf := make([]int, 8)
+	for round := 0; round < 400; round++ {
+		switch rng.Intn(4) {
+		case 0:
+			q.Enqueue(0, next)
+			next++
+		case 1:
+			k := 2 + rng.Intn(6)
+			items := make([]int, k)
+			for i := range items {
+				items[i] = next
+				next++
+			}
+			q.EnqueueBatch(0, items)
+		case 2:
+			if v, ok := q.Dequeue(0); ok {
+				if v != expect {
+					t.Fatalf("round %d: single got %d, want %d", round, v, expect)
+				}
+				expect++
+			} else if expect != next {
+				t.Fatalf("round %d: empty with %d outstanding", round, next-expect)
+			}
+		case 3:
+			n := q.DequeueBatch(0, buf[:1+rng.Intn(8)])
+			for i := 0; i < n; i++ {
+				if buf[i] != expect {
+					t.Fatalf("round %d: batch got %d, want %d", round, buf[i], expect)
+				}
+				expect++
+			}
+		}
+	}
+	for expect < next {
+		v, ok := q.Dequeue(0)
+		if !ok || v != expect {
+			t.Fatalf("drain: got (%d,%v), want (%d,true)", v, ok, expect)
+		}
+		expect++
+	}
+}
+
+// TestBatchTailRestsOnChainEnds pins the tail-jump invariant: after any
+// quiescent prefix of batch enqueues, the tail is the chain's last node
+// (list-reachable from head), never an interior.
+func TestBatchTailRestsOnChainEnds(t *testing.T) {
+	q := New[int](WithMaxThreads(2))
+	for b := 0; b < 10; b++ {
+		items := make([]int, 5)
+		q.EnqueueBatch(0, items)
+		tail := q.TailForTest()
+		if tail.Next() != nil {
+			t.Fatalf("batch %d: tail has a successor at rest; tail rested on a chain interior", b)
+		}
+		if tail.blink.Load() == nil && b >= 0 {
+			// The published request (last node) must carry its back-link
+			// until recycled; an interior would have nil blink.
+			t.Fatalf("batch %d: tail is not a chain end (nil blink)", b)
+		}
+	}
+	// Every node must be reachable from head: count them.
+	n := 0
+	for nd := q.HeadForTest().Next(); nd != nil; nd = nd.Next() {
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("%d nodes reachable from head, want 50", n)
+	}
+}
+
+// runBatchMPMC drives batchPairs producer/consumer pairs using the batch
+// API alongside singlePairs pairs using the single-op API, all on one
+// queue, then validates exactly-once delivery and per-producer FIFO —
+// which covers FIFO-within-batch, since each batch is a run of
+// consecutive sequence numbers from one producer.
+func runBatchMPMC(t *testing.T, q *Queue[item], batchPairs, singlePairs, perProducer, batch int) {
+	t.Helper()
+	producers := batchPairs + singlePairs
+	consumers := batchPairs + singlePairs
+	total := producers * perProducer
+	var wg sync.WaitGroup
+	results := make([][]item, consumers)
+	var consumed sync.WaitGroup
+	consumed.Add(total)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			slot, ok := q.Runtime().Acquire()
+			if !ok {
+				t.Error("no registry slot for producer")
+				return
+			}
+			defer q.Runtime().Release(slot)
+			if p >= batchPairs {
+				for k := 0; k < perProducer; k++ {
+					q.Enqueue(slot, item{p, k})
+				}
+				return
+			}
+			items := make([]item, 0, batch)
+			for k := 0; k < perProducer; {
+				items = items[:0]
+				for len(items) < batch && k < perProducer {
+					items = append(items, item{p, k})
+					k++
+				}
+				q.EnqueueBatch(slot, items)
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slot, ok := q.Runtime().Acquire()
+			if !ok {
+				t.Error("no registry slot for consumer")
+				return
+			}
+			defer q.Runtime().Release(slot)
+			buf := make([]item, batch)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := 0
+				if c >= batchPairs {
+					if v, ok := q.Dequeue(slot); ok {
+						buf[0], n = v, 1
+					}
+				} else {
+					n = q.DequeueBatch(slot, buf)
+				}
+				if n > 0 {
+					results[c] = append(results[c], buf[:n]...)
+					for i := 0; i < n; i++ {
+						consumed.Done()
+					}
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	seen := make(map[item]int, total)
+	for c := range results {
+		last := make(map[int]int)
+		for _, v := range results[c] {
+			seen[v]++
+			if prev, ok := last[v.p]; ok && v.k <= prev {
+				t.Fatalf("consumer %d saw producer %d items out of order: %d then %d", c, v.p, prev, v.k)
+			}
+			last[v.p] = v.k
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct items, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %+v dequeued %d times", v, n)
+		}
+	}
+}
+
+func TestBatchMPMCStress(t *testing.T) {
+	per := 4000
+	if testing.Short() {
+		per = 800
+	}
+	for _, batch := range []int{2, 7, 32} {
+		batch := batch
+		t.Run("k"+itoa(batch), func(t *testing.T) {
+			q := New[item](WithMaxThreads(8))
+			runBatchMPMC(t, q, 4, 0, per, batch)
+			if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+				t.Logf("note: loop-bound overruns observed: enq=%d deq=%d", enq, deq)
+			}
+		})
+	}
+}
+
+// TestBatchMixedMPMCStress races batch producers/consumers against
+// single-op producers/consumers on the same queue.
+func TestBatchMixedMPMCStress(t *testing.T) {
+	per := 3000
+	if testing.Short() {
+		per = 600
+	}
+	q := New[item](WithMaxThreads(8))
+	runBatchMPMC(t, q, 2, 2, per, 16)
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Logf("note: loop-bound overruns observed: enq=%d deq=%d", enq, deq)
+	}
+}
+
+func TestBatchReclaimModes(t *testing.T) {
+	for name, mode := range map[string]ReclaimMode{"gc": ReclaimGC, "none": ReclaimNone} {
+		mode := mode
+		t.Run(name, func(t *testing.T) {
+			q := New[item](WithMaxThreads(8), WithReclaim(mode))
+			runBatchMPMC(t, q, 4, 0, 800, 8)
+		})
+	}
+}
+
+// TestBatchPoolConservation checks the slab conservation identity on the
+// real queue after a quiescent batch workload: every slab-born node is
+// outstanding (in the queue or the request arrays), retained, or dropped.
+func TestBatchPoolConservation(t *testing.T) {
+	q := New[int](WithMaxThreads(4), WithPoolCap(128))
+	buf := make([]int, 32)
+	items := make([]int, 32)
+	for round := 0; round < 50; round++ {
+		q.EnqueueBatch(round%4, items)
+		if n := q.DequeueBatch((round+1)%4, buf); n != 32 {
+			t.Fatalf("round %d: drained %d, want 32", round, n)
+		}
+	}
+	allocs, reuses, drops := q.PoolStats()
+	slabs := q.pool.Slabs()
+	if slabs == 0 {
+		t.Fatal("batch workload with poolCap>=SlabSize allocated no slabs")
+	}
+	want := slabs*64 + q.pool.Puts() - drops - reuses
+	if got := q.pool.Retained(); got != want {
+		t.Fatalf("retained %d, want slabs*64+puts-drops-reuses = %d (allocs=%d)", got, want, allocs)
+	}
+}

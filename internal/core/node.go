@@ -29,11 +29,23 @@ const IdxNone int32 = -1
 //	deqTid — index of the thread whose dequeue request this node satisfies;
 //	         claimed by CAS from IdxNone, after which it never changes for
 //	         the node's lifetime (paper Invariant 9).
+//	blink  — batch-link, the chain extension beyond the paper: nil on a
+//	         single-item request and on chain interiors. A batch enqueue
+//	         publishes its pre-linked chain's LAST node as the request;
+//	         that node's blink points back to the chain's first node (the
+//	         helper installs the whole chain by CASing the first node in
+//	         after the tail), and the first node's blink points forward to
+//	         the last (the tail-advance jumps over the whole chain in one
+//	         CAS, so the tail never rests on a chain interior). Written
+//	         only between reset and publication; atomic because helpers
+//	         read it through unprotected scan results, where the
+//	         enclosing CAS — not the read — decides validity.
 type Node[T any] struct {
 	item   T
 	enqTid int32
 	deqTid atomic.Int32
 	next   atomic.Pointer[Node[T]]
+	blink  atomic.Pointer[Node[T]]
 }
 
 // reset prepares a (fresh or recycled) node for publication as a new
@@ -44,6 +56,7 @@ func (n *Node[T]) reset(item T, tid int32) {
 	n.enqTid = tid
 	n.deqTid.Store(IdxNone)
 	n.next.Store(nil)
+	n.blink.Store(nil)
 }
 
 // clearItem zeroes the item so a recycled or pooled node does not pin the

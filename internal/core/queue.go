@@ -61,12 +61,27 @@ type Queue[T any] struct {
 	pool *qrt.Pool[Node[T]]
 	rt   *qrt.Runtime
 
+	// scratch[i] is slot i's reusable buffer space for the batch
+	// operations, owned exclusively by the slot's thread like the pool's
+	// free lists: EnqueueBatch stages its chain draw in nodes, and
+	// DequeueBatch defers its retires in retires. Both are cleared after
+	// use so a parked thread pins at most one batch's worth of pointers.
+	scratch []scratchSlot[T]
+
 	// Overrun counters: how often a helping loop needed more than
 	// maxThreads+1 iterations — the paper's maxThreads bound plus the one
 	// observation iteration this implementation's loop-until-done exit
 	// adds (see the Enqueue/Dequeue doc comments).
 	enqOverruns pad.Int64Slot
 	deqOverruns pad.Int64Slot
+}
+
+// scratchSlot is one slot's batch buffer pair, padded so two slots'
+// slice headers never share a cache line (two headers are 48 bytes).
+type scratchSlot[T any] struct {
+	nodes   []*Node[T]
+	retires []*Node[T]
+	_       [2*pad.CacheLine - 48]byte
 }
 
 // OverrunStats reports how many enqueue/dequeue calls exceeded the
@@ -126,6 +141,7 @@ func New[T any](opts ...Option) *Queue[T] {
 		enqueuers:  make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
 		deqself:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
 		deqhelp:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
+		scratch:    make([]scratchSlot[T], cfg.maxThreads),
 		rt:         qrt.New(cfg.maxThreads),
 	}
 	q.pool = qrt.NewPool[Node[T]](cfg.maxThreads, cfg.poolCap)
@@ -247,14 +263,138 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		// filtered scan is indistinguishable from the paper's full scan
 		// (DESIGN.md §"Active-slot tracking").
 		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, nodeToHelp) // Invariant 1
+			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp)) // Invariant 1
 		}
 		lnext := ltail.next.Load()
 		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, lnext) // Invariant 2
+			q.tail.CompareAndSwap(ltail, chainLast(lnext)) // Invariant 2
 		}
 	}
 	q.hp.Clear(threadID)
+}
+
+// chainFirst maps a published enqueue request to the node a helper links
+// in after the tail: the request itself for a single enqueue, the chain's
+// first node (the request's back-link target) for a batch. The request
+// node is an unprotected scan result, but the read needs no protection of
+// its own: the install CAS on the tail's next succeeds only if that next
+// stayed nil since the caller validated the tail, which rules out any
+// insertion — and hence any completion, retirement or recycling of the
+// scanned request — in the window, so a successful CAS installs exactly
+// the chain its publisher linked. On a failing CAS the value is discarded.
+func chainFirst[T any](req *Node[T]) *Node[T] {
+	if first := req.blink.Load(); first != nil {
+		return first
+	}
+	return req
+}
+
+// chainLast maps an installed next-node to the tail-advance target: the
+// node itself for a single enqueue, the chain's last node (the first
+// node's forward blink) for a batch — one CAS swings the tail over the
+// whole chain, preserving the invariant that it never rests on a chain
+// interior. lnext was read from the protected tail's next, and the
+// advance CAS succeeds only if the tail stayed put, in which case lnext
+// is still beyond the head (undequeued, unrecycled) and its blink is the
+// value its publisher set.
+func chainLast[T any](lnext *Node[T]) *Node[T] {
+	if last := lnext.blink.Load(); last != nil {
+		return last
+	}
+	return lnext
+}
+
+// EnqueueBatch inserts every item of items at the tail of the queue, in
+// slice order, as one atomic chain: the items are pre-linked privately
+// into a chain of nodes and the chain's last node is published as a
+// single enqueue request, so one turn-consensus round — one helping scan,
+// one install CAS, one tail-advance CAS — appends all k items. The batch
+// linearizes at the install CAS as k consecutive enqueues (no other
+// thread's item can interleave inside the chain), and the wait-free bound
+// becomes per batch: at most maxThreads+1 helping iterations regardless
+// of k, against the k·(maxThreads+1) of k single calls.
+//
+// A helper that installs the chain's first node has installed the whole
+// chain (the interior links are private until then and never change), so
+// the all-or-nothing property holds even if the caller is descheduled
+// immediately after publishing: other threads complete the entire chain
+// or never see any of it.
+func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
+	if len(items) == 0 {
+		return
+	}
+	if len(items) == 1 {
+		q.Enqueue(threadID, items[0])
+		return
+	}
+	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
+
+	// Draw all k nodes in one pool transfer (contiguous slab addresses
+	// when the refill just ran) and link the chain privately.
+	nodes := q.scratch[threadID].nodes
+	if cap(nodes) < len(items) {
+		nodes = make([]*Node[T], len(items))
+	} else {
+		nodes = nodes[:len(items)]
+	}
+	if q.mode == ReclaimPool {
+		got := q.pool.GetBatch(threadID, nodes)
+		for i := got; i < len(nodes); i++ {
+			nodes[i] = new(Node[T])
+			q.pool.NoteAlloc()
+		}
+	} else {
+		for i := range nodes {
+			nodes[i] = new(Node[T])
+		}
+	}
+	for i, item := range items {
+		nodes[i].reset(item, int32(threadID))
+		if i > 0 {
+			nodes[i-1].next.Store(nodes[i])
+		}
+	}
+	first, last := nodes[0], nodes[len(nodes)-1]
+	last.blink.Store(first) // helpers install the whole chain from the request
+	first.blink.Store(last) // helpers jump the tail over the whole chain
+
+	// Publish the chain's LAST node as the request: the Invariant 7
+	// entry-clear compares the hazard-protected tail node against the
+	// published entry, and the tail reaches exactly the last node, so the
+	// single-op clearing logic carries over unchanged.
+	q.enqueuers[threadID].P.Store(last)
+	inject.Fire(inject.CoreEnqBatchPublish)
+	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
+		inject.Fire(inject.CoreEnqHelp)
+		if i == q.maxThreads+1 {
+			q.enqOverruns.V.Add(1)
+		}
+		if i == hardIterCap {
+			panic("core: batch enqueue helping loop exceeded hard cap; queue invariant violated")
+		}
+		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
+		if ltail != q.tail.Load() {
+			continue
+		}
+		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
+			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
+		}
+		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
+			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp))
+		}
+		lnext := ltail.next.Load()
+		if lnext != nil {
+			q.tail.CompareAndSwap(ltail, chainLast(lnext))
+		}
+	}
+	q.hp.Clear(threadID)
+	// Drop the staged references so the scratch buffer does not pin
+	// published nodes past the call.
+	for i := range nodes {
+		nodes[i] = nil
+	}
+	q.scratch[threadID].nodes = nodes[:0]
 }
 
 // nextEnqRequest finds the first published enqueue request in turn order
@@ -317,7 +457,22 @@ func (q *Queue[T]) scanEnqRange(from, limit int) *Node[T] {
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
-	prReq := q.deqself[threadID].P.Load() // previous request, to retire at the end
+	item, ok, prReq := q.dequeueOne(threadID)
+	q.hp.Clear(threadID)
+	if ok {
+		q.retire(threadID, prReq)
+	}
+	return item, ok
+}
+
+// dequeueOne runs one dequeue consensus round: the body of Algorithm 3
+// minus the slot bookkeeping that Dequeue and DequeueBatch amortize
+// differently — the caller clears the hazard slots and retires prReq (nil
+// on the empty return). Leaving the slots published between a batch's
+// rounds is safe: each round's ProtectPtr overwrites them, and stale
+// protections only pin nodes, never admit them.
+func (q *Queue[T]) dequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
+	prReq = q.deqself[threadID].P.Load() // previous request, to retire at the end
 	myReq := q.deqhelp[threadID].P.Load()
 	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
 	inject.Fire(inject.CoreDeqOpen)
@@ -343,9 +498,8 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 				q.deqself[threadID].P.Store(myReq)
 				break
 			}
-			q.hp.Clear(threadID)
 			var zero T
-			return zero, false
+			return zero, false, nil
 		}
 		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
 		if lhead != q.head.Load() {
@@ -362,9 +516,43 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 		// advanced past it (Invariant 8's other half): finish the job.
 		q.head.CompareAndSwap(lhead, myNode)
 	}
+	return myNode.item, true, prReq
+}
+
+// DequeueBatch removes up to len(buf) items from the head of the queue
+// into buf and returns how many it took, stopping early when the queue is
+// observed empty. Each item still takes its own turn-consensus round —
+// dequeue assignment is per node by design (Invariant 9) — but the batch
+// amortizes everything around the rounds: one slot activation, one hazard
+// clear, and one batched retire pass (hazard.RetireBatch resolves all k
+// retired request nodes against a single snapshot of the protection
+// matrix) instead of k scan-per-retire sweeps at the paper's R=0 default.
+func (q *Queue[T]) DequeueBatch(threadID int, buf []T) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	qrt.CheckSlot(threadID, q.maxThreads)
+	q.rt.EnsureActive(threadID)
+	retires := q.scratch[threadID].retires[:0]
+	n := 0
+	for n < len(buf) {
+		item, ok, prReq := q.dequeueOne(threadID)
+		if !ok {
+			break
+		}
+		buf[n] = item
+		n++
+		retires = append(retires, prReq)
+	}
 	q.hp.Clear(threadID)
-	q.retire(threadID, prReq)
-	return myNode.item, true
+	if q.mode != ReclaimNone {
+		q.hp.RetireBatch(threadID, retires)
+	}
+	for i := range retires {
+		retires[i] = nil
+	}
+	q.scratch[threadID].retires = retires[:0]
+	return n
 }
 
 // searchNext is the paper's Algorithm 4 searchNext(): run the turn

@@ -111,6 +111,12 @@ type conditional[T any] struct {
 	cond func() bool
 }
 
+// snapCutover is the retire-list length above which a scan switches from
+// the per-entry linear probe to the sorted-snapshot resolution even at
+// R=0. Batched retires are the only R=0 path that stacks more than R+1
+// entries before scanning.
+const snapCutover = 4
+
 // Option configures a Domain.
 type Option func(*config)
 
@@ -234,6 +240,43 @@ func (d *Domain[T]) RetireCond(tid int, node *T, cond func() bool) {
 	d.retireOne(tid, conditional[T]{node: node, cond: cond})
 }
 
+// RetireBatch adds every non-nil node to thread tid's retire list and
+// resolves the whole list with at most one scan, instead of the one
+// scan per node the R=0 default would pay through k Retire calls. The
+// counters move with one atomic add per call. A batch large enough to
+// trip the snapshot cutover is resolved against one sorted snapshot of
+// the live protections (the Michael '04 amortized scheme the R>0 path
+// uses), so a k-node retire costs one matrix sweep plus k binary
+// searches rather than k matrix sweeps.
+//
+// Backlog note: between the append and the scan the list transiently
+// holds up to k extra entries; the scan runs before RetireBatch returns,
+// so every bound VerifyQuiescent checks at quiescence is unaffected. A
+// thread parked inside the HazardRetire fault window strands at most its
+// own batch plus R entries — batch size is the caller's lever on that
+// constant, not on the per-thread O(1) structure of the bound.
+func (d *Domain[T]) RetireBatch(tid int, nodes []*T) {
+	added := 0
+	list := d.retired[tid]
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		list = append(list, conditional[T]{node: n})
+		added++
+	}
+	if added == 0 {
+		return
+	}
+	d.retired[tid] = list
+	d.blen[tid].V.Store(int64(len(list)))
+	d.retireCalls.V.Add(int64(added))
+	inject.Fire(inject.HazardRetire)
+	if len(list) > d.rParam {
+		d.scan(tid)
+	}
+}
+
 func (d *Domain[T]) retireOne(tid int, c conditional[T]) {
 	d.retireCalls.V.Add(1)
 	d.retired[tid] = append(d.retired[tid], c)
@@ -257,14 +300,20 @@ func (d *Domain[T]) retireOne(tid int, c conditional[T]) {
 // first column claims.
 func (d *Domain[T]) scan(tid int) {
 	list := d.retired[tid]
+	// The snapshot pays one full matrix sweep up front; the linear probe
+	// pays one sweep per entry. Below a handful of entries the probe wins
+	// (it exits on the first hit and skips the sort), so the R=0 default
+	// keeps it for the single-retire cadence and switches to the snapshot
+	// only when a batched retire has stacked the list past the cutover.
+	useSnap := d.rParam > 0 || len(list) > snapCutover
 	var snap []uintptr
-	if d.rParam > 0 {
+	if useSnap {
 		snap = d.snapshot(tid)
 	}
 	kept := list[:0]
 	for _, c := range list {
 		live := false
-		if d.rParam > 0 {
+		if useSnap {
 			live = snapContains(snap, c.node)
 		} else {
 			live = d.protected(c.node)

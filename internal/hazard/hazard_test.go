@@ -59,6 +59,105 @@ func TestUnprotectedReclaimImmediate(t *testing.T) {
 	}
 }
 
+// TestRetireBatchSingleScan pins RetireBatch's contract: one call
+// reclaims every unprotected node, keeps every protected one, skips nil
+// entries, counts each real entry exactly once, and — the point of the
+// batch — runs only one scan for the whole set (observable at R=0 as
+// the protected node surviving while every unprotected one dies in the
+// same call).
+func TestRetireBatchSingleScan(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	pinned := &tnode{v: 99}
+	d.ProtectPtr(0, 1, pinned)
+	nodes := make([]*tnode, 0, 12)
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, &tnode{v: i})
+	}
+	nodes = append(nodes, nil, pinned)
+	d.RetireBatch(0, nodes)
+	if len(deleted) != 10 {
+		t.Fatalf("deleted %d nodes, want the 10 unprotected ones", len(deleted))
+	}
+	for _, x := range deleted {
+		if x == pinned {
+			t.Fatal("protected node reclaimed by batched retire")
+		}
+	}
+	if r, del, _ := d.Stats(); r != 11 || del != 10 {
+		t.Fatalf("Stats retires=%d deletes=%d, want 11/10 (nil entry uncounted)", r, del)
+	}
+	if got := d.SlotBacklog(0); got != 1 {
+		t.Fatalf("backlog %d after batch, want 1 (the pinned node)", got)
+	}
+	d.Clear(1)
+	d.RetireBatch(0, []*tnode{{v: 100}})
+	if got := d.SlotBacklog(0); got != 0 {
+		t.Fatalf("backlog %d after protection cleared, want 0", got)
+	}
+}
+
+// TestRetireBatchEmptyAndNil pins the no-op edges: an empty slice and a
+// slice of nils neither count retires nor run a scan.
+func TestRetireBatchEmptyAndNil(t *testing.T) {
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+	d.RetireBatch(0, nil)
+	d.RetireBatch(0, []*tnode{nil, nil})
+	if r, _, _ := d.Stats(); r != 0 {
+		t.Fatalf("retires = %d for empty batches, want 0", r)
+	}
+}
+
+// TestRetireBatchMatchesSequential cross-checks the batched path against
+// k sequential Retire calls under a random protection pattern: the set
+// of reclaimed nodes must be identical (the snapshot-vs-linear
+// equivalence at the batch cutover).
+func TestRetireBatchMatchesSequential(t *testing.T) {
+	run := func(protectMask uint16) (batch, seq []*tnode) {
+		for _, batched := range []bool{true, false} {
+			var deleted []*tnode
+			d, _ := collectDomain(&deleted)
+			nodes := make([]*tnode, 16)
+			for i := range nodes {
+				nodes[i] = &tnode{v: i}
+			}
+			hp := 0
+			for i := range nodes {
+				if protectMask&(1<<i) != 0 && hp < 3 {
+					d.ProtectPtr(hp, 1, nodes[i])
+					hp++
+				}
+			}
+			if batched {
+				d.RetireBatch(0, nodes)
+				batch = append([]*tnode(nil), deleted...)
+			} else {
+				for _, n := range nodes {
+					d.Retire(0, n)
+				}
+				seq = append([]*tnode(nil), deleted...)
+			}
+		}
+		return batch, seq
+	}
+	for _, mask := range []uint16{0, 0xffff, 0x0101, 0x8001, 0x00f0} {
+		batch, seq := run(mask)
+		if len(batch) != len(seq) {
+			t.Fatalf("mask %04x: batch reclaimed %d, sequential %d", mask, len(batch), len(seq))
+		}
+		got := map[int]bool{}
+		for _, n := range batch {
+			got[n.v] = true
+		}
+		for _, n := range seq {
+			if !got[n.v] {
+				t.Fatalf("mask %04x: sequential reclaimed %d but batch did not", mask, n.v)
+			}
+		}
+	}
+}
+
 func TestRParameterBatches(t *testing.T) {
 	var deleted []*tnode
 	var mu sync.Mutex

@@ -102,25 +102,32 @@ const (
 	LockQEnqLocked
 	// LockQDeqLocked: two-lock queue, head lock held.
 	LockQDeqLocked
+	// CoreEnqBatchPublish: Turn queue, a batch's pre-linked chain
+	// published as a single request (the chain's last node stored in
+	// enqueuers[tid]) but the helping loop not yet entered — the
+	// chain-publish window. A thread parked here must leave other threads
+	// installing the whole chain on its behalf, all-or-nothing.
+	CoreEnqBatchPublish
 	// NumPoints bounds the catalog; it is not a point.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
-	CoreEnqPublish: "core.enq.publish",
-	CoreEnqHelp:    "core.enq.help",
-	CoreDeqOpen:    "core.deq.open",
-	CoreDeqHelp:    "core.deq.help",
-	HazardProtect:  "hazard.protect",
-	HazardRetire:   "hazard.retire",
-	KPQInstall:     "kpq.install",
-	EpochEnter:     "epoch.enter",
-	FAAQRead:       "faaq.read",
-	MSQEnqLoop:     "msq.enq.loop",
-	MSQDeqLoop:     "msq.deq.loop",
-	MPSCPublish:    "mpsc.publish",
-	LockQEnqLocked: "lockq.enq.locked",
-	LockQDeqLocked: "lockq.deq.locked",
+	CoreEnqPublish:      "core.enq.publish",
+	CoreEnqHelp:         "core.enq.help",
+	CoreDeqOpen:         "core.deq.open",
+	CoreDeqHelp:         "core.deq.help",
+	HazardProtect:       "hazard.protect",
+	HazardRetire:        "hazard.retire",
+	KPQInstall:          "kpq.install",
+	EpochEnter:          "epoch.enter",
+	FAAQRead:            "faaq.read",
+	MSQEnqLoop:          "msq.enq.loop",
+	MSQDeqLoop:          "msq.deq.loop",
+	MPSCPublish:         "mpsc.publish",
+	LockQEnqLocked:      "lockq.enq.locked",
+	LockQDeqLocked:      "lockq.deq.locked",
+	CoreEnqBatchPublish: "core.enq.batch.publish",
 }
 
 // String returns the point's catalog name.

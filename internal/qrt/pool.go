@@ -22,6 +22,17 @@ type freeList[N any] struct {
 // A Pool with capPerSlot 0 never retains anything: Get always misses and
 // Put always drops, reproducing allocate-always behaviour (the KP
 // queue's WithPooling(false) ablation).
+//
+// When capPerSlot is at least SlabSize, an empty free list refills from a
+// slab: one make([]N, SlabSize) — a single contiguous heap object, so the
+// runtime hands back a size-class-aligned block and consecutive Gets walk
+// it in address order (ascending: the refill pushes descending, pops
+// ascend). A batch of nodes drawn after a refill is therefore contiguous
+// in memory, which is what makes chain traversal in the batched helping
+// scan prefetch-friendly. The trade-off is pinning: the slab's backing
+// array stays live while any one of its 64 objects does, so a pool that
+// retains a single node can hold one slab's worth of memory — bounded by
+// capPerSlot per slot either way.
 type Pool[N any] struct {
 	capPerSlot int
 	free       []freeList[N]
@@ -31,7 +42,14 @@ type Pool[N any] struct {
 	drops    pad.Int64Slot // objects dropped because the free list was full
 	puts     pad.Int64Slot // all Put calls, kept or dropped
 	retained pad.Int64Slot // objects currently held across all free lists
+	slabs    pad.Int64Slot // slabs allocated (SlabSize objects each)
 }
+
+// SlabSize is the number of objects per slab. 64 objects of a
+// cache-line-or-larger node type span at least a page's worth of lines,
+// and 64 is the occupancy-bitmap word width used elsewhere — one slab per
+// refill keeps the conservation algebra in whole words.
+const SlabSize = 64
 
 // NewPool creates a pool with maxThreads slots, each retaining at most
 // capPerSlot objects. capPerSlot 0 disables retention.
@@ -45,14 +63,20 @@ func NewPool[N any](maxThreads, capPerSlot int) *Pool[N] {
 	return &Pool[N]{capPerSlot: capPerSlot, free: make([]freeList[N], maxThreads)}
 }
 
-// Get pops a recycled object from slot's free list, or returns nil when
-// the list is empty (the caller then allocates and reports it with
-// NoteAlloc).
+// Get pops a recycled object from slot's free list, refilling an empty
+// list from a fresh slab when the per-slot capacity admits one. It
+// returns nil only when the list is empty and slab refill is disabled
+// (capPerSlot < SlabSize); the caller then allocates and reports it with
+// NoteAlloc.
 func (p *Pool[N]) Get(slot int) *N {
 	list := p.free[slot].list
 	n := len(list)
 	if n == 0 {
-		return nil
+		if !p.refill(slot) {
+			return nil
+		}
+		list = p.free[slot].list
+		n = len(list)
 	}
 	nd := list[n-1]
 	list[n-1] = nil
@@ -64,6 +88,88 @@ func (p *Pool[N]) Get(slot int) *N {
 
 // NoteAlloc records a heap allocation taken because Get missed.
 func (p *Pool[N]) NoteAlloc() { p.allocs.V.Add(1) }
+
+// refill pushes one fresh slab onto slot's empty free list: a single
+// contiguous allocation of SlabSize objects, pushed in descending address
+// order so subsequent pops walk the slab ascending. Disabled (returns
+// false) when capPerSlot cannot hold a whole slab — a tiny or zero cap
+// keeps the original allocate-per-object behaviour.
+func (p *Pool[N]) refill(slot int) bool {
+	if p.capPerSlot < SlabSize {
+		return false
+	}
+	slab := make([]N, SlabSize)
+	list := p.free[slot].list
+	for i := SlabSize - 1; i >= 0; i-- {
+		list = append(list, &slab[i])
+	}
+	p.free[slot].list = list
+	p.slabs.V.Add(1)
+	p.retained.V.Add(SlabSize)
+	return true
+}
+
+// GetBatch pops up to len(out) recycled objects into out, refilling from
+// fresh slabs as needed, and returns how many entries it filled. With
+// slab refill enabled the return value is always len(out); with it
+// disabled (capPerSlot < SlabSize) the call serves only what the free
+// list holds and the caller allocates the remainder. Counter updates are
+// batched — one atomic add per call rather than one per object.
+func (p *Pool[N]) GetBatch(slot int, out []*N) int {
+	filled := 0
+	for filled < len(out) {
+		list := p.free[slot].list
+		n := len(list)
+		if n == 0 {
+			if !p.refill(slot) {
+				break
+			}
+			list = p.free[slot].list
+			n = len(list)
+		}
+		take := len(out) - filled
+		if take > n {
+			take = n
+		}
+		for i := 0; i < take; i++ {
+			out[filled+i] = list[n-1-i]
+			list[n-1-i] = nil
+		}
+		p.free[slot].list = list[:n-take]
+		filled += take
+	}
+	if filled > 0 {
+		p.reuses.V.Add(int64(filled))
+		p.retained.V.Add(-int64(filled))
+	}
+	return filled
+}
+
+// PutBatch recycles nodes into slot's free list in one pass, dropping the
+// overflow beyond capPerSlot to the garbage collector. Like GetBatch it
+// performs one atomic add per counter per call. The caller must already
+// have cleared any fields that would pin other objects.
+func (p *Pool[N]) PutBatch(slot int, nodes []*N) {
+	if len(nodes) == 0 {
+		return
+	}
+	list := p.free[slot].list
+	kept := p.capPerSlot - len(list)
+	if kept > len(nodes) {
+		kept = len(nodes)
+	}
+	if kept < 0 {
+		kept = 0
+	}
+	p.free[slot].list = append(list, nodes[:kept]...)
+	p.puts.V.Add(int64(len(nodes)))
+	if dropped := len(nodes) - kept; dropped > 0 {
+		p.drops.V.Add(int64(dropped))
+	}
+	if kept > 0 {
+		p.retained.V.Add(int64(kept))
+	}
+}
 
 // Put recycles nd into slot's free list, dropping it to the garbage
 // collector when the list is at capacity. The caller must already have
@@ -88,6 +194,15 @@ func (p *Pool[N]) Puts() int64 { return p.puts.V.Load() }
 
 // Retained reports how many objects the free lists currently hold. The
 // counter is maintained atomically, so reading it mid-run is safe; at
-// quiescence it must balance Puts - drops - reuses, the invariant
-// internal/account's VerifyQuiescent enforces.
+// quiescence it must balance Slabs*SlabSize + Puts - drops - reuses
+// (slab refills inject SlabSize objects each; every other movement is a
+// put, drop or reuse), the conservation invariant internal/account's
+// VerifyQuiescent enforces.
 func (p *Pool[N]) Retained() int64 { return p.retained.V.Load() }
+
+// Slabs reports how many slabs the pool has allocated. Each contributed
+// SlabSize objects to circulation, so the conservation identity is
+// Slabs*SlabSize = outstanding + Retained + dropped, where outstanding
+// (= Reuses - Puts at any instant) counts objects currently held by
+// callers.
+func (p *Pool[N]) Slabs() int64 { return p.slabs.V.Load() }

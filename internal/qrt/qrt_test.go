@@ -3,6 +3,7 @@ package qrt
 import (
 	"sync"
 	"testing"
+	"unsafe"
 )
 
 func TestRuntimeAcquireRelease(t *testing.T) {
@@ -107,6 +108,104 @@ func TestPoolZeroCapDropsEverything(t *testing.T) {
 	}
 	if _, _, drops := p.Stats(); drops != 1 {
 		t.Fatalf("drops = %d, want 1", drops)
+	}
+}
+
+// TestPoolSlabRefill pins the slab contract: a Get miss with capPerSlot
+// >= SlabSize pulls one contiguous slab of SlabSize objects into the free
+// list, consecutive Gets walk it in ascending address order, and the
+// conservation identity Retained == Slabs*SlabSize + Puts - drops -
+// reuses holds at every step.
+func TestPoolSlabRefill(t *testing.T) {
+	p := NewPool[int](1, SlabSize)
+	check := func(when string) {
+		t.Helper()
+		allocs, reuses, drops := p.Stats()
+		_ = allocs
+		want := p.Slabs()*SlabSize + p.Puts() - drops - reuses
+		if got := p.Retained(); got != want {
+			t.Fatalf("%s: Retained = %d, want Slabs*%d + Puts - drops - reuses = %d", when, got, SlabSize, want)
+		}
+	}
+	first := p.Get(0)
+	if first == nil {
+		t.Fatal("Get did not refill from a slab")
+	}
+	if got := p.Slabs(); got != 1 {
+		t.Fatalf("Slabs = %d after one refill, want 1", got)
+	}
+	check("after refill")
+	prev := first
+	for i := 1; i < SlabSize; i++ {
+		nd := p.Get(0)
+		if nd == nil {
+			t.Fatalf("Get %d exhausted the slab early", i)
+		}
+		if uintptr(unsafe.Pointer(nd)) <= uintptr(unsafe.Pointer(prev)) {
+			t.Fatalf("Get %d returned a non-ascending address; slab pops must walk contiguously", i)
+		}
+		prev = nd
+	}
+	check("after draining the slab")
+	// The next miss allocates a second slab rather than returning nil.
+	if nd := p.Get(0); nd == nil {
+		t.Fatal("Get after slab exhaustion did not refill again")
+	}
+	if got := p.Slabs(); got != 2 {
+		t.Fatalf("Slabs = %d, want 2", got)
+	}
+	check("after second refill")
+}
+
+// TestPoolBatchTransfers exercises GetBatch/PutBatch: full service via
+// refill, overflow drops beyond capPerSlot, and conservation-clean
+// counters with one slab in play.
+func TestPoolBatchTransfers(t *testing.T) {
+	p := NewPool[int](1, SlabSize)
+	out := make([]*int, 100) // spans two slabs
+	if got := p.GetBatch(0, out); got != 100 {
+		t.Fatalf("GetBatch filled %d, want 100", got)
+	}
+	if got := p.Slabs(); got != 2 {
+		t.Fatalf("Slabs = %d, want 2", got)
+	}
+	for i, nd := range out {
+		if nd == nil {
+			t.Fatalf("GetBatch left out[%d] nil", i)
+		}
+	}
+	// 28 slab leftovers retained; returning 100 fits only SlabSize-28=36.
+	p.PutBatch(0, out)
+	_, reuses, drops := p.Stats()
+	if reuses != 100 {
+		t.Fatalf("reuses = %d, want 100", reuses)
+	}
+	if wantDrops := int64(100 - (SlabSize - 28)); drops != wantDrops {
+		t.Fatalf("drops = %d, want %d (capacity %d, %d leftovers retained)", drops, wantDrops, SlabSize, 28)
+	}
+	if got, want := p.Retained(), p.Slabs()*SlabSize+p.Puts()-drops-reuses; got != want {
+		t.Fatalf("Retained = %d, want %d", got, want)
+	}
+	if got := int(p.Retained()); got != SlabSize {
+		t.Fatalf("Retained = %d, want full capacity %d", got, SlabSize)
+	}
+}
+
+// TestPoolBatchWithoutSlabs pins the small-cap fallback: below SlabSize
+// the pool never allocates slabs, GetBatch serves only what Put retained,
+// and single-Get behaviour is unchanged from the per-object original.
+func TestPoolBatchWithoutSlabs(t *testing.T) {
+	p := NewPool[int](1, 2)
+	out := make([]*int, 4)
+	if got := p.GetBatch(0, out); got != 0 {
+		t.Fatalf("GetBatch on empty small-cap pool filled %d, want 0", got)
+	}
+	p.PutBatch(0, []*int{new(int), new(int), new(int)})
+	if got := p.GetBatch(0, out); got != 2 {
+		t.Fatalf("GetBatch filled %d, want the 2 retained", got)
+	}
+	if p.Slabs() != 0 {
+		t.Fatalf("small-cap pool allocated %d slabs", p.Slabs())
 	}
 }
 

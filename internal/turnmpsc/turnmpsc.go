@@ -33,6 +33,31 @@ type node[T any] struct {
 	item   T
 	enqTid int32
 	next   atomic.Pointer[node[T]]
+	// blink carries batch-chain geometry, exactly as in internal/core: on
+	// a published chain request (the LAST node) it points at the chain's
+	// first node; on the first node it points back at the last, so the
+	// tail can jump over the whole chain. nil on single-op nodes and
+	// chain interiors.
+	blink atomic.Pointer[node[T]]
+}
+
+// chainFirst maps a pending request to the node that must be linked at
+// the tail: the chain's first node for a batch, the request itself for a
+// single enqueue.
+func chainFirst[T any](req *node[T]) *node[T] {
+	if first := req.blink.Load(); first != nil {
+		return first
+	}
+	return req
+}
+
+// chainLast maps a freshly linked node to where the tail should advance:
+// the chain's last node for a batch, the node itself for a single.
+func chainLast[T any](lnext *node[T]) *node[T] {
+	if last := lnext.blink.Load(); last != nil {
+		return last
+	}
+	return lnext
 }
 
 // Queue is a wait-free MPSC queue: any registered slot may enqueue;
@@ -49,6 +74,7 @@ type Queue[T any] struct {
 
 	hp       *hazard.Domain[node[T]]
 	free     [][]*node[T]
+	scratch  []*node[T] // consumer-owned retire buffer for DequeueBatch
 	rt *qrt.Runtime
 }
 
@@ -100,6 +126,7 @@ func (q *Queue[T]) alloc(threadID int, item T) *node[T] {
 	nd.item = item
 	nd.enqTid = int32(threadID)
 	nd.next.Store(nil)
+	nd.blink.Store(nil)
 	return nd
 }
 
@@ -124,11 +151,62 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
 		}
 		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, nodeToHelp)
+			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp))
 		}
 		lnext := ltail.next.Load()
 		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, lnext)
+			q.tail.CompareAndSwap(ltail, chainLast(lnext))
+		}
+	}
+	q.hp.Clear(threadID)
+}
+
+// EnqueueBatch appends items as one contiguous chain through a single
+// consensus round: the chain is linked privately, published as one
+// request (its last node), and whichever helper installs the chain's
+// first node at the tail installs all of it. Wait-free bounded by
+// maxThreads per batch, not per item. See internal/core.EnqueueBatch for
+// the annotated version and the blink-validity proofs.
+func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
+	if len(items) == 0 {
+		return
+	}
+	if len(items) == 1 {
+		q.Enqueue(threadID, items[0])
+		return
+	}
+	if threadID < 0 || threadID >= q.maxThreads {
+		panic(fmt.Sprintf("turnmpsc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
+	}
+	q.rt.EnsureActive(threadID)
+	first := q.alloc(threadID, items[0])
+	prev := first
+	for _, v := range items[1:] {
+		nd := q.alloc(threadID, v)
+		prev.next.Store(nd)
+		prev = nd
+	}
+	last := prev
+	last.blink.Store(first)
+	first.blink.Store(last)
+	q.enqueuers[threadID].P.Store(last)
+	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
+		if i == hardIterCap {
+			panic("turnmpsc: batch enqueue helping loop exceeded hard cap")
+		}
+		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
+		if ltail != q.tail.Load() {
+			continue
+		}
+		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
+			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
+		}
+		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
+			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp))
+		}
+		lnext := ltail.next.Load()
+		if lnext != nil {
+			q.tail.CompareAndSwap(ltail, chainLast(lnext))
 		}
 	}
 	q.hp.Clear(threadID)
@@ -167,9 +245,12 @@ func (q *Queue[T]) Dequeue(consumerID int) (item T, ok bool) {
 	// The head must never pass the tail: if the tail is lagging on lhead
 	// (a linked node whose enqueuer has not swung the tail yet), help it
 	// forward first — otherwise we would retire a node that producers can
-	// still reach through the tail pointer.
+	// still reach through the tail pointer. The help must be jump-aware:
+	// lnext may be the first node of a freshly installed batch chain, and
+	// parking the tail on a chain interior would break the invariant that
+	// the tail only ever rests on published request nodes.
 	if q.tail.Load() == lhead {
-		q.tail.CompareAndSwap(lhead, lnext)
+		q.tail.CompareAndSwap(lhead, chainLast(lnext))
 	}
 	item = lnext.item
 	q.head.Store(lnext)
@@ -177,4 +258,37 @@ func (q *Queue[T]) Dequeue(consumerID int) (item T, ok bool) {
 	// snapshot; route it through the HP domain rather than freeing.
 	q.hp.Retire(consumerID, lhead)
 	return item, true
+}
+
+// DequeueBatch removes up to len(buf) items into buf and returns the
+// count taken, retiring every detached node in a single hazard pass.
+// Single consumer: the walk needs no consensus, so the batch win here is
+// purely the amortized reclamation scan.
+func (q *Queue[T]) DequeueBatch(consumerID int, buf []T) int {
+	n := 0
+	retires := q.scratch[:0]
+	for n < len(buf) {
+		lhead := q.head.Load()
+		lnext := lhead.next.Load()
+		if lnext == nil {
+			break
+		}
+		if q.tail.Load() == lhead {
+			q.tail.CompareAndSwap(lhead, chainLast(lnext))
+		}
+		buf[n] = lnext.item
+		n++
+		q.head.Store(lnext)
+		retires = append(retires, lhead)
+	}
+	if len(retires) > 0 {
+		q.hp.RetireBatch(consumerID, retires)
+	}
+	// Drop the node pointers so the consumer-owned scratch buffer does not
+	// pin retired nodes until the next batch.
+	for i := range retires {
+		retires[i] = nil
+	}
+	q.scratch = retires[:0]
+	return n
 }

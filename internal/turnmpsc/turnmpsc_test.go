@@ -61,6 +61,86 @@ func TestMultiProducerSingleConsumer(t *testing.T) {
 	}
 }
 
+// TestBatchProducersSingleConsumer races chain-batched producers against
+// the single consumer, with the consumer alternating DequeueBatch and
+// single Dequeue so the jump-aware tail help runs against live chains.
+func TestBatchProducersSingleConsumer(t *testing.T) {
+	const producers, per, batch = 4, 3000, 16
+	q := New[[2]int](producers + 1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			items := make([][2]int, 0, batch)
+			for k := 0; k < per; {
+				items = items[:0]
+				for len(items) < batch && k < per {
+					items = append(items, [2]int{p, k})
+					k++
+				}
+				q.EnqueueBatch(p, items)
+			}
+		}(p)
+	}
+	seen := make(map[[2]int]bool, producers*per)
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	check := func(v [2]int) {
+		if seen[v] {
+			t.Fatalf("item %v dequeued twice", v)
+		}
+		seen[v] = true
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	consumerSlot := producers
+	buf := make([][2]int, batch)
+	for round := 0; len(seen) < producers*per; round++ {
+		if round%2 == 0 {
+			n := q.DequeueBatch(consumerSlot, buf)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				check(buf[i])
+			}
+			continue
+		}
+		if v, ok := q.Dequeue(consumerSlot); ok {
+			check(v)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if n := q.DequeueBatch(consumerSlot, buf); n != 0 {
+		t.Fatalf("residual %d items after drain", n)
+	}
+}
+
+// TestBatchReclamationBounded drives batch churn and checks the shared
+// hazard-pointer backlog bound still holds with RetireBatch.
+func TestBatchReclamationBounded(t *testing.T) {
+	q := New[int](2)
+	items := make([]int, 8)
+	buf := make([]int, 8)
+	for i := 0; i < 3000; i++ {
+		q.EnqueueBatch(0, items)
+		if n := q.DequeueBatch(1, buf); n != 8 {
+			t.Fatalf("round %d: drained %d, want 8", i, n)
+		}
+	}
+	if got, bound := q.hp.Backlog(), q.hp.BacklogBound(); got > bound {
+		t.Fatalf("backlog %d exceeds bound %d", got, bound)
+	}
+}
+
 func TestNoFalseEmpty(t *testing.T) {
 	// Unlike Vyukov's MPSC, the Turn enqueue completes (tail published)
 	// before returning, so an item enqueued-before-dequeue is always

@@ -105,6 +105,31 @@ func (q *Queue[T]) Enqueue(item T) {
 	q.ptail = nd
 }
 
+// EnqueueBatch appends items as one contiguous run. Single producer: the
+// chain is linked privately, then published with the same two stores as a
+// single enqueue — link the chain's first node, publish the last as the
+// new tail. No helping or back-links are needed because nobody else ever
+// writes the tail; the batch linearizes at the tail store, before which
+// consumers observing lhead == tail correctly report empty. Wait-free
+// population oblivious per batch.
+func (q *Queue[T]) EnqueueBatch(items []T) {
+	if len(items) == 0 {
+		return
+	}
+	first := &node[T]{item: items[0]}
+	first.deqTid.Store(IdxNone)
+	last := first
+	for _, v := range items[1:] {
+		nd := &node[T]{item: v}
+		nd.deqTid.Store(IdxNone)
+		last.next.Store(nd)
+		last = nd
+	}
+	q.ptail.next.Store(first)
+	q.tail.Store(last)
+	q.ptail = last
+}
+
 // Dequeue is Algorithm 3/4, identical to internal/core's annotated
 // version (see there for the invariant discussion).
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {

@@ -61,6 +61,78 @@ func TestSingleProducerMultiConsumer(t *testing.T) {
 	}
 }
 
+// TestBatchEnqueueMultiConsumer publishes chains while the full consensus
+// dequeue runs on several consumers: exactly-once, no losses.
+func TestBatchEnqueueMultiConsumer(t *testing.T) {
+	const consumers, items, batch = 6, 20000, 32
+	q := New[int](consumers)
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	var dup atomic.Int64
+	seen := make([]atomic.Bool, items)
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for consumed.Load() < items {
+				v, ok := q.Dequeue(c)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if seen[v].Swap(true) {
+					dup.Add(1)
+				}
+				consumed.Add(1)
+			}
+		}(c)
+	}
+	chunk := make([]int, 0, batch)
+	for i := 0; i < items; {
+		chunk = chunk[:0]
+		for len(chunk) < batch && i < items {
+			chunk = append(chunk, i)
+			i++
+		}
+		q.EnqueueBatch(chunk)
+	}
+	wg.Wait()
+	if dup.Load() != 0 {
+		t.Fatalf("%d duplicated items", dup.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("item %d lost", i)
+		}
+	}
+}
+
+// TestBatchEnqueueOrder checks a mixed single/batch producer stream comes
+// out in order through one consumer, including empty and size-1 batches.
+func TestBatchEnqueueOrder(t *testing.T) {
+	q := New[int](2)
+	next := 0
+	for b := 0; b < 100; b++ {
+		items := make([]int, b%5)
+		for i := range items {
+			items[i] = next
+			next++
+		}
+		q.EnqueueBatch(items)
+		q.Enqueue(next)
+		next++
+	}
+	for expect := 0; expect < next; expect++ {
+		if v, ok := q.Dequeue(0); !ok || v != expect {
+			t.Fatalf("got (%d,%v), want (%d,true)", v, ok, expect)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
 func TestGlobalOrderObservedByOneConsumer(t *testing.T) {
 	// With a single consumer active, the full producer order must come
 	// out intact even though the dequeue side runs the full consensus.

@@ -77,6 +77,70 @@ func TestHandleChurnQuiescent(t *testing.T) {
 	}
 }
 
+// TestBatchChurnQuiescent churns batch operations through every public
+// queue under concurrent handle lifecycles, then verifies quiescence —
+// which now includes the slab conservation identity (Retained ==
+// Slabs*SlabSize + Puts - Drops - Reuses) on every pool. For the Turn
+// queue it additionally asserts the batch workload actually exercised
+// slab refills, so the identity is checked non-vacuously.
+func TestBatchChurnQuiescent(t *testing.T) {
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			q := mk(WithMaxThreads(8))
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					items := make([]int, 24)
+					buf := make([]int, 24)
+					for round := 0; round < 15; round++ {
+						h, err := q.Register()
+						if err != nil {
+							runtime.Gosched()
+							continue
+						}
+						for i := 0; i < 10; i++ {
+							q.EnqueueBatch(h, items)
+							for drained := 0; drained < len(items); {
+								n := q.DequeueBatch(h, buf)
+								if n == 0 {
+									break
+								}
+								drained += n
+							}
+						}
+						h.Close()
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Drain leftovers (a worker can dequeue another's items, leaving
+			// some behind) so the retained/outstanding split is quiescent.
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]int, 64)
+			for q.DequeueBatch(h, buf) > 0 {
+			}
+			h.Close()
+			s := q.Snapshot()
+			if err := s.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+			if s.LiveSlots != 0 {
+				t.Fatalf("%d slots still live after every handle closed", s.LiveSlots)
+			}
+			if name == "Turn" {
+				if len(s.Pools) == 0 || s.Pools[0].Slabs == 0 {
+					t.Fatalf("Turn batch churn allocated no slabs; conservation check is vacuous (snapshot %s)", s)
+				}
+			}
+		})
+	}
+}
+
 // TestTurnCloseDrainsRetireBacklog is the direct regression test for the
 // stranded-backlog bug: with the R scan threshold raised above the
 // operation count, no scan runs during the operations, so the retire

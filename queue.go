@@ -86,6 +86,19 @@ type Queue[T any] interface {
 	// Dequeue removes the item at the head; ok is false when the queue is
 	// observed empty.
 	Dequeue(h *Handle) (item T, ok bool)
+	// EnqueueBatch inserts items at the tail in slice order. On
+	// implementations with native batch support (the Turn queue and its
+	// variants) the whole batch is appended contiguously in a single
+	// wait-free consensus round, so its items are never interleaved with
+	// other enqueues; the remaining algorithms fall back to a loop of
+	// single enqueues, which keeps slice order but not contiguity under
+	// concurrency. An empty slice is a no-op.
+	EnqueueBatch(h *Handle, items []T)
+	// DequeueBatch removes up to len(buf) items from the head into buf,
+	// returning how many were taken; zero means the queue was observed
+	// empty. Items appear in buf in queue (FIFO) order. Native batch
+	// implementations retire all claimed nodes in one reclamation pass.
+	DequeueBatch(h *Handle, buf []T) int
 	// MaxThreads returns the registered-thread bound.
 	MaxThreads() int
 	// Meta describes the algorithm (Table 1's columns).

@@ -107,6 +107,51 @@ func TestAllQueuesConcurrent(t *testing.T) {
 	}
 }
 
+// TestAllQueuesBatchFIFO exercises the batch API on every constructor —
+// native chain batching on Turn, the adapter's loop fallback elsewhere —
+// mixing batch and single operations in one FIFO stream.
+func TestAllQueuesBatchFIFO(t *testing.T) {
+	for name, mk := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			q := mk(WithMaxThreads(4))
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			next := 0
+			for b := 0; b < 20; b++ {
+				items := make([]int, 1+b%7)
+				for i := range items {
+					items[i] = next
+					next++
+				}
+				q.EnqueueBatch(h, items)
+				q.Enqueue(h, next)
+				next++
+			}
+			q.EnqueueBatch(h, nil)
+			buf := make([]int, 5)
+			expect := 0
+			for expect < next {
+				n := q.DequeueBatch(h, buf)
+				if n == 0 {
+					t.Fatalf("observed empty with %d items outstanding", next-expect)
+				}
+				for i := 0; i < n; i++ {
+					if buf[i] != expect {
+						t.Fatalf("got %d, want %d (FIFO violated)", buf[i], expect)
+					}
+					expect++
+				}
+			}
+			if n := q.DequeueBatch(h, buf); n != 0 {
+				t.Fatalf("DequeueBatch on empty queue returned %d", n)
+			}
+		})
+	}
+}
+
 func TestRegisterExhaustion(t *testing.T) {
 	q := NewTurn[int](WithMaxThreads(2))
 	h1, err := q.Register()

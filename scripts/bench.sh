@@ -50,9 +50,11 @@ OUT="${2:-.}"
 
 # The core set: adapter overhead (hot-path cost of the public API),
 # uncontended single-thread round trips, the sparse-registration family
-# (active-slot scan cost, experiment X8), and the pure-ALU calibration
-# anchor the parity gate uses to normalize for host-speed drift.
-PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkSparseRegistration|BenchmarkCalibration'
+# (active-slot scan cost, experiment X8), the chain-batch family
+# (experiment X10: per-item batch cost plus the 4-thread batch-vs-single
+# pairs comparison), and the pure-ALU calibration anchor the parity gate
+# uses to normalize for host-speed drift.
+PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkCalibration'
 
 # The zero-cost gate family and its fixed measurement window. Baseline
 # (full mode) and gate (smoke mode) MUST use the same benchtime:

@@ -48,7 +48,7 @@ go test -race -short -tags debughandles ./...
 
 echo "==> leak gate (quiescent accounting under -race)"
 go test -race -tags debughandles \
-	-run 'TestHandleChurnQuiescent|TestTurnCloseDrainsRetireBacklog|TestAutoQueueCloseRace|TestBenchQuiescentSmoke' .
+	-run 'TestHandleChurnQuiescent|TestBatchChurnQuiescent|TestTurnCloseDrainsRetireBacklog|TestAutoQueueCloseRace|TestBenchQuiescentSmoke' .
 
 echo "==> bench smoke"
 BENCH_OUT="$(mktemp -d)"
