@@ -43,6 +43,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/turnplus"
 )
 
 // chaosSeed returns the delay-injection seed: CHAOS_SEED from the
@@ -575,6 +576,222 @@ func TestChaosCrashWithoutCloseDetected(t *testing.T) {
 // linearizability checker. The delays force interleavings the bare
 // scheduler rarely produces; the seed makes a failing schedule
 // replayable (set CHAOS_SEED to the logged value).
+// TestChaosStalledThreadTurnPlusFastEnq parks one TurnPlus thread
+// forever inside the enqueue fast-path claim window — FAA ticket drawn,
+// deposit CAS not yet issued — and asserts the claim the fast path
+// stakes its wait-freedom on: an abandoned ticket is just a cell other
+// dequeuers poison, so healthy threads (mixing fast-path singles with
+// slow-path batches) all complete within the structural bound, and the
+// victim's item arrives exactly once after release.
+func TestChaosStalledThreadTurnPlusFastEnq(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	q := turnplus.New[int](turnplus.WithMaxThreads(8), turnplus.WithSegmentSize(8), turnplus.WithPatience(2))
+	rt := q.Runtime()
+	victim := acquireSlot(t, rt)
+
+	// Pre-seed one item so the victim's Enqueue takes the fast path (an
+	// empty queue's tail is the sentinel, which falls back immediately).
+	seeder := acquireSlot(t, rt)
+	q.Enqueue(seeder, -2)
+	victimDone := parkVictim(t, inject.CoreFastClaim, func() { q.Enqueue(victim, -1) })
+
+	const workers, pairs = 6, 300
+	var wg sync.WaitGroup
+	var drained atomic.Int64
+	for w := 0; w < workers; w++ {
+		slot := acquireSlot(t, rt)
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			buf := [3]int{}
+			for i := 0; i < pairs; i++ {
+				if i%5 == 0 {
+					// Batches always announce into the consensus slow
+					// path: the completers the scenario must prove the
+					// parked claimant cannot block.
+					for j := range buf {
+						buf[j] = w*10000 + i + j
+					}
+					q.EnqueueBatch(slot, buf[:])
+					for k := 0; k < len(buf); {
+						if _, ok := q.Dequeue(slot); ok {
+							drained.Add(1)
+							k++
+						}
+					}
+					continue
+				}
+				q.Enqueue(slot, w*10000+i)
+				for {
+					if _, ok := q.Dequeue(slot); ok {
+						drained.Add(1)
+						break
+					}
+				}
+			}
+		}(w, slot)
+	}
+	healthy := make(chan struct{})
+	go func() { wg.Wait(); close(healthy) }()
+	awaitOrFatal(t, healthy, 60*time.Second, "healthy workers (victim parked mid-fast-claim)")
+
+	if got := inject.Stalled(); got != 1 {
+		t.Fatalf("expected the victim still parked, Stalled() = %d", got)
+	}
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Fatalf("overruns enq=%d deq=%d with one thread parked mid-fast-claim; bound violated", enq, deq)
+	}
+	hz := q.Hazard()
+	if b, bound := hz.Backlog(), hz.BacklogBound(); b > bound {
+		t.Fatalf("hazard backlog %d exceeds bound %d while one thread is parked", b, bound)
+	}
+
+	inject.ReleaseStalled()
+	awaitOrFatal(t, victimDone, 10*time.Second, "released victim")
+
+	// The released victim finished its enqueue (its original ticket was
+	// poisoned away, so it retried or fell back): the victim's item plus
+	// exactly one other (the healthy workers drained as many as they
+	// enqueued, so one of {seed, worker items} is left over).
+	remaining := map[int]bool{}
+	for {
+		v, ok := q.Dequeue(victim)
+		if !ok {
+			break
+		}
+		remaining[v] = true
+	}
+	if len(remaining) != 2 || !remaining[-1] {
+		t.Fatalf("leftover items %v, want two items including the victim's -1", remaining)
+	}
+	rt.Release(victim)
+	rt.Release(seeder)
+
+	s := account.Capture("turnplus", rt, q)
+	if err := s.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosStalledThreadTurnPlusFastDeq parks one TurnPlus dequeuer
+// forever with a drawn FAA ticket (claim window, cell not yet resolved)
+// and asserts healthy threads — including slow-path dequeuers whose
+// march must skip or resolve whatever the victim left behind — keep
+// completing within the bound.
+func TestChaosStalledThreadTurnPlusFastDeq(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	q := turnplus.New[int](turnplus.WithMaxThreads(8), turnplus.WithSegmentSize(8), turnplus.WithPatience(1))
+	rt := q.Runtime()
+	victim := acquireSlot(t, rt)
+	seeder := acquireSlot(t, rt)
+	for i := 0; i < 4; i++ {
+		q.Enqueue(seeder, -10-i)
+	}
+	victimDone := parkVictim(t, inject.CoreFastClaim, func() { q.Dequeue(victim) })
+
+	const workers, pairs = 6, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot := acquireSlot(t, rt)
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			for i := 0; i < pairs; i++ {
+				q.Enqueue(slot, w*10000+i)
+				for {
+					if _, ok := q.Dequeue(slot); ok {
+						break
+					}
+				}
+			}
+		}(w, slot)
+	}
+	healthy := make(chan struct{})
+	go func() { wg.Wait(); close(healthy) }()
+	awaitOrFatal(t, healthy, 60*time.Second, "healthy workers (victim parked mid-fast-dequeue)")
+
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Fatalf("overruns enq=%d deq=%d with one dequeuer parked mid-claim; bound violated", enq, deq)
+	}
+	hz := q.Hazard()
+	if b, bound := hz.Backlog(), hz.BacklogBound(); b > bound {
+		t.Fatalf("hazard backlog %d exceeds bound %d while one thread is parked", b, bound)
+	}
+
+	inject.ReleaseStalled()
+	awaitOrFatal(t, victimDone, 10*time.Second, "released victim")
+
+	// Victim took one of the seeded items; the other three must drain.
+	got := 0
+	for {
+		if _, ok := q.Dequeue(seeder); !ok {
+			break
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("drained %d leftover items, want 3 (victim holds the fourth)", got)
+	}
+	rt.Release(victim)
+	rt.Release(seeder)
+}
+
+// TestChaosStalledThreadTurnPlusFallback parks one TurnPlus thread at
+// the fast→slow handoff — patience exhausted, consensus announce not
+// yet made. The window holds no published state at all, so the parked
+// thread must be invisible: zero overruns, backlog in bound, and the
+// queue drains to exactly the healthy threads' items.
+func TestChaosStalledThreadTurnPlusFallback(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	q := turnplus.New[int](turnplus.WithMaxThreads(8), turnplus.WithSegmentSize(8))
+	rt := q.Runtime()
+	victim := acquireSlot(t, rt)
+	probe := acquireSlot(t, rt)
+
+	// A fresh queue's tail is the sentinel, so the victim's first
+	// enqueue deterministically reaches the fallback point.
+	victimDone := parkVictim(t, inject.CoreFastFallback, func() { q.Enqueue(victim, -1) })
+
+	const workers, pairs = 6, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot := acquireSlot(t, rt)
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			for i := 0; i < pairs; i++ {
+				q.Enqueue(slot, w*10000+i)
+				for {
+					if _, ok := q.Dequeue(slot); ok {
+						break
+					}
+				}
+			}
+		}(w, slot)
+	}
+	healthy := make(chan struct{})
+	go func() { wg.Wait(); close(healthy) }()
+	awaitOrFatal(t, healthy, 60*time.Second, "healthy workers (victim parked pre-announce)")
+
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Fatalf("overruns enq=%d deq=%d with one thread parked pre-announce; bound violated", enq, deq)
+	}
+	if _, ok := q.Dequeue(probe); ok {
+		t.Fatal("parked pre-announce enqueue became visible")
+	}
+
+	inject.ReleaseStalled()
+	awaitOrFatal(t, victimDone, 10*time.Second, "released victim")
+	if v, ok := q.Dequeue(probe); !ok || v != -1 {
+		t.Fatalf("victim's item after release: got (%d,%v), want (-1,true)", v, ok)
+	}
+	rt.Release(victim)
+	rt.Release(probe)
+}
+
 func TestChaosLincheckUnderDelayInjection(t *testing.T) {
 	t.Cleanup(inject.Reset)
 	seed := chaosSeed(t)
@@ -588,6 +805,7 @@ func TestChaosLincheckUnderDelayInjection(t *testing.T) {
 		inject.HazardProtect, inject.HazardRetire, inject.KPQInstall, inject.EpochEnter,
 		inject.FAAQRead, inject.MSQEnqLoop, inject.MSQDeqLoop,
 		inject.LockQEnqLocked, inject.LockQDeqLocked,
+		inject.CoreFastClaim, inject.CoreFastFallback,
 	}
 	for name, mk := range linearizableQueues() {
 		name, mk := name, mk

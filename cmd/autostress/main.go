@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//	autostress [-queues Turn,MS,KP,Sim,FAA,TwoLock] [-threads n] [-goroutines n] [-duration d]
+//	autostress [-queues Turn,MS,KP,Sim,FAA,TurnPlus,TwoLock] [-threads n] [-goroutines n] [-duration d]
 //	           [-snapshots interval]
 package main
 
@@ -38,18 +38,19 @@ import (
 
 func constructors() map[string]func(opts ...turnqueue.Option) turnqueue.Queue[uint64] {
 	return map[string]func(opts ...turnqueue.Option) turnqueue.Queue[uint64]{
-		"Turn":    turnqueue.NewTurn[uint64],
-		"MS":      turnqueue.NewMichaelScott[uint64],
-		"KP":      turnqueue.NewKoganPetrank[uint64],
-		"Sim":     turnqueue.NewSim[uint64],
-		"FAA":     turnqueue.NewFAA[uint64],
-		"TwoLock": turnqueue.NewTwoLock[uint64],
+		"Turn":     turnqueue.NewTurn[uint64],
+		"MS":       turnqueue.NewMichaelScott[uint64],
+		"KP":       turnqueue.NewKoganPetrank[uint64],
+		"Sim":      turnqueue.NewSim[uint64],
+		"FAA":      turnqueue.NewFAA[uint64],
+		"TurnPlus": turnqueue.NewTurnPlus[uint64],
+		"TwoLock":  turnqueue.NewTwoLock[uint64],
 	}
 }
 
 func main() {
 	var (
-		queues     = flag.String("queues", "Turn,MS,KP,Sim,FAA,TwoLock", "comma-separated queue names")
+		queues     = flag.String("queues", "Turn,MS,KP,Sim,FAA,TurnPlus,TwoLock", "comma-separated queue names")
 		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "MaxThreads bound (handle-cache size)")
 		goroutines = flag.Int("goroutines", 0, "caller goroutines (default 4x threads; must exceed threads to stress the cache)")
 		duration   = flag.Duration("duration", 2*time.Second, "run length per queue")

@@ -23,6 +23,13 @@
 //	          within R + maxThreads*numHPs. Queues: turn, faa.
 //	crash     crash a thread mid-enqueue without Close and print the
 //	          accounting layer's stranded-slot report. Queue: turn.
+//	fastpath  park one TurnPlus victim inside the fast-path claim
+//	          window (FAA ticket drawn, cell transition pending), run
+//	          healthy workers mixing fast singles with slow-path
+//	          batches, and report that the slow-path completers were
+//	          never blocked: zero overruns, hazard backlog within
+//	          bound, and the abandoned ticket resolved by the poison
+//	          protocol. Queue: turnplus (implied).
 //	adversary run the deterministic yield adversary against msq and
 //	          turn together and report max retries vs overruns.
 package main
@@ -43,11 +50,12 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/turnplus"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "stall", "stall, batch, reader, crash, or adversary")
+		scenario = flag.String("scenario", "stall", "stall, batch, reader, crash, adversary, or fastpath")
 		queue    = flag.String("queue", "turn", "turn, kp, msq, lockq, or faa (per scenario)")
 		workers  = flag.Int("workers", 4, "healthy worker goroutines")
 		ops      = flag.Int("ops", 2000, "enqueue+dequeue pairs per worker")
@@ -75,6 +83,8 @@ func main() {
 		err = runCrash(*queue)
 	case "adversary":
 		err = runAdversary(*workers, *ops)
+	case "fastpath":
+		err = runFastpath(*workers, *ops, *segsize, *batch, *timeout)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -489,5 +499,123 @@ func runAdversary(workers, ops int) error {
 	fmt.Printf("yield adversary, %d workers x %d pairs:\n", workers, ops)
 	fmt.Printf("  msq  max CAS retries per op: %d (lock-free: unbounded)\n", mq.MaxTries())
 	fmt.Printf("  turn helping-loop overruns:  %d/%d (wait-free: bound maxThreads+1 held: %v)\n", enq, deq, enq == 0 && deq == 0)
+	return nil
+}
+
+// runFastpath parks one TurnPlus victim inside the fast-path claim
+// window — FAA ticket drawn, cell transition pending — then drives
+// healthy workers through mixed fast/slow traffic. The claim to falsify
+// is that a thread parked between its FAA and its cell CAS can wedge
+// the slow path: it cannot, because the seal protocol poisons or
+// absorbs the abandoned ticket, so consensus rounds stay within the
+// maxThreads+1 helping bound and the hazard backlog stays within its
+// bound with the victim still parked.
+func runFastpath(workers, ops, segsize, batch int, timeout time.Duration) error {
+	defer inject.Reset()
+	if segsize < 2 {
+		return fmt.Errorf("fastpath scenario wants -segsize >= 2, got %d", segsize)
+	}
+	if batch < 1 {
+		return fmt.Errorf("fastpath scenario wants -batch >= 1, got %d", batch)
+	}
+	q := turnplus.New[int](
+		turnplus.WithMaxThreads(workers+3),
+		turnplus.WithSegmentSize(segsize),
+		turnplus.WithPatience(2),
+	)
+	rt := q.Runtime()
+
+	// Seed one item first: a fresh queue has only the sentinel ring, so
+	// the very first enqueue falls back before reaching the claim window.
+	// With a live ring installed the victim's enqueue draws a real FAA
+	// ticket and parks between the FAA and its cell CAS.
+	seeder, _ := rt.Acquire()
+	q.Enqueue(seeder, -2)
+	rt.Release(seeder)
+
+	victim, _ := rt.Acquire()
+	inject.Arm(inject.CoreFastClaim, inject.Stall(1))
+	victimDone := make(chan struct{})
+	go func() { defer close(victimDone); q.Enqueue(victim, -1) }()
+	if got := inject.WaitStalled(1, 10*time.Second); got < 1 {
+		return fmt.Errorf("victim never parked at %v", inject.CoreFastClaim)
+	}
+	inject.Disarm(inject.CoreFastClaim)
+	fmt.Printf("victim parked forever at %v holding a fast-path ticket; starting %d healthy workers x %d mixed rounds\n",
+		inject.CoreFastClaim, workers, ops)
+
+	// Healthy traffic deliberately mixes both regimes: EnqueueBatch is a
+	// pure slow-path completer (ring install through consensus), singles
+	// ride the FAA fast path, and the dequeues march across the seam the
+	// victim's abandoned ticket creates.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot, ok := rt.Acquire()
+		if !ok {
+			return fmt.Errorf("no slot for worker %d", w)
+		}
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			items := make([]int, batch)
+			for r := 0; r < ops; r++ {
+				if r%5 == 0 {
+					for i := range items {
+						items[i] = w*1000000 + r*batch + i
+					}
+					q.EnqueueBatch(slot, items)
+					for range items {
+						q.Dequeue(slot)
+					}
+				} else {
+					q.Enqueue(slot, w*1000000+900000+r)
+					q.Dequeue(slot)
+				}
+			}
+		}(w, slot)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		fmt.Printf("healthy workers completed in %v with the victim still parked\n", time.Since(start))
+	case <-time.After(timeout):
+		inject.ReleaseStalled()
+		return fmt.Errorf("healthy workers did not complete within %v — the parked fast-path claim blocked them", timeout)
+	}
+
+	oe, od := q.OverrunStats()
+	hz := q.Hazard()
+	fastEnq, fastDeq, fbEnq, fbDeq, wasted, rings := q.Stats()
+	fmt.Printf("  turnplus: consensus overruns %d/%d (bound maxThreads+1 held: %v); hazard backlog %d <= bound %d: %v\n",
+		oe, od, oe == 0 && od == 0, hz.Backlog(), hz.BacklogBound(), hz.Backlog() <= hz.BacklogBound())
+	fmt.Printf("  fastpath: enq hits %d / fallbacks %d, deq hits %d / fallbacks %d, wasted tickets %d, rings installed %d\n",
+		fastEnq, fbEnq, fastDeq, fbDeq, wasted, rings)
+
+	// Release the victim and drain: its deposit must become visible
+	// exactly once, alongside the seed if no worker consumed it.
+	inject.ReleaseStalled()
+	<-victimDone
+	rt.Release(victim)
+	drainer, _ := rt.Acquire()
+	sawVictim := false
+	leftovers := 0
+	for {
+		v, ok := q.Dequeue(drainer)
+		if !ok {
+			break
+		}
+		leftovers++
+		if v == -1 {
+			sawVictim = true
+		}
+	}
+	rt.Release(drainer)
+	fmt.Printf("  drain: %d leftover items, victim's deposit arrived after release: %v\n", leftovers, sawVictim)
+	if !sawVictim {
+		return fmt.Errorf("victim's item never surfaced after release")
+	}
 	return nil
 }

@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//	stress [-queues MS,KP,Turn,Sim(FK),FAA(YMC)] [-threads n] [-duration d]
+//	stress [-queues MS,KP,Turn,Sim(FK),FAA(YMC),TurnPlus] [-threads n] [-duration d]
 //	       [-snapshots interval] [-debugaddr :8123]
 package main
 
@@ -67,7 +67,7 @@ func currentSnapshot() (account.Snapshot, bool) {
 
 func main() {
 	var (
-		queues    = flag.String("queues", "MS,KP,Turn,Sim(FK),FAA(YMC)", "comma-separated queue names")
+		queues    = flag.String("queues", "MS,KP,Turn,Sim(FK),FAA(YMC),TurnPlus", "comma-separated queue names")
 		threads   = flag.Int("threads", 2*runtime.GOMAXPROCS(0), "worker count (half produce, half consume)")
 		batch     = flag.Int("batch", 1, "producers/consumers operate in batches of this size (1 = single ops)")
 		duration  = flag.Duration("duration", 5*time.Second, "run length per queue")

@@ -72,6 +72,17 @@ func main() {
 			}
 			return *lastSnap.s
 		}))
+		// Fast-path hit rates of the latest point (TurnPlus; nil for
+		// queues without a fast path), derived from the same snapshot so
+		// live readers need not recompute from raw counters.
+		expvar.Publish("fastpath_hit_rate", expvar.Func(func() any {
+			lastSnap.mu.Lock()
+			defer lastSnap.mu.Unlock()
+			if lastSnap.s == nil {
+				return nil
+			}
+			return fastpathRates(*lastSnap.s)
+		}))
 		go func() {
 			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "debugaddr:", err)
@@ -138,6 +149,7 @@ func main() {
 			// expvar reader can tell which workload shape produced it.
 			res.Final.Counter("batch_size", int64(*batch))
 			setLastSnap(res.Final)
+			warnFastpathFallback(res.Final, n)
 			if *verify {
 				if err := res.Final.VerifyQuiescent(); err != nil {
 					fmt.Fprintf(os.Stderr, "leak gate (threads=%d): %v\n", n, err)
@@ -195,6 +207,49 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(chart)
+	}
+}
+
+// fastpathRates derives the TurnPlus fast-path hit rates from a
+// snapshot's counters, or nil when the queue has no fast path.
+func fastpathRates(s account.Snapshot) map[string]float64 {
+	hitsE, okE := s.Counters["fast_enq_hits"]
+	hitsD, okD := s.Counters["fast_deq_hits"]
+	if !okE && !okD {
+		return nil
+	}
+	rates := map[string]float64{}
+	if total := hitsE + s.Counters["enq_fallbacks"]; okE && total > 0 {
+		rates["enq_hit_rate"] = float64(hitsE) / float64(total)
+	}
+	if total := hitsD + s.Counters["deq_fallbacks"]; okD && total > 0 {
+		rates["deq_hit_rate"] = float64(hitsD) / float64(total)
+	}
+	return rates
+}
+
+// warnFastpathFallback keeps a quiet fast-path regression visible: at
+// low contention the TurnPlus fast path should absorb nearly all
+// traffic, so a fallback rate above 5% with one or two threads is
+// printed instead of staying buried in the snapshot counters.
+func warnFastpathFallback(s account.Snapshot, threads int) {
+	if threads > 2 {
+		return
+	}
+	for _, side := range []struct{ hits, fb, label string }{
+		{"fast_enq_hits", "enq_fallbacks", "enqueue"},
+		{"fast_deq_hits", "deq_fallbacks", "dequeue"},
+	} {
+		hits, ok := s.Counters[side.hits]
+		if !ok {
+			continue
+		}
+		fb := s.Counters[side.fb]
+		if total := hits + fb; total > 0 && float64(fb)/float64(total) > 0.05 {
+			fmt.Fprintf(os.Stderr,
+				"fastpath warning: %s %s fallback rate %.1f%% at %d threads (hits=%d fallbacks=%d)\n",
+				s.Queue, side.label, 100*float64(fb)/float64(total), threads, hits, fb)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
 	"turnqueue/internal/simq"
+	"turnqueue/internal/turnplus"
 )
 
 // Option configures a queue constructor. Options that do not apply to a
@@ -21,6 +22,7 @@ type options struct {
 	reclaim     Reclaim
 	hazardR     int
 	segmentSize int
+	patience    int
 	pooling     bool
 	poolCap     int
 }
@@ -48,6 +50,7 @@ func defaults() options {
 		reclaim:     ReclaimPool,
 		hazardR:     0,
 		segmentSize: faaq.DefaultSegmentSize,
+		patience:    turnplus.DefaultPatience,
 		pooling:     true,
 		poolCap:     core.DefaultPoolCap,
 	}
@@ -64,8 +67,20 @@ func WithReclaim(r Reclaim) Option { return func(o *options) { o.reclaim = r } }
 // paper's latency-minimizing choice).
 func WithHazardR(r int) Option { return func(o *options) { o.hazardR = r } }
 
-// WithSegmentSize sets the FAA queue's cells-per-segment count.
+// WithSegmentSize sets the cells-per-segment count of the FAA queue and
+// of the TurnPlus queue's ring segments. Larger segments amortize more
+// slow-path consensus rounds per allocation; smaller segments bound
+// per-ring memory and the dequeue march. The default (1024) suits
+// throughput benchmarks; latency-sensitive callers with small queues can
+// drop to 64-256.
 func WithSegmentSize(n int) Option { return func(o *options) { o.segmentSize = n } }
+
+// WithPatience sets how many fast-path attempts a TurnPlus operation
+// makes before falling back to the wait-free consensus slow path
+// (default turnplus.DefaultPatience, 8). Lower values tighten the
+// worst-case step bound; higher values keep more traffic on the FAA fast
+// path under bursty contention.
+func WithPatience(n int) Option { return func(o *options) { o.patience = n } }
 
 // WithPooling toggles the KP queue's node/descriptor pools.
 func WithPooling(on bool) Option { return func(o *options) { o.pooling = on } }
@@ -235,6 +250,22 @@ func NewFAA[T any](opts ...Option) Queue[T] {
 	o := build(opts)
 	q := faaq.New[T](faaq.WithMaxThreads(o.maxThreads), faaq.WithSegmentSize(o.segmentSize))
 	return newAdapter[T, *faaq.Queue[T]](q, "Yang-Mellor-Crummey (YMC-style)")
+}
+
+// NewTurnPlus creates the TurnPlus queue: a Turn queue over ring
+// segments with a bounded FAA fast path. Uncontended operations run at
+// FAA-ticket speed; after WithPatience failed fast attempts an operation
+// announces into the same turn-consensus slow path as the Turn queue, so
+// the maxThreads+1 helping bound and bounded hazard-pointer reclamation
+// still hold for every operation.
+func NewTurnPlus[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	q := turnplus.New[T](
+		turnplus.WithMaxThreads(o.maxThreads),
+		turnplus.WithSegmentSize(o.segmentSize),
+		turnplus.WithPatience(o.patience),
+	)
+	return newAdapter[T, *turnplus.Queue[T]](q, "TurnPlus")
 }
 
 // lockImpl gives the two-lock queue the thread-indexed impl surface. The

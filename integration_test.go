@@ -23,7 +23,15 @@ func linearizableQueues() map[string]func(opts ...Option) Queue[int64] {
 		"KoganPetrank": NewKoganPetrank[int64],
 		"Sim":          NewSim[int64],
 		"FAA":          NewFAA[int64],
-		"TwoLock":      NewTwoLock[int64],
+		"TurnPlus":     NewTurnPlus[int64],
+		// TurnPlus again with two-cell rings and patience 1, so histories
+		// mix fast-path FAA operations with consensus slow-path rounds
+		// (seals, ring installs, the dequeue march) instead of staying on
+		// the fast path throughout.
+		"TurnPlusSlow": func(opts ...Option) Queue[int64] {
+			return NewTurnPlus[int64](append([]Option{WithSegmentSize(2), WithPatience(1)}, opts...)...)
+		},
+		"TwoLock": NewTwoLock[int64],
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"turnqueue/internal/qrt"
 	"turnqueue/internal/simq"
 	"turnqueue/internal/turnalt"
+	"turnqueue/internal/turnplus"
 )
 
 // Queue is the surface the drivers need: thread-indexed enqueue/dequeue
@@ -72,6 +73,7 @@ func AllFactories() []Factory {
 	return append(PaperFactories(),
 		Factory{Name: "Sim(FK)", New: func(n int) Queue { return simq.New[uint64](simq.WithMaxThreads(n)) }},
 		Factory{Name: "FAA(YMC)", New: func(n int) Queue { return faaq.New[uint64](faaq.WithMaxThreads(n)) }},
+		Factory{Name: "TurnPlus", New: func(n int) Queue { return turnplus.New[uint64](turnplus.WithMaxThreads(n)) }},
 		Factory{Name: "TwoLock", New: func(n int) Queue { return lockAdapter{lockq.New[uint64](), qrt.New(n)} }},
 	)
 }

@@ -1,0 +1,289 @@
+package consensus
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/inject"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/qrt"
+)
+
+// Deq is the dequeue-side turn consensus engine: it owns the head
+// pointer and the paper's deqself/deqhelp request arrays, and runs
+// Algorithms 3 and 4 (open → help-until-assigned → take, with the
+// §2.3.1 giveUp rollback on empty). The tail word is borrowed from
+// whoever owns the enqueue side — the paired Enq engine on the full
+// queue, or the single producer's private publication word on the SPMC
+// composition — because the emptiness check (head == tail) is the only
+// coupling between the two sides.
+type Deq[T any] struct {
+	head atomic.Pointer[Node[T]]
+	_    [2*pad.CacheLine - 8]byte
+
+	// deqself[i]==deqhelp[i] publishes an open dequeue request for
+	// thread i; a helper closes it by swinging deqhelp[i] to the
+	// assigned node.
+	deqself []pad.PointerSlot[Node[T]]
+	deqhelp []pad.PointerSlot[Node[T]]
+
+	tail       *atomic.Pointer[Node[T]]
+	rt         *qrt.Runtime
+	hp         *hazard.Domain[Node[T]]
+	hpHead     int
+	hpNext     int
+	hpDeq      int
+	maxThreads int
+
+	// overruns counts helping loops that needed more than maxThreads+1
+	// iterations (see DequeueOne).
+	overruns pad.Int64Slot
+
+	// guard, when non-nil, restricts which nodes the engine may claim for
+	// a request (SetClaimGuard). A guard-false head successor is treated
+	// like an empty queue: the request rolls back and DequeueOne returns
+	// not-ok without claiming anything.
+	guard func(*Node[T]) bool
+}
+
+// Init wires the engine to its queue's runtime, hazard domain, hazard
+// slot indices, and the enqueue side's tail word; parks the sentinel in
+// the head; and points each thread's deqself/deqhelp entries at two
+// distinct dummy nodes so that every dequeue request starts closed.
+func (d *Deq[T]) Init(rt *qrt.Runtime, hp *hazard.Domain[Node[T]], hpHead, hpNext, hpDeq int,
+	tail *atomic.Pointer[Node[T]], sentinel *Node[T]) {
+	d.rt = rt
+	d.hp = hp
+	d.hpHead = hpHead
+	d.hpNext = hpNext
+	d.hpDeq = hpDeq
+	d.tail = tail
+	d.maxThreads = rt.Capacity()
+	d.deqself = make([]pad.PointerSlot[Node[T]], d.maxThreads)
+	d.deqhelp = make([]pad.PointerSlot[Node[T]], d.maxThreads)
+	d.head.Store(sentinel)
+	for i := 0; i < d.maxThreads; i++ {
+		d.deqself[i].P.Store(new(Node[T]))
+		d.deqhelp[i].P.Store(new(Node[T]))
+	}
+}
+
+// Head returns the current head node (tests, diagnostics).
+func (d *Deq[T]) Head() *Node[T] { return d.head.Load() }
+
+// SetClaimGuard installs a claim guard: the engine (and every helper
+// running inside it) will only assign nodes for which g reports true.
+// TurnPlus uses this at ring granularity so a ring node is only ever
+// dequeued once it is drained.
+//
+// g MUST be monotone per node — once it reports true for a node it must
+// report true for that node forever. Monotonicity is what keeps the
+// rollback race closed: a helper checks the guard under a validated
+// head snapshot before running the claim consensus, so a stale claim on
+// a guard-false node would require the guard to have been true earlier,
+// which monotonicity forbids. Install the guard before the engine is
+// shared between threads; it cannot be changed concurrently.
+func (d *Deq[T]) SetClaimGuard(g func(*Node[T]) bool) { d.guard = g }
+
+// Overruns reports dequeue helping loops that exceeded the structural
+// maxThreads+1 bound.
+func (d *Deq[T]) Overruns() int64 { return d.overruns.V.Load() }
+
+// DequeueOne runs one dequeue consensus round — the body of Algorithm 3
+// minus the slot bookkeeping that single and batched callers amortize
+// differently. The caller clears the thread's hazard slots and retires
+// prReq (nil on the empty return): a dequeued node stays reachable
+// through deqhelp (and then deqself) for two more successful dequeues by
+// the same thread (§2.4), and prReq is the node that has just left both
+// arrays. Leaving the hazard slots published between a batch's rounds is
+// safe: each round's ProtectPtr overwrites them, and stale protections
+// only pin nodes, never admit them.
+//
+// Deviation, mirroring Announce: the paper's listing runs the loop
+// exactly maxThreads times and then reads deqhelp assuming the request
+// completed. We loop until deqhelp actually changed (the
+// request-completed condition itself), counting iterations beyond the
+// structural bound maxThreads+1 in Overruns — the +1 because a helper
+// satisfies the request inside some iteration and this loop observes the
+// change only at the top of the next one — so a bound violation can
+// never surface as a stale item.
+func (d *Deq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
+	prReq = d.deqself[threadID].P.Load() // previous request, to retire at the end
+	myReq := d.deqhelp[threadID].P.Load()
+	d.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
+	inject.Fire(inject.CoreDeqOpen)
+	for i := 0; d.deqhelp[threadID].P.Load() == myReq; i++ {
+		inject.Fire(inject.CoreDeqHelp)
+		if i == d.maxThreads+1 {
+			d.overruns.V.Add(1)
+		}
+		if i == hardIterCap {
+			panic("consensus: dequeue helping loop exceeded hard cap; queue invariant violated")
+		}
+		lhead := d.hp.ProtectPtr(d.hpHead, threadID, d.head.Load())
+		if lhead != d.head.Load() {
+			continue // head advanced: one dequeue completed; take next step
+		}
+		if lhead == d.tail.Load() {
+			// Queue looks empty: roll the request back (§2.3.1).
+			d.deqself[threadID].P.Store(prReq)
+			d.giveUp(myReq, threadID)
+			if d.deqhelp[threadID].P.Load() != myReq {
+				// A helper assigned us a node after all; restore the
+				// normal closed-request state and take the item below.
+				d.deqself[threadID].P.Store(myReq)
+				break
+			}
+			var zero T
+			return zero, false, nil
+		}
+		lnext := d.hp.ProtectPtr(d.hpNext, threadID, lhead.next.Load())
+		if lhead != d.head.Load() {
+			continue
+		}
+		if d.guard != nil && !d.guard(lnext) {
+			// The head successor is not claimable (yet). Same rollback
+			// protocol as the empty case: no helper can have claimed a
+			// guard-false node for us (monotonicity, see SetClaimGuard),
+			// and any assignment from an earlier guard-true node is
+			// caught by the recheck.
+			d.deqself[threadID].P.Store(prReq)
+			d.giveUp(myReq, threadID)
+			if d.deqhelp[threadID].P.Load() != myReq {
+				d.deqself[threadID].P.Store(myReq)
+				break
+			}
+			var zero T
+			return zero, false, nil
+		}
+		if d.searchNext(lhead, lnext) != IdxNone {
+			d.casDeqAndHead(lhead, lnext, threadID)
+		}
+	}
+	myNode := d.deqhelp[threadID].P.Load()
+	lhead := d.hp.ProtectPtr(d.hpHead, threadID, d.head.Load())
+	if lhead == d.head.Load() && myNode == lhead.next.Load() {
+		// Our node was assigned and published but the head not yet
+		// advanced past it (Invariant 8's other half): finish the job.
+		d.head.CompareAndSwap(lhead, myNode)
+	}
+	return myNode.item, true, prReq
+}
+
+// searchNext is the paper's Algorithm 4 searchNext(): run the turn
+// consensus for the dequeue side. The turn is the deqTid of the current
+// head; the first open request (deqself[i] == deqhelp[i]) to its right
+// claims the next node by CAS on its deqTid. §2.4 explains why reading
+// deqself/deqhelp without hazard pointers is safe: the comparison can
+// spuriously see a closed request as open (harmless — the deqTid CAS
+// then fails), but never an open request as closed.
+//
+// The scan is restricted to the active range: a slot whose occupancy bit
+// is clear held a closed request when the bit was read (requests open
+// only between Acquire and Release, and the bit brackets both), so
+// skipping it matches the paper's scan reading the slot at that instant.
+func (d *Deq[T]) searchNext(lhead, lnext *Node[T]) int32 {
+	turn := int(lhead.deqTid.Load())
+	if idDeq := d.nextOpenDeq(turn); idDeq >= 0 {
+		if lnext.deqTid.Load() == IdxNone {
+			lnext.CasDeqTid(IdxNone, int32(idDeq))
+		}
+	}
+	return lnext.deqTid.Load()
+}
+
+// nextOpenDeq finds the first open dequeue request in turn order after
+// slot turn — the dequeue-side twin of Enq.nextRequest — or -1 when
+// every active request is closed.
+func (d *Deq[T]) nextOpenDeq(turn int) int {
+	limit := d.rt.ActiveLimit()
+	if idx := d.scanOpenRange(turn+1, limit); idx >= 0 {
+		return idx
+	}
+	return d.scanOpenRange(0, turn+1)
+}
+
+// scanOpenRange finds the first active slot in [from, limit) holding an
+// open request, word-at-a-time like Enq.scanRange, or -1.
+func (d *Deq[T]) scanOpenRange(from, limit int) int {
+	if from < 0 {
+		from = 0
+	}
+	if n := len(d.deqself); limit > n {
+		limit = n
+	}
+	for w := from >> 6; w<<6 < limit; w++ {
+		word := d.rt.ActiveWord(w)
+		if w == from>>6 {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		for word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			if idx >= limit {
+				return -1
+			}
+			word &= word - 1
+			if d.deqself[idx].P.Load() == d.deqhelp[idx].P.Load() {
+				return idx
+			}
+		}
+	}
+	return -1
+}
+
+// casDeqAndHead is the paper's Algorithm 4 casDeqAndHead(): publish the
+// assigned node in the winner's deqhelp entry, then advance the head.
+// The publish must precede the head advance so that a node that becomes
+// unreachable from head remains accessible to its assigned thread
+// (Invariant 8). The hazard pointer on deqhelp[ldeqTid] exists purely to
+// prevent the retired-deleted-recycled-enqueued-dequeued ABA described
+// in §2.4 — the pointer is never dereferenced here.
+func (d *Deq[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
+	ldeqTid := lnext.deqTid.Load()
+	if ldeqTid == int32(threadID) {
+		d.deqhelp[ldeqTid].P.Store(lnext)
+	} else {
+		ldeqhelp := d.hp.ProtectPtr(d.hpDeq, threadID, d.deqhelp[ldeqTid].P.Load())
+		if ldeqhelp != lnext && lhead == d.head.Load() {
+			d.deqhelp[ldeqTid].P.CompareAndSwap(ldeqhelp, lnext)
+		}
+	}
+	d.head.CompareAndSwap(lhead, lnext)
+}
+
+// giveUp is the rollback path of §2.3.1, taken when the request was
+// opened but the queue appeared empty. It must guarantee that either the
+// request stays satisfied (a helper raced an enqueue in) or that no
+// thread will ever assign a node to this request once the caller
+// returns empty.
+func (d *Deq[T]) giveUp(myReq *Node[T], threadID int) {
+	lhead := d.head.Load()
+	if d.deqhelp[threadID].P.Load() != myReq {
+		return // already satisfied
+	}
+	if lhead == d.tail.Load() {
+		return // still empty; rollback stands
+	}
+	// An enqueue slipped in between the two emptiness checks: make sure
+	// the first node gets assigned to somebody (ourselves if no other
+	// request is open), so the head can advance and late helpers see the
+	// rollback.
+	d.hp.ProtectPtr(d.hpHead, threadID, lhead)
+	if lhead != d.head.Load() {
+		return
+	}
+	lnext := d.hp.ProtectPtr(d.hpNext, threadID, lhead.next.Load())
+	if lhead != d.head.Load() {
+		return
+	}
+	if d.guard != nil && !d.guard(lnext) {
+		// The slipped-in node is not claimable: nobody can assign it to
+		// this request either (monotonicity), so the rollback stands.
+		return
+	}
+	if d.searchNext(lhead, lnext) == IdxNone {
+		lnext.CasDeqTid(IdxNone, int32(threadID))
+	}
+	d.casDeqAndHead(lhead, lnext, threadID)
+}

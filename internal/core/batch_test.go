@@ -121,7 +121,7 @@ func TestBatchTailRestsOnChainEnds(t *testing.T) {
 		if tail.Next() != nil {
 			t.Fatalf("batch %d: tail has a successor at rest; tail rested on a chain interior", b)
 		}
-		if tail.blink.Load() == nil && b >= 0 {
+		if tail.BLink() == nil && b >= 0 {
 			// The published request (last node) must carry its back-link
 			// until recycled; an interior would have nil blink.
 			t.Fatalf("batch %d: tail is not a chain end (nil blink)", b)

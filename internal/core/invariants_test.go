@@ -73,7 +73,7 @@ func TestEnqueuersEntryCleared(t *testing.T) {
 	q := New[int](WithMaxThreads(2))
 	for i := 0; i < 20; i++ {
 		q.Enqueue(0, i)
-		if got := q.enqueuers[0].P.Load(); got != nil {
+		if got := q.EnqRequestForTest(0); got != nil {
 			t.Fatalf("enqueuers[0] = %p after enqueue returned", got)
 		}
 	}

@@ -10,77 +10,21 @@
 // internal/tid, and `delete node` becomes recycling through a per-thread
 // node pool so that hazard pointers continue to protect against real ABA
 // under Go's garbage collector.
+//
+// Since the consensus extraction (DESIGN.md §1f) the algorithm bodies
+// live in internal/consensus: this package composes the shared Enq and
+// Deq engines with its own allocation (pool), reclamation (hazard
+// domain, reclaim modes), and batching policy. Node is an alias of
+// consensus.Node so existing call sites and tests are unaffected.
 package core
 
-import "sync/atomic"
+import "turnqueue/internal/consensus"
 
 // IdxNone is the paper's IDX_NONE: the deqTid value of a node not yet
 // assigned to any dequeue request.
-const IdxNone int32 = -1
+const IdxNone = consensus.IdxNone
 
-// Node is the paper's Algorithm 1. It is the only object the queue
-// allocates: one per enqueued item, carrying the item itself, the link to
-// the next node, and the two consensus fields.
-//
-//	enqTid — index of the thread that enqueued the node. Read by every
-//	         thread during the enqueue turn scan but written only before
-//	         the node is published, so it needs no atomicity (the atomic
-//	         publication of the node pointer orders it).
-//	deqTid — index of the thread whose dequeue request this node satisfies;
-//	         claimed by CAS from IdxNone, after which it never changes for
-//	         the node's lifetime (paper Invariant 9).
-//	blink  — batch-link, the chain extension beyond the paper: nil on a
-//	         single-item request and on chain interiors. A batch enqueue
-//	         publishes its pre-linked chain's LAST node as the request;
-//	         that node's blink points back to the chain's first node (the
-//	         helper installs the whole chain by CASing the first node in
-//	         after the tail), and the first node's blink points forward to
-//	         the last (the tail-advance jumps over the whole chain in one
-//	         CAS, so the tail never rests on a chain interior). Written
-//	         only between reset and publication; atomic because helpers
-//	         read it through unprotected scan results, where the
-//	         enclosing CAS — not the read — decides validity.
-type Node[T any] struct {
-	item   T
-	enqTid int32
-	deqTid atomic.Int32
-	next   atomic.Pointer[Node[T]]
-	blink  atomic.Pointer[Node[T]]
-}
-
-// reset prepares a (fresh or recycled) node for publication as a new
-// enqueue request. It runs strictly before the node becomes shared again,
-// so plain stores suffice except deqTid, which keeps its atomic type.
-func (n *Node[T]) reset(item T, tid int32) {
-	n.item = item
-	n.enqTid = tid
-	n.deqTid.Store(IdxNone)
-	n.next.Store(nil)
-	n.blink.Store(nil)
-}
-
-// clearItem zeroes the item so a recycled or pooled node does not pin the
-// previously enqueued value for the garbage collector.
-func (n *Node[T]) clearItem() {
-	var zero T
-	n.item = zero
-}
-
-// casDeqTid is the paper's node.casDeqTid(IDX_NONE, id): the single-shot
-// consensus that assigns the node to one dequeue request.
-func (n *Node[T]) casDeqTid(old, new int32) bool {
-	return n.deqTid.CompareAndSwap(old, new)
-}
-
-// Item returns the node's item. Exported within the package boundary for
-// tests that validate invariants on captured nodes.
-func (n *Node[T]) Item() T { return n.item }
-
-// EnqTid returns the enqueuing thread index (diagnostics/tests).
-func (n *Node[T]) EnqTid() int32 { return n.enqTid }
-
-// DeqTid returns the current dequeue assignment (diagnostics/tests).
-func (n *Node[T]) DeqTid() int32 { return n.deqTid.Load() }
-
-// Next returns the successor node (diagnostics/tests).
-func (n *Node[T]) Next() *Node[T] { return n.next.Load() }
+// Node is the paper's Algorithm 1 — see consensus.Node for the field
+// discussion. The alias keeps the package's public surface (tests,
+// experiments, internal/bench) stable across the extraction.
+type Node[T any] = consensus.Node[T]

@@ -2,12 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
-	"sync/atomic"
 
 	"turnqueue/internal/account"
+	"turnqueue/internal/consensus"
 	"turnqueue/internal/hazard"
-	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
@@ -41,21 +39,19 @@ const (
 )
 
 // Queue is the Turn queue of §2. All operations take the caller's thread
-// slot in [0, MaxThreads()), obtained from the queue's Registry.
+// slot in [0, MaxThreads()), obtained from the queue's Registry. The
+// turn-consensus machinery itself — request arrays, helping loops, turn
+// scans — lives in the embedded internal/consensus engines; this type
+// owns allocation, reclamation, and the batch staging buffers.
 type Queue[T any] struct {
 	maxThreads int
 	mode       ReclaimMode
 
-	head atomic.Pointer[Node[T]]
-	_    [2*pad.CacheLine - 8]byte
-	tail atomic.Pointer[Node[T]]
-	_    [2*pad.CacheLine - 8]byte
-
-	// enqueuers[i] non-nil publishes thread i's intent to enqueue that
-	// node; deqself[i]==deqhelp[i] publishes an open dequeue request.
-	enqueuers []pad.PointerSlot[Node[T]]
-	deqself   []pad.PointerSlot[Node[T]]
-	deqhelp   []pad.PointerSlot[Node[T]]
+	// enq owns the tail and the enqueuers announce array; deq owns the
+	// head and the deqself/deqhelp pair, borrowing enq's tail word for
+	// the emptiness check.
+	enq consensus.Enq[T]
+	deq consensus.Deq[T]
 
 	hp   *hazard.Domain[Node[T]]
 	pool *qrt.Pool[Node[T]]
@@ -67,13 +63,6 @@ type Queue[T any] struct {
 	// DequeueBatch defers its retires in retires. Both are cleared after
 	// use so a parked thread pins at most one batch's worth of pointers.
 	scratch []scratchSlot[T]
-
-	// Overrun counters: how often a helping loop needed more than
-	// maxThreads+1 iterations — the paper's maxThreads bound plus the one
-	// observation iteration this implementation's loop-until-done exit
-	// adds (see the Enqueue/Dequeue doc comments).
-	enqOverruns pad.Int64Slot
-	deqOverruns pad.Int64Slot
 }
 
 // scratchSlot is one slot's batch buffer pair, padded so two slots'
@@ -89,7 +78,7 @@ type scratchSlot[T any] struct {
 // expects both to stay zero; a non-zero value would be evidence against
 // the poster's wait-free-bounded claim under Go's scheduler.
 func (q *Queue[T]) OverrunStats() (enq, deq int64) {
-	return q.enqOverruns.V.Load(), q.deqOverruns.V.Load()
+	return q.enq.Overruns(), q.deq.Overruns()
 }
 
 // Option configures a Queue.
@@ -138,9 +127,6 @@ func New[T any](opts ...Option) *Queue[T] {
 	q := &Queue[T]{
 		maxThreads: cfg.maxThreads,
 		mode:       cfg.mode,
-		enqueuers:  make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
-		deqself:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
-		deqhelp:    make([]pad.PointerSlot[Node[T]], cfg.maxThreads),
 		scratch:    make([]scratchSlot[T], cfg.maxThreads),
 		rt:         qrt.New(cfg.maxThreads),
 	}
@@ -157,21 +143,15 @@ func New[T any](opts ...Option) *Queue[T] {
 	// harness workers, AutoQueue — inherits it.
 	q.rt.OnRelease(func(slot int) { q.hp.DrainThread(slot) })
 
-	sentinel := new(Node[T])
-	sentinel.enqTid = 0
-	sentinel.deqTid.Store(0)
-	q.head.Store(sentinel)
-	q.tail.Store(sentinel)
-	for i := 0; i < cfg.maxThreads; i++ {
-		q.deqself[i].P.Store(new(Node[T]))
-		q.deqhelp[i].P.Store(new(Node[T]))
-	}
+	sentinel := consensus.NewSentinel[T]()
+	q.enq.Init(q.rt, q.hp, hpTail, sentinel)
+	q.deq.Init(q.rt, q.hp, hpHead, hpNext, hpDeq, q.enq.TailPtr(), sentinel)
 	return q
 }
 
 // deleteNode is the hazard-pointer deleter for ReclaimPool mode.
 func (q *Queue[T]) deleteNode(threadID int, nd *Node[T]) {
-	nd.clearItem()
+	nd.ClearItem()
 	q.pool.Put(threadID, nd)
 }
 
@@ -200,108 +180,22 @@ func (q *Queue[T]) AccountInto(s *account.Snapshot) {
 
 // HeadForTest returns the current head node. It exists for the reclaim
 // experiment and invariant tests; production callers have no use for it.
-func (q *Queue[T]) HeadForTest() *Node[T] { return q.head.Load() }
+func (q *Queue[T]) HeadForTest() *Node[T] { return q.deq.Head() }
 
 // TailForTest returns the current tail node, for tests.
-func (q *Queue[T]) TailForTest() *Node[T] { return q.tail.Load() }
+func (q *Queue[T]) TailForTest() *Node[T] { return q.enq.Tail() }
 
-// hardIterCap is a defensive ceiling on the helping loops. The paper's
-// bound is maxThreads iterations; reaching this cap instead means the
-// implementation has corrupted an invariant, so we crash loudly rather
-// than spin forever or return garbage.
-const hardIterCap = 1 << 22
+// EnqRequestForTest returns the thread's published enqueue request entry
+// (nil once the request completed), for the Invariant 6 tests.
+func (q *Queue[T]) EnqRequestForTest(threadID int) *Node[T] { return q.enq.Announced(threadID) }
 
-// Enqueue inserts item at the tail of the queue. It is the paper's
-// Algorithm 2, wait-free bounded: after publishing the request, at most
-// maxThreads-1 other nodes can be inserted ahead of it (Invariant 5), so
-// the helping loop completes in O(maxThreads) iterations.
-//
-// Deviation from the paper's listing: Algorithm 2 runs the loop exactly
-// maxThreads times and then nulls its own enqueuers entry, relying on
-// Invariant 5 to conclude the node was inserted. We instead loop until the
-// entry is observed nil — which by (a strengthened) Invariant 6 happens
-// only after the node reached the tail — and count iterations beyond the
-// structural bound in OverrunStats. That bound is maxThreads+1, not
-// maxThreads: the paper nulls its own entry after the loop, while here the
-// clear is one more loop iteration (insert on iteration ≤ maxThreads-1,
-// observe-and-clear on the next), so one extra observation iteration is
-// normal operation, not an overrun. On the paper's own argument iterations
-// past that never execute; if an adversarial schedule ever exceeds the
-// bound, this version keeps helping instead of silently cancelling an
-// uninserted request, and the overrun becomes measurable.
+// Enqueue inserts item at the tail of the queue: the paper's Algorithm 2,
+// wait-free bounded by maxThreads+1 helping iterations — see
+// consensus.Enq.Announce for the loop and the deviation discussion.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
-	myNode := q.allocNode(threadID, item)
-	q.enqueuers[threadID].P.Store(myNode)
-	inject.Fire(inject.CoreEnqPublish)
-	// Our request is complete when the entry is nulled by a helper (or by
-	// ourselves, via the Invariant 7 clearing below) — which can happen
-	// only once the node has been at the tail, i.e. inserted.
-	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
-		inject.Fire(inject.CoreEnqHelp)
-		if i == q.maxThreads+1 {
-			q.enqOverruns.V.Add(1)
-		}
-		if i == hardIterCap {
-			panic("core: enqueue helping loop exceeded hard cap; queue invariant violated")
-		}
-		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
-		if ltail != q.tail.Load() {
-			continue // tail advanced: one enqueue completed; take next step
-		}
-		// The node at the tail was the last request satisfied; clear its
-		// entry before helping the next request so it cannot be inserted
-		// twice (Invariant 7).
-		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
-			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
-		}
-		// Turn scan: the first non-null request to the right of the
-		// current turn (the tail node's enqTid) is the one everybody
-		// helps next. Only active slots are visited: a cleared occupancy
-		// bit proves the entry was nil when the bit was read, so the
-		// filtered scan is indistinguishable from the paper's full scan
-		// (DESIGN.md §"Active-slot tracking").
-		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp)) // Invariant 1
-		}
-		lnext := ltail.next.Load()
-		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, chainLast(lnext)) // Invariant 2
-		}
-	}
-	q.hp.Clear(threadID)
-}
-
-// chainFirst maps a published enqueue request to the node a helper links
-// in after the tail: the request itself for a single enqueue, the chain's
-// first node (the request's back-link target) for a batch. The request
-// node is an unprotected scan result, but the read needs no protection of
-// its own: the install CAS on the tail's next succeeds only if that next
-// stayed nil since the caller validated the tail, which rules out any
-// insertion — and hence any completion, retirement or recycling of the
-// scanned request — in the window, so a successful CAS installs exactly
-// the chain its publisher linked. On a failing CAS the value is discarded.
-func chainFirst[T any](req *Node[T]) *Node[T] {
-	if first := req.blink.Load(); first != nil {
-		return first
-	}
-	return req
-}
-
-// chainLast maps an installed next-node to the tail-advance target: the
-// node itself for a single enqueue, the chain's last node (the first
-// node's forward blink) for a batch — one CAS swings the tail over the
-// whole chain, preserving the invariant that it never rests on a chain
-// interior. lnext was read from the protected tail's next, and the
-// advance CAS succeeds only if the tail stayed put, in which case lnext
-// is still beyond the head (undequeued, unrecycled) and its blink is the
-// value its publisher set.
-func chainLast[T any](lnext *Node[T]) *Node[T] {
-	if last := lnext.blink.Load(); last != nil {
-		return last
-	}
-	return lnext
+	q.enq.Announce(threadID, q.allocNode(threadID, item), false)
 }
 
 // EnqueueBatch inserts every item of items at the tail of the queue, in
@@ -350,45 +244,19 @@ func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
 		}
 	}
 	for i, item := range items {
-		nodes[i].reset(item, int32(threadID))
+		nodes[i].Reset(item, int32(threadID))
 		if i > 0 {
-			nodes[i-1].next.Store(nodes[i])
+			nodes[i-1].SetNext(nodes[i])
 		}
 	}
 	first, last := nodes[0], nodes[len(nodes)-1]
-	last.blink.Store(first) // helpers install the whole chain from the request
-	first.blink.Store(last) // helpers jump the tail over the whole chain
+	consensus.LinkChain(first, last)
 
 	// Publish the chain's LAST node as the request: the Invariant 7
 	// entry-clear compares the hazard-protected tail node against the
 	// published entry, and the tail reaches exactly the last node, so the
 	// single-op clearing logic carries over unchanged.
-	q.enqueuers[threadID].P.Store(last)
-	inject.Fire(inject.CoreEnqBatchPublish)
-	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
-		inject.Fire(inject.CoreEnqHelp)
-		if i == q.maxThreads+1 {
-			q.enqOverruns.V.Add(1)
-		}
-		if i == hardIterCap {
-			panic("core: batch enqueue helping loop exceeded hard cap; queue invariant violated")
-		}
-		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
-		if ltail != q.tail.Load() {
-			continue
-		}
-		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
-			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
-		}
-		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp))
-		}
-		lnext := ltail.next.Load()
-		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, chainLast(lnext))
-		}
-	}
-	q.hp.Clear(threadID)
+	q.enq.Announce(threadID, last, true)
 	// Drop the staged references so the scratch buffer does not pin
 	// published nodes past the call.
 	for i := range nodes {
@@ -397,126 +265,19 @@ func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
 	q.scratch[threadID].nodes = nodes[:0]
 }
 
-// nextEnqRequest finds the first published enqueue request in turn order
-// after slot turn: slots (turn, limit) ascending, then [0, turn] — the
-// same circular order as the paper's `(j + enqTid) % maxThreads` scan,
-// restricted to the active range. The requesting thread's own bit is set
-// before it publishes (qrt.Runtime.Acquire/EnsureActive), so every scan
-// that starts after a publication sees the request; the wait-free bound
-// is unchanged.
-func (q *Queue[T]) nextEnqRequest(turn int) *Node[T] {
-	limit := q.rt.ActiveLimit()
-	if nd := q.scanEnqRange(turn+1, limit); nd != nil {
-		return nd
-	}
-	return q.scanEnqRange(0, turn+1)
-}
-
-// scanEnqRange probes the published enqueue requests of the active slots
-// in [from, limit), ascending. The iteration walks the occupancy bitmap
-// a word at a time (rt.ActiveWord inlines to a single load), so a dense
-// sweep costs one extra load per 64 slots over the paper's plain loop
-// while a sparse one skips empty words entirely.
-func (q *Queue[T]) scanEnqRange(from, limit int) *Node[T] {
-	if from < 0 {
-		from = 0
-	}
-	if n := len(q.enqueuers); limit > n {
-		limit = n
-	}
-	for w := from >> 6; w<<6 < limit; w++ {
-		word := q.rt.ActiveWord(w)
-		if w == from>>6 {
-			word &= ^uint64(0) << (uint(from) & 63)
-		}
-		for word != 0 {
-			idx := w<<6 + bits.TrailingZeros64(word)
-			if idx >= limit {
-				return nil // set bits only ascend from here
-			}
-			word &= word - 1
-			if nd := q.enqueuers[idx].P.Load(); nd != nil {
-				return nd
-			}
-		}
-	}
-	return nil
-}
-
 // Dequeue removes and returns the item at the head of the queue, or
-// ok=false if the queue is empty. It is the paper's Algorithm 3,
-// wait-free bounded by maxThreads.
-//
-// Deviation, mirroring Enqueue: the paper's listing runs the loop exactly
-// maxThreads times and then reads deqhelp assuming the request completed.
-// We loop until deqhelp actually changed (the request-completed condition
-// itself), counting iterations beyond the structural bound maxThreads+1 in
-// OverrunStats — the +1 because a helper satisfies the request inside some
-// iteration and this loop observes the change only at the top of the next
-// one — so a bound violation can never surface as a stale item.
+// ok=false if the queue is empty: the paper's Algorithm 3, wait-free
+// bounded by maxThreads+1 helping iterations — see consensus.Deq for the
+// loop and the deviation discussion.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
-	item, ok, prReq := q.dequeueOne(threadID)
+	item, ok, prReq := q.deq.DequeueOne(threadID)
 	q.hp.Clear(threadID)
 	if ok {
 		q.retire(threadID, prReq)
 	}
 	return item, ok
-}
-
-// dequeueOne runs one dequeue consensus round: the body of Algorithm 3
-// minus the slot bookkeeping that Dequeue and DequeueBatch amortize
-// differently — the caller clears the hazard slots and retires prReq (nil
-// on the empty return). Leaving the slots published between a batch's
-// rounds is safe: each round's ProtectPtr overwrites them, and stale
-// protections only pin nodes, never admit them.
-func (q *Queue[T]) dequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
-	prReq = q.deqself[threadID].P.Load() // previous request, to retire at the end
-	myReq := q.deqhelp[threadID].P.Load()
-	q.deqself[threadID].P.Store(myReq) // open our request: deqself == deqhelp
-	inject.Fire(inject.CoreDeqOpen)
-	for i := 0; q.deqhelp[threadID].P.Load() == myReq; i++ {
-		inject.Fire(inject.CoreDeqHelp)
-		if i == q.maxThreads+1 {
-			q.deqOverruns.V.Add(1)
-		}
-		if i == hardIterCap {
-			panic("core: dequeue helping loop exceeded hard cap; queue invariant violated")
-		}
-		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
-		if lhead != q.head.Load() {
-			continue // head advanced: one dequeue completed; take next step
-		}
-		if lhead == q.tail.Load() {
-			// Queue looks empty: roll the request back (§2.3.1).
-			q.deqself[threadID].P.Store(prReq)
-			q.giveUp(myReq, threadID)
-			if q.deqhelp[threadID].P.Load() != myReq {
-				// A helper assigned us a node after all; restore the
-				// normal closed-request state and take the item below.
-				q.deqself[threadID].P.Store(myReq)
-				break
-			}
-			var zero T
-			return zero, false, nil
-		}
-		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
-		if lhead != q.head.Load() {
-			continue
-		}
-		if q.searchNext(lhead, lnext) != IdxNone {
-			q.casDeqAndHead(lhead, lnext, threadID)
-		}
-	}
-	myNode := q.deqhelp[threadID].P.Load()
-	lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
-	if lhead == q.head.Load() && myNode == lhead.next.Load() {
-		// Our node was assigned and published but the head not yet
-		// advanced past it (Invariant 8's other half): finish the job.
-		q.head.CompareAndSwap(lhead, myNode)
-	}
-	return myNode.item, true, prReq
 }
 
 // DequeueBatch removes up to len(buf) items from the head of the queue
@@ -536,7 +297,7 @@ func (q *Queue[T]) DequeueBatch(threadID int, buf []T) int {
 	retires := q.scratch[threadID].retires[:0]
 	n := 0
 	for n < len(buf) {
-		item, ok, prReq := q.dequeueOne(threadID)
+		item, ok, prReq := q.deq.DequeueOne(threadID)
 		if !ok {
 			break
 		}
@@ -553,117 +314,6 @@ func (q *Queue[T]) DequeueBatch(threadID int, buf []T) int {
 	}
 	q.scratch[threadID].retires = retires[:0]
 	return n
-}
-
-// searchNext is the paper's Algorithm 4 searchNext(): run the turn
-// consensus for the dequeue side. The turn is the deqTid of the current
-// head; the first open request (deqself[i] == deqhelp[i]) to its right
-// claims the next node by CAS on its deqTid. §2.4 explains why reading
-// deqself/deqhelp without hazard pointers is safe: the comparison can
-// spuriously see a closed request as open (harmless — the deqTid CAS then
-// fails), but never an open request as closed.
-//
-// The scan is restricted to the active range: a slot whose occupancy bit
-// is clear held a closed request when the bit was read (requests open
-// only between Acquire and Release, and the bit brackets both), so
-// skipping it matches the paper's scan reading the slot at that instant.
-func (q *Queue[T]) searchNext(lhead, lnext *Node[T]) int32 {
-	turn := int(lhead.deqTid.Load())
-	if idDeq := q.nextOpenDeq(turn); idDeq >= 0 {
-		if lnext.deqTid.Load() == IdxNone {
-			lnext.casDeqTid(IdxNone, int32(idDeq))
-		}
-	}
-	return lnext.deqTid.Load()
-}
-
-// nextOpenDeq finds the first open dequeue request in turn order after
-// slot turn — the dequeue-side twin of nextEnqRequest — or -1 when every
-// active request is closed.
-func (q *Queue[T]) nextOpenDeq(turn int) int {
-	limit := q.rt.ActiveLimit()
-	if idx := q.scanOpenDeqRange(turn+1, limit); idx >= 0 {
-		return idx
-	}
-	return q.scanOpenDeqRange(0, turn+1)
-}
-
-// scanOpenDeqRange finds the first active slot in [from, limit) holding
-// an open request, word-at-a-time like scanEnqRange, or -1.
-func (q *Queue[T]) scanOpenDeqRange(from, limit int) int {
-	if from < 0 {
-		from = 0
-	}
-	if n := len(q.deqself); limit > n {
-		limit = n
-	}
-	for w := from >> 6; w<<6 < limit; w++ {
-		word := q.rt.ActiveWord(w)
-		if w == from>>6 {
-			word &= ^uint64(0) << (uint(from) & 63)
-		}
-		for word != 0 {
-			idx := w<<6 + bits.TrailingZeros64(word)
-			if idx >= limit {
-				return -1
-			}
-			word &= word - 1
-			if q.deqself[idx].P.Load() == q.deqhelp[idx].P.Load() {
-				return idx
-			}
-		}
-	}
-	return -1
-}
-
-// casDeqAndHead is the paper's Algorithm 4 casDeqAndHead(): publish the
-// assigned node in the winner's deqhelp entry, then advance the head. The
-// publish must precede the head advance so that a node that becomes
-// unreachable from head remains accessible to its assigned thread
-// (Invariant 8). The hazard pointer on deqhelp[ldeqTid] exists purely to
-// prevent the retired-deleted-recycled-enqueued-dequeued ABA described in
-// §2.4 — the pointer is never dereferenced here.
-func (q *Queue[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
-	ldeqTid := lnext.deqTid.Load()
-	if ldeqTid == int32(threadID) {
-		q.deqhelp[ldeqTid].P.Store(lnext)
-	} else {
-		ldeqhelp := q.hp.ProtectPtr(hpDeq, threadID, q.deqhelp[ldeqTid].P.Load())
-		if ldeqhelp != lnext && lhead == q.head.Load() {
-			q.deqhelp[ldeqTid].P.CompareAndSwap(ldeqhelp, lnext)
-		}
-	}
-	q.head.CompareAndSwap(lhead, lnext)
-}
-
-// giveUp is the rollback path of §2.3.1, taken when the request was opened
-// but the queue appeared empty. It must guarantee that either the request
-// stays satisfied (a helper raced an enqueue in) or that no thread will
-// ever assign a node to this request once the caller returns nil.
-func (q *Queue[T]) giveUp(myReq *Node[T], threadID int) {
-	lhead := q.head.Load()
-	if q.deqhelp[threadID].P.Load() != myReq {
-		return // already satisfied
-	}
-	if lhead == q.tail.Load() {
-		return // still empty; rollback stands
-	}
-	// An enqueue slipped in between the two emptiness checks: make sure
-	// the first node gets assigned to somebody (ourselves if no other
-	// request is open), so the head can advance and late helpers see the
-	// rollback.
-	q.hp.ProtectPtr(hpHead, threadID, lhead)
-	if lhead != q.head.Load() {
-		return
-	}
-	lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
-	if lhead != q.head.Load() {
-		return
-	}
-	if q.searchNext(lhead, lnext) == IdxNone {
-		lnext.casDeqTid(IdxNone, int32(threadID))
-	}
-	q.casDeqAndHead(lhead, lnext, threadID)
 }
 
 // retire hands prReq to the reclamation scheme. A dequeued node stays
@@ -691,6 +341,6 @@ func (q *Queue[T]) allocNode(threadID int, item T) *Node[T] {
 	} else {
 		nd = new(Node[T])
 	}
-	nd.reset(item, int32(threadID))
+	nd.Reset(item, int32(threadID))
 	return nd
 }

@@ -108,6 +108,17 @@ const (
 	// chain-publish window. A thread parked here must leave other threads
 	// installing the whole chain on its behalf, all-or-nothing.
 	CoreEnqBatchPublish
+	// CoreFastClaim: TurnPlus, inside the fast-path claim window — an FAA
+	// ticket has been drawn (enqueue) or a claim box installed (dequeue)
+	// but the cell transition is not yet final. A thread parked here must
+	// not block any other thread: enqueue tickets are abandoned to the
+	// poison protocol, and claim boxes are resolvable by any helper.
+	CoreFastClaim
+	// CoreFastFallback: TurnPlus, at the fast→slow handoff — patience is
+	// exhausted but the consensus announce (enqueue) or the request
+	// publication (dequeue) has not happened yet. A thread parked here has
+	// no published state at all, so it can affect nobody.
+	CoreFastFallback
 	// NumPoints bounds the catalog; it is not a point.
 	NumPoints
 )
@@ -128,6 +139,8 @@ var pointNames = [NumPoints]string{
 	LockQEnqLocked:      "lockq.enq.locked",
 	LockQDeqLocked:      "lockq.deq.locked",
 	CoreEnqBatchPublish: "core.enq.batch.publish",
+	CoreFastClaim:       "core.fast.claim",
+	CoreFastFallback:    "core.fast.fallback",
 }
 
 // String returns the point's catalog name.

@@ -1,35 +1,36 @@
 // Package turnalt implements the alternative Turn-queue dequeue design
 // that §2.3 of the paper describes and rejects: instead of the deqself/
 // deqhelp pair, a single `dequeuers` array of node pointers plus an
-// atomic isRequest flag in every node. A request is open while the node
-// currently parked in the thread's dequeuers entry has isRequest set;
-// closing the request CASes the entry to the assigned node (whose
-// isRequest is false by construction).
+// open-request mark carried on the parked node itself (consensus.IdxOpen
+// in deqTid, the shared-Node encoding of the paper's isRequest flag). A
+// request is open while the node currently parked in the thread's
+// dequeuers entry carries the mark; closing the request CASes the entry
+// to the assigned node.
 //
 // The paper's objection, reproduced here so it can be measured (ablation
-// X5): the consensus scan must dereference each scanned entry to read its
-// isRequest flag, so searchNext needs a hazard-pointer publish+validate
+// X5): the consensus scan must dereference each scanned entry to read
+// its request mark, so searchNext needs a hazard-pointer publish+validate
 // per entry — maxThreads extra seq-cst stores on the dequeue hot path —
 // where the two-array design compares two pointers without dereferencing
 // anything. BenchmarkAblationAltDequeue quantifies the difference.
 //
 // The enqueue side is identical to internal/core (the paper notes the two
-// sides are independent); it is duplicated here so the package stands
-// alone as a faithful rendition of the variant.
+// sides are independent) — since the consensus extraction it literally is
+// the same consensus.Enq engine; the dequeue side is the consensus.AltDeq
+// engine, the §2.3 variant's one implementation.
 package turnalt
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"turnqueue/internal/account"
+	"turnqueue/internal/consensus"
 	"turnqueue/internal/hazard"
-	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
 
 // IdxNone marks an unassigned node, as in internal/core.
-const IdxNone int32 = -1
+const IdxNone = consensus.IdxNone
 
 const (
 	hpTail = 0
@@ -40,40 +41,23 @@ const (
 	numHPs = 4
 )
 
-const hardIterCap = 1 << 22
-
-// Node is the variant's queue node: Algorithm 1 plus the isRequest flag.
-type Node[T any] struct {
-	item      T
-	enqTid    int32
-	deqTid    atomic.Int32
-	isRequest atomic.Bool
-	next      atomic.Pointer[Node[T]]
-}
-
-func (n *Node[T]) reset(item T, tidx int32) {
-	n.item = item
-	n.enqTid = tidx
-	n.deqTid.Store(IdxNone)
-	n.isRequest.Store(false)
-	n.next.Store(nil)
-}
+// Node is the variant's queue node — the shared consensus node, whose
+// deqTid doubles as the §2.3 isRequest flag via the IdxOpen sentinel.
+type Node[T any] = consensus.Node[T]
 
 // Queue is the single-array Turn queue variant.
 type Queue[T any] struct {
 	maxThreads int
 
-	head atomic.Pointer[Node[T]]
-	_    [2*pad.CacheLine - 8]byte
-	tail atomic.Pointer[Node[T]]
-	_    [2*pad.CacheLine - 8]byte
+	// enq is the shared enqueue-side engine (identical to internal/core);
+	// deq is the single-array §2.3 dequeue variant, borrowing enq's tail
+	// word for its emptiness check.
+	enq consensus.Enq[T]
+	deq consensus.AltDeq[T]
 
-	enqueuers []pad.PointerSlot[Node[T]]
-	dequeuers []pad.PointerSlot[Node[T]]
-
-	hp       *hazard.Domain[Node[T]]
-	free     [][]*Node[T]
-	rt *qrt.Runtime
+	hp   *hazard.Domain[Node[T]]
+	free [][]*Node[T]
+	rt   *qrt.Runtime
 }
 
 // New creates the variant queue for up to maxThreads registered threads.
@@ -83,8 +67,6 @@ func New[T any](maxThreads int) *Queue[T] {
 	}
 	q := &Queue[T]{
 		maxThreads: maxThreads,
-		enqueuers:  make([]pad.PointerSlot[Node[T]], maxThreads),
-		dequeuers:  make([]pad.PointerSlot[Node[T]], maxThreads),
 		free:       make([][]*Node[T], maxThreads),
 		rt:         qrt.New(maxThreads),
 	}
@@ -92,15 +74,9 @@ func New[T any](maxThreads int) *Queue[T] {
 	// Drain-on-release, as in internal/core: flush a departing slot's
 	// retire backlog while it still owns its free list.
 	q.rt.OnRelease(func(slot int) { q.hp.DrainThread(slot) })
-	sentinel := new(Node[T])
-	sentinel.deqTid.Store(0)
-	q.head.Store(sentinel)
-	q.tail.Store(sentinel)
-	for i := 0; i < maxThreads; i++ {
-		// Each thread parks on a distinct dummy whose isRequest is false:
-		// all requests start closed.
-		q.dequeuers[i].P.Store(new(Node[T]))
-	}
+	sentinel := consensus.NewSentinel[T]()
+	q.enq.Init(q.rt, q.hp, hpTail, sentinel)
+	q.deq.Init(q.rt, q.hp, hpHead, hpNext, hpDeq, hpScan, q.enq.TailPtr(), sentinel)
 	return q
 }
 
@@ -115,13 +91,19 @@ func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 // so only the hazard side is reported.
 func (q *Queue[T]) AccountInto(s *account.Snapshot) {
 	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+	s.EnqOverruns, s.DeqOverruns = q.OverrunStats()
+}
+
+// OverrunStats reports helping loops that exceeded the paper's
+// maxThreads+1 structural bound.
+func (q *Queue[T]) OverrunStats() (enq, deq int64) {
+	return q.enq.Overruns(), q.deq.Overruns()
 }
 
 const poolCap = 256
 
 func (q *Queue[T]) recycle(threadID int, nd *Node[T]) {
-	var zero T
-	nd.item = zero
+	nd.ClearItem()
 	if len(q.free[threadID]) >= poolCap {
 		return
 	}
@@ -137,182 +119,31 @@ func (q *Queue[T]) alloc(threadID int, item T) *Node[T] {
 	} else {
 		nd = new(Node[T])
 	}
-	nd.reset(item, int32(threadID))
+	nd.Reset(item, int32(threadID))
 	return nd
 }
 
-// Enqueue is Algorithm 2, identical to internal/core's version.
+// Enqueue is Algorithm 2, identical to internal/core's version — the
+// same consensus.Enq engine.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	q.checkTid(threadID)
 	q.rt.EnsureActive(threadID)
-	myNode := q.alloc(threadID, item)
-	q.enqueuers[threadID].P.Store(myNode)
-	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
-		if i == hardIterCap {
-			panic("turnalt: enqueue helping loop exceeded hard cap")
-		}
-		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
-		if ltail != q.tail.Load() {
-			continue
-		}
-		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
-			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
-		}
-		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, nodeToHelp)
-		}
-		lnext := ltail.next.Load()
-		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, lnext)
-		}
-	}
-	q.hp.Clear(threadID)
+	q.enq.Announce(threadID, q.alloc(threadID, item), false)
 }
 
-// Dequeue is the single-array variant of Algorithm 3: open by raising
-// isRequest on the parked node, close by replacing the parked node with
-// the assigned one.
-// nextEnqRequest returns the first pending enqueue request after turn in
-// turn order, visiting only active slots (every requester ran
-// EnsureActive before publishing). Same iteration as internal/core.
-func (q *Queue[T]) nextEnqRequest(turn int) *Node[T] {
-	var found *Node[T]
-	probe := func(idx int) bool {
-		if nd := q.enqueuers[idx].P.Load(); nd != nil {
-			found = nd
-			return false
-		}
-		return true
-	}
-	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
-	if found == nil {
-		q.rt.ForActive(0, turn+1, probe)
-	}
-	return found
-}
-
+// Dequeue is the single-array variant of Algorithm 3 — see
+// consensus.AltDeq for the annotated loop. The retired node is the
+// previously parked request carrier, which left the array when the
+// request closed.
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	q.checkTid(threadID)
 	q.rt.EnsureActive(threadID)
-	myReq := q.dequeuers[threadID].P.Load()
-	myReq.isRequest.Store(true) // open our request
-	for i := 0; q.dequeuers[threadID].P.Load() == myReq; i++ {
-		if i == hardIterCap {
-			panic("turnalt: dequeue helping loop exceeded hard cap")
-		}
-		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
-		if lhead != q.head.Load() {
-			continue
-		}
-		if lhead == q.tail.Load() {
-			myReq.isRequest.Store(false) // roll the request back
-			q.giveUp(myReq, threadID)
-			if q.dequeuers[threadID].P.Load() != myReq {
-				break // assigned despite the rollback: take the item
-			}
-			q.hp.Clear(threadID)
-			var zero T
-			return zero, false
-		}
-		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
-		if lhead != q.head.Load() {
-			continue
-		}
-		if q.searchNext(threadID, lhead, lnext) != IdxNone {
-			q.casDeqAndHead(lhead, lnext, threadID)
-		}
-	}
-	myNode := q.dequeuers[threadID].P.Load()
-	lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
-	if lhead == q.head.Load() && myNode == lhead.next.Load() {
-		q.head.CompareAndSwap(lhead, myNode)
-	}
+	item, ok, prReq := q.deq.DequeueOne(threadID)
 	q.hp.Clear(threadID)
-	q.hp.Retire(threadID, myReq)
-	return myNode.item, true
-}
-
-// searchNext runs the dequeue-side turn consensus. Unlike internal/core's
-// two-array comparison, deciding whether entry idDeq holds an open
-// request requires dereferencing the parked node to read isRequest — so
-// each scanned entry costs a hazard-pointer publish and validation, the
-// §2.3 overhead this package exists to exhibit.
-func (q *Queue[T]) searchNext(threadID int, lhead, lnext *Node[T]) int32 {
-	turn := int(lhead.deqTid.Load())
-	// tryClaim inspects entry idDeq; true means an open request was found
-	// (and the assignment CAS attempted), ending the scan. Only active
-	// slots are visited — a dequeuer enters the active set before raising
-	// isRequest — so the per-entry HP publish is paid O(live) times, not
-	// O(maxThreads) times, though it remains the variant's defining cost.
-	tryClaim := func(idDeq int) bool {
-		nd := q.hp.ProtectPtr(hpScan, threadID, q.dequeuers[idDeq].P.Load())
-		if q.dequeuers[idDeq].P.Load() != nd {
-			return false // entry churned: that request was just served
-		}
-		if nd == nil || !nd.isRequest.Load() {
-			return false // closed request
-		}
-		if lnext.deqTid.Load() == IdxNone {
-			lnext.deqTid.CompareAndSwap(IdxNone, int32(idDeq))
-		}
-		return true
+	if ok {
+		q.hp.Retire(threadID, prReq)
 	}
-	claimed := false
-	probe := func(idx int) bool {
-		if tryClaim(idx) {
-			claimed = true
-			return false
-		}
-		return true
-	}
-	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
-	if !claimed {
-		q.rt.ForActive(0, turn+1, probe)
-	}
-	q.hp.ClearOne(hpScan, threadID)
-	return lnext.deqTid.Load()
-}
-
-// casDeqAndHead publishes lnext to its assigned thread's dequeuers entry
-// and then advances the head. Publication is unconditional on the
-// isRequest flag: a rolled-back-but-claimed request must still receive
-// its node (the owner's post-giveUp check picks it up), otherwise the
-// claimed node's item would be unreachable — see the two-array version's
-// Invariant 8/11 discussion.
-func (q *Queue[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
-	ldeqTid := lnext.deqTid.Load()
-	if ldeqTid == int32(threadID) {
-		q.dequeuers[ldeqTid].P.Store(lnext)
-	} else {
-		ldequeuer := q.hp.ProtectPtr(hpDeq, threadID, q.dequeuers[ldeqTid].P.Load())
-		if ldequeuer != lnext && lhead == q.head.Load() {
-			q.dequeuers[ldeqTid].P.CompareAndSwap(ldequeuer, lnext)
-		}
-	}
-	q.head.CompareAndSwap(lhead, lnext)
-}
-
-// giveUp mirrors §2.3.1 for the single-array layout.
-func (q *Queue[T]) giveUp(myReq *Node[T], threadID int) {
-	lhead := q.head.Load()
-	if q.dequeuers[threadID].P.Load() != myReq {
-		return
-	}
-	if lhead == q.tail.Load() {
-		return
-	}
-	q.hp.ProtectPtr(hpHead, threadID, lhead)
-	if lhead != q.head.Load() {
-		return
-	}
-	lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
-	if lhead != q.head.Load() {
-		return
-	}
-	if q.searchNext(threadID, lhead, lnext) == IdxNone {
-		lnext.deqTid.CompareAndSwap(IdxNone, int32(threadID))
-	}
-	q.casDeqAndHead(lhead, lnext, threadID)
+	return item, ok
 }
 
 func (q *Queue[T]) checkTid(threadID int) {

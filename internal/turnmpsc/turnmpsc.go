@@ -6,8 +6,10 @@
 // enqueueing is independent from the algorithm for dequeuing" — with the
 // same test harness as the full queue.
 //
-// Progress: enqueue is wait-free bounded exactly as in internal/core;
-// dequeue is wait-free population oblivious (single consumer, constant
+// Progress: enqueue is wait-free bounded exactly as in internal/core —
+// it IS internal/core's enqueue, the shared consensus.Enq engine, which
+// is the composability claim made literal in the package structure.
+// Dequeue is wait-free population oblivious (single consumer, constant
 // steps). Reclamation: the consumer retires each node through the shared
 // hazard-pointer domain, because enqueuers publish tail pointers that may
 // still reference it.
@@ -17,6 +19,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
+	"turnqueue/internal/consensus"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
@@ -27,38 +31,7 @@ const (
 	numHPs = 1
 )
 
-const hardIterCap = 1 << 22
-
-type node[T any] struct {
-	item   T
-	enqTid int32
-	next   atomic.Pointer[node[T]]
-	// blink carries batch-chain geometry, exactly as in internal/core: on
-	// a published chain request (the LAST node) it points at the chain's
-	// first node; on the first node it points back at the last, so the
-	// tail can jump over the whole chain. nil on single-op nodes and
-	// chain interiors.
-	blink atomic.Pointer[node[T]]
-}
-
-// chainFirst maps a pending request to the node that must be linked at
-// the tail: the chain's first node for a batch, the request itself for a
-// single enqueue.
-func chainFirst[T any](req *node[T]) *node[T] {
-	if first := req.blink.Load(); first != nil {
-		return first
-	}
-	return req
-}
-
-// chainLast maps a freshly linked node to where the tail should advance:
-// the chain's last node for a batch, the node itself for a single.
-func chainLast[T any](lnext *node[T]) *node[T] {
-	if last := lnext.blink.Load(); last != nil {
-		return last
-	}
-	return lnext
-}
+type node[T any] = consensus.Node[T]
 
 // Queue is a wait-free MPSC queue: any registered slot may enqueue;
 // exactly one goroutine may call Dequeue.
@@ -67,15 +40,15 @@ type Queue[T any] struct {
 
 	head atomic.Pointer[node[T]] // consumer-owned except for HP validation
 	_    [2*pad.CacheLine - 8]byte
-	tail atomic.Pointer[node[T]]
-	_    [2*pad.CacheLine - 8]byte
 
-	enqueuers []pad.PointerSlot[node[T]]
+	// enq is the shared enqueue-side consensus engine: it owns the tail
+	// and the announce array and runs the helping loop.
+	enq consensus.Enq[T]
 
-	hp       *hazard.Domain[node[T]]
-	free     [][]*node[T]
-	scratch  []*node[T] // consumer-owned retire buffer for DequeueBatch
-	rt *qrt.Runtime
+	hp      *hazard.Domain[node[T]]
+	free    [][]*node[T]
+	scratch []*node[T] // consumer-owned retire buffer for DequeueBatch
+	rt      *qrt.Runtime
 }
 
 // New creates the queue for up to maxThreads producer slots. The consumer
@@ -86,19 +59,32 @@ func New[T any](maxThreads int) *Queue[T] {
 	}
 	q := &Queue[T]{
 		maxThreads: maxThreads,
-		enqueuers:  make([]pad.PointerSlot[node[T]], maxThreads),
 		free:       make([][]*node[T], maxThreads),
 		rt:         qrt.New(maxThreads),
 	}
 	q.hp = hazard.New[node[T]](maxThreads, numHPs, q.recycle, hazard.WithActiveSet(q.rt))
-	sentinel := new(node[T])
+	sentinel := consensus.NewSentinel[T]()
 	q.head.Store(sentinel)
-	q.tail.Store(sentinel)
+	q.enq.Init(q.rt, q.hp, hpTail, sentinel)
 	return q
 }
 
 // MaxThreads returns the producer-slot bound.
 func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
+
+// AccountInto appends the queue's hazard-domain view and helping-loop
+// overrun counters to the snapshot.
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+	s.EnqOverruns, s.DeqOverruns = q.OverrunStats()
+}
+
+// OverrunStats reports helping loops that exceeded the paper's
+// maxThreads+1 structural bound. The dequeue side is trivially zero: the
+// single consumer never enters a helping loop.
+func (q *Queue[T]) OverrunStats() (enq, deq int64) {
+	return q.enq.Overruns(), 0
+}
 
 // Runtime returns the queue's per-thread runtime.
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
@@ -106,8 +92,7 @@ func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 const poolCap = 256
 
 func (q *Queue[T]) recycle(threadID int, nd *node[T]) {
-	var zero T
-	nd.item = zero
+	nd.ClearItem()
 	if len(q.free[threadID]) >= poolCap {
 		return
 	}
@@ -123,42 +108,19 @@ func (q *Queue[T]) alloc(threadID int, item T) *node[T] {
 	} else {
 		nd = new(node[T])
 	}
-	nd.item = item
-	nd.enqTid = int32(threadID)
-	nd.next.Store(nil)
-	nd.blink.Store(nil)
+	nd.Reset(item, int32(threadID))
 	return nd
 }
 
-// Enqueue is Algorithm 2 verbatim (see internal/core for the annotated
-// version): wait-free bounded by maxThreads.
+// Enqueue is Algorithm 2 verbatim — the shared consensus engine's
+// announce loop (see consensus.Enq.Announce for the annotated version):
+// wait-free bounded by maxThreads.
 func (q *Queue[T]) Enqueue(threadID int, item T) {
 	if threadID < 0 || threadID >= q.maxThreads {
 		panic(fmt.Sprintf("turnmpsc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
 	}
 	q.rt.EnsureActive(threadID)
-	myNode := q.alloc(threadID, item)
-	q.enqueuers[threadID].P.Store(myNode)
-	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
-		if i == hardIterCap {
-			panic("turnmpsc: enqueue helping loop exceeded hard cap")
-		}
-		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
-		if ltail != q.tail.Load() {
-			continue
-		}
-		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
-			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
-		}
-		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp))
-		}
-		lnext := ltail.next.Load()
-		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, chainLast(lnext))
-		}
-	}
-	q.hp.Clear(threadID)
+	q.enq.Announce(threadID, q.alloc(threadID, item), false)
 }
 
 // EnqueueBatch appends items as one contiguous chain through a single
@@ -183,53 +145,12 @@ func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
 	prev := first
 	for _, v := range items[1:] {
 		nd := q.alloc(threadID, v)
-		prev.next.Store(nd)
+		prev.SetNext(nd)
 		prev = nd
 	}
 	last := prev
-	last.blink.Store(first)
-	first.blink.Store(last)
-	q.enqueuers[threadID].P.Store(last)
-	for i := 0; q.enqueuers[threadID].P.Load() != nil; i++ {
-		if i == hardIterCap {
-			panic("turnmpsc: batch enqueue helping loop exceeded hard cap")
-		}
-		ltail := q.hp.ProtectPtr(hpTail, threadID, q.tail.Load())
-		if ltail != q.tail.Load() {
-			continue
-		}
-		if q.enqueuers[ltail.enqTid].P.Load() == ltail {
-			q.enqueuers[ltail.enqTid].P.CompareAndSwap(ltail, nil)
-		}
-		if nodeToHelp := q.nextEnqRequest(int(ltail.enqTid)); nodeToHelp != nil {
-			ltail.next.CompareAndSwap(nil, chainFirst(nodeToHelp))
-		}
-		lnext := ltail.next.Load()
-		if lnext != nil {
-			q.tail.CompareAndSwap(ltail, chainLast(lnext))
-		}
-	}
-	q.hp.Clear(threadID)
-}
-
-// nextEnqRequest returns the first pending enqueue request after turn in
-// turn order, visiting only active slots (every requester ran
-// EnsureActive before publishing, so no request can hide outside the
-// active set). Same two-segment iteration as internal/core.
-func (q *Queue[T]) nextEnqRequest(turn int) *node[T] {
-	var found *node[T]
-	probe := func(idx int) bool {
-		if nd := q.enqueuers[idx].P.Load(); nd != nil {
-			found = nd
-			return false
-		}
-		return true
-	}
-	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
-	if found == nil {
-		q.rt.ForActive(0, turn+1, probe)
-	}
-	return found
+	consensus.LinkChain(first, last)
+	q.enq.Announce(threadID, last, true)
 }
 
 // Dequeue removes the item at the head. Single consumer: no consensus is
@@ -237,7 +158,7 @@ func (q *Queue[T]) nextEnqRequest(turn int) *node[T] {
 // retire list receives the detached node (usually the consumer's own).
 func (q *Queue[T]) Dequeue(consumerID int) (item T, ok bool) {
 	lhead := q.head.Load()
-	lnext := lhead.next.Load()
+	lnext := lhead.Next()
 	if lnext == nil {
 		var zero T
 		return zero, false
@@ -245,14 +166,12 @@ func (q *Queue[T]) Dequeue(consumerID int) (item T, ok bool) {
 	// The head must never pass the tail: if the tail is lagging on lhead
 	// (a linked node whose enqueuer has not swung the tail yet), help it
 	// forward first — otherwise we would retire a node that producers can
-	// still reach through the tail pointer. The help must be jump-aware:
-	// lnext may be the first node of a freshly installed batch chain, and
+	// still reach through the tail pointer. The help is jump-aware: lnext
+	// may be the first node of a freshly installed batch chain, and
 	// parking the tail on a chain interior would break the invariant that
 	// the tail only ever rests on published request nodes.
-	if q.tail.Load() == lhead {
-		q.tail.CompareAndSwap(lhead, chainLast(lnext))
-	}
-	item = lnext.item
+	q.enq.HelpTailPast(lhead, lnext)
+	item = lnext.Item()
 	q.head.Store(lnext)
 	// The detached node may still sit in some enqueuer's protected tail
 	// snapshot; route it through the HP domain rather than freeing.
@@ -269,14 +188,12 @@ func (q *Queue[T]) DequeueBatch(consumerID int, buf []T) int {
 	retires := q.scratch[:0]
 	for n < len(buf) {
 		lhead := q.head.Load()
-		lnext := lhead.next.Load()
+		lnext := lhead.Next()
 		if lnext == nil {
 			break
 		}
-		if q.tail.Load() == lhead {
-			q.tail.CompareAndSwap(lhead, chainLast(lnext))
-		}
-		buf[n] = lnext.item
+		q.enq.HelpTailPast(lhead, lnext)
+		buf[n] = lnext.Item()
 		n++
 		q.head.Store(lnext)
 		retires = append(retires, lhead)

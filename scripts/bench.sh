@@ -16,6 +16,14 @@
 # factory and asserts the post-run accounting snapshot passes
 # VerifyQuiescent — a reclamation leak fails the benchmark gate.
 #
+# Smoke mode also gates the TurnPlus fast path: the uncontended
+# TurnPlus/FAA(YMC) ns/op ratio (min-of-runs each, measured at a fixed
+# ~20ms window — the 50x smoke readings are too noisy to gate on) must
+# stay at or below RATIO_LIMIT (default 1.5). The FAA fast path is the
+# whole point of TurnPlus; if an uncontended round trip drifts toward
+# the consensus slow path's cost, the smoke fails rather than letting
+# the regression age into the recorded baselines.
+#
 # Smoke mode additionally guards the fault-point layer's zero-cost
 # contract (internal/inject): it reruns the adapter-overhead family at a
 # long fixed iteration count in the release build and in the -tags
@@ -156,6 +164,34 @@ if [ "$MODE" = full ]; then
 fi
 
 if [ "$MODE" = smoke ]; then
+	# TurnPlus fast-path ratio gate: uncontended TurnPlus vs FAA(YMC),
+	# min of RATIO_COUNT runs each at a fixed ~20ms window.
+	RATIO_TXT="$OUT/BENCH_ratio.txt"
+	RATIO_COUNT=3
+	RATIO_BENCHTIME=200000x
+
+	echo "==> TurnPlus fast-path ratio gate (uncontended, limit ${RATIO_LIMIT:-1.5}x FAA)"
+	go test -run '^$' -bench 'BenchmarkUncontended/^(TurnPlus|FAA\(YMC\))$' \
+		-count="$RATIO_COUNT" -benchtime="$RATIO_BENCHTIME" -timeout 600s . >"$RATIO_TXT"
+	awk -v limit="${RATIO_LIMIT:-1.5}" '
+	/^BenchmarkUncontended\/TurnPlus/ { if (!tp || $3 + 0 < tp) tp = $3 + 0 }
+	/^BenchmarkUncontended\/FAA/      { if (!faa || $3 + 0 < faa) faa = $3 + 0 }
+	END {
+		if (!tp || !faa) {
+			print "  ratio gate: missing TurnPlus or FAA(YMC) uncontended rows" > "/dev/stderr"
+			exit 1
+		}
+		ratio = tp / faa
+		ok = (ratio <= limit)
+		printf "  TurnPlus %.2f ns/op / FAA(YMC) %.2f ns/op = %.2fx (limit %.2fx)   %s\n", \
+			tp, faa, ratio, limit, (ok ? "ok" : "REGRESSION")
+		exit !ok
+	}
+	' "$RATIO_TXT" || {
+		echo "bench gate: TurnPlus uncontended cost exceeds ${RATIO_LIMIT:-1.5}x FAA(YMC) — the fast path regressed" >&2
+		exit 1
+	}
+
 	# Zero-cost gate for the fault-point layer: min-of-runs vs the
 	# recorded min-of-runs baseline, same benchtime on both sides.
 	FP_TXT="$OUT/BENCH_faultpoints.txt"

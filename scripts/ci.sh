@@ -21,9 +21,13 @@
 #   7. the chaos gate: the fault-point injection suite (chaos_test.go,
 #      internal/inject, the mpsc blocking-window regression) under
 #      -race with both the faultpoints and debughandles tags, at a
-#      bounded wall-clock. This is where wait-freedom and bounded
-#      reclamation are tested against parked, crashed, and delayed
-#      threads on the real queues.
+#      bounded wall-clock, plus the consensus-engine and TurnPlus
+#      packages under -race in the faultpoints build and one scripted
+#      run of the fastpath chaos scenario (cmd/chaos) — a TurnPlus
+#      thread parked inside the fast-path claim window must not block
+#      the slow-path completers. This is where wait-freedom and
+#      bounded reclamation are tested against parked, crashed, and
+#      delayed threads on the real queues.
 #
 # A change is green only if all seven pass.
 set -eu
@@ -61,5 +65,8 @@ go test -race -tags faultpoints -timeout 120s ./internal/inject
 go test -race -tags "faultpoints debughandles" -timeout 240s \
 	-run 'TestChaos|TestLaggingProducerBlocksConsumer|TestVerifyQuiescentReportsStrandedSlots' \
 	. ./internal/mpsc
+go test -race -tags faultpoints -timeout 240s \
+	./internal/consensus ./internal/turnplus
+go run -tags faultpoints ./cmd/chaos -scenario fastpath -workers 4 -ops 500 -segsize 8 -batch 3
 
 echo "==> ci green"
