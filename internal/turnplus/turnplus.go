@@ -23,7 +23,7 @@
 // Slow path. On exhaustion the operation announces into the consensus
 // layer:
 //
-//   - A slow enqueue seals the current tail ring (a one-shot CAS that
+//   - A slow enqueue seals the current tail ring (a two-phase close that
 //     publishes an effective capacity no pre-seal ticket can exceed and
 //     no post-seal ticket can get under — see segment.seal), builds a
 //     ring pre-filled with its item, and installs the ring's node with
@@ -103,6 +103,14 @@ type deqReq[T any] struct {
 	done atomic.Pointer[cellBox[T]]
 }
 
+// sealed-word states. The word moves sealOpen → sealPending → capacity
+// (>= 0) and never backwards; see segment.seal for why the intermediate
+// pending state is what makes the capacity safe.
+const (
+	sealOpen    = -1 // ring accepts deposits
+	sealPending = -2 // seal won, capacity not yet published
+)
+
 // segment is one FAA ring: faaq's cell array and ticket counters plus
 // the seal word that closes a ring early when a slow enqueue must
 // guarantee nothing can be deposited behind its announced ring.
@@ -111,8 +119,9 @@ type segment[T any] struct {
 	_      [2*pad.CacheLine - 8]byte
 	enqIdx atomic.Int64
 	_      [2*pad.CacheLine - 8]byte
-	// sealed is -1 while the ring accepts deposits; once set it is the
-	// ring's effective capacity. Write-once (CAS from -1).
+	// sealed is sealOpen while the ring accepts deposits, sealPending
+	// during the two-phase seal, and the ring's effective capacity once
+	// published. Monotone (open → pending → capacity, each by CAS).
 	sealed atomic.Int64
 	_      [2*pad.CacheLine - 8]byte
 	cells  []atomic.Pointer[cellBox[T]]
@@ -120,16 +129,18 @@ type segment[T any] struct {
 
 func newSegment[T any](size int) *segment[T] {
 	s := &segment[T]{cells: make([]atomic.Pointer[cellBox[T]], size)}
-	s.sealed.Store(-1)
+	s.sealed.Store(sealOpen)
 	return s
 }
 
 // capLimit returns the ring's effective capacity once it is closed to
-// deposits (sealed, or naturally full), and -1 while it is still open.
-// Monotone: once closed, a ring never reopens, and the returned limit
-// never changes (a seal CAS can only land while enqIdx < segSize... the
-// seal value is fixed at CAS time, and natural fullness reports segSize
-// only when no seal is present).
+// deposits (sealed, or naturally full), and -1 while the capacity is not
+// yet determined (open, or seal pending with enqIdx still below
+// segSize). Monotone: once a non-negative limit is returned it never
+// changes — a published capacity is write-once, and natural fullness
+// reports segSize only when it is provably the final capacity (enqIdx is
+// monotone, so any capacity published later is min(enqIdx', segSize) =
+// segSize too).
 func (s *segment[T]) capLimit(segSize int) int64 {
 	if sl := s.sealed.Load(); sl >= 0 {
 		return sl
@@ -141,29 +152,60 @@ func (s *segment[T]) capLimit(segSize int) int64 {
 }
 
 // seal closes the ring to deposits and returns its effective capacity.
+// Two-phase: CAS sealed open→pending, THEN load enqIdx, then publish
+// min(enqIdx, segSize) as the capacity (pending→capacity; racing callers
+// help, first publish wins). won reports winning the first CAS.
 //
 // Safety argument (FIFO across the fast/slow boundary): the capacity is
-// enqIdx loaded *before* the CAS. Every ticket drawn before the seal
-// landed bumped enqIdx first, so the loaded value — and therefore the
-// capacity — strictly exceeds every pre-seal ticket: no deposit is ever
-// stranded above the capacity. Conversely every ticket drawn after the
-// CAS reads a value at or above the loaded one, so it lands at or above
-// the capacity and its enqueuer (which checks sealed after its FAA, or
-// simply never deposits past capLimit) moves on to a later ring. Either
-// way, nothing can be deposited behind a ring announced after seal
-// returns.
+// enqIdx loaded *after* the open→pending CAS. A fast enqueuer re-checks
+// sealed after its FAA and deposits only if it reads sealOpen (or a
+// published capacity above its ticket). Reading sealOpen means the read
+// — and therefore the FAA before it — preceded the open→pending CAS,
+// which precedes every capacity-determining enqIdx load, so the
+// published capacity strictly exceeds that ticket: no deposit is ever
+// stranded at or above the capacity. Conversely an enqueuer whose
+// re-check sees pending or a capacity at/below its ticket abandons the
+// ticket (the cell is poisoned by a dequeuer) and moves on to a later
+// ring. Either way, nothing can be deposited behind a ring announced
+// after seal returns. (A single pre-load CAS would leave a window: a
+// ticket drawn after the load but checking sealed before the CAS lands
+// could deposit at/above the capacity and be silently dropped when the
+// drained ring is removed.)
 func (s *segment[T]) seal(segSize int) (capacity int64, won bool) {
-	if sl := s.sealed.Load(); sl >= 0 {
-		return sl, false
+	for {
+		sl := s.sealed.Load()
+		if sl >= 0 {
+			return sl, won
+		}
+		if sl == sealOpen {
+			if !s.sealBegin() {
+				continue
+			}
+			won = true
+		}
+		s.sealPublish(segSize)
 	}
+}
+
+// sealBegin is seal's first phase: the open→pending transition. Reports
+// whether this caller won it.
+func (s *segment[T]) sealBegin() bool {
+	return s.sealed.CompareAndSwap(sealOpen, sealPending)
+}
+
+// sealPublish is seal's second phase: load enqIdx — necessarily after
+// the open→pending transition — and publish min(enqIdx, segSize) as the
+// capacity. Any thread that observed pending may publish (first CAS
+// wins; every candidate capacity is safe because every candidate load
+// follows the transition), so a winner parked between the phases blocks
+// nobody. Returns the published capacity.
+func (s *segment[T]) sealPublish(segSize int) int64 {
 	e := s.enqIdx.Load()
 	if e > int64(segSize) {
 		e = int64(segSize)
 	}
-	if s.sealed.CompareAndSwap(-1, e) {
-		return e, true
-	}
-	return s.sealed.Load(), false
+	s.sealed.CompareAndSwap(sealPending, e)
+	return s.sealed.Load()
 }
 
 // statsSlot is one thread's fast/slow accounting stripe. Written only by
@@ -395,8 +437,12 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		if t >= int64(q.segSize) {
 			continue // ring filled under us
 		}
-		if sl := seg.sealed.Load(); sl >= 0 && t >= sl {
-			continue // sealed under us; this ticket is above the capacity
+		if sl := seg.sealed.Load(); sl != sealOpen && (sl == sealPending || t >= sl) {
+			// Sealed (or sealing) under us with a capacity that is — or
+			// may turn out to be — at or below this ticket: abandon it.
+			// Only a ticket that reads sealOpen here provably predates
+			// the seal's capacity load (see segment.seal).
+			continue
 		}
 		if tn.Next() != nil {
 			// A successor ring was installed before this ticket was drawn:
@@ -431,7 +477,9 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	st.rings.Add(1)
 	st.enqFallback.Add(1)
 	q.enq.Announce(threadID, nd, false)
-	c.tail = nil // Announce protects with hpTail; the slot no longer holds c.tail
+	// Announce protects with hpTail and ends with hp.Clear, which nulls
+	// every slot of this thread — head/front included.
+	q.caches[threadID] = cacheSlot[T]{}
 }
 
 // EnqueueBatch appends items as one atomic run: rings pre-filled with
@@ -475,7 +523,8 @@ func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
 		consensus.LinkChain(first, last)
 		q.enq.Announce(threadID, last, true)
 	}
-	q.caches[threadID].tail = nil
+	// Announce ends with hp.Clear, which nulls every slot of this thread.
+	q.caches[threadID] = cacheSlot[T]{}
 }
 
 // sealTail closes the current tail ring to deposits so that nothing can
@@ -598,25 +647,25 @@ func (q *Queue[T]) fastDequeue(threadID int, st *statsSlot) (item T, ok, decided
 		if i == hardIterCap {
 			panic("turnplus: fast claim loop exceeded hard cap; queue invariant violated")
 		}
-		c := seg.cells[t].Load()
+		cb := seg.cells[t].Load()
 		switch {
-		case c == nil:
+		case cb == nil:
 			// Ticket outran the deposit: poison the cell, waste the
 			// ticket (faaq's protocol — the enqueuer retries elsewhere).
 			if seg.cells[t].CompareAndSwap(nil, q.taken) {
 				st.wasted.Add(1)
 				return zero, false, false
 			}
-		case c == q.taken:
+		case cb == q.taken:
 			// Consumed by the slow-path march racing this ticket.
 			st.wasted.Add(1)
 			return zero, false, false
-		case c.req != nil:
+		case cb.req != nil:
 			// A parked donation: help it finish, then re-read.
-			q.resolveClaim(seg, t, c)
+			q.resolveClaim(seg, t, cb)
 		default:
-			if seg.cells[t].CompareAndSwap(c, q.taken) {
-				return c.v, true, true
+			if seg.cells[t].CompareAndSwap(cb, q.taken) {
+				return cb.v, true, true
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package turnplus
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"turnqueue/internal/account"
@@ -218,3 +219,169 @@ func TestQuiescentAccounting(t *testing.T) {
 }
 
 func ringsCover(rings int64, segSize int) int { return int(rings) * segSize }
+
+// TestSlowEnqueueInvalidatesProtectionCache is the regression test for a
+// hazard-safety bug: Enq.Announce ends with hp.Clear, which nulls EVERY
+// hazard slot of the thread, but the slow enqueue paths used to reset
+// only the tail entry of the protection cache. The stale head/front
+// entries then made a later fastDequeue skip ProtectPtr while actually
+// unprotected.
+func TestSlowEnqueueInvalidatesProtectionCache(t *testing.T) {
+	zero := cacheSlot[int]{}
+
+	q := New[int](WithMaxThreads(2))
+	// Populate the dequeue-side cache: an empty-queue dequeue protects
+	// the head sentinel and records it.
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	if q.caches[0].head == nil {
+		t.Fatal("precondition: empty dequeue did not populate the head cache")
+	}
+	// The first enqueue announces through the consensus slow path.
+	q.Enqueue(0, 1)
+	if q.caches[0] != zero {
+		t.Fatalf("slow Enqueue left a stale protection cache: %+v", q.caches[0])
+	}
+
+	q2 := New[int](WithMaxThreads(2))
+	if _, ok := q2.Dequeue(0); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	if q2.caches[0].head == nil {
+		t.Fatal("precondition: empty dequeue did not populate the head cache")
+	}
+	q2.EnqueueBatch(0, []int{1, 2, 3})
+	if q2.caches[0] != zero {
+		t.Fatalf("EnqueueBatch left a stale protection cache: %+v", q2.caches[0])
+	}
+}
+
+// depositAllowed is the fast path's post-FAA deposit rule for ticket ti
+// (Enqueue's sealed re-check), extracted so the seal tests below can
+// drive it through exact interleavings.
+func depositAllowed[T any](seg *segment[T], ti int64) bool {
+	sl := seg.sealed.Load()
+	return sl == sealOpen || (sl != sealPending && ti < sl)
+}
+
+// TestSealTicketInterleavings drives the fast-path/seal schedules that
+// matter for the lost-enqueue bug deterministically, via the two-phase
+// seal's observable pending state.
+func TestSealTicketInterleavings(t *testing.T) {
+	const segSize = 8
+
+	// Ticket drawn and re-checked wholly before the seal begins: the
+	// deposit is allowed, so the published capacity must cover it.
+	seg := newSegment[int](segSize)
+	ti := seg.enqIdx.Add(1) - 1
+	if !depositAllowed(seg, ti) {
+		t.Fatal("ticket on an open ring must be allowed to deposit")
+	}
+	if !seg.sealBegin() {
+		t.Fatal("sealBegin lost on a fresh ring")
+	}
+	if got := seg.sealPublish(segSize); ti >= got {
+		t.Fatalf("capacity %d strands pre-seal ticket %d", got, ti)
+	}
+
+	// The bug's schedule: the sealer has fixed its course but not yet
+	// published when a ticket re-checks. The one-shot seal this test
+	// guards against (capacity loaded before the CAS) had no observable
+	// intermediate state here — the re-check read open and the deposit
+	// landed at/above the upcoming capacity, where no dequeue path ever
+	// reads, so the item vanished with the drained ring. The two-phase
+	// seal makes the re-check abandon the ticket instead.
+	seg2 := newSegment[int](segSize)
+	if !seg2.sealBegin() {
+		t.Fatal("sealBegin lost on a fresh ring")
+	}
+	t2 := seg2.enqIdx.Add(1) - 1
+	if depositAllowed(seg2, t2) {
+		t.Fatal("ticket drawn mid-seal must be abandoned")
+	}
+	if seg2.capLimit(segSize) != -1 {
+		t.Fatal("capLimit must stay undetermined while the seal is pending")
+	}
+	// The capacity is loaded after the pending transition, so even the
+	// abandoned ticket is counted: capacity only ever over-covers, and
+	// the unfilled cell below it is handled by the poison protocol.
+	if got := seg2.sealPublish(segSize); got != 1 {
+		t.Fatalf("capacity = %d, want 1 (enqIdx at publish time)", got)
+	}
+	if cl := seg2.capLimit(segSize); cl != 1 {
+		t.Fatalf("capLimit = %d after publish, want 1", cl)
+	}
+	if t3 := seg2.enqIdx.Add(1) - 1; depositAllowed(seg2, t3) {
+		t.Fatal("post-seal ticket at/above capacity must be abandoned")
+	}
+
+	// Liveness: a winner parked between the phases blocks nobody — any
+	// seal() caller helps publish, and must not claim the win.
+	seg3 := newSegment[int](segSize)
+	if !seg3.sealBegin() {
+		t.Fatal("sealBegin lost on a fresh ring")
+	}
+	capacity, won := seg3.seal(segSize)
+	if won {
+		t.Fatal("helper claimed a seal it did not begin")
+	}
+	if capacity != 0 {
+		t.Fatalf("helper published capacity %d, want 0", capacity)
+	}
+}
+
+// TestSealCapacityCoversOpenTickets stresses the two-phase seal against
+// the fast-path deposit rule: a ticket whose post-FAA sealed check reads
+// open (or a capacity above it) may deposit, and the published capacity
+// must cover every such ticket — otherwise the deposit would sit at or
+// above capLimit, where no dequeue path ever reads, and the item would
+// vanish when the drained ring is removed. The single-CAS seal this
+// replaced loaded enqIdx before its CAS and failed this test's invariant
+// in the load→CAS window.
+func TestSealCapacityCoversOpenTickets(t *testing.T) {
+	const (
+		rounds  = 2000
+		workers = 4
+		perW    = 8
+		segSize = 1 << 20 // never naturally full: isolates the seal
+	)
+	for r := 0; r < rounds; r++ {
+		seg := newSegment[int](0) // cells unused; counters and seal only
+		var maxDeposited atomic.Int64
+		maxDeposited.Store(-1)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				for i := 0; i < perW; i++ {
+					ti := seg.enqIdx.Add(1) - 1
+					if !depositAllowed(seg, ti) {
+						continue
+					}
+					for {
+						cur := maxDeposited.Load()
+						if ti <= cur || maxDeposited.CompareAndSwap(cur, ti) {
+							break
+						}
+					}
+				}
+			}()
+		}
+		start.Done()
+		capacity, _ := seg.seal(segSize)
+		done.Wait()
+		// seal may have raced the workers; the published value is final.
+		final, _ := seg.seal(segSize)
+		if capacity > final {
+			t.Fatalf("round %d: seal reported capacity %d above final %d", r, capacity, final)
+		}
+		if m := maxDeposited.Load(); m >= final {
+			t.Fatalf("round %d: ticket %d deposited at/above sealed capacity %d (lost enqueue)",
+				r, m, final)
+		}
+	}
+}
