@@ -7,6 +7,8 @@ package turnqueue
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"turnqueue/internal/account"
@@ -131,6 +133,37 @@ func benchSparsePairs(b *testing.B, mt, live int) {
 	verifyQuiescentBench(b, account.Capture("Turn", q.Runtime(), q))
 }
 
+// BenchmarkAutoOversubscribed measures the implicit-handle layer in the
+// regime it exists for: far more concurrent goroutines than MaxThreads
+// cache slots, every operation fighting for a slot before it can touch
+// the queue. This is the acquisition hot path (the per-op slot handoff),
+// not queue throughput — MaxThreads is small and the parallelism high on
+// purpose, so slot contention dominates. Recorded before and after the
+// lease-cache rewrite (results/oversub_baseline.txt holds the
+// busy-CAS-scan numbers) so the lease layer's win is measured, not
+// asserted.
+func BenchmarkAutoOversubscribed(b *testing.B) {
+	for _, par := range []int{8, 32} {
+		par := par
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			a := NewAuto(NewTurnPlus[int](WithMaxThreads(8)))
+			b.ReportAllocs()
+			b.SetParallelism(par) // par * GOMAXPROCS goroutines over 8 slots
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					a.Enqueue(i)
+					a.Dequeue()
+					i++
+				}
+			})
+			b.StopTimer()
+			a.Close()
+			verifyQuiescentBench(b, a.Snapshot())
+		})
+	}
+}
+
 // BenchmarkAdapterOverheadAuto is the implicit-handle layer: a handle
 // cache claim/release pair (two atomic bools + a hint load) on top of
 // every adapter-level operation. This is the price of not managing
@@ -147,4 +180,56 @@ func BenchmarkAdapterOverheadAuto(b *testing.B) {
 	b.StopTimer()
 	a.Close()
 	verifyQuiescentBench(b, a.Snapshot())
+}
+
+// BenchmarkShardedPairs compares the sharded front against itself at
+// shards=1 under multi-worker pairs traffic: same inner queue (TurnPlus),
+// same worker count, only the shard count changes, so the delta is the
+// routing layer's contention isolation. scripts/bench.sh gates the
+// shards=4 / shards=1 throughput ratio on multi-core hosts; on a single
+// CPU the shards only serialize and the ratio is meaningless.
+func BenchmarkShardedPairs(b *testing.B) {
+	const workers = 8
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			q := NewSharded[int](WithMaxThreads(workers), WithShards(shards))
+			handles := make([]*Handle, workers)
+			for w := range handles {
+				h, err := q.Register()
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles[w] = h
+				q.Enqueue(h, w) // seed: dequeues rarely observe empty
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := handles[w]
+					for i := 0; i < harness.Split(b.N, workers, w); i++ {
+						q.Enqueue(h, i)
+						for {
+							if _, ok := q.Dequeue(h); ok {
+								break
+							}
+							// Relaxed emptiness: the sweep can miss items
+							// racing between shards; retry.
+							runtime.Gosched()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, h := range handles {
+				h.Close()
+			}
+			verifyQuiescentBench(b, q.Snapshot())
+		})
+	}
 }

@@ -4,7 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
-	"turnqueue/internal/pad"
+	"turnqueue/internal/qrt"
 )
 
 // AutoQueue wraps any Queue[T] with implicit handle management, so
@@ -13,139 +13,148 @@ import (
 // long-lived workers — request handlers, short-lived goroutines,
 // untrusted caller counts.
 //
-// Internally it keeps a cache of up to MaxThreads() handles, one per
-// padded cache slot. An operation claims a free slot (a wait-free
-// bounded scan, like slot registration itself), registers a real handle
-// the first time that slot is used, runs the operation, and releases the
-// slot with a single store. While the number of concurrent callers stays
-// within MaxThreads(), every operation therefore completes in a bounded
-// number of steps and handles are registered exactly once, not per
-// operation.
+// Internally it leases slot ids from a sharded free-id pool
+// (qrt.Leaser): an operation pops an id from the ring its goroutine is
+// hinted at, registers a real handle the first time that id is used,
+// runs the operation, and pushes the id back. Because the rings are
+// sharded by a per-goroutine affinity hint, concurrent callers on
+// different shards never touch the same cache lines on the hot path —
+// unlike the previous design, a single CAS-claimed slot array whose
+// shared scan hint made every acquire fight over the same slots as
+// oversubscription grew. A leaser whose home ring is empty steals from
+// the other shards before minting a fresh id, so sequential use still
+// registers exactly one handle no matter how many rings exist.
 //
-// When more goroutines than MaxThreads() call concurrently, the surplus
-// callers yield and rescan until a slot frees up — the queue keeps its
-// exactly-once guarantees, but the wait-free bound no longer applies to
-// the waiters (no bounded algorithm can serve unbounded concurrent
-// callers from a fixed slot array). Latency-pinned workers should keep
-// using explicit handles on the underlying queue; both styles can share
-// one queue, because the cache draws its handles from the same
-// registration runtime.
+// While the number of concurrent callers stays within MaxThreads(),
+// every operation completes in a bounded number of steps (one ring pop,
+// at worst one sweep over a fixed number of rings) and handles are
+// registered exactly once, not per operation. When more goroutines than
+// MaxThreads() call concurrently, the surplus callers yield and retry —
+// the queue keeps its exactly-once guarantees, but the wait-free bound
+// no longer applies to the waiters (no bounded algorithm can serve
+// unbounded concurrent callers from a fixed slot array). Latency-pinned
+// workers should keep using explicit handles on the underlying queue;
+// both styles can share one queue, because the cache draws its handles
+// from the same registration runtime.
 type AutoQueue[T any] struct {
 	q      Queue[T]
-	slots  []autoSlot
-	hint   atomic.Uint32 // last slot acquired; scan origin for the next op
+	leaser *qrt.Leaser
+	cache  []*Handle // cache[id]: lazily registered handle, nil until first use
 	closed atomic.Bool
 
 	registers atomic.Int64 // handles registered through the cache
-	waits     atomic.Int64 // full-scan rounds that found no free slot
+	waits     atomic.Int64 // rounds where no id was free to lease or reserve
 }
 
-// autoSlot is one padded cache entry: a claim flag plus the lazily
-// registered handle. The handle pointer is written once, under the
-// claim, and only read by claim holders, so it needs no atomics.
-type autoSlot struct {
-	busy atomic.Bool
-	h    *Handle // 1 byte of flag + 7 of alignment + 8 of pointer = 16
-	_    [2*pad.CacheLine - 16]byte
-}
-
-// NewAuto wraps q with implicit handle management. The cache is sized to
-// q.MaxThreads(); handles are registered lazily as concurrency grows, so
-// wrapping costs nothing for slots that are never reached. Explicit
-// Register calls on q reduce the slots available to the wrapper.
+// NewAuto wraps q with implicit handle management. The lease pool is
+// sized to q.MaxThreads() ids over min(GOMAXPROCS, MaxThreads) shards;
+// handles are registered lazily as concurrency grows, so wrapping costs
+// nothing for ids that are never circulated. Explicit Register calls on
+// q reduce the slots available to the wrapper.
 func NewAuto[T any](q Queue[T]) *AutoQueue[T] {
-	return &AutoQueue[T]{q: q, slots: make([]autoSlot, q.MaxThreads())}
+	mt := q.MaxThreads()
+	shards := runtime.GOMAXPROCS(0)
+	if shards > mt {
+		shards = mt
+	}
+	return &AutoQueue[T]{
+		q:      q,
+		leaser: qrt.NewLeaser(mt, shards),
+		cache:  make([]*Handle, mt),
+	}
 }
 
-// acquire claims a cache slot with a registered handle. One scan pass is
-// wait-free bounded; when every slot is busy or unregistrable the caller
-// yields and rescans.
-func (a *AutoQueue[T]) acquire() *autoSlot {
+// acquire leases a slot id with a registered handle cached behind it.
+// The caller must return the id with Unlease(id, hint) when the
+// operation completes. cache[id] needs no atomics: it is written under
+// the lease, and the ring's sequence words carry the happens-before
+// edge from one leaseholder to the next.
+func (a *AutoQueue[T]) acquire() (id int, hint uint32) {
 	if a.closed.Load() {
 		panic("turnqueue: operation on closed AutoQueue")
 	}
-	n := uint32(len(a.slots))
-	start := a.hint.Load()
+	hint = qrt.ShardHint()
 	for {
-		for i := uint32(0); i < n; i++ {
-			idx := (start + i) % n
-			s := &a.slots[idx]
-			if s.busy.Load() {
-				continue
-			}
-			if !s.busy.CompareAndSwap(false, true) {
-				continue
-			}
+		id, ok := a.leaser.Lease(hint)
+		if !ok {
+			// Nothing circulating on any shard: mint a fresh id. Trying
+			// Lease first (including its steal sweep) is what keeps
+			// sequential callers on one recycled id instead of minting
+			// a new registration per shard.
+			id, ok = a.leaser.Reserve()
+		}
+		if !ok {
+			// All MaxThreads ids are leased by in-flight operations:
+			// more concurrent callers than slots. Yield and retry.
 			if a.closed.Load() {
-				// Close ran between the entry check and the claim. Back
-				// the claim out — otherwise Close's sweep would either
-				// leak this slot forever or wait on a caller that is
-				// about to panic — then fail like any post-close call.
-				s.busy.Store(false)
 				panic("turnqueue: operation on closed AutoQueue")
 			}
-			if s.h == nil {
-				// First use of this cache slot: register for real. This
-				// can lose to explicit Register calls on the underlying
-				// queue taking the remaining capacity; back out and let
-				// the scan try other (already registered) slots.
-				h, err := a.q.Register()
-				if err != nil {
-					s.busy.Store(false)
-					continue
-				}
-				s.h = h
-				a.registers.Add(1)
-			}
-			if idx != start {
-				a.hint.Store(idx)
-			}
-			return s
+			a.waits.Add(1)
+			runtime.Gosched()
+			continue
 		}
-		// All slots busy (more concurrent callers than MaxThreads) or
-		// taken by explicit handles: yield and rescan.
 		if a.closed.Load() {
+			// Close ran between the entry check and the lease. Back the
+			// lease out — Close's collection sweep is waiting to pop
+			// exactly the issued ids — then fail like any post-close call.
+			a.leaser.Unlease(id, hint)
 			panic("turnqueue: operation on closed AutoQueue")
 		}
-		a.waits.Add(1)
-		runtime.Gosched()
-		start = a.hint.Load()
+		if a.cache[id] == nil {
+			// First use of this id: register for real. This can lose to
+			// explicit Register calls on the underlying queue taking the
+			// remaining capacity; recirculate the id unregistered and
+			// retry — a later lease retries registration.
+			h, err := a.q.Register()
+			if err != nil {
+				a.leaser.Unlease(id, hint)
+				if a.closed.Load() {
+					panic("turnqueue: operation on closed AutoQueue")
+				}
+				a.waits.Add(1)
+				runtime.Gosched()
+				continue
+			}
+			a.cache[id] = h
+			a.registers.Add(1)
+		}
+		return id, hint
 	}
 }
 
-// Enqueue inserts item at the tail, registering this call's thread slot
-// on first use. The slot release is deferred so a panicking underlying
-// operation (slot misuse under debughandles, a corrupted-invariant crash)
-// cannot strand the cache slot in the busy state forever.
+// Enqueue inserts item at the tail, registering this call's slot id on
+// first use. The unlease is deferred so a panicking underlying
+// operation (slot misuse under debughandles, a corrupted-invariant
+// crash) cannot strand the id outside circulation forever.
 func (a *AutoQueue[T]) Enqueue(item T) {
-	s := a.acquire()
-	defer s.busy.Store(false)
-	a.q.Enqueue(s.h, item)
+	id, hint := a.acquire()
+	defer a.leaser.Unlease(id, hint)
+	a.q.Enqueue(a.cache[id], item)
 }
 
 // Dequeue removes the item at the head; ok is false when the queue is
-// observed empty. Slot release is deferred; see Enqueue.
+// observed empty. The unlease is deferred; see Enqueue.
 func (a *AutoQueue[T]) Dequeue() (item T, ok bool) {
-	s := a.acquire()
-	defer s.busy.Store(false)
-	return a.q.Dequeue(s.h)
+	id, hint := a.acquire()
+	defer a.leaser.Unlease(id, hint)
+	return a.q.Dequeue(a.cache[id])
 }
 
-// EnqueueBatch inserts items in slice order, claiming one cache slot for
-// the whole batch — the slot-scan cost is paid once per batch, not per
+// EnqueueBatch inserts items in slice order, leasing one slot id for
+// the whole batch — the lease cost is paid once per batch, not per
 // item. See Queue.EnqueueBatch for the contiguity guarantees.
 func (a *AutoQueue[T]) EnqueueBatch(items []T) {
-	s := a.acquire()
-	defer s.busy.Store(false)
-	a.q.EnqueueBatch(s.h, items)
+	id, hint := a.acquire()
+	defer a.leaser.Unlease(id, hint)
+	a.q.EnqueueBatch(a.cache[id], items)
 }
 
-// DequeueBatch removes up to len(buf) items into buf under one cache
-// slot claim and returns the count taken; zero means observed empty.
+// DequeueBatch removes up to len(buf) items into buf under one lease
+// and returns the count taken; zero means observed empty.
 func (a *AutoQueue[T]) DequeueBatch(buf []T) int {
-	s := a.acquire()
-	defer s.busy.Store(false)
-	return a.q.DequeueBatch(s.h, buf)
+	id, hint := a.acquire()
+	defer a.leaser.Unlease(id, hint)
+	return a.q.DequeueBatch(a.cache[id], buf)
 }
 
 // MaxThreads returns the underlying queue's registered-thread bound,
@@ -161,52 +170,61 @@ func (a *AutoQueue[T]) Meta() Meta { return a.q.Meta() }
 func (a *AutoQueue[T]) Unwrap() Queue[T] { return a.q }
 
 // Snapshot captures the underlying queue's resource-accounting view plus
-// the wrapper's own cache counters: auto_registered (handles lazily
-// registered through the cache), auto_waits (full-scan rounds where every
-// slot was busy), and — while the wrapper is open — auto_busy (slots
-// currently claimed by in-flight operations).
+// the wrapper's own lease counters: auto_registered (handles lazily
+// registered through the cache), auto_waits (rounds where every id was
+// leased), lease_hits / lease_steals (leases served by the hinted home
+// ring vs another shard's ring), and — while the wrapper is open —
+// lease_issued (ids in circulation) and lease_held (ids leased to
+// in-flight operations right now).
 func (a *AutoQueue[T]) Snapshot() Snapshot {
 	s := a.q.Snapshot()
 	s.Counter("auto_registered", a.registers.Load())
 	s.Counter("auto_waits", a.waits.Load())
+	hits, steals := a.leaser.Stats()
+	s.Counter("lease_hits", hits)
+	s.Counter("lease_steals", steals)
 	if !a.closed.Load() {
-		var busy int64
-		for i := range a.slots {
-			if a.slots[i].busy.Load() {
-				busy++
-			}
-		}
-		s.Counter("auto_busy", busy)
+		s.Counter("lease_issued", int64(a.leaser.Issued()))
+		s.Counter("lease_held", int64(a.leaser.Held()))
 	}
 	return s
 }
 
-// Close releases every cached handle back to the queue. Operations in
-// flight when Close begins are waited out — each finishes normally and
-// its handle is closed afterwards — while operations that start after
-// Close panic. Closing twice panics.
+// Close retires every issued lease and releases every cached handle
+// back to the queue. Operations in flight when Close begins are waited
+// out — each finishes normally and its handle is closed afterwards —
+// while operations that start after Close panic. Closing twice panics.
 //
 // The wait matters for correctness, not just politeness: an operation
-// can claim a cache slot in the window between Close setting the closed
-// flag and Close's sweep reaching that slot. The sweep waits for the
-// claim to clear (the claimer either completes or observes closed and
-// backs out, both in bounded time), so every cached handle is reliably
-// closed. A sweep that skipped busy slots instead would strand the
-// slot's handle — a registration slot leaked for the queue's lifetime.
+// can lease an id in the window between Close setting the closed flag
+// and Close's sweep collecting that id. The sweep keeps popping until
+// it has collected every issued id (the leaseholder either completes
+// and unleases, or observes closed and backs out, both in bounded
+// time), so every cached handle is reliably closed — and each handle
+// Close runs the runtime's release hooks, draining that slot's retire
+// backlog exactly as explicit-handle retirement does. Collected ids are
+// never pushed back, so a racing late operation can never reach a
+// closed handle; it fails the closed check instead. After Close returns
+// the leaser's Held() is zero and the queue's VerifyQuiescent holds.
 func (a *AutoQueue[T]) Close() {
 	if a.closed.Swap(true) {
 		panic("turnqueue: Close of closed AutoQueue")
 	}
-	for i := range a.slots {
-		s := &a.slots[i]
-		for !s.busy.CompareAndSwap(false, true) {
+	hint := qrt.ShardHint()
+	collected := 0
+	// Issued() is re-read every iteration: a Reserve racing with Close
+	// either backs out (its id lands in a ring for this sweep to
+	// collect) or is never registered (nothing to close).
+	for collected < a.leaser.Issued() {
+		id, ok := a.leaser.Lease(hint)
+		if !ok {
 			runtime.Gosched()
+			continue
 		}
-		if s.h != nil {
-			s.h.Close()
-			s.h = nil
+		if h := a.cache[id]; h != nil {
+			h.Close()
+			a.cache[id] = nil
 		}
-		// The slot stays claimed so a racing late operation can never
-		// reach the closed handle; it fails the closed check instead.
+		collected++
 	}
 }

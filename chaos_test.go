@@ -43,6 +43,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/sharded"
 	"turnqueue/internal/turnplus"
 )
 
@@ -871,5 +872,178 @@ func TestChaosLincheckUnderDelayInjection(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestChaosShardStall parks one front-queue thread forever inside its
+// home shard's FAA fast claim — a victim holding both a live lease-layer
+// slot and a mid-operation fault — and asserts the sharded front's
+// isolation claims: every other worker keeps completing (on the
+// victim's shard by turnplus wait-freedom, on the other shards by
+// construction), stolen dequeues stay exactly-once, and every shard's
+// hazard backlog respects its own R + maxThreads*numHPs bound.
+func TestChaosShardStall(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	const maxThreads, shards = 8, 4
+	inners := make([]*turnplus.Queue[int], shards)
+	q := sharded.New[int](maxThreads, shards, func(i int) sharded.Inner[int] {
+		inners[i] = turnplus.New[int](
+			turnplus.WithMaxThreads(maxThreads),
+			turnplus.WithSegmentSize(8),
+			turnplus.WithPatience(2),
+		)
+		return inners[i]
+	})
+	rt := q.Runtime()
+	victim := acquireSlot(t, rt) // slot 0: home shard 0
+	seeder := acquireSlot(t, rt) // slot 1: home shard 1
+
+	// Seed the victim's home shard so its Enqueue takes the fast path
+	// (an empty queue's tail is the sentinel, which falls back).
+	inners[0].Enqueue(seeder, -2)
+	victimDone := parkVictim(t, inject.CoreFastClaim, func() { q.Enqueue(victim, -1) })
+
+	// Healthy workers on slots 2..7 — homes 2,3,0,1,2,3 — cover both the
+	// victim's shard and the rest. Each records what it dequeues so
+	// stolen values can be checked for exactly-once delivery.
+	const workers, pairs = 6, 300
+	got := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot := acquireSlot(t, rt)
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			for i := 0; i < pairs; i++ {
+				q.Enqueue(slot, w*10000+i)
+				for {
+					if v, ok := q.Dequeue(slot); ok {
+						got[w] = append(got[w], v)
+						break
+					}
+				}
+			}
+		}(w, slot)
+	}
+	healthy := make(chan struct{})
+	go func() { wg.Wait(); close(healthy) }()
+	awaitOrFatal(t, healthy, 60*time.Second, "healthy workers (victim parked mid-claim in shard 0)")
+
+	if got := inject.Stalled(); got != 1 {
+		t.Fatalf("expected the victim still parked, Stalled() = %d", got)
+	}
+	for i, inner := range inners {
+		if enq, deq := inner.OverrunStats(); enq != 0 || deq != 0 {
+			t.Fatalf("shard %d overruns enq=%d deq=%d with the victim parked; per-shard bound violated", i, enq, deq)
+		}
+		hz := inner.Hazard()
+		if b, bound := hz.Backlog(), hz.BacklogBound(); b > bound {
+			t.Fatalf("shard %d hazard backlog %d exceeds its bound %d while the victim is parked", i, b, bound)
+		}
+	}
+
+	inject.ReleaseStalled()
+	awaitOrFatal(t, victimDone, 10*time.Second, "released victim")
+
+	// Exactly-once across steals: merge every worker's takings with a
+	// final drain; each enqueued value must surface exactly once.
+	seen := map[int]bool{}
+	record := func(v int) {
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice (a stolen dequeue duplicated it)", v)
+		}
+		seen[v] = true
+	}
+	for w := range got {
+		for _, v := range got[w] {
+			record(v)
+		}
+	}
+	for {
+		v, ok := q.Dequeue(victim)
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	want := workers*pairs + 2 // worker items + seed (-2) + victim's (-1)
+	if len(seen) != want || !seen[-1] || !seen[-2] {
+		t.Fatalf("dequeued %d distinct values (victim=%v seed=%v), want %d including both",
+			len(seen), seen[-1], seen[-2], want)
+	}
+	rt.Release(victim)
+	rt.Release(seeder)
+
+	s := account.Capture("Sharded", rt, q)
+	if err := s.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosShardedRelaxedUnderDelayInjection is the multi-shard row of
+// the seeded-delay matrix: with every fault point jittering, recorded
+// histories must still satisfy the front's relaxed specification
+// (global exactly-once + per-shard FIFO). The strict spec for the
+// shards=1 row is covered by Sharded1 in linearizableQueues.
+func TestChaosShardedRelaxedUnderDelayInjection(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	seed := chaosSeed(t)
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	delayed := []inject.Point{
+		inject.CoreEnqPublish, inject.CoreEnqHelp,
+		inject.CoreDeqOpen, inject.CoreDeqHelp,
+		inject.HazardProtect, inject.HazardRetire,
+		inject.CoreFastClaim, inject.CoreFastFallback,
+	}
+	const workers, opsEach, shards = 3, 4, 4
+	for round := 0; round < rounds; round++ {
+		rseed := seed + uint64(round)
+		for _, p := range delayed {
+			inject.Arm(p, inject.Delay(rseed, 0, 50*time.Microsecond))
+		}
+		q := NewSharded[int64](WithMaxThreads(workers), WithShards(shards))
+		rec := lincheck.NewRecorder(workers)
+		handles := make([]*Handle, workers)
+		for w := range handles {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[w] = h
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := handles[w]
+				for k := 0; k < opsEach; k++ {
+					v := int64(w*1000 + k)
+					s := rec.Begin()
+					q.Enqueue(h, v)
+					rec.EndEnq(w, v, s)
+					s = rec.Begin()
+					deq, ok := q.Dequeue(h)
+					rec.EndDeq(w, deq, ok, s)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, p := range delayed {
+			inject.Disarm(p)
+		}
+		err := lincheck.CheckShardedRelaxed(rec.History(), shards, func(v int64) int {
+			return int(v/1000) % shards
+		})
+		if err != nil {
+			t.Fatalf("round %d (seed %#x): %v", round, rseed, err)
+		}
+		for _, h := range handles {
+			h.Close()
+		}
 	}
 }

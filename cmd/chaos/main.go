@@ -32,6 +32,13 @@
 //	          protocol. Queue: turnplus (implied).
 //	adversary run the deterministic yield adversary against msq and
 //	          turn together and report max retries vs overruns.
+//	shard     park one victim mid-operation inside its home shard of the
+//	          sharded front while it holds a live slot, run healthy
+//	          workers across every shard (local traffic plus dequeue
+//	          steals), and report that the other shards kept completing,
+//	          stolen dequeues stayed exactly-once, and every shard's
+//	          hazard backlog stayed within its own R + maxThreads*numHPs
+//	          bound. Queue: sharded front over turnplus (implied).
 package main
 
 import (
@@ -50,17 +57,19 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/sharded"
 	"turnqueue/internal/turnplus"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "stall", "stall, batch, reader, crash, adversary, or fastpath")
+		scenario = flag.String("scenario", "stall", "stall, batch, reader, crash, adversary, fastpath, or shard")
 		queue    = flag.String("queue", "turn", "turn, kp, msq, lockq, or faa (per scenario)")
 		workers  = flag.Int("workers", 4, "healthy worker goroutines")
 		ops      = flag.Int("ops", 2000, "enqueue+dequeue pairs per worker")
 		batch    = flag.Int("batch", 16, "chain length for the batch scenario")
 		segsize  = flag.Int("segsize", 64, "FAA queue segment size (reader scenario)")
+		shards   = flag.Int("shards", 4, "shard count for the shard scenario")
 		timeout  = flag.Duration("timeout", 30*time.Second, "completion deadline for healthy workers")
 	)
 	flag.Parse()
@@ -85,6 +94,8 @@ func main() {
 		err = runAdversary(*workers, *ops)
 	case "fastpath":
 		err = runFastpath(*workers, *ops, *segsize, *batch, *timeout)
+	case "shard":
+		err = runShard(*workers, *ops, *shards, *timeout)
 	default:
 		err = fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -616,6 +627,133 @@ func runFastpath(workers, ops, segsize, batch int, timeout time.Duration) error 
 	fmt.Printf("  drain: %d leftover items, victim's deposit arrived after release: %v\n", leftovers, sawVictim)
 	if !sawVictim {
 		return fmt.Errorf("victim's item never surfaced after release")
+	}
+	return nil
+}
+
+// runShard parks one sharded-front victim mid-enqueue inside its home
+// shard's fast-path claim window — a thread holding both a live front
+// slot and an in-flight operation on one shard — and drives healthy
+// workers whose homes cover every shard. The isolation claims to
+// falsify: a wedged shard must not stop the others (it cannot even stop
+// its own, by the inner queue's wait-freedom); dequeue steals off the
+// wedged shard must stay exactly-once; and each shard's hazard backlog
+// must respect its own R + maxThreads*numHPs bound, not a global pool.
+func runShard(workers, ops, shards int, timeout time.Duration) error {
+	defer inject.Reset()
+	if shards < 2 {
+		return fmt.Errorf("shard scenario wants -shards >= 2, got %d", shards)
+	}
+	maxThreads := workers + 2
+	inners := make([]*turnplus.Queue[int], shards)
+	q := sharded.New[int](maxThreads, shards, func(i int) sharded.Inner[int] {
+		inners[i] = turnplus.New[int](
+			turnplus.WithMaxThreads(maxThreads),
+			turnplus.WithSegmentSize(8),
+			turnplus.WithPatience(2),
+		)
+		return inners[i]
+	})
+	rt := q.Runtime()
+	victim, _ := rt.Acquire() // slot 0: home shard 0
+	seeder, _ := rt.Acquire() // slot 1
+
+	// Seed the victim's home shard so its enqueue reaches the fast-path
+	// claim window instead of falling back on the sentinel ring.
+	inners[0].Enqueue(seeder, -2)
+	inject.Arm(inject.CoreFastClaim, inject.Stall(1))
+	victimDone := make(chan struct{})
+	go func() { defer close(victimDone); q.Enqueue(victim, -1) }()
+	if got := inject.WaitStalled(1, 10*time.Second); got < 1 {
+		return fmt.Errorf("victim never parked at %v", inject.CoreFastClaim)
+	}
+	inject.Disarm(inject.CoreFastClaim)
+	fmt.Printf("victim parked forever mid-enqueue in shard 0 of %d; starting %d healthy workers x %d pairs\n",
+		shards, workers, ops)
+	fmt.Printf("  (workers' home shards cover all %d shards; dequeues steal round-robin)\n", shards)
+
+	got := make([][]int, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		slot, ok := rt.Acquire()
+		if !ok {
+			return fmt.Errorf("no slot for worker %d", w)
+		}
+		wg.Add(1)
+		go func(w, slot int) {
+			defer wg.Done()
+			defer rt.Release(slot)
+			for i := 0; i < ops; i++ {
+				q.Enqueue(slot, w*1000000+i)
+				for {
+					if v, ok := q.Dequeue(slot); ok {
+						got[w] = append(got[w], v)
+						break
+					}
+				}
+			}
+		}(w, slot)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		fmt.Printf("healthy workers completed in %v with the victim still parked\n", time.Since(start))
+	case <-time.After(timeout):
+		inject.ReleaseStalled()
+		return fmt.Errorf("healthy workers did not complete within %v — the wedged shard blocked them", timeout)
+	}
+
+	boundsHeld := true
+	for i, inner := range inners {
+		oe, od := inner.OverrunStats()
+		hz := inner.Hazard()
+		held := oe == 0 && od == 0 && hz.Backlog() <= hz.BacklogBound()
+		boundsHeld = boundsHeld && held
+		fmt.Printf("  shard %d: overruns %d/%d, hazard backlog %d <= bound %d: %v\n",
+			i, oe, od, hz.Backlog(), hz.BacklogBound(), held)
+	}
+	enqs, deqLocal, deqSteal := q.Stats()
+	fmt.Printf("  routing: %d enqueues, %d local dequeues, %d steals\n", enqs, deqLocal, deqSteal)
+
+	// Release the victim, drain, and close the exactly-once books across
+	// workers' takings (steals included) plus the leftovers.
+	inject.ReleaseStalled()
+	<-victimDone
+	seen := map[int]bool{}
+	dups := 0
+	for w := range got {
+		for _, v := range got[w] {
+			if seen[v] {
+				dups++
+			}
+			seen[v] = true
+		}
+	}
+	for {
+		v, ok := q.Dequeue(victim)
+		if !ok {
+			break
+		}
+		if seen[v] {
+			dups++
+		}
+		seen[v] = true
+	}
+	rt.Release(victim)
+	rt.Release(seeder)
+	want := workers*ops + 2
+	fmt.Printf("  drain: %d/%d distinct values surfaced, duplicates %d, victim's deposit arrived: %v\n",
+		len(seen), want, dups, seen[-1])
+	s := account.Capture("sharded", rt, q)
+	if err := s.VerifyQuiescent(); err != nil {
+		return fmt.Errorf("not quiescent after release: %w", err)
+	}
+	fmt.Println("  VerifyQuiescent: ok (every shard's domains empty, no stranded slots)")
+	if dups != 0 || len(seen) != want || !seen[-1] || !boundsHeld {
+		return fmt.Errorf("shard isolation violated (distinct %d/%d, dups %d, victim %v, bounds %v)",
+			len(seen), want, dups, seen[-1], boundsHeld)
 	}
 	return nil
 }

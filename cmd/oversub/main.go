@@ -1,0 +1,206 @@
+// Command oversub runs experiment X11: the goroutine-per-request regime
+// the elastic slot-lease layer and the sharded front exist for. It
+// launches far more goroutines than lease slots (default 100000) against
+// the implicit-handle AutoQueue — over the unsharded TurnPlus baseline
+// and over the sharded front at several shard counts — and reports
+// throughput, per-operation latency quantiles (p50/p99), the lease-cache
+// and routing counters, and the per-config memory-bound reference line
+// (the O(shards * (maxThreads + segment)) minimum of the Sharded meta
+// row, in node counts). Every configuration must end quiescent: the run
+// closes the AutoQueue (retiring every lease, which drains every
+// per-shard retire backlog) and fails hard if VerifyQuiescent objects.
+//
+// On a single-CPU host the shards can only serialize, so the ratio
+// columns carry the structural story (per-shard O(1) routing state vs
+// one shared consensus front) rather than a wall-clock speedup; the
+// recorded sweep in results/oversub_x11.md says which regime produced it.
+//
+// Usage:
+//
+//	oversub [-goroutines n] [-pairs n] [-shards 1,4,16]
+//	        [-maxthreads 64,512] [-format text|md|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"turnqueue"
+
+	"turnqueue/internal/histogram"
+	"turnqueue/internal/report"
+	"turnqueue/internal/stats"
+)
+
+func main() {
+	var (
+		goroutines = flag.Int("goroutines", 100000, "concurrent goroutines per configuration")
+		pairs      = flag.Int("pairs", 10, "enqueue+dequeue pairs per goroutine")
+		shardsCSV  = flag.String("shards", "1,4,16", "sharded-front shard counts to sweep")
+		mtCSV      = flag.String("maxthreads", "64,512", "lease-slot bounds (MaxThreads) to sweep")
+		segsize    = flag.Int("segsize", 1024, "ring segment size (for the memory-bound reference column)")
+		format     = flag.String("format", "text", "output format: text, md, or csv")
+	)
+	flag.Parse()
+
+	shardCounts, err := parseInts(*shardsCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oversub: -shards:", err)
+		os.Exit(2)
+	}
+	maxThreads, err := parseInts(*mtCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oversub: -maxthreads:", err)
+		os.Exit(2)
+	}
+
+	title := fmt.Sprintf("Experiment X11 — %d goroutines x %d pairs through the implicit-handle AutoQueue (GOMAXPROCS=%d)",
+		*goroutines, *pairs, runtime.GOMAXPROCS(0))
+	tbl := report.New(title, "config", "ops/s", "vs TurnPlus", "p50", "p99", "p99/p50",
+		"lease hits", "lease steals", "deq steals", "imbalance", "bound nodes", "quiescent")
+
+	failed := false
+	for _, mt := range maxThreads {
+		// The unsharded AutoQueue over TurnPlus is the baseline every
+		// sharded row at this MaxThreads is normalized against.
+		base := runConfig(fmt.Sprintf("TurnPlus mt=%d", mt), *goroutines, *pairs, func() *turnqueue.AutoQueue[int] {
+			return turnqueue.NewAuto(turnqueue.NewTurnPlus[int](turnqueue.WithMaxThreads(mt)))
+		})
+		addRow(tbl, base, base.opsPerSec, mt, 1, *segsize)
+		failed = failed || !base.quiescent
+		for _, sc := range shardCounts {
+			sc := sc
+			r := runConfig(fmt.Sprintf("Sharded(%d) mt=%d", sc, mt), *goroutines, *pairs, func() *turnqueue.AutoQueue[int] {
+				return turnqueue.NewAuto(turnqueue.NewSharded[int](turnqueue.WithMaxThreads(mt), turnqueue.WithShards(sc)))
+			})
+			addRow(tbl, r, base.opsPerSec, mt, sc, *segsize)
+			failed = failed || !r.quiescent
+		}
+	}
+
+	out, err := tbl.Render(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Println(out)
+	if failed {
+		fmt.Fprintln(os.Stderr, "oversub: at least one configuration failed VerifyQuiescent after Close")
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	name      string
+	opsPerSec float64
+	p50, p99  int64 // per-operation latency, ns
+	hits      int64
+	steals    int64
+	deqSteals int64
+	imbalance int64
+	quiescent bool
+	verifyErr error
+}
+
+// runConfig drives goroutines x pairs through one AutoQueue build, then
+// closes it and captures the quiescence verdict. Latency is sampled:
+// every 16th pair is timed and recorded as two operations of half the
+// pair's wall time each.
+func runConfig(name string, goroutines, pairs int, mk func() *turnqueue.AutoQueue[int]) result {
+	a := mk()
+	hist := histogram.New()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				if (g+i)%16 == 0 {
+					t0 := time.Now()
+					a.Enqueue(i)
+					a.Dequeue()
+					half := time.Since(t0).Nanoseconds() / 2
+					hist.Record(half)
+					hist.Record(half)
+				} else {
+					a.Enqueue(i)
+					a.Dequeue()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	r := result{
+		name:      name,
+		opsPerSec: float64(2*goroutines*pairs) / elapsed,
+		p50:       hist.Quantile(0.50),
+		p99:       hist.Quantile(0.99),
+	}
+	mid := a.Snapshot()
+	r.hits = mid.Counters["lease_hits"]
+	r.steals = mid.Counters["lease_steals"]
+	r.deqSteals = mid.Counters["deq_steals"]
+	r.imbalance = mid.Counters["shard_imbalance_pct"]
+	a.Close()
+	post := a.Snapshot()
+	r.verifyErr = post.VerifyQuiescent()
+	r.quiescent = r.verifyErr == nil
+	fmt.Fprintf(os.Stderr, "%-22s done in %.2fs (quiescent: %v)\n", name, elapsed, r.quiescent)
+	if r.verifyErr != nil {
+		fmt.Fprintf(os.Stderr, "  verify: %v\n", r.verifyErr)
+	}
+	return r
+}
+
+func addRow(tbl *report.Table, r result, baseOps float64, mt, shards, segsize int) {
+	quiescent := "ok"
+	if !r.quiescent {
+		quiescent = "FAIL"
+	}
+	ratio := ""
+	if r.p50 > 0 {
+		ratio = fmt.Sprintf("%.2fx", float64(r.p99)/float64(r.p50))
+	}
+	tbl.AddRow(r.name,
+		stats.HumanRate(r.opsPerSec),
+		fmt.Sprintf("%.2fx", r.opsPerSec/baseOps),
+		fmt.Sprintf("%.1fµs", float64(r.p50)/1000),
+		fmt.Sprintf("%.1fµs", float64(r.p99)/1000),
+		ratio,
+		fmt.Sprintf("%d", r.hits),
+		fmt.Sprintf("%d", r.steals),
+		fmt.Sprintf("%d", r.deqSteals),
+		fmt.Sprintf("%d%%", r.imbalance),
+		// The Sharded meta row's minimum-memory reference: every shard
+		// keeps its own per-thread arrays plus at least one live segment,
+		// so the floor grows as shards * (maxThreads + segment cells).
+		fmt.Sprintf("%d", shards*(mt+segsize)),
+		quiescent)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("value %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -82,6 +83,16 @@ func main() {
 				return nil
 			}
 			return s
+		}))
+		// Lease-cache and shard-routing observables of the queue under
+		// stress (nil for queues with neither layer), pre-extracted so a
+		// live reader need not dig through the raw counter map.
+		expvar.Publish("routing_stats", expvar.Func(func() any {
+			s, ok := currentSnapshot()
+			if !ok {
+				return nil
+			}
+			return routingStats(s)
 		}))
 		go func() {
 			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
@@ -347,17 +358,59 @@ func stressOne(f bench.Factory, threads, batch int, d, snapEvery time.Duration) 
 	if lost := int64(totalProduced) - int64(len(seen)); lost != 0 {
 		return hist, fmt.Errorf("%d items lost (produced %d, consumed %d distinct)", lost, totalProduced, len(seen))
 	}
-	// Real-time order on the sampled prefix.
-	if err := lincheck.CheckRealTimeOrder(sampleHistory(rec, 2000)); err != nil {
-		return hist, err
+	// Real-time order on the sampled prefix. The relaxed (sharded) fronts
+	// promise per-shard FIFO only, so the global real-time check would
+	// report their documented cross-shard reordering as a violation; the
+	// exactly-once and per-producer-FIFO checks above still apply to them
+	// in full (a producer's items share one home shard).
+	if !f.Relaxed {
+		if err := lincheck.CheckRealTimeOrder(sampleHistory(rec, 2000)); err != nil {
+			return hist, err
+		}
 	}
 	// Quiescent accounting: every worker released its slot (draining its
 	// retire backlog on the way out), so the paper's bounds must hold.
 	final := snap()
+	warnShardSteals(os.Stderr, final)
 	if err := final.VerifyQuiescent(); err != nil {
 		return hist, err
 	}
 	return hist, nil
+}
+
+// routingStats extracts the lease-cache and shard-routing counters from
+// a snapshot, or nil when the queue carries neither layer.
+func routingStats(s account.Snapshot) map[string]int64 {
+	out := map[string]int64{}
+	for _, k := range []string{
+		"lease_hits", "lease_steals", "lease_issued", "lease_held",
+		"shards", "deq_local", "deq_steals", "shard_imbalance_pct",
+	} {
+		if v, ok := s.Counters[k]; ok {
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// warnShardSteals surfaces a routing regression on the sharded front: a
+// steal is a dequeue that left its home shard, so a steal rate above 10%
+// means slot affinity is not matching traffic to shards (shard count too
+// high for the thread count, or producers and consumers landing on
+// different homes) and the per-shard locality the front exists for is
+// mostly gone. Quiet for queues without routing counters.
+func warnShardSteals(w io.Writer, s account.Snapshot) {
+	steals, ok := s.Counters["deq_steals"]
+	if !ok {
+		return
+	}
+	if total := steals + s.Counters["deq_local"]; total > 0 && float64(steals)/float64(total) > 0.10 {
+		fmt.Fprintf(w, "shard warning: %s dequeue steal rate %.1f%% (local=%d steals=%d, imbalance %d%%)\n",
+			s.Queue, 100*float64(steals)/float64(total), s.Counters["deq_local"], steals, s.Counters["shard_imbalance_pct"])
+	}
 }
 
 // sampleHistory trims the recorded history to at most n matched

@@ -47,19 +47,20 @@ func setLastSnap(s account.Snapshot) {
 
 func main() {
 	var (
-		maxThr   = flag.Int("maxthreads", defaultThreads(), "largest thread count")
-		pairs    = flag.Int("pairs", 400000, "total enqueue/dequeue pairs per run (paper: 100000000)")
-		runs     = flag.Int("runs", 5, "runs per point; the median is plotted (paper: 5)")
-		all      = flag.Bool("all", false, "include the FK-style, YMC-style and two-lock baselines (experiment X3)")
-		batch    = flag.Int("batch", 1, "enqueue/dequeue in batches of this size (experiment X10; 1 = single ops)")
-		plot     = flag.Bool("plot", false, "render an ASCII chart of the left panel")
-		ablation = flag.Bool("ablation", false, "run the Turn-queue variants instead (experiments X1/X2)")
-		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
-		format   = flag.String("format", "text", "output format: text, md, or csv")
-		list     = flag.Bool("list", false, "list queue names and exit")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file (samples labeled queue=<name>, threads=<n>)")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		verify   = flag.Bool("verify", true, "check each point's quiescent accounting snapshot (VerifyQuiescent)")
+		maxThr    = flag.Int("maxthreads", defaultThreads(), "largest thread count")
+		pairs     = flag.Int("pairs", 400000, "total enqueue/dequeue pairs per run (paper: 100000000)")
+		runs      = flag.Int("runs", 5, "runs per point; the median is plotted (paper: 5)")
+		all       = flag.Bool("all", false, "include the FK-style, YMC-style and two-lock baselines (experiment X3)")
+		batch     = flag.Int("batch", 1, "enqueue/dequeue in batches of this size (experiment X10; 1 = single ops)")
+		plot      = flag.Bool("plot", false, "render an ASCII chart of the left panel")
+		ablation  = flag.Bool("ablation", false, "run the Turn-queue variants instead (experiments X1/X2)")
+		shardedF  = flag.Bool("sharded", false, "run the sharded fronts instead (experiment X11)")
+		full      = flag.Bool("full", false, "paper-scale parameters (slow)")
+		format    = flag.String("format", "text", "output format: text, md, or csv")
+		list      = flag.Bool("list", false, "list queue names and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file (samples labeled queue=<name>, threads=<n>)")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		verify    = flag.Bool("verify", true, "check each point's quiescent accounting snapshot (VerifyQuiescent)")
 		debugaddr = flag.String("debugaddr", "", "serve /debug/vars (expvar, incl. queue_snapshot) on this address")
 	)
 	flag.Parse()
@@ -82,6 +83,18 @@ func main() {
 				return nil
 			}
 			return fastpathRates(*lastSnap.s)
+		}))
+		// Lease-cache and shard-routing counters of the latest point (nil
+		// for queues with neither layer): lease_hits/lease_steals from the
+		// slot-lease cache, deq_local/deq_steals and the imbalance spread
+		// from the sharded front.
+		expvar.Publish("routing_stats", expvar.Func(func() any {
+			lastSnap.mu.Lock()
+			defer lastSnap.mu.Unlock()
+			if lastSnap.s == nil {
+				return nil
+			}
+			return routingStats(*lastSnap.s)
 		}))
 		go func() {
 			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
@@ -121,6 +134,12 @@ func main() {
 	if *ablation {
 		factories = bench.TurnVariantFactories()
 	}
+	if *shardedF {
+		// TurnPlus rides along as the unsharded baseline the X11 speedup
+		// ratios are quoted against.
+		tp, _ := bench.FactoryByName("TurnPlus")
+		factories = append(bench.ShardedFactories(), tp)
+	}
 
 	title := fmt.Sprintf("Figure 2 (left) — pairs throughput, ops/s (median of %d runs of %d pairs)", *runs, *pairs)
 	if *batch > 1 {
@@ -150,6 +169,7 @@ func main() {
 			res.Final.Counter("batch_size", int64(*batch))
 			setLastSnap(res.Final)
 			warnFastpathFallback(res.Final, n)
+			warnShardSteals(res.Final)
 			if *verify {
 				if err := res.Final.VerifyQuiescent(); err != nil {
 					fmt.Fprintf(os.Stderr, "leak gate (threads=%d): %v\n", n, err)
@@ -226,6 +246,39 @@ func fastpathRates(s account.Snapshot) map[string]float64 {
 		rates["deq_hit_rate"] = float64(hitsD) / float64(total)
 	}
 	return rates
+}
+
+// routingStats extracts the lease-cache and shard-routing counters from
+// a snapshot, or nil when the queue carries neither layer.
+func routingStats(s account.Snapshot) map[string]int64 {
+	out := map[string]int64{}
+	for _, k := range []string{
+		"lease_hits", "lease_steals", "lease_issued", "lease_held",
+		"shards", "deq_local", "deq_steals", "shard_imbalance_pct",
+	} {
+		if v, ok := s.Counters[k]; ok {
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// warnShardSteals mirrors warnFastpathFallback for the sharded front: a
+// dequeue steal rate above 10% means slot-affine routing is not keeping
+// traffic shard-local, so the contention isolation the front exists for
+// is mostly gone. Quiet for queues without routing counters.
+func warnShardSteals(s account.Snapshot) {
+	steals, ok := s.Counters["deq_steals"]
+	if !ok {
+		return
+	}
+	if total := steals + s.Counters["deq_local"]; total > 0 && float64(steals)/float64(total) > 0.10 {
+		fmt.Fprintf(os.Stderr, "shard warning: %s dequeue steal rate %.1f%% (local=%d steals=%d, imbalance %d%%)\n",
+			s.Queue, 100*float64(steals)/float64(total), s.Counters["deq_local"], steals, s.Counters["shard_imbalance_pct"])
+	}
 }
 
 // warnFastpathFallback keeps a quiet fast-path regression visible: at

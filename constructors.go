@@ -8,6 +8,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/sharded"
 	"turnqueue/internal/simq"
 	"turnqueue/internal/turnplus"
 )
@@ -25,6 +26,8 @@ type options struct {
 	patience    int
 	pooling     bool
 	poolCap     int
+	shards      int
+	shardQueue  string
 }
 
 // Reclaim selects the Turn queue's node-disposal strategy.
@@ -53,8 +56,16 @@ func defaults() options {
 		patience:    turnplus.DefaultPatience,
 		pooling:     true,
 		poolCap:     core.DefaultPoolCap,
+		shards:      DefaultShards,
+		shardQueue:  "TurnPlus",
 	}
 }
+
+// DefaultShards is NewSharded's shard count when WithShards is not
+// given. Four shards quarter the contention on every inner queue's hot
+// words while keeping the dequeue sweep short; see README's sizing
+// guidance.
+const DefaultShards = 4
 
 // WithMaxThreads bounds the number of simultaneously registered handles;
 // it is also the wait-free step bound of the bounded algorithms.
@@ -90,6 +101,17 @@ func WithPooling(on bool) Option { return func(o *options) { o.pooling = on } }
 // garbage collector — the pool never blocks — so the cap trades node
 // reuse against steady-state memory. Zero disables retention.
 func WithPoolCap(n int) Option { return func(o *options) { o.poolCap = n } }
+
+// WithShards sets NewSharded's shard count (default DefaultShards).
+// shards=1 degenerates to the inner queue with its strict FIFO contract
+// intact; higher counts trade cross-shard ordering for parallelism.
+// Other constructors ignore it.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithShardQueue selects NewSharded's inner algorithm by its short
+// constructor name: "TurnPlus" (default), "Turn", "MS", "KP", "Sim",
+// "FAA", or "TwoLock". Other constructors ignore it.
+func WithShardQueue(name string) Option { return func(o *options) { o.shardQueue = name } }
 
 func build(opts []Option) options {
 	o := defaults()
@@ -293,6 +315,65 @@ func (l *lockImpl[T]) Runtime() *qrt.Runtime { return l.rt }
 // AccountInto is a no-op: the two-lock queue has no reclamation domains
 // or pools; its registration view is already captured from the Runtime.
 func (l *lockImpl[T]) AccountInto(*account.Snapshot) {}
+
+// shardInner builds one shard's inner queue from the resolved options.
+// Every shard gets the full maxThreads bound: front slot ids index the
+// inner per-thread arrays directly, so the bound cannot shrink per
+// shard.
+func shardInner[T any](o options, shard int) sharded.Inner[T] {
+	switch o.shardQueue {
+	case "TurnPlus":
+		return turnplus.New[T](
+			turnplus.WithMaxThreads(o.maxThreads),
+			turnplus.WithSegmentSize(o.segmentSize),
+			turnplus.WithPatience(o.patience),
+		)
+	case "Turn":
+		mode := core.ReclaimPool
+		switch o.reclaim {
+		case ReclaimGC:
+			mode = core.ReclaimGC
+		case ReclaimNone:
+			mode = core.ReclaimNone
+		}
+		return core.New[T](
+			core.WithMaxThreads(o.maxThreads),
+			core.WithReclaim(mode),
+			core.WithHazardR(o.hazardR),
+			core.WithPoolCap(o.poolCap),
+		)
+	case "MS":
+		return msq.New[T](o.maxThreads)
+	case "KP":
+		return kpq.New[T](kpq.WithMaxThreads(o.maxThreads), kpq.WithPooling(o.pooling))
+	case "Sim":
+		return simq.New[T](simq.WithMaxThreads(o.maxThreads))
+	case "FAA":
+		return faaq.New[T](faaq.WithMaxThreads(o.maxThreads), faaq.WithSegmentSize(o.segmentSize))
+	case "TwoLock":
+		return &lockImpl[T]{q: lockq.New[T](), rt: qrt.New(o.maxThreads)}
+	default:
+		panic("turnqueue: unknown shard queue " + o.shardQueue)
+	}
+}
+
+// NewSharded creates a sharded front: WithShards independent inner
+// queues (WithShardQueue's algorithm, default TurnPlus) behind one
+// Queue[T] facade. Enqueues route by the handle's slot (slot mod
+// shards), so one producer's items stay in one shard in program order;
+// dequeues try the home shard first and then sweep the others. The
+// ordering contract is strict FIFO at WithShards(1) and per-shard FIFO
+// (global per-producer order, no cross-shard interleaving guarantee)
+// above that — see internal/sharded's package comment. Every paper
+// bound (helping, hazard backlog, pool conservation) holds per shard
+// and is verified per shard by Snapshot/VerifyQuiescent.
+func NewSharded[T any](opts ...Option) Queue[T] {
+	o := build(opts)
+	q := sharded.New[T](o.maxThreads, o.shards, func(shard int) sharded.Inner[T] {
+		return shardInner[T](o, shard)
+	})
+	return newAdapter[T, *sharded.Queue[T]](q, "Sharded")
+}
 
 // NewTwoLock creates the blocking two-lock Michael-Scott queue. It needs
 // no per-thread state; the runtime exists only so the interface is

@@ -32,6 +32,69 @@ func linearizableQueues() map[string]func(opts ...Option) Queue[int64] {
 			return NewTurnPlus[int64](append([]Option{WithSegmentSize(2), WithPatience(1)}, opts...)...)
 		},
 		"TwoLock": NewTwoLock[int64],
+		// The sharded front at one shard is a strict pass-through: the
+		// inner queue's full linearizability contract must survive the
+		// facade (routing, stats, the release-hook mirror) byte for byte.
+		"Sharded1": func(opts ...Option) Queue[int64] {
+			return NewSharded[int64](append([]Option{WithShards(1)}, opts...)...)
+		},
+	}
+}
+
+// TestLinearizabilityShardedRelaxed records small concurrent histories
+// on the multi-shard front and verifies the documented relaxed
+// contract: global exactly-once plus per-shard FIFO linearizability.
+// Values encode the producing worker, and each worker registers in
+// order, so worker w's handle holds slot w and its values' shard is
+// w%shards — the shardOf map the checker needs.
+func TestLinearizabilityShardedRelaxed(t *testing.T) {
+	rounds := 30
+	if testing.Short() {
+		rounds = 5
+	}
+	const workers, opsEach, shards = 3, 4, 4
+	for round := 0; round < rounds; round++ {
+		q := NewSharded[int64](WithMaxThreads(workers), WithShards(shards))
+		rec := lincheck.NewRecorder(workers)
+		handles := make([]*Handle, workers)
+		for w := range handles {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[w] = h
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := handles[w]
+				for k := 0; k < opsEach; k++ {
+					v := int64(w*1000 + k)
+					s := rec.Begin()
+					q.Enqueue(h, v)
+					rec.EndEnq(w, v, s)
+					s = rec.Begin()
+					got, ok := q.Dequeue(h)
+					rec.EndDeq(w, got, ok, s)
+				}
+			}(w)
+		}
+		wg.Wait()
+		err := lincheck.CheckShardedRelaxed(rec.History(), shards, func(v int64) int {
+			return int(v/1000) % shards
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, h := range handles {
+			h.Close()
+		}
+		snap := q.Snapshot()
+		if err := snap.VerifyQuiescent(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
 	}
 }
 

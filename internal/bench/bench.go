@@ -15,6 +15,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/sharded"
 	"turnqueue/internal/simq"
 	"turnqueue/internal/turnalt"
 	"turnqueue/internal/turnplus"
@@ -44,6 +45,12 @@ type BatchQueue interface {
 type Factory struct {
 	Name string
 	New  func(maxThreads int) Queue
+	// Relaxed marks queues with the sharded front's weakened contract:
+	// per-shard FIFO instead of one global order, and a Dequeue that may
+	// report empty while another shard still holds items. Drivers must
+	// retry empty dequeues instead of treating them as invariant
+	// violations, and checkers must skip global real-time FIFO.
+	Relaxed bool
 }
 
 // lockAdapter gives the two-lock queue the thread-indexed signature.
@@ -78,15 +85,36 @@ func AllFactories() []Factory {
 	)
 }
 
-// FactoryByName resolves a name from AllFactories or the Turn ablation
-// variants; ok is false for unknown names.
+// FactoryByName resolves a name from AllFactories, the Turn ablation
+// variants, or the sharded fronts; ok is false for unknown names.
 func FactoryByName(name string) (Factory, bool) {
-	for _, f := range append(AllFactories(), TurnVariantFactories()...) {
+	all := append(AllFactories(), TurnVariantFactories()...)
+	all = append(all, ShardedFactories()...)
+	for _, f := range all {
 		if f.Name == name {
 			return f, true
 		}
 	}
 	return Factory{}, false
+}
+
+// ShardedFactories returns the sharded front over TurnPlus at the shard
+// counts of experiment X11. Sharded(1) is a strict pass-through (the
+// inner queue's full FIFO contract survives the facade); the multi-shard
+// fronts are Relaxed — per-shard FIFO, and emptiness is advisory.
+func ShardedFactories() []Factory {
+	mk := func(shards int) func(int) Queue {
+		return func(n int) Queue {
+			return sharded.New[uint64](n, shards, func(int) sharded.Inner[uint64] {
+				return turnplus.New[uint64](turnplus.WithMaxThreads(n))
+			})
+		}
+	}
+	return []Factory{
+		{Name: "Sharded(1)", New: mk(1)},
+		{Name: "Sharded(4)", New: mk(4), Relaxed: true},
+		{Name: "Sharded(16)", New: mk(16), Relaxed: true},
+	}
 }
 
 // TurnVariantFactories are the ablation variants of the Turn queue

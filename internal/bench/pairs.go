@@ -101,8 +101,19 @@ func MeasurePairs(f Factory, cfg PairsConfig) PairsResult {
 					if cfg.RandomWork {
 						spinWork(50 + rng.Intn(51))
 					}
-					if _, ok := q.Dequeue(slot); !ok {
-						panic(fmt.Sprintf("bench: %s dequeue empty in pairs workload", f.Name))
+					for {
+						if _, ok := q.Dequeue(slot); ok {
+							break
+						}
+						// With the seeds keeping one outstanding item per
+						// thread, a strict queue can never be empty here. A
+						// relaxed (sharded) front's emptiness is advisory —
+						// the sweep can miss items racing between shards —
+						// so it retries where a strict queue panics.
+						if !f.Relaxed {
+							panic(fmt.Sprintf("bench: %s dequeue empty in pairs workload", f.Name))
+						}
+						runtime.Gosched()
 					}
 					if cfg.RandomWork {
 						spinWork(50 + rng.Intn(51))

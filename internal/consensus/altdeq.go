@@ -193,12 +193,22 @@ func (d *AltDeq[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
 	ldeqTid := lnext.deqTid.Load()
 	if ldeqTid == int32(threadID) {
 		d.dequeuers[ldeqTid].P.Store(lnext)
-	} else {
+	} else if ldeqTid >= 0 {
 		ldequeuer := d.hp.ProtectPtr(d.hpDeq, threadID, d.dequeuers[ldeqTid].P.Load())
 		if ldequeuer != lnext && lhead == d.head.Load() {
 			d.dequeuers[ldeqTid].P.CompareAndSwap(ldequeuer, lnext)
 		}
 	}
+	// ldeqTid < 0: lnext's assignment round already completed — it was
+	// published to its owner's dequeuers entry, the head advanced past
+	// lhead, and the owner has since reused the node as its parked
+	// request marker (IdxOpen on reopen, back to IdxNone on an
+	// empty-queue rollback). A helper holding the stale lhead/lnext pair
+	// can still read that sentinel here, so it must not index dequeuers
+	// with it; the CAS below then fails harmlessly against the advanced
+	// head. next pointers are write-once while a node is in the list, so
+	// when lhead *is* still the head, lnext is still its successor and
+	// the advance is correct.
 	d.head.CompareAndSwap(lhead, lnext)
 }
 

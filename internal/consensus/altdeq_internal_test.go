@@ -1,0 +1,60 @@
+package consensus
+
+import (
+	"testing"
+
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/qrt"
+)
+
+// newAltDeqForTest builds a minimal AltDeq over a fresh runtime and
+// hazard domain, mirroring turnalt's wiring (hpHead/hpNext/hpDeq/hpScan
+// = 0..3, enqueue engine supplying the tail word).
+func newAltDeqForTest(maxThreads int) (*AltDeq[int], *Enq[int], *Node[int]) {
+	rt := qrt.New(maxThreads)
+	hp := hazard.New[Node[int]](maxThreads, 4, func(int, *Node[int]) {}, hazard.WithActiveSet(rt))
+	sentinel := NewSentinel[int]()
+	enq := new(Enq[int])
+	enq.Init(rt, hp, 0, sentinel)
+	d := new(AltDeq[int])
+	d.Init(rt, hp, 0, 1, 2, 3, enq.TailPtr(), sentinel)
+	return d, enq, sentinel
+}
+
+// TestAltDeqCasDeqAndHeadToleratesReusedMarker reconstructs the state a
+// stale helper can observe in the single-array variant: node N was
+// assigned and published, the head advanced past lhead, and N's owner
+// has since reused N as its parked request marker — storing IdxOpen on
+// reopen, or IdxNone after an empty-queue rollback. A helper that
+// validated lhead/lnext before the head advanced then re-reads
+// lnext.deqTid inside casDeqAndHead and sees the sentinel; it must not
+// index the dequeuers array with it (this panicked with index -2/-1
+// before the guard). The head CAS must fail harmlessly against the
+// already-advanced head.
+func TestAltDeqCasDeqAndHeadToleratesReusedMarker(t *testing.T) {
+	for _, mark := range []int32{IdxOpen, IdxNone} {
+		d, _, sentinel := newAltDeqForTest(2)
+		parked0 := d.dequeuers[0].P.Load()
+		parked1 := d.dequeuers[1].P.Load()
+
+		// N: assigned (deqTid claimed by thread 0), linked after the
+		// sentinel, head already advanced to it, then reused as thread
+		// 0's request marker carrying the sentinel value under test.
+		n := new(Node[int])
+		n.item = 42
+		n.deqTid.Store(mark)
+		sentinel.next.Store(n)
+		d.head.Store(n)
+
+		// The stale helper (thread 1) still holds lhead=sentinel,
+		// lnext=N from before the advance.
+		d.casDeqAndHead(sentinel, n, 1)
+
+		if got := d.head.Load(); got != n {
+			t.Fatalf("mark=%d: head moved by a stale helper: got %p, want %p", mark, got, n)
+		}
+		if d.dequeuers[0].P.Load() != parked0 || d.dequeuers[1].P.Load() != parked1 {
+			t.Fatalf("mark=%d: a reused marker was republished into dequeuers", mark)
+		}
+	}
+}

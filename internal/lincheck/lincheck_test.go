@@ -177,3 +177,63 @@ func TestTurnQueueHistories(t *testing.T) {
 		}
 	}
 }
+
+// evenOdd shards values by parity — the simplest two-shard map.
+func evenOdd(v int64) int { return int(v % 2) }
+
+func TestShardedRelaxedAcceptsCrossShardReordering(t *testing.T) {
+	// Strict FIFO is violated (2 enqueued after 1 but dequeued first);
+	// per-shard FIFO is not (1 and 2 live on different shards).
+	h := sequential(
+		step{Enq, 1, true}, step{Enq, 2, true},
+		step{Deq, 2, true}, step{Deq, 1, true},
+	)
+	if err := Check(h); err == nil {
+		t.Fatal("strict checker accepted the cross-shard reordering; the relaxed test is vacuous")
+	}
+	if err := CheckShardedRelaxed(h, 2, evenOdd); err != nil {
+		t.Fatalf("relaxed spec rejected cross-shard reordering: %v", err)
+	}
+}
+
+func TestShardedRelaxedRejectsInShardReordering(t *testing.T) {
+	// 1 and 3 share a shard; dequeuing 3 first violates per-shard FIFO.
+	h := sequential(
+		step{Enq, 1, true}, step{Enq, 3, true},
+		step{Deq, 3, true}, step{Deq, 1, true},
+	)
+	if err := CheckShardedRelaxed(h, 2, evenOdd); err == nil {
+		t.Fatal("in-shard FIFO violation accepted")
+	}
+}
+
+func TestShardedRelaxedExactlyOnce(t *testing.T) {
+	dup := sequential(
+		step{Enq, 1, true}, step{Deq, 1, true}, step{Deq, 1, true},
+	)
+	if err := CheckShardedRelaxed(dup, 2, evenOdd); err == nil {
+		t.Fatal("duplicate dequeue accepted")
+	}
+	phantom := sequential(step{Deq, 5, true})
+	if err := CheckShardedRelaxed(phantom, 2, evenOdd); err == nil {
+		t.Fatal("phantom dequeue accepted")
+	}
+}
+
+func TestShardedRelaxedDropsEmptyDequeues(t *testing.T) {
+	// At shards>1 an empty return while another shard holds items is
+	// legal (relaxed emptiness): the op must be dropped, not rejected.
+	h := sequential(
+		step{Enq, 1, true},
+		step{Deq, 0, false},
+		step{Deq, 1, true},
+	)
+	if err := CheckShardedRelaxed(h, 2, evenOdd); err != nil {
+		t.Fatalf("relaxed emptiness rejected: %v", err)
+	}
+	// At shards=1 the same history must fail: the front is a strict
+	// pass-through and the queue was provably non-empty.
+	if err := CheckShardedRelaxed(h, 1, evenOdd); err == nil {
+		t.Fatal("shards=1 did not enforce the strict spec")
+	}
+}

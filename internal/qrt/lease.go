@@ -1,0 +1,317 @@
+// Slot leasing: the elastic front that lets an unbounded goroutine
+// population share a fixed slot array.
+//
+// The paper's per-thread arrays assume one long-lived thread per slot.
+// AutoQueue already relaxed that to "one slot per in-flight operation",
+// but its original cache was a single CAS-claimed array: every acquire
+// scanned it from a shared hint, so at high oversubscription all callers
+// fought over the same cache lines and the scan cost grew with
+// MaxThreads. The Leaser replaces that with per-shard free-id rings:
+//
+//   - ids circulate through S independent bounded MPMC rings (Vyukov
+//     sequence-number rings), indexed by a cheap per-goroutine shard
+//     hint, so an uncontended lease/unlease is one ring pop + one ring
+//     push on a shard most other goroutines never touch;
+//   - a leaser that finds its home ring empty steals: it sweeps the
+//     other shards' rings in order, preserving the "wait for a free
+//     slot, never fail" contract at the cost of one counted steal;
+//   - every id carries a lease generation, bumped once at lease and once
+//     at unlease. Odd means leased. At quiescence Held() == 0 proves no
+//     operation still pins a slot — the lease-layer analogue of the
+//     LiveSlots == 0 check — and a Close sweep can collect exactly
+//     Issued() ids, knowing none can be hidden in a caller's hands once
+//     the rings have yielded them all.
+//
+// The rings hold ids, not handles: registration stays lazy and belongs
+// to the caller (AutoQueue registers a real slot the first time an id is
+// used). An id whose registration failed is simply pushed back and
+// retried later, so ids can circulate unregistered.
+package qrt
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"turnqueue/internal/pad"
+)
+
+// ShardHint returns a cheap shard-affinity hint for the calling
+// goroutine. It hashes the address of a stack local: distinct goroutines
+// have distinct stacks, so hints spread across shards, while repeated
+// calls from the same frame depth of one goroutine are stable — the
+// property that keeps a request-handler goroutine leasing from (and
+// unleasing to) the same shard for its whole burst. This is a hint, not
+// an identity: stack growth can move it, and correctness never depends
+// on it (a wrong hint only turns a local pop into a steal).
+func ShardHint() uint32 {
+	var b byte
+	h := uintptr(unsafe.Pointer(&b))
+	// Drop alignment bits, then fold higher stack bits in so goroutines
+	// whose stacks sit a power-of-two apart still land on distinct shards.
+	return uint32((h >> 4) ^ (h >> 13) ^ (h >> 23))
+}
+
+// leaseCell is one ring cell: the Vyukov sequence word plus the id. The
+// id is a plain field — it is written before the seq release-store that
+// publishes the cell and read after the seq acquire-load that claims it,
+// so the seq word carries the happens-before edge.
+type leaseCell struct {
+	seq atomic.Uint64
+	id  int64
+}
+
+// leaseRing is a bounded MPMC ring of ids (Vyukov's sequence-number
+// design): every push and pop is one CAS on the ring cursor plus one
+// store on the cell, with no tagged pointers — which is what makes
+// cross-shard recirculation safe. A Treiber free-stack with version tags
+// would corrupt when an id popped from one shard is pushed onto another
+// while a slow pop still holds its old next pointer; ring cells have no
+// links to go stale.
+type leaseRing struct {
+	cells []leaseCell
+	mask  uint64
+	_     [pad.CacheLine]byte
+	enq   atomic.Uint64
+	_     [2*pad.CacheLine - 8]byte
+	deq   atomic.Uint64
+	_     [2*pad.CacheLine - 8]byte
+}
+
+func newLeaseRing(capacity int) *leaseRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &leaseRing{cells: make([]leaseCell, n), mask: uint64(n - 1)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push inserts id; ok is false when the ring is observed full. Every
+// Leaser ring is sized to hold every id at once, so a false here never
+// means real backpressure — only that a pop has claimed the cell the
+// enqueue cursor wrapped onto but has not yet published its new seq.
+// Callers retry (Unlease yields until the lagging pop lands).
+func (r *leaseRing) push(id int64) bool {
+	pos := r.enq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				c.id = id
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			return false // full
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop removes the oldest id; ok is false when the ring is observed
+// empty. A concurrent push that has claimed a cell but not yet published
+// it reads as empty — benign for a free list (the caller steals from
+// another shard or retries).
+func (r *leaseRing) pop() (int64, bool) {
+	pos := r.deq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch d := int64(seq) - int64(pos+1); {
+		case d == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				id := c.id
+				c.seq.Store(pos + r.mask + 1)
+				return id, true
+			}
+			pos = r.deq.Load()
+		case d < 0:
+			return 0, false // empty (or a push is mid-publish)
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Leaser hands out slot ids on short-term lease from sharded free rings.
+// It owns id circulation only; mapping an id to a registered slot (and
+// draining it on retirement) is the caller's business.
+type Leaser struct {
+	rings []*leaseRing
+
+	// hot[s] is shard s's one-id fast handoff: the id most recently
+	// unleased there, or -1. The lease/unlease hot path is then a single
+	// uncontended Swap per direction; the ring is only the spillover for
+	// bursts deeper than one id. Swap (not load-then-CAS) keeps the
+	// handoff exactly-once, and the atomic carries the happens-before
+	// edge between successive leaseholders just as the ring seq does.
+	hot []pad.Int64Slot
+
+	mask uint32
+	cap  int
+
+	// gens[id] is the lease generation: bumped on every Lease and every
+	// Unlease, so odd == currently leased. Generations let a shutdown
+	// sweep and the accounting layer prove quiescence (Held() == 0)
+	// without trusting the rings' transient emptiness.
+	gens []pad.Int64Slot
+
+	// issued is how many ids have entered circulation via Reserve;
+	// monotone. Ids are dense in [0, issued).
+	issued atomic.Int64
+
+	// stealv[home] counts leases served by a sweep of the other shards,
+	// indexed by the *hinted* shard so each goroutine population
+	// increments its own padded line. Home-shard hits pay no counter at
+	// all: Stats derives them from the generation words, keeping the hot
+	// path at two RMWs (hot-slot Swap + generation bump).
+	stealv []pad.Int64Slot
+}
+
+// NewLeaser creates a leaser for capacity ids spread over shards rings
+// (rounded up to a power of two; at least one). Every ring is sized to
+// hold all capacity ids, so no push can ever fail regardless of how
+// steals redistribute ids across shards.
+func NewLeaser(capacity, shards int) *Leaser {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("qrt: lease capacity must be positive, got %d", capacity))
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	l := &Leaser{
+		rings:  make([]*leaseRing, n),
+		hot:    make([]pad.Int64Slot, n),
+		mask:   uint32(n - 1),
+		cap:    capacity,
+		gens:   make([]pad.Int64Slot, capacity),
+		stealv: make([]pad.Int64Slot, n),
+	}
+	for i := range l.rings {
+		l.rings[i] = newLeaseRing(capacity)
+		l.hot[i].V.Store(-1)
+	}
+	return l
+}
+
+// Shards returns the ring count.
+func (l *Leaser) Shards() int { return len(l.rings) }
+
+// Capacity returns the maximum number of ids that can circulate.
+func (l *Leaser) Capacity() int { return l.cap }
+
+// Lease pops a free id, trying the hinted home shard first (hot slot,
+// then ring) and then sweeping the other shards (counted as a steal).
+// ok is false when every shard is observed empty — either all issued
+// ids are leased right now, or none have been Reserved yet.
+func (l *Leaser) Lease(hint uint32) (id int, ok bool) {
+	home := hint & l.mask
+	for i := uint32(0); i < uint32(len(l.rings)); i++ {
+		s := (home + i) & l.mask
+		v := l.hot[s].V.Swap(-1)
+		if v < 0 {
+			var got bool
+			v, got = l.rings[s].pop()
+			if !got {
+				continue
+			}
+		}
+		if i != 0 {
+			l.stealv[home].V.Add(1)
+		}
+		l.gens[v].V.Add(1)
+		return int(v), true
+	}
+	return 0, false
+}
+
+// Reserve draws a fresh, never-circulated id, already leased to the
+// caller. ok is false when all Capacity() ids are in circulation.
+func (l *Leaser) Reserve() (id int, ok bool) {
+	for {
+		cur := l.issued.Load()
+		if cur >= int64(l.cap) {
+			return 0, false
+		}
+		if l.issued.CompareAndSwap(cur, cur+1) {
+			l.gens[cur].V.Add(1)
+			return int(cur), true
+		}
+	}
+}
+
+// Unlease returns id to circulation on the hinted shard: into the hot
+// slot (one Swap), displacing any previous occupant into the ring. The
+// caller must hold the lease.
+func (l *Leaser) Unlease(id int, hint uint32) {
+	g := l.gens[id].V.Add(1)
+	if g&1 != 0 {
+		panic(fmt.Sprintf("qrt: Unlease of unleased id %d (generation %d)", id, g))
+	}
+	s := hint & l.mask
+	prev := l.hot[s].V.Swap(int64(id))
+	if prev < 0 {
+		return
+	}
+	r := l.rings[s]
+	for !r.push(prev) {
+		// The ring cannot be truly full (it is sized to hold every id);
+		// a failed push means a pop claimed the cell we wrapped onto but
+		// has not yet published its seq. Yield until it lands — dropping
+		// the id from circulation is the one unforgivable outcome.
+		runtime.Gosched()
+	}
+}
+
+// Issued returns how many ids have entered circulation.
+func (l *Leaser) Issued() int { return int(l.issued.Load()) }
+
+// Held counts ids whose lease generation is odd — leased right now.
+// Exact at quiescence; a transient diagnostic otherwise. Held() == 0
+// with all rings drained is the lease layer's quiescence proof: no
+// stranded lease can be pinning a slot (and through it a retire
+// backlog).
+func (l *Leaser) Held() int {
+	n := 0
+	for i := 0; i < l.Issued(); i++ {
+		if l.gens[i].V.Load()&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Generation returns id's lease generation (odd while leased).
+func (l *Leaser) Generation(id int) int64 { return l.gens[id].V.Load() }
+
+// Stats returns the lease-routing counters: home-shard hits and
+// cross-shard steals. Steals are counted directly (per-shard padded
+// lines, summed here); hits are derived — id i has served (gens[i]+1)/2
+// leases, of which one was its Reserve mint and stealv's worth were
+// sweeps — so the hot path pays no hit counter. Exact at quiescence, a
+// close transient estimate mid-flight.
+func (l *Leaser) Stats() (hits, steals int64) {
+	for i := range l.stealv {
+		steals += l.stealv[i].V.Load()
+	}
+	var leases int64
+	issued := l.issued.Load()
+	for i := int64(0); i < issued; i++ {
+		leases += (l.gens[i].V.Load() + 1) / 2
+	}
+	hits = leases - issued - steals
+	if hits < 0 {
+		hits = 0 // torn mid-flight reads only; impossible at quiescence
+	}
+	return hits, steals
+}

@@ -138,6 +138,30 @@ func (rt *Runtime) Release(slot int) {
 	rt.reg.Release(slot)
 }
 
+// DrainSlot runs the registered release hooks for slot without touching
+// the registry or the active set. It exists for mirror runtimes — a
+// sharded front registers its member queues' slots by EnsureActive, not
+// Acquire, so when the front slot is released there is no per-shard
+// Release to fire the per-shard drains; the front's release hook calls
+// DrainSlot (then Deactivate) on each member runtime instead, preserving
+// the drain-on-release invariant shard by shard. The caller must still
+// own the slot, exactly as Release requires.
+func (rt *Runtime) DrainSlot(slot int) {
+	for _, hook := range rt.releaseHooks {
+		hook(slot)
+	}
+}
+
+// Deactivate removes slot from the active set without releasing any
+// registration. The complement of EnsureActive for mirror runtimes: it
+// reproduces Release's occupancy-bit clear (after DrainSlot has run the
+// hooks, mirroring Release's hook-then-clear order) so a departed front
+// slot stops costing every member queue's active-range scans. The next
+// EnsureActive re-inserts it; the high-water mark stays monotone.
+func (rt *Runtime) Deactivate(slot int) {
+	rt.occ[slot>>6].V.And(^(uint64(1) << (uint(slot) & 63)))
+}
+
 // OnRelease registers fn to run at the start of every Release, with the
 // departing slot still owned by the caller. Queues wire their
 // reclamation drains through this hook so the drain-on-release invariant

@@ -1,0 +1,305 @@
+// Package sharded is the sharded queue front: N independent inner
+// queues (each a full thread-indexed implementation with its own
+// runtime, hazard/pool/epoch domains, and bounds) behind one
+// thread-indexed facade.
+//
+// The paper's wait-free bounds are all per-queue and scale with
+// maxThreads — helping scans, hazard matrices, retire ceilings. A
+// sharded front keeps every one of those bounds per *shard*: each inner
+// queue is constructed with the same maxThreads bound but sees only the
+// traffic routed to it, so its hazard backlog ceiling, helping bound,
+// and pool conservation hold shard-locally and are verified
+// shard-locally (AccountInto merges each shard's domains under an
+// "s<i>/" prefix so VerifyQuiescent checks every shard's bound
+// individually).
+//
+// Routing and the ordering contract:
+//
+//   - Enqueue(slot, v) always goes to shard slot%N — a producer's items
+//     land in one shard in program order, so per-producer FIFO survives
+//     sharding exactly as it holds in a single queue.
+//   - Dequeue(slot) tries shard slot%N first (the shard this slot's
+//     producers fill), then sweeps the other shards round-robin — a
+//     bounded steal that keeps dequeuers from starving behind an idle
+//     home shard. An empty result means every shard was observed empty
+//     at some point during the sweep, not that the front was globally
+//     empty at one instant.
+//   - At N=1 the front is a pass-through and the inner queue's strict
+//     FIFO linearizability is preserved verbatim. At N>1 the contract
+//     relaxes to per-shard FIFO: each value's enqueue/dequeue pair
+//     linearizes against its own shard's history (enforced by
+//     lincheck.CheckShardedRelaxed), while cross-shard interleaving is
+//     unspecified.
+//
+// Slot lifecycle: the front owns the only qrt.Runtime callers register
+// with. Inner runtimes never Acquire — the front routes its slot ids
+// straight into each inner (every inner activates slots lazily via
+// EnsureActive inside its operations, and epoch scans are
+// activity-independent), and the front's release hook mirrors
+// retirement into every shard: DrainSlot runs the inner's own
+// drain-on-release hooks (emptying that slot's retire backlog,
+// shard by shard), then Deactivate clears the inner's occupancy bit.
+// Releasing a front slot therefore provides exactly the per-slot
+// reclamation guarantee a single queue's Release provides — once per
+// shard.
+package sharded
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"turnqueue/internal/account"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/qrt"
+)
+
+// Inner is the thread-indexed surface a shard must expose — the same
+// shape as the public package's internal impl contract, restated here
+// because the internal packages cannot import the public one.
+type Inner[T any] interface {
+	Enqueue(threadID int, item T)
+	Dequeue(threadID int) (item T, ok bool)
+	MaxThreads() int
+	Runtime() *qrt.Runtime
+	AccountInto(*account.Snapshot)
+}
+
+// batchEnqueuer and batchDequeuer mirror the public adapter's optional
+// native-batch surfaces; shards that implement them get chain batching.
+type batchEnqueuer[T any] interface {
+	EnqueueBatch(threadID int, items []T)
+}
+
+type batchDequeuer[T any] interface {
+	DequeueBatch(threadID int, buf []T) int
+}
+
+// shardStats is one shard's routing counters, padded so shard i's
+// producers never share a counter line with shard j's.
+type shardStats struct {
+	enqs     atomic.Int64
+	deqLocal atomic.Int64 // dequeues served by the home shard
+	deqSteal atomic.Int64 // dequeues served by a swept shard
+	_        [2*pad.CacheLine - 24]byte
+}
+
+// Queue is the sharded front. It satisfies the same thread-indexed impl
+// contract as every inner queue, so the public adapter (and AutoQueue,
+// and the bench harness) wrap it like any other implementation.
+type Queue[T any] struct {
+	rt    *qrt.Runtime
+	inner []Inner[T]
+	stats []shardStats
+}
+
+// New builds a front of shards inner queues over one registration
+// runtime sized to maxThreads. mk constructs shard i's queue; each must
+// be built with the same maxThreads bound, because front slot ids index
+// every shard's per-thread arrays directly.
+func New[T any](maxThreads, shards int, mk func(shard int) Inner[T]) *Queue[T] {
+	if shards <= 0 {
+		panic(fmt.Sprintf("sharded: shard count must be positive, got %d", shards))
+	}
+	q := &Queue[T]{
+		rt:    qrt.New(maxThreads),
+		inner: make([]Inner[T], shards),
+		stats: make([]shardStats, shards),
+	}
+	for i := range q.inner {
+		q.inner[i] = mk(i)
+		if got := q.inner[i].MaxThreads(); got != maxThreads {
+			panic(fmt.Sprintf("sharded: shard %d built with maxThreads %d, front has %d", i, got, maxThreads))
+		}
+	}
+	// Mirror front-slot retirement into every shard: run the shard's own
+	// drain-on-release hooks for the slot, then clear its occupancy bit.
+	// This is the hook-then-clear order Release itself uses, applied per
+	// shard, so no shard's retire backlog can outlive the slot that
+	// owned it.
+	q.rt.OnRelease(func(slot int) {
+		for _, sh := range q.inner {
+			srt := sh.Runtime()
+			srt.DrainSlot(slot)
+			srt.Deactivate(slot)
+		}
+	})
+	return q
+}
+
+// Shards returns the shard count.
+func (q *Queue[T]) Shards() int { return len(q.inner) }
+
+// Shard exposes shard i's inner queue for tests and experiments.
+func (q *Queue[T]) Shard(i int) Inner[T] { return q.inner[i] }
+
+// home maps a front slot to its shard: a producer's items always land
+// in one shard, preserving per-producer FIFO.
+func (q *Queue[T]) home(slot int) int { return slot % len(q.inner) }
+
+// Enqueue inserts item into slot's home shard.
+func (q *Queue[T]) Enqueue(slot int, item T) {
+	qrt.CheckSlot(slot, q.rt.Capacity())
+	h := q.home(slot)
+	q.inner[h].Enqueue(slot, item)
+	q.stats[h].enqs.Add(1)
+}
+
+// Dequeue removes an item, home shard first, then a bounded round-robin
+// sweep of the other shards. ok is false when every shard was observed
+// empty during the sweep (relaxed emptiness; see the package comment).
+func (q *Queue[T]) Dequeue(slot int) (item T, ok bool) {
+	qrt.CheckSlot(slot, q.rt.Capacity())
+	n := len(q.inner)
+	h := q.home(slot)
+	for i := 0; i < n; i++ {
+		s := h + i
+		if s >= n {
+			s -= n
+		}
+		if v, got := q.inner[s].Dequeue(slot); got {
+			if i == 0 {
+				q.stats[h].deqLocal.Add(1)
+			} else {
+				q.stats[h].deqSteal.Add(1)
+			}
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// EnqueueBatch inserts items in slice order into slot's home shard —
+// one shard, so the batch's relative order holds exactly as the inner
+// queue guarantees it. Natively chain-batched when the shard supports
+// it.
+func (q *Queue[T]) EnqueueBatch(slot int, items []T) {
+	qrt.CheckSlot(slot, q.rt.Capacity())
+	h := q.home(slot)
+	sh := q.inner[h]
+	if be, ok := sh.(batchEnqueuer[T]); ok {
+		be.EnqueueBatch(slot, items)
+	} else {
+		for _, v := range items {
+			sh.Enqueue(slot, v)
+		}
+	}
+	q.stats[h].enqs.Add(int64(len(items)))
+}
+
+// DequeueBatch fills buf starting from the home shard and sweeping the
+// rest, returning the count taken; zero means every shard was observed
+// empty.
+func (q *Queue[T]) DequeueBatch(slot int, buf []T) int {
+	qrt.CheckSlot(slot, q.rt.Capacity())
+	n := len(q.inner)
+	h := q.home(slot)
+	taken := 0
+	for i := 0; i < n && taken < len(buf); i++ {
+		s := h + i
+		if s >= n {
+			s -= n
+		}
+		sh := q.inner[s]
+		got := 0
+		if bd, ok := sh.(batchDequeuer[T]); ok {
+			got = bd.DequeueBatch(slot, buf[taken:])
+		} else {
+			for taken+got < len(buf) {
+				v, more := sh.Dequeue(slot)
+				if !more {
+					break
+				}
+				buf[taken+got] = v
+				got++
+			}
+		}
+		if got > 0 {
+			if i == 0 {
+				q.stats[h].deqLocal.Add(int64(got))
+			} else {
+				q.stats[h].deqSteal.Add(int64(got))
+			}
+			taken += got
+		}
+	}
+	return taken
+}
+
+// MaxThreads returns the front's registered-thread bound.
+func (q *Queue[T]) MaxThreads() int { return q.rt.Capacity() }
+
+// Runtime returns the front's registration runtime — the only one
+// callers register with.
+func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
+
+// Stats returns the routing totals summed over shards.
+func (q *Queue[T]) Stats() (enqs, deqLocal, deqSteal int64) {
+	for i := range q.stats {
+		enqs += q.stats[i].enqs.Load()
+		deqLocal += q.stats[i].deqLocal.Load()
+		deqSteal += q.stats[i].deqSteal.Load()
+	}
+	return
+}
+
+// AccountInto merges every shard's accounting view into s. Hazard
+// domains and pools keep their per-shard identity under an "s<i>/" name
+// prefix — VerifyQuiescent then checks each shard's backlog against
+// that shard's own bound, which is the whole point of per-shard
+// domains. Same-name counters are summed (so e.g. the TurnPlus fastpath
+// hit-rate computation keeps working over the shard totals), overruns
+// are summed, and epoch views are folded into one.
+func (q *Queue[T]) AccountInto(s *account.Snapshot) {
+	for i, sh := range q.inner {
+		var sub account.Snapshot
+		sh.AccountInto(&sub)
+		prefix := fmt.Sprintf("s%d/", i)
+		for _, d := range sub.Hazard {
+			d.Name = prefix + d.Name
+			s.Hazard = append(s.Hazard, d)
+		}
+		for _, p := range sub.Pools {
+			p.Name = prefix + p.Name
+			s.Pools = append(s.Pools, p)
+		}
+		if sub.Epoch != nil {
+			if s.Epoch == nil {
+				s.Epoch = &account.EpochSnapshot{}
+			}
+			if sub.Epoch.Epoch > s.Epoch.Epoch {
+				s.Epoch.Epoch = sub.Epoch.Epoch
+			}
+			s.Epoch.Retires += sub.Epoch.Retires
+			s.Epoch.Deletes += sub.Epoch.Deletes
+			s.Epoch.Backlog += sub.Epoch.Backlog
+		}
+		s.EnqOverruns += sub.EnqOverruns
+		s.DeqOverruns += sub.DeqOverruns
+		for k, v := range sub.Counters {
+			s.Counter(k, s.Counters[k]+v)
+		}
+	}
+	var deqLocal, deqSteal int64
+	var minE, maxE int64 = -1, 0
+	for i := range q.stats {
+		e := q.stats[i].enqs.Load()
+		s.Counter(fmt.Sprintf("shard%d_enqs", i), e)
+		if minE < 0 || e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+		deqLocal += q.stats[i].deqLocal.Load()
+		deqSteal += q.stats[i].deqSteal.Load()
+	}
+	s.Counter("shards", int64(len(q.inner)))
+	s.Counter("deq_local", deqLocal)
+	s.Counter("deq_steals", deqSteal)
+	if maxE > 0 {
+		// How unevenly enqueues spread over shards: 0 = perfectly even,
+		// 100 = at least one shard saw nothing.
+		s.Counter("shard_imbalance_pct", (maxE-minE)*100/maxE)
+	}
+}

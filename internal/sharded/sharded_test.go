@@ -1,0 +1,218 @@
+package sharded
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"turnqueue/internal/account"
+	"turnqueue/internal/core"
+	"turnqueue/internal/turnplus"
+)
+
+func newTurnPlusFront(maxThreads, shards int) *Queue[int] {
+	return New[int](maxThreads, shards, func(int) Inner[int] {
+		return turnplus.New[int](
+			turnplus.WithMaxThreads(maxThreads),
+			turnplus.WithSegmentSize(8),
+		)
+	})
+}
+
+// At shards=1 the front is a pass-through: strict FIFO across slots.
+func TestShardedSingleShardFIFO(t *testing.T) {
+	q := newTurnPlusFront(4, 1)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i%4, i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue((i + 1) % 4)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Fatal("dequeue from drained front succeeded")
+	}
+}
+
+// Enqueues route by slot%N; a dequeuer whose home shard is empty steals.
+func TestShardedRoutingAndSteal(t *testing.T) {
+	q := newTurnPlusFront(4, 4)
+	q.Enqueue(1, 42) // lands in shard 1
+	// Slot 0's home shard (0) is empty: the sweep must steal from 1.
+	v, ok := q.Dequeue(0)
+	if !ok || v != 42 {
+		t.Fatalf("steal dequeue: got (%d,%v), want (42,true)", v, ok)
+	}
+	enqs, local, steal := q.Stats()
+	if enqs != 1 || local != 0 || steal != 1 {
+		t.Fatalf("stats: enqs=%d local=%d steal=%d, want 1/0/1", enqs, local, steal)
+	}
+	// Same-home traffic is served locally.
+	q.Enqueue(2, 7)
+	if v, ok := q.Dequeue(2); !ok || v != 7 {
+		t.Fatalf("local dequeue: got (%d,%v)", v, ok)
+	}
+	if _, local, _ := q.Stats(); local != 1 {
+		t.Fatalf("local dequeue not counted (local=%d)", local)
+	}
+}
+
+// Per-producer FIFO survives sharding (each producer's items live in one
+// shard), and every value is dequeued exactly once under concurrency.
+func TestShardedConcurrentExactlyOnce(t *testing.T) {
+	const producers, perProducer, consumers = 4, 500, 4
+	q := newTurnPlusFront(8, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 1; k <= perProducer; k++ {
+				q.Enqueue(p, p<<16|k)
+			}
+		}(p)
+	}
+	results := make([][]int, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			slot := 4 + c
+			misses := 0
+			for misses < 1000 {
+				if v, ok := q.Dequeue(slot); ok {
+					results[c] = append(results[c], v)
+					misses = 0
+				} else {
+					misses++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	lastPerProducer := make([][]int, producers)
+	for c := range results {
+		perProd := make([]int, producers)
+		for _, v := range results[c] {
+			if seen[v] {
+				t.Fatalf("value %#x dequeued twice", v)
+			}
+			seen[v] = true
+			p, k := v>>16, v&0xffff
+			if k <= perProd[p] {
+				t.Fatalf("consumer %d: producer %d's item %d after %d (per-producer FIFO broken)", c, p, k, perProd[p])
+			}
+			perProd[p] = k
+		}
+		lastPerProducer[c] = perProd
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// Releasing a front slot drains that slot's retire backlog in every
+// shard (the DrainSlot+Deactivate mirror of Release's hook-then-clear).
+func TestShardedReleaseDrainsEveryShard(t *testing.T) {
+	const maxThreads, shards = 4, 2
+	q := New[int](maxThreads, shards, func(int) Inner[int] {
+		return core.New[int](
+			core.WithMaxThreads(maxThreads),
+			core.WithHazardR(64), // batch reclamation: retires accumulate per slot
+		)
+	})
+	slot, ok := q.Runtime().Acquire()
+	if !ok {
+		t.Fatal("front Acquire failed")
+	}
+	// Drive traffic through both shards from this one slot: home shard
+	// via Enqueue routing, the other shard directly.
+	for i := 0; i < 50; i++ {
+		q.Enqueue(slot, i)
+		if _, ok := q.Dequeue(slot); !ok {
+			t.Fatal("unexpected empty")
+		}
+		q.Shard((slot+1)%shards).Enqueue(slot, i)
+		if _, ok := q.Shard((slot + 1) % shards).Dequeue(slot); !ok {
+			t.Fatal("unexpected empty on off-home shard")
+		}
+	}
+	pre := snapshot(q)
+	if backlogOf(t, pre, "s0/nodes")+backlogOf(t, pre, "s1/nodes") == 0 {
+		t.Fatal("workload built no retire backlog; the drain proof is vacuous")
+	}
+	q.Runtime().Release(slot)
+	post := snapshot(q)
+	for s := 0; s < shards; s++ {
+		name := fmt.Sprintf("s%d/nodes", s)
+		if got := backlogOf(t, post, name); got != 0 {
+			t.Fatalf("shard domain %s still holds backlog %d after front Release", name, got)
+		}
+	}
+	if err := post.VerifyQuiescent(); err != nil {
+		t.Fatalf("post-release: %v", err)
+	}
+}
+
+func snapshot(q *Queue[int]) account.Snapshot {
+	return account.Capture("Sharded", q.Runtime(), q)
+}
+
+func backlogOf(t *testing.T, s account.Snapshot, domain string) int {
+	t.Helper()
+	for _, d := range s.Hazard {
+		if d.Name == domain {
+			return d.Backlog
+		}
+	}
+	t.Fatalf("domain %q not in snapshot (have %v)", domain, domainNames(s))
+	return 0
+}
+
+func domainNames(s account.Snapshot) []string {
+	names := make([]string, 0, len(s.Hazard))
+	for _, d := range s.Hazard {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// The merged snapshot keeps per-shard domains distinct and sums
+// same-name counters across shards.
+func TestShardedAccountMerge(t *testing.T) {
+	q := newTurnPlusFront(4, 4)
+	for slot := 0; slot < 4; slot++ {
+		q.Enqueue(slot, slot)
+	}
+	var s account.Snapshot
+	q.AccountInto(&s)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("s%d/rings", i)
+		found := false
+		for _, d := range s.Hazard {
+			if d.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("merged snapshot missing per-shard domain %s (have %v)", name, domainNames(s))
+		}
+	}
+	if s.Counters["shards"] != 4 {
+		t.Fatalf("shards counter = %d, want 4", s.Counters["shards"])
+	}
+	if got := s.Counters["fast_enq_hits"] + s.Counters["enq_fallbacks"]; got < 4 {
+		t.Fatalf("summed fastpath counters = %d, want >= 4 (one per enqueue)", got)
+	}
+	if s.Counters["shard_imbalance_pct"] != 0 {
+		t.Fatalf("one enqueue per shard should be perfectly balanced, imbalance=%d%%", s.Counters["shard_imbalance_pct"])
+	}
+	for i := 0; i < 4; i++ {
+		if got := s.Counters[fmt.Sprintf("shard%d_enqs", i)]; got != 1 {
+			t.Fatalf("shard%d_enqs = %d, want 1", i, got)
+		}
+	}
+}

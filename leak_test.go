@@ -297,7 +297,9 @@ func TestAutoQueueCloseRace(t *testing.T) {
 // factory and asserts the post-run snapshot is quiescent-clean — the
 // check scripts/bench.sh runs as its smoke gate.
 func TestBenchQuiescentSmoke(t *testing.T) {
-	for _, f := range append(bench.AllFactories(), bench.TurnVariantFactories()...) {
+	factories := append(bench.AllFactories(), bench.TurnVariantFactories()...)
+	factories = append(factories, bench.ShardedFactories()...)
+	for _, f := range factories {
 		f := f
 		t.Run(f.Name, func(t *testing.T) {
 			res := bench.MeasurePairs(f, bench.PairsConfig{Threads: 4, TotalPairs: 4000, Runs: 1})

@@ -1,0 +1,130 @@
+package turnqueue
+
+// Lease lifecycle tests: the elastic slot-lease layer under churn
+// (lease / expire / re-lease across every constructor) and the
+// leak-gate proof that lease retirement drains retire backlogs — the
+// AutoQueue sibling of TestTurnCloseDrainsRetireBacklog.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestLeaseChurnQuiescent churns short-lived goroutines through the
+// lease cache of every constructor — each burst leases ids, operates,
+// and lets the leases expire — then closes and verifies quiescence:
+// no helping-bound overruns, no stranded leases, no leaked slots.
+func TestLeaseChurnQuiescent(t *testing.T) {
+	for name, mk := range constructors() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			const bursts, per = 8, 40
+			a := NewAuto(mk(WithMaxThreads(4)))
+			var wg sync.WaitGroup
+			for b := 0; b < bursts; b++ {
+				wg.Add(1)
+				go func(b int) {
+					defer wg.Done()
+					for k := 0; k < per; k++ {
+						a.Enqueue(b*per + k)
+						a.Dequeue()
+						if k%8 == 0 {
+							// Break the burst so the goroutine's next lease
+							// is a genuine re-lease, not one long hold.
+							runtime.Gosched()
+						}
+					}
+				}(b)
+			}
+			wg.Wait()
+			mid := a.Snapshot()
+			if got := mid.Counters["lease_held"]; got != 0 {
+				t.Fatalf("lease_held = %d with no operation in flight, want 0", got)
+			}
+			if issued := mid.Counters["lease_issued"]; issued < 1 || issued > 4 {
+				t.Fatalf("lease_issued = %d, want within [1,4] (MaxThreads)", issued)
+			}
+			if total := mid.Counters["lease_hits"] + mid.Counters["lease_steals"]; total == 0 {
+				t.Fatal("churn recycled no lease; every op minted a fresh id and the churn test is vacuous")
+			}
+			a.Close()
+			post := a.Snapshot()
+			if post.EnqOverruns != 0 || post.DeqOverruns != 0 {
+				t.Fatalf("helping-bound overruns under lease churn: enq=%d deq=%d", post.EnqOverruns, post.DeqOverruns)
+			}
+			if err := post.VerifyQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLeaseExpiryDrainsRetireBacklog is the lease layer's leak gate:
+// operations through the implicit-handle cache build a retire backlog
+// on the leased slot (R defers scans), and retiring the lease (Close
+// collects every issued id and closes its cached handle, which runs the
+// runtime's drain-on-release hooks) must empty that backlog — exactly
+// the guarantee TestTurnCloseDrainsRetireBacklog proves for explicit
+// handles.
+func TestLeaseExpiryDrainsRetireBacklog(t *testing.T) {
+	a := NewAuto(NewTurn[int](WithMaxThreads(4), WithHazardR(32)))
+	for i := 0; i < 20; i++ {
+		a.Enqueue(i)
+		a.Dequeue()
+	}
+	pre := a.Snapshot()
+	if len(pre.Hazard) == 0 || pre.Hazard[0].Backlog == 0 {
+		t.Fatalf("operations produced no retire backlog (snapshot %s); the R threshold no longer defers scans and this test is vacuous", pre)
+	}
+	if got := pre.Counters["lease_issued"]; got != 1 {
+		t.Fatalf("sequential ops issued %d lease ids, want exactly 1 (the backlog must sit on a leased slot)", got)
+	}
+	a.Close()
+	post := a.Snapshot()
+	for slot, n := range post.Hazard[0].PerSlot {
+		if n != 0 {
+			t.Fatalf("slot %d retire backlog is %d after lease retirement; Close did not drain the leased slot", slot, n)
+		}
+	}
+	if post.Hazard[0].Backlog != 0 {
+		t.Fatalf("domain backlog %d after every lease retired, want 0", post.Hazard[0].Backlog)
+	}
+	if err := post.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseShardedExpiryDrainsEveryShard composes the two tentpole
+// layers: an AutoQueue over the sharded front, with a backlog-building
+// Turn inner in every shard. Lease retirement must drain the leased
+// slot's backlog in every shard, through the front's DrainSlot +
+// Deactivate release mirror.
+func TestLeaseShardedExpiryDrainsEveryShard(t *testing.T) {
+	a := NewAuto(NewSharded[int](
+		WithMaxThreads(4), WithShards(2),
+		WithShardQueue("Turn"), WithHazardR(64),
+	))
+	for i := 0; i < 60; i++ {
+		a.Enqueue(i)
+		a.Dequeue()
+	}
+	pre := a.Snapshot()
+	var preTotal int
+	for _, d := range pre.Hazard {
+		preTotal += d.Backlog
+	}
+	if preTotal == 0 {
+		t.Fatalf("operations produced no retire backlog (snapshot %s); the drain proof is vacuous", pre)
+	}
+	a.Close()
+	post := a.Snapshot()
+	for _, d := range post.Hazard {
+		if d.Backlog != 0 {
+			t.Fatalf("shard domain %s still holds backlog %d after lease retirement", d.Name, d.Backlog)
+		}
+	}
+	if err := post.VerifyQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+}

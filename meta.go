@@ -87,6 +87,17 @@ func Metas() []Meta {
 			Notes:       "patience-bounded fast path; slow path is the Turn consensus at ring granularity",
 		},
 		{
+			Name:        "Sharded",
+			Paper:       "sharded front over per-shard queues (this repo)",
+			EnqProgress: WaitFreeBounded, // for the default TurnPlus inner; inherits the weakest inner otherwise
+			DeqProgress: WaitFreeBounded,
+			Consensus:   "per-shard (default TurnPlus); slot-affine routing, round-robin dequeue steal",
+			Atomics:     "inner queue's + none for routing",
+			Reclamation: "per-shard domains (inner queue's scheme, verified per shard)",
+			MinMemory:   "O(shards * (threads + segment))",
+			Notes:       "strict FIFO at shards=1; per-shard FIFO (per-producer order preserved) at shards>1",
+		},
+		{
 			Name:        "Michael-Scott (MS)",
 			Paper:       "PODC '96",
 			EnqProgress: LockFree,

@@ -16,6 +16,7 @@ func constructors() map[string]func(opts ...Option) Queue[int] {
 		"FAA":          NewFAA[int],
 		"TurnPlus":     NewTurnPlus[int],
 		"TwoLock":      NewTwoLock[int],
+		"Sharded":      NewSharded[int],
 	}
 }
 
@@ -222,8 +223,8 @@ func TestHandleMisusePanics(t *testing.T) {
 }
 
 func TestMetasComplete(t *testing.T) {
-	if len(Metas()) != 7 {
-		t.Fatalf("Metas() has %d rows, want 7", len(Metas()))
+	if len(Metas()) != 8 {
+		t.Fatalf("Metas() has %d rows, want 8", len(Metas()))
 	}
 	for name, mk := range constructors() {
 		m := mk().Meta()

@@ -24,6 +24,12 @@
 # the consensus slow path's cost, the smoke fails rather than letting
 # the regression age into the recorded baselines.
 #
+# Smoke mode also gates sharded-front scaling on multi-core hosts: the
+# BenchmarkShardedPairs shards=1/shards=4 min-of-runs ratio must show at
+# least SHARD_RATIO_LIMIT (default 2x) speedup when nproc >= 4. On
+# smaller hosts the gate is skipped — shards serialize on one core, so
+# the ratio measures routing overhead, not the isolation being gated.
+#
 # Smoke mode additionally guards the fault-point layer's zero-cost
 # contract (internal/inject): it reruns the adapter-overhead family at a
 # long fixed iteration count in the release build and in the -tags
@@ -60,9 +66,12 @@ OUT="${2:-.}"
 # uncontended single-thread round trips, the sparse-registration family
 # (active-slot scan cost, experiment X8), the chain-batch family
 # (experiment X10: per-item batch cost plus the 4-thread batch-vs-single
-# pairs comparison), and the pure-ALU calibration anchor the parity gate
+# pairs comparison), the oversubscribed slot-lease family (experiment
+# X11: slot acquisition under goroutine counts far above MaxThreads),
+# the sharded-front pairs family (same experiment: routing cost at
+# shards 1 vs 4), and the pure-ALU calibration anchor the parity gate
 # uses to normalize for host-speed drift.
-PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkCalibration'
+PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkAutoOversubscribed|BenchmarkShardedPairs|BenchmarkCalibration'
 
 # The zero-cost gate family and its fixed measurement window. Baseline
 # (full mode) and gate (smoke mode) MUST use the same benchtime:
@@ -191,6 +200,42 @@ if [ "$MODE" = smoke ]; then
 		echo "bench gate: TurnPlus uncontended cost exceeds ${RATIO_LIMIT:-1.5}x FAA(YMC) — the fast path regressed" >&2
 		exit 1
 	}
+
+	# Sharded-front scaling gate: shards=4 must beat shards=1 by at
+	# least SHARD_RATIO_LIMIT (default 2x) on the multi-worker pairs
+	# benchmark — but only on hosts with >= 4 CPUs. On fewer cores the
+	# shards can only serialize (routing cost with no parallelism to
+	# isolate), so the ratio carries no signal and the gate is skipped;
+	# the structural case is recorded in results/oversub_x11.md.
+	NCPU="$(nproc 2>/dev/null || echo 1)"
+	if [ "${NCPU:-1}" -ge 4 ]; then
+		SHARD_TXT="$OUT/BENCH_shard.txt"
+		SHARD_COUNT=3
+		SHARD_BENCHTIME=200000x
+		echo "==> sharded scaling gate (shards=4 >= ${SHARD_RATIO_LIMIT:-2.0}x shards=1, $NCPU CPUs)"
+		go test -run '^$' -bench 'BenchmarkShardedPairs' \
+			-count="$SHARD_COUNT" -benchtime="$SHARD_BENCHTIME" -timeout 600s . >"$SHARD_TXT"
+		awk -v limit="${SHARD_RATIO_LIMIT:-2.0}" '
+		/^BenchmarkShardedPairs\/shards=1/ { if (!s1 || $3 + 0 < s1) s1 = $3 + 0 }
+		/^BenchmarkShardedPairs\/shards=4/ { if (!s4 || $3 + 0 < s4) s4 = $3 + 0 }
+		END {
+			if (!s1 || !s4) {
+				print "  shard gate: missing shards=1 or shards=4 rows" > "/dev/stderr"
+				exit 1
+			}
+			speedup = s1 / s4
+			ok = (speedup >= limit)
+			printf "  shards=1 %.2f ns/op / shards=4 %.2f ns/op = %.2fx speedup (limit %.2fx)   %s\n", \
+				s1, s4, speedup, limit, (ok ? "ok" : "REGRESSION")
+			exit !ok
+		}
+		' "$SHARD_TXT" || {
+			echo "bench gate: sharded front shards=4 speedup below ${SHARD_RATIO_LIMIT:-2.0}x on a $NCPU-CPU host" >&2
+			exit 1
+		}
+	else
+		echo "==> sharded scaling gate skipped ($NCPU CPU(s); needs >= 4 for the ratio to carry signal)"
+	fi
 
 	# Zero-cost gate for the fault-point layer: min-of-runs vs the
 	# recorded min-of-runs baseline, same benchtime on both sides.

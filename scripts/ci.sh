@@ -1,5 +1,5 @@
 #!/bin/sh
-# The full correctness gate, exactly as CI runs it. Seven passes:
+# The full correctness gate, exactly as CI runs it. Eight passes:
 #
 #   1. build + vet of every package,
 #   2. the full test suite in the release build (no handle validation
@@ -27,9 +27,17 @@
 #      thread parked inside the fast-path claim window must not block
 #      the slow-path completers. This is where wait-freedom and
 #      bounded reclamation are tested against parked, crashed, and
-#      delayed threads on the real queues.
+#      delayed threads on the real queues,
+#   8. the sharded/lease gate: the slot-lease lifecycle tests (churn
+#      across every constructor, lease-expiry backlog drains — including
+#      through the sharded front's per-shard release mirror) and the
+#      shard-isolation chaos tests (a victim parked mid-operation inside
+#      one shard while holding a lease; other shards progress, stolen
+#      dequeues stay exactly-once, per-shard hazard bounds hold) under
+#      -race with both the faultpoints and debughandles tags, plus one
+#      scripted run of the shard chaos scenario (cmd/chaos).
 #
-# A change is green only if all seven pass.
+# A change is green only if all eight pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -68,5 +76,10 @@ go test -race -tags "faultpoints debughandles" -timeout 240s \
 go test -race -tags faultpoints -timeout 240s \
 	./internal/consensus ./internal/turnplus
 go run -tags faultpoints ./cmd/chaos -scenario fastpath -workers 4 -ops 500 -segsize 8 -batch 3
+
+echo "==> sharded/lease gate (lease lifecycle + shard isolation under -race)"
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestLeaseChurnQuiescent|TestLeaseExpiryDrainsRetireBacklog|TestLeaseShardedExpiryDrainsEveryShard|TestChaosShardStall|TestChaosShardedRelaxedUnderDelayInjection' .
+go run -tags faultpoints ./cmd/chaos -scenario shard -workers 4 -ops 500 -shards 4
 
 echo "==> ci green"
