@@ -227,4 +227,10 @@ func (a *AutoQueue[T]) Close() {
 		}
 		collected++
 	}
+	// Every handle is closed: the queue is quiescent, so force-drain any
+	// reclamation residue the per-slot release hooks could not free (the
+	// unbounded backends legitimately keep some until this point).
+	if d, ok := a.q.(reclaimDrainer); ok {
+		d.DrainReclaim()
+	}
 }

@@ -16,12 +16,18 @@ package turnqueue
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/bench"
 	"turnqueue/internal/core"
+	"turnqueue/internal/epoch"
+	"turnqueue/internal/eras"
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/qsbr"
 	"turnqueue/internal/quantile"
+	"turnqueue/internal/reclaim"
 	"turnqueue/internal/turnalt"
 )
 
@@ -230,9 +236,11 @@ func BenchmarkReclaimStall(b *testing.B) {
 }
 
 // BenchmarkUncontended measures the single-threaded per-operation cost of
-// every queue (the paper's 1-thread points).
+// every queue (the paper's 1-thread points), plus the Turn queue under
+// each non-default reclamation backend — the speed axis of experiment
+// X12, where the Turn row itself is the hazard baseline.
 func BenchmarkUncontended(b *testing.B) {
-	for _, f := range bench.AllFactories() {
+	for _, f := range append(bench.AllFactories(), bench.BackendFactories()...) {
 		f := f
 		b.Run(f.Name, func(b *testing.B) {
 			q := f.New(1)
@@ -247,6 +255,56 @@ func BenchmarkUncontended(b *testing.B) {
 			// The raw slot is never released (no drain), but the backlog
 			// must still respect the paper's bound and pools must balance.
 			verifyQuiescentBench(b, account.Capture(f.Name, q.Runtime(), q))
+		})
+	}
+}
+
+// pnode is the protect-benchmark node: a payload plus the embedded era
+// tag the eras backend requires (ignored by the other backends).
+type pnode struct {
+	v   uint64
+	tag reclaim.Tag
+}
+
+func (n *pnode) Tag() *reclaim.Tag { return &n.tag }
+
+// BenchmarkReclaimProtect isolates the per-access read-protection cost of
+// each backend — the mechanism behind the X12 speed axis, measured
+// without the rest of the queue around it. The loop is b.N Protect calls
+// against one stable pointer with the reservation held across the loop
+// (Clear runs once, untimed), which is the steady state every reader
+// path sees: hazard pays its sequentially consistent slot store on every
+// call, while epoch and QSBR pay one own-line load once in a region and
+// eras pays era-stability loads, storing only when the era moved. All
+// four go through the Reclaimer interface, so dispatch overhead cancels
+// in the comparison. Unlike the full-queue rows this ordering is
+// structural, not a property of the measurement window.
+func BenchmarkReclaimProtect(b *testing.B) {
+	del := func(int, *pnode) {}
+	backends := []struct {
+		name string
+		rc   reclaim.Reclaimer[pnode]
+	}{
+		{"hazard", hazard.New[pnode](2, 1, del)},
+		{"epoch", epoch.New[pnode](2, del)},
+		{"qsbr", qsbr.New[pnode](2, del)},
+		{"eras", eras.New[pnode](2, 1, del, (*pnode).Tag)},
+	}
+	for _, be := range backends {
+		be := be
+		b.Run(be.name, func(b *testing.B) {
+			n := &pnode{v: 1}
+			be.rc.NoteAlloc(0, n)
+			var src atomic.Pointer[pnode]
+			src.Store(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got, ok := be.rc.Protect(0, 0, &src); !ok || got != n {
+					b.Fatal("protect failed on a stable pointer")
+				}
+			}
+			b.StopTimer()
+			be.rc.Clear(0)
 		})
 	}
 }

@@ -36,6 +36,7 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/core"
+	"turnqueue/internal/eras"
 	"turnqueue/internal/faaq"
 	"turnqueue/internal/inject"
 	"turnqueue/internal/kpq"
@@ -43,6 +44,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/reclaim"
 	"turnqueue/internal/sharded"
 	"turnqueue/internal/turnplus"
 )
@@ -504,6 +506,98 @@ func TestChaosStalledReaderEpochVsHazard(t *testing.T) {
 	awaitOrFatal(t, hvictimDone, 10*time.Second, "released hazard reader")
 	rt.Release(hworker)
 	rt.Release(hvictim)
+}
+
+// TestChaosStalledReaderFourBackends is experiment X12's chaos gate: the
+// same parked-reader adversary — one thread stalled inside its Protect
+// window, every backend's shared inject.HazardProtect fault point —
+// against the Turn queue on each of the four reclamation backends, with
+// identical churn. The outcomes split exactly along the §3 +
+// WFE-progress axis the backend table claims:
+//
+//   - hazard: backlog ≤ BacklogBound at every checkpoint (per-pointer
+//     protection confines the damage to the stalled slot's entries);
+//   - eras:   backlog ≤ its stated bound and plateaus — the stalled
+//     reservation pins only nodes live at the stall era, because
+//     recycled nodes are re-stamped with later birth eras;
+//   - epoch, qsbr: backlog grows checkpoint over checkpoint without
+//     bound — one stalled region pins every later retire.
+//
+// In all four cases, releasing the victim and draining leaves zero.
+func TestChaosStalledReaderFourBackends(t *testing.T) {
+	const segSize, chunks, segsPerChunk = 64, 3, 10
+	const maxThreads = 8
+	for _, kind := range reclaim.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Cleanup(inject.Reset)
+			q := core.New[int](core.WithMaxThreads(maxThreads), core.WithBackend(kind))
+			rt := q.Runtime()
+			worker := acquireSlot(t, rt)
+			// Pre-fill so the victim's stalled protection covers real
+			// nodes that later flow through the retire path.
+			for i := 0; i < 8; i++ {
+				q.Enqueue(worker, i)
+			}
+			victim := acquireSlot(t, rt)
+			victimDone := parkVictim(t, inject.HazardProtect, func() { q.Enqueue(victim, -1) })
+
+			rc := q.Reclaimer()
+			bound, bounded := rc.Bound()
+			// Bound() is each backend's quiescence bound. Hazard's also
+			// holds at any instant; a stalled eras reservation additionally
+			// pins every node whose lifetime intersects its era window —
+			// the nodes live at the stall (prefill + sentinel + the
+			// victim's own in-flight node) plus at most one era's worth of
+			// births before the era advances past it. That window term is
+			// what separates eras' plateau from hazard's hard ceiling.
+			ceiling := bound
+			if kind == reclaim.KindEras {
+				ceiling += eras.DefaultEraFreq + 2*(8+2)
+			}
+			var backlog [chunks]int
+			for c := 0; c < chunks; c++ {
+				for i := 0; i < segSize*segsPerChunk; i++ {
+					q.Enqueue(worker, i)
+					q.Dequeue(worker)
+				}
+				backlog[c] = rc.Backlog()
+				if bounded && backlog[c] > ceiling {
+					t.Fatalf("%s backlog %d exceeds stated bound %d at checkpoint %d with a stalled reader",
+						kind, backlog[c], ceiling, c)
+				}
+			}
+			if bounded {
+				// Bounded backends must also plateau: growth between the
+				// late checkpoints is at most scan-in-flight slack, not
+				// another chunk of retires.
+				if backlog[chunks-1] > backlog[chunks-2]+maxThreads {
+					t.Fatalf("%s backlog kept growing under a stalled reader: checkpoints %v (bound %d)",
+						kind, backlog, ceiling)
+				}
+				if backlog[chunks-1] == 0 {
+					t.Fatalf("%s stalled protection pins nothing; the bound is vacuous (checkpoints %v)", kind, backlog)
+				}
+				t.Logf("%s backlog under stalled reader: %v (ceiling %d, plateau)", kind, backlog, ceiling)
+			} else {
+				for c := 1; c < chunks; c++ {
+					if backlog[c] <= backlog[c-1] {
+						t.Fatalf("%s backlog stopped growing with a stalled reader: checkpoints %v", kind, backlog)
+					}
+				}
+				t.Logf("%s backlog under stalled reader: %v (unbounded growth)", kind, backlog)
+			}
+
+			inject.ReleaseStalled()
+			awaitOrFatal(t, victimDone, 10*time.Second, "released "+string(kind)+" reader")
+			rt.Release(worker)
+			rt.Release(victim)
+			q.DrainReclaim()
+			if b := rc.Backlog(); b != 0 {
+				t.Fatalf("%s backlog %d after release and drain, want 0", kind, b)
+			}
+		})
+	}
 }
 
 // TestChaosCrashWithoutCloseDetected crashes a thread mid-enqueue (its

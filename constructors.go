@@ -8,6 +8,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/reclaim"
 	"turnqueue/internal/sharded"
 	"turnqueue/internal/simq"
 	"turnqueue/internal/turnplus"
@@ -21,6 +22,7 @@ type Option func(*options)
 type options struct {
 	maxThreads  int
 	reclaim     Reclaim
+	reclaimer   Reclaimer
 	hazardR     int
 	segmentSize int
 	patience    int
@@ -29,6 +31,30 @@ type options struct {
 	shards      int
 	shardQueue  string
 }
+
+// Reclaimer names a reclamation backend for the Turn-family queues
+// (NewTurn, NewTurnPlus, and their sharded fronts). All four backends run
+// the identical queue algorithm behind internal/reclaim's one seam; they
+// differ in read overhead, backlog bound, and reclamation progress — the
+// trade-off experiment X12 measures. See DESIGN.md §1h for the table.
+type Reclaimer string
+
+const (
+	// ReclaimerHazard is the paper's §3 wait-free bounded hazard pointers
+	// (default): one store+fence per pointer access, backlog bounded by
+	// maxThreads·(numHPs+R+1) at all times.
+	ReclaimerHazard Reclaimer = Reclaimer(reclaim.KindHazard)
+	// ReclaimerEpoch is three-epoch region reclamation: one announce per
+	// operation, but a single stalled reader pins every later retire.
+	ReclaimerEpoch Reclaimer = Reclaimer(reclaim.KindEpoch)
+	// ReclaimerQSBR is quiescent-state-based reclamation: the cheapest
+	// read side (one own-line load per access), blocking like epoch.
+	ReclaimerQSBR Reclaimer = Reclaimer(reclaim.KindQSBR)
+	// ReclaimerEras is WFE-style era tracking: wait-free like hazard with
+	// region-cheap reads; a stalled reader pins only nodes live at its
+	// stall era (a plateau, not a leak).
+	ReclaimerEras Reclaimer = Reclaimer(reclaim.KindEras)
+)
 
 // Reclaim selects the Turn queue's node-disposal strategy.
 type Reclaim int
@@ -51,6 +77,7 @@ func defaults() options {
 	return options{
 		maxThreads:  qrt.DefaultMaxThreads,
 		reclaim:     ReclaimPool,
+		reclaimer:   ReclaimerHazard,
 		hazardR:     0,
 		segmentSize: faaq.DefaultSegmentSize,
 		patience:    turnplus.DefaultPatience,
@@ -77,6 +104,11 @@ func WithReclaim(r Reclaim) Option { return func(o *options) { o.reclaim = r } }
 // WithHazardR sets the hazard-pointer scan threshold R (default 0, the
 // paper's latency-minimizing choice).
 func WithHazardR(r int) Option { return func(o *options) { o.hazardR = r } }
+
+// WithReclaimer selects the reclamation backend of the Turn-family
+// queues (default ReclaimerHazard). Constructors without a reclamation
+// seam ignore it.
+func WithReclaimer(r Reclaimer) Option { return func(o *options) { o.reclaimer = r } }
 
 // WithSegmentSize sets the cells-per-segment count of the FAA queue and
 // of the TurnPlus queue's ring segments. Larger segments amortize more
@@ -224,6 +256,20 @@ func (a *adapter[T, Q]) Snapshot() Snapshot {
 // hazard-pointer domain).
 func (a *adapter[T, Q]) Unwrap() Q { return a.q }
 
+// reclaimDrainer is the optional close-time drain surface: a force-sweep
+// of every retire and orphan list, valid only at quiescence.
+type reclaimDrainer interface{ DrainReclaim() }
+
+// DrainReclaim force-drains the implementation's reclamation backlog if
+// it has one (no-op otherwise). Callers must guarantee quiescence — every
+// handle closed, no operation in flight; AutoQueue.Close calls it after
+// its handle sweep so unbounded backends end at zero backlog too.
+func (a *adapter[T, Q]) DrainReclaim() {
+	if d, ok := any(a.q).(reclaimDrainer); ok {
+		d.DrainReclaim()
+	}
+}
+
 // NewTurn creates a Turn queue — the paper's wait-free bounded MPMC queue
 // with integrated wait-free memory reclamation.
 func NewTurn[T any](opts ...Option) Queue[T] {
@@ -240,6 +286,7 @@ func NewTurn[T any](opts ...Option) Queue[T] {
 		core.WithReclaim(mode),
 		core.WithHazardR(o.hazardR),
 		core.WithPoolCap(o.poolCap),
+		core.WithBackend(reclaim.Kind(o.reclaimer)),
 	)
 	return newAdapter[T, *core.Queue[T]](q, "Turn")
 }
@@ -286,6 +333,7 @@ func NewTurnPlus[T any](opts ...Option) Queue[T] {
 		turnplus.WithMaxThreads(o.maxThreads),
 		turnplus.WithSegmentSize(o.segmentSize),
 		turnplus.WithPatience(o.patience),
+		turnplus.WithBackend(reclaim.Kind(o.reclaimer)),
 	)
 	return newAdapter[T, *turnplus.Queue[T]](q, "TurnPlus")
 }
@@ -327,6 +375,7 @@ func shardInner[T any](o options, shard int) sharded.Inner[T] {
 			turnplus.WithMaxThreads(o.maxThreads),
 			turnplus.WithSegmentSize(o.segmentSize),
 			turnplus.WithPatience(o.patience),
+			turnplus.WithBackend(reclaim.Kind(o.reclaimer)),
 		)
 	case "Turn":
 		mode := core.ReclaimPool
@@ -341,6 +390,7 @@ func shardInner[T any](o options, shard int) sharded.Inner[T] {
 			core.WithReclaim(mode),
 			core.WithHazardR(o.hazardR),
 			core.WithPoolCap(o.poolCap),
+			core.WithBackend(reclaim.Kind(o.reclaimer)),
 		)
 	case "MS":
 		return msq.New[T](o.maxThreads)

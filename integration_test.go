@@ -32,6 +32,30 @@ func linearizableQueues() map[string]func(opts ...Option) Queue[int64] {
 			return NewTurnPlus[int64](append([]Option{WithSegmentSize(2), WithPatience(1)}, opts...)...)
 		},
 		"TwoLock": NewTwoLock[int64],
+		// Backend matrix: Turn and TurnPlus under every non-default
+		// reclamation backend. Reclamation must be invisible to the
+		// consensus protocol — a history that linearizes under hazard
+		// pointers must linearize identically under region-based (epoch,
+		// qsbr) and era-based protection, including TurnPlus's
+		// clear-per-operation region discipline on the FAA fast path.
+		"Turn-epoch": func(opts ...Option) Queue[int64] {
+			return NewTurn[int64](append([]Option{WithReclaimer(ReclaimerEpoch)}, opts...)...)
+		},
+		"Turn-qsbr": func(opts ...Option) Queue[int64] {
+			return NewTurn[int64](append([]Option{WithReclaimer(ReclaimerQSBR)}, opts...)...)
+		},
+		"Turn-eras": func(opts ...Option) Queue[int64] {
+			return NewTurn[int64](append([]Option{WithReclaimer(ReclaimerEras)}, opts...)...)
+		},
+		"TurnPlus-epoch": func(opts ...Option) Queue[int64] {
+			return NewTurnPlus[int64](append([]Option{WithReclaimer(ReclaimerEpoch)}, opts...)...)
+		},
+		"TurnPlus-qsbr": func(opts ...Option) Queue[int64] {
+			return NewTurnPlus[int64](append([]Option{WithReclaimer(ReclaimerQSBR)}, opts...)...)
+		},
+		"TurnPlus-eras": func(opts ...Option) Queue[int64] {
+			return NewTurnPlus[int64](append([]Option{WithSegmentSize(2), WithPatience(1), WithReclaimer(ReclaimerEras)}, opts...)...)
+		},
 		// The sharded front at one shard is a strict pass-through: the
 		// inner queue's full linearizability contract must survive the
 		// facade (routing, stats, the release-hook mirror) byte for byte.

@@ -3,8 +3,10 @@
 //
 // The paper's §3 case for hazard pointers over epochs is *fault
 // resilience*: a thread that stops participating leaves at most
-// numHPs·maxThreads + R·maxThreads nodes unreclaimed, where an epoch
-// scheme's backlog is unbounded. That claim is only worth reproducing if
+// maxThreads·numHPs + maxThreads·(R+1) nodes unreclaimed (the derivation
+// lives on hazard.BacklogBound: one node per slot, plus per thread the R
+// entries a scan has not yet covered and the one mid-retire entry), where
+// an epoch scheme's backlog is unbounded. That claim is only worth reproducing if
 // the reproduction can *check* it, continuously, at the lifecycle seams
 // where it historically broke (a departing handle stranding its retire
 // backlog, a close race leaking a slot). This package turns each queue's
@@ -53,8 +55,11 @@ type Snapshot struct {
 	// build tag is set.
 	Ops int64 `json:"ops,omitempty"`
 
-	// Hazard holds one entry per hazard-pointer domain ("nodes", and for
-	// the KP queue also "descs").
+	// Hazard holds one entry per reclamation domain ("nodes", and for
+	// the KP queue also "descs"). Historically hazard-pointer-only —
+	// hence the field name, kept for its many consumers — it now carries
+	// every reclaim backend's domain view; DomainSnapshot.Backend names
+	// the scheme and Bounded says whether Bound is enforceable.
 	Hazard []DomainSnapshot `json:"hazard,omitempty"`
 	// Epoch is the epoch-reclamation view (FAA queue only).
 	Epoch *EpochSnapshot `json:"epoch,omitempty"`
@@ -71,18 +76,35 @@ type Snapshot struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
-// DomainSnapshot is the accounting view of one hazard-pointer domain.
+// DomainSnapshot is the accounting view of one reclamation domain.
 type DomainSnapshot struct {
-	Name       string `json:"name"`
-	NumHPs     int    `json:"num_hps"`
-	R          int    `json:"r"`
-	Retires    int64  `json:"retires"`
-	Deletes    int64  `json:"deletes"`
-	MaxBacklog int64  `json:"max_backlog"`
+	Name string `json:"name"`
+	// Backend names the reclamation scheme ("hazard", "epoch", "qsbr",
+	// "eras"). Empty means a legacy hazard capture; VerifyQuiescent
+	// treats it as bounded.
+	Backend string `json:"backend,omitempty"`
+	// Bounded reports whether Bound is a mid-run guarantee the backend
+	// actually makes. Epoch and qsbr set false: their backlog is
+	// unbounded under a stalled reader (the §3 contrast), so
+	// VerifyQuiescent reports but does not assert their Bound.
+	Bounded    bool  `json:"bounded,omitempty"`
+	NumHPs     int   `json:"num_hps"`
+	R          int   `json:"r"`
+	Retires    int64 `json:"retires"`
+	Deletes    int64 `json:"deletes"`
+	MaxBacklog int64 `json:"max_backlog"`
 	// Backlog is the current retired-but-unreclaimed total; Bound is
-	// BacklogBound(), the paper's fault-resilience ceiling.
+	// the backend's stated ceiling (hazard.BacklogBound and its eras
+	// analog; see the reclaim package's quiescence contract).
 	Backlog int `json:"backlog"`
 	Bound   int `json:"bound"`
+	// CondHolds/ProtHolds split the backlog by holdout reason as of the
+	// last scan: entries kept because a RetireCond condition was unmet
+	// vs entries a protection still covers. Distinguishing the two is
+	// what makes a kpq VerifyQuiescent failure actionable — "condition
+	// unmet" means a consumer never acted, not that a reader is slow.
+	CondHolds int64 `json:"cond_holds,omitempty"`
+	ProtHolds int64 `json:"prot_holds,omitempty"`
 	// PerSlot is the retire-list length of each slot, index = slot. A
 	// non-zero entry on a released slot is exactly the leak the
 	// drain-on-release hook exists to prevent.
@@ -140,6 +162,9 @@ type HazardDomain interface {
 	Stats() (retires, deletes, maxBacklog int64)
 	SlotBacklog(tid int) int
 	BacklogBound() int
+	// HoldStats splits the backlog by holdout reason (condition unmet
+	// vs still protected) as of each thread's last scan.
+	HoldStats() (cond, prot int64)
 }
 
 // EpochDomain is the accessor surface CaptureEpoch reads; epoch.Domain[T]
@@ -187,12 +212,15 @@ func Capture(name string, rt *qrt.Runtime, src any) Snapshot {
 // CaptureHazard snapshots one hazard domain under the given label.
 func CaptureHazard(name string, d HazardDomain) DomainSnapshot {
 	ds := DomainSnapshot{
-		Name:   name,
-		NumHPs: d.NumHPs(),
-		R:      d.R(),
-		Bound:  d.BacklogBound(),
+		Name:    name,
+		Backend: "hazard",
+		Bounded: true,
+		NumHPs:  d.NumHPs(),
+		R:       d.R(),
+		Bound:   d.BacklogBound(),
 	}
 	ds.Retires, ds.Deletes, ds.MaxBacklog = d.Stats()
+	ds.CondHolds, ds.ProtHolds = d.HoldStats()
 	ds.PerSlot = make([]int, d.MaxThreads())
 	for i := range ds.PerSlot {
 		n := d.SlotBacklog(i)
@@ -287,9 +315,17 @@ func (s *Snapshot) VerifyQuiescent() error {
 		violations = append(violations, msg)
 	}
 	for _, h := range s.Hazard {
-		if h.Backlog > h.Bound {
-			violations = append(violations,
-				fmt.Sprintf("hazard[%s] backlog %d exceeds bound %d", h.Name, h.Backlog, h.Bound))
+		// Only backends that actually promise a mid-run bound are held
+		// to it; epoch and qsbr (Bounded=false) are report-only — their
+		// unboundedness is the §3 contrast, not a bug. An empty Backend
+		// is a legacy hazard capture and stays checked.
+		if (h.Bounded || h.Backend == "") && h.Backlog > h.Bound {
+			msg := fmt.Sprintf("hazard[%s] backlog %d exceeds bound %d", h.Name, h.Backlog, h.Bound)
+			if h.CondHolds > 0 || h.ProtHolds > 0 {
+				msg += fmt.Sprintf(" (%d condition-unmet holdout(s), %d still-protected holdout(s))",
+					h.CondHolds, h.ProtHolds)
+			}
+			violations = append(violations, msg)
 		}
 		if h.Deletes > h.Retires {
 			violations = append(violations,
@@ -329,8 +365,16 @@ func (s Snapshot) String() string {
 				nonzero++
 			}
 		}
-		fmt.Fprintf(&b, " hp[%s]=%d/%d(slots=%d,ret=%d,del=%d,max=%d)",
-			h.Name, h.Backlog, h.Bound, nonzero, h.Retires, h.Deletes, h.MaxBacklog)
+		tag := h.Backend
+		if tag == "" {
+			tag = "hp"
+		}
+		fmt.Fprintf(&b, " %s[%s]=%d/%d(slots=%d,ret=%d,del=%d,max=%d",
+			tag, h.Name, h.Backlog, h.Bound, nonzero, h.Retires, h.Deletes, h.MaxBacklog)
+		if h.CondHolds > 0 || h.ProtHolds > 0 {
+			fmt.Fprintf(&b, ",cond=%d,prot=%d", h.CondHolds, h.ProtHolds)
+		}
+		b.WriteString(")")
 	}
 	if s.Epoch != nil {
 		fmt.Fprintf(&b, " epoch=%d(backlog=%d,ret=%d,del=%d)",

@@ -54,9 +54,9 @@ func TestCaptureSource(t *testing.T) {
 
 func TestVerifyQuiescentViolations(t *testing.T) {
 	s := account.Snapshot{
-		Queue:  "x",
-		Hazard: []account.DomainSnapshot{{Name: "nodes", Backlog: 10, Bound: 5, Retires: 3, Deletes: 9}},
-		Pools:  []account.PoolSnapshot{{Name: "nodes", Puts: 10, Drops: 2, Reuses: 3, Retained: 99}},
+		Queue:       "x",
+		Hazard:      []account.DomainSnapshot{{Name: "nodes", Backlog: 10, Bound: 5, Retires: 3, Deletes: 9}},
+		Pools:       []account.PoolSnapshot{{Name: "nodes", Puts: 10, Drops: 2, Reuses: 3, Retained: 99}},
 		EnqOverruns: 1,
 	}
 	err := s.VerifyQuiescent()
@@ -72,6 +72,38 @@ func TestVerifyQuiescentViolations(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q missing %q", err, want)
 		}
+	}
+}
+
+func TestVerifyQuiescentNamesHoldouts(t *testing.T) {
+	// Satellite-3 regression: a backlog violation used to be a bare count,
+	// leaving a kpq quiescence failure opaque. With the holdout split
+	// captured, the error must say how many survivors are waiting on an
+	// unmet RetireCond condition vs a still-published protection, and the
+	// one-line dump must carry the same split.
+	s := account.Snapshot{
+		Queue: "kpq",
+		Hazard: []account.DomainSnapshot{{
+			Name: "nodes", Backend: "hazard", Bounded: true,
+			Backlog: 9, Bound: 5, Retires: 9,
+			CondHolds: 6, ProtHolds: 3,
+		}},
+	}
+	err := s.VerifyQuiescent()
+	if err == nil {
+		t.Fatal("expected a backlog violation")
+	}
+	for _, want := range []string{
+		"backlog 9 exceeds bound 5",
+		"6 condition-unmet holdout(s)",
+		"3 still-protected holdout(s)",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if out := s.String(); !strings.Contains(out, "cond=6,prot=3") {
+		t.Errorf("String() = %q missing the holdout split", out)
 	}
 }
 

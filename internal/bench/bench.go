@@ -15,6 +15,7 @@ import (
 	"turnqueue/internal/lockq"
 	"turnqueue/internal/msq"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/reclaim"
 	"turnqueue/internal/sharded"
 	"turnqueue/internal/simq"
 	"turnqueue/internal/turnalt"
@@ -85,10 +86,31 @@ func AllFactories() []Factory {
 	)
 }
 
+// BackendFactories returns the Turn queue under each non-default
+// reclamation backend (experiment X12's speed axis). The default
+// AllFactories "Turn" row is the hazard baseline these compare against:
+// epoch/qsbr protect is a region entry (no per-access store), eras is
+// one reservation store per era change — the uncontended rows measure
+// what the §3 bound costs on the hot path.
+func BackendFactories() []Factory {
+	mk := func(k reclaim.Kind) func(int) Queue {
+		return func(n int) Queue {
+			return core.New[uint64](core.WithMaxThreads(n), core.WithBackend(k))
+		}
+	}
+	return []Factory{
+		{Name: "Turn(epoch)", New: mk(reclaim.KindEpoch)},
+		{Name: "Turn(qsbr)", New: mk(reclaim.KindQSBR)},
+		{Name: "Turn(eras)", New: mk(reclaim.KindEras)},
+	}
+}
+
 // FactoryByName resolves a name from AllFactories, the Turn ablation
-// variants, or the sharded fronts; ok is false for unknown names.
+// variants, the reclamation-backend variants, or the sharded fronts; ok
+// is false for unknown names.
 func FactoryByName(name string) (Factory, bool) {
 	all := append(AllFactories(), TurnVariantFactories()...)
+	all = append(all, BackendFactories()...)
 	all = append(all, ShardedFactories()...)
 	for _, f := range all {
 		if f.Name == name {

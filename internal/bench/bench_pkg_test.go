@@ -103,8 +103,8 @@ func TestMeasureMemUsage(t *testing.T) {
 		byName[r.Name] = r
 	}
 	turn := byName["Turn"]
-	if turn.NodeBytes != 32 {
-		t.Errorf("Turn node size = %d, want 32 (item+enqTid+deqTid+next+blink)", turn.NodeBytes)
+	if turn.NodeBytes != 48 {
+		t.Errorf("Turn node size = %d, want 48 (item+enqTid+deqTid+next+blink+era tag)", turn.NodeBytes)
 	}
 	if turn.EnqReqBytes != 0 || turn.DeqReqBytes != 0 {
 		t.Errorf("Turn request sizes = %d/%d, want 0/0", turn.EnqReqBytes, turn.DeqReqBytes)

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"turnqueue/internal/core"
+	"turnqueue/internal/eras"
 	"turnqueue/internal/faaq"
+	"turnqueue/internal/reclaim"
 )
 
 // ReclaimSample is one point of the §3 stalled-reader experiment (X4):
@@ -70,4 +72,92 @@ func MeasureReclaimStall(opsPerStep, steps, segmentSize int) []ReclaimSample {
 // stall simulation. Only used by the experiment above.
 func turnHeadNode(q *core.Queue[uint64]) *core.Node[uint64] {
 	return q.HeadForTest()
+}
+
+// BackendStallSeries is one backend's curve in the 4-way stalled-reader
+// experiment (X12): the per-step unreclaimed backlog of the same Turn
+// queue under the same adversary, plus the theoretical line to plot it
+// against.
+type BackendStallSeries struct {
+	Kind    string
+	Bounded bool
+	// Bound is the backend's stated quiescence bound (meaningless when
+	// !Bounded). For hazard it also holds at every instant.
+	Bound int
+	// StallCeiling is the mid-stall theoretical ceiling. Hazard: equal to
+	// Bound. Eras: Bound plus one era window of births plus the nodes
+	// live at the stall — a stalled reservation pins exactly the nodes
+	// whose lifetime intersects its era. Zero when !Bounded (no ceiling
+	// exists; that is the experiment's point).
+	StallCeiling int
+	Backlogs     []int // one sample per step
+}
+
+// MeasureReclaimBackends is experiment X12: the §3 contrast generalized
+// to all four reclamation backends behind reclaim.Reclaimer. One Turn
+// queue per backend, thread 1 stalled inside its Protect window (a
+// published hazard pointer, an entered epoch region, an online qsbr
+// quiescence state, a published era reservation — same call, same
+// adversary), thread 0 churning enqueue+dequeue pairs. Hazard and eras
+// must plateau at/below their ceilings; epoch and qsbr must grow without
+// bound until the reader resumes.
+func MeasureReclaimBackends(opsPerStep, steps int) (opsAxis []int, series []BackendStallSeries) {
+	if opsPerStep <= 0 || steps <= 0 {
+		panic(fmt.Sprintf("bench: invalid reclaim config %d/%d", opsPerStep, steps))
+	}
+	for s := 1; s <= steps; s++ {
+		opsAxis = append(opsAxis, s*opsPerStep)
+	}
+	for _, kind := range reclaim.Kinds() {
+		q := core.New[uint64](core.WithMaxThreads(2), core.WithBackend(kind))
+		// Register both threads for real: the hazard/eras scans sweep only
+		// active registration rows, so an unregistered staller's
+		// protection would be invisible and the bounded curves vacuously
+		// zero.
+		rt := q.Runtime()
+		if _, ok := rt.Acquire(); !ok {
+			panic("bench: no slot 0 in backend reclaim experiment")
+		}
+		if _, ok := rt.Acquire(); !ok {
+			panic("bench: no slot 1 in backend reclaim experiment")
+		}
+		// Put a real (retirable) node at the head before the stall: two
+		// enqueues and one dequeue advance the head off the initial
+		// sentinel. The warm-up dequeue runs on the churn thread because
+		// retirement is lagged per thread (a dequeued node is retired two
+		// of the SAME thread's dequeues later) — dequeued by thread 0, the
+		// head node will flow through thread 0's retire path during the
+		// churn and be pinned by the stalled protection, so the bounded
+		// curves plateau above zero instead of vacuously at it. The
+		// live-at-stall set the eras ceiling quotes is the head node plus
+		// the one still enqueued.
+		q.Enqueue(1, 0)
+		q.Enqueue(1, 1)
+		if _, ok := q.Dequeue(0); !ok {
+			panic("bench: warm-up dequeue empty in backend reclaim experiment")
+		}
+		const liveAtStall = 2
+		q.ProtectHeadForTest(1)
+
+		rc := q.Reclaimer()
+		bound, bounded := rc.Bound()
+		sr := BackendStallSeries{Kind: string(kind), Bounded: bounded, Bound: bound}
+		if bounded {
+			sr.StallCeiling = bound
+			if kind == reclaim.KindEras {
+				sr.StallCeiling = bound + eras.DefaultEraFreq + liveAtStall
+			}
+		}
+		for s := 0; s < steps; s++ {
+			for i := 0; i < opsPerStep; i++ {
+				q.Enqueue(0, uint64(i))
+				if _, ok := q.Dequeue(0); !ok {
+					panic("bench: turn dequeue empty in backend reclaim experiment")
+				}
+			}
+			sr.Backlogs = append(sr.Backlogs, rc.Backlog())
+		}
+		series = append(series, sr)
+	}
+	return opsAxis, series
 }

@@ -8,6 +8,7 @@ import (
 	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/reclaim"
 )
 
 // AltDeq is the alternative dequeue-side engine that §2.3 of the paper
@@ -33,7 +34,8 @@ type AltDeq[T any] struct {
 
 	tail       *atomic.Pointer[Node[T]]
 	rt         *qrt.Runtime
-	hp         *hazard.Domain[Node[T]]
+	rc         reclaim.Reclaimer[Node[T]]
+	hz         *hazard.Domain[Node[T]]
 	hpHead     int
 	hpNext     int
 	hpDeq      int
@@ -46,10 +48,11 @@ type AltDeq[T any] struct {
 // Init mirrors Deq.Init for the single-array layout: each thread parks
 // on a distinct dummy whose deqTid is IdxNone — all requests start
 // closed.
-func (d *AltDeq[T]) Init(rt *qrt.Runtime, hp *hazard.Domain[Node[T]], hpHead, hpNext, hpDeq, hpScan int,
+func (d *AltDeq[T]) Init(rt *qrt.Runtime, rc reclaim.Reclaimer[Node[T]], hpHead, hpNext, hpDeq, hpScan int,
 	tail *atomic.Pointer[Node[T]], sentinel *Node[T]) {
 	d.rt = rt
-	d.hp = hp
+	d.rc = rc
+	d.hz, _ = rc.(*hazard.Domain[Node[T]])
 	d.hpHead = hpHead
 	d.hpNext = hpNext
 	d.hpDeq = hpDeq
@@ -90,8 +93,8 @@ func (d *AltDeq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
 		if i == hardIterCap {
 			panic("consensus: alt dequeue helping loop exceeded hard cap; queue invariant violated")
 		}
-		lhead := d.hp.ProtectPtr(d.hpHead, threadID, d.head.Load())
-		if lhead != d.head.Load() {
+		lhead, ok := d.protect(d.hpHead, threadID, &d.head)
+		if !ok {
 			continue
 		}
 		if lhead == d.tail.Load() {
@@ -103,8 +106,8 @@ func (d *AltDeq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
 			var zero T
 			return zero, false, nil
 		}
-		lnext := d.hp.ProtectPtr(d.hpNext, threadID, lhead.next.Load())
-		if lhead != d.head.Load() {
+		lnext, ok := d.protect(d.hpNext, threadID, &lhead.next)
+		if !ok || lhead != d.head.Load() {
 			continue
 		}
 		if d.searchNext(threadID, lhead, lnext) != IdxNone {
@@ -112,8 +115,8 @@ func (d *AltDeq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
 		}
 	}
 	myNode := d.dequeuers[threadID].P.Load()
-	lhead := d.hp.ProtectPtr(d.hpHead, threadID, d.head.Load())
-	if lhead == d.head.Load() && myNode == lhead.next.Load() {
+	lhead, ok := d.protect(d.hpHead, threadID, &d.head)
+	if ok && myNode == lhead.next.Load() {
 		d.head.CompareAndSwap(lhead, myNode)
 	}
 	return myNode.item, true, myReq
@@ -131,7 +134,11 @@ func (d *AltDeq[T]) searchNext(threadID int, lhead, lnext *Node[T]) int32 {
 			lnext.CasDeqTid(IdxNone, int32(idDeq))
 		}
 	}
-	d.hp.ClearOne(d.hpScan, threadID)
+	if d.hz != nil {
+		d.hz.ClearOne(d.hpScan, threadID)
+	} else {
+		d.rc.ClearOne(d.hpScan, threadID)
+	}
 	return lnext.deqTid.Load()
 }
 
@@ -170,8 +177,8 @@ func (d *AltDeq[T]) scanOpenRange(threadID, from, limit int) int {
 				return -1
 			}
 			word &= word - 1
-			nd := d.hp.ProtectPtr(d.hpScan, threadID, d.dequeuers[idx].P.Load())
-			if d.dequeuers[idx].P.Load() != nd {
+			nd, ok := d.protect(d.hpScan, threadID, &d.dequeuers[idx].P)
+			if !ok {
 				continue // entry churned: that request was just served
 			}
 			if nd == nil || nd.deqTid.Load() != IdxOpen {
@@ -194,8 +201,8 @@ func (d *AltDeq[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
 	if ldeqTid == int32(threadID) {
 		d.dequeuers[ldeqTid].P.Store(lnext)
 	} else if ldeqTid >= 0 {
-		ldequeuer := d.hp.ProtectPtr(d.hpDeq, threadID, d.dequeuers[ldeqTid].P.Load())
-		if ldequeuer != lnext && lhead == d.head.Load() {
+		ldequeuer, ok := d.protect(d.hpDeq, threadID, &d.dequeuers[ldeqTid].P)
+		if ok && ldequeuer != lnext && lhead == d.head.Load() {
 			d.dequeuers[ldeqTid].P.CompareAndSwap(ldequeuer, lnext)
 		}
 	}
@@ -221,16 +228,26 @@ func (d *AltDeq[T]) giveUp(myReq *Node[T], threadID int) {
 	if lhead == d.tail.Load() {
 		return
 	}
-	d.hp.ProtectPtr(d.hpHead, threadID, lhead)
-	if lhead != d.head.Load() {
+	lh, ok := d.protect(d.hpHead, threadID, &d.head)
+	if !ok || lh != lhead {
 		return
 	}
-	lnext := d.hp.ProtectPtr(d.hpNext, threadID, lhead.next.Load())
-	if lhead != d.head.Load() {
+	lnext, ok := d.protect(d.hpNext, threadID, &lhead.next)
+	if !ok || lhead != d.head.Load() {
 		return
 	}
 	if d.searchNext(threadID, lhead, lnext) == IdxNone {
 		lnext.CasDeqTid(IdxNone, int32(threadID))
 	}
 	d.casDeqAndHead(lhead, lnext, threadID)
+}
+
+// protect mirrors Enq.protect: an inlinable devirtualized fast path for
+// the default hazard backend, the out-of-line Reclaimer seam otherwise.
+func (d *AltDeq[T]) protect(index, tid int, src *atomic.Pointer[Node[T]]) (*Node[T], bool) {
+	if d.hz != nil {
+		node := d.hz.ProtectPtr(index, tid, src.Load())
+		return node, src.Load() == node
+	}
+	return protectSlow(d.rc, index, tid, src)
 }

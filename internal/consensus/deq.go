@@ -8,6 +8,7 @@ import (
 	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/reclaim"
 )
 
 // Deq is the dequeue-side turn consensus engine: it owns the head
@@ -30,7 +31,8 @@ type Deq[T any] struct {
 
 	tail       *atomic.Pointer[Node[T]]
 	rt         *qrt.Runtime
-	hp         *hazard.Domain[Node[T]]
+	rc         reclaim.Reclaimer[Node[T]]
+	hz         *hazard.Domain[Node[T]]
 	hpHead     int
 	hpNext     int
 	hpDeq      int
@@ -47,14 +49,15 @@ type Deq[T any] struct {
 	guard func(*Node[T]) bool
 }
 
-// Init wires the engine to its queue's runtime, hazard domain, hazard
-// slot indices, and the enqueue side's tail word; parks the sentinel in
-// the head; and points each thread's deqself/deqhelp entries at two
-// distinct dummy nodes so that every dequeue request starts closed.
-func (d *Deq[T]) Init(rt *qrt.Runtime, hp *hazard.Domain[Node[T]], hpHead, hpNext, hpDeq int,
+// Init wires the engine to its queue's runtime, reclamation backend,
+// protection slot indices, and the enqueue side's tail word; parks the
+// sentinel in the head; and points each thread's deqself/deqhelp entries
+// at two distinct dummy nodes so that every dequeue request starts closed.
+func (d *Deq[T]) Init(rt *qrt.Runtime, rc reclaim.Reclaimer[Node[T]], hpHead, hpNext, hpDeq int,
 	tail *atomic.Pointer[Node[T]], sentinel *Node[T]) {
 	d.rt = rt
-	d.hp = hp
+	d.rc = rc
+	d.hz, _ = rc.(*hazard.Domain[Node[T]])
 	d.hpHead = hpHead
 	d.hpNext = hpNext
 	d.hpDeq = hpDeq
@@ -71,6 +74,11 @@ func (d *Deq[T]) Init(rt *qrt.Runtime, hp *hazard.Domain[Node[T]], hpHead, hpNex
 
 // Head returns the current head node (tests, diagnostics).
 func (d *Deq[T]) Head() *Node[T] { return d.head.Load() }
+
+// HeadPtr exposes the head word as a protectable source for callers that
+// protect the head through the reclamation backend (TurnPlus's fast
+// dequeue march).
+func (d *Deq[T]) HeadPtr() *atomic.Pointer[Node[T]] { return &d.head }
 
 // SetClaimGuard installs a claim guard: the engine (and every helper
 // running inside it) will only assign nodes for which g reports true.
@@ -121,8 +129,8 @@ func (d *Deq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
 		if i == hardIterCap {
 			panic("consensus: dequeue helping loop exceeded hard cap; queue invariant violated")
 		}
-		lhead := d.hp.ProtectPtr(d.hpHead, threadID, d.head.Load())
-		if lhead != d.head.Load() {
+		lhead, ok := d.protect(d.hpHead, threadID, &d.head)
+		if !ok {
 			continue // head advanced: one dequeue completed; take next step
 		}
 		if lhead == d.tail.Load() {
@@ -138,8 +146,8 @@ func (d *Deq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
 			var zero T
 			return zero, false, nil
 		}
-		lnext := d.hp.ProtectPtr(d.hpNext, threadID, lhead.next.Load())
-		if lhead != d.head.Load() {
+		lnext, ok := d.protect(d.hpNext, threadID, &lhead.next)
+		if !ok || lhead != d.head.Load() {
 			continue
 		}
 		if d.guard != nil && !d.guard(lnext) {
@@ -162,8 +170,8 @@ func (d *Deq[T]) DequeueOne(threadID int) (item T, ok bool, prReq *Node[T]) {
 		}
 	}
 	myNode := d.deqhelp[threadID].P.Load()
-	lhead := d.hp.ProtectPtr(d.hpHead, threadID, d.head.Load())
-	if lhead == d.head.Load() && myNode == lhead.next.Load() {
+	lhead, ok := d.protect(d.hpHead, threadID, &d.head)
+	if ok && myNode == lhead.next.Load() {
 		// Our node was assigned and published but the head not yet
 		// advanced past it (Invariant 8's other half): finish the job.
 		d.head.CompareAndSwap(lhead, myNode)
@@ -244,8 +252,8 @@ func (d *Deq[T]) casDeqAndHead(lhead, lnext *Node[T], threadID int) {
 	if ldeqTid == int32(threadID) {
 		d.deqhelp[ldeqTid].P.Store(lnext)
 	} else {
-		ldeqhelp := d.hp.ProtectPtr(d.hpDeq, threadID, d.deqhelp[ldeqTid].P.Load())
-		if ldeqhelp != lnext && lhead == d.head.Load() {
+		ldeqhelp, ok := d.protect(d.hpDeq, threadID, &d.deqhelp[ldeqTid].P)
+		if ok && ldeqhelp != lnext && lhead == d.head.Load() {
 			d.deqhelp[ldeqTid].P.CompareAndSwap(ldeqhelp, lnext)
 		}
 	}
@@ -269,12 +277,12 @@ func (d *Deq[T]) giveUp(myReq *Node[T], threadID int) {
 	// the first node gets assigned to somebody (ourselves if no other
 	// request is open), so the head can advance and late helpers see the
 	// rollback.
-	d.hp.ProtectPtr(d.hpHead, threadID, lhead)
-	if lhead != d.head.Load() {
+	lh, ok := d.protect(d.hpHead, threadID, &d.head)
+	if !ok || lh != lhead {
 		return
 	}
-	lnext := d.hp.ProtectPtr(d.hpNext, threadID, lhead.next.Load())
-	if lhead != d.head.Load() {
+	lnext, ok := d.protect(d.hpNext, threadID, &lhead.next)
+	if !ok || lhead != d.head.Load() {
 		return
 	}
 	if d.guard != nil && !d.guard(lnext) {
@@ -286,4 +294,14 @@ func (d *Deq[T]) giveUp(myReq *Node[T], threadID int) {
 		lnext.CasDeqTid(IdxNone, int32(threadID))
 	}
 	d.casDeqAndHead(lhead, lnext, threadID)
+}
+
+// protect mirrors Enq.protect: an inlinable devirtualized fast path for
+// the default hazard backend, the out-of-line Reclaimer seam otherwise.
+func (d *Deq[T]) protect(index, tid int, src *atomic.Pointer[Node[T]]) (*Node[T], bool) {
+	if d.hz != nil {
+		node := d.hz.ProtectPtr(index, tid, src.Load())
+		return node, src.Load() == node
+	}
+	return protectSlow(d.rc, index, tid, src)
 }

@@ -8,6 +8,7 @@ import (
 	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/reclaim"
 )
 
 // hardIterCap is a defensive ceiling on the helping loops. The paper's
@@ -24,10 +25,11 @@ const hardIterCap = 1 << 22
 // slow path — so the helping loop exists exactly once.
 //
 // The engine does not allocate: callers draw nodes from their own pools
-// and hand the prepared request to Announce. Hazard-pointer slots are
-// shared with the caller's domain; the engine uses only the hpTail index
-// it was initialized with and clears the caller's slots when the
-// announce completes (safe because a thread runs one operation at a
+// and hand the prepared request to Announce. The reclamation backend
+// (reclaim.Reclaimer — the hazard domain historically, now any backend)
+// is shared with the caller; the engine uses only the hpTail protection
+// index it was initialized with and clears the caller's protections when
+// the announce completes (safe because a thread runs one operation at a
 // time).
 type Enq[T any] struct {
 	tail atomic.Pointer[Node[T]]
@@ -38,7 +40,8 @@ type Enq[T any] struct {
 	enqueuers []pad.PointerSlot[Node[T]]
 
 	rt         *qrt.Runtime
-	hp         *hazard.Domain[Node[T]]
+	rc         reclaim.Reclaimer[Node[T]]
+	hz         *hazard.Domain[Node[T]]
 	hpTail     int
 	maxThreads int
 
@@ -48,11 +51,12 @@ type Enq[T any] struct {
 	overruns pad.Int64Slot
 }
 
-// Init wires the engine to its queue's runtime, hazard domain, and
-// hazard slot index, and parks the initial sentinel in the tail.
-func (e *Enq[T]) Init(rt *qrt.Runtime, hp *hazard.Domain[Node[T]], hpTail int, sentinel *Node[T]) {
+// Init wires the engine to its queue's runtime, reclamation backend, and
+// protection slot index, and parks the initial sentinel in the tail.
+func (e *Enq[T]) Init(rt *qrt.Runtime, rc reclaim.Reclaimer[Node[T]], hpTail int, sentinel *Node[T]) {
 	e.rt = rt
-	e.hp = hp
+	e.rc = rc
+	e.hz, _ = rc.(*hazard.Domain[Node[T]])
 	e.hpTail = hpTail
 	e.maxThreads = rt.Capacity()
 	e.enqueuers = make([]pad.PointerSlot[Node[T]], e.maxThreads)
@@ -118,8 +122,8 @@ func (e *Enq[T]) Announce(threadID int, req *Node[T], batch bool) {
 		if i == hardIterCap {
 			panic("consensus: enqueue helping loop exceeded hard cap; queue invariant violated")
 		}
-		ltail := e.hp.ProtectPtr(e.hpTail, threadID, e.tail.Load())
-		if ltail != e.tail.Load() {
+		ltail, ok := e.protect(e.hpTail, threadID, &e.tail)
+		if !ok {
 			continue // tail advanced: one enqueue completed; take next step
 		}
 		// The node at the tail was the last request satisfied; clear its
@@ -142,7 +146,43 @@ func (e *Enq[T]) Announce(threadID int, req *Node[T], batch bool) {
 			e.tail.CompareAndSwap(ltail, ChainLast(lnext)) // Invariant 2
 		}
 	}
-	e.hp.Clear(threadID)
+	e.clear(threadID)
+}
+
+// protect and clear dispatch to the concrete hazard domain when that is
+// the backend — the default, whose per-call store+fence+revalidate must
+// stay inlined in the helping loop (it was before the Reclaimer seam
+// existed, and the interface call both blocks inlining and costs a
+// dynamic dispatch). The nil check is a predictable branch; the
+// alternates take the out-of-line Reclaimer path. The split keeps the
+// fast path under the inline budget.
+func (e *Enq[T]) protect(index, tid int, src *atomic.Pointer[Node[T]]) (*Node[T], bool) {
+	if e.hz != nil {
+		node := e.hz.ProtectPtr(index, tid, src.Load())
+		return node, src.Load() == node
+	}
+	return protectSlow(e.rc, index, tid, src)
+}
+
+func (e *Enq[T]) clear(tid int) {
+	if e.hz != nil {
+		e.hz.Clear(tid)
+		return
+	}
+	clearSlow(e.rc, tid)
+}
+
+// protectSlow and clearSlow are the interface-dispatch halves, kept out
+// of line so the fast-path helpers stay inlinable.
+//
+//go:noinline
+func protectSlow[T any](rc reclaim.Reclaimer[Node[T]], index, tid int, src *atomic.Pointer[Node[T]]) (*Node[T], bool) {
+	return rc.Protect(index, tid, src)
+}
+
+//go:noinline
+func clearSlow[T any](rc reclaim.Reclaimer[Node[T]], tid int) {
+	rc.Clear(tid)
 }
 
 // HelpTailPast helps a lagging tail off lhead, jump-aware for batch

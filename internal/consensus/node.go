@@ -1,6 +1,10 @@
 package consensus
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"turnqueue/internal/reclaim"
+)
 
 // IdxNone is the paper's IDX_NONE: the deqTid value of a node not yet
 // assigned to any dequeue request.
@@ -46,7 +50,15 @@ type Node[T any] struct {
 	deqTid atomic.Int32
 	next   atomic.Pointer[Node[T]]
 	blink  atomic.Pointer[Node[T]]
+	// tag carries the birth/retire era interval the eras reclamation
+	// backend maintains (reclaim.Tag); unused plain fields under the
+	// other backends.
+	tag reclaim.Tag
 }
+
+// Tag exposes the node's embedded era interval for the eras backend's
+// accessor (see reclaim.Tag for the no-concurrent-access argument).
+func (n *Node[T]) Tag() *reclaim.Tag { return &n.tag }
 
 // NewSentinel returns a node initialized as the queue's initial
 // sentinel: enqTid 0 (any index in range would do, §2) and deqTid 0, so
@@ -98,6 +110,11 @@ func (n *Node[T]) SetDeqTid(v int32) { n.deqTid.Store(v) }
 
 // Next returns the successor node.
 func (n *Node[T]) Next() *Node[T] { return n.next.Load() }
+
+// NextPtr exposes the next link as a protectable source for
+// reclaim.Reclaimer.Protect (the backend loads through it inside its
+// validated window).
+func (n *Node[T]) NextPtr() *atomic.Pointer[Node[T]] { return &n.next }
 
 // SetNext links the successor of a node the caller still owns — chain
 // building before publication, or the single-producer enqueue whose

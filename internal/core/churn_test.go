@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"turnqueue/internal/reclaim"
 )
 
 // TestSlotChurnStress drives the queue with two populations at once:
@@ -13,7 +15,23 @@ import (
 // for. The test asserts the FIFO multiset property (nothing lost,
 // nothing duplicated) and that no helping loop ever overran the paper's
 // maxThreads bound, in release, -race, and -tags debughandles modes.
+//
+// The whole scenario runs once per reclamation backend: slot churn is
+// exactly the traffic that stresses a backend's drain-on-release and
+// allocation re-stamping paths (hazard rescans, epoch/qsbr orphan
+// migration, eras birth-era updates on recycled nodes), and the multiset
+// property catches any backend that frees a node still reachable by a
+// helping thread.
 func TestSlotChurnStress(t *testing.T) {
+	for _, kind := range reclaim.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			runSlotChurn(t, kind)
+		})
+	}
+}
+
+func runSlotChurn(t *testing.T, backend reclaim.Kind) {
 	const (
 		maxThreads  = 16
 		steadyPairs = 2
@@ -26,7 +44,7 @@ func TestSlotChurnStress(t *testing.T) {
 		churnRounds = 80
 	}
 
-	q := New[uint64](WithMaxThreads(maxThreads))
+	q := New[uint64](WithMaxThreads(maxThreads), WithBackend(backend))
 	rt := q.Runtime()
 
 	// Value encoding: high 16 bits producer id, low 48 bits sequence.

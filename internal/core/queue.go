@@ -5,9 +5,13 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/consensus"
+	"turnqueue/internal/epoch"
+	"turnqueue/internal/eras"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/qsbr"
+	"turnqueue/internal/reclaim"
 )
 
 // Hazard-pointer slot indices, matching the paper's kHpTail/kHpHead/
@@ -46,6 +50,7 @@ const (
 type Queue[T any] struct {
 	maxThreads int
 	mode       ReclaimMode
+	backend    reclaim.Kind
 
 	// enq owns the tail and the enqueuers announce array; deq owns the
 	// head and the deqself/deqhelp pair, borrowing enq's tail word for
@@ -53,6 +58,11 @@ type Queue[T any] struct {
 	enq consensus.Enq[T]
 	deq consensus.Deq[T]
 
+	// rc is the reclamation backend every operation runs against; hp is
+	// the same object when the backend is hazard (the default), nil
+	// otherwise — kept so Hazard() and the hazard-specific experiments
+	// stay cheap and type-safe.
+	rc   reclaim.Reclaimer[Node[T]]
 	hp   *hazard.Domain[Node[T]]
 	pool *qrt.Pool[Node[T]]
 	rt   *qrt.Runtime
@@ -87,6 +97,7 @@ type Option func(*qconfig)
 type qconfig struct {
 	maxThreads int
 	mode       ReclaimMode
+	backend    reclaim.Kind
 	hpR        int
 	poolCap    int
 }
@@ -98,9 +109,16 @@ func WithMaxThreads(n int) Option { return func(c *qconfig) { c.maxThreads = n }
 // WithReclaim selects the reclamation mode (default ReclaimPool).
 func WithReclaim(m ReclaimMode) Option { return func(c *qconfig) { c.mode = m } }
 
-// WithHazardR sets the hazard-pointer R scan threshold (default 0, the
-// paper's choice; ablation X1).
+// WithHazardR sets the reclamation R scan threshold (default 0, the
+// paper's choice; ablation X1). It applies to every backend that batches
+// by R — hazard, qsbr, and eras; the epoch backend's cadence is fixed.
 func WithHazardR(r int) Option { return func(c *qconfig) { c.hpR = r } }
+
+// WithBackend selects the reclamation backend (default reclaim.KindHazard,
+// the paper's §3 scheme). All four backends run the same queue algorithm
+// through the reclaim.Reclaimer seam; see that package's comparison table
+// for the overhead/bound trade-offs (experiment X12).
+func WithBackend(k reclaim.Kind) Option { return func(c *qconfig) { c.backend = k } }
 
 // WithPoolCap bounds each thread's reclaimed-node free list (default
 // DefaultPoolCap). Overflow is dropped to the garbage collector — the
@@ -114,7 +132,8 @@ func WithPoolCap(n int) Option { return func(c *qconfig) { c.poolCap = n } }
 // tail, and each thread's deqself/deqhelp entries point to two distinct
 // dummy nodes so that every dequeue request starts closed.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := qconfig{maxThreads: qrt.DefaultMaxThreads, mode: ReclaimPool, poolCap: DefaultPoolCap}
+	cfg := qconfig{maxThreads: qrt.DefaultMaxThreads, mode: ReclaimPool,
+		backend: reclaim.KindHazard, poolCap: DefaultPoolCap}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -124,9 +143,13 @@ func New[T any](opts ...Option) *Queue[T] {
 	if cfg.poolCap < 0 {
 		panic(fmt.Sprintf("core: pool cap must be non-negative, got %d", cfg.poolCap))
 	}
+	if !cfg.backend.Valid() {
+		panic(fmt.Sprintf("core: unknown reclamation backend %q", cfg.backend))
+	}
 	q := &Queue[T]{
 		maxThreads: cfg.maxThreads,
 		mode:       cfg.mode,
+		backend:    cfg.backend,
 		scratch:    make([]scratchSlot[T], cfg.maxThreads),
 		rt:         qrt.New(cfg.maxThreads),
 	}
@@ -135,17 +158,29 @@ func New[T any](opts ...Option) *Queue[T] {
 	if cfg.mode == ReclaimGC {
 		deleter = func(int, *Node[T]) {}
 	}
-	q.hp = hazard.New[Node[T]](cfg.maxThreads, numHPs, deleter,
-		hazard.WithR(cfg.hpR), hazard.WithActiveSet(q.rt))
+	switch cfg.backend {
+	case reclaim.KindHazard:
+		q.hp = hazard.New[Node[T]](cfg.maxThreads, numHPs, deleter,
+			hazard.WithR(cfg.hpR), hazard.WithActiveSet(q.rt))
+		q.rc = q.hp
+	case reclaim.KindEpoch:
+		q.rc = epoch.New[Node[T]](cfg.maxThreads, deleter)
+	case reclaim.KindQSBR:
+		q.rc = qsbr.New[Node[T]](cfg.maxThreads, deleter,
+			qsbr.WithR(cfg.hpR), qsbr.WithActiveSet(q.rt))
+	case reclaim.KindEras:
+		q.rc = eras.New[Node[T]](cfg.maxThreads, numHPs, deleter, (*Node[T]).Tag,
+			eras.WithR(cfg.hpR), eras.WithActiveSet(q.rt))
+	}
 	// Drain-on-release: a departing slot flushes its retire backlog (and
 	// recycles into its own free list) before the registry can reissue the
 	// slot. Registered on the Runtime so every release path — Handle.Close,
 	// harness workers, AutoQueue — inherits it.
-	q.rt.OnRelease(func(slot int) { q.hp.DrainThread(slot) })
+	q.rt.OnRelease(func(slot int) { q.rc.DrainThread(slot) })
 
 	sentinel := consensus.NewSentinel[T]()
-	q.enq.Init(q.rt, q.hp, hpTail, sentinel)
-	q.deq.Init(q.rt, q.hp, hpHead, hpNext, hpDeq, q.enq.TailPtr(), sentinel)
+	q.enq.Init(q.rt, q.rc, hpTail, sentinel)
+	q.deq.Init(q.rt, q.rc, hpHead, hpNext, hpDeq, q.enq.TailPtr(), sentinel)
 	return q
 }
 
@@ -164,8 +199,29 @@ func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
 // Hazard exposes the queue's hazard-pointer domain for the reclamation
-// experiments and tests.
+// experiments and tests. Nil unless the backend is reclaim.KindHazard.
 func (q *Queue[T]) Hazard() *hazard.Domain[Node[T]] { return q.hp }
+
+// Backend returns the reclamation backend the queue was built with.
+func (q *Queue[T]) Backend() reclaim.Kind { return q.backend }
+
+// Reclaimer exposes the queue's reclamation backend through the generic
+// seam, for the conformance suite and the X12 comparison harness.
+func (q *Queue[T]) Reclaimer() reclaim.Reclaimer[Node[T]] { return q.rc }
+
+// DrainReclaim force-drains every retire list in the backend — the queue
+// Close path. Quiescence-only: with an operation in flight the unbounded
+// backends may legitimately keep residue.
+func (q *Queue[T]) DrainReclaim() { q.rc.DrainAll() }
+
+// ProtectHeadForTest publishes a protection of the current head node from
+// threadID's slot 0 and leaves it standing — the uniform stall primitive
+// the X12 parked-reader experiment uses across all four backends (a
+// hazard/eras reservation, an epoch region entry, a qsbr online
+// announcement).
+func (q *Queue[T]) ProtectHeadForTest(threadID int) {
+	q.rc.Protect(hpHead, threadID, q.deq.HeadPtr())
+}
 
 // PoolStats reports node-pool counters (allocs, reuses, drops).
 func (q *Queue[T]) PoolStats() (allocs, reuses, drops int64) { return q.pool.Stats() }
@@ -173,7 +229,7 @@ func (q *Queue[T]) PoolStats() (allocs, reuses, drops int64) { return q.pool.Sta
 // AccountInto appends the queue's reclamation domains, node pool, and
 // helping-loop overrun counters to s (the account.Source contract).
 func (q *Queue[T]) AccountInto(s *account.Snapshot) {
-	s.Hazard = append(s.Hazard, account.CaptureHazard("nodes", q.hp))
+	q.rc.AccountInto(s, "nodes")
 	s.Pools = append(s.Pools, account.CapturePool("nodes", q.pool))
 	s.EnqOverruns, s.DeqOverruns = q.OverrunStats()
 }
@@ -245,6 +301,9 @@ func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
 	}
 	for i, item := range items {
 		nodes[i].Reset(item, int32(threadID))
+		if q.hp == nil {
+			q.rc.NoteAlloc(threadID, nodes[i])
+		}
 		if i > 0 {
 			nodes[i-1].SetNext(nodes[i])
 		}
@@ -273,7 +332,11 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 	qrt.CheckSlot(threadID, q.maxThreads)
 	q.rt.EnsureActive(threadID)
 	item, ok, prReq := q.deq.DequeueOne(threadID)
-	q.hp.Clear(threadID)
+	if q.hp != nil {
+		q.hp.Clear(threadID)
+	} else {
+		q.rc.Clear(threadID)
+	}
 	if ok {
 		q.retire(threadID, prReq)
 	}
@@ -305,9 +368,16 @@ func (q *Queue[T]) DequeueBatch(threadID int, buf []T) int {
 		n++
 		retires = append(retires, prReq)
 	}
-	q.hp.Clear(threadID)
-	if q.mode != ReclaimNone {
-		q.hp.RetireBatch(threadID, retires)
+	if q.hp != nil {
+		q.hp.Clear(threadID)
+		if q.mode != ReclaimNone {
+			q.hp.RetireBatch(threadID, retires)
+		}
+	} else {
+		q.rc.Clear(threadID)
+		if q.mode != ReclaimNone {
+			q.rc.RetireBatch(threadID, retires)
+		}
 	}
 	for i := range retires {
 		retires[i] = nil
@@ -324,7 +394,11 @@ func (q *Queue[T]) retire(threadID int, prReq *Node[T]) {
 	if q.mode == ReclaimNone {
 		return
 	}
-	q.hp.Retire(threadID, prReq)
+	if q.hp != nil {
+		q.hp.Retire(threadID, prReq)
+		return
+	}
+	q.rc.Retire(threadID, prReq)
 }
 
 // allocNode draws a node from the pool (or the heap) and initializes it as
@@ -342,5 +416,11 @@ func (q *Queue[T]) allocNode(threadID int, item T) *Node[T] {
 		nd = new(Node[T])
 	}
 	nd.Reset(item, int32(threadID))
+	// Re-stamp the node's birth era (eras backend; no-op elsewhere) before
+	// it becomes shared again — the recycle is what makes the stamp matter.
+	// The hazard no-op is skipped outright rather than dispatched.
+	if q.hp == nil {
+		q.rc.NoteAlloc(threadID, nd)
+	}
 	return nd
 }

@@ -23,8 +23,10 @@ package epoch
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 )
@@ -44,13 +46,29 @@ type Domain[T any] struct {
 
 	// retired[tid] is owned by thread tid exclusively.
 	retired [][]tagged[T]
+	// blen[tid] atomically mirrors len(retired[tid]) for the accounting
+	// layer's per-slot view (SlotBacklog/PerSlot).
+	blen []pad.Int64Slot
+
+	// orphans holds residue DrainThread could not age out at slot
+	// release. Without it a released-but-never-reused slot strands its
+	// retire list forever: the three drain rounds run once, and nothing
+	// ever sweeps retired[tid] again even after the stalled reader that
+	// pinned the epoch exits. Later Retires opportunistically sweep the
+	// orphans (TryLock, so the retire path never blocks on a concurrent
+	// sweep), and DrainAll sweeps them at queue Close.
+	orphanMu sync.Mutex
+	orphans  []tagged[T]
+	orphanSz pad.Int64Slot
 
 	retireCalls pad.Int64Slot
 	deleteCalls pad.Int64Slot
-	// backlogSz mirrors the total retired-but-unfreed count atomically so
-	// diagnostics (Backlog, internal/account snapshots) never race the
-	// owners' slice mutations.
+	// backlogSz mirrors the total retired-but-unfreed count (retire
+	// lists plus orphans) atomically so diagnostics (Backlog,
+	// internal/account snapshots) never race the owners' slice mutations.
 	backlogSz pad.Int64Slot
+	// maxBacklogSz tracks the largest backlog observed (CAS-max).
+	maxBacklogSz pad.Int64Slot
 }
 
 type tagged[T any] struct {
@@ -72,6 +90,7 @@ func New[T any](maxThreads int, deleter func(tid int, node *T)) *Domain[T] {
 		deleter:    deleter,
 		announce:   make([]pad.Int64Slot, maxThreads),
 		retired:    make([][]tagged[T], maxThreads),
+		blen:       make([]pad.Int64Slot, maxThreads),
 	}
 	for i := range d.announce {
 		d.announce[i].V.Store(quiescent)
@@ -95,16 +114,55 @@ func (d *Domain[T]) Exit(tid int) {
 }
 
 // Retire tags node with the current epoch, appends it to tid's retire
-// list, then attempts an epoch advance and frees whatever has aged out.
+// list, then attempts an epoch advance and frees whatever has aged out —
+// including, opportunistically, orphaned residue from released slots.
 func (d *Domain[T]) Retire(tid int, node *T) {
 	if node == nil {
 		return
 	}
 	d.retireCalls.V.Add(1)
 	d.retired[tid] = append(d.retired[tid], tagged[T]{node: node, epoch: d.globalEpoch.Load()})
-	d.backlogSz.V.Add(1)
+	d.blen[tid].V.Store(int64(len(d.retired[tid])))
+	d.noteBacklog(1)
 	d.tryAdvance()
 	d.sweep(tid)
+	d.sweepOrphans(tid, false)
+}
+
+// RetireBatch retires every non-nil node with one advance attempt and one
+// sweep, the batched analog of Retire.
+func (d *Domain[T]) RetireBatch(tid int, nodes []*T) {
+	e := d.globalEpoch.Load()
+	added := 0
+	list := d.retired[tid]
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		list = append(list, tagged[T]{node: n, epoch: e})
+		added++
+	}
+	if added == 0 {
+		return
+	}
+	d.retired[tid] = list
+	d.blen[tid].V.Store(int64(len(list)))
+	d.retireCalls.V.Add(int64(added))
+	d.noteBacklog(int64(added))
+	d.tryAdvance()
+	d.sweep(tid)
+	d.sweepOrphans(tid, false)
+}
+
+// noteBacklog adjusts the backlog mirror and maintains the CAS-max peak.
+func (d *Domain[T]) noteBacklog(delta int64) {
+	n := d.backlogSz.V.Add(delta)
+	for {
+		cur := d.maxBacklogSz.V.Load()
+		if cur >= n || d.maxBacklogSz.V.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // tryAdvance bumps the global epoch iff every thread is quiescent or has
@@ -141,6 +199,40 @@ func (d *Domain[T]) sweep(tid int) {
 		d.backlogSz.V.Add(-int64(freed))
 	}
 	d.retired[tid] = kept
+	d.blen[tid].V.Store(int64(len(kept)))
+}
+
+// sweepOrphans frees aged-out orphan entries. Opportunistic on the retire
+// path (TryLock — never blocks an operation on a concurrent sweep);
+// force=true (DrainAll) waits for the lock.
+func (d *Domain[T]) sweepOrphans(tid int, force bool) {
+	if d.orphanSz.V.Load() == 0 {
+		return
+	}
+	if force {
+		d.orphanMu.Lock()
+	} else if !d.orphanMu.TryLock() {
+		return
+	}
+	defer d.orphanMu.Unlock()
+	e := d.globalEpoch.Load()
+	kept := d.orphans[:0]
+	for _, t := range d.orphans {
+		if t.epoch <= e-2 {
+			d.deleteCalls.V.Add(1)
+			d.deleter(tid, t.node)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(d.orphans); i++ {
+		d.orphans[i] = tagged[T]{}
+	}
+	if freed := len(d.orphans) - len(kept); freed > 0 {
+		d.backlogSz.V.Add(-int64(freed))
+		d.orphanSz.V.Add(-int64(freed))
+	}
+	d.orphans = kept
 }
 
 // DrainThread makes a bounded effort to flush tid's retire list before the
@@ -155,6 +247,35 @@ func (d *Domain[T]) DrainThread(tid int) {
 	for round := 0; round < 3 && len(d.retired[tid]) > 0; round++ {
 		d.tryAdvance()
 		d.sweep(tid)
+	}
+	// Residue the rounds could not age out migrates to the orphan list:
+	// the slot may never be reused, and an owner-exclusive list with no
+	// owner would otherwise strand its nodes forever even after the
+	// stalled reader that pinned them exits. Orphans stay counted in the
+	// backlog until a later Retire or DrainAll ages them out.
+	if len(d.retired[tid]) > 0 {
+		d.orphanMu.Lock()
+		d.orphans = append(d.orphans, d.retired[tid]...)
+		d.orphanSz.V.Add(int64(len(d.retired[tid])))
+		d.orphanMu.Unlock()
+		d.retired[tid] = d.retired[tid][:0]
+		d.blen[tid].V.Store(0)
+	}
+}
+
+// DrainAll sweeps every retire list and the orphan list. Quiescence-only
+// (queue Close): with every slot released the advance precondition holds,
+// so three rounds age everything out unless a crashed registration still
+// pins an old epoch — in which case the residue is reported, not forced.
+func (d *Domain[T]) DrainAll() {
+	for round := 0; round < 3 && d.backlogSz.V.Load() > 0; round++ {
+		d.tryAdvance()
+		for tid := 0; tid < d.maxThreads; tid++ {
+			if len(d.retired[tid]) > 0 {
+				d.sweep(tid)
+			}
+		}
+		d.sweepOrphans(0, true)
 	}
 }
 
@@ -171,4 +292,73 @@ func (d *Domain[T]) Epoch() int64 { return d.globalEpoch.Load() }
 // Stats reports cumulative retire and delete counts.
 func (d *Domain[T]) Stats() (retires, deletes int64) {
 	return d.retireCalls.V.Load(), d.deleteCalls.V.Load()
+}
+
+// MaxThreads returns the thread bound of the domain.
+func (d *Domain[T]) MaxThreads() int { return d.maxThreads }
+
+// SlotBacklog returns thread tid's retired-but-unfreed count (atomic
+// mirror; orphaned residue is not attributed to any slot).
+func (d *Domain[T]) SlotBacklog(tid int) int { return int(d.blen[tid].V.Load()) }
+
+// The reclaim.Reclaimer mapping. Epochs have no per-pointer slots; the
+// interface's Protect/Clear pair maps onto the read-side critical region:
+// the first Protect of an operation Enters (announces the thread online in
+// the current epoch), later Protects within the region are plain loads,
+// and Clear Exits. The announce slot doubles as the region flag —
+// quiescent means "not entered" — so no extra state is needed. The
+// announce-then-load order inside Protect gives the same guarantee the
+// explicit Enter gave faaq: every node reachable from src after the
+// announce was either retired after it (and so cannot age past our epoch)
+// or is still live.
+//
+// Protect never fails validation (ok is always true): the region pins
+// every node retired after entry, so no revalidation exists to fail —
+// wait-free population-oblivious protection, which is exactly why the
+// backlog is unbounded when a reader stalls (Table 2's trade-off).
+
+// Protect announces the thread online if it is not already, then loads
+// src inside the protected region.
+func (d *Domain[T]) Protect(index, tid int, src *atomic.Pointer[T]) (*T, bool) {
+	if d.announce[tid].V.Load() == quiescent {
+		d.Enter(tid)
+		// Fault point shared with the other backends so the chaos
+		// suite's parked-reader scenario targets all four uniformly.
+		inject.Fire(inject.HazardProtect)
+	}
+	return src.Load(), true
+}
+
+// ClearOne is a no-op: dropping one protection index must not end the
+// region that still covers the operation's other loads.
+func (d *Domain[T]) ClearOne(index, tid int) {}
+
+// Clear ends tid's read-side region (the reclaim.Reclaimer spelling of
+// Exit).
+func (d *Domain[T]) Clear(tid int) { d.Exit(tid) }
+
+// NoteAlloc is a no-op: epochs carry no per-node state.
+func (d *Domain[T]) NoteAlloc(int, *T) {}
+
+// Bound reports that epoch reclamation makes no mid-run backlog promise:
+// one stalled reader pins every node retired after its epoch (§3).
+func (d *Domain[T]) Bound() (int, bool) { return 0, false }
+
+// AccountInto appends this domain's snapshot to s under name (the
+// reclaim.Reclaimer accounting contract). Bounded=false: the bound column
+// is reported as zero and never asserted.
+func (d *Domain[T]) AccountInto(s *account.Snapshot, name string) {
+	ds := account.DomainSnapshot{
+		Name:       name,
+		Backend:    "epoch",
+		Bounded:    false,
+		Backlog:    d.Backlog(),
+		MaxBacklog: d.maxBacklogSz.V.Load(),
+	}
+	ds.Retires, ds.Deletes = d.Stats()
+	ds.PerSlot = make([]int, d.maxThreads)
+	for i := range ds.PerSlot {
+		ds.PerSlot[i] = d.SlotBacklog(i)
+	}
+	s.Hazard = append(s.Hazard, ds)
 }

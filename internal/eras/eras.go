@@ -1,0 +1,454 @@
+// Package eras implements WFE-style era-based reclamation ("Universal
+// Wait-Free Memory Reclamation", PPoPP '20 lineage; see PAPERS.md), the
+// fourth point in the repository's §3 comparison (experiment X12): it
+// keeps hazard pointers' wait-freedom and bounded-backlog behaviour while
+// replacing their per-access store+fence with a store that only happens
+// when the global era has advanced — amortized, a per-access *load* of an
+// own-cache-line reservation word.
+//
+// Protocol. A global era advances every eraFreq retires. Every node
+// carries a birth era (stamped at allocation by NoteAlloc) and a retire
+// era (stamped by Retire) in its reclaim.Tag. A thread protects a pointer
+// by publishing the current era in its per-(thread, index) reservation
+// word, loading the pointer, and revalidating that the era has not moved;
+// a retired node is freeable once no published reservation r satisfies
+// birth ≤ r ≤ retire.
+//
+// Why the load must live inside Protect: with hazard pointers the caller
+// can validate by re-reading the source pointer, because protection names
+// an address. An era reservation names a *time*, and a node recycled
+// since the reservation was published passes an address comparison while
+// its fresh birth era escapes the reservation entirely. Loading between
+// the reservation store and the era recheck closes that hole: if the era
+// is unchanged, every node the load can observe was either born in a
+// covered era or is still live.
+//
+// Progress and bounds. Protect retries its internal store-load-recheck at
+// most protectAttempts times, then fails (ok=false) and lets the caller
+// advance its own bounded loop — wait-free, like a failed hazard
+// validation. A stalled reservation at era r pins only nodes with birth
+// ≤ r: once the era advances, recycled nodes are re-stamped with fresh
+// birth eras and escape, so the backlog *plateaus* at the nodes in
+// circulation when the stall began plus one era-window of retires —
+// bounded, where epoch/qsbr grow without limit. That plateau is the
+// measured form of the bound; Bound() states the quiescence residual.
+package eras
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"turnqueue/internal/account"
+	"turnqueue/internal/inject"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/reclaim"
+)
+
+// noRes marks an empty reservation slot. Eras start at 1, so 0 never
+// collides with a published reservation.
+const noRes = int64(-1)
+
+// DefaultEraFreq is the retires-per-era-advance default: small enough
+// that a stalled reservation's plateau shows within a test-sized run,
+// large enough that the era is effectively stable across any single
+// operation's protect window.
+const DefaultEraFreq = 64
+
+// protectAttempts bounds Protect's internal store-load-recheck loop.
+// With the era advancing once per eraFreq retires, even one failure
+// needs ~eraFreq concurrent retires inside a two-instruction window;
+// three attempts make ok=false vanishingly rare without compromising
+// the wait-free bound.
+const protectAttempts = 3
+
+// Domain is an era-reclamation domain for nodes of type T. tag must
+// return the node's embedded reclaim.Tag; the Domain owns its contents.
+type Domain[T any] struct {
+	maxThreads int
+	numRes     int
+	rParam     int
+	eraFreq    int64
+	deleter    func(tid int, node *T)
+	tag        func(*T) *reclaim.Tag
+	active     reclaim.ActiveSet
+
+	era atomic.Int64
+	_   [2*pad.CacheLine - 8]byte
+	// retireCtr drives the era cadence: one advance per eraFreq retires.
+	retireCtr atomic.Int64
+	_         [2*pad.CacheLine - 8]byte
+
+	// res is the reservation matrix, row-major like hazard's slot
+	// matrix: reservation (tid, i) lives at res[tid*numRes+i].
+	res []pad.Int64Slot
+
+	// retired[tid] is owned by thread tid exclusively; snap[tid] is its
+	// reusable sorted-reservation buffer.
+	retired [][]*T
+	snap    [][]int64
+	blen    []pad.Int64Slot
+
+	retireCalls  pad.Int64Slot
+	deleteCalls  pad.Int64Slot
+	maxBacklogSz pad.Int64Slot
+}
+
+// Option configures a Domain.
+type Option func(*config)
+
+type config struct {
+	rParam  int
+	eraFreq int64
+	active  reclaim.ActiveSet
+}
+
+// WithR sets the scan threshold (the hazard package's R parameter).
+func WithR(r int) Option {
+	return func(c *config) {
+		if r < 0 {
+			panic(fmt.Sprintf("eras: negative R parameter %d", r))
+		}
+		c.rParam = r
+	}
+}
+
+// WithEraFreq sets the retires-per-era-advance cadence.
+func WithEraFreq(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			panic(fmt.Sprintf("eras: invalid era frequency %d", n))
+		}
+		c.eraFreq = int64(n)
+	}
+}
+
+// WithActiveSet restricts reservation scans to registered rows.
+func WithActiveSet(s reclaim.ActiveSet) Option {
+	return func(c *config) { c.active = s }
+}
+
+// New creates a Domain for maxThreads threads with numRes reservation
+// slots per thread. tag extracts a node's embedded reclaim.Tag.
+func New[T any](maxThreads, numRes int, deleter func(tid int, node *T), tag func(*T) *reclaim.Tag, opts ...Option) *Domain[T] {
+	if maxThreads <= 0 || numRes <= 0 {
+		panic(fmt.Sprintf("eras: invalid dimensions %d x %d", maxThreads, numRes))
+	}
+	if deleter == nil || tag == nil {
+		panic("eras: nil deleter or tag accessor")
+	}
+	cfg := config{eraFreq: DefaultEraFreq}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := &Domain[T]{
+		maxThreads: maxThreads,
+		numRes:     numRes,
+		rParam:     cfg.rParam,
+		eraFreq:    cfg.eraFreq,
+		deleter:    deleter,
+		tag:        tag,
+		active:     cfg.active,
+		res:        make([]pad.Int64Slot, maxThreads*numRes),
+		retired:    make([][]*T, maxThreads),
+		snap:       make([][]int64, maxThreads),
+		blen:       make([]pad.Int64Slot, maxThreads),
+	}
+	for i := range d.res {
+		d.res[i].V.Store(noRes)
+	}
+	d.era.Store(1)
+	return d
+}
+
+// MaxThreads returns the thread bound of the domain.
+func (d *Domain[T]) MaxThreads() int { return d.maxThreads }
+
+// NumRes returns the reservation slots per thread.
+func (d *Domain[T]) NumRes() int { return d.numRes }
+
+// R returns the scan threshold.
+func (d *Domain[T]) R() int { return d.rParam }
+
+// Era returns the current global era (diagnostics).
+func (d *Domain[T]) Era() int64 { return d.era.Load() }
+
+func (d *Domain[T]) slot(tid, index int) *atomic.Int64 {
+	return &d.res[tid*d.numRes+index].V
+}
+
+// Protect publishes the current era in reservation (tid, index), loads
+// src, and revalidates era stability. The common case skips the store:
+// the reservation already quotes the current era from an earlier protect
+// in the same window, so protection costs one era load plus one own-line
+// load. ok=false after protectAttempts era bounces — the caller advances
+// its bounded loop, preserving wait-freedom.
+func (d *Domain[T]) Protect(index, tid int, src *atomic.Pointer[T]) (*T, bool) {
+	slot := d.slot(tid, index)
+	for a := 0; a < protectAttempts; a++ {
+		e := d.era.Load()
+		if slot.Load() != e {
+			slot.Store(e)
+		}
+		if a == 0 {
+			// Fault point shared with the other backends: a thread
+			// parked here holds its reservation at era e forever; the
+			// backlog plateaus instead of growing (the X12 claim).
+			inject.Fire(inject.HazardProtect)
+		}
+		node := src.Load()
+		if d.era.Load() == e {
+			return node, true
+		}
+	}
+	return nil, false
+}
+
+// ClearOne empties reservation (tid, index).
+func (d *Domain[T]) ClearOne(index, tid int) { d.slot(tid, index).Store(noRes) }
+
+// Clear empties every reservation tid holds.
+func (d *Domain[T]) Clear(tid int) {
+	for i := 0; i < d.numRes; i++ {
+		d.slot(tid, i).Store(noRes)
+	}
+}
+
+// NoteAlloc stamps node's birth era. Called every time a node enters (or
+// re-enters, via pool recycling) circulation — the re-stamp is what lets
+// recycled nodes escape a stalled reservation and makes the backlog
+// plateau rather than grow.
+func (d *Domain[T]) NoteAlloc(tid int, node *T) {
+	t := d.tag(node)
+	t.Birth = d.era.Load()
+	t.Retire = 0
+}
+
+// Retire stamps node's retire era, appends it to tid's list, advances
+// the era on the eraFreq cadence, and scans past the R threshold.
+func (d *Domain[T]) Retire(tid int, node *T) {
+	if node == nil {
+		return
+	}
+	d.retireOne(tid, node)
+	d.blen[tid].V.Store(int64(len(d.retired[tid])))
+	d.notePeak(int64(len(d.retired[tid])))
+	if len(d.retired[tid]) > d.rParam {
+		d.scan(tid)
+	}
+}
+
+// RetireBatch retires every non-nil node with at most one scan.
+func (d *Domain[T]) RetireBatch(tid int, nodes []*T) {
+	added := 0
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		d.retireOne(tid, n)
+		added++
+	}
+	if added == 0 {
+		return
+	}
+	d.blen[tid].V.Store(int64(len(d.retired[tid])))
+	d.notePeak(int64(len(d.retired[tid])))
+	if len(d.retired[tid]) > d.rParam {
+		d.scan(tid)
+	}
+}
+
+func (d *Domain[T]) retireOne(tid int, node *T) {
+	d.retireCalls.V.Add(1)
+	d.tag(node).Retire = d.era.Load()
+	d.retired[tid] = append(d.retired[tid], node)
+	if d.retireCtr.Add(1)%d.eraFreq == 0 {
+		d.era.Add(1)
+	}
+	inject.Fire(inject.HazardRetire)
+}
+
+// notePeak CAS-maxes the per-slot backlog peak, hazard's maxBacklog
+// shape: the usual case is one plain load (cur >= n) with no write, so
+// the retire hot path carries no always-dirty global counter.
+func (d *Domain[T]) notePeak(n int64) {
+	for {
+		cur := d.maxBacklogSz.V.Load()
+		if cur >= n || d.maxBacklogSz.V.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// reservations snapshots every published reservation in the scanned rows
+// into tid's reusable buffer, sorted for binary search. Reading a slot
+// once is safe for the same reason hazard's snapshot is: a reservation
+// published after its read belongs to a thread whose Protect can no
+// longer validate any node this scan might free (the node was unlinked
+// before retire, and a recycled reincarnation carries a fresh birth era).
+func (d *Domain[T]) reservations(tid int) []int64 {
+	snap := d.snap[tid][:0]
+	if d.active != nil {
+		limit := d.active.ActiveLimit()
+		if limit > d.maxThreads {
+			limit = d.maxThreads
+		}
+		for w := 0; w<<6 < limit; w++ {
+			word := d.active.ActiveWord(w)
+			for word != 0 {
+				row := w<<6 + bits.TrailingZeros64(word)
+				if row >= limit {
+					break
+				}
+				word &= word - 1
+				for i := 0; i < d.numRes; i++ {
+					if r := d.res[row*d.numRes+i].V.Load(); r != noRes {
+						snap = append(snap, r)
+					}
+				}
+			}
+		}
+	} else {
+		for i := range d.res {
+			if r := d.res[i].V.Load(); r != noRes {
+				snap = append(snap, r)
+			}
+		}
+	}
+	sortReservations(snap)
+	d.snap[tid] = snap
+	return snap
+}
+
+// sortReservations sorts the snapshot ascending. R=0 scans run once per
+// retire on a handful of entries, where sort.Slice's interface-call
+// machinery dominates the actual comparisons — insertion sort keeps the
+// hot path monomorphic; large snapshots (many threads, R>0 batching)
+// fall back to the library sort.
+func sortReservations(s []int64) {
+	if len(s) > 24 {
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// scan frees every node in tid's retire list whose [birth, retire]
+// interval contains no published reservation: one bounded reservation
+// sweep plus one binary search per entry — wait-free bounded, matching
+// hazard's Table 2 column.
+func (d *Domain[T]) scan(tid int) {
+	snap := d.reservations(tid)
+	list := d.retired[tid]
+	kept := list[:0]
+	for _, n := range list {
+		t := d.tag(n)
+		// First reservation ≥ birth (inline binary search; sort.Search's
+		// closure costs show on the once-per-retire R=0 path); the node
+		// is pinned iff it also precedes (or equals) the retire era.
+		lo, hi := 0, len(snap)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if snap[mid] >= t.Birth {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo < len(snap) && snap[lo] <= t.Retire {
+			kept = append(kept, n)
+			continue
+		}
+		d.deleteCalls.V.Add(1)
+		d.deleter(tid, n)
+	}
+	for i := len(kept); i < len(list); i++ {
+		list[i] = nil
+	}
+	d.retired[tid] = kept
+	d.blen[tid].V.Store(int64(len(kept)))
+}
+
+// DrainThread empties tid's reservations and force-scans its retire
+// list; qrt's release hook. Entries pinned by other threads' reservations
+// remain, attributed to this slot, until a later DrainThread or DrainAll.
+func (d *Domain[T]) DrainThread(tid int) {
+	d.Clear(tid)
+	d.scan(tid)
+}
+
+// DrainAll force-scans every thread's retire list. Quiescence-only
+// (queue Close): with no reservations published it leaves the backlog at
+// zero, including lists stranded on released slots.
+func (d *Domain[T]) DrainAll() {
+	for tid := 0; tid < d.maxThreads; tid++ {
+		if len(d.retired[tid]) > 0 {
+			d.scan(tid)
+		}
+	}
+}
+
+// Backlog returns the total retired-but-unfreed count: the sum of the
+// per-slot mirrors. Diagnostic-path only, so the maxThreads loads here
+// buy a retire hot path with no global counter to dirty.
+func (d *Domain[T]) Backlog() int {
+	var n int64
+	for tid := range d.blen {
+		n += d.blen[tid].V.Load()
+	}
+	return int(n)
+}
+
+// SlotBacklog returns tid's retired-but-unfreed count (atomic mirror).
+func (d *Domain[T]) SlotBacklog(tid int) int { return int(d.blen[tid].V.Load()) }
+
+// Stats reports cumulative retire/delete counts and the peak per-slot
+// backlog (hazard's maxBacklog shape).
+func (d *Domain[T]) Stats() (retires, deletes, maxBacklog int64) {
+	return d.retireCalls.V.Load(), d.deleteCalls.V.Load(), d.maxBacklogSz.V.Load()
+}
+
+// BacklogBound returns the stated quiescence bound, in the same shape as
+// hazard.BacklogBound: with no reservations published, a scan frees
+// every entry, so at quiescence at most the per-thread unscanned slack
+// (R plus one mid-retire entry) remains, and the reservation term is the
+// safety margin for scans racing a clearing thread. The *mid-run*
+// guarantee is deliberately not a closed form: a stalled reservation
+// pins the nodes in circulation when it was published plus one
+// era-window of retires — the plateau X12 measures — rather than a
+// count derived from slots alone.
+func (d *Domain[T]) BacklogBound() int {
+	return d.maxThreads*d.numRes + d.maxThreads*(d.rParam+1)
+}
+
+// Bound is the reclaim.Reclaimer quiescence contract: eras are bounded
+// mid-run (the plateau property), unlike epoch/qsbr.
+func (d *Domain[T]) Bound() (int, bool) { return d.BacklogBound(), true }
+
+// AccountInto appends this domain's snapshot to s under name.
+func (d *Domain[T]) AccountInto(s *account.Snapshot, name string) {
+	ds := account.DomainSnapshot{
+		Name:    name,
+		Backend: "eras",
+		Bounded: true,
+		NumHPs:  d.numRes,
+		R:       d.rParam,
+		Bound:   d.BacklogBound(),
+		Backlog: d.Backlog(),
+	}
+	ds.Retires, ds.Deletes, ds.MaxBacklog = d.Stats()
+	ds.PerSlot = make([]int, d.maxThreads)
+	for i := range ds.PerSlot {
+		ds.PerSlot[i] = d.SlotBacklog(i)
+	}
+	s.Hazard = append(s.Hazard, ds)
+}

@@ -1,0 +1,172 @@
+package eras
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"turnqueue/internal/reclaim"
+)
+
+type enode struct {
+	v   int
+	tag reclaim.Tag
+}
+
+func etag(n *enode) *reclaim.Tag { return &n.tag }
+
+// collect returns a Domain whose deleter counts frees.
+func collect(t *testing.T, maxThreads, numRes int, opts ...Option) (*Domain[enode], *atomic.Int64) {
+	t.Helper()
+	var freed atomic.Int64
+	d := New[enode](maxThreads, numRes, func(int, *enode) { freed.Add(1) }, etag, opts...)
+	return d, &freed
+}
+
+// fresh allocates a node and stamps its birth era, as every real caller
+// (the node pool) must.
+func fresh(d *Domain[enode], tid, v int) *enode {
+	n := &enode{v: v}
+	d.NoteAlloc(tid, n)
+	return n
+}
+
+// TestEraAdvancesOnRetireCadence: one global-era advance per eraFreq
+// retires, starting from era 1.
+func TestEraAdvancesOnRetireCadence(t *testing.T) {
+	d, _ := collect(t, 2, 1, WithR(1000), WithEraFreq(4))
+	if got := d.Era(); got != 1 {
+		t.Fatalf("initial Era = %d, want 1", got)
+	}
+	for i := 0; i < 4; i++ {
+		d.Retire(0, fresh(d, 0, i))
+	}
+	if got := d.Era(); got != 2 {
+		t.Fatalf("Era after eraFreq retires = %d, want 2", got)
+	}
+	for i := 0; i < 8; i++ {
+		d.Retire(0, fresh(d, 0, i))
+	}
+	if got := d.Era(); got != 4 {
+		t.Fatalf("Era after 3*eraFreq retires = %d, want 4", got)
+	}
+}
+
+// TestReservationPinsOnlyCoveredIntervals: a node is pinned iff some
+// published reservation r satisfies birth ≤ r ≤ retire — a node whose
+// whole lifetime postdates the reservation escapes, which is exactly how
+// recycled nodes drain past a stalled reader (the X12 plateau).
+func TestReservationPinsOnlyCoveredIntervals(t *testing.T) {
+	d, freed := collect(t, 2, 1, WithEraFreq(2)) // R=0: scan every retire
+	var src atomic.Pointer[enode]
+	pinned := fresh(d, 0, 1) // birth era 1
+	src.Store(pinned)
+
+	// Thread 1 publishes a reservation at era 1 and stalls.
+	if _, ok := d.Protect(0, 1, &src); !ok {
+		t.Fatal("Protect failed with no concurrent era advance")
+	}
+
+	// Retiring the pinned node keeps it: birth 1 ≤ r=1 ≤ retire.
+	d.Retire(0, pinned)
+	if got := freed.Load(); got != 0 {
+		t.Fatalf("freed %d, want 0 (node's interval covers the reservation)", got)
+	}
+
+	// Advance the era past the reservation, then retire fresh nodes: their
+	// birth eras exceed r=1, so the stalled reservation cannot pin them.
+	d.Retire(0, fresh(d, 0, 2)) // 2nd retire → era advances to 2
+	base := freed.Load()
+	for i := 0; i < 6; i++ {
+		d.Retire(0, fresh(d, 0, 10+i))
+	}
+	if got := freed.Load() - base; got < 5 {
+		t.Fatalf("freed %d post-advance nodes, want ≥5 (stalled reservation must not pin fresh births)", got)
+	}
+	// The originally pinned node is still held.
+	if got := d.Backlog(); got < 1 {
+		t.Fatal("pinned node reclaimed while its reservation is published")
+	}
+
+	// Releasing the reservation frees the node on the next scan.
+	d.ClearOne(0, 1)
+	d.Retire(0, fresh(d, 0, 99))
+	if got := d.Backlog(); got > 1 {
+		t.Fatalf("Backlog = %d after reservation cleared, want ≤1", got)
+	}
+}
+
+// TestNoteAllocRestampEscapesOldReservation: pool recycling must re-stamp
+// the birth era; without it a recycled node would keep its dead
+// incarnation's interval and be pinned (or worse, freed) incorrectly.
+func TestNoteAllocRestampEscapesOldReservation(t *testing.T) {
+	d, _ := collect(t, 2, 1, WithR(1000), WithEraFreq(1)) // era advances every retire
+	n := fresh(d, 0, 1)
+	if n.tag.Birth != 1 || n.tag.Retire != 0 {
+		t.Fatalf("fresh tag = %+v, want {Birth:1 Retire:0}", n.tag)
+	}
+	d.Retire(0, n)
+	if n.tag.Retire == 0 {
+		t.Fatal("Retire did not stamp the retire era")
+	}
+	// Simulate the pool handing the node back out two eras later.
+	d.Retire(0, fresh(d, 0, 2))
+	d.NoteAlloc(0, n)
+	if n.tag.Birth <= 1 || n.tag.Retire != 0 {
+		t.Fatalf("re-stamped tag = %+v, want fresh birth era > 1 and zero retire", n.tag)
+	}
+}
+
+// TestClearEmptiesEveryReservation: Clear drops all of a thread's
+// reservation indices, ClearOne only the named one.
+func TestClearEmptiesEveryReservation(t *testing.T) {
+	d, freed := collect(t, 2, 3)
+	var src atomic.Pointer[enode]
+	held := fresh(d, 0, 1)
+	src.Store(held)
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Protect(i, 1, &src); !ok {
+			t.Fatalf("Protect(%d) failed", i)
+		}
+	}
+	d.Retire(0, held)
+	if freed.Load() != 0 {
+		t.Fatal("node freed while reservations cover it")
+	}
+	// Dropping two of three reservations still pins it.
+	d.ClearOne(0, 1)
+	d.ClearOne(1, 1)
+	d.Retire(0, fresh(d, 0, 2))
+	if d.Backlog() == 0 {
+		t.Fatal("node freed while one reservation still covers it")
+	}
+	d.Clear(1)
+	d.Retire(0, fresh(d, 0, 3))
+	if got := d.Backlog(); got != 0 {
+		t.Fatalf("Backlog = %d after Clear, want 0", got)
+	}
+}
+
+// TestDrainThreadScansOwnList and the quiescence bound contract.
+func TestDrainThreadScansOwnList(t *testing.T) {
+	d, freed := collect(t, 2, 1, WithR(1000))
+	for i := 0; i < 7; i++ {
+		d.Retire(0, fresh(d, 0, i))
+	}
+	if freed.Load() != 0 {
+		t.Fatal("scan ran below the R threshold")
+	}
+	d.DrainThread(0)
+	if got := freed.Load(); got != 7 {
+		t.Fatalf("freed %d after DrainThread, want 7", got)
+	}
+	if got := d.SlotBacklog(0); got != 0 {
+		t.Fatalf("SlotBacklog(0) = %d, want 0", got)
+	}
+	bound, bounded := d.Bound()
+	if !bounded {
+		t.Fatal("eras must claim a bound")
+	}
+	if want := d.MaxThreads()*d.NumRes() + d.MaxThreads()*(d.R()+1); bound != want {
+		t.Fatalf("Bound = %d, want %d (maxThreads·numRes + maxThreads·(R+1))", bound, want)
+	}
+}

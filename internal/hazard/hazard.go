@@ -53,8 +53,10 @@ import (
 	"sync/atomic"
 	"unsafe"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
+	"turnqueue/internal/reclaim"
 )
 
 // ActiveSet is the slot-occupancy view a Domain scans with; implemented
@@ -63,11 +65,8 @@ import (
 // [w*64, w*64+64), so a full sweep costs one interface call per 64 rows.
 // The contract the scans rely on: a slot is in the set before its thread
 // can publish a protection, and leaves it only after the thread's last
-// operation.
-type ActiveSet interface {
-	ActiveLimit() int
-	ActiveWord(w int) uint64
-}
+// operation. Shared with the other backends via internal/reclaim.
+type ActiveSet = reclaim.ActiveSet
 
 // Domain is a hazard-pointer domain for nodes of type T. A Domain is
 // typically embedded one-per-queue-instance, exactly like the `hp` member
@@ -98,6 +97,15 @@ type Domain[T any] struct {
 	// layer (internal/account) can snapshot per-slot backlogs mid-run
 	// without racing the owner's slice mutations.
 	blen []pad.Int64Slot
+
+	// bcond/bprot[tid] split blen[tid] by holdout reason at the last
+	// scan: entries kept because their RetireCond condition was unmet
+	// vs entries kept because a slot still protects them. Without the
+	// split a kpq VerifyQuiescent failure is opaque — "backlog 3" does
+	// not say whether a reader is pinning nodes or a consumer never
+	// nulled its item slot. Written by the owner at scan time only.
+	bcond []pad.Int64Slot
+	bprot []pad.Int64Slot
 
 	retireCalls  pad.Int64Slot
 	deleteCalls  pad.Int64Slot
@@ -171,6 +179,8 @@ func New[T any](maxThreads, numHPs int, deleter func(tid int, node *T), opts ...
 		retired:    make([][]conditional[T], maxThreads),
 		snap:       make([][]uintptr, maxThreads),
 		blen:       make([]pad.Int64Slot, maxThreads),
+		bcond:      make([]pad.Int64Slot, maxThreads),
+		bprot:      make([]pad.Int64Slot, maxThreads),
 	}
 }
 
@@ -199,6 +209,28 @@ func (d *Domain[T]) ProtectPtr(index, tid int, node *T) *T {
 	inject.Fire(inject.HazardProtect)
 	return node
 }
+
+// Protect is the reclaim.Reclaimer form of the load-store-load
+// discipline: load *src, publish it in slot index, and validate that src
+// still holds the same pointer. ok=false is the paper's failed
+// validation — the caller advances its enclosing bounded loop rather
+// than retrying here, which is what keeps protection wait-free.
+func (d *Domain[T]) Protect(index, tid int, src *atomic.Pointer[T]) (*T, bool) {
+	node := src.Load()
+	d.slot(tid, index).Store(node)
+	// Fault point: the window between protect-publish and revalidation —
+	// a thread parked here holds a published protection forever, pinning
+	// at most numHPs nodes (the §3 bound under test).
+	inject.Fire(inject.HazardProtect)
+	if src.Load() != node {
+		return node, false
+	}
+	return node, true
+}
+
+// NoteAlloc is a no-op: hazard pointers carry no per-node state (only
+// the eras backend stamps birth eras at allocation).
+func (d *Domain[T]) NoteAlloc(int, *T) {}
 
 // Clear nulls every slot of thread tid, the paper's hp.clear(). Called on
 // every return path of enqueue() and dequeue().
@@ -311,19 +343,39 @@ func (d *Domain[T]) scan(tid int) {
 		snap = d.snapshot(tid)
 	}
 	kept := list[:0]
+	condKept, protKept := int64(0), int64(0)
 	for _, c := range list {
+		condOK := c.cond == nil || c.cond()
 		live := false
 		if useSnap {
 			live = snapContains(snap, c.node)
 		} else {
 			live = d.protected(c.node)
 		}
-		if (c.cond == nil || c.cond()) && !live {
+		if condOK && !live {
 			d.deleteCalls.V.Add(1)
 			d.deleter(tid, c.node)
 			continue
 		}
+		// Classify the holdout: an unmet condition is reported first
+		// because it is the opaque case (a protection eventually clears;
+		// an unmet condition needs its owner to act).
+		if !condOK {
+			condKept++
+		} else {
+			protKept++
+		}
 		kept = append(kept, c)
+	}
+	// Skip the stores when the split is unchanged: with R=0 this path
+	// runs once per retire, and in steady state (no holdouts, or a
+	// stable protected set) two always-dirty seq-cst stores here are
+	// measurable on the dequeue hot path. The loads are plain MOVs.
+	if d.bcond[tid].V.Load() != condKept {
+		d.bcond[tid].V.Store(condKept)
+	}
+	if d.bprot[tid].V.Load() != protKept {
+		d.bprot[tid].V.Store(protKept)
 	}
 	// Null the tail so dropped entries do not pin nodes in the backing
 	// array (the deleter may have recycled them into a pool).
@@ -454,6 +506,17 @@ func (d *Domain[T]) Stats() (retires, deletes, maxBacklog int64) {
 	return d.retireCalls.V.Load(), d.deleteCalls.V.Load(), d.maxBacklogSz.V.Load()
 }
 
+// HoldStats splits the current backlog by holdout reason as of each
+// thread's last scan: cond counts entries whose RetireCond condition was
+// unmet, prot counts entries a hazard-pointer slot still protected.
+func (d *Domain[T]) HoldStats() (cond, prot int64) {
+	for tid := range d.bcond {
+		cond += d.bcond[tid].V.Load()
+		prot += d.bprot[tid].V.Load()
+	}
+	return cond, prot
+}
+
 // DrainThread force-scans thread tid's retire list. Callers use it when a
 // thread unregisters, so its backlog does not linger until the next retire.
 // Entries that are still protected or whose condition is unmet remain.
@@ -461,11 +524,46 @@ func (d *Domain[T]) DrainThread(tid int) {
 	d.scan(tid)
 }
 
-// BacklogBound returns the theoretical maximum number of unreclaimed nodes:
-// every slot may protect one distinct node and each thread may hold R
-// pending entries plus conditional holdouts. For plain HP with R=0 this is
-// maxThreads·numHPs + maxThreads, the bound the paper's §3 argues makes HP
-// (unlike epochs) fault-resilient.
+// DrainAll force-scans every thread's retire list. Quiescence-only (queue
+// Close): with no protections published and all conditions met it leaves
+// the backlog at zero, including lists stranded on released slots that no
+// later Acquire ever reused.
+func (d *Domain[T]) DrainAll() {
+	for tid := 0; tid < d.maxThreads; tid++ {
+		d.scan(tid)
+	}
+}
+
+// BacklogBound returns the maximum number of unreclaimed nodes reachable
+// by any execution. Derivation, per thread t with list length L_t:
+//
+//   - A scan keeps only entries that are protected or condition-unmet;
+//     at most maxThreads·numHPs slots exist, so protections alone keep
+//     at most numHPs entries per row globally.
+//   - Between scans, thread t appends at most R entries without
+//     scanning (a scan fires once L_t > R), plus the one entry whose
+//     retire is in flight when the bound is read — the mid-retire entry
+//     a formula without the +1 misses.
+//
+// Summing: backlog ≤ maxThreads·numHPs + maxThreads·(R+1). At the
+// paper's R=0 default this is exactly tight — the saturation test drives
+// every term to its maximum simultaneously (each slot protecting a
+// distinct retired node, each thread holding one condition-unmet
+// entry). For R>0 the protection term cannot saturate in the same
+// execution as the full R-term on every thread, so the formula is a
+// valid upper bound with at most R slack — the price of a closed form.
+// This is the single bound the accounting layer, the chaos suite, and
+// the X4/X12 experiments all check against.
 func (d *Domain[T]) BacklogBound() int {
 	return d.maxThreads*d.numHPs + d.maxThreads*(d.rParam+1)
+}
+
+// Bound is the reclaim.Reclaimer quiescence contract: hazard pointers
+// are bounded mid-run (the §3 fault-resilience claim).
+func (d *Domain[T]) Bound() (int, bool) { return d.BacklogBound(), true }
+
+// AccountInto appends this domain's snapshot to s under name (the
+// reclaim.Reclaimer accounting contract).
+func (d *Domain[T]) AccountInto(s *account.Snapshot, name string) {
+	s.Hazard = append(s.Hazard, account.CaptureHazard(name, d))
 }

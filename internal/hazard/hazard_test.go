@@ -214,6 +214,57 @@ func TestConditionalAlsoRespectsProtection(t *testing.T) {
 	}
 }
 
+func TestHoldStatsSplitsHoldoutReasons(t *testing.T) {
+	// The satellite-3 regression: a DrainThread that leaves entries behind
+	// used to report only a count, so a kpq quiescence failure could not
+	// say whether a reader was stalled or a condition owner had not acted.
+	// HoldStats must attribute each survivor to its reason.
+	var deleted []*tnode
+	d, _ := collectDomain(&deleted)
+
+	prot := &tnode{v: 1}
+	d.ProtectPtr(0, 2, prot) // thread 2 still reads prot
+	d.Retire(0, prot)
+
+	released := false
+	cond := &tnode{v: 2}
+	d.RetireCond(0, cond, func() bool { return released })
+
+	d.DrainThread(0)
+	if len(deleted) != 0 {
+		t.Fatalf("holdouts deleted: %v", deleted)
+	}
+	if c, p := d.HoldStats(); c != 1 || p != 1 {
+		t.Fatalf("HoldStats() = (cond=%d, prot=%d), want (1, 1)", c, p)
+	}
+
+	// A node that is BOTH protected and condition-unmet counts as a
+	// conditional holdout: the condition is the opaque case (a protection
+	// eventually clears; an unmet condition needs its owner to act).
+	both := &tnode{v: 3}
+	d.ProtectPtr(1, 2, both)
+	d.RetireCond(0, both, func() bool { return released })
+	d.DrainThread(0)
+	if c, p := d.HoldStats(); c != 2 || p != 1 {
+		t.Fatalf("HoldStats() with both-reason holdout = (cond=%d, prot=%d), want (2, 1)", c, p)
+	}
+
+	// Each reason resolves independently and the split tracks it.
+	released = true
+	d.DrainThread(0)
+	if c, p := d.HoldStats(); c != 0 || p != 2 {
+		t.Fatalf("HoldStats() after condition met = (cond=%d, prot=%d), want (0, 2)", c, p)
+	}
+	d.Clear(2)
+	d.DrainThread(0)
+	if c, p := d.HoldStats(); c != 0 || p != 0 {
+		t.Fatalf("HoldStats() at quiescence = (cond=%d, prot=%d), want (0, 0)", c, p)
+	}
+	if len(deleted) != 3 {
+		t.Fatalf("deleted %d nodes at quiescence, want 3", len(deleted))
+	}
+}
+
 func TestBacklogBound(t *testing.T) {
 	// Even with every slot protecting a distinct node, the backlog stays
 	// within BacklogBound — the paper's fault-resilience claim for HP.

@@ -1,0 +1,110 @@
+//go:build faultpoints
+
+package hazard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"turnqueue/internal/inject"
+)
+
+// TestBacklogBoundSaturation drives the domain into the exact worst case
+// the BacklogBound derivation states and shows the bound is tight there
+// — reached, and never exceeded.
+//
+// The bound is maxThreads·numHPs + maxThreads·(R+1). At R=0 (the
+// paper's default) it is exactly reachable:
+//
+//   - maxThreads·numHPs: every (thread, slot) pair protects a distinct
+//     retired node, so the scans keep all of them — the globally-
+//     protected term.
+//   - maxThreads·1: every thread is parked inside Retire between the
+//     list append and the scan (the inject.HazardRetire window), so each
+//     per-thread list carries exactly one mid-retire entry no scan has
+//     resolved yet — the per-thread in-flight term.
+//
+// With both populations in place the backlog equals the bound; releasing
+// the parked threads and clearing the slots drains it to zero. (For
+// R > 0 the bound keeps ≤R per-thread slack — a list that has reached R
+// unswept entries triggers a scan on the very next retire, so the R
+// unswept plus the one in-flight entry can never simultaneously exceed
+// R+1 per thread; the test pins the tight R=0 case.)
+func TestBacklogBoundSaturation(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	const threads, hps = 3, 2
+	var mu sync.Mutex
+	deleted := 0
+	d := New[tnode](threads, hps, func(_ int, n *tnode) {
+		mu.Lock()
+		deleted++
+		mu.Unlock()
+	})
+	bound := d.BacklogBound() // threads*hps + threads*(0+1) = 9
+
+	// Population 1: every slot of every thread protects a distinct node,
+	// all of which are retired (by thread 0 — the scans keep them
+	// regardless of which list carries them).
+	for tid := 0; tid < threads; tid++ {
+		for i := 0; i < hps; i++ {
+			n := &tnode{}
+			d.ProtectPtr(i, tid, n)
+			d.Retire(0, n)
+		}
+	}
+	if got := d.Backlog(); got != threads*hps {
+		t.Fatalf("protected population: backlog %d, want %d", got, threads*hps)
+	}
+
+	// Population 2: park every thread inside Retire after the append,
+	// before the scan — each list now holds one unresolved entry.
+	inject.Arm(inject.HazardRetire, inject.Stall(threads))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			d.Retire(tid, &tnode{})
+		}(tid)
+	}
+	go func() { wg.Wait(); close(done) }()
+	if got := inject.WaitStalled(threads, 10*time.Second); got < threads {
+		t.Fatalf("only %d/%d threads parked mid-retire", got, threads)
+	}
+	inject.Disarm(inject.HazardRetire)
+
+	// Saturated: the backlog must sit exactly at the bound.
+	if got := d.Backlog(); got != bound {
+		t.Fatalf("saturated backlog %d, want exactly the bound %d", got, bound)
+	}
+
+	// Release the parked retires; their scans may free nothing (every
+	// other entry is protected) but the backlog must never exceed the
+	// bound at any point.
+	inject.ReleaseStalled()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked retires did not complete after release")
+	}
+	if got := d.Backlog(); got > bound {
+		t.Fatalf("post-release backlog %d exceeds bound %d", got, bound)
+	}
+
+	// Quiescence: clear every slot and drain — the whole saturated
+	// population reclaims.
+	for tid := 0; tid < threads; tid++ {
+		d.Clear(tid)
+	}
+	d.DrainAll()
+	if got := d.Backlog(); got != 0 {
+		t.Fatalf("backlog %d after clear+drain, want 0", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if deleted != bound {
+		t.Fatalf("deleted %d nodes, want %d (the saturated population)", deleted, bound)
+	}
+}

@@ -1,0 +1,356 @@
+// Package qsbr implements quiescent-state-based reclamation, the RCU
+// lineage's answer to the read-overhead problem and the third point in
+// the repository's four-way §3 comparison (experiment X12): reads cost
+// almost nothing — one own-cache-line load per access, one store per
+// operation — but reclamation is blocking, exactly like epochs, because
+// one thread that never announces a quiescent state pins every node
+// retired since it went online.
+//
+// Protocol. A global sequence counter advances on every retire. A thread
+// going online (its first Protect of an operation) announces the current
+// sequence in its own padded slot; going offline (Clear) announces a
+// sentinel. Retire tags the node with the sequence value its own
+// fetch-add returns; a tagged node is freeable once every online thread's
+// announced sequence exceeds the tag — each such thread came online after
+// the retire, and a node is unlinked from the shared structure before it
+// is retired, so a later-online thread can never have obtained a
+// reference (the announce store precedes the thread's first shared load
+// in Go's sequentially-consistent atomic order, and the unlink precedes
+// the tagging fetch-add in its thread's program order).
+//
+// Progress. Protect is wait-free population-oblivious and validation-free
+// (ok is always true) — the cheapest protect in the comparison, which is
+// the property the bench gate asserts against hazard's per-access
+// store+fence. The sweep is one bounded pass, but *reclamation* is
+// blocking in the §3 sense: no bound exists on how much a stalled online
+// reader pins. Residue stranded on a released slot migrates to an orphan
+// list swept by later retires and by DrainAll (queue Close), mirroring
+// the epoch backend's fix.
+package qsbr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"turnqueue/internal/account"
+	"turnqueue/internal/inject"
+	"turnqueue/internal/pad"
+	"turnqueue/internal/reclaim"
+)
+
+// offline marks a thread outside any read-side region.
+const offline = int64(-1)
+
+// Domain is a QSBR domain for nodes of type T.
+type Domain[T any] struct {
+	maxThreads int
+	rParam     int
+	deleter    func(tid int, node *T)
+	active     reclaim.ActiveSet // nil: consider every row
+
+	// seq is the global retire sequence; reservations quote it.
+	seq atomic.Int64
+	_   [2*pad.CacheLine - 8]byte
+
+	// state[tid] holds the sequence tid observed when it went online, or
+	// offline. Written only by tid (and by DrainThread at release).
+	state []pad.Int64Slot
+
+	// retired[tid] is owned by thread tid exclusively.
+	retired [][]tagged[T]
+	blen    []pad.Int64Slot
+
+	// orphans holds residue DrainThread could not free at slot release;
+	// see the epoch backend for the stranded-slot rationale.
+	orphanMu sync.Mutex
+	orphans  []tagged[T]
+	orphanSz pad.Int64Slot
+
+	retireCalls  pad.Int64Slot
+	deleteCalls  pad.Int64Slot
+	backlogSz    pad.Int64Slot
+	maxBacklogSz pad.Int64Slot
+}
+
+type tagged[T any] struct {
+	node *T
+	tag  int64
+}
+
+// Option configures a Domain.
+type Option func(*config)
+
+type config struct {
+	rParam int
+	active reclaim.ActiveSet
+}
+
+// WithR sets the sweep threshold: a sweep runs only when the retire list
+// holds more than r entries (the hazard package's R parameter, reused so
+// the backends batch comparably).
+func WithR(r int) Option {
+	return func(c *config) {
+		if r < 0 {
+			panic(fmt.Sprintf("qsbr: negative R parameter %d", r))
+		}
+		c.rParam = r
+	}
+}
+
+// WithActiveSet restricts the online-reader scan to registered rows.
+func WithActiveSet(s reclaim.ActiveSet) Option {
+	return func(c *config) { c.active = s }
+}
+
+// New creates a Domain for maxThreads threads.
+func New[T any](maxThreads int, deleter func(tid int, node *T), opts ...Option) *Domain[T] {
+	if maxThreads <= 0 {
+		panic(fmt.Sprintf("qsbr: invalid maxThreads %d", maxThreads))
+	}
+	if deleter == nil {
+		panic("qsbr: nil deleter")
+	}
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := &Domain[T]{
+		maxThreads: maxThreads,
+		rParam:     cfg.rParam,
+		deleter:    deleter,
+		active:     cfg.active,
+		state:      make([]pad.Int64Slot, maxThreads),
+		retired:    make([][]tagged[T], maxThreads),
+		blen:       make([]pad.Int64Slot, maxThreads),
+	}
+	for i := range d.state {
+		d.state[i].V.Store(offline)
+	}
+	return d
+}
+
+// MaxThreads returns the thread bound of the domain.
+func (d *Domain[T]) MaxThreads() int { return d.maxThreads }
+
+// R returns the sweep threshold.
+func (d *Domain[T]) R() int { return d.rParam }
+
+// Protect brings tid online if it is not already — one load of its own
+// padded slot in the common case — and loads src inside the region.
+// Validation-free (ok always true): the region pins every node retired
+// after entry, which is both the speed win and the §3 weakness.
+func (d *Domain[T]) Protect(index, tid int, src *atomic.Pointer[T]) (*T, bool) {
+	st := &d.state[tid].V
+	if st.Load() == offline {
+		st.Store(d.seq.Load())
+		// Fault point shared with the other backends: a thread parked
+		// here stays online forever, pinning everything retired since.
+		inject.Fire(inject.HazardProtect)
+	}
+	return src.Load(), true
+}
+
+// ClearOne is a no-op: dropping one protection index must not end the
+// region covering the operation's other loads.
+func (d *Domain[T]) ClearOne(index, tid int) {}
+
+// Clear announces tid quiescent (offline), ending its region.
+func (d *Domain[T]) Clear(tid int) { d.state[tid].V.Store(offline) }
+
+// NoteAlloc is a no-op: QSBR carries no per-node state beyond the tag
+// assigned at retire.
+func (d *Domain[T]) NoteAlloc(int, *T) {}
+
+// Retire tags node with a fresh sequence value and appends it to tid's
+// retire list; past the R threshold the list is swept.
+func (d *Domain[T]) Retire(tid int, node *T) {
+	if node == nil {
+		return
+	}
+	d.retireCalls.V.Add(1)
+	// The fetch-add both tags the node and advances the global sequence,
+	// so every thread that comes online after this call quotes a value
+	// strictly greater than the tag.
+	tag := d.seq.Add(1) - 1
+	d.retired[tid] = append(d.retired[tid], tagged[T]{node: node, tag: tag})
+	d.blen[tid].V.Store(int64(len(d.retired[tid])))
+	d.noteBacklog(1)
+	if len(d.retired[tid]) > d.rParam {
+		d.sweep(tid)
+	}
+	d.sweepOrphans(tid, false)
+}
+
+// RetireBatch retires every non-nil node with one sweep.
+func (d *Domain[T]) RetireBatch(tid int, nodes []*T) {
+	added := 0
+	list := d.retired[tid]
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		list = append(list, tagged[T]{node: n, tag: d.seq.Add(1) - 1})
+		added++
+	}
+	if added == 0 {
+		return
+	}
+	d.retired[tid] = list
+	d.blen[tid].V.Store(int64(len(list)))
+	d.retireCalls.V.Add(int64(added))
+	d.noteBacklog(int64(added))
+	if len(list) > d.rParam {
+		d.sweep(tid)
+	}
+	d.sweepOrphans(tid, false)
+}
+
+func (d *Domain[T]) noteBacklog(delta int64) {
+	n := d.backlogSz.V.Add(delta)
+	for {
+		cur := d.maxBacklogSz.V.Load()
+		if cur >= n || d.maxBacklogSz.V.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// minOnline returns the smallest sequence any online thread announced,
+// or max if every thread is offline. One bounded pass.
+func (d *Domain[T]) minOnline() int64 {
+	min := int64(1<<63 - 1)
+	limit := d.maxThreads
+	if d.active != nil {
+		if l := d.active.ActiveLimit(); l < limit {
+			limit = l
+		}
+	}
+	for i := 0; i < limit; i++ {
+		if s := d.state[i].V.Load(); s != offline && s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// sweep frees tid's retired nodes whose tag precedes every online
+// thread's entry sequence.
+func (d *Domain[T]) sweep(tid int) {
+	min := d.minOnline()
+	list := d.retired[tid]
+	kept := list[:0]
+	for _, t := range list {
+		if t.tag < min {
+			d.deleteCalls.V.Add(1)
+			d.deleter(tid, t.node)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(list); i++ {
+		list[i] = tagged[T]{}
+	}
+	if freed := len(list) - len(kept); freed > 0 {
+		d.backlogSz.V.Add(-int64(freed))
+	}
+	d.retired[tid] = kept
+	d.blen[tid].V.Store(int64(len(kept)))
+}
+
+// sweepOrphans frees released-slot residue whose tag has aged out;
+// TryLock on the retire path, forced under DrainAll.
+func (d *Domain[T]) sweepOrphans(tid int, force bool) {
+	if d.orphanSz.V.Load() == 0 {
+		return
+	}
+	if force {
+		d.orphanMu.Lock()
+	} else if !d.orphanMu.TryLock() {
+		return
+	}
+	defer d.orphanMu.Unlock()
+	min := d.minOnline()
+	kept := d.orphans[:0]
+	for _, t := range d.orphans {
+		if t.tag < min {
+			d.deleteCalls.V.Add(1)
+			d.deleter(tid, t.node)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(d.orphans); i++ {
+		d.orphans[i] = tagged[T]{}
+	}
+	if freed := len(d.orphans) - len(kept); freed > 0 {
+		d.backlogSz.V.Add(-int64(freed))
+		d.orphanSz.V.Add(-int64(freed))
+	}
+	d.orphans = kept
+}
+
+// DrainThread announces tid offline, sweeps its list, and migrates any
+// residue (pinned by other online readers) to the orphan list so a
+// never-reused slot cannot strand it.
+func (d *Domain[T]) DrainThread(tid int) {
+	d.state[tid].V.Store(offline)
+	d.sweep(tid)
+	if len(d.retired[tid]) > 0 {
+		d.orphanMu.Lock()
+		d.orphans = append(d.orphans, d.retired[tid]...)
+		d.orphanSz.V.Add(int64(len(d.retired[tid])))
+		d.orphanMu.Unlock()
+		d.retired[tid] = d.retired[tid][:0]
+		d.blen[tid].V.Store(0)
+	}
+}
+
+// DrainAll sweeps every retire list and the orphans. Quiescence-only
+// (queue Close): with every thread offline the sweep frees everything
+// unless a crashed registration is still announced online — reported,
+// not forced.
+func (d *Domain[T]) DrainAll() {
+	for tid := 0; tid < d.maxThreads; tid++ {
+		if len(d.retired[tid]) > 0 {
+			d.sweep(tid)
+		}
+	}
+	d.sweepOrphans(0, true)
+}
+
+// Backlog returns the total retired-but-unfreed count (atomic mirror).
+func (d *Domain[T]) Backlog() int { return int(d.backlogSz.V.Load()) }
+
+// SlotBacklog returns tid's retired-but-unfreed count (atomic mirror;
+// orphaned residue is not attributed to any slot).
+func (d *Domain[T]) SlotBacklog(tid int) int { return int(d.blen[tid].V.Load()) }
+
+// Stats reports cumulative retire/delete counts and the peak backlog.
+func (d *Domain[T]) Stats() (retires, deletes, maxBacklog int64) {
+	return d.retireCalls.V.Load(), d.deleteCalls.V.Load(), d.maxBacklogSz.V.Load()
+}
+
+// Online reports whether tid is currently announced online (tests).
+func (d *Domain[T]) Online(tid int) bool { return d.state[tid].V.Load() != offline }
+
+// Bound reports that QSBR makes no mid-run backlog promise: a stalled
+// online reader pins every node retired since its announcement.
+func (d *Domain[T]) Bound() (int, bool) { return 0, false }
+
+// AccountInto appends this domain's snapshot to s under name.
+func (d *Domain[T]) AccountInto(s *account.Snapshot, name string) {
+	ds := account.DomainSnapshot{
+		Name:    name,
+		Backend: "qsbr",
+		Bounded: false,
+		R:       d.rParam,
+		Backlog: d.Backlog(),
+	}
+	ds.Retires, ds.Deletes, ds.MaxBacklog = d.Stats()
+	ds.PerSlot = make([]int, d.maxThreads)
+	for i := range ds.PerSlot {
+		ds.PerSlot[i] = d.SlotBacklog(i)
+	}
+	s.Hazard = append(s.Hazard, ds)
+}

@@ -1,0 +1,149 @@
+package qsbr
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+type qnode struct{ v int }
+
+// collect returns a Domain whose deleter counts frees.
+func collect(t *testing.T, maxThreads int, opts ...Option) (*Domain[qnode], *atomic.Int64) {
+	t.Helper()
+	var freed atomic.Int64
+	d := New[qnode](maxThreads, func(int, *qnode) { freed.Add(1) }, opts...)
+	return d, &freed
+}
+
+// TestOnlineOfflineLifecycle: Protect brings a thread online (its region),
+// Clear announces it quiescent, and ClearOne is a no-op on the region.
+func TestOnlineOfflineLifecycle(t *testing.T) {
+	d, _ := collect(t, 2)
+	var src atomic.Pointer[qnode]
+	n := &qnode{v: 1}
+	src.Store(n)
+
+	if d.Online(0) {
+		t.Fatal("thread 0 online before any Protect")
+	}
+	got, ok := d.Protect(0, 0, &src)
+	if !ok || got != n {
+		t.Fatalf("Protect = (%p, %v), want (%p, true)", got, ok, n)
+	}
+	if !d.Online(0) {
+		t.Fatal("thread 0 offline after Protect")
+	}
+	// Dropping one index must not end the region: the operation's other
+	// loads are still covered.
+	d.ClearOne(0, 0)
+	if !d.Online(0) {
+		t.Fatal("ClearOne ended the read-side region")
+	}
+	d.Clear(0)
+	if d.Online(0) {
+		t.Fatal("thread 0 still online after Clear")
+	}
+}
+
+// TestStalledOnlineReaderPinsLaterRetires is the §3 weakness in miniature:
+// everything retired after a reader came online stays pinned until that
+// reader announces quiescence — no bound exists.
+func TestStalledOnlineReaderPinsLaterRetires(t *testing.T) {
+	d, freed := collect(t, 2) // R=0: sweep on every retire
+	var src atomic.Pointer[qnode]
+	src.Store(&qnode{})
+	d.Protect(0, 1, &src) // thread 1 online, never clears
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		d.Retire(0, &qnode{v: i})
+	}
+	if got := freed.Load(); got != 0 {
+		t.Fatalf("freed %d nodes with a stalled online reader, want 0", got)
+	}
+	if got := d.Backlog(); got != n {
+		t.Fatalf("Backlog = %d, want %d", got, n)
+	}
+	if _, bounded := d.Bound(); bounded {
+		t.Fatal("qsbr claims a mid-run bound; it must not")
+	}
+
+	d.Clear(1)
+	d.Retire(0, &qnode{}) // next retire sweeps, freeing its own node too
+	if got := freed.Load(); got != n+1 {
+		t.Fatalf("freed %d after quiescence, want %d", got, n+1)
+	}
+}
+
+// TestLaterOnlineReaderDoesNotPin: a reader that comes online after a
+// retire quotes a later sequence, so it cannot pin that node — the
+// asymmetry that distinguishes QSBR from a single global refcount.
+func TestLaterOnlineReaderDoesNotPin(t *testing.T) {
+	d, freed := collect(t, 2, WithR(8)) // defer the sweep past the retire
+	d.Retire(0, &qnode{})               // tagged before thread 1's entry
+
+	var src atomic.Pointer[qnode]
+	src.Store(&qnode{})
+	d.Protect(0, 1, &src) // online with seq > the node's tag
+
+	// Push past R so the next retire sweeps with thread 1 still online.
+	for i := 0; i < 9; i++ {
+		d.Retire(0, &qnode{v: i})
+	}
+	if got := freed.Load(); got == 0 {
+		t.Fatal("pre-entry retire still pinned by a later-online reader")
+	}
+}
+
+// TestDrainThreadMigratesResidueToOrphans: residue a released slot cannot
+// free (pinned by another online reader) must move to the orphan list and
+// be freed by a later sweep — the stranded-slot fix, in the qsbr backend.
+func TestDrainThreadMigratesResidueToOrphans(t *testing.T) {
+	d, freed := collect(t, 3)
+	var src atomic.Pointer[qnode]
+	src.Store(&qnode{})
+	d.Protect(0, 1, &src) // thread 1 online, pinning what follows
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		d.Retire(0, &qnode{v: i})
+	}
+	d.DrainThread(0) // slot 0 released with residue
+	if got := d.SlotBacklog(0); got != 0 {
+		t.Fatalf("SlotBacklog(0) = %d after DrainThread, want 0 (residue must migrate)", got)
+	}
+	if got := d.Backlog(); got != n {
+		t.Fatalf("Backlog = %d after migration, want %d", got, n)
+	}
+
+	d.Clear(1)
+	// A retire on a different slot sweeps the orphans opportunistically.
+	d.Retire(2, &qnode{})
+	if got := freed.Load(); got != n+1 {
+		t.Fatalf("freed %d after quiescence, want %d (orphans must be swept)", got, n+1)
+	}
+	if got := d.Backlog(); got != 0 {
+		t.Fatalf("Backlog = %d at quiescence, want 0", got)
+	}
+}
+
+// TestDrainAllFreesEverythingAtQuiescence: the queue-Close path.
+func TestDrainAllFreesEverythingAtQuiescence(t *testing.T) {
+	d, freed := collect(t, 2, WithR(100)) // no opportunistic sweeps
+	var src atomic.Pointer[qnode]
+	src.Store(&qnode{})
+	d.Protect(0, 1, &src)
+	for i := 0; i < 5; i++ {
+		d.Retire(0, &qnode{v: i})
+	}
+	d.DrainThread(0) // residue → orphans
+	d.Clear(1)
+	d.DrainAll()
+	if got := freed.Load(); got != 5 {
+		t.Fatalf("freed %d after DrainAll, want 5", got)
+	}
+	retires, deletes, maxB := d.Stats()
+	if retires != 5 || deletes != 5 || maxB != 5 {
+		t.Fatalf("Stats = (%d, %d, %d), want (5, 5, 5)", retires, deletes, maxB)
+	}
+}

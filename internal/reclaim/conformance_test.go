@@ -1,0 +1,270 @@
+// Conformance suite for the reclaim.Reclaimer contract, run over all
+// four backends (hazard, epoch, qsbr, eras). Each test states one clause
+// of the interface contract and drives every backend through the same
+// scenario, in the style of internal/qtest's generic queue driver:
+//
+//   - protect-blocks-delete: a node loaded through Protect is never
+//     handed to the deleter while the protection stands, and is freed
+//     once the protection clears and the drains run.
+//   - drain-on-release: DrainThread on a slot with no standing
+//     protections anywhere frees that slot's entire retire list.
+//   - bound-respected: with one protection parked forever, bounded
+//     backends plateau (hazard within its stated bound, eras at its
+//     live-at-stall plateau) while unbounded backends grow checkpoint
+//     over checkpoint — the §3 contrast experiment X12 measures.
+//   - crash-leaves-bound: a slot that vanishes without DrainThread
+//     leaves a backlog that bounded backends still bound, and that
+//     DrainAll at quiescence reclaims completely for every backend.
+//   - orphan-residue: residue DrainThread cannot free at release time
+//     (pinned by another reader) must not be stranded on the released
+//     slot forever; once the reader exits, ordinary retire traffic on
+//     other slots frees it (the released-but-never-reused leak fix).
+package reclaim_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"turnqueue/internal/epoch"
+	"turnqueue/internal/eras"
+	"turnqueue/internal/hazard"
+	"turnqueue/internal/qsbr"
+	"turnqueue/internal/reclaim"
+)
+
+const (
+	cThreads = 4
+	cHPs     = 2
+)
+
+// cnode is the conformance node: a payload plus the embedded era tag the
+// eras backend requires (ignored by the others).
+type cnode struct {
+	v   int
+	tag reclaim.Tag
+}
+
+func (n *cnode) Tag() *reclaim.Tag { return &n.tag }
+
+// newBackend builds one backend over a shared freed-set. The suite is
+// single-goroutine (tids are roles, not goroutines), so a plain map is
+// fine.
+func newBackend(kind reclaim.Kind, freed map[*cnode]bool) reclaim.Reclaimer[cnode] {
+	del := func(_ int, n *cnode) { freed[n] = true }
+	switch kind {
+	case reclaim.KindHazard:
+		return hazard.New[cnode](cThreads, cHPs, del)
+	case reclaim.KindEpoch:
+		return epoch.New[cnode](cThreads, del)
+	case reclaim.KindQSBR:
+		return qsbr.New[cnode](cThreads, del)
+	case reclaim.KindEras:
+		return eras.New[cnode](cThreads, cHPs, del, (*cnode).Tag)
+	}
+	panic("unknown backend " + kind)
+}
+
+// alloc makes a node and registers its (re)entry with the backend, as
+// every queue's allocation path must.
+func alloc(rc reclaim.Reclaimer[cnode], tid int) *cnode {
+	n := &cnode{}
+	rc.NoteAlloc(tid, n)
+	return n
+}
+
+// churn retires count fresh nodes from tid — traffic that gives the
+// backend every opportunity to advance its epoch/era/sequence and sweep.
+func churn(rc reclaim.Reclaimer[cnode], tid, count int) {
+	for i := 0; i < count; i++ {
+		rc.Retire(tid, alloc(rc, tid))
+	}
+}
+
+func forEachBackend(t *testing.T, body func(t *testing.T, kind reclaim.Kind, rc reclaim.Reclaimer[cnode], freed map[*cnode]bool)) {
+	for _, kind := range reclaim.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			freed := make(map[*cnode]bool)
+			body(t, kind, newBackend(kind, freed), freed)
+		})
+	}
+}
+
+func TestConformanceProtectBlocksDelete(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, kind reclaim.Kind, rc reclaim.Reclaimer[cnode], freed map[*cnode]bool) {
+		n := alloc(rc, 1)
+		var src atomic.Pointer[cnode]
+		src.Store(n)
+		got, ok := rc.Protect(0, 0, &src)
+		if !ok || got != n {
+			t.Fatalf("uncontended Protect = (%p, %v), want (%p, true)", got, ok, n)
+		}
+		// Unlink and retire from another thread, then churn hard: the
+		// backend must not free n while tid 0's protection stands.
+		src.Store(nil)
+		rc.Retire(1, n)
+		churn(rc, 1, 128)
+		if freed[n] {
+			t.Fatal("protected node handed to deleter while protection stood")
+		}
+		// Protection drops, drains run: now it must go.
+		rc.Clear(0)
+		rc.DrainThread(1)
+		rc.DrainAll()
+		if !freed[n] {
+			t.Fatal("node not freed after Clear + DrainThread + DrainAll")
+		}
+		if b := rc.Backlog(); b != 0 {
+			t.Fatalf("backlog %d after full drain at quiescence, want 0", b)
+		}
+	})
+}
+
+func TestConformanceDrainOnRelease(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, kind reclaim.Kind, rc reclaim.Reclaimer[cnode], freed map[*cnode]bool) {
+		const retires = 10
+		nodes := make([]*cnode, retires)
+		for i := range nodes {
+			nodes[i] = alloc(rc, 2)
+		}
+		rc.RetireBatch(2, nodes)
+		// No protections anywhere: the release-time drain must clear the
+		// slot completely.
+		rc.DrainThread(2)
+		if sb := rc.SlotBacklog(2); sb != 0 {
+			t.Fatalf("slot backlog %d after DrainThread with no readers, want 0", sb)
+		}
+		if b := rc.Backlog(); b != 0 {
+			t.Fatalf("backlog %d after DrainThread with no readers, want 0", b)
+		}
+		for i, n := range nodes {
+			if !freed[n] {
+				t.Fatalf("node %d not freed by release-time drain", i)
+			}
+		}
+	})
+}
+
+func TestConformanceBoundRespected(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, kind reclaim.Kind, rc reclaim.Reclaimer[cnode], freed map[*cnode]bool) {
+		// Park a reader: protect a node from tid 0 and never clear, then
+		// retire it so the pin is real and churn from tid 3.
+		n := alloc(rc, 3)
+		var src atomic.Pointer[cnode]
+		src.Store(n)
+		if _, ok := rc.Protect(0, 0, &src); !ok {
+			t.Fatal("uncontended Protect failed")
+		}
+		src.Store(nil)
+		rc.Retire(3, n)
+
+		checkpoint := func() int { churn(rc, 3, 200); return rc.Backlog() }
+		b1, b2, b3 := checkpoint(), checkpoint(), checkpoint()
+		bound, bounded := rc.Bound()
+		if bounded {
+			// The backlog must plateau under a stalled reader: hazard
+			// stays within its stated bound outright; eras stops growing
+			// once the stall era is passed (live-at-stall plateau). Allow
+			// one thread-row of scan slack between checkpoints.
+			if b3 > b2+cThreads {
+				t.Fatalf("bounded backend kept growing under a stalled reader: checkpoints %d/%d/%d (bound %d)",
+					b1, b2, b3, bound)
+			}
+			if kind == reclaim.KindHazard && (b1 > bound || b2 > bound || b3 > bound) {
+				t.Fatalf("hazard backlog exceeded its bound %d: checkpoints %d/%d/%d", bound, b1, b2, b3)
+			}
+		} else {
+			// The honest answer for epoch/qsbr: one stalled reader pins
+			// every later retire, so the backlog must grow unboundedly —
+			// anything else would mean the backend freed pinned memory.
+			if !(b1 < b2 && b2 < b3) {
+				t.Fatalf("unbounded backend failed to grow under a stalled reader: checkpoints %d/%d/%d", b1, b2, b3)
+			}
+		}
+		if freed[n] {
+			t.Fatal("pinned node freed while the stalled protection stood")
+		}
+		rc.Clear(0)
+		rc.DrainThread(3)
+		rc.DrainAll()
+		if b := rc.Backlog(); b != 0 {
+			t.Fatalf("backlog %d after stall release and full drain, want 0", b)
+		}
+	})
+}
+
+func TestConformanceCrashLeavesBound(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, kind reclaim.Kind, rc reclaim.Reclaimer[cnode], freed map[*cnode]bool) {
+		// tid 1 retires a pinned node plus some traffic, then vanishes
+		// without DrainThread — the crashed-slot scenario.
+		n := alloc(rc, 1)
+		var src atomic.Pointer[cnode]
+		src.Store(n)
+		if _, ok := rc.Protect(0, 0, &src); !ok {
+			t.Fatal("uncontended Protect failed")
+		}
+		src.Store(nil)
+		rc.Retire(1, n)
+		churn(rc, 1, 32)
+		if bound, bounded := rc.Bound(); bounded {
+			if b := rc.Backlog(); kind == reclaim.KindHazard && b > bound {
+				t.Fatalf("crashed slot pushed backlog %d past bound %d", b, bound)
+			}
+		}
+		// The reader exits; quiescence is reached without the crashed
+		// slot ever draining. DrainAll must reclaim everything anyway.
+		rc.Clear(0)
+		rc.DrainAll()
+		if b := rc.Backlog(); b != 0 {
+			t.Fatalf("backlog %d after DrainAll at quiescence, want 0", b)
+		}
+		if !freed[n] {
+			t.Fatal("crashed slot's pinned node not freed by DrainAll")
+		}
+	})
+}
+
+// TestConformanceOrphanResidueFreedByLaterTraffic is the regression for
+// the released-but-never-reused slot leak: DrainThread migrates residue
+// it cannot free (pinned by a still-online reader) off the slot, and
+// ordinary retire traffic on other slots frees it once the reader exits
+// — no DrainAll, no slot reuse. Specific to the region backends; hazard
+// and eras keep (bounded) residue on the slot by design.
+func TestConformanceOrphanResidueFreedByLaterTraffic(t *testing.T) {
+	for _, kind := range []reclaim.Kind{reclaim.KindEpoch, reclaim.KindQSBR} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			freed := make(map[*cnode]bool)
+			rc := newBackend(kind, freed)
+			// Reader online on tid 0.
+			r := alloc(rc, 0)
+			var src atomic.Pointer[cnode]
+			src.Store(r)
+			if _, ok := rc.Protect(0, 0, &src); !ok {
+				t.Fatal("uncontended Protect failed")
+			}
+			// tid 1 retires 5 nodes the reader pins, then releases.
+			pinned := make([]*cnode, 5)
+			for i := range pinned {
+				pinned[i] = alloc(rc, 1)
+				rc.Retire(1, pinned[i])
+			}
+			rc.DrainThread(1)
+			if sb := rc.SlotBacklog(1); sb != 0 {
+				t.Fatalf("released slot still owns %d residue entries; DrainThread must migrate them", sb)
+			}
+			if b := rc.Backlog(); b < len(pinned) {
+				t.Fatalf("backlog %d lost pinned residue (want >= %d)", b, len(pinned))
+			}
+			// Reader exits. Plain retire traffic on tid 2 must now free
+			// the orphaned residue as a side effect.
+			rc.Clear(0)
+			churn(rc, 2, 64)
+			for i, n := range pinned {
+				if !freed[n] {
+					t.Fatalf("orphaned node %d not freed by later retire traffic (stranded-slot leak)", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Package reclaim defines the memory-reclamation backend contract shared
+// by every queue in this repository. The paper's §3 builds one scheme —
+// wait-free bounded hazard pointers — and contrasts it with epoch-based
+// reclamation; this package abstracts the seam so the same queue can run
+// on either, or on the two additional schemes the follow-up literature
+// supplies (QSBR from the classic RCU lineage, and WFE-style era tracking
+// from "Universal Wait-Free Memory Reclamation"). The four backends trade
+// off along three axes the Reclaimer interface makes explicit:
+//
+//	backend  read overhead            backlog bound        reclaim progress
+//	hazard   store+fence per access   maxThreads·(H+R+1)   wait-free bounded
+//	epoch    1 store per op (region)  none (one stalled    blocking
+//	                                  reader pins all)
+//	qsbr     ~1 load per access       none (as epoch)      blocking
+//	eras     store per era change     plateau: live-at-    wait-free bounded
+//	                                  stall + slack
+//
+// # The Protect contract
+//
+// Protect(index, tid, src) publishes protection index for thread tid,
+// loads *src inside the backend's validated window, and returns the
+// loaded node. This differs from the bare hazard-pointer primitive
+// (hazard.ProtectPtr), which takes an already-loaded node and leaves the
+// load-store-load revalidation to the caller: era-based backends cannot
+// be validated by caller-side pointer comparison at all (a node recycled
+// with a fresh birth era passes address equality while escaping the
+// reservation), so the load must happen between the backend's publish and
+// its own validation. ok=false means the backend could not validate the
+// protection (for hazard: src moved under the store; for eras: the era
+// advanced twice during the window); the caller treats it exactly like
+// the paper's failed load-store-load — advance the enclosing bounded
+// loop, do not retry in place — which preserves the wait-free accounting.
+// Backends whose validation cannot fail (epoch, qsbr) always return
+// ok=true.
+//
+// Region-based backends (epoch, qsbr) map Protect onto their read-side
+// critical section: the first Protect of an operation announces the
+// thread online, and Clear ends the region. For those backends ClearOne
+// is a no-op — dropping one protection index mid-operation must not end
+// the region that still covers the others.
+//
+// # Quiescence contract
+//
+// Bound() returns the backend's stated maximum backlog at quiescence —
+// every thread has Cleared, DrainThread has run for every slot, and
+// DrainAll has swept the orphans — together with whether the backend is
+// bounded at all mid-run. VerifyQuiescent enforces backlog ≤ bound only
+// for bounded backends; for epoch and qsbr the honest answer is
+// bounded=false, which is precisely the §3 contrast experiment X12
+// measures.
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"turnqueue/internal/account"
+)
+
+// Kind names a reclamation backend. The public API (turnqueue.Reclaimer)
+// mirrors these values.
+type Kind string
+
+const (
+	// KindHazard is the paper's §3.1 wait-free bounded hazard pointers.
+	KindHazard Kind = "hazard"
+	// KindEpoch is three-epoch reclamation (the §3 blocking baseline).
+	KindEpoch Kind = "epoch"
+	// KindQSBR is quiescent-state-based reclamation: near-zero read
+	// overhead, blocking reclaim.
+	KindQSBR Kind = "qsbr"
+	// KindEras is WFE-style era tracking: birth/retire era tags plus
+	// per-slot reservations, wait-free with a bounded (plateauing)
+	// backlog.
+	KindEras Kind = "eras"
+)
+
+// Kinds lists every backend, in the order the experiments report them.
+func Kinds() []Kind { return []Kind{KindHazard, KindEpoch, KindQSBR, KindEras} }
+
+// Valid reports whether k names a known backend.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindHazard, KindEpoch, KindQSBR, KindEras:
+		return true
+	}
+	return false
+}
+
+// Tag is the per-node era interval the eras backend maintains: Birth is
+// stamped at allocation (NoteAlloc), Retire at Retire. A node is
+// reclaimable once no reservation r satisfies Birth ≤ r ≤ Retire. Nodes
+// embed a Tag and hand the backend an accessor; backends that do not use
+// eras never touch it. The fields are plain int64s: both are written by
+// the node's current owner before the node re-enters (Birth) or after it
+// has left (Retire) the shared structure, and read only by the retiring
+// thread's own scan, so no concurrent access exists.
+type Tag struct {
+	Birth  int64
+	Retire int64
+}
+
+// ActiveSet is the slot-occupancy view backends scan with; implemented by
+// qrt.Runtime. ActiveLimit bounds the populated row range (monotone
+// high-water mark); ActiveWord(w) returns the occupancy bits of slots
+// [w*64, w*64+64). The contract scans rely on: a slot is in the set
+// before its thread can publish a protection, and leaves it only after
+// the thread's last operation.
+type ActiveSet interface {
+	ActiveLimit() int
+	ActiveWord(w int) uint64
+}
+
+// Reclaimer is the backend contract. All methods taking tid may be called
+// concurrently from distinct tids; per-tid state (retire lists, region
+// flags) is owned by that tid.
+type Reclaimer[T any] interface {
+	// Protect publishes protection index for tid over the pointer held
+	// by src and returns the load made inside the backend's validated
+	// window. On ok=false the returned node must not be dereferenced and
+	// the caller advances its bounded loop (see the package comment).
+	Protect(index, tid int, src *atomic.Pointer[T]) (node *T, ok bool)
+	// ClearOne drops one protection index where the backend has
+	// per-index state; region-based backends ignore it.
+	ClearOne(index, tid int)
+	// Clear drops every protection tid holds (ends the region for
+	// region-based backends). Called at operation end.
+	Clear(tid int)
+	// NoteAlloc records that node is (re)entering circulation under tid.
+	// Only the eras backend uses it (birth-era stamping); others no-op.
+	NoteAlloc(tid int, node *T)
+	// Retire hands node to the backend for deferred reclamation.
+	Retire(tid int, node *T)
+	// RetireBatch retires nodes with at most one scan.
+	RetireBatch(tid int, nodes []*T)
+	// DrainThread makes a bounded effort to reclaim tid's retire list;
+	// called from qrt's release hook. Residue it cannot free moves to a
+	// shared orphan list swept by later retires and by DrainAll, so a
+	// released-and-never-reused slot cannot strand nodes forever.
+	DrainThread(tid int)
+	// DrainAll sweeps every retire list and the orphan list. Callers
+	// must guarantee quiescence (no thread mid-operation); queue Close
+	// is the intended site.
+	DrainAll()
+	// Backlog returns the retired-but-unreclaimed node count.
+	Backlog() int
+	// SlotBacklog returns tid's share of the backlog.
+	SlotBacklog(tid int) int
+	// Bound returns the stated quiescence backlog bound and whether the
+	// backend bounds its backlog mid-run at all (see package comment).
+	Bound() (n int, bounded bool)
+	// AccountInto appends this backend's domain snapshot to s under name.
+	AccountInto(s *account.Snapshot, name string)
+}

@@ -233,6 +233,16 @@ func (q *Queue[T]) MaxThreads() int { return q.rt.Capacity() }
 // callers register with.
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
+// DrainReclaim forwards the close-time force-drain to every inner queue
+// that exposes one (quiescence-only; see the adapters' contract).
+func (q *Queue[T]) DrainReclaim() {
+	for _, in := range q.inner {
+		if d, ok := in.(interface{ DrainReclaim() }); ok {
+			d.DrainReclaim()
+		}
+	}
+}
+
 // Stats returns the routing totals summed over shards.
 func (q *Queue[T]) Stats() (enqs, deqLocal, deqSteal int64) {
 	for i := range q.stats {

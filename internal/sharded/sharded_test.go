@@ -2,7 +2,9 @@ package sharded
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"turnqueue/internal/account"
@@ -64,16 +66,20 @@ func TestShardedRoutingAndSteal(t *testing.T) {
 func TestShardedConcurrentExactlyOnce(t *testing.T) {
 	const producers, perProducer, consumers = 4, 500, 4
 	q := newTurnPlusFront(8, 4)
-	var wg sync.WaitGroup
+	var wg, prodWg sync.WaitGroup
+	var prodDone atomic.Bool
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
+		prodWg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer prodWg.Done()
 			for k := 1; k <= perProducer; k++ {
 				q.Enqueue(p, p<<16|k)
 			}
 		}(p)
 	}
+	go func() { prodWg.Wait(); prodDone.Store(true) }()
 	results := make([][]int, consumers)
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
@@ -85,9 +91,17 @@ func TestShardedConcurrentExactlyOnce(t *testing.T) {
 				if v, ok := q.Dequeue(slot); ok {
 					results[c] = append(results[c], v)
 					misses = 0
-				} else {
+					continue
+				}
+				// Emptiness is advisory, and before the producers finish it
+				// proves nothing at all (a descheduled producer still holds
+				// items to publish) — only count misses toward giving up
+				// once production is done, and yield so the producers can
+				// actually run on a single-P scheduler.
+				if prodDone.Load() {
 					misses++
 				}
+				runtime.Gosched()
 			}
 		}(c)
 	}

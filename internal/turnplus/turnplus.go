@@ -52,10 +52,14 @@ import (
 
 	"turnqueue/internal/account"
 	"turnqueue/internal/consensus"
+	"turnqueue/internal/epoch"
+	"turnqueue/internal/eras"
 	"turnqueue/internal/hazard"
 	"turnqueue/internal/inject"
 	"turnqueue/internal/pad"
 	"turnqueue/internal/qrt"
+	"turnqueue/internal/qsbr"
+	"turnqueue/internal/reclaim"
 )
 
 // DefaultSegmentSize is the cells-per-ring default, matching faaq.
@@ -252,8 +256,17 @@ type Queue[T any] struct {
 	enq consensus.Enq[*segment[T]]
 	deq consensus.Deq[*segment[T]]
 
-	hp *hazard.Domain[node[T]]
-	rt *qrt.Runtime
+	// rc is the ring-node reclamation backend; hp aliases it when the
+	// backend is hazard (the default), nil otherwise. clearPerOp is set
+	// for the region backends (epoch, qsbr): their Protect must run on
+	// every operation — a protection-cache hit would skip the region
+	// entry — and the region must end when the operation does, so the
+	// caches stay disabled and each fast-path return clears.
+	rc         reclaim.Reclaimer[node[T]]
+	hp         *hazard.Domain[node[T]]
+	backend    reclaim.Kind
+	clearPerOp bool
+	rt         *qrt.Runtime
 
 	// taken poisons a cell (faaq's tombstone); emptyBox answers a slow
 	// request that observed a validated empty queue.
@@ -284,6 +297,7 @@ type config struct {
 	maxThreads int
 	segSize    int
 	patience   int
+	backend    reclaim.Kind
 }
 
 // WithMaxThreads sets the registered-thread bound.
@@ -295,11 +309,20 @@ func WithSegmentSize(n int) Option { return func(c *config) { c.segSize = n } }
 // WithPatience sets the fast-path attempt bound per operation.
 func WithPatience(n int) Option { return func(c *config) { c.patience = n } }
 
+// WithBackend selects the ring-node reclamation backend (default
+// reclaim.KindHazard). The region backends (epoch, qsbr) disable the
+// fast-path protection caches — a cache hit would skip the region entry —
+// and clear per operation; hazard and eras keep the caches (a standing
+// reservation still covers the cached node, and Go's GC rules out address
+// reuse of a pinned ring node).
+func WithBackend(k reclaim.Kind) Option { return func(c *config) { c.backend = k } }
+
 // New creates an empty queue. The first enqueue announces the first ring
 // through the consensus slow path; everything after that runs fast until
 // a ring fills or a thread runs out of patience.
 func New[T any](opts ...Option) *Queue[T] {
-	cfg := config{maxThreads: qrt.DefaultMaxThreads, segSize: DefaultSegmentSize, patience: DefaultPatience}
+	cfg := config{maxThreads: qrt.DefaultMaxThreads, segSize: DefaultSegmentSize,
+		patience: DefaultPatience, backend: reclaim.KindHazard}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -307,10 +330,14 @@ func New[T any](opts ...Option) *Queue[T] {
 		panic(fmt.Sprintf("turnplus: invalid config maxThreads=%d segSize=%d patience=%d",
 			cfg.maxThreads, cfg.segSize, cfg.patience))
 	}
+	if !cfg.backend.Valid() {
+		panic(fmt.Sprintf("turnplus: unknown reclamation backend %q", cfg.backend))
+	}
 	q := &Queue[T]{
 		maxThreads: cfg.maxThreads,
 		segSize:    cfg.segSize,
 		patience:   cfg.patience,
+		backend:    cfg.backend,
 		taken:      &cellBox[T]{},
 		emptyBox:   &cellBox[T]{},
 		rt:         qrt.New(cfg.maxThreads),
@@ -324,19 +351,31 @@ func New[T any](opts ...Option) *Queue[T] {
 	// the node. This is the "hazard-protected segment retirement": every
 	// fast-path access to a segment happens under a hazard pointer on the
 	// node that carries it.
-	q.hp = hazard.New[node[T]](cfg.maxThreads, numHPs, func(_ int, nd *node[T]) {
-		nd.ClearItem()
-	}, hazard.WithActiveSet(q.rt))
+	deleter := func(_ int, nd *node[T]) { nd.ClearItem() }
+	switch cfg.backend {
+	case reclaim.KindHazard:
+		q.hp = hazard.New[node[T]](cfg.maxThreads, numHPs, deleter, hazard.WithActiveSet(q.rt))
+		q.rc = q.hp
+	case reclaim.KindEpoch:
+		q.rc = epoch.New[node[T]](cfg.maxThreads, deleter)
+		q.clearPerOp = true
+	case reclaim.KindQSBR:
+		q.rc = qsbr.New[node[T]](cfg.maxThreads, deleter, qsbr.WithActiveSet(q.rt))
+		q.clearPerOp = true
+	case reclaim.KindEras:
+		q.rc = eras.New[node[T]](cfg.maxThreads, numHPs, deleter, (*node[T]).Tag,
+			eras.WithActiveSet(q.rt))
+	}
 	// On release the slot's protections stop being visible to the scan
 	// (WithActiveSet), so the physical cache invariant breaks: reset it
 	// before the slot can be re-acquired.
 	q.rt.OnRelease(func(slot int) {
 		q.caches[slot] = cacheSlot[T]{}
-		q.hp.DrainThread(slot)
+		q.rc.DrainThread(slot)
 	})
 	sentinel := consensus.NewSentinel[*segment[T]]()
-	q.enq.Init(q.rt, q.hp, hpTail, sentinel)
-	q.deq.Init(q.rt, q.hp, hpHead, hpNext, hpDeq, q.enq.TailPtr(), sentinel)
+	q.enq.Init(q.rt, q.rc, hpTail, sentinel)
+	q.deq.Init(q.rt, q.rc, hpHead, hpNext, hpDeq, q.enq.TailPtr(), sentinel)
 	// Ring removal claims only drained rings. The guard is monotone per
 	// node (capLimit and deqIdx are), which SetClaimGuard requires; a
 	// recycled node never re-enters the list, so the guard never sees a
@@ -358,8 +397,19 @@ func (q *Queue[T]) MaxThreads() int { return q.maxThreads }
 // Runtime returns the queue's per-thread runtime.
 func (q *Queue[T]) Runtime() *qrt.Runtime { return q.rt }
 
-// Hazard exposes the ring-node hazard domain (tests, accounting).
+// Hazard exposes the ring-node hazard domain (tests, accounting). Nil
+// unless the backend is reclaim.KindHazard.
 func (q *Queue[T]) Hazard() *hazard.Domain[node[T]] { return q.hp }
+
+// Backend returns the reclamation backend the queue was built with.
+func (q *Queue[T]) Backend() reclaim.Kind { return q.backend }
+
+// Reclaimer exposes the ring-node reclamation backend through the
+// generic seam (conformance suite, X12 harness).
+func (q *Queue[T]) Reclaimer() reclaim.Reclaimer[node[T]] { return q.rc }
+
+// DrainReclaim force-drains every ring-node retire list (queue Close).
+func (q *Queue[T]) DrainReclaim() { q.rc.DrainAll() }
 
 // OverrunStats reports consensus helping loops and front-march loops
 // that exceeded their structural bounds (maxThreads+1 for the engines,
@@ -386,7 +436,7 @@ func (q *Queue[T]) Stats() (fastEnq, fastDeq, enqFallbacks, deqFallbacks, wasted
 // AccountInto appends the hazard-domain view, the overrun counters, and
 // the fast/slow counters to s (the account.Source contract).
 func (q *Queue[T]) AccountInto(s *account.Snapshot) {
-	s.Hazard = append(s.Hazard, account.CaptureHazard("rings", q.hp))
+	q.rc.AccountInto(s, "rings")
 	s.EnqOverruns, s.DeqOverruns = q.OverrunStats()
 	fastEnq, fastDeq, enqFb, deqFb, wasted, rings := q.Stats()
 	var seals int64
@@ -413,12 +463,15 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	for attempt := 0; attempt < q.patience; attempt++ {
 		tn := q.enq.Tail()
 		if tn != c.tail {
-			q.hp.ProtectPtr(hpTail, threadID, tn)
-			if q.enq.Tail() != tn {
+			var ok bool
+			tn, ok = q.protect(hpTail, threadID, q.enq.TailPtr())
+			if !ok {
 				c.tail = nil
 				continue
 			}
-			c.tail = tn
+			if !q.clearPerOp {
+				c.tail = tn
+			}
 		}
 		seg := tn.Item()
 		if seg == nil {
@@ -461,7 +514,11 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 		if seg.cells[t].CompareAndSwap(nil, b) {
 			// The tail protection stays published (and cached): it only
 			// pins this ring node until the next protect overwrites it.
+			// Region backends instead end their region with the operation.
 			st.fastEnq.Add(1)
+			if q.clearPerOp {
+				q.rc.Clear(threadID)
+			}
 			return
 		}
 		st.wasted.Add(1) // a dequeuer poisoned our cell first
@@ -474,6 +531,9 @@ func (q *Queue[T]) Enqueue(threadID int, item T) {
 	seg.cells[0].Store(b)
 	nd := new(node[T])
 	nd.Reset(seg, int32(threadID))
+	if q.hp == nil {
+		q.rc.NoteAlloc(threadID, nd)
+	}
 	st.rings.Add(1)
 	st.enqFallback.Add(1)
 	q.enq.Announce(threadID, nd, false)
@@ -509,6 +569,7 @@ func (q *Queue[T]) EnqueueBatch(threadID int, items []T) {
 		st.rings.Add(1)
 		nd := new(node[T])
 		nd.Reset(seg, int32(threadID))
+		q.rc.NoteAlloc(threadID, nd)
 		if first == nil {
 			first = nd
 		} else {
@@ -560,6 +621,9 @@ func (q *Queue[T]) Dequeue(threadID int) (item T, ok bool) {
 				if ok {
 					st.fastDeq.Add(1)
 				}
+				if q.clearPerOp {
+					q.rc.Clear(threadID)
+				}
 				return v, ok
 			}
 			if q.slowDeq.Load() != 0 {
@@ -583,12 +647,15 @@ func (q *Queue[T]) fastDequeue(threadID int, st *statsSlot) (item T, ok, decided
 	c := &q.caches[threadID]
 	lhead := q.deq.Head()
 	if lhead != c.head {
-		q.hp.ProtectPtr(hpHead, threadID, lhead)
-		if q.deq.Head() != lhead {
+		var ok bool
+		lhead, ok = q.protect(hpHead, threadID, q.deq.HeadPtr())
+		if !ok {
 			c.head = nil
 			return zero, false, false
 		}
-		c.head = lhead
+		if !q.clearPerOp {
+			c.head = lhead
+		}
 	}
 	fr := lhead.Next()
 	if fr == nil {
@@ -600,12 +667,15 @@ func (q *Queue[T]) fastDequeue(threadID int, st *statsSlot) (item T, ok, decided
 		return zero, false, true
 	}
 	if fr != c.front {
-		q.hp.ProtectPtr(hpNext, threadID, fr)
-		if q.deq.Head() != lhead || lhead.Next() != fr {
+		var ok bool
+		fr, ok = q.protect(hpNext, threadID, lhead.NextPtr())
+		if !ok || fr == nil || q.deq.Head() != lhead {
 			c.front = nil
 			return zero, false, false
 		}
-		c.front = fr
+		if !q.clearPerOp {
+			c.front = fr
+		}
 	}
 	seg := fr.Item()
 	d := seg.deqIdx.Load()
@@ -678,12 +748,16 @@ func (q *Queue[T]) fastDequeue(threadID int, st *statsSlot) (item T, ok, decided
 func (q *Queue[T]) removeRing(threadID int) {
 	_, ok, prReq := q.deq.DequeueOne(threadID)
 	q.caches[threadID] = cacheSlot[T]{} // engine + Clear trample every slot
-	q.hp.Clear(threadID)
+	q.clearHP(threadID)
 	if ok {
 		// The two-generation retire chain from the paper's §2.4, at ring
 		// granularity: prReq is the ring node that has just left both
 		// request arrays.
-		q.hp.Retire(threadID, prReq)
+		if q.hp != nil {
+			q.hp.Retire(threadID, prReq)
+		} else {
+			q.rc.Retire(threadID, prReq)
+		}
 	}
 }
 
@@ -725,7 +799,7 @@ func (q *Queue[T]) dequeueSlow(threadID int, st *statsSlot) (item T, ok bool) {
 	q.deqReqs[threadID].P.Store(nil)
 	q.slowDeq.Add(-1)
 	q.caches[threadID] = cacheSlot[T]{} // the march trampled the deq slots
-	q.hp.Clear(threadID)
+	q.clearHP(threadID)
 	b := req.done.Load()
 	if b == q.emptyBox {
 		return zero, false
@@ -739,12 +813,12 @@ func (q *Queue[T]) dequeueSlow(threadID int, st *statsSlot) (item T, ok bool) {
 // request with a validated empty.
 func (q *Queue[T]) marchStep(threadID int) {
 	inject.Fire(inject.CoreDeqHelp)
-	lhead := q.hp.ProtectPtr(hpHead, threadID, q.deq.Head())
-	if lhead != q.deq.Head() {
+	lhead, ok := q.protect(hpHead, threadID, q.deq.HeadPtr())
+	if !ok {
 		return
 	}
-	fr := q.hp.ProtectPtr(hpNext, threadID, lhead.Next())
-	if lhead != q.deq.Head() {
+	fr, ok := q.protect(hpNext, threadID, lhead.NextPtr())
+	if !ok || lhead != q.deq.Head() {
 		return
 	}
 	if fr == nil {
@@ -852,4 +926,37 @@ func (q *Queue[T]) answerEmpty(threadID int, revalidate func() bool) {
 		reqs[i] = nil
 	}
 	q.scratch[threadID] = reqs[:0]
+}
+
+// protect and clearHP devirtualize the default hazard backend exactly
+// like the consensus engines' helpers (see consensus.Enq.protect): an
+// inlinable store+revalidate fast path for the common case, the
+// out-of-line Reclaimer seam for the alternates.
+func (q *Queue[T]) protect(index, tid int, src *atomic.Pointer[node[T]]) (*node[T], bool) {
+	if q.hp != nil {
+		nd := q.hp.ProtectPtr(index, tid, src.Load())
+		return nd, src.Load() == nd
+	}
+	return protectSlow(q.rc, index, tid, src)
+}
+
+func (q *Queue[T]) clearHP(tid int) {
+	if q.hp != nil {
+		q.hp.Clear(tid)
+		return
+	}
+	clearSlow(q.rc, tid)
+}
+
+// protectSlow and clearSlow keep the interface dispatch out of the
+// inlinable fast-path helpers.
+//
+//go:noinline
+func protectSlow[T any](rc reclaim.Reclaimer[node[T]], index, tid int, src *atomic.Pointer[node[T]]) (*node[T], bool) {
+	return rc.Protect(index, tid, src)
+}
+
+//go:noinline
+func clearSlow[T any](rc reclaim.Reclaimer[node[T]], tid int) {
+	rc.Clear(tid)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"turnqueue/internal/account"
+	"turnqueue/internal/reclaim"
 )
 
 func TestSequentialFIFO(t *testing.T) {
@@ -142,6 +143,89 @@ func TestConcurrentExactlyOnce(t *testing.T) {
 			}
 			last[p] = v
 		}
+	}
+}
+
+// TestBackendChurnMatrix runs a concurrent slot-churn workload under
+// every reclamation backend: small rings and low patience keep ring
+// retirements flowing while workers repeatedly Acquire, operate, and
+// Release slots. This is the traffic that distinguishes the backends'
+// lifecycle hooks — hazard rescans on release, epoch/qsbr migrate
+// pinned residue and re-enter regions per operation (clearPerOp), eras
+// re-stamps birth eras on recycled rings — and exactly-once is the
+// property any premature free would break.
+func TestBackendChurnMatrix(t *testing.T) {
+	for _, kind := range reclaim.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			const workers, maxThreads = 4, 8
+			rounds := 300
+			if testing.Short() {
+				rounds = 60
+			}
+			q := New[int](WithMaxThreads(maxThreads), WithSegmentSize(4),
+				WithPatience(2), WithBackend(kind))
+			rt := q.Runtime()
+			var wg sync.WaitGroup
+			got := make([][]int, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for seq := 0; seq < rounds; seq++ {
+						slot, ok := rt.Acquire()
+						if !ok {
+							seq--
+							continue
+						}
+						q.Enqueue(slot, id*rounds+seq)
+						if v, ok := q.Dequeue(slot); ok {
+							got[id] = append(got[id], v)
+						}
+						rt.Release(slot)
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Drain the residue, then check the multiset: every value
+			// exactly once.
+			slot, ok := rt.Acquire()
+			if !ok {
+				t.Fatal("no free slot for final drain")
+			}
+			var tail []int
+			for {
+				v, ok := q.Dequeue(slot)
+				if !ok {
+					break
+				}
+				tail = append(tail, v)
+			}
+			rt.Release(slot)
+			seen := make(map[int]int)
+			total := 0
+			for _, items := range append(got, tail) {
+				total += len(items)
+				for _, v := range items {
+					seen[v]++
+				}
+			}
+			if total != workers*rounds {
+				t.Fatalf("dequeued %d items, want %d", total, workers*rounds)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("value %d dequeued %d times", v, n)
+				}
+			}
+			if enq, deq := q.OverrunStats(); enq != 0 || deq != 0 {
+				t.Fatalf("OverrunStats = (%d,%d), want (0,0)", enq, deq)
+			}
+			q.DrainReclaim()
+			if b := q.Reclaimer().Backlog(); b != 0 {
+				t.Fatalf("backend %s backlog %d after churn + close sweep, want 0", kind, b)
+			}
+		})
 	}
 }
 

@@ -63,7 +63,7 @@ type Universal[S, A, R any] struct {
 
 	announce []pad.PointerSlot[request[A]]
 	seqs     []pad.Int64Slot
-	rt *qrt.Runtime
+	rt       *qrt.Runtime
 
 	combines   pad.Int64Slot
 	piggybacks pad.Int64Slot

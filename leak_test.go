@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"turnqueue/internal/bench"
+	"turnqueue/internal/core"
 )
 
 // TestHandleChurnQuiescent registers, operates, and closes handles over
@@ -172,6 +173,67 @@ func TestTurnCloseDrainsRetireBacklog(t *testing.T) {
 	}
 	if err := post.VerifyQuiescent(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEpochReleasedSlotResidueNotStranded is the regression gate for the
+// released-but-never-reused slot leak: epoch's release-time drain rounds
+// run once, at Release, so residue a stalled reader pins at that moment
+// used to sit on the dead slot's retire list forever — no later traffic
+// would resweep it, and only slot *reuse* (which lease expiry never
+// guarantees) could free it. The fix migrates the unfreeable residue to
+// a shared orphan list at release and lets the queue-level close sweep
+// (DrainReclaim, wired through adapter and AutoQueue.Close) reclaim it
+// once the reader exits. Pre-fix this test fails at the final backlog
+// check: the stranded nodes are still counted against the epoch domain.
+func TestEpochReleasedSlotResidueNotStranded(t *testing.T) {
+	q := NewTurn[int](WithMaxThreads(4), WithReclaimer(ReclaimerEpoch))
+	cq := q.(interface {
+		Unwrap() *core.Queue[int]
+	}).Unwrap()
+	rc := cq.Reclaimer()
+
+	// A worker churns on its slot, and a reader on a second slot sits
+	// inside an epoch region the whole time, pinning every retire.
+	worker, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq.ProtectHeadForTest(reader.Slot())
+
+	for i := 0; i < 20; i++ {
+		q.Enqueue(worker, i)
+		q.Dequeue(worker)
+	}
+	wslot := worker.Slot()
+	if got := rc.SlotBacklog(wslot); got == 0 {
+		t.Fatalf("churn under a stalled reader produced no pinned residue on slot %d; the scenario is vacuous", wslot)
+	}
+
+	// The worker's slot releases while the reader still pins everything.
+	// The release-time drain cannot free the residue — but it must not
+	// leave it owned by the dead slot either.
+	pinned := rc.Backlog()
+	worker.Close()
+	if got := rc.SlotBacklog(wslot); got != 0 {
+		t.Fatalf("released slot %d still owns %d residue entries; release must migrate unfreeable residue off the slot", wslot, got)
+	}
+	if got := rc.Backlog(); got < pinned-1 {
+		t.Fatalf("release lost residue: backlog %d, want >= %d (migration, not deletion)", got, pinned-1)
+	}
+
+	// The reader exits *after* the release — the exact ordering that
+	// stranded the residue forever pre-fix (slot dead, no resweep, no
+	// reuse). The close-time sweep must now reclaim everything.
+	rc.Clear(reader.Slot())
+	reader.Close()
+	q.(interface{ DrainReclaim() }).DrainReclaim()
+	if got := rc.Backlog(); got != 0 {
+		t.Fatalf("epoch backlog %d after reader exit + close sweep, want 0 (stranded-slot leak)", got)
 	}
 }
 

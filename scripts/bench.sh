@@ -51,8 +51,9 @@
 #   scripts/bench.sh full results/
 #
 # Both modes write outdir/BENCH_core.txt (verbatim `go test -bench`
-# output) and outdir/BENCH_core.json (benchmark name -> mean ns/op and
-# allocs/op across the -count repetitions). Full mode additionally
+# output) and outdir/BENCH_core.json (benchmark name -> median ns/op
+# and mean allocs/op across the -count repetitions; the median because
+# the full set's short windows catch occasional descheduling spikes). Full mode additionally
 # writes outdir/BENCH_gate.{txt,json} — the gate family at
 # GATE_BENCHTIME with mean ns/op per name — which is what smoke gates
 # against.
@@ -63,7 +64,10 @@ MODE="${1:-full}"
 OUT="${2:-.}"
 
 # The core set: adapter overhead (hot-path cost of the public API),
-# uncontended single-thread round trips, the sparse-registration family
+# uncontended single-thread round trips, the per-access protect cost of
+# each reclamation backend in isolation (the X12 speed-axis mechanism —
+# its ordering is structural, so it stays readable even when host noise
+# blurs the full-queue backend rows), the sparse-registration family
 # (active-slot scan cost, experiment X8), the chain-batch family
 # (experiment X10: per-item batch cost plus the 4-thread batch-vs-single
 # pairs comparison), the oversubscribed slot-lease family (experiment
@@ -71,7 +75,7 @@ OUT="${2:-.}"
 # the sharded-front pairs family (same experiment: routing cost at
 # shards 1 vs 4), and the pure-ALU calibration anchor the parity gate
 # uses to normalize for host-speed drift.
-PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkAutoOversubscribed|BenchmarkShardedPairs|BenchmarkCalibration'
+PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkReclaimProtect|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkAutoOversubscribed|BenchmarkShardedPairs|BenchmarkCalibration'
 
 # The zero-cost gate family and its fixed measurement window. Baseline
 # (full mode) and gate (smoke mode) MUST use the same benchtime:
@@ -138,25 +142,38 @@ fi
 go test -run '^$' -bench "$PATTERN" -benchmem \
 	-count="$COUNT" -benchtime="$BENCHTIME" -timeout 1800s . | tee "$TXT"
 
+# ns/op is the MEDIAN of the count reps, not the mean: the full set's
+# ~7ms windows catch a descheduling burst in roughly one rep out of five
+# on a shared 1-CPU host, and a single 20% spike drags a mean while the
+# median shrugs it off. allocs/op stays a mean (it is constant across
+# reps). The gate family keeps its mean — its ~175ms windows are stable.
 awk '
 /^Benchmark/ {
 	name = $1
-	ns = $3
 	allocs = ""
 	for (i = 4; i <= NF; i++) {
 		if ($i == "allocs/op") allocs = $(i - 1)
 	}
 	if (!(name in cnt)) order[++n] = name
 	cnt[name]++
-	sumns[name] += ns
+	ns[name, cnt[name]] = $3
 	if (allocs != "") suma[name] += allocs
 }
 END {
 	printf "{\n"
 	for (i = 1; i <= n; i++) {
 		name = order[i]
+		m = cnt[name]
+		for (a = 1; a <= m; a++) v[a] = ns[name, a]
+		for (a = 2; a <= m; a++) {
+			x = v[a]
+			for (b = a - 1; b >= 1 && v[b] > x; b--) v[b + 1] = v[b]
+			v[b + 1] = x
+		}
+		if (m % 2) med = v[(m + 1) / 2]
+		else med = (v[m / 2] + v[m / 2 + 1]) / 2
 		printf "  \"%s\": {\"ns_per_op\": %.2f, \"allocs_per_op\": %.2f}%s\n", \
-			name, sumns[name] / cnt[name], suma[name] / cnt[name], (i < n ? "," : "")
+			name, med, suma[name] / cnt[name], (i < n ? "," : "")
 	}
 	printf "}\n"
 }
@@ -198,6 +215,36 @@ if [ "$MODE" = smoke ]; then
 	}
 	' "$RATIO_TXT" || {
 		echo "bench gate: TurnPlus uncontended cost exceeds ${RATIO_LIMIT:-1.5}x FAA(YMC) — the fast path regressed" >&2
+		exit 1
+	}
+
+	# QSBR protect-overhead gate: the qsbr backend's whole pitch is a
+	# near-zero read side (one plain region entry per operation, no
+	# per-access protection stores), so the uncontended Turn(qsbr) round
+	# trip must not cost more than the hazard-backed Turn row
+	# (QSBR_RATIO_LIMIT, default 1.0 — qsbr-protect <= hazard-protect).
+	# Min of RATIO_COUNT runs each, same fixed window as the fast-path
+	# gate.
+	QSBR_TXT="$OUT/BENCH_qsbr.txt"
+	echo "==> QSBR protect gate (uncontended Turn(qsbr) <= ${QSBR_RATIO_LIMIT:-1.0}x hazard Turn)"
+	go test -run '^$' -bench 'BenchmarkUncontended/^(Turn|Turn\(qsbr\))$' \
+		-count="$RATIO_COUNT" -benchtime="$RATIO_BENCHTIME" -timeout 600s . >"$QSBR_TXT"
+	awk -v limit="${QSBR_RATIO_LIMIT:-1.0}" '
+	$1 ~ /^BenchmarkUncontended\/Turn\(qsbr\)(-[0-9]+)?$/ { if (!qs || $3 + 0 < qs) qs = $3 + 0; next }
+	$1 ~ /^BenchmarkUncontended\/Turn(-[0-9]+)?$/         { if (!hz || $3 + 0 < hz) hz = $3 + 0 }
+	END {
+		if (!qs || !hz) {
+			print "  qsbr gate: missing Turn or Turn(qsbr) uncontended rows" > "/dev/stderr"
+			exit 1
+		}
+		ratio = qs / hz
+		ok = (ratio <= limit)
+		printf "  Turn(qsbr) %.2f ns/op / Turn %.2f ns/op = %.2fx (limit %.2fx)   %s\n", \
+			qs, hz, ratio, limit, (ok ? "ok" : "REGRESSION")
+		exit !ok
+	}
+	' "$QSBR_TXT" || {
+		echo "bench gate: Turn(qsbr) uncontended cost exceeds ${QSBR_RATIO_LIMIT:-1.0}x the hazard Turn row — qsbr protect must not cost more than hazard protect" >&2
 		exit 1
 	}
 

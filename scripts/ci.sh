@@ -35,9 +35,17 @@
 #      one shard while holding a lease; other shards progress, stolen
 #      dequeues stay exactly-once, per-shard hazard bounds hold) under
 #      -race with both the faultpoints and debughandles tags, plus one
-#      scripted run of the shard chaos scenario (cmd/chaos).
+#      scripted run of the shard chaos scenario (cmd/chaos),
+#   9. the reclamation-backend gate: the generic Reclaimer conformance
+#      suite (protect-blocks-delete, drain-on-release, bound-respected,
+#      crash-leaves-bound, orphan-residue) over all four backends, the
+#      backend churn matrices for core and TurnPlus, the stranded-slot
+#      and holdout regression gates, the hazard bound-saturation proof,
+#      and the 4-way parked-reader chaos contrast (hazard/eras plateau
+#      at their stated ceilings, epoch/qsbr grow unbounded) — all under
+#      -race -tags "faultpoints debughandles".
 #
-# A change is green only if all eight pass.
+# A change is green only if all nine pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -81,5 +89,17 @@ echo "==> sharded/lease gate (lease lifecycle + shard isolation under -race)"
 go test -race -tags "faultpoints debughandles" -timeout 240s \
 	-run 'TestLeaseChurnQuiescent|TestLeaseExpiryDrainsRetireBacklog|TestLeaseShardedExpiryDrainsEveryShard|TestChaosShardStall|TestChaosShardedRelaxedUnderDelayInjection' .
 go run -tags faultpoints ./cmd/chaos -scenario shard -workers 4 -ops 500 -shards 4
+
+echo "==> reclamation-backend gate (4-way conformance + parked-reader chaos under -race)"
+go test -race -tags "faultpoints debughandles" -timeout 240s ./internal/reclaim
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestConformance|TestHoldStatsSplitsHoldoutReasons|TestBacklogBoundSaturation' \
+	./internal/hazard ./internal/epoch ./internal/qsbr ./internal/eras
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestSlotChurnStress' ./internal/core
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestBackendChurnMatrix' ./internal/turnplus
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestChaosStalledReaderFourBackends|TestChaosStalledReaderEpochVsHazard|TestEpochReleasedSlotResidueNotStranded' .
 
 echo "==> ci green"
