@@ -190,6 +190,18 @@ func (a *AutoQueue[T]) Snapshot() Snapshot {
 	return s
 }
 
+// ReclaimPressure reports the wrapped queue's reclaim backlog against
+// its structural bound, if the queue exposes the seam (bounded=false
+// otherwise). The service breaker samples this on the request path.
+func (a *AutoQueue[T]) ReclaimPressure() (backlog, bound int, bounded bool) {
+	if p, ok := a.q.(interface {
+		ReclaimPressure() (int, int, bool)
+	}); ok {
+		return p.ReclaimPressure()
+	}
+	return 0, 0, false
+}
+
 // Close retires every issued lease and releases every cached handle
 // back to the queue. Operations in flight when Close begins are waited
 // out — each finishes normally and its handle is closed afterwards —

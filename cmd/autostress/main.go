@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -34,7 +35,22 @@ import (
 	"time"
 
 	"turnqueue"
+	"turnqueue/internal/account"
+	"turnqueue/internal/vars"
 )
+
+// snapSource is the snapshot provider of the queue currently under
+// stress, swapped per run and read by the namespaced expvar export.
+var snapSource struct {
+	mu sync.Mutex
+	fn func() account.Snapshot
+}
+
+func setSnapSource(fn func() account.Snapshot) {
+	snapSource.mu.Lock()
+	snapSource.fn = fn
+	snapSource.mu.Unlock()
+}
 
 func constructors() map[string]func(opts ...turnqueue.Option) turnqueue.Queue[uint64] {
 	return map[string]func(opts ...turnqueue.Option) turnqueue.Queue[uint64]{
@@ -55,8 +71,29 @@ func main() {
 		goroutines = flag.Int("goroutines", 0, "caller goroutines (default 4x threads; must exceed threads to stress the cache)")
 		duration   = flag.Duration("duration", 2*time.Second, "run length per queue")
 		snapEvery  = flag.Duration("snapshots", 0, "dump a resource snapshot at this interval (0 disables)")
+		debugaddr  = flag.String("debugaddr", "", "serve /debug/vars (expvar; autostress.queue_snapshot) on this address")
 	)
 	flag.Parse()
+	if *debugaddr != "" {
+		// Namespaced under "autostress" (internal/vars): this tool runs a
+		// queue per configured name in one process, and flat expvar keys
+		// would either collide with an embedding component or panic on a
+		// duplicate Publish.
+		vars.Func("autostress", "queue_snapshot", func() any {
+			snapSource.mu.Lock()
+			fn := snapSource.fn
+			snapSource.mu.Unlock()
+			if fn == nil {
+				return nil
+			}
+			return fn()
+		})
+		go func() {
+			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "debugaddr: %v\n", err)
+			}
+		}()
+	}
 	if *threads < 2 {
 		*threads = 2
 	}
@@ -92,6 +129,7 @@ func main() {
 // a Handle.
 func stressOne(mk func(opts ...turnqueue.Option) turnqueue.Queue[uint64], threads, goroutines int, d, snapEvery time.Duration) (int64, error) {
 	a := turnqueue.NewAuto(mk(turnqueue.WithMaxThreads(threads)))
+	setSnapSource(func() account.Snapshot { return a.Snapshot() })
 
 	producers := goroutines / 2
 	consumers := goroutines - producers

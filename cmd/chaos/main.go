@@ -71,8 +71,14 @@ func main() {
 		segsize  = flag.Int("segsize", 64, "FAA queue segment size (reader scenario)")
 		shards   = flag.Int("shards", 4, "shard count for the shard scenario")
 		timeout  = flag.Duration("timeout", 30*time.Second, "completion deadline for healthy workers")
+		list     = flag.Bool("list", false, "print the fault-point catalog with arm state and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listPoints()
+		return
+	}
 
 	if !inject.Enabled {
 		fmt.Fprintln(os.Stderr, "chaos: fault points are compiled out of this binary;")
@@ -102,6 +108,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
+	}
+}
+
+// listPoints prints the full fault-point catalog with each point's arm
+// state. In a release build (no faultpoints tag) the catalog is still
+// the full inventory — the points exist as names even when every Fire
+// compiles away — so -list works in both builds and says which one it
+// is.
+func listPoints() {
+	if inject.Enabled {
+		fmt.Println("fault points: ENABLED (built with -tags faultpoints)")
+	} else {
+		fmt.Println("fault points: compiled out (release build); catalog only")
+	}
+	fmt.Printf("%-24s %-28s %s\n", "POINT", "ARMED", "HITS")
+	for p := inject.Point(0); p < inject.NumPoints; p++ {
+		armed := "-"
+		if pol, ok := inject.ArmedPolicy(p); ok {
+			armed = pol.String()
+		}
+		fmt.Printf("%-24s %-28s %d\n", p.String(), armed, inject.Hits(p))
+	}
+	if n := inject.Stalled(); n > 0 {
+		fmt.Printf("stalled goroutines: %d\n", n)
 	}
 }
 

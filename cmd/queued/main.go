@@ -1,0 +1,146 @@
+// Command queued serves the repository's wait-free queues over HTTP:
+// named topics with produce/consume/ack/stats, per-tenant token-bucket
+// quotas (429 + Retry-After), lease-based exactly-once redelivery, and
+// a per-topic circuit breaker keyed to the §3 reclamation bound. The
+// heavy lifting lives in internal/service; this binary is flags, the
+// listener, the expvar export, and the signal-driven graceful drain.
+//
+// Shutdown discipline: on SIGINT/SIGTERM the service stops admitting
+// (new requests get 503), serves what is already in flight, drains each
+// backend of undelivered messages (reported, never dropped silently),
+// and verifies quiescence — the process exits non-zero if any topic
+// fails the post-drain accounting, because a leak at shutdown is a bug,
+// not a cosmetic.
+//
+// Usage:
+//
+//	queued [-addr :8080] [-topics default] [-shards n] [-queue TurnPlus]
+//	       [-reclaim hazard|epoch|qsbr|eras] [-threads n]
+//	       [-lease 30s] [-rate 5000] [-burst 500] [-maxinflight 64]
+//	       [-breaker-open 90] [-breaker-close 45] [-draintimeout 30s]
+//
+// Live counters are at /debug/vars under the "queued" namespace.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"turnqueue"
+	"turnqueue/internal/service"
+	"turnqueue/internal/vars"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		topics       = flag.String("topics", "default", "comma-separated topic names")
+		shards       = flag.Int("shards", 0, "shards per topic (0 = constructor heuristic)")
+		queue        = flag.String("queue", "", "inner shard algorithm (default TurnPlus)")
+		reclaim      = flag.String("reclaim", "hazard", "reclamation backend: hazard|epoch|qsbr|eras")
+		threads      = flag.Int("threads", 0, "max registered threads per topic (0 = default)")
+		lease        = flag.Duration("lease", 30*time.Second, "delivery lease before redelivery")
+		sweep        = flag.Duration("sweep", 0, "redelivery sweep period (0 = lease/4)")
+		rate         = flag.Float64("rate", 5000, "per-tenant admitted requests/sec (<0 disables quotas)")
+		burst        = flag.Int("burst", 500, "per-tenant burst allowance")
+		maxInFlight  = flag.Int("maxinflight", 64, "max in-flight requests per connection (-1 disables)")
+		breakerOpen  = flag.Int("breaker-open", 90, "breaker opens at this % of the reclaim bound (<0 disables)")
+		breakerClose = flag.Int("breaker-close", 45, "breaker closes at this % of the reclaim bound")
+		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	backend := turnqueue.Reclaimer(*reclaim)
+	switch backend {
+	case turnqueue.ReclaimerHazard, turnqueue.ReclaimerEpoch, turnqueue.ReclaimerQSBR, turnqueue.ReclaimerEras:
+	default:
+		fmt.Fprintf(os.Stderr, "queued: unknown -reclaim %q (want hazard|epoch|qsbr|eras)\n", *reclaim)
+		os.Exit(2)
+	}
+
+	s, err := service.New(service.Config{
+		Topics:             splitTopics(*topics),
+		MaxThreads:         *threads,
+		Shards:             *shards,
+		ShardQueue:         *queue,
+		Reclaimer:          backend,
+		Lease:              *lease,
+		SweepEvery:         *sweep,
+		QuotaRate:          *rate,
+		QuotaBurst:         *burst,
+		MaxInFlightPerConn: *maxInFlight,
+		BreakerOpenPct:     *breakerOpen,
+		BreakerClosePct:    *breakerClose,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "queued: %v\n", err)
+		os.Exit(2)
+	}
+
+	vars.Func("queued", "stats", func() any { return s.Stats() })
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     mux,
+		ConnContext: s.ConnContext,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "queued: serving topics %s on %s (reclaim=%s)\n", *topics, *addr, backend)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "queued: serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain first: the service keeps answering (503 for new work, normal
+	// completion for in-flight) while the backends empty and verify.
+	// Only then is the listener torn down.
+	fmt.Fprintln(os.Stderr, "queued: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	rep, drainErr := s.Drain(dctx)
+	for topic, n := range rep.Undelivered {
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "queued: topic %q: %d undelivered message(s) at shutdown\n", topic, n)
+		}
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "queued: shutdown: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "queued: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "queued: drained, all topics quiescent")
+}
+
+func splitTopics(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

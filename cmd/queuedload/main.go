@@ -1,0 +1,325 @@
+// Command queuedload is the bursty load generator for the queued
+// service. It simulates a large population of clients (default 100k
+// virtual clients multiplexed over a worker pool), drives bursty
+// produce→consume→ack visits through the real HTTP surface with the
+// retrying client, and verifies the service-level exactly-once claim:
+// at the end of the run every produced message was acked exactly once
+// or surfaced in the final drain — zero lost, zero duplicated.
+//
+// By default it hosts the service in-process on a loopback listener so
+// a single command is a full end-to-end experiment (X13); point -addr
+// at a running queued to load an external instance instead.
+//
+// Reported per operation: p50/p99/max latency (internal/histogram),
+// plus shed counts split by cause (client-visible sheds vs server-side
+// quota/breaker counters) — the graceful-degradation numbers the
+// experiment wants. Counters live at /debug/vars under "queuedload"
+// while the run is active (-debugaddr).
+//
+// Usage:
+//
+//	queuedload [-addr http://host:port] [-clients 100000] [-workers 64]
+//	           [-duration 10s] [-burst 8] [-tenants 64] [-topic load]
+//	           [-reclaim hazard] [-shards n] [-rate 5000] [-quota-burst 500]
+//	           [-seed 1] [-debugaddr :8124]
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turnqueue"
+	"turnqueue/internal/histogram"
+	"turnqueue/internal/service"
+	"turnqueue/internal/vars"
+)
+
+// ackShards stripes the exactly-once ledger: message id → ack count.
+// 64 mutex-striped maps keep the verification path off the hot locks.
+const ackShards = 64
+
+type ledger struct {
+	mu   [ackShards]sync.Mutex
+	seen [ackShards]map[uint64]int
+}
+
+func newLedger() *ledger {
+	l := &ledger{}
+	for i := range l.seen {
+		l.seen[i] = make(map[uint64]int)
+	}
+	return l
+}
+
+// ack records one ack for id and reports whether it was the first.
+func (l *ledger) ack(id uint64) bool {
+	s := id % ackShards
+	l.mu[s].Lock()
+	l.seen[s][id]++
+	first := l.seen[s][id] == 1
+	l.mu[s].Unlock()
+	return first
+}
+
+func (l *ledger) duplicates() int {
+	d := 0
+	for i := range l.seen {
+		l.mu[i].Lock()
+		for _, n := range l.seen[i] {
+			if n > 1 {
+				d += n - 1
+			}
+		}
+		l.mu[i].Unlock()
+	}
+	return d
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "target queued endpoint (empty = host the service in-process)")
+		clients    = flag.Int("clients", 100_000, "virtual client population")
+		workers    = flag.Int("workers", 64, "concurrent worker goroutines multiplexing the clients")
+		duration   = flag.Duration("duration", 10*time.Second, "load phase length")
+		burst      = flag.Int("burst", 8, "operations per client visit (produce burst, then consume+ack burst)")
+		tenants    = flag.Int("tenants", 64, "distinct tenant identities (quota buckets)")
+		topic      = flag.String("topic", "load", "topic name")
+		reclaim    = flag.String("reclaim", "hazard", "reclamation backend for the in-process service")
+		shards     = flag.Int("shards", 0, "shards for the in-process service (0 = heuristic)")
+		rate       = flag.Float64("rate", 5000, "per-tenant quota rate for the in-process service")
+		quotaBurst = flag.Int("quota-burst", 500, "per-tenant quota burst for the in-process service")
+		seed       = flag.Uint64("seed", 1, "backoff jitter seed (deterministic retry schedules)")
+		debugaddr  = flag.String("debugaddr", "", "serve /debug/vars here during the run (empty = off)")
+	)
+	flag.Parse()
+
+	var (
+		produced  atomic.Int64
+		acked     atomic.Int64
+		shedProd  atomic.Int64 // client-visible: produce gave up after retries
+		shedCons  atomic.Int64 // client-visible: consume/ack gave up after retries
+		conflicts atomic.Int64 // acks refused because a lease expired mid-visit
+		retries   atomic.Int64
+		visits    atomic.Int64
+	)
+	produceH, consumeH, ackH := histogram.New(), histogram.New(), histogram.New()
+	led := newLedger()
+
+	base := *addr
+	var svc *service.Service
+	if base == "" {
+		s, err := service.New(service.Config{
+			Topics:     []string{*topic},
+			Shards:     *shards,
+			Reclaimer:  turnqueue.Reclaimer(*reclaim),
+			QuotaRate:  *rate,
+			QuotaBurst: *quotaBurst,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuedload: %v\n", err)
+			os.Exit(2)
+		}
+		svc = s
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuedload: listen: %v\n", err)
+			os.Exit(2)
+		}
+		srv := &http.Server{Handler: s.Handler(), ConnContext: s.ConnContext}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "queuedload: in-process service on %s (reclaim=%s)\n", base, *reclaim)
+	}
+
+	vars.Func("queuedload", "snapshot", func() any {
+		return map[string]any{
+			"visits":      visits.Load(),
+			"produced":    produced.Load(),
+			"acked":       acked.Load(),
+			"shed_prod":   shedProd.Load(),
+			"shed_cons":   shedCons.Load(),
+			"retries":     retries.Load(),
+			"p99_prod_ns": produceH.Quantile(0.99),
+			"p99_cons_ns": consumeH.Quantile(0.99),
+		}
+	})
+	if *debugaddr != "" {
+		go http.ListenAndServe(*debugaddr, expvar.Handler())
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        *workers * 2,
+		MaxIdleConnsPerHost: *workers * 2,
+	}
+	httpc := &http.Client{Transport: transport}
+
+	// Load phase: workers multiplex the virtual client population. Each
+	// visit is one client's burst — produce `burst` messages, then
+	// consume+ack up to `burst` — so arrivals come in clumps, which is
+	// what pushes the quota and breaker paths rather than a smooth
+	// trickle that never sheds.
+	//
+	// The deadline is checked between visits, never injected into an
+	// in-flight request: cancelling a request mid-round-trip can commit
+	// work server-side (an enqueue, a lease) that the client then never
+	// observes, which would corrupt the exactly-once ledger with phantom
+	// losses. Every started visit runs to completion; the slack bounds
+	// the overshoot.
+	deadline := time.Now().Add(*duration)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(30*time.Second))
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				vc := next.Add(1) % int64(*clients)
+				c := &Client{
+					Base:    base,
+					Tenant:  fmt.Sprintf("t%d", vc%int64(*tenants)),
+					HTTP:    httpc,
+					Backoff: Backoff{Seed: *seed + uint64(vc)},
+				}
+				visits.Add(1)
+				for i := 0; i < *burst; i++ {
+					t0 := time.Now()
+					id, err := c.Produce(ctx, *topic, []byte(fmt.Sprintf("%d-%d", vc, i)))
+					if err != nil {
+						shedProd.Add(1)
+						continue
+					}
+					produceH.Record(time.Since(t0).Nanoseconds())
+					produced.Add(1)
+					_ = id
+				}
+				for i := 0; i < *burst; i++ {
+					t0 := time.Now()
+					d, err := c.Consume(ctx, *topic)
+					if err != nil {
+						shedCons.Add(1)
+						continue
+					}
+					consumeH.Record(time.Since(t0).Nanoseconds())
+					if d == nil {
+						break
+					}
+					t0 = time.Now()
+					switch err := c.Ack(ctx, *topic, d.ID, d.Token); {
+					case err == nil:
+						ackH.Record(time.Since(t0).Nanoseconds())
+						if led.ack(d.ID) {
+							acked.Add(1)
+						}
+					case err == ErrConflict:
+						conflicts.Add(1)
+					default:
+						shedCons.Add(1)
+					}
+				}
+				retries.Add(c.Retries)
+			}
+		}(w)
+	}
+	wg.Wait()
+	loadElapsed := time.Since(start)
+
+	// Settle phase: consume everything still queued so the ledger can be
+	// balanced. (Messages produced but unconsumed when the deadline hit
+	// are not lost — they are here.)
+	settleCtx, settleCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer settleCancel()
+	settle := &Client{Base: base, Tenant: "settle", HTTP: httpc}
+	settled := 0
+	for {
+		d, err := settle.Consume(settleCtx, *topic)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuedload: settle consume: %v\n", err)
+			break
+		}
+		if d == nil {
+			break
+		}
+		if err := settle.Ack(settleCtx, *topic, d.ID, d.Token); err == nil {
+			if led.ack(d.ID) {
+				acked.Add(1)
+				settled++
+			}
+		}
+	}
+
+	// Verification: every produced message acked exactly once, nothing
+	// duplicated. An in-process run additionally drains the service and
+	// requires quiescence.
+	dups := led.duplicates()
+	lost := produced.Load() - acked.Load()
+	failed := false
+	if dups != 0 {
+		fmt.Fprintf(os.Stderr, "queuedload: FAIL: %d duplicated ack(s)\n", dups)
+		failed = true
+	}
+	if lost != 0 {
+		fmt.Fprintf(os.Stderr, "queuedload: FAIL: %d message(s) lost (produced %d, acked %d)\n",
+			lost, produced.Load(), acked.Load())
+		failed = true
+	}
+	if svc != nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer dcancel()
+		rep, err := svc.Drain(dctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuedload: FAIL: drain: %v\n", err)
+			failed = true
+		} else if n := rep.Undelivered[*topic]; n != 0 {
+			fmt.Fprintf(os.Stderr, "queuedload: FAIL: %d undelivered after settle\n", n)
+			failed = true
+		}
+		st := svc.Stats()
+		fmt.Printf("server sheds: quota=%d breaker=%d conn=%d draining=%d\n",
+			st.ShedQuota, st.ShedBreaker, st.ShedConn, st.ShedDraining)
+	}
+
+	ops := produced.Load() + acked.Load()
+	shed := shedProd.Load() + shedCons.Load()
+	fmt.Printf("clients=%d workers=%d visits=%d duration=%v\n", *clients, *workers, visits.Load(), loadElapsed.Round(time.Millisecond))
+	fmt.Printf("produced=%d acked=%d settled=%d conflicts=%d retries=%d\n",
+		produced.Load(), acked.Load(), settled, conflicts.Load(), retries.Load())
+	fmt.Printf("throughput=%.0f ops/s shed=%d shed_rate=%.4f\n",
+		float64(ops)/loadElapsed.Seconds(), shed, float64(shed)/float64(shed+ops))
+	for _, row := range []struct {
+		name string
+		h    *histogram.Hist
+	}{{"produce", produceH}, {"consume", consumeH}, {"ack", ackH}} {
+		if row.h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-8s p50=%v p99=%v max=%v n=%d\n", row.name,
+			time.Duration(row.h.Quantile(0.50)), time.Duration(row.h.Quantile(0.99)),
+			time.Duration(row.h.Max()), row.h.Count())
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("verified: zero lost, zero duplicated")
+}
+
+// Client/Backoff/ErrConflict re-exports keep the worker loop readable;
+// the load generator is deliberately a consumer of the public service
+// client, not a private fork of it.
+type (
+	Client  = service.Client
+	Backoff = service.Backoff
+)
+
+var ErrConflict = service.ErrConflict

@@ -24,7 +24,6 @@
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +40,7 @@ import (
 	"turnqueue/internal/histogram"
 	"turnqueue/internal/lincheck"
 	"turnqueue/internal/quantile"
+	"turnqueue/internal/vars"
 )
 
 // snapSource is the snapshot provider of the queue currently under
@@ -77,23 +77,26 @@ func main() {
 	)
 	flag.Parse()
 	if *debugaddr != "" {
-		expvar.Publish("queue_snapshot", expvar.Func(func() any {
+		// Exports are namespaced under "stress" (internal/vars) so this
+		// tool can share a process with other instrumented components
+		// without colliding on flat expvar names.
+		vars.Func("stress", "queue_snapshot", func() any {
 			s, ok := currentSnapshot()
 			if !ok {
 				return nil
 			}
 			return s
-		}))
+		})
 		// Lease-cache and shard-routing observables of the queue under
 		// stress (nil for queues with neither layer), pre-extracted so a
 		// live reader need not dig through the raw counter map.
-		expvar.Publish("routing_stats", expvar.Func(func() any {
+		vars.Func("stress", "routing_stats", func() any {
 			s, ok := currentSnapshot()
 			if !ok {
 				return nil
 			}
 			return routingStats(s)
-		}))
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "debugaddr: %v\n", err)

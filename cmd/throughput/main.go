@@ -16,7 +16,6 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
@@ -30,6 +29,7 @@ import (
 	"turnqueue/internal/bench"
 	"turnqueue/internal/report"
 	"turnqueue/internal/stats"
+	"turnqueue/internal/vars"
 )
 
 // lastSnap holds the most recent measurement point's quiescent snapshot
@@ -65,37 +65,41 @@ func main() {
 	)
 	flag.Parse()
 	if *debugaddr != "" {
-		expvar.Publish("queue_snapshot", expvar.Func(func() any {
+		// Keys live inside the "throughput" namespace map (internal/vars)
+		// so several instrumented components — or two copies of this
+		// tool's exports — can share one process without expvar.Publish
+		// panicking on a duplicate name.
+		vars.Func("throughput", "queue_snapshot", func() any {
 			lastSnap.mu.Lock()
 			defer lastSnap.mu.Unlock()
 			if lastSnap.s == nil {
 				return nil
 			}
 			return *lastSnap.s
-		}))
+		})
 		// Fast-path hit rates of the latest point (TurnPlus; nil for
 		// queues without a fast path), derived from the same snapshot so
 		// live readers need not recompute from raw counters.
-		expvar.Publish("fastpath_hit_rate", expvar.Func(func() any {
+		vars.Func("throughput", "fastpath_hit_rate", func() any {
 			lastSnap.mu.Lock()
 			defer lastSnap.mu.Unlock()
 			if lastSnap.s == nil {
 				return nil
 			}
 			return fastpathRates(*lastSnap.s)
-		}))
+		})
 		// Lease-cache and shard-routing counters of the latest point (nil
 		// for queues with neither layer): lease_hits/lease_steals from the
 		// slot-lease cache, deq_local/deq_steals and the imbalance spread
 		// from the sharded front.
-		expvar.Publish("routing_stats", expvar.Func(func() any {
+		vars.Func("throughput", "routing_stats", func() any {
 			lastSnap.mu.Lock()
 			defer lastSnap.mu.Unlock()
 			if lastSnap.s == nil {
 				return nil
 			}
 			return routingStats(*lastSnap.s)
-		}))
+		})
 		go func() {
 			if err := http.ListenAndServe(*debugaddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "debugaddr:", err)

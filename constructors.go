@@ -270,6 +270,25 @@ func (a *adapter[T, Q]) DrainReclaim() {
 	}
 }
 
+// reclaimPressurer is the optional cheap-pressure surface: current
+// retired backlog against the backend's structural bound, without the
+// cost of a full accounting Snapshot.
+type reclaimPressurer interface {
+	ReclaimPressure() (backlog, bound int, bounded bool)
+}
+
+// ReclaimPressure reports the implementation's reclaim backlog and bound
+// if it exposes them (core, turnplus, and the sharded front do).
+// bounded=false either because the backend is epoch/QSBR — the paper's
+// unbounded comparison point — or because the implementation has no
+// pressure seam; in both cases callers must not gate on bound.
+func (a *adapter[T, Q]) ReclaimPressure() (backlog, bound int, bounded bool) {
+	if p, ok := any(a.q).(reclaimPressurer); ok {
+		return p.ReclaimPressure()
+	}
+	return 0, 0, false
+}
+
 // NewTurn creates a Turn queue — the paper's wait-free bounded MPMC queue
 // with integrated wait-free memory reclamation.
 func NewTurn[T any](opts ...Option) Queue[T] {

@@ -1,0 +1,135 @@
+package account
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuotaAdmitsBurstThenSheds(t *testing.T) {
+	q := NewQuota(10, 5, 0) // 10 req/s → 100ms/token, burst 5
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		ok, _ := q.Admit(base)
+		if !ok {
+			t.Fatalf("admit %d refused inside burst", i)
+		}
+	}
+	ok, retry := q.Admit(base)
+	if ok {
+		t.Fatalf("6th immediate request admitted past burst")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms]", retry)
+	}
+	// After retryAfter elapses, exactly one token is back.
+	later := base.Add(retry)
+	if ok, _ := q.Admit(later); !ok {
+		t.Fatalf("request refused after waiting the advertised retryAfter")
+	}
+	if ok, _ := q.Admit(later); ok {
+		t.Fatalf("second request at the same instant admitted: only one token refilled")
+	}
+}
+
+func TestQuotaIdleCreditCapped(t *testing.T) {
+	q := NewQuota(10, 5, 0)
+	base := time.Unix(1000, 0)
+	if ok, _ := q.Admit(base); !ok {
+		t.Fatal("first admit refused")
+	}
+	// An hour idle banks at most one burst, not 36000 tokens.
+	later := base.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.Admit(later); ok {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("idle tenant admitted %d at once, want burst=5", admitted)
+	}
+}
+
+func TestQuotaSteadyRate(t *testing.T) {
+	q := NewQuota(100, 1, 0) // 10ms/token, no burst slack
+	base := time.Unix(1000, 0)
+	admitted := 0
+	for i := 0; i < 1000; i++ { // 1ms ticks over 1s
+		if ok, _ := q.Admit(base.Add(time.Duration(i) * time.Millisecond)); ok {
+			admitted++
+		}
+	}
+	if admitted < 99 || admitted > 101 {
+		t.Fatalf("steady 1kHz offered load admitted %d/s, want ~100", admitted)
+	}
+}
+
+func TestQuotaInFlightCap(t *testing.T) {
+	q := NewQuota(1e9, 1<<20, 3)
+	for i := 0; i < 3; i++ {
+		if !q.Enter() {
+			t.Fatalf("Enter %d refused under cap", i)
+		}
+	}
+	if q.Enter() {
+		t.Fatal("4th Enter admitted past maxInFlight=3")
+	}
+	q.Exit()
+	if !q.Enter() {
+		t.Fatal("Enter refused after Exit freed a slot")
+	}
+	if got := q.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+}
+
+func TestQuotaConcurrentAdmitNeverOversells(t *testing.T) {
+	const burst = 64
+	q := NewQuota(1, burst, 0) // 1 req/s: within one instant only the burst admits
+	now := time.Unix(1000, 0)
+	var wg sync.WaitGroup
+	counts := make([]int, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if ok, _ := q.Admit(now); ok {
+					counts[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != burst {
+		t.Fatalf("concurrent admits = %d, want exactly burst=%d", total, burst)
+	}
+}
+
+func TestTenantsIsolation(t *testing.T) {
+	ts := &Tenants{Rate: 10, Burst: 1, MaxInFlight: 0}
+	base := time.Unix(1000, 0)
+	if ok, _ := ts.Get("a").Admit(base); !ok {
+		t.Fatal("tenant a first admit refused")
+	}
+	if ok, _ := ts.Get("a").Admit(base); ok {
+		t.Fatal("tenant a second immediate admit allowed past burst=1")
+	}
+	// Tenant b has its own bucket.
+	if ok, _ := ts.Get("b").Admit(base); !ok {
+		t.Fatal("tenant b refused because of tenant a's spend")
+	}
+	if ts.Get("a") != ts.Get("a") {
+		t.Fatal("Get not stable per tenant")
+	}
+	seen := map[string]bool{}
+	ts.Each(func(name string, q *Quota) { seen[name] = true })
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("Each missed tenants: %v", seen)
+	}
+}

@@ -214,6 +214,17 @@ func (q *Queue[T]) Reclaimer() reclaim.Reclaimer[Node[T]] { return q.rc }
 // backends may legitimately keep residue.
 func (q *Queue[T]) DrainReclaim() { q.rc.DrainAll() }
 
+// ReclaimPressure reports the backend's current retired-but-unreclaimed
+// backlog against its structural bound. bounded is false for the
+// epoch/QSBR backends (the §3 comparison point), in which case bound is
+// meaningless. The service layer's circuit breaker samples this instead
+// of paying for a full accounting Snapshot.
+func (q *Queue[T]) ReclaimPressure() (backlog, bound int, bounded bool) {
+	backlog = q.rc.Backlog()
+	bound, bounded = q.rc.Bound()
+	return
+}
+
 // ProtectHeadForTest publishes a protection of the current head node from
 // threadID's slot 0 and leaves it standing — the uniform stall primitive
 // the X12 parked-reader experiment uses across all four backends (a

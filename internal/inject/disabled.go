@@ -23,6 +23,10 @@ func Disarm(Point) {}
 // Reset is a no-op without the faultpoints build tag.
 func Reset() {}
 
+// ArmedPolicy always reports nothing armed without the faultpoints
+// build tag.
+func ArmedPolicy(Point) (Policy, bool) { return Policy{}, false }
+
 // Hits always reports zero without the faultpoints build tag.
 func Hits(Point) int64 { return 0 }
 

@@ -141,6 +141,15 @@ func Reset() {
 	ReleaseStalled()
 }
 
+// ArmedPolicy reports the policy currently armed on point p, if any.
+// cmd/chaos -list uses it to print the catalog with arm state.
+func ArmedPolicy(p Point) (Policy, bool) {
+	if pol := points[p].policy.Load(); pol != nil {
+		return *pol, true
+	}
+	return Policy{}, false
+}
+
 // Hits returns how many times point p has fired (policy applications
 // are counted; pass-throughs with nothing armed are not).
 func Hits(p Point) int64 { return points[p].hits.Load() }

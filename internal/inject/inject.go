@@ -119,6 +119,23 @@ const (
 	// publication (dequeue) has not happened yet. A thread parked here has
 	// no published state at all, so it can affect nobody.
 	CoreFastFallback
+	// SvcConnStall: internal/service, mid-body on a produce/consume
+	// connection — the request has been admitted (quota token spent,
+	// in-flight slot held) but the response body is not yet written. A
+	// connection parked here must not hold a queue handle or block any
+	// other tenant's requests.
+	SvcConnStall
+	// SvcConsumerCrash: internal/service, between a successful Dequeue and
+	// the delivery-lease commit/ack — the consumer-crash window. The
+	// redelivery sweeper must return the message exactly once; the chaos
+	// suite's zero-lost/zero-duplicated assertion lives on this point.
+	SvcConsumerCrash
+	// SvcSlowReader: internal/service, a consume stream whose client reads
+	// slowly — fired per chunk written. A reader parked here holds its
+	// delivery lease past the deadline; the message must be redelivered to
+	// a healthy consumer while backend reclaim backlog stays within
+	// Bound().
+	SvcSlowReader
 	// NumPoints bounds the catalog; it is not a point.
 	NumPoints
 )
@@ -141,6 +158,9 @@ var pointNames = [NumPoints]string{
 	CoreEnqBatchPublish: "core.enq.batch.publish",
 	CoreFastClaim:       "core.fast.claim",
 	CoreFastFallback:    "core.fast.fallback",
+	SvcConnStall:        "svc.conn.stall",
+	SvcConsumerCrash:    "svc.consumer.crash",
+	SvcSlowReader:       "svc.reader.slow",
 }
 
 // String returns the point's catalog name.
@@ -200,6 +220,32 @@ type Policy struct {
 	// Seed keys the delay stream; identical seeds replay identical
 	// delay schedules for identical hit sequences.
 	Seed uint64
+}
+
+// String renders the policy the way cmd/chaos -list prints the catalog:
+// the kind, then only the knobs that matter for that kind.
+func (pol Policy) String() string {
+	switch pol.Kind {
+	case KindStall:
+		if pol.Limit > 0 {
+			return fmt.Sprintf("stall(limit=%d)", pol.Limit)
+		}
+		return "stall(all)"
+	case KindCrash:
+		if pol.Limit > 0 {
+			return fmt.Sprintf("crash(limit=%d)", pol.Limit)
+		}
+		return "crash(all)"
+	case KindDelay:
+		return fmt.Sprintf("delay(%v..%v, seed=%#x)", pol.Min, pol.Max, pol.Seed)
+	case KindYield:
+		every := pol.Every
+		if every < 1 {
+			every = 1
+		}
+		return fmt.Sprintf("yield(every=%d)", every)
+	}
+	return fmt.Sprintf("policy(kind=%d)", uint8(pol.Kind))
 }
 
 // Stall returns a policy that parks the first limit arrivals forever

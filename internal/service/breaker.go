@@ -1,0 +1,86 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// breaker is the per-topic overload valve, keyed to the paper's one
+// quantitative claim: a bounded reclamation backend (hazard, eras) can
+// tell you *how close to its structural bound* the retired-node backlog
+// is, at any moment, for the price of two atomic sums. The breaker
+// samples that pressure on the produce path and sheds new load before
+// the backlog can reach the bound — under a parked reader the backend
+// stays provably within its envelope and healthy traffic keeps flowing,
+// instead of the service discovering overload by allocation stall.
+//
+// With an unbounded backend (epoch, QSBR) there is no bound to defend
+// and the pressure signal reads bounded=false; the breaker then never
+// opens — the honest behaviour, and exactly the operational difference
+// §3 argues for.
+//
+// Sampling is time-gated by a CAS on the last-sample clock, so at most
+// one request per interval pays for the pressure read and the breaker
+// adds one atomic load to everyone else.
+type breaker struct {
+	pressure func() (backlog, bound int, bounded bool)
+	openPct  int   // open at backlog >= openPct% of bound
+	closePct int   // close at backlog <= closePct% of bound
+	every    int64 // min ns between pressure samples
+
+	last    atomic.Int64
+	open    atomic.Bool
+	trips   atomic.Int64
+	samples atomic.Int64
+	shed    atomic.Int64
+}
+
+func newBreaker(pressure func() (int, int, bool), openPct, closePct int, every time.Duration) *breaker {
+	if openPct <= 0 {
+		openPct = 90
+	}
+	if closePct <= 0 || closePct >= openPct {
+		closePct = openPct / 2
+	}
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	return &breaker{
+		pressure: pressure,
+		openPct:  openPct,
+		closePct: closePct,
+		every:    int64(every),
+	}
+}
+
+// allow reports whether a request may pass, resampling the pressure if
+// the sample interval elapsed. Hysteresis (openPct vs closePct) keeps
+// the valve from chattering around one threshold.
+func (b *breaker) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	t := now.UnixNano()
+	last := b.last.Load()
+	if t-last >= b.every && b.last.CompareAndSwap(last, t) {
+		b.samples.Add(1)
+		backlog, bound, bounded := b.pressure()
+		switch {
+		case !bounded || bound <= 0:
+			b.open.Store(false)
+		case backlog*100 >= bound*b.openPct:
+			if !b.open.Swap(true) {
+				b.trips.Add(1)
+			}
+		case backlog*100 <= bound*b.closePct:
+			b.open.Store(false)
+		}
+	}
+	if b.open.Load() {
+		b.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (b *breaker) isOpen() bool { return b != nil && b.open.Load() }

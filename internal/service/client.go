@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. The jitter stream
+// is deterministic in (Seed, attempt) — the same splitmix64 discipline
+// the fault injector uses — so a load generator replays the same retry
+// schedule from its seed, which is what makes chaos-run latency numbers
+// comparable across runs.
+//
+// The zero value is usable: Base 5ms, Max 1s, Seed 1.
+type Backoff struct {
+	Base time.Duration // first-retry ceiling (default 5ms)
+	Max  time.Duration // delay ceiling (default 1s)
+	Seed uint64        // jitter stream key (default 1)
+}
+
+// Delay returns the sleep before retry number attempt (0-based). The
+// window doubles per attempt up to Max, and the delay is drawn uniformly
+// from [window/2, window): full-jitter's thundering-herd spread with a
+// half-window floor so a retry never fires immediately. A server-sent
+// Retry-After (retryAfter > 0) becomes the floor — the client honours
+// the server's estimate but keeps its own jitter on top.
+func (b Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	base, max, seed := b.Base, b.Max, b.Seed
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	window := base << uint(attempt)
+	if window > max || window <= 0 {
+		window = max
+	}
+	half := window / 2
+	d := half + time.Duration(splitmix(seed, uint64(attempt))%uint64(half+1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// splitmix is splitmix64 over (seed, n) — one deterministic draw per
+// attempt index.
+func splitmix(seed, n uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Client is the retrying HTTP client for one service endpoint. Retries
+// cover only the admission rejections the server marks retryable (429
+// and 503, both carrying Retry-After); real errors surface immediately.
+type Client struct {
+	// Base is the endpoint root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Tenant is sent as X-Tenant on every request (default "default").
+	Tenant string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Backoff shapes the retry delays.
+	Backoff Backoff
+	// MaxAttempts caps tries per operation (default 8).
+	MaxAttempts int
+
+	// Retries counts backoff sleeps taken (load-generator statistics);
+	// written without atomics, so share a Client across goroutines only
+	// if you ignore it.
+	Retries int64
+}
+
+// ErrConflict is returned by Ack when the lease expired (the message
+// was redelivered) or the token is stale — the service's 409.
+var ErrConflict = errors.New("service: ack conflict: lease expired or token stale")
+
+// ErrShed is returned when every attempt was shed (quota, breaker, or
+// draining) — the caller's request never entered a queue.
+var ErrShed = errors.New("service: request shed after max attempts")
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request with admission retries. The caller owns resp.Body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if c.Tenant != "" {
+			req.Header.Set("X-Tenant", c.Tenant)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if attempt+1 >= attempts {
+			return nil, fmt.Errorf("%w (last status %d)", ErrShed, resp.StatusCode)
+		}
+		var retryAfter time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		c.Retries++
+		select {
+		case <-time.After(c.Backoff.Delay(attempt, retryAfter)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Produce enqueues payload on topic and returns the assigned message id.
+func (c *Client) Produce(ctx context.Context, topic string, payload []byte) (uint64, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/topics/"+topic+"/produce", payload)
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusError("produce", resp)
+	}
+	var out struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("produce: decode: %w", err)
+	}
+	return out.ID, nil
+}
+
+// Delivery is one consumed message; Ack it with ID and Token.
+type Delivery = deliveryBody
+
+// Consume leases one message from topic. A nil Delivery with nil error
+// means the topic is currently empty.
+func (c *Client) Consume(ctx context.Context, topic string) (*Delivery, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/topics/"+topic+"/consume", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		var d Delivery
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			return nil, fmt.Errorf("consume: decode: %w", err)
+		}
+		return &d, nil
+	default:
+		return nil, statusError("consume", resp)
+	}
+}
+
+// Ack confirms a delivery. ErrConflict means the lease had already
+// expired and the message was (or is being) redelivered — the caller
+// must treat its processing as not having counted.
+func (c *Client) Ack(ctx context.Context, topic string, id, token uint64) error {
+	resp, err := c.do(ctx, http.MethodPost,
+		"/topics/"+topic+"/ack?id="+strconv.FormatUint(id, 10)+"&token="+strconv.FormatUint(token, 10), nil)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return ErrConflict
+	default:
+		return statusError("ack", resp)
+	}
+}
+
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func statusError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return fmt.Errorf("%s: %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+}

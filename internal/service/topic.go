@@ -1,0 +1,306 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turnqueue"
+	"turnqueue/internal/inject"
+)
+
+// Delivery states, packed into the high 8 bits of a delivery's state
+// word. The low 56 bits carry the lease sequence number, which doubles
+// as the delivery token: every lease bumps it, so a token names exactly
+// one lease and a late ack (after expiry and redelivery) can never match
+// the current word.
+const (
+	statePending    = 0 // in the queue (or about to be), no consumer owns it
+	stateLeased     = 1 // delivered to a consumer, ack due before deadline
+	stateAcked      = 2 // terminal: consumer confirmed, record removed
+	stateReclaiming = 3 // sweeper's reversible claim, mid-redelivery
+)
+
+const (
+	stateShift = 56
+	seqMask    = 1<<stateShift - 1
+)
+
+func pack(state, seq uint64) uint64 { return state<<stateShift | seq&seqMask }
+func stateOf(w uint64) uint64       { return w >> stateShift }
+func seqOf(w uint64) uint64         { return w & seqMask }
+
+// delivery is one message's lifecycle record. The queue itself carries
+// only the message id; payload and lease state live here, in a registry
+// the sweeper can scan. All transitions are single CASes on word, which
+// is what makes the ack-vs-redeliver race safe: exactly one of the
+// consumer's Ack and the sweeper's claim wins the leased word.
+type delivery struct {
+	id      uint64
+	tenant  string
+	payload []byte
+
+	// word is the packed (state, lease seq) pair; see pack.
+	word atomic.Uint64
+	// deadline is the current lease's expiry in unix nanos; meaningful
+	// only while word holds stateLeased. Written by the leasing consumer
+	// before its CAS publishes the lease, so the sweeper never pairs a
+	// fresh lease with a stale deadline.
+	deadline atomic.Int64
+
+	redeliveries atomic.Int64
+}
+
+// Topic is one named queue plus its delivery-lease layer. The backend is
+// the sharded wait-free front behind an AutoQueue, so request-handler
+// goroutines need no explicit Handle discipline.
+type Topic struct {
+	name  string
+	q     *turnqueue.AutoQueue[uint64]
+	lease time.Duration
+
+	mu     sync.Mutex
+	recs   map[uint64]*delivery
+	nextID atomic.Uint64
+
+	br *breaker
+
+	// closing gates the sweeper's redelivery: once set, an expired lease
+	// is left leased (the claim is reverted) so Drain's accounting sees a
+	// stable registry instead of racing requeues.
+	closing atomic.Bool
+
+	// Counters, exported through the stats surface.
+	produced    atomic.Int64
+	consumed    atomic.Int64 // leases granted (includes redeliveries)
+	acked       atomic.Int64
+	redelivered atomic.Int64 // expired leases re-queued by the sweeper
+	requeued    atomic.Int64 // consumer crashed pre-lease, message put back
+	conflicts   atomic.Int64 // acks refused (wrong token / expired lease)
+}
+
+func newTopic(name string, q *turnqueue.AutoQueue[uint64], lease time.Duration, br *breaker) *Topic {
+	return &Topic{
+		name:  name,
+		q:     q,
+		lease: lease,
+		recs:  make(map[uint64]*delivery),
+		br:    br,
+	}
+}
+
+// Produce assigns the message an id, registers its delivery record, and
+// enqueues the id on the wait-free backend.
+func (t *Topic) Produce(tenant string, payload []byte) uint64 {
+	id := t.nextID.Add(1)
+	rec := &delivery{id: id, tenant: tenant, payload: payload}
+	rec.word.Store(pack(statePending, 0))
+	t.mu.Lock()
+	t.recs[id] = rec
+	t.mu.Unlock()
+	t.q.Enqueue(id)
+	t.produced.Add(1)
+	return id
+}
+
+// Consume dequeues one message and leases it to the caller until
+// now+lease. ok=false means the topic is empty. The returned token must
+// accompany the Ack.
+//
+// The SvcConsumerCrash fault point sits in the window between Dequeue
+// and the lease commit — the id is out of the queue but no lease exists
+// yet. A crash there is recovered here and the id re-enqueued, so the
+// message is never lost; crashed reports that the caller's goroutine
+// was the simulated victim (the handler answers 500 and the client
+// retries).
+func (t *Topic) Consume(now time.Time) (rec *delivery, token uint64, ok bool, crashed error) {
+	for {
+		id, got := t.q.Dequeue()
+		if !got {
+			return nil, 0, false, nil
+		}
+		if err := t.leaseCrashWindow(id); err != nil {
+			return nil, 0, false, err
+		}
+		t.mu.Lock()
+		rec = t.recs[id]
+		t.mu.Unlock()
+		if rec == nil {
+			// Unreachable in normal operation (only the queue feeds ids,
+			// and records outlive their queue residency); tolerate it by
+			// taking the next message rather than failing the request.
+			continue
+		}
+		w := rec.word.Load()
+		if stateOf(w) != statePending {
+			continue
+		}
+		token = seqOf(w) + 1
+		// Deadline first: the sweeper reads (word, deadline) in that
+		// order and must never see the new lease with the old expiry.
+		rec.deadline.Store(now.Add(t.lease).UnixNano())
+		if rec.word.CompareAndSwap(w, pack(stateLeased, token)) {
+			t.consumed.Add(1)
+			return rec, token, true, nil
+		}
+	}
+}
+
+// leaseCrashWindow hosts the SvcConsumerCrash fault point so a simulated
+// crash unwinds only this frame: the deferred recover puts the dequeued
+// id back on the queue (zero loss) and surfaces the crash as an error.
+func (t *Topic) leaseCrashWindow(id uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ce, isCrash := r.(inject.CrashError)
+			if !isCrash {
+				panic(r)
+			}
+			t.q.Enqueue(id)
+			t.requeued.Add(1)
+			err = ce
+		}
+	}()
+	inject.Fire(inject.SvcConsumerCrash)
+	return nil
+}
+
+// Ack confirms delivery (id, token). It succeeds only while the exact
+// lease named by token is still open: one CAS from leased|token to
+// acked|token. A late ack — the lease expired and the sweeper reclaimed
+// the message — finds the word moved on (reclaiming, pending with the
+// same seq, or a later lease) and is refused, which is what makes
+// redelivery exactly-once: either the consumer's ack or the sweeper's
+// claim wins the word, never both.
+func (t *Topic) Ack(id, token uint64) AckResult {
+	t.mu.Lock()
+	rec := t.recs[id]
+	t.mu.Unlock()
+	if rec == nil {
+		return AckUnknown
+	}
+	if !rec.word.CompareAndSwap(pack(stateLeased, token), pack(stateAcked, token)) {
+		t.conflicts.Add(1)
+		return AckConflict
+	}
+	t.mu.Lock()
+	delete(t.recs, id)
+	t.mu.Unlock()
+	t.acked.Add(1)
+	return AckOK
+}
+
+// AckResult classifies an Ack attempt.
+type AckResult int
+
+const (
+	// AckOK: the lease was open and is now closed; the message is done.
+	AckOK AckResult = iota
+	// AckConflict: the token no longer names the current lease — it
+	// expired and was redelivered (or was already acked). HTTP 409.
+	AckConflict
+	// AckUnknown: no record for the id (already acked and removed, or
+	// never produced). HTTP 404.
+	AckUnknown
+)
+
+// sweep redelivers every message whose lease expired before now. The
+// claim is reversible: the sweeper first CASes leased→reclaiming (losing
+// the race to a concurrent Ack is fine — the ack won the message), then,
+// if the topic is closing, restores the leased word untouched; otherwise
+// it republishes the record as pending with the *claimed* seq and only
+// then re-enqueues the id. Publication order matters: the id must not be
+// dequeuable while the word still reads reclaiming, or a consumer would
+// skip it.
+func (t *Topic) sweep(now time.Time) (redelivered int) {
+	nowNS := now.UnixNano()
+	t.mu.Lock()
+	var expired []*delivery
+	for _, rec := range t.recs {
+		if w := rec.word.Load(); stateOf(w) == stateLeased && rec.deadline.Load() < nowNS {
+			expired = append(expired, rec)
+		}
+	}
+	t.mu.Unlock()
+
+	for _, rec := range expired {
+		w := rec.word.Load()
+		if stateOf(w) != stateLeased || rec.deadline.Load() >= nowNS {
+			continue // acked, or re-leased with a fresh deadline, since the scan
+		}
+		tok := seqOf(w)
+		if !rec.word.CompareAndSwap(w, pack(stateReclaiming, tok)) {
+			continue // lost to a last-instant Ack: the consumer keeps it
+		}
+		if t.closing.Load() {
+			rec.word.Store(w) // reversible claim: put the lease back for Drain
+			continue
+		}
+		rec.word.Store(pack(statePending, tok))
+		t.q.Enqueue(rec.id)
+		rec.redeliveries.Add(1)
+		t.redelivered.Add(1)
+		redelivered++
+	}
+	return redelivered
+}
+
+// Outstanding counts undelivered or unacked messages (pending + leased
+// + mid-reclaim records).
+func (t *Topic) Outstanding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// Pressure reports the backend's reclaim backlog against its bound (the
+// breaker's signal; bounded=false for epoch/QSBR backends).
+func (t *Topic) Pressure() (backlog, bound int, bounded bool) {
+	return t.q.ReclaimPressure()
+}
+
+// Snapshot captures the backend queue's accounting view.
+func (t *Topic) Snapshot() turnqueue.Snapshot { return t.q.Snapshot() }
+
+// TopicStats is the per-topic stats row.
+type TopicStats struct {
+	Produced    int64 `json:"produced"`
+	Consumed    int64 `json:"consumed"`
+	Acked       int64 `json:"acked"`
+	Redelivered int64 `json:"redelivered"`
+	Requeued    int64 `json:"requeued"`
+	Conflicts   int64 `json:"conflicts"`
+	Outstanding int   `json:"outstanding"`
+
+	Backlog        int   `json:"reclaim_backlog"`
+	Bound          int   `json:"reclaim_bound"`
+	Bounded        bool  `json:"reclaim_bounded"`
+	BreakerOpen    bool  `json:"breaker_open"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	BreakerShed    int64 `json:"breaker_shed"`
+	BreakerSamples int64 `json:"breaker_samples"`
+}
+
+// Stats assembles the topic's counter row.
+func (t *Topic) Stats() TopicStats {
+	backlog, bound, bounded := t.Pressure()
+	st := TopicStats{
+		Produced:    t.produced.Load(),
+		Consumed:    t.consumed.Load(),
+		Acked:       t.acked.Load(),
+		Redelivered: t.redelivered.Load(),
+		Requeued:    t.requeued.Load(),
+		Conflicts:   t.conflicts.Load(),
+		Outstanding: t.Outstanding(),
+		Backlog:     backlog,
+		Bound:       bound,
+		Bounded:     bounded,
+	}
+	if t.br != nil {
+		st.BreakerOpen = t.br.isOpen()
+		st.BreakerTrips = t.br.trips.Load()
+		st.BreakerShed = t.br.shed.Load()
+		st.BreakerSamples = t.br.samples.Load()
+	}
+	return st
+}

@@ -243,6 +243,32 @@ func (q *Queue[T]) DrainReclaim() {
 	}
 }
 
+// ReclaimPressure sums the per-shard reclaim backlogs and bounds over
+// every inner queue that reports them. The whole front is bounded only
+// if every shard is (one epoch-backed shard makes the aggregate
+// unbounded); shards that expose no pressure seam contribute nothing.
+func (q *Queue[T]) ReclaimPressure() (backlog, bound int, bounded bool) {
+	bounded = true
+	any := false
+	for _, in := range q.inner {
+		p, ok := in.(interface {
+			ReclaimPressure() (int, int, bool)
+		})
+		if !ok {
+			continue
+		}
+		any = true
+		b, n, ok := p.ReclaimPressure()
+		backlog += b
+		bound += n
+		bounded = bounded && ok
+	}
+	if !any {
+		return 0, 0, false
+	}
+	return
+}
+
 // Stats returns the routing totals summed over shards.
 func (q *Queue[T]) Stats() (enqs, deqLocal, deqSteal int64) {
 	for i := range q.stats {

@@ -411,6 +411,15 @@ func (q *Queue[T]) Reclaimer() reclaim.Reclaimer[node[T]] { return q.rc }
 // DrainReclaim force-drains every ring-node retire list (queue Close).
 func (q *Queue[T]) DrainReclaim() { q.rc.DrainAll() }
 
+// ReclaimPressure reports the ring-node backend's retired backlog
+// against its structural bound (bounded=false for epoch/QSBR). Cheap
+// enough for the service breaker to sample on the request path.
+func (q *Queue[T]) ReclaimPressure() (backlog, bound int, bounded bool) {
+	backlog = q.rc.Backlog()
+	bound, bounded = q.rc.Bound()
+	return
+}
+
 // OverrunStats reports consensus helping loops and front-march loops
 // that exceeded their structural bounds (maxThreads+1 for the engines,
 // maxThreads+segSize+1 for the march).

@@ -1,0 +1,68 @@
+// Package vars namespaces expvar registration per process component.
+//
+// expvar.Publish panics on a duplicate name, and its registry is global
+// to the process. That was tolerable while each cmd tool published one
+// flat set of keys ("queue_snapshot", "routing_stats", ...), but it
+// breaks the moment one process hosts several instrumented components —
+// exactly what cmd/queued does with one queue per topic: two topics
+// both publishing "queue_snapshot" would panic at startup, and a tool
+// embedding the service next to its own metrics would collide with it.
+//
+// The fix is one level of indirection: every component owns a single
+// top-level expvar.Map named after it, and everything the component
+// exports lives as keys inside that map. /debug/vars then renders
+//
+//	"throughput": {"queue_snapshot": {...}, "routing_stats": {...}},
+//	"queued": {"topic/orders/stats": {...}, "topic/billing/stats": {...}}
+//
+// Map is idempotent (the first call publishes, later calls return the
+// same map) and Publish replaces rather than panics, so components can
+// re-export a key freely — the last writer wins, which is the right
+// semantics for "latest snapshot" style variables.
+package vars
+
+import (
+	"expvar"
+	"sync"
+)
+
+var (
+	mu   sync.Mutex
+	maps = map[string]*expvar.Map{}
+)
+
+// Map returns the component's namespace map, publishing it on first use.
+// Safe for concurrent use; all calls for one component return the same
+// map. If the top-level name is already taken by a non-Map variable
+// (published by code outside this package), Map panics — that is a
+// programming error, not a runtime race to tolerate.
+func Map(component string) *expvar.Map {
+	mu.Lock()
+	defer mu.Unlock()
+	if m, ok := maps[component]; ok {
+		return m
+	}
+	if v := expvar.Get(component); v != nil {
+		m, ok := v.(*expvar.Map)
+		if !ok {
+			panic("vars: expvar name " + component + " already published as a non-map")
+		}
+		maps[component] = m
+		return m
+	}
+	m := expvar.NewMap(component)
+	maps[component] = m
+	return m
+}
+
+// Publish sets key inside the component's namespace, replacing any
+// previous value. Unlike expvar.Publish it never panics on duplicates.
+func Publish(component, key string, v expvar.Var) {
+	Map(component).Set(key, v)
+}
+
+// Func publishes a computed variable (expvar.Func) under the component's
+// namespace.
+func Func(component, key string, f func() any) {
+	Publish(component, key, expvar.Func(f))
+}

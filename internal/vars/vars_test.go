@@ -1,0 +1,64 @@
+package vars
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"testing"
+)
+
+func TestMapIdempotent(t *testing.T) {
+	a := Map("vars_test_component")
+	b := Map("vars_test_component")
+	if a != b {
+		t.Fatalf("Map returned distinct maps for one component")
+	}
+	if got := expvar.Get("vars_test_component"); got != expvar.Var(a) {
+		t.Fatalf("component map not published under its name")
+	}
+}
+
+// TestPublishReplacesWithoutPanic is the regression the package exists
+// for: two components exporting the same key, and one component
+// re-exporting a key, must both be fine — plain expvar.Publish would
+// panic on the second registration.
+func TestPublishReplacesWithoutPanic(t *testing.T) {
+	x := new(expvar.Int)
+	x.Set(1)
+	Publish("vars_test_a", "queue_snapshot", x)
+	Publish("vars_test_b", "queue_snapshot", x) // same key, other component
+
+	y := new(expvar.Int)
+	y.Set(2)
+	Publish("vars_test_a", "queue_snapshot", y) // same key, same component
+	if got := Map("vars_test_a").Get("queue_snapshot").String(); got != "2" {
+		t.Fatalf("re-publish did not replace: got %s, want 2", got)
+	}
+	if got := Map("vars_test_b").Get("queue_snapshot").String(); got != "1" {
+		t.Fatalf("cross-component key clobbered: got %s, want 1", got)
+	}
+}
+
+func TestFuncRendersInsideNamespace(t *testing.T) {
+	Func("vars_test_c", "answer", func() any { return 42 })
+	s := Map("vars_test_c").String()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		t.Fatalf("namespace map is not valid JSON: %v\n%s", err, s)
+	}
+	if m["answer"] != float64(42) {
+		t.Fatalf("answer = %v, want 42", m["answer"])
+	}
+	if !strings.Contains(s, "answer") {
+		t.Fatalf("rendered map missing key: %s", s)
+	}
+}
+
+// TestAdoptsForeignMap: a component name already published as an
+// expvar.Map by other code is adopted rather than duplicated.
+func TestAdoptsForeignMap(t *testing.T) {
+	m := expvar.NewMap("vars_test_foreign")
+	if got := Map("vars_test_foreign"); got != m {
+		t.Fatalf("existing map not adopted")
+	}
+}

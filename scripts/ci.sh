@@ -1,5 +1,5 @@
 #!/bin/sh
-# The full correctness gate, exactly as CI runs it. Eight passes:
+# The full correctness gate, exactly as CI runs it. Ten passes:
 #
 #   1. build + vet of every package,
 #   2. the full test suite in the release build (no handle validation
@@ -43,9 +43,17 @@
 #      and holdout regression gates, the hazard bound-saturation proof,
 #      and the 4-way parked-reader chaos contrast (hazard/eras plateau
 #      at their stated ceilings, epoch/qsbr grow unbounded) — all under
-#      -race -tags "faultpoints debughandles".
+#      -race -tags "faultpoints debughandles",
+#  10. the service gate: the queue-as-a-service layer (internal/service,
+#      internal/account, internal/vars) — quota/breaker/lease unit suite
+#      plus the end-to-end chaos tests through the HTTP surface (parked
+#      reader bounded by the backend Bound with the breaker shedding,
+#      crashed consumers exactly-once over the event history, slow-reader
+#      redelivery with stale-ack refusal, stalled-connection isolation,
+#      graceful drain to VerifyQuiescent) under -race with both the
+#      faultpoints and debughandles tags.
 #
-# A change is green only if all nine pass.
+# A change is green only if all ten pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -101,5 +109,10 @@ go test -race -tags "faultpoints debughandles" -timeout 240s \
 	-run 'TestBackendChurnMatrix' ./internal/turnplus
 go test -race -tags "faultpoints debughandles" -timeout 240s \
 	-run 'TestChaosStalledReaderFourBackends|TestChaosStalledReaderEpochVsHazard|TestEpochReleasedSlotResidueNotStranded' .
+
+echo "==> service gate (queue-as-a-service chaos under -race)"
+go test -race -timeout 240s ./internal/account ./internal/vars
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	./internal/service
 
 echo "==> ci green"
