@@ -123,6 +123,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "queued: topic %q: %d undelivered message(s) at shutdown\n", topic, n)
 		}
 	}
+	for topic, n := range rep.Unacked {
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "queued: topic %q: %d delivered-but-unacked message(s) at shutdown\n", topic, n)
+		}
+	}
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -281,8 +281,8 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "queuedload: FAIL: drain: %v\n", err)
 			failed = true
-		} else if n := rep.Undelivered[*topic]; n != 0 {
-			fmt.Fprintf(os.Stderr, "queuedload: FAIL: %d undelivered after settle\n", n)
+		} else if n, u := rep.Undelivered[*topic], rep.Unacked[*topic]; n != 0 || u != 0 {
+			fmt.Fprintf(os.Stderr, "queuedload: FAIL: %d undelivered, %d unacked after settle\n", n, u)
 			failed = true
 		}
 		st := svc.Stats()

@@ -114,30 +114,49 @@ func (q *Quota) Exit() { q.inFlight.Add(-1) }
 // InFlight reports the current gauge.
 func (q *Quota) InFlight() int { return int(q.inFlight.Load()) }
 
+// DefaultMaxTenants bounds the tenant registry when Tenants.MaxTenants
+// is zero. Tenant names are client-controlled, so an unbounded registry
+// would let any client grow the quota map — and everything that
+// enumerates it — without limit.
+const DefaultMaxTenants = 1024
+
 // Tenants is a registry of per-tenant Quotas sharing one configuration,
 // created on first use. Safe for concurrent use.
 type Tenants struct {
 	Rate        float64
 	Burst       int
 	MaxInFlight int
+	// MaxTenants caps how many distinct tenants the registry tracks
+	// (0 = DefaultMaxTenants, negative = unbounded). At the cap, Get
+	// refuses unseen tenants instead of retaining them.
+	MaxTenants int
 
 	mu sync.Mutex
 	m  map[string]*Quota
 }
 
-// Get returns the tenant's quota, creating it on first sight.
-func (t *Tenants) Get(tenant string) *Quota {
+// Get returns the tenant's quota, creating it on first sight. ok=false
+// means the registry is at its MaxTenants cap and the tenant is unseen;
+// the caller should refuse the request rather than admit it unmetered.
+func (t *Tenants) Get(tenant string) (q *Quota, ok bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.m == nil {
 		t.m = make(map[string]*Quota)
 	}
-	q, ok := t.m[tenant]
-	if !ok {
-		q = NewQuota(t.Rate, t.Burst, t.MaxInFlight)
-		t.m[tenant] = q
+	if q, ok := t.m[tenant]; ok {
+		return q, true
 	}
-	return q
+	max := t.MaxTenants
+	if max == 0 {
+		max = DefaultMaxTenants
+	}
+	if max > 0 && len(t.m) >= max {
+		return nil, false
+	}
+	q = NewQuota(t.Rate, t.Burst, t.MaxInFlight)
+	t.m[tenant] = q
+	return q, true
 }
 
 // Each calls fn for every known tenant (stats export).

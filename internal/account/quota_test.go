@@ -114,22 +114,51 @@ func TestQuotaConcurrentAdmitNeverOversells(t *testing.T) {
 func TestTenantsIsolation(t *testing.T) {
 	ts := &Tenants{Rate: 10, Burst: 1, MaxInFlight: 0}
 	base := time.Unix(1000, 0)
-	if ok, _ := ts.Get("a").Admit(base); !ok {
+	get := func(name string) *Quota {
+		q, ok := ts.Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) refused below the cap", name)
+		}
+		return q
+	}
+	if ok, _ := get("a").Admit(base); !ok {
 		t.Fatal("tenant a first admit refused")
 	}
-	if ok, _ := ts.Get("a").Admit(base); ok {
+	if ok, _ := get("a").Admit(base); ok {
 		t.Fatal("tenant a second immediate admit allowed past burst=1")
 	}
 	// Tenant b has its own bucket.
-	if ok, _ := ts.Get("b").Admit(base); !ok {
+	if ok, _ := get("b").Admit(base); !ok {
 		t.Fatal("tenant b refused because of tenant a's spend")
 	}
-	if ts.Get("a") != ts.Get("a") {
+	if get("a") != get("a") {
 		t.Fatal("Get not stable per tenant")
 	}
 	seen := map[string]bool{}
 	ts.Each(func(name string, q *Quota) { seen[name] = true })
 	if !seen["a"] || !seen["b"] {
 		t.Fatalf("Each missed tenants: %v", seen)
+	}
+}
+
+func TestTenantsCap(t *testing.T) {
+	ts := &Tenants{Rate: 10, Burst: 1, MaxTenants: 2}
+	if _, ok := ts.Get("a"); !ok {
+		t.Fatal("tenant a refused below the cap")
+	}
+	if _, ok := ts.Get("b"); !ok {
+		t.Fatal("tenant b refused below the cap")
+	}
+	if _, ok := ts.Get("c"); ok {
+		t.Fatal("tenant c admitted past MaxTenants=2")
+	}
+	// Known tenants keep working at the cap.
+	if q, ok := ts.Get("a"); !ok || q == nil {
+		t.Fatal("known tenant a refused at the cap")
+	}
+	n := 0
+	ts.Each(func(string, *Quota) { n++ })
+	if n != 2 {
+		t.Fatalf("registry holds %d tenants, want 2", n)
 	}
 }

@@ -104,7 +104,14 @@ type config struct {
 	active  reclaim.ActiveSet
 }
 
+// The go:noinline on the option constructors below prevents a linker
+// closure-body mixup between the reclaim backends' same-named options
+// when they inline into multi-package generic instantiations; see the
+// matching comment in internal/hazard.
+
 // WithR sets the scan threshold (the hazard package's R parameter).
+//
+//go:noinline
 func WithR(r int) Option {
 	return func(c *config) {
 		if r < 0 {
@@ -115,6 +122,8 @@ func WithR(r int) Option {
 }
 
 // WithEraFreq sets the retires-per-era-advance cadence.
+//
+//go:noinline
 func WithEraFreq(n int) Option {
 	return func(c *config) {
 		if n <= 0 {
@@ -125,6 +134,8 @@ func WithEraFreq(n int) Option {
 }
 
 // WithActiveSet restricts reservation scans to registered rows.
+//
+//go:noinline
 func WithActiveSet(s reclaim.ActiveSet) Option {
 	return func(c *config) { c.active = s }
 }

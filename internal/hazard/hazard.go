@@ -133,10 +133,27 @@ type config struct {
 	active ActiveSet
 }
 
+// The option constructors below must not inline into their callers.
+// hazard, eras, and qsbr all export options with the same names over
+// same-shaped but differently-laid-out config structs, and the queue
+// constructors that consume them are generic: every importing package
+// emits its own dupok copy of e.g. turnplus.New[shape], and when these
+// constructors inline there, their returned closures become dupok
+// symbols named by a per-function counter (New[shape].WithActiveSet.funcN).
+// This image's go1.24.0 toolchain can number those closures differently
+// in different packages' instantiations, and the linker dedups the
+// symbols by name — so a New body from one package can be linked against
+// a same-named closure body from another, silently calling, say, the
+// eras closure (config offset 0x18) on a hazard config (24 bytes): a
+// one-word heap overflow. go:noinline keeps each closure compiled
+// exactly once, in this package, under a unique non-dupok symbol.
+
 // WithR sets the R scan threshold: a scan runs only when the retire list
 // holds more than r entries. The paper uses R=0 (scan every retire) to keep
 // dequeue latency minimal; larger values batch scans at the cost of a
 // larger unreclaimed backlog (still bounded by r + maxThreads·numHPs).
+//
+//go:noinline
 func WithR(r int) Option {
 	return func(c *config) {
 		if r < 0 {
@@ -151,6 +168,8 @@ func WithR(r int) Option {
 // registration instead of the configured bound; the scan cadence (the R
 // parameter) is unaffected, so the paper's R=0 scan-per-retire default
 // keeps its behavior.
+//
+//go:noinline
 func WithActiveSet(s ActiveSet) Option {
 	return func(c *config) { c.active = s }
 }

@@ -89,6 +89,13 @@ type config struct {
 // WithR sets the sweep threshold: a sweep runs only when the retire list
 // holds more than r entries (the hazard package's R parameter, reused so
 // the backends batch comparably).
+//
+// The go:noinline on the option constructors here prevents a linker
+// closure-body mixup between the reclaim backends' same-named options
+// when they inline into multi-package generic instantiations; see the
+// matching comment in internal/hazard.
+//
+//go:noinline
 func WithR(r int) Option {
 	return func(c *config) {
 		if r < 0 {
@@ -99,6 +106,8 @@ func WithR(r int) Option {
 }
 
 // WithActiveSet restricts the online-reader scan to registered rows.
+//
+//go:noinline
 func WithActiveSet(s reclaim.ActiveSet) Option {
 	return func(c *config) { c.active = s }
 }

@@ -109,6 +109,11 @@ func TestServiceChaosParkedReaderBoundedBacklog(t *testing.T) {
 			s := newTestService(t, Config{
 				Topics:     []string{"t"},
 				MaxThreads: 8,
+				// Quotas off: under test the breaker fast-fails produce
+				// bursts, so the worker loops legitimately spin past the
+				// default per-tenant rate — a quota 429 here would fail
+				// the run on a mechanism this test is not about.
+				QuotaRate: -1,
 				// One shard and small segments: the parked reader's
 				// protection and the churn share a ring chain, and the
 				// bursts wrap whole segments, so rings actually retire and

@@ -15,13 +15,14 @@
 //     hazard/eras structural bound (see breaker.go);
 //   - helping/claim consensus → exactly-once redelivery: a delivery
 //     lease is a claim on one message, and the redelivery sweeper's
-//     reversible claim (CAS leased→reclaiming) settles the ack-vs-expiry
-//     race by the same single-CAS-decides discipline the queues use for
-//     cell ownership (see topic.go).
+//     claim (CAS leased→reclaiming) settles the ack-vs-expiry race by
+//     the same single-CAS-decides discipline the queues use for cell
+//     ownership (see topic.go).
 //
-// Admission is layered, cheapest check first: draining flag, breaker
-// (produce only), per-tenant token-bucket quota (429 + Retry-After),
-// per-connection in-flight cap. Graceful shutdown (Drain) stops
+// Admission is layered, cheapest check first: tenant-name validation,
+// draining flag, breaker (produce only), per-tenant token-bucket quota
+// (429 + Retry-After, bounded tenant registry), per-connection
+// in-flight cap. Graceful shutdown (Drain) stops
 // admitting, serves what is in flight, parks the sweepers, drains the
 // backends, and ends with VerifyQuiescent on every topic — the same
 // post-shutdown accounting gate every other harness in the repository
@@ -76,6 +77,10 @@ type Config struct {
 	// (default 5000 req/s, burst 500). QuotaRate < 0 disables quotas.
 	QuotaRate  float64
 	QuotaBurst int
+	// MaxTenants caps how many distinct tenants the quota registry will
+	// track (default account.DefaultMaxTenants, negative = unbounded);
+	// at the cap, requests from unseen tenants are refused with 429.
+	MaxTenants int
 	// MaxInFlightPerConn caps concurrently admitted requests per client
 	// connection (default 64; 0 keeps the default, -1 disables).
 	MaxInFlightPerConn int
@@ -127,6 +132,12 @@ type Service struct {
 	topics  map[string]*Topic
 	tenants *account.Tenants
 
+	// admitMu makes the draining check and the reqWG.Add in admitted()
+	// one atomic step against Drain's draining.Swap: without it a
+	// request could pass the check, lose the CPU, and call Add after
+	// Drain's reqWG.Wait already returned (documented WaitGroup misuse)
+	// — running its queue operation concurrently with the drain loop.
+	admitMu  sync.RWMutex
 	draining atomic.Bool
 	reqWG    sync.WaitGroup // in-flight admitted requests
 
@@ -137,6 +148,7 @@ type Service struct {
 	shedQuota    atomic.Int64
 	shedConn     atomic.Int64
 	shedBreaker  atomic.Int64
+	shedTenant   atomic.Int64 // invalid tenant names + registry-cap refusals
 }
 
 // New builds the topics (one sharded wait-free backend each) and starts
@@ -151,7 +163,8 @@ func New(cfg Config) (*Service, error) {
 		sweepStop: make(chan struct{}),
 	}
 	if cfg.QuotaRate > 0 {
-		s.tenants = &account.Tenants{Rate: cfg.QuotaRate, Burst: cfg.QuotaBurst}
+		s.tenants = &account.Tenants{Rate: cfg.QuotaRate, Burst: cfg.QuotaBurst,
+			MaxTenants: cfg.MaxTenants}
 	}
 	var opts []turnqueue.Option
 	if cfg.MaxThreads > 0 {
@@ -256,7 +269,8 @@ func (s *Service) ConnContext(ctx context.Context, _ net.Conn) context.Context {
 //	GET  /stats                                          → per-topic + tenant counters
 //	GET  /healthz                                        → 200 | 503 while draining
 //
-// The tenant is the X-Tenant header (default "default").
+// The tenant is the X-Tenant header (default "default"); names longer
+// than 64 bytes or outside [A-Za-z0-9._-] are refused with 400.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /topics/{topic}/produce", s.admitted(true, s.handleProduce))
@@ -274,9 +288,9 @@ func (s *Service) Handler() http.Handler {
 }
 
 // admitted wraps a topic handler with the admission pipeline, cheapest
-// rejection first: draining, breaker (produce only), tenant quota,
-// per-connection cap. Admitted requests are tracked on reqWG so Drain
-// can wait them out.
+// rejection first: tenant-name validation, draining, breaker (produce
+// only), tenant quota, per-connection cap. Requests past the draining
+// gate are tracked on reqWG so Drain can wait them out.
 func (s *Service) admitted(produce bool, h func(http.ResponseWriter, *http.Request, *Topic)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t := s.topics[r.PathValue("topic")]
@@ -284,12 +298,25 @@ func (s *Service) admitted(produce bool, h func(http.ResponseWriter, *http.Reque
 			http.Error(w, "unknown topic", http.StatusNotFound)
 			return
 		}
+		tenant := tenantOf(r)
+		if !validTenant(tenant) {
+			s.shedTenant.Add(1)
+			http.Error(w, "invalid tenant name", http.StatusBadRequest)
+			return
+		}
+		// Register on reqWG under the same lock that Drain uses to flip
+		// the flag (see admitMu): past this point Drain waits for us.
+		s.admitMu.RLock()
 		if s.draining.Load() {
+			s.admitMu.RUnlock()
 			s.shedDraining.Add(1)
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
+		s.reqWG.Add(1)
+		s.admitMu.RUnlock()
+		defer s.reqWG.Done()
 		if produce && t.br != nil && !t.br.allow(time.Now()) {
 			s.shedBreaker.Add(1)
 			w.Header().Set("Retry-After", "1")
@@ -297,8 +324,14 @@ func (s *Service) admitted(produce bool, h func(http.ResponseWriter, *http.Reque
 			return
 		}
 		if s.tenants != nil {
-			tenant := tenantOf(r)
-			if ok, retry := s.tenants.Get(tenant).Admit(time.Now()); !ok {
+			q, known := s.tenants.Get(tenant)
+			if !known {
+				s.shedTenant.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "tenant registry full", http.StatusTooManyRequests)
+				return
+			}
+			if ok, retry := q.Admit(time.Now()); !ok {
 				s.shedQuota.Add(1)
 				w.Header().Set("Retry-After", retryAfterSeconds(retry))
 				http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
@@ -314,8 +347,6 @@ func (s *Service) admitted(produce bool, h func(http.ResponseWriter, *http.Reque
 			}
 			defer cs.exit()
 		}
-		s.reqWG.Add(1)
-		defer s.reqWG.Done()
 		h(w, r, t)
 	}
 }
@@ -325,6 +356,26 @@ func tenantOf(r *http.Request) string {
 		return t
 	}
 	return "default"
+}
+
+const maxTenantName = 64
+
+// validTenant bounds what the client-controlled X-Tenant header can put
+// in the tenant registry and the stats output: at most maxTenantName
+// bytes of [A-Za-z0-9._-]. Anything else is refused at the door.
+func validTenant(name string) bool {
+	if len(name) == 0 || len(name) > maxTenantName {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // retryAfterSeconds renders a Retry-After header value, rounding up so
@@ -410,6 +461,7 @@ type Stats struct {
 	ShedQuota    int64                 `json:"shed_quota"`
 	ShedConn     int64                 `json:"shed_conn"`
 	ShedBreaker  int64                 `json:"shed_breaker"`
+	ShedTenant   int64                 `json:"shed_tenant"`
 }
 
 // TenantRow is one tenant's admission counters.
@@ -428,6 +480,7 @@ func (s *Service) Stats() Stats {
 		ShedQuota:    s.shedQuota.Load(),
 		ShedConn:     s.shedConn.Load(),
 		ShedBreaker:  s.shedBreaker.Load(),
+		ShedTenant:   s.shedTenant.Load(),
 	}
 	for name, t := range s.topics {
 		st.Topics[name] = t.Stats()
@@ -450,11 +503,16 @@ func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(s.Stats())
 }
 
-// DrainReport is Drain's summary: what was still queued per topic when
-// the service shut down (undelivered work is reported, never silently
-// dropped on the floor).
+// DrainReport is Drain's summary: per topic, what was still queued
+// (Undelivered) and what had been delivered but never acked (Unacked)
+// when the service shut down — outstanding work is reported, never
+// silently dropped on the floor.
 type DrainReport struct {
 	Undelivered map[string]int `json:"undelivered"`
+	// Unacked counts records still leased (or caught mid-reclaim) at
+	// shutdown: the closing sweeper leaves expired leases in place, so
+	// these are deliveries a consumer may still believe it owns.
+	Unacked map[string]int `json:"unacked"`
 }
 
 // Drain performs the graceful shutdown: stop admitting (everything new
@@ -464,8 +522,17 @@ type DrainReport struct {
 // verify quiescence. The first verification failure aborts with its
 // error — a failed drain is a real leak, not a shutdown cosmetic.
 func (s *Service) Drain(ctx context.Context) (DrainReport, error) {
-	rep := DrainReport{Undelivered: make(map[string]int, len(s.topics))}
-	if s.draining.Swap(true) {
+	rep := DrainReport{
+		Undelivered: make(map[string]int, len(s.topics)),
+		Unacked:     make(map[string]int, len(s.topics)),
+	}
+	// The write lock pairs with admitted()'s read-locked check+Add: once
+	// Swap returns, every request that will ever touch reqWG is already
+	// registered, so the Wait below cannot race an Add.
+	s.admitMu.Lock()
+	already := s.draining.Swap(true)
+	s.admitMu.Unlock()
+	if already {
 		return rep, errors.New("service: already drained")
 	}
 	for _, t := range s.topics {
@@ -491,6 +558,7 @@ func (s *Service) Drain(ctx context.Context) (DrainReport, error) {
 			n++
 		}
 		rep.Undelivered[name] = n
+		rep.Unacked[name] = t.unackedCount()
 		t.q.Close()
 		snap := t.q.Snapshot()
 		if err := snap.VerifyQuiescent(); err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -130,6 +131,50 @@ func TestQuota429(t *testing.T) {
 	}
 }
 
+// TestTenantValidationAndCap: a hostile X-Tenant header can neither put
+// arbitrary strings in the registry (400) nor grow it without bound
+// (429 once MaxTenants distinct names are tracked).
+func TestTenantValidationAndCap(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"t"}, QuotaRate: 1000, QuotaBurst: 100, MaxTenants: 2})
+	ts := startServer(t, s)
+	ctx := context.Background()
+
+	raw := func(tenant string) int {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/topics/t/produce", nil)
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, bad := range []string{"sp ace", "semi;colon", "a\tb", strings.Repeat("x", 65)} {
+		if code := raw(bad); code != http.StatusBadRequest {
+			t.Fatalf("tenant %q got %d, want 400", bad, code)
+		}
+	}
+	if code := raw("a"); code != http.StatusOK {
+		t.Fatalf("tenant a got %d, want 200", code)
+	}
+	if code := raw("b"); code != http.StatusOK {
+		t.Fatalf("tenant b got %d, want 200", code)
+	}
+	// The registry is full: unseen tenants are refused, known ones work.
+	if code := raw("c"); code != http.StatusTooManyRequests {
+		t.Fatalf("tenant c past MaxTenants=2 got %d, want 429", code)
+	}
+	if code := raw("a"); code != http.StatusOK {
+		t.Fatalf("known tenant a at the cap got %d, want 200", code)
+	}
+	if st := s.Stats(); st.ShedTenant != 5 {
+		t.Fatalf("shed_tenant = %d, want 5 (4 invalid + 1 over cap)", st.ShedTenant)
+	}
+	if st := s.Stats(); len(st.Tenants) != 2 {
+		t.Fatalf("stats enumerate %d tenants, want 2", len(st.Tenants))
+	}
+}
+
 // TestClientRetriesThroughQuota: the backoff client rides out a 429 and
 // eventually lands the request.
 func TestClientRetriesThroughQuota(t *testing.T) {
@@ -243,6 +288,9 @@ func TestDrainRejectsAndVerifies(t *testing.T) {
 	if rep.Undelivered["t"] != 10 {
 		t.Fatalf("undelivered = %d, want 10", rep.Undelivered["t"])
 	}
+	if rep.Unacked["t"] != 0 {
+		t.Fatalf("unacked = %d, want 0 (nothing was consumed)", rep.Unacked["t"])
+	}
 	if _, err := c.Produce(ctx, "t", []byte("x")); !errors.Is(err, ErrShed) {
 		t.Fatalf("produce after drain: %v, want ErrShed (503)", err)
 	}
@@ -253,6 +301,46 @@ func TestDrainRejectsAndVerifies(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while drained = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDrainReportsUnacked: a delivery leased but never acked at
+// shutdown shows up in the report's Unacked count instead of vanishing.
+func TestDrainReportsUnacked(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"t"}})
+	topic := s.Topic("t")
+	now := time.Unix(2000, 0)
+	topic.Produce("a", []byte("kept"))
+	topic.Produce("a", []byte("left queued"))
+	if _, _, ok, err := topic.Consume(now); !ok || err != nil {
+		t.Fatalf("consume: ok=%v err=%v", ok, err)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := s.Drain(dctx)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Undelivered["t"] != 1 || rep.Unacked["t"] != 1 {
+		t.Fatalf("undelivered/unacked = %d/%d, want 1/1", rep.Undelivered["t"], rep.Unacked["t"])
+	}
+}
+
+// TestAckDuringClose: once the topic is closing, the sweeper leaves
+// expired leases alone, so a consumer's last-instant ack lands instead
+// of bouncing off a claim that would only be reverted (spurious 409).
+func TestAckDuringClose(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"t"}, Lease: 10 * time.Millisecond})
+	topic := s.Topic("t")
+	now := time.Unix(2000, 0)
+	topic.Produce("a", []byte("x"))
+	rec, tok, _, _ := topic.Consume(now)
+	topic.closing.Store(true)
+	if n := topic.sweep(now.Add(time.Hour)); n != 0 {
+		t.Fatalf("closing sweep redelivered %d, want 0", n)
+	}
+	if res := topic.Ack(rec.id, tok); res != AckOK {
+		t.Fatalf("ack while closing = %v, want AckOK", res)
 	}
 }
 

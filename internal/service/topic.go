@@ -65,9 +65,10 @@ type Topic struct {
 
 	br *breaker
 
-	// closing gates the sweeper's redelivery: once set, an expired lease
-	// is left leased (the claim is reverted) so Drain's accounting sees a
-	// stable registry instead of racing requeues.
+	// closing gates the sweeper's redelivery: once set, sweep stops
+	// claiming expired leases — they stay leased for Drain to report as
+	// unacked, and a shutdown-window Ack is never spuriously refused by
+	// a claim that would only be put back.
 	closing atomic.Bool
 
 	// Counters, exported through the stats surface.
@@ -205,13 +206,15 @@ const (
 )
 
 // sweep redelivers every message whose lease expired before now. The
-// claim is reversible: the sweeper first CASes leased→reclaiming (losing
-// the race to a concurrent Ack is fine — the ack won the message), then,
-// if the topic is closing, restores the leased word untouched; otherwise
-// it republishes the record as pending with the *claimed* seq and only
-// then re-enqueues the id. Publication order matters: the id must not be
-// dequeuable while the word still reads reclaiming, or a consumer would
-// skip it.
+// sweeper first CASes leased→reclaiming (losing the race to a concurrent
+// Ack is fine — the ack won the message), republishes the record as
+// pending with the *claimed* seq, and only then re-enqueues the id.
+// Publication order matters: the id must not be dequeuable while the
+// word still reads reclaiming, or a consumer would skip it. A closing
+// topic stops the sweep before any claim: expired leases stay leased for
+// Drain to report as unacked, and a last-instant Ack lands cleanly
+// instead of bouncing off a claim that would only be put back (a
+// spurious 409 at shutdown).
 func (t *Topic) sweep(now time.Time) (redelivered int) {
 	nowNS := now.UnixNano()
 	t.mu.Lock()
@@ -224,6 +227,9 @@ func (t *Topic) sweep(now time.Time) (redelivered int) {
 	t.mu.Unlock()
 
 	for _, rec := range expired {
+		if t.closing.Load() {
+			break // Drain owns the registry's accounting from here on
+		}
 		w := rec.word.Load()
 		if stateOf(w) != stateLeased || rec.deadline.Load() >= nowNS {
 			continue // acked, or re-leased with a fresh deadline, since the scan
@@ -231,10 +237,6 @@ func (t *Topic) sweep(now time.Time) (redelivered int) {
 		tok := seqOf(w)
 		if !rec.word.CompareAndSwap(w, pack(stateReclaiming, tok)) {
 			continue // lost to a last-instant Ack: the consumer keeps it
-		}
-		if t.closing.Load() {
-			rec.word.Store(w) // reversible claim: put the lease back for Drain
-			continue
 		}
 		rec.word.Store(pack(statePending, tok))
 		t.q.Enqueue(rec.id)
@@ -251,6 +253,22 @@ func (t *Topic) Outstanding() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.recs)
+}
+
+// unackedCount counts deliveries handed to a consumer and never acked —
+// records still leased (or caught mid-reclaim) once the sweeper has
+// stopped. Drain reports these so shutdown never silently discards a
+// delivery a consumer may still believe it owns.
+func (t *Topic) unackedCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, rec := range t.recs {
+		if st := stateOf(rec.word.Load()); st == stateLeased || st == stateReclaiming {
+			n++
+		}
+	}
+	return n
 }
 
 // Pressure reports the backend's reclaim backlog against its bound (the

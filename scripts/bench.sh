@@ -73,9 +73,10 @@ OUT="${2:-.}"
 # pairs comparison), the oversubscribed slot-lease family (experiment
 # X11: slot acquisition under goroutine counts far above MaxThreads),
 # the sharded-front pairs family (same experiment: routing cost at
-# shards 1 vs 4), and the pure-ALU calibration anchor the parity gate
-# uses to normalize for host-speed drift.
-PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkReclaimProtect|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkAutoOversubscribed|BenchmarkShardedPairs|BenchmarkCalibration'
+# shards 1 vs 4), the service round trip (one produce→consume→ack cycle
+# through the real HTTP front), and the pure-ALU calibration anchor the
+# parity gate uses to normalize for host-speed drift.
+PATTERN='BenchmarkAdapterOverhead|BenchmarkUncontended|BenchmarkReclaimProtect|BenchmarkSparseRegistration|BenchmarkEnqueueBatch|BenchmarkDequeueBatch|BenchmarkBatchPairs|BenchmarkAutoOversubscribed|BenchmarkShardedPairs|BenchmarkServiceRoundTrip|BenchmarkCalibration'
 
 # The zero-cost gate family and its fixed measurement window. Baseline
 # (full mode) and gate (smoke mode) MUST use the same benchtime:
@@ -141,15 +142,6 @@ fi
 
 go test -run '^$' -bench "$PATTERN" -benchmem \
 	-count="$COUNT" -benchtime="$BENCHTIME" -timeout 1800s . | tee "$TXT"
-
-# The service round-trip benchmark runs in its own process, appended to
-# the same output: on this image's go1.24.0 runtime, constructing the
-# service inside a benchmark corrupts a testing-internal allocation that
-# the NEXT benchmark registration in the same process would then execute
-# (see the comment on BenchmarkServiceRoundTrip). Solo and flat, nothing
-# consults the corrupted word and the measurement is unaffected.
-go test -run '^$' -bench '^BenchmarkServiceRoundTrip$' -benchmem \
-	-count="$COUNT" -benchtime="$BENCHTIME" -timeout 600s . | tee -a "$TXT"
 
 # ns/op is the MEDIAN of the count reps, not the mean: the full set's
 # ~7ms windows catch a descheduling burst in roughly one rep out of five

@@ -8,22 +8,18 @@
 // top, so a regression in the handler or admission path shows up as a
 // wall-clock delta rather than hiding behind queue noise.
 //
-// The benchmark is deliberately flat (no sub-benchmarks) and runs in
-// its own `go test` invocation in scripts/bench.sh rather than in the
-// core set's process. On this image's go1.24.0 runtime, constructing
-// the service inside a benchmark deterministically corrupts one word
-// of a live testing-internal allocation: the allocator hands a fresh
-// 16-byte object the memory of the benchmark matcher's still-reachable
-// matchString func value, and the next b.Run — any sub-benchmark, or
-// the registration of whatever benchmark runs after this one — faults
-// executing a heap address. The repository's code never touches that
-// memory (verified by word watchpoints under GODEBUG=clobberfree: the
-// overlapping object is a plain closure allocation landing on a block
-// the GC wrongly released), so the workaround is structural: corrupt
-// nothing that is consulted again, i.e. no b.Run after service.New in
-// this process. Quotas are off so the benchmark prices the handler +
-// queue path, not the token bucket refusing to run faster than its
-// configured rate.
+// This benchmark once crashed any benchmark registered after it: a
+// hardware watchpoint traced the crash to a one-word heap overflow in
+// turnplus.New, where this image's go1.24.0 toolchain linked the
+// hazard.WithActiveSet call site against the eras closure body (dupok
+// generic-instantiation closures deduplicated by name across packages
+// that numbered them differently). The overflow clobbered the testing
+// matcher's func value, so the next b.Run jumped to a heap address.
+// Fixed at the source — the reclaim packages' option constructors are
+// go:noinline (see internal/hazard) — so the benchmark now runs in the
+// core set's process like every other. Quotas are off so the benchmark
+// prices the handler + queue path, not the token bucket refusing to
+// run faster than its configured rate.
 package turnqueue_test
 
 import (
