@@ -18,8 +18,13 @@
 //	       [-reclaim hazard|epoch|qsbr|eras] [-threads n]
 //	       [-lease 30s] [-rate 5000] [-burst 500] [-maxinflight 64]
 //	       [-breaker-open 90] [-breaker-close 45] [-draintimeout 30s]
+//	       [-debug-addr :8125]
 //
 // Live counters are at /debug/vars under the "queued" namespace.
+// -debug-addr opts into a second listener carrying /debug/pprof (CPU
+// and heap profiles for chasing hot-path allocations) alongside
+// /debug/vars; it is off by default so the profiling surface is never
+// exposed on the service port.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +62,7 @@ func main() {
 		breakerOpen  = flag.Int("breaker-open", 90, "breaker opens at this % of the reclaim bound (<0 disables)")
 		breakerClose = flag.Int("breaker-close", 45, "breaker closes at this % of the reclaim bound")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this extra listener (empty = off)")
 	)
 	flag.Parse()
 
@@ -87,6 +94,39 @@ func main() {
 	}
 
 	vars.Func("queued", "stats", func() any { return s.Stats() })
+	// Batch-endpoint health at a glance: the average admitted batch size
+	// (is batching actually being used?) and the consume fill rate (are
+	// pollers walking away mostly full or mostly empty?).
+	vars.Func("queued", "service_batch_size", func() any {
+		st := s.Stats()
+		if st.BatchBatches == 0 {
+			return 0.0
+		}
+		return float64(st.BatchMsgs) / float64(st.BatchBatches)
+	})
+	vars.Func("queued", "batch_fill_pct", func() any {
+		st := s.Stats()
+		if st.ConsumeSlots == 0 {
+			return 0.0
+		}
+		return 100 * float64(st.ConsumeFilled) / float64(st.ConsumeSlots)
+	})
+
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				fmt.Fprintf(os.Stderr, "queued: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "queued: debug surface on %s (/debug/pprof, /debug/vars)\n", *debugAddr)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())

@@ -19,9 +19,14 @@
 // Usage:
 //
 //	queuedload [-addr http://host:port] [-clients 100000] [-workers 64]
-//	           [-duration 10s] [-burst 8] [-tenants 64] [-topic load]
-//	           [-reclaim hazard] [-shards n] [-rate 5000] [-quota-burst 500]
-//	           [-seed 1] [-debugaddr :8124]
+//	           [-duration 10s] [-burst 8] [-batch 0] [-tenants 64]
+//	           [-topic load] [-reclaim hazard] [-shards n] [-rate 5000]
+//	           [-quota-burst 500] [-seed 1] [-debugaddr :8124]
+//
+// -batch k switches a visit from per-message round trips to the batch
+// endpoints: one produce-batch of k payloads, one consume-batch of up
+// to k, one ack-batch — the X14 configuration. The exactly-once ledger
+// and the final drain verification are identical in both modes.
 package main
 
 import (
@@ -90,6 +95,7 @@ func main() {
 		workers    = flag.Int("workers", 64, "concurrent worker goroutines multiplexing the clients")
 		duration   = flag.Duration("duration", 10*time.Second, "load phase length")
 		burst      = flag.Int("burst", 8, "operations per client visit (produce burst, then consume+ack burst)")
+		batch      = flag.Int("batch", 0, "use the batch endpoints with this batch size per visit (0 = single-op endpoints)")
 		tenants    = flag.Int("tenants", 64, "distinct tenant identities (quota buckets)")
 		topic      = flag.String("topic", "load", "topic name")
 		reclaim    = flag.String("reclaim", "hazard", "reclamation backend for the in-process service")
@@ -193,6 +199,60 @@ func main() {
 					Backoff: Backoff{Seed: *seed + uint64(vc)},
 				}
 				visits.Add(1)
+				if *batch > 0 {
+					// Batched visit: one round trip per phase. Histograms
+					// record per-message latency (batch latency / k) so the
+					// two modes report on the same scale.
+					k := *batch
+					payloads := make([][]byte, k)
+					for i := range payloads {
+						payloads[i] = []byte(fmt.Sprintf("%d-%d", vc, i))
+					}
+					t0 := time.Now()
+					ids, err := c.ProduceBatch(ctx, *topic, payloads)
+					perMsg := time.Since(t0).Nanoseconds() / int64(k)
+					for range ids {
+						produceH.Record(perMsg)
+					}
+					produced.Add(int64(len(ids)))
+					if err != nil {
+						shedProd.Add(int64(k - len(ids)))
+					}
+					t0 = time.Now()
+					ds, err := c.ConsumeBatch(ctx, *topic, k, 0)
+					if err != nil {
+						shedCons.Add(1)
+					} else if len(ds) > 0 {
+						perMsg = time.Since(t0).Nanoseconds() / int64(len(ds))
+						entries := make([]AckEntry, len(ds))
+						for i, d := range ds {
+							consumeH.Record(perMsg)
+							entries[i] = AckEntry{ID: d.ID, Token: d.Token}
+						}
+						t0 = time.Now()
+						res, err := c.AckBatch(ctx, *topic, entries)
+						if err != nil && len(res) == 0 {
+							shedCons.Add(1)
+						} else {
+							perMsg = time.Since(t0).Nanoseconds() / int64(len(res))
+							for i, r := range res {
+								switch r {
+								case service.AckOK:
+									ackH.Record(perMsg)
+									if led.ack(ds[i].ID) {
+										acked.Add(1)
+									}
+								case service.AckConflict:
+									conflicts.Add(1)
+								default:
+									shedCons.Add(1)
+								}
+							}
+						}
+					}
+					retries.Add(c.Retries)
+					continue
+				}
 				for i := 0; i < *burst; i++ {
 					t0 := time.Now()
 					id, err := c.Produce(ctx, *topic, []byte(fmt.Sprintf("%d-%d", vc, i)))
@@ -242,7 +302,32 @@ func main() {
 	defer settleCancel()
 	settle := &Client{Base: base, Tenant: "settle", HTTP: httpc}
 	settled := 0
-	for {
+	for *batch > 0 {
+		ds, err := settle.ConsumeBatch(settleCtx, *topic, *batch, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "queuedload: settle consume-batch: %v\n", err)
+			break
+		}
+		if len(ds) == 0 {
+			break
+		}
+		entries := make([]AckEntry, len(ds))
+		for i, d := range ds {
+			entries[i] = AckEntry{ID: d.ID, Token: d.Token}
+		}
+		res, err := settle.AckBatch(settleCtx, *topic, entries)
+		if err != nil && len(res) == 0 {
+			fmt.Fprintf(os.Stderr, "queuedload: settle ack-batch: %v\n", err)
+			break
+		}
+		for i, r := range res {
+			if r == service.AckOK && led.ack(ds[i].ID) {
+				acked.Add(1)
+				settled++
+			}
+		}
+	}
+	for *batch == 0 {
 		d, err := settle.Consume(settleCtx, *topic)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "queuedload: settle consume: %v\n", err)
@@ -292,7 +377,12 @@ func main() {
 
 	ops := produced.Load() + acked.Load()
 	shed := shedProd.Load() + shedCons.Load()
-	fmt.Printf("clients=%d workers=%d visits=%d duration=%v\n", *clients, *workers, visits.Load(), loadElapsed.Round(time.Millisecond))
+	mode := "single-op"
+	if *batch > 0 {
+		mode = fmt.Sprintf("batch(k=%d)", *batch)
+	}
+	fmt.Printf("clients=%d workers=%d visits=%d duration=%v mode=%s\n",
+		*clients, *workers, visits.Load(), loadElapsed.Round(time.Millisecond), mode)
 	fmt.Printf("produced=%d acked=%d settled=%d conflicts=%d retries=%d\n",
 		produced.Load(), acked.Load(), settled, conflicts.Load(), retries.Load())
 	fmt.Printf("throughput=%.0f ops/s shed=%d shed_rate=%.4f\n",
@@ -318,8 +408,9 @@ func main() {
 // the load generator is deliberately a consumer of the public service
 // client, not a private fork of it.
 type (
-	Client  = service.Client
-	Backoff = service.Backoff
+	Client   = service.Client
+	Backoff  = service.Backoff
+	AckEntry = service.AckEntry
 )
 
 var ErrConflict = service.ErrConflict

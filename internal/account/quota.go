@@ -90,6 +90,50 @@ func (q *Quota) Admit(now time.Time) (ok bool, retryAfter time.Duration) {
 	}
 }
 
+// AdmitN consumes up to n tokens at one CAS and reports how many were
+// admitted. This is the batch form of Admit: a batch of k messages pays
+// one level-word advance instead of k, and the GCRA arithmetic is
+// exactly k sequential Admit calls collapsed — the m-th token of the
+// batch conforms iff max(level, now) + (m-1)·interval still fits inside
+// the burst tolerance, so a partially full bucket admits a partial
+// batch rather than rejecting it whole. admitted == 0 (or < n) comes
+// with the same Retry-After seam as Admit: the wait until the *next*
+// token after the admitted prefix becomes conforming.
+func (q *Quota) AdmitN(now time.Time, n int) (admitted int, retryAfter time.Duration) {
+	if n <= 0 {
+		return 0, 0
+	}
+	t := now.UnixNano()
+	tolerance := q.burstNS - q.interval
+	for {
+		tat := q.level.Load()
+		if tat > t+tolerance {
+			q.Shed.Add(int64(n))
+			return 0, time.Duration(tat - (t + tolerance))
+		}
+		base := tat
+		if base < t {
+			base = t // idle credit never exceeds one burst
+		}
+		m := int((t+tolerance-base)/q.interval) + 1
+		if m > n {
+			m = n
+		}
+		next := base + int64(m)*q.interval
+		if q.level.CompareAndSwap(tat, next) {
+			q.Admitted.Add(int64(m))
+			if m < n {
+				q.Shed.Add(int64(n - m))
+				retryAfter = time.Duration(next - (t + tolerance))
+				if retryAfter < 0 {
+					retryAfter = 0
+				}
+			}
+			return m, retryAfter
+		}
+	}
+}
+
 // Enter tries to occupy an in-flight slot; callers must Exit on success.
 func (q *Quota) Enter() bool {
 	if q.maxInFlight <= 0 {

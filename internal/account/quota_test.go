@@ -162,3 +162,73 @@ func TestTenantsCap(t *testing.T) {
 		t.Fatalf("registry holds %d tenants, want 2", n)
 	}
 }
+
+// TestQuotaAdmitNMatchesSequential: AdmitN(k) must be exactly k
+// sequential Admit calls collapsed into one CAS — same admitted counts,
+// same bucket level afterwards, at every clock step.
+func TestQuotaAdmitNMatchesSequential(t *testing.T) {
+	one := NewQuota(10, 5, 0)
+	batch := NewQuota(10, 5, 0)
+	base := time.Unix(1000, 0)
+	for step := 0; step < 50; step++ {
+		now := base.Add(time.Duration(step*37) * time.Millisecond)
+		k := step%7 + 1
+		want := 0
+		for i := 0; i < k; i++ {
+			if ok, _ := one.Admit(now); ok {
+				want++
+			}
+		}
+		got, _ := batch.AdmitN(now, k)
+		if got != want {
+			t.Fatalf("step %d: AdmitN(%d) = %d, sequential Admit = %d", step, k, got, want)
+		}
+		if bl, ol := batch.level.Load(), one.level.Load(); bl != ol {
+			t.Fatalf("step %d: bucket level diverged: batch %d, sequential %d", step, bl, ol)
+		}
+	}
+}
+
+// TestQuotaAdmitNPartial: a bucket holding fewer tokens than the batch
+// admits the prefix and prices the refusal, instead of rejecting whole.
+func TestQuotaAdmitNPartial(t *testing.T) {
+	q := NewQuota(10, 5, 0) // 100ms/token, burst 5
+	base := time.Unix(1000, 0)
+	m, retry := q.AdmitN(base, 8)
+	if m != 5 {
+		t.Fatalf("AdmitN(8) on a full burst-5 bucket admitted %d, want 5", m)
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("partial retryAfter = %v, want (0, 100ms]", retry)
+	}
+	// The advertised wait buys exactly the next token, not the suffix.
+	if m, _ := q.AdmitN(base.Add(retry), 3); m != 1 {
+		t.Fatalf("AdmitN(3) after retryAfter admitted %d, want 1", m)
+	}
+	if a, s := q.Admitted.Load(), q.Shed.Load(); a != 6 || s != 5 {
+		t.Fatalf("counters admitted=%d shed=%d, want 6/5", a, s)
+	}
+}
+
+// TestQuotaAdmitNEmptyBucket: zero admission must report the same
+// Retry-After seam as Admit and shed the whole batch.
+func TestQuotaAdmitNEmptyBucket(t *testing.T) {
+	q := NewQuota(10, 1, 0)
+	base := time.Unix(1000, 0)
+	if m, _ := q.AdmitN(base, 1); m != 1 {
+		t.Fatal("first token refused")
+	}
+	m, retry := q.AdmitN(base, 4)
+	if m != 0 {
+		t.Fatalf("empty bucket admitted %d", m)
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms]", retry)
+	}
+	if m, _ := q.AdmitN(base.Add(retry), 4); m != 1 {
+		t.Fatal("waiting the advertised retryAfter must buy the next token")
+	}
+	if q.Shed.Load() != 7 {
+		t.Fatalf("shed = %d, want 7 (4 refused + 3 past the partial)", q.Shed.Load())
+	}
+}

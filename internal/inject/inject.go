@@ -136,6 +136,12 @@ const (
 	// a healthy consumer while backend reclaim backlog stays within
 	// Bound().
 	SvcSlowReader
+	// SvcBatchLease: internal/service, a consume-batch handler whose
+	// whole batch of leases is committed but whose response is unwritten.
+	// A consumer parked here holds k leases past their shared deadline;
+	// the sweeper must redeliver every one of them exactly once, and each
+	// of the parked consumer's eventual acks must come back 409.
+	SvcBatchLease
 	// NumPoints bounds the catalog; it is not a point.
 	NumPoints
 )
@@ -161,6 +167,7 @@ var pointNames = [NumPoints]string{
 	SvcConnStall:        "svc.conn.stall",
 	SvcConsumerCrash:    "svc.consumer.crash",
 	SvcSlowReader:       "svc.reader.slow",
+	SvcBatchLease:       "svc.batch.lease",
 }
 
 // String returns the point's catalog name.

@@ -531,3 +531,122 @@ func TestServiceChaosConnStallIsolation(t *testing.T) {
 		t.Fatalf("undelivered = %d, want 1 (the victim's message)", rep.Undelivered["t"])
 	}
 }
+
+// TestServiceChaosBatchLeaseRedelivery parks a consume-batch after its
+// whole batch of leases is committed (SvcBatchLease) — the batch
+// analogue of the slow reader. Every lease in the parked batch expires
+// together; the sweeper must redeliver each message exactly once to
+// healthy batch consumers, every healthy ack must land, and the parked
+// consumer's eventual acks must all be refused.
+func TestServiceChaosBatchLeaseRedelivery(t *testing.T) {
+	t.Cleanup(inject.Reset)
+	s := newTestService(t, Config{
+		Topics:     []string{"t"},
+		MaxThreads: 8,
+		Lease:      50 * time.Millisecond,
+		SweepEvery: 10 * time.Millisecond,
+	})
+	ts := startServer(t, s)
+	t.Cleanup(inject.ReleaseStalled) // after startServer: release before Close
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := &Client{Base: ts.URL}
+
+	const k = 8
+	payloads := make([][]byte, k)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("batch-%d", i))
+	}
+	ids, err := c.ProduceBatch(ctx, "t", payloads)
+	if err != nil || len(ids) != k {
+		t.Fatalf("produce-batch: %d ids, err %v", len(ids), err)
+	}
+	produced := make(map[uint64]bool, k)
+	for _, id := range ids {
+		produced[id] = true
+	}
+
+	// The victim's batch consume parks with all its leases committed and
+	// the response unwritten; its body (ids + tokens) is read only after
+	// release.
+	var victimBody []byte
+	var victimStatus int
+	victimDone := parkVictim(t, inject.SvcBatchLease, func() {
+		resp, err := http.Post(ts.URL+"/topics/t/consume-batch?max="+strconv.Itoa(k), "", nil)
+		if err != nil {
+			return
+		}
+		victimStatus = resp.StatusCode
+		victimBody, _ = readBody(resp.Body, nil, maxBatchBody)
+		resp.Body.Close()
+	})
+
+	// Healthy batch consumers collect every message exactly once as the
+	// sweeper returns the parked leases.
+	seen := make(map[uint64]uint64, k) // id → healthy token
+	deadline := time.Now().Add(15 * time.Second)
+	var acks []AckEntry
+	for len(seen) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper returned %d of %d parked leases", len(seen), k)
+		}
+		ds, err := c.ConsumeBatch(ctx, "t", k, 200*time.Millisecond)
+		if err != nil {
+			t.Fatalf("healthy consume-batch: %v", err)
+		}
+		for _, d := range ds {
+			if !produced[d.ID] {
+				t.Fatalf("unknown id %d delivered", d.ID)
+			}
+			if _, dup := seen[d.ID]; dup {
+				t.Fatalf("id %d redelivered twice to healthy consumers", d.ID)
+			}
+			seen[d.ID] = d.Token
+			acks = append(acks, AckEntry{ID: d.ID, Token: d.Token})
+		}
+	}
+	res, err := c.AckBatch(ctx, "t", acks)
+	if err != nil {
+		t.Fatalf("healthy ack-batch: %v", err)
+	}
+	for i, r := range res {
+		if r != AckOK {
+			t.Fatalf("healthy ack %d = %v, want AckOK (sweeper raced the live lease)", i, r)
+		}
+	}
+
+	inject.ReleaseStalled()
+	awaitOrFatal(t, victimDone, 10*time.Second, "released batch victim")
+
+	// The victim's response carries the superseded leases; every one of
+	// its acks must be refused — conflict or unknown, never ok.
+	if victimStatus != http.StatusOK {
+		t.Fatalf("victim consume-batch status %d", victimStatus)
+	}
+	victimDs, err := parseDeliveries(victimBody)
+	if err != nil || len(victimDs) == 0 {
+		t.Fatalf("victim response: %d deliveries, err %v", len(victimDs), err)
+	}
+	stale := make([]AckEntry, len(victimDs))
+	for i, d := range victimDs {
+		stale[i] = AckEntry{ID: d.ID, Token: d.Token}
+	}
+	staleRes, err := c.AckBatch(ctx, "t", stale)
+	if err != nil {
+		t.Fatalf("stale ack-batch: %v", err)
+	}
+	for i, r := range staleRes {
+		if r == AckOK {
+			t.Fatalf("victim ack %d landed: message double-acked", i)
+		}
+	}
+
+	st := s.Topic("t").Stats()
+	if st.Acked != k {
+		t.Fatalf("acked = %d, want %d", st.Acked, k)
+	}
+	if st.Redelivered != int64(len(victimDs)) {
+		t.Fatalf("redelivered = %d, want %d (one per parked lease)", st.Redelivered, len(victimDs))
+	}
+	drainOK(t, s)
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -82,6 +83,25 @@ type Client struct {
 	// written without atomics, so share a Client across goroutines only
 	// if you ignore it.
 	Retries int64
+
+	// pool recycles the batch methods' encode/decode buffers, so a
+	// client in a produce→consume→ack loop allocates nothing per message
+	// on the wire. Lazily initialized; do not copy a Client after use.
+	pool sync.Pool
+}
+
+// clientBufs is one batch call's worth of reusable buffers.
+type clientBufs struct {
+	req  []byte
+	resp []byte
+}
+
+func (c *Client) getBufs() (*clientBufs, func()) {
+	b, _ := c.pool.Get().(*clientBufs)
+	if b == nil {
+		b = new(clientBufs)
+	}
+	return b, func() { c.pool.Put(b) }
 }
 
 // ErrConflict is returned by Ack when the lease expired (the message
@@ -199,6 +219,189 @@ func (c *Client) Ack(ctx context.Context, topic string, id, token uint64) error 
 		return ErrConflict
 	default:
 		return statusError("ack", resp)
+	}
+}
+
+// postFrame issues one batch request (no retries — the batch methods
+// own their retry loops because partial acceptance is not a retryable
+// status) and reads the response body into buf. The returned body slice
+// is valid until buf's next reuse.
+func (c *Client) postFrame(ctx context.Context, path string, reqBody, buf []byte) (status int, retryAfter time.Duration, body []byte, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(reqBody))
+	if err != nil {
+		return 0, 0, buf, err
+	}
+	req.Header.Set("Content-Type", batchContentType)
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, 0, buf, err
+	}
+	body, err = readBody(resp.Body, buf, maxBatchBody)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, body, fmt.Errorf("read response: %w", err)
+	}
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter, body, nil
+}
+
+// sleep waits out one backoff delay (counting it in Retries) or bails
+// on context cancellation.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	c.Retries++
+	select {
+	case <-time.After(c.Backoff.Delay(attempt, retryAfter)):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+// ProduceBatch enqueues the payloads in order and returns their ids.
+// Partial quota admission is retried transparently: the server accepts
+// the batch's admitted prefix and stamps Retry-After for the rest, and
+// the client re-submits the suffix after honouring the delay. If
+// attempts run out mid-batch the ids accepted so far are returned with
+// the error — those messages ARE in the queue.
+func (c *Client) ProduceBatch(ctx context.Context, topic string, payloads [][]byte) ([]uint64, error) {
+	ids := make([]uint64, 0, len(payloads))
+	bufs, release := c.getBufs()
+	defer release()
+	remaining := payloads
+	for attempt := 0; ; attempt++ {
+		bufs.req = appendProduceBatch(bufs.req[:0], remaining)
+		status, retryAfter, body, err := c.postFrame(ctx, "/topics/"+topic+"/produce-batch", bufs.req, bufs.resp)
+		bufs.resp = body
+		if err != nil {
+			return ids, fmt.Errorf("produce-batch: %w", err)
+		}
+		switch status {
+		case http.StatusOK:
+			before := len(ids)
+			ids, err = parseIDs(body, ids)
+			if err != nil {
+				return ids, fmt.Errorf("produce-batch: decode: %w", err)
+			}
+			accepted := len(ids) - before
+			if accepted > len(remaining) {
+				return ids, fmt.Errorf("produce-batch: server accepted %d of %d", accepted, len(remaining))
+			}
+			remaining = remaining[accepted:]
+			if len(remaining) == 0 {
+				return ids, nil
+			}
+			// Partial acceptance: not a failure, but the suffix still
+			// needs admission — honour Retry-After like a 429 would be.
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// fall through to the shared backoff below
+		default:
+			return ids, fmt.Errorf("produce-batch: unexpected status %d", status)
+		}
+		if attempt+1 >= c.maxAttempts() {
+			return ids, fmt.Errorf("%w (last status %d, %d of %d accepted)",
+				ErrShed, status, len(ids), len(payloads))
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return ids, err
+		}
+	}
+}
+
+// ConsumeBatch leases up to max messages. wait > 0 long-polls: the
+// server parks the request until a message arrives or wait elapses. An
+// empty (or empty-after-wait) topic returns a nil slice and nil error.
+// Payloads are copied out of the transport buffer and remain valid
+// across the subsequent AckBatch.
+func (c *Client) ConsumeBatch(ctx context.Context, topic string, max int, wait time.Duration) ([]Delivery, error) {
+	bufs, release := c.getBufs()
+	defer release()
+	path := "/topics/" + topic + "/consume-batch?max=" + strconv.Itoa(max)
+	if wait > 0 {
+		path += "&wait=" + wait.String()
+	}
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, body, err := c.postFrame(ctx, path, nil, bufs.resp)
+		bufs.resp = body
+		if err != nil {
+			return nil, fmt.Errorf("consume-batch: %w", err)
+		}
+		switch status {
+		case http.StatusOK:
+			ds, err := parseDeliveries(body)
+			if err != nil {
+				return nil, fmt.Errorf("consume-batch: decode: %w", err)
+			}
+			return ds, nil
+		case http.StatusNoContent:
+			return nil, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt+1 >= c.maxAttempts() {
+				return nil, fmt.Errorf("%w (last status %d)", ErrShed, status)
+			}
+			if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("consume-batch: unexpected status %d", status)
+		}
+	}
+}
+
+// AckBatch acknowledges the entries and returns one AckResult per
+// entry, in order. Like ProduceBatch, a partially admitted batch is
+// completed across retries; per-delivery conflicts (stale tokens) are
+// reported in the results, not as an error.
+func (c *Client) AckBatch(ctx context.Context, topic string, entries []AckEntry) ([]AckResult, error) {
+	results := make([]AckResult, 0, len(entries))
+	bufs, release := c.getBufs()
+	defer release()
+	remaining := entries
+	for attempt := 0; ; attempt++ {
+		bufs.req = appendAckBatch(bufs.req[:0], remaining)
+		status, retryAfter, body, err := c.postFrame(ctx, "/topics/"+topic+"/ack-batch", bufs.req, bufs.resp)
+		bufs.resp = body
+		if err != nil {
+			return results, fmt.Errorf("ack-batch: %w", err)
+		}
+		switch status {
+		case http.StatusOK:
+			before := len(results)
+			results, err = parseAckResults(body, results)
+			if err != nil {
+				return results, fmt.Errorf("ack-batch: decode: %w", err)
+			}
+			done := len(results) - before
+			if done > len(remaining) {
+				return results, fmt.Errorf("ack-batch: server resolved %d of %d", done, len(remaining))
+			}
+			remaining = remaining[done:]
+			if len(remaining) == 0 {
+				return results, nil
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// fall through to the shared backoff below
+		default:
+			return results, fmt.Errorf("ack-batch: unexpected status %d", status)
+		}
+		if attempt+1 >= c.maxAttempts() {
+			return results, fmt.Errorf("%w (last status %d, %d of %d resolved)",
+				ErrShed, status, len(results), len(entries))
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return results, err
+		}
 	}
 }
 

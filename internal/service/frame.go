@@ -1,0 +1,248 @@
+package service
+
+// The batch wire format. encoding/json is fine for one-message-at-a-time
+// endpoints, but on the batched hot path it is most of the allocation
+// bill: the encoder boxes every field, base64s every payload, and the
+// decoder rebuilds each of them on the far side. The batch endpoints use
+// length-prefixed binary framing instead — uvarint integers, raw payload
+// bytes — chosen so both sides can encode into and decode out of one
+// pooled buffer with zero intermediate allocations:
+//
+//	produce-batch request   count, count × (len, payload…)
+//	produce-batch response  accepted, accepted × id
+//	consume-batch response  count, count × (id, token, len, payload…)
+//	ack-batch request       count, count × (id, token)
+//	ack-batch response      count, count × result byte (0 ok / 1 conflict / 2 unknown)
+//
+// All integers are unsigned varints (encoding/binary), so a batch of
+// small ids costs a handful of bytes and there is no endianness or
+// fixed-width commitment baked into the protocol. Frames travel with
+// Content-Type application/x-turnqueue-batch; the one-message JSON
+// endpoints are unchanged and remain the compatibility surface.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// batchContentType marks a length-prefixed batch frame body.
+const batchContentType = "application/x-turnqueue-batch"
+
+// maxBatchMsgs caps how many messages one batch frame may carry; a
+// frame claiming more is rejected before any allocation is sized by the
+// claim (a hostile count must not become a hostile make()).
+const maxBatchMsgs = 1024
+
+var (
+	errFrameTruncated = errors.New("batch frame truncated")
+	errFrameTooMany   = fmt.Errorf("batch frame exceeds %d messages", maxBatchMsgs)
+)
+
+// uvarint reads one varint at buf[off:], returning the value and the new
+// offset; ok=false on truncation or overflow.
+func uvarint(buf []byte, off int) (v uint64, next int, ok bool) {
+	v, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return 0, off, false
+	}
+	return v, off + n, true
+}
+
+// appendProduceBatch encodes a produce-batch request body onto dst.
+func appendProduceBatch(dst []byte, payloads [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payloads)))
+	for _, p := range payloads {
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// parseProduceBatch decodes a produce-batch request in place: the
+// returned payload slices alias buf, so they are valid only while the
+// caller holds the buffer. maxEach bounds any single payload.
+func parseProduceBatch(buf []byte, maxEach int, into [][]byte) ([][]byte, error) {
+	count, off, ok := uvarint(buf, 0)
+	if !ok {
+		return nil, errFrameTruncated
+	}
+	if count > maxBatchMsgs {
+		return nil, errFrameTooMany
+	}
+	for i := uint64(0); i < count; i++ {
+		n, o, ok := uvarint(buf, off)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		if n > uint64(maxEach) {
+			return nil, fmt.Errorf("payload %d exceeds %d bytes", i, maxEach)
+		}
+		off = o
+		if off+int(n) > len(buf) {
+			return nil, errFrameTruncated
+		}
+		into = append(into, buf[off:off+int(n):off+int(n)])
+		off += int(n)
+	}
+	return into, nil
+}
+
+// appendIDs encodes a produce-batch response (accepted count + ids).
+func appendIDs(dst []byte, ids []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, id)
+	}
+	return dst
+}
+
+// parseIDs decodes a produce-batch response into into.
+func parseIDs(buf []byte, into []uint64) ([]uint64, error) {
+	count, off, ok := uvarint(buf, 0)
+	if !ok {
+		return nil, errFrameTruncated
+	}
+	if count > maxBatchMsgs {
+		return nil, errFrameTooMany
+	}
+	for i := uint64(0); i < count; i++ {
+		id, o, ok := uvarint(buf, off)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		into = append(into, id)
+		off = o
+	}
+	return into, nil
+}
+
+// appendDelivery encodes one consume-batch response entry onto dst. The
+// count prefix is written once by the handler via binary.AppendUvarint.
+func appendDelivery(dst []byte, id, token uint64, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, token)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// parseDeliveries decodes a consume-batch response. Payloads are copied
+// into one backing slab (not aliased to buf), so the deliveries outlive
+// the caller's pooled read buffer — they cross the Ack round trip.
+func parseDeliveries(buf []byte) ([]Delivery, error) {
+	count, off, ok := uvarint(buf, 0)
+	if !ok {
+		return nil, errFrameTruncated
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if count > maxBatchMsgs {
+		return nil, errFrameTooMany
+	}
+	ds := make([]Delivery, 0, count)
+	total := 0
+	type span struct{ from, to int }
+	spans := make([]span, 0, count)
+	for i := uint64(0); i < count; i++ {
+		id, o, ok := uvarint(buf, off)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		token, o2, ok := uvarint(buf, o)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		n, o3, ok := uvarint(buf, o2)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		off = o3
+		if off+int(n) > len(buf) {
+			return nil, errFrameTruncated
+		}
+		spans = append(spans, span{off, off + int(n)})
+		ds = append(ds, Delivery{ID: id, Token: token})
+		total += int(n)
+		off += int(n)
+	}
+	slab := make([]byte, 0, total)
+	for i := range ds {
+		s := spans[i]
+		start := len(slab)
+		slab = append(slab, buf[s.from:s.to]...)
+		ds[i].Payload = slab[start:len(slab):len(slab)]
+	}
+	return ds, nil
+}
+
+// appendAckBatch encodes an ack-batch request body onto dst.
+func appendAckBatch(dst []byte, acks []AckEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(acks)))
+	for _, a := range acks {
+		dst = binary.AppendUvarint(dst, a.ID)
+		dst = binary.AppendUvarint(dst, a.Token)
+	}
+	return dst
+}
+
+// parseAckBatch decodes an ack-batch request into into.
+func parseAckBatch(buf []byte, into []AckEntry) ([]AckEntry, error) {
+	count, off, ok := uvarint(buf, 0)
+	if !ok {
+		return nil, errFrameTruncated
+	}
+	if count > maxBatchMsgs {
+		return nil, errFrameTooMany
+	}
+	for i := uint64(0); i < count; i++ {
+		id, o, ok := uvarint(buf, off)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		token, o2, ok := uvarint(buf, o)
+		if !ok {
+			return nil, errFrameTruncated
+		}
+		into = append(into, AckEntry{ID: id, Token: token})
+		off = o2
+	}
+	return into, nil
+}
+
+// appendAckResults encodes an ack-batch response onto dst.
+func appendAckResults(dst []byte, results []AckResult) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(results)))
+	for _, r := range results {
+		dst = append(dst, byte(r))
+	}
+	return dst
+}
+
+// parseAckResults decodes an ack-batch response into into.
+func parseAckResults(buf []byte, into []AckResult) ([]AckResult, error) {
+	count, off, ok := uvarint(buf, 0)
+	if !ok {
+		return nil, errFrameTruncated
+	}
+	if count > maxBatchMsgs {
+		return nil, errFrameTooMany
+	}
+	if off+int(count) > len(buf) {
+		return nil, errFrameTruncated
+	}
+	for i := uint64(0); i < count; i++ {
+		r := AckResult(buf[off+int(i)])
+		if r > AckUnknown {
+			return nil, fmt.Errorf("unknown ack result byte %d", buf[off+int(i)])
+		}
+		into = append(into, r)
+	}
+	return into, nil
+}
+
+// AckEntry names one delivery to acknowledge in an AckBatch call.
+type AckEntry struct {
+	ID    uint64
+	Token uint64
+}

@@ -149,6 +149,13 @@ type Service struct {
 	shedConn     atomic.Int64
 	shedBreaker  atomic.Int64
 	shedTenant   atomic.Int64 // invalid tenant names + registry-cap refusals
+
+	// Batch observability: batches/messages admitted through the batch
+	// endpoints, and consume-batch slot fill (requested vs delivered).
+	batchBatches  atomic.Int64
+	batchMsgs     atomic.Int64
+	consumeSlots  atomic.Int64
+	consumeFilled atomic.Int64
 }
 
 // New builds the topics (one sharded wait-free backend each) and starts
@@ -226,6 +233,10 @@ func (s *Service) Topic(name string) *Topic { return s.topics[name] }
 type connState struct {
 	inFlight atomic.Int64
 	max      int64
+	// bufs pools this connection's batch request/response buffers (a
+	// sync.Pool, not a single set, because HTTP/2 multiplexes concurrent
+	// requests onto one connection).
+	bufs sync.Pool
 }
 
 func (cs *connState) enter() bool {
@@ -266,6 +277,9 @@ func (s *Service) ConnContext(ctx context.Context, _ net.Conn) context.Context {
 //	POST /topics/{topic}/produce   body = payload        → {"id": n}
 //	POST /topics/{topic}/consume                         → {"id","token","payload"} | 204
 //	POST /topics/{topic}/ack?id=&token=                  → 200 | 409 | 404
+//	POST /topics/{topic}/produce-batch                   frame → frame of ids (batch.go)
+//	POST /topics/{topic}/consume-batch?max=&wait=        → frame of deliveries | 204
+//	POST /topics/{topic}/ack-batch                       frame → frame of results
 //	GET  /stats                                          → per-topic + tenant counters
 //	GET  /healthz                                        → 200 | 503 while draining
 //
@@ -276,6 +290,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /topics/{topic}/produce", s.admitted(true, s.handleProduce))
 	mux.HandleFunc("POST /topics/{topic}/consume", s.admitted(false, s.handleConsume))
 	mux.HandleFunc("POST /topics/{topic}/ack", s.admitted(false, s.handleAck))
+	mux.HandleFunc("POST /topics/{topic}/produce-batch", s.batchAdmitted(s.handleProduceBatch))
+	mux.HandleFunc("POST /topics/{topic}/consume-batch", s.batchAdmitted(s.handleConsumeBatch))
+	mux.HandleFunc("POST /topics/{topic}/ack-batch", s.batchAdmitted(s.handleAckBatch))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.draining.Load() {
@@ -416,7 +433,7 @@ type deliveryBody struct {
 }
 
 func (s *Service) handleConsume(w http.ResponseWriter, r *http.Request, t *Topic) {
-	rec, token, ok, crashed := t.Consume(time.Now())
+	d, ok, crashed := t.ConsumeOne(time.Now())
 	if crashed != nil {
 		http.Error(w, crashed.Error(), http.StatusInternalServerError)
 		return
@@ -425,7 +442,7 @@ func (s *Service) handleConsume(w http.ResponseWriter, r *http.Request, t *Topic
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	body, _ := json.Marshal(deliveryBody{ID: rec.id, Token: token, Payload: rec.payload})
+	body, _ := json.Marshal(d)
 	w.Header().Set("Content-Type", "application/json")
 	// The slow-reader window: the lease is committed, the response not
 	// yet written. A goroutine parked here holds its delivery lease past
@@ -462,6 +479,14 @@ type Stats struct {
 	ShedConn     int64                 `json:"shed_conn"`
 	ShedBreaker  int64                 `json:"shed_breaker"`
 	ShedTenant   int64                 `json:"shed_tenant"`
+
+	// Batch-endpoint counters: BatchMsgs/BatchBatches is the average
+	// admitted batch size; ConsumeFilled/ConsumeSlots the consume-batch
+	// fill ratio (delivered vs requested slots).
+	BatchBatches  int64 `json:"batch_batches"`
+	BatchMsgs     int64 `json:"batch_msgs"`
+	ConsumeSlots  int64 `json:"batch_consume_slots"`
+	ConsumeFilled int64 `json:"batch_consume_filled"`
 }
 
 // TenantRow is one tenant's admission counters.
@@ -481,6 +506,11 @@ func (s *Service) Stats() Stats {
 		ShedConn:     s.shedConn.Load(),
 		ShedBreaker:  s.shedBreaker.Load(),
 		ShedTenant:   s.shedTenant.Load(),
+
+		BatchBatches:  s.batchBatches.Load(),
+		BatchMsgs:     s.batchMsgs.Load(),
+		ConsumeSlots:  s.consumeSlots.Load(),
+		ConsumeFilled: s.consumeFilled.Load(),
 	}
 	for name, t := range s.topics {
 		st.Topics[name] = t.Stats()

@@ -40,6 +40,11 @@ type delivery struct {
 	tenant  string
 	payload []byte
 
+	// owner is the pooled slab this record was allocated from (nil for
+	// single-op heap records). The last ack of a slab's records returns
+	// the slab — records and payload bytes both — to the pool; see slab.
+	owner *slab
+
 	// word is the packed (state, lease seq) pair; see pack.
 	word atomic.Uint64
 	// deadline is the current lease's expiry in unix nanos; meaningful
@@ -49,6 +54,60 @@ type delivery struct {
 	deadline atomic.Int64
 
 	redeliveries atomic.Int64
+}
+
+// slab is one batch's worth of delivery records plus one backing buffer
+// for their payload bytes, recycled through a sync.Pool so a steady
+// batched workload allocates nothing per message.
+//
+// Recycling records that ackers, consumers, and the sweeper may still
+// hold pointers to is only safe under two disciplines, both load-bearing:
+//
+//   - lease tokens come from a topic-global counter (Topic.leaseSeq), so
+//     a CAS keyed on leased|token can never land on a recycled record —
+//     the token names one lease in the topic's history, not one lease of
+//     one record (the per-record sequence would recur after reuse);
+//   - non-atomic fields (id, payload bytes) are read only while the
+//     record is map-resident and t.mu is held. A recycle begins with an
+//     ack's map delete, and every map delete takes t.mu, so holding the
+//     lock pins every record found in the map for the duration.
+//
+// Everything else a stale pointer can do — the sweeper's claim CAS, a
+// late ack's CAS — re-checks the atomic word first and fails harmlessly.
+type slab struct {
+	recs []delivery
+	buf  []byte
+	// live counts map-resident records; the acker that drops it to zero
+	// owns the slab and returns it to the pool.
+	live atomic.Int64
+}
+
+var slabPool = sync.Pool{New: func() any { return new(slab) }}
+
+// getSlab returns a slab sized for k records and total payload bytes.
+func getSlab(k, total int) *slab {
+	sl := slabPool.Get().(*slab)
+	if cap(sl.recs) < k {
+		sl.recs = make([]delivery, k)
+	} else {
+		sl.recs = sl.recs[:k]
+	}
+	if cap(sl.buf) < total {
+		sl.buf = make([]byte, 0, total)
+	} else {
+		sl.buf = sl.buf[:0]
+	}
+	sl.live.Store(int64(k))
+	return sl
+}
+
+// release is the acker's side of the slab contract: called once per
+// record after its map delete, it frees the slab when the last record
+// goes. Heap records (owner nil) are no-ops.
+func (rec *delivery) release() {
+	if sl := rec.owner; sl != nil && sl.live.Add(-1) == 0 {
+		slabPool.Put(sl)
+	}
 }
 
 // Topic is one named queue plus its delivery-lease layer. The backend is
@@ -62,6 +121,17 @@ type Topic struct {
 	mu     sync.Mutex
 	recs   map[uint64]*delivery
 	nextID atomic.Uint64
+
+	// leaseSeq issues delivery tokens, one topic-global stream for every
+	// record. Global (not per-record) uniqueness is what makes slab
+	// recycling ABA-free: see the slab doc comment.
+	leaseSeq atomic.Uint64
+
+	// wake pulses when messages arrive (produce or redelivery); long-poll
+	// consumers park on it instead of spinning empty round trips. One
+	// buffered slot: a pulse into a full channel is dropped because the
+	// news it carries — "the queue may be non-empty" — is already posted.
+	wake chan struct{}
 
 	br *breaker
 
@@ -86,7 +156,17 @@ func newTopic(name string, q *turnqueue.AutoQueue[uint64], lease time.Duration, 
 		q:     q,
 		lease: lease,
 		recs:  make(map[uint64]*delivery),
+		wake:  make(chan struct{}, 1),
 		br:    br,
+	}
+}
+
+// notify pulses the wake channel (non-blocking: a dropped pulse means a
+// waiter is already going to find the message).
+func (t *Topic) notify() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
 	}
 }
 
@@ -101,7 +181,50 @@ func (t *Topic) Produce(tenant string, payload []byte) uint64 {
 	t.mu.Unlock()
 	t.q.Enqueue(id)
 	t.produced.Add(1)
+	t.notify()
 	return id
+}
+
+// ProduceBatch registers and enqueues k payloads as one batch: one id
+// reservation, one slab allocation (pooled — payload bytes are copied
+// into the slab's buffer, so the caller's payload views may alias a
+// transient request buffer), one registry lock, and one EnqueueBatch on
+// the wait-free backend, which installs the whole chain at a single CAS
+// (PR 5). The assigned ids are appended to ids and returned.
+func (t *Topic) ProduceBatch(tenant string, payloads [][]byte, ids []uint64) []uint64 {
+	k := len(payloads)
+	if k == 0 {
+		return ids
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	sl := getSlab(k, total)
+	base := t.nextID.Add(uint64(k)) - uint64(k) + 1
+	start := len(ids)
+	for i, p := range payloads {
+		rec := &sl.recs[i]
+		off := len(sl.buf)
+		sl.buf = append(sl.buf, p...) // cap pre-sized: never reallocates
+		rec.id = base + uint64(i)
+		rec.tenant = tenant
+		rec.payload = sl.buf[off:len(sl.buf):len(sl.buf)]
+		rec.owner = sl
+		rec.deadline.Store(0)
+		rec.redeliveries.Store(0)
+		rec.word.Store(pack(statePending, 0))
+		ids = append(ids, rec.id)
+	}
+	t.mu.Lock()
+	for i := range sl.recs {
+		t.recs[sl.recs[i].id] = &sl.recs[i]
+	}
+	t.mu.Unlock()
+	t.q.EnqueueBatch(ids[start:])
+	t.produced.Add(int64(k))
+	t.notify()
+	return ids
 }
 
 // Consume dequeues one message and leases it to the caller until
@@ -115,36 +238,104 @@ func (t *Topic) Produce(tenant string, payload []byte) uint64 {
 // was the simulated victim (the handler answers 500 and the client
 // retries).
 func (t *Topic) Consume(now time.Time) (rec *delivery, token uint64, ok bool, crashed error) {
+	rec, _, token, _, ok, crashed = t.consume(now, false)
+	return rec, token, ok, crashed
+}
+
+// ConsumeOne is the handler-facing form of Consume: it returns the
+// delivery by value, with id captured and payload made stable (copied
+// off slab records) while t.mu still pins the record, so the caller may
+// encode the response at leisure without racing a slab recycle.
+func (t *Topic) ConsumeOne(now time.Time) (d Delivery, ok bool, crashed error) {
+	_, id, token, payload, ok, crashed := t.consume(now, true)
+	if !ok {
+		return Delivery{}, false, crashed
+	}
+	return Delivery{ID: id, Token: token, Payload: payload}, true, nil
+}
+
+func (t *Topic) consume(now time.Time, stable bool) (rec *delivery, id, token uint64, payload []byte, ok bool, crashed error) {
 	for {
-		id, got := t.q.Dequeue()
+		qid, got := t.q.Dequeue()
 		if !got {
-			return nil, 0, false, nil
+			return nil, 0, 0, nil, false, nil
 		}
-		if err := t.leaseCrashWindow(id); err != nil {
-			return nil, 0, false, err
+		if err := t.leaseCrashWindow(qid); err != nil {
+			return nil, 0, 0, nil, false, err
 		}
 		t.mu.Lock()
-		rec = t.recs[id]
-		t.mu.Unlock()
+		rec = t.recs[qid]
 		if rec == nil {
 			// Unreachable in normal operation (only the queue feeds ids,
 			// and records outlive their queue residency); tolerate it by
 			// taking the next message rather than failing the request.
+			t.mu.Unlock()
+			continue
+		}
+		w := rec.word.Load()
+		if stateOf(w) != statePending {
+			t.mu.Unlock()
+			continue
+		}
+		token = t.leaseSeq.Add(1)
+		id = rec.id
+		payload = rec.payload
+		if stable && rec.owner != nil {
+			payload = append([]byte(nil), payload...)
+		}
+		// Deadline first: the sweeper reads (word, deadline) in that
+		// order and must never see the new lease with the old expiry.
+		rec.deadline.Store(now.Add(t.lease).UnixNano())
+		if rec.word.CompareAndSwap(w, pack(stateLeased, token)) {
+			t.mu.Unlock()
+			t.consumed.Add(1)
+			return rec, id, token, payload, true, nil
+		}
+		t.mu.Unlock()
+	}
+}
+
+// ConsumeBatch dequeues up to len(ids) messages in one backend batch
+// (one slot lease, see AutoQueue.DequeueBatch) and leases each to the
+// caller with one shared deadline. For every granted lease it calls emit
+// with the id, token, and payload; emit must copy the payload before
+// returning — the bytes are pinned only for the duration of the call
+// (the whole grant loop runs under t.mu, which is also the single
+// registry pass the batch pays instead of k). Returns the number of
+// leases granted (== emit calls).
+func (t *Topic) ConsumeBatch(now time.Time, ids []uint64, emit func(id, token uint64, payload []byte)) int {
+	n := t.q.DequeueBatch(ids)
+	if n == 0 {
+		return 0
+	}
+	deadline := now.Add(t.lease).UnixNano()
+	granted := 0
+	t.mu.Lock()
+	for _, qid := range ids[:n] {
+		rec := t.recs[qid]
+		if rec == nil {
 			continue
 		}
 		w := rec.word.Load()
 		if stateOf(w) != statePending {
 			continue
 		}
-		token = seqOf(w) + 1
-		// Deadline first: the sweeper reads (word, deadline) in that
-		// order and must never see the new lease with the old expiry.
-		rec.deadline.Store(now.Add(t.lease).UnixNano())
-		if rec.word.CompareAndSwap(w, pack(stateLeased, token)) {
-			t.consumed.Add(1)
-			return rec, token, true, nil
+		token := t.leaseSeq.Add(1)
+		rec.deadline.Store(deadline)
+		if !rec.word.CompareAndSwap(w, pack(stateLeased, token)) {
+			// Unreachable: a pending id has exactly one dequeuer and the
+			// sweeper only touches leased words. Skipping redelivers it.
+			continue
 		}
+		// Post-CAS payload read is safe here and only here: recycling
+		// the record requires a fresh lease first, and leasing requires
+		// the t.mu we hold.
+		emit(rec.id, token, rec.payload)
+		granted++
 	}
+	t.mu.Unlock()
+	t.consumed.Add(int64(granted))
+	return granted
 }
 
 // leaseCrashWindow hosts the SvcConsumerCrash fault point so a simulated
@@ -187,8 +378,38 @@ func (t *Topic) Ack(id, token uint64) AckResult {
 	t.mu.Lock()
 	delete(t.recs, id)
 	t.mu.Unlock()
+	rec.release()
 	t.acked.Add(1)
 	return AckOK
+}
+
+// AckBatch resolves each (id, token) pair exactly as Ack would — the
+// same single-CAS-decides race with the sweeper, per delivery — but
+// pays one registry lock for the whole batch. Results are appended to
+// results in entry order.
+func (t *Topic) AckBatch(entries []AckEntry, results []AckResult) []AckResult {
+	var acked, conflicts int64
+	t.mu.Lock()
+	for _, e := range entries {
+		rec := t.recs[e.ID]
+		if rec == nil {
+			results = append(results, AckUnknown)
+			continue
+		}
+		if !rec.word.CompareAndSwap(pack(stateLeased, e.Token), pack(stateAcked, e.Token)) {
+			conflicts++
+			results = append(results, AckConflict)
+			continue
+		}
+		delete(t.recs, e.ID)
+		rec.release()
+		acked++
+		results = append(results, AckOK)
+	}
+	t.mu.Unlock()
+	t.acked.Add(acked)
+	t.conflicts.Add(conflicts)
+	return results
 }
 
 // AckResult classifies an Ack attempt.
@@ -243,6 +464,9 @@ func (t *Topic) sweep(now time.Time) (redelivered int) {
 		rec.redeliveries.Add(1)
 		t.redelivered.Add(1)
 		redelivered++
+	}
+	if redelivered > 0 {
+		t.notify()
 	}
 	return redelivered
 }

@@ -24,6 +24,12 @@
 # the consensus slow path's cost, the smoke fails rather than letting
 # the regression age into the recorded baselines.
 #
+# Smoke mode also gates the batched service hot path: the k=32 batched
+# round trip must show <= 20 amortized allocs/msg and <= 0.2x the
+# single-op ns/op per message, both read from the same smoke run so
+# host speed cancels. Batching is a perf feature; if its amortization
+# edge erodes, the smoke fails.
+#
 # Smoke mode also gates sharded-front scaling on multi-core hosts: the
 # BenchmarkShardedPairs shards=1/shards=4 min-of-runs ratio must show at
 # least SHARD_RATIO_LIMIT (default 2x) speedup when nproc >= 4. On
@@ -60,8 +66,12 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# All output lands under results/ by default — the one canonical home
+# for recorded baselines; pass an explicit outdir for scratch runs
+# (ci.sh smoke uses a mktemp dir). Nothing is ever written to the repo
+# root.
 MODE="${1:-full}"
-OUT="${2:-.}"
+OUT="${2:-results}"
 
 # The core set: adapter overhead (hot-path cost of the public API),
 # uncontended single-thread round trips, the per-access protect cost of
@@ -216,6 +226,42 @@ if [ "$MODE" = smoke ]; then
 	}
 	' "$RATIO_TXT" || {
 		echo "bench gate: TurnPlus uncontended cost exceeds ${RATIO_LIMIT:-1.5}x FAA(YMC) — the fast path regressed" >&2
+		exit 1
+	}
+
+	# Batched-service gate: the batch endpoints exist to amortize the
+	# per-message HTTP + admission toll, so the k=32 batched round trip
+	# must hold both halves of that claim against the single-op row from
+	# the same run: amortized allocations <= BATCH_ALLOC_LIMIT (default
+	# 20) allocs/msg, and amortized latency <= BATCH_NS_FRAC (default
+	# 0.2) of the single-op ns/op. Same-run comparison, so host speed
+	# cancels out.
+	echo "==> batched-service gate (k=32: <= ${BATCH_ALLOC_LIMIT:-20} allocs/msg, <= ${BATCH_NS_FRAC:-0.2}x single-op ns/msg)"
+	awk -v alim="${BATCH_ALLOC_LIMIT:-20}" -v frac="${BATCH_NS_FRAC:-0.2}" '
+	$1 ~ /^BenchmarkServiceRoundTrip(-[0-9]+)?$/ {
+		if (!single || $3 + 0 < single) single = $3 + 0
+	}
+	$1 ~ /^BenchmarkServiceRoundTripBatch\/k=32(-[0-9]+)?$/ {
+		if (!batch || $3 + 0 < batch) batch = $3 + 0
+		for (i = 4; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1) + 0
+	}
+	END {
+		if (!single || !batch) {
+			print "  batch gate: missing single-op or k=32 batch rows" > "/dev/stderr"
+			exit 1
+		}
+		permsg = batch / 32
+		perallocs = allocs / 32
+		nsok = (permsg <= single * frac)
+		aok = (perallocs <= alim)
+		printf "  batch k=32 %.0f ns/op -> %.0f ns/msg vs single-op %.0f ns/op (limit %.0f)   %s\n", \
+			batch, permsg, single, single * frac, (nsok ? "ok" : "REGRESSION")
+		printf "  batch k=32 %.1f allocs/op -> %.2f allocs/msg (limit %.1f)   %s\n", \
+			allocs, perallocs, alim, (aok ? "ok" : "REGRESSION")
+		exit !(nsok && aok)
+	}
+	' "$TXT" || {
+		echo "bench gate: batched round trip lost its amortization edge (BATCH_ALLOC_LIMIT=${BATCH_ALLOC_LIMIT:-20} allocs/msg, BATCH_NS_FRAC=${BATCH_NS_FRAC:-0.2}x single-op)" >&2
 		exit 1
 	}
 

@@ -1,5 +1,5 @@
 #!/bin/sh
-# The full correctness gate, exactly as CI runs it. Ten passes:
+# The full correctness gate, exactly as CI runs it. Eleven passes:
 #
 #   1. build + vet of every package,
 #   2. the full test suite in the release build (no handle validation
@@ -51,9 +51,18 @@
 #      crashed consumers exactly-once over the event history, slow-reader
 #      redelivery with stale-ack refusal, stalled-connection isolation,
 #      graceful drain to VerifyQuiescent) under -race with both the
-#      faultpoints and debughandles tags.
+#      faultpoints and debughandles tags,
+#  11. the batched-service gate: the wire-level batch endpoints
+#      (produce-batch/consume-batch/ack-batch over length-prefixed
+#      frames) — frame codec round trips and truncation rejection,
+#      AdmitN partial-admission 429s, stale-token ack-batch partial
+#      results, slab recycling exactness, long-poll wake and
+#      drain-interaction, and the SvcBatchLease chaos scenario (a
+#      consumer parked with a whole batch of committed leases; every
+#      lease redelivered exactly once, every stale ack refused) under
+#      -race with both the faultpoints and debughandles tags.
 #
-# A change is green only if all ten pass.
+# A change is green only if all eleven pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -114,5 +123,10 @@ echo "==> service gate (queue-as-a-service chaos under -race)"
 go test -race -timeout 240s ./internal/account ./internal/vars
 go test -race -tags "faultpoints debughandles" -timeout 240s \
 	./internal/service
+
+echo "==> batched-service gate (batch wire path + SvcBatchLease chaos under -race)"
+go test -race -tags "faultpoints debughandles" -timeout 240s \
+	-run 'TestFrameRoundTrips|TestBatch|TestAckBatchStaleTokens|TestQuotaAdmitN|TestServiceChaosBatchLeaseRedelivery' \
+	./internal/service ./internal/account
 
 echo "==> ci green"

@@ -24,6 +24,7 @@ package turnqueue_test
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
@@ -77,5 +78,77 @@ func BenchmarkServiceRoundTrip(b *testing.B) {
 	defer cancel()
 	if _, err := s.Drain(dctx); err != nil {
 		b.Fatalf("drain: %v", err)
+	}
+}
+
+// BenchmarkServiceRoundTripBatch prices the batched hot path on one
+// connection: each iteration moves k messages through one
+// produce-batch, one consume-batch, and one ack-batch — three HTTP
+// round trips and three admissions total, against single-op's 3k. The
+// reported ns/op and allocs/op are per batch; ns/msg is reported
+// explicitly, and scripts/bench.sh smoke divides allocs/op by k to
+// gate the amortized per-message allocation count (<= 20) and the
+// per-message latency (<= 0.2x the single-op round trip).
+func BenchmarkServiceRoundTripBatch(b *testing.B) {
+	for _, k := range []int{8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			s, err := service.New(service.Config{
+				Topics:     []string{"bench"},
+				MaxThreads: 32,
+				QuotaRate:  -1,
+			})
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			ts := httptest.NewUnstartedServer(s.Handler())
+			ts.Config.ConnContext = s.ConnContext
+			ts.Start()
+			defer ts.Close()
+			ctx := context.Background()
+			c := &service.Client{Base: ts.URL, Tenant: "bench", MaxAttempts: 1}
+			payloads := make([][]byte, k)
+			for i := range payloads {
+				payloads[i] = []byte("x")
+			}
+			acks := make([]service.AckEntry, 0, k)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids, err := c.ProduceBatch(ctx, "bench", payloads)
+				if err != nil || len(ids) != k {
+					b.Fatalf("produce-batch: %d ids, err %v", len(ids), err)
+				}
+				// The sharded front may spread the batch, so drain until all
+				// k are back; steady state is one consume round trip.
+				for got := 0; got < k; {
+					ds, err := c.ConsumeBatch(ctx, "bench", k-got, 0)
+					if err != nil || len(ds) == 0 {
+						b.Fatalf("consume-batch: %d deliveries, err %v", len(ds), err)
+					}
+					got += len(ds)
+					acks = acks[:0]
+					for _, d := range ds {
+						acks = append(acks, service.AckEntry{ID: d.ID, Token: d.Token})
+					}
+					res, err := c.AckBatch(ctx, "bench", acks)
+					if err != nil {
+						b.Fatalf("ack-batch: %v", err)
+					}
+					for j, r := range res {
+						if r != service.AckOK {
+							b.Fatalf("ack %d: %v", j, r)
+						}
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/msg")
+			dctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			if _, err := s.Drain(dctx); err != nil {
+				b.Fatalf("drain: %v", err)
+			}
+		})
 	}
 }
