@@ -134,6 +134,21 @@ func (q *Quota) AdmitN(now time.Time, n int) (admitted int, retryAfter time.Dura
 	}
 }
 
+// RefundN returns n unused tokens to the bucket by retreating the GCRA
+// level — the exact inverse of charging them, for callers that must
+// reserve before they know how much they will use (consume-batch admits
+// its slot count before the dequeue says how many messages exist).
+// Over-retreat cannot mint extra credit: Admit/AdmitN clamp their base
+// to now, so a level driven below the clock still admits at most one
+// burst. Refund only tokens actually admitted by a prior Admit/AdmitN.
+func (q *Quota) RefundN(n int) {
+	if n <= 0 {
+		return
+	}
+	q.level.Add(-int64(n) * q.interval)
+	q.Admitted.Add(-int64(n))
+}
+
 // Enter tries to occupy an in-flight slot; callers must Exit on success.
 func (q *Quota) Enter() bool {
 	if q.maxInFlight <= 0 {

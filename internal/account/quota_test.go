@@ -232,3 +232,29 @@ func TestQuotaAdmitNEmptyBucket(t *testing.T) {
 		t.Fatalf("shed = %d, want 7 (4 refused + 3 past the partial)", q.Shed.Load())
 	}
 }
+
+// TestQuotaRefundN: refunded tokens restore exactly the credit they
+// cost, and over-refund cannot mint credit past one burst (Admit clamps
+// its base to the clock).
+func TestQuotaRefundN(t *testing.T) {
+	q := NewQuota(1, 10, 0) // 1 tok/s: no refill inside the fixed-clock test
+	base := time.Unix(1000, 0)
+	if m, _ := q.AdmitN(base, 10); m != 10 {
+		t.Fatalf("full burst admitted %d, want 10", m)
+	}
+	if m, _ := q.AdmitN(base, 1); m != 0 {
+		t.Fatalf("empty bucket admitted %d", m)
+	}
+	q.RefundN(10)
+	if m, _ := q.AdmitN(base, 10); m != 10 {
+		t.Fatalf("refunded burst admitted %d, want 10", m)
+	}
+	// Wildly over-refund: the next admission is still capped at one burst.
+	q.RefundN(1000)
+	if m, _ := q.AdmitN(base, 20); m != 10 {
+		t.Fatalf("over-refund minted credit: admitted %d, want 10", m)
+	}
+	if a := q.Admitted.Load(); a != 20+10-1010 {
+		t.Fatalf("Admitted = %d, want net %d", a, 20+10-1010)
+	}
+}

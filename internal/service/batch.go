@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"turnqueue/internal/account"
 	"turnqueue/internal/inject"
 )
 
@@ -156,30 +157,32 @@ func (s *Service) batchAdmitted(h func(http.ResponseWriter, *http.Request, *Topi
 // admitBatch charges k messages against the tenant's bucket at one CAS.
 // ok=false means nothing was admitted and the 429 is already written.
 // 0 < m < k is a partial admission: Retry-After is stamped for the
-// refused suffix and the caller proceeds with the first m.
-func (s *Service) admitBatch(w http.ResponseWriter, r *http.Request, k int) (m int, ok bool) {
+// refused suffix and the caller proceeds with the first m. The tenant's
+// quota is returned (nil when quotas are disabled) so a caller that ends
+// up using fewer than m tokens can RefundN the difference.
+func (s *Service) admitBatch(w http.ResponseWriter, r *http.Request, k int) (q *account.Quota, m int, ok bool) {
 	if s.tenants == nil || k == 0 {
-		return k, true
+		return nil, k, true
 	}
 	q, known := s.tenants.Get(tenantOf(r))
 	if !known {
 		s.shedTenant.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "tenant registry full", http.StatusTooManyRequests)
-		return 0, false
+		return nil, 0, false
 	}
 	m, retry := q.AdmitN(time.Now(), k)
 	if m == 0 {
 		s.shedQuota.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds(retry))
 		http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
-		return 0, false
+		return q, 0, false
 	}
 	if m < k {
 		s.shedQuota.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds(retry))
 	}
-	return m, true
+	return q, m, true
 }
 
 // writeFrame sends one batch frame with an exact Content-Length so the
@@ -215,7 +218,7 @@ func (s *Service) handleProduceBatch(w http.ResponseWriter, r *http.Request, t *
 		http.Error(w, "produce-batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	m, ok := s.admitBatch(w, r, len(payloads))
+	_, m, ok := s.admitBatch(w, r, len(payloads))
 	if !ok {
 		return
 	}
@@ -251,9 +254,21 @@ func (s *Service) handleConsumeBatch(w http.ResponseWriter, r *http.Request, t *
 			wait = maxBatchWait
 		}
 	}
-	m, ok := s.admitBatch(w, r, max)
+	quota, m, ok := s.admitBatch(w, r, max)
 	if !ok {
 		return
+	}
+	// Slots charged up front (the batch size must be admitted before the
+	// dequeue), unfilled slots refunded on every exit path: an idle
+	// long-poller's empty 204 must not bleed its tenant's bucket dry at
+	// max tokens per poll while producers starve into 429s.
+	n := 0
+	if quota != nil {
+		defer func() {
+			if n < m {
+				quota.RefundN(m - n)
+			}
+		}()
 	}
 	bufs, release := s.bufs(r)
 	defer release()
@@ -265,11 +280,16 @@ func (s *Service) handleConsumeBatch(w http.ResponseWriter, r *http.Request, t *
 	emit := func(id, token uint64, payload []byte) {
 		bufs.resp = appendDelivery(bufs.resp, id, token, payload)
 	}
+	// respBudget keeps the encoded response (count prefix + deliveries)
+	// within what the client's capped response read will accept: the
+	// topic stops granting leases — never leases what it cannot ship —
+	// once the frame would outgrow it.
+	const respBudget = maxBatchBody - binary.MaxVarintLen64
 	// Long poll: park on the topic's wake channel instead of spinning
 	// empty round trips, with a short re-check tick so Drain (and a
 	// vanished client) never waits on a parked poller for long.
 	deadline := time.Now().Add(wait)
-	n := t.ConsumeBatch(time.Now(), ids, emit)
+	n = t.ConsumeBatch(time.Now(), ids, respBudget, emit)
 	for n == 0 && wait > 0 && !s.draining.Load() && !t.closing.Load() {
 		pause := time.Until(deadline)
 		if pause <= 0 {
@@ -287,7 +307,7 @@ func (s *Service) handleConsumeBatch(w http.ResponseWriter, r *http.Request, t *
 			return
 		}
 		timer.Stop()
-		n = t.ConsumeBatch(time.Now(), ids, emit)
+		n = t.ConsumeBatch(time.Now(), ids, respBudget, emit)
 	}
 	s.consumeSlots.Add(int64(m))
 	s.consumeFilled.Add(int64(n))
@@ -328,7 +348,7 @@ func (s *Service) handleAckBatch(w http.ResponseWriter, r *http.Request, t *Topi
 		http.Error(w, "ack-batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	m, ok := s.admitBatch(w, r, len(entries))
+	_, m, ok := s.admitBatch(w, r, len(entries))
 	if !ok {
 		return
 	}

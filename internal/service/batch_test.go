@@ -76,6 +76,190 @@ func TestFrameRoundTrips(t *testing.T) {
 	}
 }
 
+// TestFrameHostilePayloadLength: a payload length at or above 2^63
+// would go negative as an int and slip past the truncation arithmetic;
+// parseDeliveries must reject it as a malformed frame, not panic.
+func TestFrameHostilePayloadLength(t *testing.T) {
+	buf := binary.AppendUvarint(nil, 1) // count
+	buf = binary.AppendUvarint(buf, 5)  // id
+	buf = binary.AppendUvarint(buf, 9)  // token
+	buf = binary.AppendUvarint(buf, 1<<63)
+	buf = append(buf, "stub"...)
+	if _, err := parseDeliveries(buf); err == nil {
+		t.Fatal("2^63 payload length parsed cleanly")
+	}
+	// Same shape just past the buffer end (positive as int, still a lie).
+	buf = binary.AppendUvarint(nil, 1)
+	buf = binary.AppendUvarint(buf, 5)
+	buf = binary.AppendUvarint(buf, 9)
+	buf = binary.AppendUvarint(buf, 100)
+	buf = append(buf, "short"...)
+	if _, err := parseDeliveries(buf); err == nil {
+		t.Fatal("over-long payload length parsed cleanly")
+	}
+}
+
+// TestLeaseTokensGloballyUnique: delivery tokens must come from one
+// process-global stream. Per-topic streams would hand the same numeric
+// token to leases in different topics, and because the slab pool is
+// shared across topics, a recycled record could then satisfy a stale
+// ack from its previous life in another topic (the ABA the token
+// exists to prevent).
+func TestLeaseTokensGloballyUnique(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"a", "b"}})
+	seen := map[uint64]string{}
+	for _, name := range []string{"a", "b"} {
+		topic := s.Topic(name)
+		topic.Produce("default", []byte(name))
+		d, ok, err := topic.ConsumeOne(time.Now())
+		if err != nil || !ok {
+			t.Fatalf("consume %s: ok=%v err=%v", name, ok, err)
+		}
+		if prev, dup := seen[d.Token]; dup {
+			t.Fatalf("token %d issued to both topic %s and topic %s", d.Token, prev, name)
+		}
+		seen[d.Token] = name
+	}
+}
+
+// TestConsumeBatchRespectsResponseBudget: a consume-batch of large
+// payloads must clamp how many leases it grants so the encoded response
+// stays within maxBatchBody (the client rejects anything larger — after
+// the server committed the leases, which would strand every big batch
+// in lease-expiry redelivery). The unleased remainder goes back on the
+// queue and arrives in later batches.
+func TestConsumeBatchRespectsResponseBudget(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"t"}, QuotaRate: -1})
+	ts := startServer(t, s)
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	const total = 12
+	want := map[uint64]byte{}
+	for b := 0; b < total/4; b++ { // 4 per produce frame keeps requests under maxBatchBody
+		payloads := make([][]byte, 4)
+		for i := range payloads {
+			p := bytes.Repeat([]byte{byte('A' + b*4 + i)}, maxPayload)
+			payloads[i] = p
+		}
+		ids, err := c.ProduceBatch(ctx, "t", payloads)
+		if err != nil || len(ids) != 4 {
+			t.Fatalf("produce round %d: %d ids, err %v", b, len(ids), err)
+		}
+		for i, id := range ids {
+			want[id] = payloads[i][0]
+		}
+	}
+
+	got := 0
+	for rounds := 0; got < total; rounds++ {
+		if rounds > total {
+			t.Fatalf("no progress: %d of %d after %d rounds", got, total, rounds)
+		}
+		ds, err := c.ConsumeBatch(ctx, "t", total, 0)
+		if err != nil {
+			t.Fatalf("consume-batch: %v", err) // oversize response surfaces here
+		}
+		if len(ds) == 0 {
+			t.Fatalf("empty batch with %d of %d outstanding", total-got, total)
+		}
+		if len(ds) >= total {
+			t.Fatalf("batch of %d × %d bytes was not clamped to the response budget", len(ds), maxPayload)
+		}
+		acks := make([]AckEntry, len(ds))
+		for i, d := range ds {
+			if len(d.Payload) != maxPayload || d.Payload[0] != want[d.ID] {
+				t.Fatalf("id %d: payload len %d first byte %q, want %q", d.ID, len(d.Payload), d.Payload[0], want[d.ID])
+			}
+			delete(want, d.ID)
+			acks[i] = AckEntry{ID: d.ID, Token: d.Token}
+		}
+		if _, err := c.AckBatch(ctx, "t", acks); err != nil {
+			t.Fatalf("ack-batch: %v", err)
+		}
+		got += len(ds)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if _, err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestConsumeBatchRefundsUnfilledSlots: an empty long-poll must not
+// keep the slot tokens it reserved — at 1 token/s refill, ten empty
+// max=32 polls would otherwise burn 320 tokens and starve the same
+// tenant's producers into 429s.
+func TestConsumeBatchRefundsUnfilledSlots(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"t"}, QuotaRate: 1, QuotaBurst: 64})
+	ts := startServer(t, s)
+	c := &Client{Base: ts.URL, Tenant: "acme", MaxAttempts: 1}
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if ds, err := c.ConsumeBatch(ctx, "t", 32, 0); err != nil || len(ds) != 0 {
+			t.Fatalf("empty poll %d: %d deliveries, err %v", i, len(ds), err)
+		}
+	}
+	payloads := make([][]byte, 32)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	ids, err := c.ProduceBatch(ctx, "t", payloads)
+	if err != nil {
+		t.Fatalf("produce after empty polls: %v (unfilled consume slots never refunded?)", err)
+	}
+	if len(ids) != 32 {
+		t.Fatalf("produce accepted %d of 32 in one attempt", len(ids))
+	}
+}
+
+// TestClientChunksOversizeBatches: ProduceBatch and AckBatch above the
+// per-frame message cap must be split into conforming frames instead of
+// sending one frame the server rejects with 400.
+func TestClientChunksOversizeBatches(t *testing.T) {
+	s := newTestService(t, Config{Topics: []string{"t"}, QuotaRate: -1})
+	ts := startServer(t, s)
+	c := &Client{Base: ts.URL, MaxAttempts: 1}
+	ctx := context.Background()
+
+	const total = maxBatchMsgs + 1
+	payloads := make([][]byte, total)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	ids, err := c.ProduceBatch(ctx, "t", payloads)
+	if err != nil {
+		t.Fatalf("oversize produce-batch: %v", err)
+	}
+	if len(ids) != total {
+		t.Fatalf("oversize produce-batch returned %d ids, want %d", len(ids), total)
+	}
+
+	acks := make([]AckEntry, 0, total)
+	for len(acks) < total {
+		ds, err := c.ConsumeBatch(ctx, "t", maxBatchMsgs, 0)
+		if err != nil || len(ds) == 0 {
+			t.Fatalf("consume-batch: %d deliveries, err %v", len(ds), err)
+		}
+		for _, d := range ds {
+			acks = append(acks, AckEntry{ID: d.ID, Token: d.Token})
+		}
+	}
+	res, err := c.AckBatch(ctx, "t", acks)
+	if err != nil {
+		t.Fatalf("oversize ack-batch: %v", err)
+	}
+	if len(res) != total {
+		t.Fatalf("oversize ack-batch resolved %d, want %d", len(res), total)
+	}
+	for i, r := range res {
+		if r != AckOK {
+			t.Fatalf("ack %d = %v, want AckOK", i, r)
+		}
+	}
+}
+
 // TestBatchRoundTrip: produce-batch → consume-batch → ack-batch over
 // real HTTP, exactly once, ending in a clean verified drain.
 func TestBatchRoundTrip(t *testing.T) {

@@ -270,18 +270,26 @@ func (c *Client) maxAttempts() int {
 }
 
 // ProduceBatch enqueues the payloads in order and returns their ids.
-// Partial quota admission is retried transparently: the server accepts
-// the batch's admitted prefix and stamps Retry-After for the rest, and
-// the client re-submits the suffix after honouring the delay. If
-// attempts run out mid-batch the ids accepted so far are returned with
-// the error — those messages ARE in the queue.
+// Batches larger than the protocol's per-frame cap are chunked
+// transparently — the server rejects a frame over maxBatchMsgs, so the
+// client never sends one — and a fully accepted chunk resets the retry
+// budget (it is progress, not a refusal). Partial quota admission is
+// retried transparently: the server accepts the chunk's admitted prefix
+// and stamps Retry-After for the rest, and the client re-submits the
+// suffix after honouring the delay. If attempts run out mid-batch the
+// ids accepted so far are returned with the error — those messages ARE
+// in the queue.
 func (c *Client) ProduceBatch(ctx context.Context, topic string, payloads [][]byte) ([]uint64, error) {
 	ids := make([]uint64, 0, len(payloads))
 	bufs, release := c.getBufs()
 	defer release()
 	remaining := payloads
 	for attempt := 0; ; attempt++ {
-		bufs.req = appendProduceBatch(bufs.req[:0], remaining)
+		chunk := remaining
+		if len(chunk) > maxBatchMsgs {
+			chunk = chunk[:maxBatchMsgs]
+		}
+		bufs.req = appendProduceBatch(bufs.req[:0], chunk)
 		status, retryAfter, body, err := c.postFrame(ctx, "/topics/"+topic+"/produce-batch", bufs.req, bufs.resp)
 		bufs.resp = body
 		if err != nil {
@@ -295,12 +303,16 @@ func (c *Client) ProduceBatch(ctx context.Context, topic string, payloads [][]by
 				return ids, fmt.Errorf("produce-batch: decode: %w", err)
 			}
 			accepted := len(ids) - before
-			if accepted > len(remaining) {
-				return ids, fmt.Errorf("produce-batch: server accepted %d of %d", accepted, len(remaining))
+			if accepted > len(chunk) {
+				return ids, fmt.Errorf("produce-batch: server accepted %d of %d", accepted, len(chunk))
 			}
 			remaining = remaining[accepted:]
 			if len(remaining) == 0 {
 				return ids, nil
+			}
+			if accepted == len(chunk) {
+				attempt = -1 // full chunk landed: next chunk starts fresh
+				continue
 			}
 			// Partial acceptance: not a failure, but the suffix still
 			// needs admission — honour Retry-After like a 429 would be.
@@ -360,16 +372,21 @@ func (c *Client) ConsumeBatch(ctx context.Context, topic string, max int, wait t
 }
 
 // AckBatch acknowledges the entries and returns one AckResult per
-// entry, in order. Like ProduceBatch, a partially admitted batch is
-// completed across retries; per-delivery conflicts (stale tokens) are
-// reported in the results, not as an error.
+// entry, in order. Like ProduceBatch, oversized batches are chunked to
+// the per-frame cap (a full chunk resolved resets the retry budget) and
+// a partially admitted batch is completed across retries; per-delivery
+// conflicts (stale tokens) are reported in the results, not as an error.
 func (c *Client) AckBatch(ctx context.Context, topic string, entries []AckEntry) ([]AckResult, error) {
 	results := make([]AckResult, 0, len(entries))
 	bufs, release := c.getBufs()
 	defer release()
 	remaining := entries
 	for attempt := 0; ; attempt++ {
-		bufs.req = appendAckBatch(bufs.req[:0], remaining)
+		chunk := remaining
+		if len(chunk) > maxBatchMsgs {
+			chunk = chunk[:maxBatchMsgs]
+		}
+		bufs.req = appendAckBatch(bufs.req[:0], chunk)
 		status, retryAfter, body, err := c.postFrame(ctx, "/topics/"+topic+"/ack-batch", bufs.req, bufs.resp)
 		bufs.resp = body
 		if err != nil {
@@ -383,12 +400,16 @@ func (c *Client) AckBatch(ctx context.Context, topic string, entries []AckEntry)
 				return results, fmt.Errorf("ack-batch: decode: %w", err)
 			}
 			done := len(results) - before
-			if done > len(remaining) {
-				return results, fmt.Errorf("ack-batch: server resolved %d of %d", done, len(remaining))
+			if done > len(chunk) {
+				return results, fmt.Errorf("ack-batch: server resolved %d of %d", done, len(chunk))
 			}
 			remaining = remaining[done:]
 			if len(remaining) == 0 {
 				return results, nil
+			}
+			if done == len(chunk) {
+				attempt = -1 // full chunk resolved: next chunk starts fresh
+				continue
 			}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			// fall through to the shared backoff below

@@ -158,7 +158,10 @@ func parseDeliveries(buf []byte) ([]Delivery, error) {
 			return nil, errFrameTruncated
 		}
 		off = o3
-		if off+int(n) > len(buf) {
+		// Bound n while still a uint64: a length >= 2^63 would go negative
+		// as an int and slip past the truncation arithmetic below, turning
+		// a hostile frame into a slice-bounds panic instead of an error.
+		if n > uint64(len(buf)-off) {
 			return nil, errFrameTruncated
 		}
 		spans = append(spans, span{off, off + int(n)})

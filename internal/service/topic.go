@@ -63,10 +63,14 @@ type delivery struct {
 // Recycling records that ackers, consumers, and the sweeper may still
 // hold pointers to is only safe under two disciplines, both load-bearing:
 //
-//   - lease tokens come from a topic-global counter (Topic.leaseSeq), so
-//     a CAS keyed on leased|token can never land on a recycled record —
-//     the token names one lease in the topic's history, not one lease of
-//     one record (the per-record sequence would recur after reuse);
+//   - lease tokens come from a process-global counter (leaseSeq) with
+//     the same scope as the pool itself, so a CAS keyed on leased|token
+//     can never land on a recycled record — the token names one lease in
+//     the process's history, not one lease of one record or one topic.
+//     Per-record sequences would recur after reuse; per-topic sequences
+//     would recur when a slab recycles from one topic into another,
+//     letting a stale ack held across that migration land on the new
+//     topic's record;
 //   - non-atomic fields (id, payload bytes) are read only while the
 //     record is map-resident and t.mu is held. A recycle begins with an
 //     ack's map delete, and every map delete takes t.mu, so holding the
@@ -83,6 +87,14 @@ type slab struct {
 }
 
 var slabPool = sync.Pool{New: func() any { return new(slab) }}
+
+// leaseSeq issues delivery tokens: one process-global stream shared by
+// every topic. Global (not per-topic, not per-record) uniqueness is what
+// makes recycling through the process-global slabPool ABA-free — a slab
+// may leave topic A and resurface in topic B, and a stale ack from A's
+// past must find a token that no lease in B can ever carry. 56 bits
+// (seqMask) at service rates outlive any process.
+var leaseSeq atomic.Uint64
 
 // getSlab returns a slab sized for k records and total payload bytes.
 func getSlab(k, total int) *slab {
@@ -121,11 +133,6 @@ type Topic struct {
 	mu     sync.Mutex
 	recs   map[uint64]*delivery
 	nextID atomic.Uint64
-
-	// leaseSeq issues delivery tokens, one topic-global stream for every
-	// record. Global (not per-record) uniqueness is what makes slab
-	// recycling ABA-free: see the slab doc comment.
-	leaseSeq atomic.Uint64
 
 	// wake pulses when messages arrive (produce or redelivery); long-poll
 	// consumers park on it instead of spinning empty round trips. One
@@ -277,7 +284,7 @@ func (t *Topic) consume(now time.Time, stable bool) (rec *delivery, id, token ui
 			t.mu.Unlock()
 			continue
 		}
-		token = t.leaseSeq.Add(1)
+		token = leaseSeq.Add(1)
 		id = rec.id
 		payload = rec.payload
 		if stable && rec.owner != nil {
@@ -295,6 +302,12 @@ func (t *Topic) consume(now time.Time, stable bool) (rec *delivery, id, token ui
 	}
 }
 
+// deliveryWireOverhead is the worst-case encoded size of one delivery's
+// id+token+length prefixes (three uvarints), used by ConsumeBatch's byte
+// budget so the topic layer can bound the encoded response without
+// knowing the frame format.
+const deliveryWireOverhead = 30
+
 // ConsumeBatch dequeues up to len(ids) messages in one backend batch
 // (one slot lease, see AutoQueue.DequeueBatch) and leases each to the
 // caller with one shared deadline. For every granted lease it calls emit
@@ -303,15 +316,27 @@ func (t *Topic) consume(now time.Time, stable bool) (rec *delivery, id, token ui
 // (the whole grant loop runs under t.mu, which is also the single
 // registry pass the batch pays instead of k). Returns the number of
 // leases granted (== emit calls).
-func (t *Topic) ConsumeBatch(now time.Time, ids []uint64, emit func(id, token uint64, payload []byte)) int {
+//
+// maxBytes bounds the summed payload + per-delivery overhead of the
+// granted leases: once the next record would push past it, the grant
+// loop stops and re-enqueues every remaining dequeued id, un-leased —
+// the lease is the commitment, so a delivery that could not fit the
+// response frame must never be leased in the first place (it would only
+// expire and churn through redelivery). At least one lease is always
+// granted when the batch is non-empty (a payload is capped well below
+// any sane budget), and the re-enqueued suffix goes to the queue's tail,
+// trading FIFO position for never over-committing. maxBytes <= 0 means
+// unbounded.
+func (t *Topic) ConsumeBatch(now time.Time, ids []uint64, maxBytes int, emit func(id, token uint64, payload []byte)) int {
 	n := t.q.DequeueBatch(ids)
 	if n == 0 {
 		return 0
 	}
 	deadline := now.Add(t.lease).UnixNano()
-	granted := 0
+	granted, used := 0, 0
+	requeued := false
 	t.mu.Lock()
-	for _, qid := range ids[:n] {
+	for i, qid := range ids[:n] {
 		rec := t.recs[qid]
 		if rec == nil {
 			continue
@@ -320,7 +345,15 @@ func (t *Topic) ConsumeBatch(now time.Time, ids []uint64, emit func(id, token ui
 		if stateOf(w) != statePending {
 			continue
 		}
-		token := t.leaseSeq.Add(1)
+		if sz := len(rec.payload) + deliveryWireOverhead; maxBytes > 0 && granted > 0 && used+sz > maxBytes {
+			// Response budget exhausted: put the rest back, still pending.
+			t.q.EnqueueBatch(ids[i:n])
+			requeued = true
+			break
+		} else {
+			used += sz
+		}
+		token := leaseSeq.Add(1)
 		rec.deadline.Store(deadline)
 		if !rec.word.CompareAndSwap(w, pack(stateLeased, token)) {
 			// Unreachable: a pending id has exactly one dequeuer and the
@@ -335,6 +368,9 @@ func (t *Topic) ConsumeBatch(now time.Time, ids []uint64, emit func(id, token ui
 	}
 	t.mu.Unlock()
 	t.consumed.Add(int64(granted))
+	if requeued {
+		t.notify() // the suffix is news to any parked long-poller
+	}
 	return granted
 }
 

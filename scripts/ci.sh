@@ -126,7 +126,7 @@ go test -race -tags "faultpoints debughandles" -timeout 240s \
 
 echo "==> batched-service gate (batch wire path + SvcBatchLease chaos under -race)"
 go test -race -tags "faultpoints debughandles" -timeout 240s \
-	-run 'TestFrameRoundTrips|TestBatch|TestAckBatchStaleTokens|TestQuotaAdmitN|TestServiceChaosBatchLeaseRedelivery' \
+	-run 'TestFrameRoundTrips|TestFrameHostilePayloadLength|TestBatch|TestAckBatchStaleTokens|TestQuotaAdmitN|TestQuotaRefundN|TestServiceChaosBatchLeaseRedelivery|TestLeaseTokensGloballyUnique|TestConsumeBatch|TestClientChunksOversizeBatches' \
 	./internal/service ./internal/account
 
 echo "==> ci green"
